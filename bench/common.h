@@ -1,0 +1,124 @@
+#ifndef RELACC_BENCH_COMMON_H_
+#define RELACC_BENCH_COMMON_H_
+
+// Shared harness for the per-figure benchmark binaries. Each binary prints
+// the rows/series of one table or figure of the paper (see DESIGN.md §4);
+// EXPERIMENTS.md records paper-vs-measured.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chase/chase_engine.h"
+#include "datagen/dataset.h"
+#include "datagen/profile_generator.h"
+#include "topk/rank_join_ct.h"
+#include "topk/topk_ct.h"
+#include "truth/metrics.h"
+
+namespace relacc {
+namespace bench {
+
+/// Wall-clock milliseconds of `fn`.
+inline double TimeMs(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Per-entity chase result against ground truth.
+struct EntityOutcome {
+  bool church_rosser = false;
+  bool complete = false;
+  bool complete_correct = false;
+  TargetQuality quality;
+  Tuple target;
+};
+
+/// Chases entity `i` of `ds` under `filter` over `masters` (usually
+/// ds.masters; substitute a truncated copy for the ‖Im‖ sweeps).
+inline EntityOutcome ChaseEntity(const EntityDataset& ds, int i,
+                                 const std::vector<Relation>& masters,
+                                 RuleFormFilter filter) {
+  EntityOutcome out;
+  const std::vector<AccuracyRule> rules = ds.FilteredRules(filter);
+  const GroundProgram prog = Instantiate(ds.entities[i], masters, rules);
+  ChaseEngine engine(ds.entities[i], &prog, ds.chase_config);
+  const ChaseOutcome res = engine.RunFromInitial();
+  out.church_rosser = res.church_rosser;
+  if (!res.church_rosser) return out;
+  out.target = res.target;
+  out.complete = res.target.IsComplete();
+  out.quality = CompareTarget(res.target, ds.truths[i]);
+  out.complete_correct = out.quality.complete_and_correct > 0.5;
+  return out;
+}
+
+enum class TopKAlgo { kTopKCT, kTopKCTh, kRankJoinCT };
+
+inline const char* AlgoName(TopKAlgo algo) {
+  switch (algo) {
+    case TopKAlgo::kTopKCT:
+      return "TopKCT";
+    case TopKAlgo::kTopKCTh:
+      return "TopKCTh";
+    case TopKAlgo::kRankJoinCT:
+      return "RankJoinCT";
+  }
+  return "?";
+}
+
+inline TopKResult RunTopK(TopKAlgo algo, const ChaseEngine& engine,
+                          const std::vector<Relation>& masters,
+                          const Tuple& te, const PreferenceModel& pref, int k,
+                          const TopKOptions& opts = {}) {
+  switch (algo) {
+    case TopKAlgo::kTopKCT:
+      return TopKCT(engine, masters, te, pref, k, opts);
+    case TopKAlgo::kTopKCTh:
+      return TopKCTh(engine, masters, te, pref, k, opts);
+    case TopKAlgo::kRankJoinCT:
+      return RankJoinCT(engine, masters, te, pref, k, opts);
+  }
+  return {};
+}
+
+/// For one entity: the 1-based rank at which the true target appears among
+/// the top-`max_k` candidates of `algo`, or 0 if absent. A complete deduced
+/// target counts as rank 1 when it equals the truth. Running once at max_k
+/// yields the whole Fig. 6(b)/(f) k-sweep.
+inline int TruthRank(TopKAlgo algo, const EntityDataset& ds, int i,
+                     const std::vector<Relation>& masters,
+                     RuleFormFilter filter, int max_k) {
+  const std::vector<AccuracyRule> rules = ds.FilteredRules(filter);
+  const GroundProgram prog = Instantiate(ds.entities[i], masters, rules);
+  ChaseEngine engine(ds.entities[i], &prog, ds.chase_config);
+  const ChaseOutcome res = engine.RunFromInitial();
+  if (!res.church_rosser) return 0;
+  if (res.target.IsComplete()) {
+    return res.target == ds.truths[i] ? 1 : 0;
+  }
+  const PreferenceModel pref =
+      PreferenceModel::FromOccurrences(ds.entities[i], masters);
+  const TopKResult topk =
+      RunTopK(algo, engine, masters, res.target, pref, max_k);
+  for (std::size_t r = 0; r < topk.targets.size(); ++r) {
+    if (topk.targets[r] == ds.truths[i]) return static_cast<int>(r) + 1;
+  }
+  return 0;
+}
+
+/// Percent formatting helper.
+inline std::string Pct(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%5.1f%%", 100.0 * x);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace relacc
+
+#endif  // RELACC_BENCH_COMMON_H_

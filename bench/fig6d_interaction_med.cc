@@ -1,0 +1,13 @@
+// Fig. 6(d): Med — cumulative % of true targets found after h rounds of
+// simulated user interaction (Exp-3). Paper: all targets within 3 rounds.
+
+#include "interaction_sweep.h"
+
+int main() {
+  using namespace relacc;
+  using namespace relacc::bench;
+  std::printf("== Fig 6(d): Med interaction rounds (paper: <=3) ==\n");
+  const EntityDataset ds = GenerateProfile(MedConfig());
+  RunInteractionSweep(ds, /*sample=*/500, /*max_h=*/6);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Fig. 6(h): CFP — cumulative % of true targets found after h interaction
+// rounds (Exp-3). Paper: all targets within 4 rounds.
+
+#include "interaction_sweep.h"
+
+int main() {
+  using namespace relacc;
+  using namespace relacc::bench;
+  std::printf("== Fig 6(h): CFP interaction rounds (paper: <=4) ==\n");
+  const EntityDataset ds = GenerateProfile(CfpConfig());
+  RunInteractionSweep(ds, /*sample=*/100, /*max_h=*/6);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Fig. 6(i): Syn — elapsed time vs ‖Ie‖ in [300, 1500]. Paper at 1500:
+// TopKCTh 159ms < TopKCT 271ms << RankJoinCT 1983ms; all scale well.
+
+#include "syn_sweep.h"
+
+int main() {
+  using namespace relacc;
+  using namespace relacc::bench;
+  std::printf("== Fig 6(i): Syn time vs |Ie| "
+              "(paper order: TopKCTh < TopKCT << RankJoinCT) ==\n");
+  std::vector<SynPoint> points;
+  for (int n : {300, 600, 900, 1200, 1500}) {
+    SynPoint p;
+    p.x = n;
+    p.config.num_tuples = n;
+    points.push_back(p);
+  }
+  RunSynSweep("|Ie|", points);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Fig. 6(j): Syn — elapsed time vs ‖Σ‖ in [20, 100] (defaults otherwise).
+
+#include "syn_sweep.h"
+
+int main() {
+  using namespace relacc;
+  using namespace relacc::bench;
+  std::printf("== Fig 6(j): Syn time vs |Sigma| ==\n");
+  std::vector<SynPoint> points;
+  for (int r : {20, 40, 60, 80, 100}) {
+    SynPoint p;
+    p.x = r;
+    p.config.num_rules = r;
+    points.push_back(p);
+  }
+  RunSynSweep("|Sigma|", points);
+  return 0;
+}

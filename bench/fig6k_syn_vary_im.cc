@@ -1,0 +1,18 @@
+// Fig. 6(k): Syn — elapsed time vs ‖Im‖ in [100, 500] (defaults otherwise).
+
+#include "syn_sweep.h"
+
+int main() {
+  using namespace relacc;
+  using namespace relacc::bench;
+  std::printf("== Fig 6(k): Syn time vs |Im| ==\n");
+  std::vector<SynPoint> points;
+  for (int m : {100, 200, 300, 400, 500}) {
+    SynPoint p;
+    p.x = m;
+    p.config.master_size = m;
+    points.push_back(p);
+  }
+  RunSynSweep("|Im|", points);
+  return 0;
+}

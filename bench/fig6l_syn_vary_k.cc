@@ -1,0 +1,18 @@
+// Fig. 6(l): Syn — elapsed time vs k in [5, 25] (defaults otherwise).
+
+#include "syn_sweep.h"
+
+int main() {
+  using namespace relacc;
+  using namespace relacc::bench;
+  std::printf("== Fig 6(l): Syn time vs k ==\n");
+  std::vector<SynPoint> points;
+  for (int k : {5, 10, 15, 20, 25}) {
+    SynPoint p;
+    p.x = k;
+    p.k = k;
+    points.push_back(p);
+  }
+  RunSynSweep("k", points);
+  return 0;
+}

@@ -1,0 +1,54 @@
+#ifndef RELACC_BENCH_INTERACTION_SWEEP_H_
+#define RELACC_BENCH_INTERACTION_SWEEP_H_
+
+// Shared driver for the user-interaction figures 6(d)/(h): the Exp-3
+// protocol — while the top-k candidates miss the true target, reveal the
+// true value of one null attribute and re-run; report the cumulative % of
+// targets found after h rounds.
+
+#include <map>
+
+#include "common.h"
+#include "framework/framework.h"
+
+namespace relacc {
+namespace bench {
+
+inline void RunInteractionSweep(const EntityDataset& ds, int sample,
+                                int max_h) {
+  const int n = std::min<int>(sample, static_cast<int>(ds.entities.size()));
+  std::map<int, int> found_at;  // rounds -> count
+  int never = 0;
+  for (int i = 0; i < n; ++i) {
+    Specification spec = ds.SpecFor(i);
+    const PreferenceModel pref =
+        PreferenceModel::FromOccurrences(spec.ie, spec.masters);
+    SimulatedUser user(ds.truths[i]);
+    FrameworkOptions opts;
+    opts.k = 15;
+    const FrameworkResult r = RunFramework(spec, pref, &user, opts);
+    if (r.found_complete_target && r.target == ds.truths[i]) {
+      ++found_at[r.interaction_rounds];
+    } else {
+      ++never;
+    }
+  }
+  int cumulative = 0;
+  std::printf("rounds h :");
+  for (int h = 0; h <= max_h; ++h) std::printf("  h<=%-3d", h);
+  std::printf("\n%% found  :");
+  for (int h = 0; h <= max_h; ++h) {
+    auto it = found_at.find(h);
+    if (it != found_at.end()) cumulative += it->second;
+    std::printf("  %s", Pct(static_cast<double>(cumulative) / n).c_str());
+  }
+  int max_rounds = 0;
+  for (const auto& [h, c] : found_at) max_rounds = std::max(max_rounds, h);
+  std::printf("\nmax rounds needed: %d; true target never reached: %s\n",
+              max_rounds, Pct(static_cast<double>(never) / n).c_str());
+}
+
+}  // namespace bench
+}  // namespace relacc
+
+#endif  // RELACC_BENCH_INTERACTION_SWEEP_H_

@@ -1,0 +1,108 @@
+// IsCR timing (Sec. 7, text): "IsCR takes about 10ms" per entity; grounding
+// + Church-Rosser check + target deduction. google-benchmark over Med/CFP
+// entities and the Syn instance at the paper's default sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "chase/chase_engine.h"
+#include "datagen/profile_generator.h"
+#include "datagen/syn_generator.h"
+
+namespace {
+
+using namespace relacc;
+
+const EntityDataset& MedDataset() {
+  static const EntityDataset* ds = [] {
+    ProfileConfig c = MedConfig();
+    c.num_entities = 200;
+    c.master_size = 178;
+    return new EntityDataset(GenerateProfile(c));
+  }();
+  return *ds;
+}
+
+const EntityDataset& CfpDataset() {
+  static const EntityDataset* ds =
+      new EntityDataset(GenerateProfile(CfpConfig()));
+  return *ds;
+}
+
+/// Full IsCR: Instantiation + index + chase, per entity.
+void BM_IsCR_Med(benchmark::State& state) {
+  const EntityDataset& ds = MedDataset();
+  int i = 0;
+  for (auto _ : state) {
+    const Specification spec = ds.SpecFor(i % 200);
+    benchmark::DoNotOptimize(IsCR(spec).church_rosser);
+    ++i;
+  }
+}
+BENCHMARK(BM_IsCR_Med)->Unit(benchmark::kMillisecond);
+
+void BM_IsCR_Cfp(benchmark::State& state) {
+  const EntityDataset& ds = CfpDataset();
+  int i = 0;
+  for (auto _ : state) {
+    const Specification spec = ds.SpecFor(i % 100);
+    benchmark::DoNotOptimize(IsCR(spec).church_rosser);
+    ++i;
+  }
+}
+BENCHMARK(BM_IsCR_Cfp)->Unit(benchmark::kMillisecond);
+
+/// Chase only (index/grounding prebuilt) — the incremental cost per chase
+/// run, which the top-k `check` pays.
+void BM_ChaseOnly_Med(benchmark::State& state) {
+  const EntityDataset& ds = MedDataset();
+  const Specification spec = ds.SpecFor(0);
+  const GroundProgram prog = Instantiate(spec.ie, spec.masters, spec.rules);
+  const ChaseEngine engine(spec.ie, &prog, spec.config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.RunFromInitial().church_rosser);
+  }
+}
+BENCHMARK(BM_ChaseOnly_Med)->Unit(benchmark::kMicrosecond);
+
+/// Syn at the paper's defaults (‖Ie‖=900, ‖Im‖=300, ‖Σ‖=60).
+void BM_IsCR_Syn(benchmark::State& state) {
+  SynConfig c;
+  c.num_tuples = static_cast<int>(state.range(0));
+  const SynDataset syn = GenerateSyn(c);
+  const GroundProgram prog =
+      Instantiate(syn.spec.ie, syn.spec.masters, syn.spec.rules);
+  const ChaseEngine engine(syn.spec.ie, &prog, syn.spec.config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.RunFromInitial().church_rosser);
+  }
+}
+BENCHMARK(BM_IsCR_Syn)->Arg(300)->Arg(900)->Arg(1500)
+    ->Unit(benchmark::kMillisecond);
+
+/// The candidate-target check from the warm checkpoint — the inner loop of
+/// all top-k algorithms.
+void BM_CheckCandidate_Syn(benchmark::State& state) {
+  SynConfig c;
+  c.num_tuples = static_cast<int>(state.range(0));
+  const SynDataset syn = GenerateSyn(c);
+  const GroundProgram prog =
+      Instantiate(syn.spec.ie, syn.spec.masters, syn.spec.rules);
+  const ChaseEngine engine(syn.spec.ie, &prog, syn.spec.config);
+  const ChaseOutcome out = engine.RunFromInitial();
+  Tuple candidate = out.target;
+  for (AttrId a = 0; a < syn.spec.ie.schema().size(); ++a) {
+    if (candidate.at(a).is_null()) {
+      const auto dom = syn.spec.ie.ColumnDomain(a);
+      if (!dom.empty()) candidate.set(a, dom[0]);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.CheckCandidate(candidate));
+  }
+}
+BENCHMARK(BM_CheckCandidate_Syn)->Arg(300)->Arg(900)->Arg(1500)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

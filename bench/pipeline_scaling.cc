@@ -1,0 +1,51 @@
+// Extension bench: whole-database accuracy pipeline (the paper's Sec. 8
+// future-work scenario). Measures throughput of RunPipeline over Med-shaped
+// databases while varying the worker count — the per-entity work (ground,
+// IsCR, top-1 candidate) is embarrassingly parallel, so scaling should be
+// near-linear until memory bandwidth binds.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/profile_generator.h"
+#include "pipeline/pipeline.h"
+
+namespace {
+
+using namespace relacc;  // NOLINT(build/namespaces): bench-local
+
+const EntityDataset& Dataset() {
+  static const EntityDataset* dataset = [] {
+    ProfileConfig config = MedConfig(/*seed=*/3);
+    config.num_entities = 150;
+    config.master_size = 120;
+    return new EntityDataset(GenerateProfile(config));
+  }();
+  return *dataset;
+}
+
+void BM_PipelineThreads(benchmark::State& state) {
+  const EntityDataset& dataset = Dataset();
+  PipelineOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  options.completion = CompletionPolicy::kBestCandidate;
+  int complete = 0;
+  for (auto _ : state) {
+    PipelineReport report = RunPipeline(dataset.entities, dataset.masters,
+                                        dataset.rules, options);
+    complete =
+        report.num_complete_by_chase + report.num_completed_by_candidates;
+    benchmark::DoNotOptimize(report.num_church_rosser);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset.entities.size()));
+  state.counters["entities"] =
+      benchmark::Counter(static_cast<double>(dataset.entities.size()));
+  state.counters["complete_targets"] =
+      benchmark::Counter(static_cast<double>(complete));
+}
+BENCHMARK(BM_PipelineThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->MeasureProcessCPUTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

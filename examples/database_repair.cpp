@@ -1,0 +1,84 @@
+// Database repair: the paper's future-work scenario (Sec. 8) — improving
+// the accuracy of a whole database rather than a single entity instance.
+//
+// Generates a Med-shaped dirty database (datagen), then runs the
+// multi-entity pipeline: per entity, ground Σ, chase (IsCR), and complete
+// any remaining null attributes with the top-1 candidate target. Finally
+// scores the produced targets against the generator's ground truth.
+
+#include <cstdio>
+
+#include "datagen/profile_generator.h"
+#include "pipeline/pipeline.h"
+
+namespace {
+
+using namespace relacc;
+
+double Accuracy(const PipelineReport& report,
+                const std::vector<Tuple>& truths) {
+  int64_t correct = 0;
+  int64_t total = 0;
+  for (int row = 0; row < report.targets.size(); ++row) {
+    const int entity = report.row_entity[row];
+    const Tuple& target = report.targets.tuple(row);
+    const Tuple& truth = truths[entity];
+    for (AttrId a = 0; a < target.size(); ++a) {
+      if (truth.at(a).is_null()) continue;
+      ++total;
+      if (target.at(a) == truth.at(a)) ++correct;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+}
+
+void Report(const char* label, const PipelineReport& report,
+            const std::vector<Tuple>& truths) {
+  std::printf("%s\n", label);
+  std::printf("  entities: %zu (CR %d, non-CR %d)\n", report.entities.size(),
+              report.num_church_rosser, report.num_non_church_rosser);
+  std::printf("  complete via chase alone:     %d\n",
+              report.num_complete_by_chase);
+  std::printf("  completed via top-1 candidate: %d\n",
+              report.num_completed_by_candidates);
+  std::printf("  still incomplete:             %d\n", report.num_incomplete);
+  std::printf("  attrs deduced by the chase:   %.0f%%\n",
+              report.deduced_attr_fraction * 100.0);
+  std::printf("  attribute accuracy vs truth:  %.1f%%\n\n",
+              Accuracy(report, truths) * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  ProfileConfig config = MedConfig(/*seed=*/2013);
+  config.num_entities = 300;
+  config.master_size = 240;
+  EntityDataset dataset = GenerateProfile(config);
+  std::printf("generated %zu entities over %d attributes, %zu rules, "
+              "master of %d tuples\n\n",
+              dataset.entities.size(), dataset.schema.size(),
+              dataset.rules.size(), dataset.masters[0].size());
+
+  PipelineOptions chase_only;
+  chase_only.completion = CompletionPolicy::kLeaveNull;
+  Report("-- chase only (no candidate completion) --",
+         RunPipeline(dataset.entities, dataset.masters, dataset.rules,
+                     chase_only),
+         dataset.truths);
+
+  PipelineOptions with_candidates;
+  with_candidates.completion = CompletionPolicy::kBestCandidate;
+  Report("-- chase + top-1 candidate completion --",
+         RunPipeline(dataset.entities, dataset.masters, dataset.rules,
+                     with_candidates),
+         dataset.truths);
+
+  // Ablation: what do the rules buy us? Axioms only.
+  PipelineOptions no_rules = with_candidates;
+  Report("-- no ARs (axioms + preference only) --",
+         RunPipeline(dataset.entities, dataset.masters, /*rules=*/{},
+                     no_rules),
+         dataset.truths);
+  return 0;
+}

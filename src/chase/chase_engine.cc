@@ -1,0 +1,343 @@
+#include "chase/chase_engine.h"
+
+#include <deque>
+#include <string>
+
+namespace relacc {
+
+/// Mutable per-run state; one instance per Run() call so the engine itself
+/// stays const and reusable.
+struct ChaseEngine::RunState {
+  std::vector<PartialOrder> orders;
+  std::vector<Value> te;
+  std::vector<int> remaining;
+  std::vector<char> dead;
+  std::deque<int32_t> queue;           ///< ready ground steps (Q of Fig. 4)
+  std::vector<char> attr_dirty;        ///< λ re-check needed
+  std::vector<AttrId> dirty_list;
+  std::vector<std::pair<int, int>> scratch_pairs;
+  ChaseStats stats;
+  std::string violation;
+  int64_t actions = 0;
+};
+
+ChaseEngine::~ChaseEngine() = default;
+
+ChaseEngine::ChaseEngine(const Relation& ie, const GroundProgram* program,
+                         ChaseConfig config)
+    : ie_(ie),
+      program_(program),
+      config_(config),
+      n_(ie.size()),
+      num_attrs_(ie.schema().size()) {
+  te_watch_.resize(num_attrs_);
+  attr_has_order_watch_.assign(num_attrs_, 0);
+  columns_.resize(num_attrs_);
+  value_index_.resize(num_attrs_);
+  for (AttrId a = 0; a < num_attrs_; ++a) {
+    columns_[a].reserve(n_);
+    for (int i = 0; i < n_; ++i) {
+      const Value& v = ie.tuple(i).at(a);
+      columns_[a].push_back(v);
+      if (!v.is_null()) value_index_[a][v].push_back(i);
+    }
+  }
+  const auto& steps = program_->steps;
+  remaining0_.resize(steps.size());
+  for (int32_t s = 0; s < static_cast<int32_t>(steps.size()); ++s) {
+    const GroundStep& step = steps[s];
+    remaining0_[s] = static_cast<int>(step.residual.size());
+    for (int32_t p = 0; p < static_cast<int32_t>(step.residual.size()); ++p) {
+      const GroundPredicate& g = step.residual[p];
+      if (g.kind == GroundPredicate::Kind::kOrderPair) {
+        order_watch_[OrderKey(g.attr, g.i, g.j)].push_back(s);
+        attr_has_order_watch_[g.attr] = 1;
+      } else {
+        te_watch_[g.attr].emplace_back(s, p);
+      }
+    }
+  }
+}
+
+void ChaseEngine::EmitOrderEvent(RunState* st, AttrId attr, int i,
+                                 int j) const {
+  auto it = order_watch_.find(OrderKey(attr, i, j));
+  if (it == order_watch_.end()) return;
+  for (int32_t s : it->second) {
+    if (st->dead[s]) continue;
+    if (--st->remaining[s] == 0) st->queue.push_back(s);
+  }
+}
+
+void ChaseEngine::EmitTeEvent(RunState* st, AttrId attr,
+                              const Value& v) const {
+  for (const auto& [s, p] : te_watch_[attr]) {
+    if (st->dead[s]) continue;
+    const GroundPredicate& g = program_->steps[s].residual[p];
+    if (EvalCompare(g.op, v, g.constant)) {
+      if (--st->remaining[s] == 0) st->queue.push_back(s);
+    } else {
+      // te[attr] is immutable once set, so the predicate is permanently
+      // false and the step can never fire.
+      st->dead[s] = 1;
+    }
+  }
+}
+
+bool ChaseEngine::ApplyAddPair(RunState* st, AttrId attr, int i,
+                               int j) const {
+  st->scratch_pairs.clear();
+  bool conflict = false;
+  if (!st->orders[attr].AddPair(i, j, &st->scratch_pairs, &conflict)) {
+    return true;  // already present: not a chase step
+  }
+  st->stats.pairs_derived += static_cast<int64_t>(st->scratch_pairs.size());
+  if (conflict) {
+    st->violation = "order conflict on attribute " + ie_.schema().name(attr);
+    return false;
+  }
+  // EmitOrderEvent only touches counters/queue, never orders, so the
+  // scratch list is stable while we emit from it. Attributes no ground
+  // step watches (common for the attributes top-k fills in) skip event
+  // emission wholesale — anchors there can derive tens of thousands of
+  // pairs per candidate check.
+  if (attr_has_order_watch_[attr]) {
+    for (const auto& [a, b] : st->scratch_pairs) {
+      EmitOrderEvent(st, attr, a, b);
+    }
+  }
+  if (!st->attr_dirty[attr]) {
+    st->attr_dirty[attr] = 1;
+    st->dirty_list.push_back(attr);
+  }
+  return true;
+}
+
+bool ChaseEngine::ApplySetTe(RunState* st, AttrId attr, const Value& v) const {
+  Value& slot = st->te[attr];
+  if (!slot.is_null()) {
+    if (slot == v) return true;  // no-op
+    st->violation = "conflicting target values for attribute " +
+                    ie_.schema().name(attr) + ": " + slot.ToString() +
+                    " vs " + v.ToString();
+    return false;
+  }
+  slot = v;
+  EmitTeEvent(st, attr, v);
+  if (config_.builtin_axioms) {
+    // Axiom ϕ8: the defined target value anchors the top of ⪯_attr.
+    auto it = value_index_[attr].find(v);
+    if (it != value_index_[attr].end()) {
+      for (int j : it->second) {
+        for (int i = 0; i < n_; ++i) {
+          if (i == j) continue;
+          if (!ApplyAddPair(st, attr, i, j)) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool ChaseEngine::FlushLambda(RunState* st) const {
+  // λ (Sec. 2.2): whenever ⪯_A gains a greatest element with a non-null
+  // value, te[A] takes that value; disagreement with an already-set te[A]
+  // is an invalid step. Processing may dirty further attributes (the ϕ8
+  // anchor), hence the worklist.
+  while (!st->dirty_list.empty()) {
+    const AttrId attr = st->dirty_list.back();
+    st->dirty_list.pop_back();
+    st->attr_dirty[attr] = 0;
+    const int g = st->orders[attr].GreatestElement();
+    if (g < 0) continue;
+    const Value& val = columns_[attr][g];
+    if (val.is_null()) continue;  // never instantiate te with null
+    if (st->te[attr].is_null()) {
+      if (!ApplySetTe(st, attr, val)) return false;
+    } else if (!(st->te[attr] == val)) {
+      st->violation = "lambda would overwrite target attribute " +
+                      ie_.schema().name(attr) + ": " +
+                      st->te[attr].ToString() + " vs " + val.ToString();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ChaseEngine::InitState(RunState* st_ptr, const Tuple& initial_te) const {
+  RunState& st = *st_ptr;
+  st.te.assign(num_attrs_, Value::Null());
+  st.remaining = remaining0_;
+  st.dead.assign(program_->steps.size(), 0);
+  // Every attribute starts λ-dirty: a singleton instance has a greatest
+  // element before any pair is derived (its only tuple).
+  st.attr_dirty.assign(num_attrs_, 1);
+  st.orders.reserve(num_attrs_);
+  for (AttrId a = 0; a < num_attrs_; ++a) {
+    st.orders.emplace_back(columns_[a]);
+    st.dirty_list.push_back(a);
+  }
+  st.stats.ground_steps = static_cast<int64_t>(program_->steps.size());
+
+  // Steps with empty residuals are ready immediately (initial Q).
+  for (int32_t s = 0; s < static_cast<int32_t>(program_->steps.size()); ++s) {
+    if (st.remaining[s] == 0) st.queue.push_back(s);
+  }
+
+  bool ok = true;
+  if (config_.builtin_axioms) {
+    // Axiom ϕ9 (equal values tie) and ϕ7 (null has lowest accuracy).
+    for (AttrId a = 0; a < num_attrs_ && ok; ++a) {
+      std::vector<int> nulls;
+      for (int i = 0; i < n_; ++i) {
+        if (columns_[a][i].is_null()) nulls.push_back(i);
+      }
+      // ϕ9 over non-null duplicates.
+      for (const auto& [value, indices] : value_index_[a]) {
+        (void)value;
+        for (std::size_t x = 0; x < indices.size() && ok; ++x) {
+          for (std::size_t y = x + 1; y < indices.size() && ok; ++y) {
+            ok = ApplyAddPair(&st, a, indices[x], indices[y]) &&
+                 ApplyAddPair(&st, a, indices[y], indices[x]);
+          }
+        }
+      }
+      // ϕ9 over nulls (null = null holds) and ϕ7 null -> non-null.
+      for (std::size_t x = 0; x < nulls.size() && ok; ++x) {
+        for (std::size_t y = x + 1; y < nulls.size() && ok; ++y) {
+          ok = ApplyAddPair(&st, a, nulls[x], nulls[y]) &&
+               ApplyAddPair(&st, a, nulls[y], nulls[x]);
+        }
+      }
+      for (std::size_t x = 0; x < nulls.size() && ok; ++x) {
+        for (int j = 0; j < n_ && ok; ++j) {
+          if (!columns_[a][j].is_null()) ok = ApplyAddPair(&st, a, nulls[x], j);
+        }
+      }
+    }
+  }
+  // Designated initial target values (all-null for IsCR proper; complete
+  // for the candidate-target check; partial after user interaction).
+  for (AttrId a = 0; a < num_attrs_ && ok; ++a) {
+    if (a < initial_te.size() && !initial_te.at(a).is_null()) {
+      ok = ApplySetTe(&st, a, initial_te.at(a));
+    }
+  }
+  if (ok) ok = FlushLambda(&st);
+  return ok;
+}
+
+bool ChaseEngine::DrainQueue(RunState* st_ptr) const {
+  RunState& st = *st_ptr;
+  // Main loop of IsCR (Fig. 4 lines 4-13).
+  while (!st.queue.empty()) {
+    if (config_.max_actions >= 0 && ++st.actions > config_.max_actions) {
+      st.violation = "action budget exceeded";
+      return false;
+    }
+    const int32_t s = st.queue.front();
+    st.queue.pop_front();
+    if (st.dead[s]) continue;
+    const GroundStep& step = program_->steps[s];
+    bool applied_ok;
+    if (step.kind == GroundStep::Kind::kAddOrder) {
+      applied_ok = ApplyAddPair(&st, step.attr, step.i, step.j);
+    } else {
+      applied_ok = ApplySetTe(&st, step.attr, step.te_value);
+    }
+    if (applied_ok) applied_ok = FlushLambda(&st);
+    if (!applied_ok) return false;
+    ++st.stats.steps_applied;
+  }
+  return true;
+}
+
+ChaseOutcome ChaseEngine::Run(const Tuple& initial_te) const {
+  RunState st;
+  const bool ok = InitState(&st, initial_te) && DrainQueue(&st);
+  if (!ok) {
+    ChaseOutcome out;
+    out.church_rosser = false;
+    out.stats = st.stats;
+    out.violation = st.violation;
+    return out;
+  }
+  ChaseOutcome out;
+  out.church_rosser = true;
+  out.target = Tuple(std::move(st.te));
+  out.stats = st.stats;
+  if (config_.keep_orders) out.orders = std::move(st.orders);
+  return out;
+}
+
+bool ChaseEngine::EnsureCheckpoint() const {
+  if (checkpoint_ == nullptr && !checkpoint_failed_) {
+    auto base = std::make_unique<RunState>();
+    Tuple all_null(std::vector<Value>(num_attrs_, Value::Null()));
+    if (InitState(base.get(), all_null) && DrainQueue(base.get())) {
+      checkpoint_ = std::move(base);
+    } else {
+      checkpoint_failed_ = true;  // base spec is not Church-Rosser
+    }
+  }
+  return !checkpoint_failed_;
+}
+
+bool ChaseEngine::CheckCandidate(const Tuple& t) const {
+  if (!EnsureCheckpoint()) return false;
+  RunState st = *checkpoint_;  // deep copy of the terminal all-null state
+  bool ok = true;
+  for (AttrId a = 0; a < num_attrs_ && ok; ++a) {
+    if (a >= t.size() || t.at(a).is_null()) continue;
+    ok = ApplySetTe(&st, a, t.at(a));
+  }
+  if (ok) ok = FlushLambda(&st);
+  if (ok) ok = DrainQueue(&st);
+  return ok;
+}
+
+ChaseOutcome ChaseEngine::ResumeWith(const Tuple& extra_te) const {
+  ChaseOutcome out;
+  if (!EnsureCheckpoint()) {
+    out.church_rosser = false;
+    out.violation = "base specification is not Church-Rosser";
+    return out;
+  }
+  RunState st = *checkpoint_;
+  bool ok = true;
+  for (AttrId a = 0; a < num_attrs_ && ok; ++a) {
+    if (a >= extra_te.size() || extra_te.at(a).is_null()) continue;
+    ok = ApplySetTe(&st, a, extra_te.at(a));
+  }
+  if (ok) ok = FlushLambda(&st);
+  if (ok) ok = DrainQueue(&st);
+  out.stats = st.stats;
+  if (!ok) {
+    out.church_rosser = false;
+    out.violation = st.violation;
+    return out;
+  }
+  out.church_rosser = true;
+  out.target = Tuple(std::move(st.te));
+  if (config_.keep_orders) out.orders = std::move(st.orders);
+  return out;
+}
+
+ChaseOutcome ChaseEngine::RunFromInitial() const {
+  return Run(Tuple(std::vector<Value>(num_attrs_, Value::Null())));
+}
+
+ChaseOutcome IsCR(const Specification& spec) {
+  const GroundProgram program =
+      Instantiate(spec.ie, spec.masters, spec.rules);
+  ChaseEngine engine(spec.ie, &program, spec.config);
+  return engine.RunFromInitial();
+}
+
+bool CheckCandidateTarget(const ChaseEngine& engine, const Tuple& t) {
+  // All attributes of t are non-null and te attributes are immutable, so a
+  // violation-free continuation necessarily deduces t itself.
+  return engine.CheckCandidate(t);
+}
+
+}  // namespace relacc

@@ -1,0 +1,132 @@
+#ifndef RELACC_CHASE_CHASE_ENGINE_H_
+#define RELACC_CHASE_CHASE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "chase/specification.h"
+#include "core/relation.h"
+#include "rules/grounding.h"
+
+namespace relacc {
+
+/// Executes chasing sequences over a pre-grounded program (Sec. 2.2 / 5).
+///
+/// Construction builds the immutable part of the index H of algorithm IsCR
+/// (Fig. 4): watch lists Φδ keyed by order-pair events (attr,i,j) and by
+/// target-template events te[A]:=v, plus the initial residual counters nφ.
+/// `Run` then simulates one stable chasing sequence from a given initial
+/// target template; it is cheap to call repeatedly (the top-k algorithms'
+/// `check` runs it once per inspected candidate).
+///
+/// The engine implements the validity checks of Sec. 2.2 and aborts —
+/// reporting not-Church-Rosser — when an applied step would (a) create
+/// ti ⪯ tj ∧ tj ⪯ ti with ti[A] ≠ tj[A], or (b) change a non-null te[A]
+/// (whether via a form-(2) assignment or via the λ greatest-element rule).
+class ChaseEngine {
+ public:
+  /// `ie` and `program` must outlive the engine.
+  ChaseEngine(const Relation& ie, const GroundProgram* program,
+              ChaseConfig config);
+
+  ChaseEngine(const ChaseEngine&) = delete;
+  ChaseEngine& operator=(const ChaseEngine&) = delete;
+  ~ChaseEngine();  // out-of-line: RunState is incomplete here
+
+  /// Runs a chasing sequence to a terminal instance starting from
+  /// `initial_te` (arity = schema size; null where unknown). Corresponds to
+  /// IsCR when initial_te is all-null, and to the candidate-target `check`
+  /// when initial_te is complete.
+  ChaseOutcome Run(const Tuple& initial_te) const;
+
+  /// Run with the all-null initial template (the paper's (D0, te^{D0})).
+  ChaseOutcome RunFromInitial() const;
+
+  /// Candidate-target check for a complete tuple `t` (Sec. 6's `check`).
+  /// Semantically identical to Run(t).church_rosser, but resumes from a
+  /// lazily-prepared checkpoint — the terminal instance of the all-null
+  /// chase — instead of replaying the axiom closure per candidate. Valid
+  /// because orders and te only grow monotonically: every violation the
+  /// from-scratch run would find, the continuation finds too.
+  bool CheckCandidate(const Tuple& t) const;
+
+  /// Incremental re-chase (Fig. 3 loop): resumes from the same all-null
+  /// terminal checkpoint as CheckCandidate, enforcing the (possibly
+  /// partial) designated target values of `extra_te` on top. Produces the
+  /// same outcome as Run(extra_te) — validated by tests — while skipping
+  /// the replay of everything the all-null chase already derived; the
+  /// interactive framework calls this once per user revision. Stats are
+  /// cumulative from the checkpoint run onwards.
+  ChaseOutcome ResumeWith(const Tuple& extra_te) const;
+
+  const Relation& ie() const { return ie_; }
+  const GroundProgram& program() const { return *program_; }
+  const ChaseConfig& config() const { return config_; }
+
+ private:
+  struct RunState;
+
+  // Builds the all-null terminal checkpoint once; false if the base
+  // specification is not Church-Rosser.
+  bool EnsureCheckpoint() const;
+
+  // Phases of Run(), factored so CheckCandidate can resume mid-way.
+  bool InitState(RunState* st, const Tuple& initial_te) const;
+  bool DrainQueue(RunState* st) const;
+
+  // Applies "insert i ⪯_attr j, close, λ-update" as one action. Returns
+  // false on a validity violation (recorded in state).
+  bool ApplyAddPair(RunState* st, AttrId attr, int i, int j) const;
+  // Applies te[attr] := v. Returns false on a violation.
+  bool ApplySetTe(RunState* st, AttrId attr, const Value& v) const;
+  // Re-evaluates λ for attributes whose order changed.
+  bool FlushLambda(RunState* st) const;
+
+  void EmitOrderEvent(RunState* st, AttrId attr, int i, int j) const;
+  void EmitTeEvent(RunState* st, AttrId attr, const Value& v) const;
+
+  uint64_t OrderKey(AttrId attr, int i, int j) const {
+    return (static_cast<uint64_t>(attr) * static_cast<uint64_t>(n_) +
+            static_cast<uint64_t>(i)) *
+               static_cast<uint64_t>(n_) +
+           static_cast<uint64_t>(j);
+  }
+
+  const Relation& ie_;
+  const GroundProgram* program_;
+  ChaseConfig config_;
+  int n_;
+  int num_attrs_;
+
+  std::vector<int> remaining0_;  ///< residual sizes per ground step
+  std::unordered_map<uint64_t, std::vector<int32_t>> order_watch_;
+  /// Per attribute: 1 iff some ground step watches an order pair of it.
+  std::vector<char> attr_has_order_watch_;
+  /// Per attribute: (step, predicate index) pairs watching te[attr].
+  std::vector<std::vector<std::pair<int32_t, int32_t>>> te_watch_;
+  /// Column values per attribute (cache for orders & the ϕ8 anchor).
+  std::vector<std::vector<Value>> columns_;
+  /// Per attribute: value -> tuple indices carrying it (ϕ8 anchor).
+  std::vector<std::unordered_map<Value, std::vector<int>, ValueHash>>
+      value_index_;
+
+  /// Lazily-built checkpoint for CheckCandidate (terminal all-null state).
+  mutable std::unique_ptr<RunState> checkpoint_;
+  mutable bool checkpoint_failed_ = false;
+};
+
+/// Convenience wrapper: grounds `spec` and runs IsCR (Fig. 4), returning
+/// the unique terminal instance when spec is Church-Rosser.
+ChaseOutcome IsCR(const Specification& spec);
+
+/// The candidate-target check (Sec. 3 / 6): `t` must be complete and agree
+/// with the deduced target on its non-null attributes (callers guarantee
+/// this). True iff (D0, Σ, Im, t) is Church-Rosser and deduces t itself.
+bool CheckCandidateTarget(const ChaseEngine& engine, const Tuple& t);
+
+}  // namespace relacc
+
+#endif  // RELACC_CHASE_CHASE_ENGINE_H_

@@ -1,0 +1,521 @@
+#include "cli/commands.h"
+
+#include <algorithm>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+
+#include "chase/chase_engine.h"
+#include "chase/explain.h"
+#include "cli/console_user.h"
+#include "datagen/profile_generator.h"
+#include "discovery/ar_miner.h"
+#include "framework/framework.h"
+#include "io/spec_io.h"
+#include "pipeline/pipeline.h"
+#include "topk/rank_join_ct.h"
+#include "topk/topk_ct.h"
+#include "util/strings.h"
+
+namespace relacc {
+
+namespace {
+
+/// Loads the spec document named by the first positional argument.
+/// Relative "tuples_csv" references resolve against the document's
+/// directory.
+Result<SpecDocument> LoadSpec(const Args& args) {
+  if (args.positionals().empty()) {
+    return Status::InvalidArgument("expected a <spec.json> argument");
+  }
+  const std::string& path = args.positionals()[0];
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  const auto slash = path.find_last_of('/');
+  const std::string base_dir =
+      slash == std::string::npos ? "" : path.substr(0, slash);
+  return SpecFromJsonText(text.value(), base_dir);
+}
+
+/// Rejects unrecognized flags after a command has consumed its own.
+int CheckUnread(const Args& args, std::ostream& err) {
+  std::vector<std::string> unread = args.UnreadFlags();
+  if (unread.empty()) return 0;
+  err << "error: unknown flag(s):";
+  for (const std::string& f : unread) err << " --" << f;
+  err << "\n";
+  return 2;
+}
+
+void PrintTarget(const Tuple& target, const Schema& schema,
+                 std::ostream& out) {
+  for (AttrId a = 0; a < schema.size(); ++a) {
+    out << "  " << schema.name(a) << " = "
+        << (target.at(a).is_null() ? std::string("(null)")
+                                   : target.at(a).ToString())
+        << "\n";
+  }
+}
+
+int CmdCheck(const Args& args, std::ostream& out, std::ostream& err) {
+  const bool as_json = args.Has("json");
+  const bool quiet = args.Has("quiet");
+  Result<SpecDocument> doc = LoadSpec(args);
+  if (!doc.ok()) {
+    err << "error: " << doc.status().ToString() << "\n";
+    return 1;
+  }
+  if (int rc = CheckUnread(args, err); rc != 0) return rc;
+
+  const Specification& spec = doc.value().spec;
+  ChaseOutcome outcome = IsCR(spec);
+  if (as_json) {
+    out << OutcomeToJson(outcome, spec.ie.schema()).Dump(2) << "\n";
+  } else if (!outcome.church_rosser) {
+    out << "NOT Church-Rosser: " << outcome.violation << "\n";
+  } else {
+    out << "Church-Rosser: yes\n";
+    out << "target " << (outcome.target.IsComplete() ? "(complete)" : "(incomplete)")
+        << ":\n";
+    if (!quiet) PrintTarget(outcome.target, spec.ie.schema(), out);
+  }
+  return outcome.church_rosser ? 0 : 3;
+}
+
+int CmdExplain(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string attr_name = args.GetString("attr");
+  Result<int64_t> depth = args.GetInt("depth", 12);
+  Result<SpecDocument> doc = LoadSpec(args);
+  if (!doc.ok()) {
+    err << "error: " << doc.status().ToString() << "\n";
+    return 1;
+  }
+  if (!depth.ok()) {
+    err << "error: " << depth.status().ToString() << "\n";
+    return 2;
+  }
+  if (int rc = CheckUnread(args, err); rc != 0) return rc;
+
+  const Specification& spec = doc.value().spec;
+  const Schema& schema = spec.ie.schema();
+  ExplainedChase explained(spec);
+  if (!explained.church_rosser()) {
+    err << "error: specification is not Church-Rosser: "
+        << explained.violation() << "\n";
+    return 3;
+  }
+  if (attr_name.empty()) {
+    // Explain every deduced attribute.
+    for (AttrId a = 0; a < schema.size(); ++a) {
+      if (explained.FindTeDerivation(a).has_value()) {
+        out << explained.Explain(*explained.FindTeDerivation(a),
+                                 static_cast<int>(depth.value()));
+        out << "\n";
+      }
+    }
+    return 0;
+  }
+  std::optional<AttrId> attr = schema.IndexOf(attr_name);
+  if (!attr) {
+    err << "error: unknown attribute '" << attr_name << "'\n";
+    return 2;
+  }
+  std::optional<int> d = explained.FindTeDerivation(*attr);
+  if (!d) {
+    out << explained.ExplainTarget(*attr);
+    return 0;
+  }
+  out << explained.Explain(*d, static_cast<int>(depth.value()));
+  return 0;
+}
+
+int CmdTopK(const Args& args, std::ostream& out, std::ostream& err) {
+  Result<int64_t> k = args.GetInt("k", 5);
+  const std::string algo = args.GetString("algo", "topkct");
+  const bool as_json = args.Has("json");
+  Result<SpecDocument> doc = LoadSpec(args);
+  if (!doc.ok()) {
+    err << "error: " << doc.status().ToString() << "\n";
+    return 1;
+  }
+  if (!k.ok()) {
+    err << "error: " << k.status().ToString() << "\n";
+    return 2;
+  }
+  if (algo != "topkct" && algo != "heuristic" && algo != "rankjoin") {
+    err << "error: --algo must be topkct, heuristic or rankjoin\n";
+    return 2;
+  }
+  if (int rc = CheckUnread(args, err); rc != 0) return rc;
+
+  const Specification& spec = doc.value().spec;
+  const GroundProgram program =
+      Instantiate(spec.ie, spec.masters, spec.rules);
+  ChaseEngine engine(spec.ie, &program, spec.config);
+  ChaseOutcome outcome = engine.RunFromInitial();
+  if (!outcome.church_rosser) {
+    err << "error: specification is not Church-Rosser: " << outcome.violation
+        << "\n";
+    return 3;
+  }
+  PreferenceModel pref =
+      PreferenceModel::FromOccurrences(spec.ie, spec.masters);
+  TopKResult result;
+  const int kk = static_cast<int>(k.value());
+  if (algo == "heuristic") {
+    result = TopKCTh(engine, spec.masters, outcome.target, pref, kk);
+  } else if (algo == "rankjoin") {
+    result = RankJoinCT(engine, spec.masters, outcome.target, pref, kk);
+  } else {
+    result = TopKCT(engine, spec.masters, outcome.target, pref, kk);
+  }
+
+  const Schema& schema = spec.ie.schema();
+  if (as_json) {
+    Json json = Json::Object();
+    json.Set("deduced_target", TupleToJson(outcome.target, schema));
+    Json candidates = Json::Array();
+    for (size_t i = 0; i < result.targets.size(); ++i) {
+      Json c = Json::Object();
+      c.Set("rank", Json::Int(static_cast<int64_t>(i) + 1));
+      c.Set("score", Json::Real(result.scores[i]));
+      c.Set("target", TupleToJson(result.targets[i], schema));
+      candidates.Append(std::move(c));
+    }
+    json.Set("candidates", std::move(candidates));
+    json.Set("checks", Json::Int(result.checks));
+    json.Set("heap_pops", Json::Int(result.heap_pops));
+    out << json.Dump(2) << "\n";
+    return 0;
+  }
+  if (outcome.target.IsComplete()) {
+    out << "deduced target is already complete; nothing to rank\n";
+    PrintTarget(outcome.target, schema, out);
+    return 0;
+  }
+  out << "deduced target (incomplete):\n";
+  PrintTarget(outcome.target, schema, out);
+  out << "top-" << kk << " candidates (" << algo << "):\n";
+  for (size_t i = 0; i < result.targets.size(); ++i) {
+    out << "#" << (i + 1) << "  score=" << result.scores[i] << "\n";
+    PrintTarget(result.targets[i], schema, out);
+  }
+  if (result.targets.empty()) out << "(no candidate targets found)\n";
+  return 0;
+}
+
+int CmdFmt(const Args& args, std::ostream& out, std::ostream& err) {
+  const bool rules_only = args.Has("rules-only");
+  Result<SpecDocument> doc = LoadSpec(args);
+  if (!doc.ok()) {
+    err << "error: " << doc.status().ToString() << "\n";
+    return 1;
+  }
+  if (int rc = CheckUnread(args, err); rc != 0) return rc;
+  if (rules_only) {
+    out << FormatProgramDsl(doc.value().spec.rules,
+                            doc.value().spec.ie.schema(),
+                            doc.value().Masters(), doc.value().entity_name);
+  } else {
+    out << SpecToJson(doc.value()).Dump(2) << "\n";
+  }
+  return 0;
+}
+
+int CmdPipeline(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string key = args.GetString("key");
+  Result<int64_t> threads = args.GetInt("threads", 0);
+  const std::string completion = args.GetString("completion", "best");
+  const bool as_json = args.Has("json");
+  Result<SpecDocument> doc = LoadSpec(args);
+  if (!doc.ok()) {
+    err << "error: " << doc.status().ToString() << "\n";
+    return 1;
+  }
+  if (!threads.ok()) {
+    err << "error: " << threads.status().ToString() << "\n";
+    return 2;
+  }
+  if (key.empty()) {
+    err << "error: --key <attr[,attr...]> is required (entity-resolution "
+           "key over the flat relation)\n";
+    return 2;
+  }
+  if (completion != "best" && completion != "heuristic" &&
+      completion != "none") {
+    err << "error: --completion must be best, heuristic or none\n";
+    return 2;
+  }
+  if (int rc = CheckUnread(args, err); rc != 0) return rc;
+
+  const Specification& spec = doc.value().spec;
+  const Schema& schema = spec.ie.schema();
+  ResolverConfig resolver;
+  for (const std::string& part : Split(key, ',')) {
+    std::optional<AttrId> a = schema.IndexOf(std::string(Trim(part)));
+    if (!a) {
+      err << "error: unknown key attribute '" << part << "'\n";
+      return 2;
+    }
+    resolver.key_attrs.push_back(*a);
+  }
+  PipelineOptions options;
+  options.num_threads = static_cast<int>(threads.value());
+  options.completion = completion == "best"
+                           ? CompletionPolicy::kBestCandidate
+                           : completion == "heuristic"
+                                 ? CompletionPolicy::kHeuristic
+                                 : CompletionPolicy::kLeaveNull;
+  PipelineReport report = RunPipelineOnFlat(spec.ie, resolver, spec.masters,
+                                            spec.rules, options);
+  if (as_json) {
+    Json json = Json::Object();
+    json.Set("entities", Json::Int(static_cast<int64_t>(report.entities.size())));
+    json.Set("tuples", Json::Int(report.total_tuples));
+    json.Set("church_rosser", Json::Int(report.num_church_rosser));
+    json.Set("complete_by_chase", Json::Int(report.num_complete_by_chase));
+    json.Set("completed_by_candidates",
+             Json::Int(report.num_completed_by_candidates));
+    json.Set("incomplete", Json::Int(report.num_incomplete));
+    json.Set("deduced_attr_fraction", Json::Real(report.deduced_attr_fraction));
+    Json targets = Json::Array();
+    for (int i = 0; i < report.targets.size(); ++i) {
+      targets.Append(TupleToJson(report.targets.tuple(i), schema));
+    }
+    json.Set("targets", std::move(targets));
+    out << json.Dump(2) << "\n";
+    return 0;
+  }
+  out << "entities resolved:          " << report.entities.size() << "\n"
+      << "input tuples:               " << report.total_tuples << "\n"
+      << "Church-Rosser:              " << report.num_church_rosser << "\n"
+      << "complete via chase:         " << report.num_complete_by_chase << "\n"
+      << "completed via candidates:   " << report.num_completed_by_candidates
+      << "\n"
+      << "still incomplete:           " << report.num_incomplete << "\n"
+      << "attrs deduced by chase:     "
+      << static_cast<int>(report.deduced_attr_fraction * 100.0 + 0.5) << "%\n";
+  return 0;
+}
+
+int CmdInteractive(const Args& args, std::ostream& out, std::ostream& err,
+                   std::istream& in) {
+  Result<int64_t> k = args.GetInt("k", 5);
+  Result<SpecDocument> doc = LoadSpec(args);
+  if (!doc.ok()) {
+    err << "error: " << doc.status().ToString() << "\n";
+    return 1;
+  }
+  if (!k.ok()) {
+    err << "error: " << k.status().ToString() << "\n";
+    return 2;
+  }
+  if (int rc = CheckUnread(args, err); rc != 0) return rc;
+
+  const Specification& spec = doc.value().spec;
+  const Schema& schema = spec.ie.schema();
+  PreferenceModel pref =
+      PreferenceModel::FromOccurrences(spec.ie, spec.masters);
+  ConsoleUser user(schema, in, out);
+  FrameworkOptions options;
+  options.k = static_cast<int>(k.value());
+  FrameworkResult result = RunFramework(spec, pref, &user, options);
+  if (!result.church_rosser) {
+    err << "error: specification is not Church-Rosser; revise the rules\n";
+    return 3;
+  }
+  out << "\n== final target ("
+      << (result.found_complete_target ? "complete" : "partial") << ", "
+      << result.interaction_rounds << " interaction round(s)) ==\n";
+  PrintTarget(result.target, schema, out);
+  return 0;
+}
+
+int CmdDiscover(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string key = args.GetString("key");
+  Result<int64_t> min_support = args.GetInt("min-support", 20);
+  const std::string min_conf_text = args.GetString("min-confidence", "0.98");
+  Result<int64_t> max_rules = args.GetInt("max-rules", 50);
+  Result<SpecDocument> doc = LoadSpec(args);
+  if (!doc.ok()) {
+    err << "error: " << doc.status().ToString() << "\n";
+    return 1;
+  }
+  if (!min_support.ok() || !max_rules.ok()) {
+    err << "error: --min-support / --max-rules expect integers\n";
+    return 2;
+  }
+  char* end = nullptr;
+  const double min_confidence = std::strtod(min_conf_text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || min_confidence < 0.0 ||
+      min_confidence > 1.0) {
+    err << "error: --min-confidence expects a number in [0,1]\n";
+    return 2;
+  }
+  if (key.empty()) {
+    err << "error: --key <attr[,attr...]> is required\n";
+    return 2;
+  }
+  if (int rc = CheckUnread(args, err); rc != 0) return rc;
+
+  const Specification& spec = doc.value().spec;
+  const Schema& schema = spec.ie.schema();
+  ResolverConfig resolver;
+  for (const std::string& part : Split(key, ',')) {
+    std::optional<AttrId> a = schema.IndexOf(std::string(Trim(part)));
+    if (!a) {
+      err << "error: unknown key attribute '" << part << "'\n";
+      return 2;
+    }
+    resolver.key_attrs.push_back(*a);
+  }
+
+  // Bootstrap loop of ar_miner.h: deduce targets with the current Σ, then
+  // mine candidate rules from (instances, deduced targets).
+  ResolutionResult resolution = ResolveEntities(spec.ie, resolver);
+  PipelineOptions options;
+  PipelineReport report = RunPipeline(resolution.entities, spec.masters,
+                                      spec.rules, options);
+  std::vector<Tuple> targets(resolution.entities.size(),
+                             Tuple(std::vector<Value>(schema.size())));
+  for (size_t row = 0; row < report.row_entity.size(); ++row) {
+    targets[report.row_entity[row]] = report.targets.tuple(row);
+  }
+  ArMinerConfig miner;
+  miner.min_support = static_cast<int>(min_support.value());
+  miner.min_confidence = min_confidence;
+  miner.max_rules = static_cast<int>(max_rules.value());
+  std::vector<MinedRule> mined =
+      MineAccuracyRules(resolution.entities, targets, miner);
+
+  out << "# mined " << mined.size() << " candidate rule(s) from "
+      << resolution.entities.size() << " entities\n";
+  for (const MinedRule& m : mined) {
+    out << "# support=" << m.support << " confidence=" << m.confidence << "\n"
+        << FormatRuleDsl(m.rule, schema, doc.value().Masters(),
+                         doc.value().entity_name);
+  }
+  return 0;
+}
+
+int CmdGen(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string profile = args.GetString("profile", "med");
+  Result<int64_t> entities = args.GetInt("entities", 50);
+  Result<int64_t> seed = args.GetInt("seed", 42);
+  Result<int64_t> index = args.GetInt("entity", 0);
+  const std::string output = args.GetString("out");
+  if (!entities.ok() || !seed.ok() || !index.ok()) {
+    err << "error: --entities / --seed / --entity expect integers\n";
+    return 2;
+  }
+  if (profile != "med" && profile != "cfp") {
+    err << "error: --profile must be med or cfp\n";
+    return 2;
+  }
+  if (int rc = CheckUnread(args, err); rc != 0) return rc;
+
+  ProfileConfig config = profile == "med"
+                             ? MedConfig(static_cast<uint64_t>(seed.value()))
+                             : CfpConfig(static_cast<uint64_t>(seed.value()));
+  config.num_entities = static_cast<int>(entities.value());
+  config.master_size =
+      std::max(1, static_cast<int>(entities.value() * 8 / 10));
+  EntityDataset dataset = GenerateProfile(config);
+  if (index.value() < 0 ||
+      index.value() >= static_cast<int64_t>(dataset.entities.size())) {
+    err << "error: --entity out of range (dataset has "
+        << dataset.entities.size() << " entities)\n";
+    return 2;
+  }
+
+  SpecDocument doc;
+  doc.spec = dataset.SpecFor(static_cast<int>(index.value()));
+  doc.entity_name = "R";
+  for (size_t m = 0; m < doc.spec.masters.size(); ++m) {
+    doc.master_names.push_back("m" + std::to_string(m));
+  }
+  const std::string text = SpecToJson(doc).Dump(2) + "\n";
+  if (output.empty()) {
+    out << text;
+    return 0;
+  }
+  Status written = WriteFile(output, text);
+  if (!written.ok()) {
+    err << "error: " << written.ToString() << "\n";
+    return 1;
+  }
+  out << "wrote " << output << " (entity " << index.value() << " of "
+      << dataset.entities.size() << ", " << doc.spec.ie.size()
+      << " tuples, " << doc.spec.rules.size() << " rules)\n";
+  return 0;
+}
+
+}  // namespace
+
+std::string CliUsage() {
+  return
+      "relacc — determine the relative accuracy of attributes "
+      "(Cao/Fan/Yu, SIGMOD'13)\n"
+      "\n"
+      "usage: relacc <command> <spec.json> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  check     Church-Rosser check + deduced target (IsCR)\n"
+      "            [--json] [--quiet]\n"
+      "  explain   proof tree for deduced target attributes\n"
+      "            [--attr <name>] [--depth N]\n"
+      "  topk      top-k candidate targets for an incomplete target\n"
+      "            [--k N] [--algo topkct|heuristic|rankjoin] [--json]\n"
+      "  fmt       normalize a spec document / its rule program\n"
+      "            [--rules-only]\n"
+      "  pipeline  flat relation -> entity resolution -> per-entity targets\n"
+      "            --key <attr[,attr...]> [--threads N]\n"
+      "            [--completion best|heuristic|none] [--json]\n"
+      "  interactive  the Fig. 3 user loop on one entity instance\n"
+      "            [--k N]\n"
+      "  discover  mine candidate form-(1) rules from a flat relation\n"
+      "            --key <attr[,attr...]> [--min-support N]\n"
+      "            [--min-confidence X] [--max-rules N]\n"
+      "  gen       emit a sample spec document from the built-in generators\n"
+      "            [--profile med|cfp] [--entities N] [--seed N]\n"
+      "            [--entity I] [--out FILE]\n"
+      "  help      this text\n"
+      "\n"
+      "The spec document format is described in io/spec_io.h; rules use the\n"
+      "DSL of dsl/parser.h (an ASCII form of the paper's Table 3 notation).\n";
+}
+
+int RunCliCommand(const Args& args, std::ostream& out, std::ostream& err) {
+  return RunCliCommand(args, out, err, std::cin);
+}
+
+int RunCliCommand(const Args& args, std::ostream& out, std::ostream& err,
+                  std::istream& in) {
+  const std::string& cmd = args.command();
+  if (cmd == "check") return CmdCheck(args, out, err);
+  if (cmd == "explain") return CmdExplain(args, out, err);
+  if (cmd == "topk") return CmdTopK(args, out, err);
+  if (cmd == "fmt") return CmdFmt(args, out, err);
+  if (cmd == "pipeline") return CmdPipeline(args, out, err);
+  if (cmd == "interactive") return CmdInteractive(args, out, err, in);
+  if (cmd == "discover") return CmdDiscover(args, out, err);
+  if (cmd == "gen") return CmdGen(args, out, err);
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    out << CliUsage();
+    return 0;
+  }
+  err << "error: unknown command '" << cmd << "'\n\n" << CliUsage();
+  return 2;
+}
+
+int RunCli(const std::vector<std::string>& argv, std::ostream& out,
+           std::ostream& err) {
+  Result<Args> args = Args::Parse(argv);
+  if (!args.ok()) {
+    err << "error: " << args.status().ToString() << "\n\n" << CliUsage();
+    return 2;
+  }
+  return RunCliCommand(args.value(), out, err);
+}
+
+}  // namespace relacc

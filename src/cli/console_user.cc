@@ -1,0 +1,103 @@
+#include "cli/console_user.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace relacc {
+
+ConsoleUser::ConsoleUser(const Schema& schema, std::istream& in,
+                         std::ostream& out)
+    : schema_(schema), in_(in), out_(out) {}
+
+void ConsoleUser::PrintState(const Tuple& deduced_te,
+                             const std::vector<Tuple>& candidates) {
+  out_ << "\n-- round " << (rounds_ + 1) << " --\n";
+  out_ << "deduced target so far:\n";
+  for (AttrId a = 0; a < schema_.size(); ++a) {
+    out_ << "  " << schema_.name(a) << " = "
+         << (deduced_te.at(a).is_null() ? std::string("?")
+                                        : deduced_te.at(a).ToString())
+         << "\n";
+  }
+  if (candidates.empty()) {
+    out_ << "no candidate targets could be computed.\n";
+  } else {
+    out_ << "candidates:\n";
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      out_ << "  #" << (i + 1) << ":";
+      for (AttrId a = 0; a < schema_.size(); ++a) {
+        if (!deduced_te.at(a).is_null()) continue;  // only show open attrs
+        out_ << " " << schema_.name(a) << "="
+             << candidates[i].at(a).ToString();
+      }
+      out_ << "\n";
+    }
+  }
+  out_ << "command (accept <n> | set <attr> <value> | quit): " << std::flush;
+}
+
+UserOracle::Response ConsoleUser::Inspect(
+    const Tuple& deduced_te, const std::vector<Tuple>& candidates) {
+  Response response;
+  PrintState(deduced_te, candidates);
+  std::string line;
+  while (std::getline(in_, line)) {
+    std::istringstream tokens(line);
+    std::string verb;
+    tokens >> verb;
+    if (verb.empty()) {
+      out_ << "> " << std::flush;
+      continue;
+    }
+    if (verb == "quit" || verb == "q") {
+      ++rounds_;
+      return response;  // empty response: framework stops
+    }
+    if (verb == "accept" || verb == "a") {
+      int n = 0;
+      if (tokens >> n && n >= 1 && n <= static_cast<int>(candidates.size())) {
+        ++rounds_;
+        response.accepted_candidate = n - 1;
+        return response;
+      }
+      out_ << "no such candidate; try again: " << std::flush;
+      continue;
+    }
+    if (verb == "set" || verb == "s") {
+      std::string attr_name;
+      tokens >> attr_name;
+      std::string rest;
+      std::getline(tokens, rest);
+      std::string value_text(Trim(rest));
+      // Strip optional surrounding quotes.
+      if (value_text.size() >= 2 && value_text.front() == '"' &&
+          value_text.back() == '"') {
+        value_text = value_text.substr(1, value_text.size() - 2);
+      }
+      std::optional<AttrId> attr = schema_.IndexOf(attr_name);
+      if (!attr) {
+        out_ << "unknown attribute '" << attr_name << "'; try again: "
+             << std::flush;
+        continue;
+      }
+      Result<Value> value = Value::Parse(schema_.type(*attr), value_text);
+      if (!value.ok() || value.value().is_null()) {
+        out_ << "cannot parse '" << value_text << "' as "
+             << ValueTypeName(schema_.type(*attr)) << "; try again: "
+             << std::flush;
+        continue;
+      }
+      ++rounds_;
+      response.revision = {*attr, value.value()};
+      return response;
+    }
+    out_ << "unknown command '" << verb << "'; try again: " << std::flush;
+  }
+  ++rounds_;
+  return response;  // EOF: behave like quit
+}
+
+}  // namespace relacc

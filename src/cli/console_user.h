@@ -1,0 +1,44 @@
+#ifndef RELACC_CLI_CONSOLE_USER_H_
+#define RELACC_CLI_CONSOLE_USER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/schema.h"
+#include "framework/framework.h"
+
+namespace relacc {
+
+/// A UserOracle over text streams — the human side of the Fig. 3 loop for
+/// the `relacc interactive` command (and for tests, which script the input
+/// stream). Each round prints the deduced target and the top-k candidates,
+/// then reads one command:
+///
+///   accept <n>          take candidate #n (1-based) as the target
+///   set <attr> <value>  reveal the accurate value of one attribute
+///                       (values parse per the schema; quotes optional)
+///   quit                stop; the framework returns the partial target
+///
+/// Unrecognized input re-prompts (EOF behaves like quit).
+class ConsoleUser : public UserOracle {
+ public:
+  ConsoleUser(const Schema& schema, std::istream& in, std::ostream& out);
+
+  Response Inspect(const Tuple& deduced_te,
+                   const std::vector<Tuple>& candidates) override;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  void PrintState(const Tuple& deduced_te,
+                  const std::vector<Tuple>& candidates);
+
+  const Schema& schema_;
+  std::istream& in_;
+  std::ostream& out_;
+  int rounds_ = 0;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_CLI_CONSOLE_USER_H_

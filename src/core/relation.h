@@ -1,0 +1,64 @@
+#ifndef RELACC_CORE_RELATION_H_
+#define RELACC_CORE_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/tuple.h"
+#include "util/status.h"
+
+namespace relacc {
+
+/// A schema plus a bag of tuples. Used both for entity instances Ie and for
+/// master relations Im; also the unit of CSV (de)serialization.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  int size() const { return static_cast<int>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+
+  const Tuple& tuple(int i) const { return tuples_[i]; }
+  Tuple* mutable_tuple(int i) { return &tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Appends `t`; aborts if arity mismatches the schema.
+  void Add(Tuple t);
+
+  /// All distinct non-null values appearing in column `a`, in first-seen
+  /// order.
+  std::vector<Value> ColumnDomain(AttrId a) const;
+
+  /// Serializes (header + rows) as CSV.
+  std::string ToCsv() const;
+
+  /// Parses a CSV produced by ToCsv back into a relation over `schema`
+  /// (the header row is validated against the schema's attribute names).
+  static Result<Relation> FromCsv(const Schema& schema, const std::string& text);
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+/// A set of tuples pertaining to one real-world entity (the paper's Ie),
+/// tagged with the entity id assigned by entity resolution / the generator.
+class EntityInstance : public Relation {
+ public:
+  EntityInstance() = default;
+  EntityInstance(int64_t entity_id, Schema schema)
+      : Relation(std::move(schema)), entity_id_(entity_id) {}
+
+  int64_t entity_id() const { return entity_id_; }
+
+ private:
+  int64_t entity_id_ = -1;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_CORE_RELATION_H_

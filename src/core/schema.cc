@@ -1,0 +1,41 @@
+#include "core/schema.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace relacc {
+
+Schema::Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {
+  for (AttrId i = 0; i < static_cast<AttrId>(attrs_.size()); ++i) {
+    index_.emplace(attrs_[i].name, i);
+  }
+}
+
+std::optional<AttrId> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+AttrId Schema::MustIndexOf(const std::string& name) const {
+  auto id = IndexOf(name);
+  if (!id.has_value()) {
+    std::fprintf(stderr, "Schema::MustIndexOf: no attribute '%s'\n",
+                 name.c_str());
+    std::abort();
+  }
+  return *id;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (attrs_.size() != other.attrs_.size()) return false;
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name != other.attrs_[i].name ||
+        attrs_[i].type != other.attrs_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace relacc

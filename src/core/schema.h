@@ -1,0 +1,54 @@
+#ifndef RELACC_CORE_SCHEMA_H_
+#define RELACC_CORE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/value.h"
+
+namespace relacc {
+
+/// Index of an attribute within a schema.
+using AttrId = int;
+
+/// One attribute: a name plus the type of its domain.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// A relation schema R = (A1, ..., An). Immutable after construction;
+/// shared by reference between relations, rules and algorithms.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs);
+
+  /// Number of attributes n.
+  int size() const { return static_cast<int>(attrs_.size()); }
+
+  const Attribute& attr(AttrId id) const { return attrs_[id]; }
+  const std::string& name(AttrId id) const { return attrs_[id].name; }
+  ValueType type(AttrId id) const { return attrs_[id].type; }
+
+  /// Id of the attribute called `name`, or nullopt.
+  std::optional<AttrId> IndexOf(const std::string& name) const;
+
+  /// Id of `name`; aborts if absent. For code paths where the attribute is
+  /// known to exist (builders over a fixed schema).
+  AttrId MustIndexOf(const std::string& name) const;
+
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Attribute> attrs_;
+  std::unordered_map<std::string, AttrId> index_;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_CORE_SCHEMA_H_

@@ -1,0 +1,29 @@
+#include "core/tuple.h"
+
+namespace relacc {
+
+bool Tuple::IsComplete() const {
+  for (const Value& v : values_) {
+    if (v.is_null()) return false;
+  }
+  return true;
+}
+
+int Tuple::NullCount() const {
+  int n = 0;
+  for (const Value& v : values_) n += v.is_null() ? 1 : 0;
+  return n;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += " | ";
+    const std::string s = values_[i].ToString();
+    out += s.empty() ? "null" : s;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace relacc

@@ -1,0 +1,58 @@
+#ifndef RELACC_CORE_TUPLE_H_
+#define RELACC_CORE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/value.h"
+
+namespace relacc {
+
+/// A tuple over some schema. The schema is held by the containing Relation;
+/// a Tuple is just the value vector plus bookkeeping ids used by the data
+/// generators and the truth-discovery substrate (source / snapshot of the
+/// observation; -1 when not applicable).
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  int size() const { return static_cast<int>(values_.size()); }
+
+  const Value& at(AttrId a) const { return values_[a]; }
+  void set(AttrId a, Value v) { values_[a] = std::move(v); }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  /// True iff no attribute is null.
+  bool IsComplete() const;
+
+  /// Number of null attributes.
+  int NullCount() const;
+
+  int64_t id() const { return id_; }
+  void set_id(int64_t id) { id_ = id; }
+
+  int source() const { return source_; }
+  void set_source(int s) { source_ = s; }
+
+  int snapshot() const { return snapshot_; }
+  void set_snapshot(int s) { snapshot_ = s; }
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+
+  /// Pipe-separated rendering for logs.
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+  int64_t id_ = -1;
+  int source_ = -1;
+  int snapshot_ = -1;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_CORE_TUPLE_H_

@@ -1,0 +1,185 @@
+#include "core/value.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace relacc {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBool:
+      return "bool";
+  }
+  return "unknown";
+}
+
+std::optional<double> Value::AsNumeric() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(as_int());
+    case ValueType::kDouble:
+      return as_double();
+    default:
+      return std::nullopt;
+  }
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (type() == other.type()) return data_ == other.data_;
+  // Cross-type: only numeric pairs may be equal.
+  const auto a = AsNumeric();
+  const auto b = other.AsNumeric();
+  if (a && b) return *a == *b;
+  return false;
+}
+
+std::optional<int> Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) return std::nullopt;
+  const auto a = AsNumeric();
+  const auto b = other.AsNumeric();
+  if (a && b) {
+    if (*a < *b) return -1;
+    if (*a > *b) return 1;
+    return 0;
+  }
+  if (type() != other.type()) return std::nullopt;
+  switch (type()) {
+    case ValueType::kString: {
+      const int c = as_string().compare(other.as_string());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case ValueType::kBool:
+      return static_cast<int>(as_bool()) - static_cast<int>(other.as_bool());
+    default:
+      return std::nullopt;
+  }
+}
+
+bool Value::TotalLess(const Value& other) const {
+  auto cls = [](const Value& v) {
+    switch (v.type()) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kBool:
+        return 1;
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        return 2;
+      case ValueType::kString:
+        return 3;
+    }
+    return 4;
+  };
+  const int ca = cls(*this);
+  const int cb = cls(other);
+  if (ca != cb) return ca < cb;
+  switch (ca) {
+    case 0:
+      return false;
+    case 1:
+      return !as_bool() && other.as_bool();
+    case 2: {
+      const double a = *AsNumeric();
+      const double b = *other.AsNumeric();
+      if (a != b) return a < b;
+      // Tie-break so int 3 and double 3.0 order deterministically.
+      return static_cast<int>(type()) < static_cast<int>(other.type());
+    }
+    default:
+      return as_string() < other.as_string();
+  }
+}
+
+std::size_t Value::Hash() const {
+  auto mix = [](std::size_t h) {
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+  };
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kBool:
+      return mix(as_bool() ? 0xc0ffee : 0xdecaf);
+    case ValueType::kInt:
+    case ValueType::kDouble: {
+      // Numeric values that compare equal must hash equal.
+      const double d = *AsNumeric();
+      if (d == static_cast<double>(static_cast<int64_t>(d)) &&
+          std::abs(d) < 9.0e15) {
+        return mix(static_cast<std::size_t>(static_cast<int64_t>(d)));
+      }
+      std::size_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(d));
+      return mix(bits);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(as_string());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kDouble: {
+      std::ostringstream ss;
+      ss << as_double();
+      return ss.str();
+    }
+    case ValueType::kString:
+      return as_string();
+    case ValueType::kBool:
+      return as_bool() ? "true" : "false";
+  }
+  return "";
+}
+
+Result<Value> Value::Parse(ValueType type, const std::string& text) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt: {
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError("not an int: " + text);
+      }
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::ParseError("not a double: " + text);
+      }
+      return Value::Real(v);
+    }
+    case ValueType::kString:
+      return Value::Str(text);
+    case ValueType::kBool: {
+      if (text == "true" || text == "1") return Value::Bool(true);
+      if (text == "false" || text == "0") return Value::Bool(false);
+      return Status::ParseError("not a bool: " + text);
+    }
+  }
+  return Status::ParseError("unknown type");
+}
+
+}  // namespace relacc

@@ -1,0 +1,90 @@
+#ifndef RELACC_CORE_VALUE_H_
+#define RELACC_CORE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "util/status.h"
+
+namespace relacc {
+
+/// Type tag of a Value.
+enum class ValueType { kNull = 0, kInt, kDouble, kString, kBool };
+
+/// Name of a value type ("null", "int", ...).
+const char* ValueTypeName(ValueType type);
+
+/// An attribute value: a tagged union over {null, int64, double, string,
+/// bool}. Values are immutable once constructed; copies are cheap for all
+/// alternatives except long strings.
+///
+/// Comparison semantics follow the paper's first-order reading:
+///  * `a == b` is true iff both are null, or both are non-null, of
+///    compatible type, and equal (int/double cross-compare numerically);
+///  * order comparisons (<, <=, >, >=) involving null are false;
+///  * values of incomparable types are unequal and unordered.
+class Value {
+ public:
+  /// Null value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Data(v)); }
+  static Value Real(double v) { return Value(Data(v)); }
+  static Value Str(std::string v) { return Value(Data(std::move(v))); }
+  static Value Bool(bool v) { return Value(Data(v)); }
+
+  ValueType type() const { return static_cast<ValueType>(data_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors. Preconditions: matching type().
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  bool as_bool() const { return std::get<bool>(data_); }
+
+  /// Numeric view: int and double both convert; nullopt otherwise.
+  std::optional<double> AsNumeric() const;
+
+  /// Equality per the class comment.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Three-way comparison for *comparable* values: negative/zero/positive.
+  /// nullopt when the pair is not ordered (null involved, or type mismatch
+  /// that is not numeric-numeric).
+  std::optional<int> Compare(const Value& other) const;
+
+  /// Total order usable as a container key: null < bool < numeric < string,
+  /// and deterministic within each class. NOT the paper's semantics; use
+  /// Compare for rule evaluation.
+  bool TotalLess(const Value& other) const;
+
+  /// Stable hash, equal values hash equal (int 3 and double 3.0 collide by
+  /// design since they compare equal).
+  std::size_t Hash() const;
+
+  /// Rendering for logs/CSV: null -> "", bool -> "true"/"false".
+  std::string ToString() const;
+
+  /// Parses `text` as `type`; empty text parses to Null for any type.
+  static Result<Value> Parse(ValueType type, const std::string& text);
+
+ private:
+  using Data = std::variant<std::monostate, int64_t, double, std::string, bool>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+/// std::hash adapter so Value can key unordered containers.
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_CORE_VALUE_H_

@@ -1,0 +1,38 @@
+#include "datagen/dataset.h"
+
+namespace relacc {
+
+std::vector<AccuracyRule> EntityDataset::FilteredRules(
+    RuleFormFilter filter) const {
+  std::vector<AccuracyRule> out;
+  for (const AccuracyRule& r : rules) {
+    const bool is_form1 = r.form == AccuracyRule::Form::kTuplePair;
+    if (filter == RuleFormFilter::kForm1Only && !is_form1) continue;
+    if (filter == RuleFormFilter::kForm2Only && is_form1) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Relation> EntityDataset::TruncatedMasters(int size) const {
+  std::vector<Relation> out = masters;
+  if (!out.empty()) {
+    Relation truncated(out[0].schema());
+    for (int i = 0; i < out[0].size() && i < size; ++i) {
+      truncated.Add(out[0].tuple(i));
+    }
+    out[0] = std::move(truncated);
+  }
+  return out;
+}
+
+Specification EntityDataset::SpecFor(int i, RuleFormFilter filter) const {
+  Specification spec;
+  spec.ie = entities[i];
+  spec.masters = masters;
+  spec.rules = FilteredRules(filter);
+  spec.config = chase_config;
+  return spec;
+}
+
+}  // namespace relacc

@@ -1,0 +1,361 @@
+#include "datagen/profile_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rules/rule_builder.h"
+#include "util/rng.h"
+
+namespace relacc {
+namespace {
+
+/// Deterministic value vocabulary: attribute `attr` of entity `e` takes
+/// "w<h>" where h mixes the coordinates. Small per-attribute vocabularies
+/// give realistic duplicate values across entities.
+std::string Vocab(const std::string& ds, int attr, uint64_t h, int vocab) {
+  const uint64_t mixed =
+      (h * 0x9e3779b97f4a7c15ULL) ^ (static_cast<uint64_t>(attr) << 32);
+  return ds + "_a" + std::to_string(attr) + "_v" +
+         std::to_string(mixed % static_cast<uint64_t>(vocab));
+}
+
+struct Layout {
+  int key = 0;
+  int version = 1;
+  int cur_begin, cur_end;    // [begin, end)
+  int mst_begin, mst_end;
+  int dep_begin, dep_end;
+  int free_begin, free_end;
+  int total;
+};
+
+Layout MakeLayout(const ProfileConfig& c) {
+  Layout l;
+  l.cur_begin = 2;
+  l.cur_end = l.cur_begin + c.num_currency_attrs;
+  l.mst_begin = l.cur_end;
+  l.mst_end = l.mst_begin + c.num_master_attrs;
+  l.dep_begin = l.mst_end;
+  l.dep_end = l.dep_begin + c.num_dep_attrs;
+  l.free_begin = l.dep_end;
+  l.free_end = l.free_begin + c.num_free_attrs;
+  l.total = l.free_end;
+  return l;
+}
+
+Schema MakeSchema(const ProfileConfig& c, const Layout& l) {
+  std::vector<Attribute> attrs(l.total);
+  attrs[l.key] = {"key", ValueType::kString};
+  attrs[l.version] = {"version", ValueType::kInt};
+  for (int a = l.cur_begin; a < l.cur_end; ++a) {
+    attrs[a] = {"cur_" + std::to_string(a - l.cur_begin), ValueType::kString};
+  }
+  for (int a = l.mst_begin; a < l.mst_end; ++a) {
+    attrs[a] = {"mst_" + std::to_string(a - l.mst_begin), ValueType::kString};
+  }
+  for (int a = l.dep_begin; a < l.dep_end; ++a) {
+    attrs[a] = {"dep_" + std::to_string(a - l.dep_begin), ValueType::kString};
+  }
+  for (int a = l.free_begin; a < l.free_end; ++a) {
+    attrs[a] = {"free_" + std::to_string(a - l.free_begin),
+                ValueType::kString};
+  }
+  return Schema(std::move(attrs));
+}
+
+}  // namespace
+
+ProfileConfig MedConfig(uint64_t seed) {
+  ProfileConfig c;
+  c.name = "med";
+  c.seed = seed;
+  c.num_entities = 2700;
+  c.mean_extra_tuples = 3.0;
+  c.max_tuples = 83;
+  c.num_currency_attrs = 9;
+  c.num_master_attrs = 4;
+  c.num_dep_attrs = 13;
+  c.num_free_attrs = 2;  // 30 attributes total
+  c.master_size = 2400;
+  c.num_form2_rules = 15;
+  c.form1_variants = 3;  // ~90 form-1 rules incl. variants
+  c.null_prob = 0.02;
+  c.free_corruption_prob = 0.05;
+  c.mst_noise_prob = 0.45;
+  return c;
+}
+
+ProfileConfig CfpConfig(uint64_t seed) {
+  ProfileConfig c;
+  c.name = "cfp";
+  c.seed = seed;
+  c.num_entities = 100;
+  c.mean_extra_tuples = 4.0;  // ~5 tuples on average, 1..15
+  c.max_tuples = 15;
+  c.num_currency_attrs = 8;
+  c.num_master_attrs = 4;
+  c.num_dep_attrs = 6;
+  c.num_free_attrs = 2;  // 22 attributes total
+  c.master_size = 55;
+  c.num_form2_rules = 15;
+  c.form1_variants = 1;  // 28 form-1 rules in the paper; fewer variants
+  c.null_prob = 0.015;
+  c.free_corruption_prob = 0.03;
+  c.mst_noise_prob = 0.22;
+  return c;
+}
+
+EntityDataset GenerateProfile(const ProfileConfig& c) {
+  const Layout l = MakeLayout(c);
+  EntityDataset ds;
+  ds.name = c.name;
+  ds.schema = MakeSchema(c, l);
+  Rng rng(c.seed);
+
+  // --- master relation ---------------------------------------------------
+  // Schema: key | bucket | mst_0..mst_{M-1}. `bucket` partitions Im so the
+  // bucketed form-(2) rule variants stay semantically disjoint.
+  Schema master_schema = [&] {
+    std::vector<Attribute> attrs;
+    attrs.push_back({"key", ValueType::kString});
+    attrs.push_back({"bucket", ValueType::kInt});
+    for (int a = l.mst_begin; a < l.mst_end; ++a) {
+      attrs.push_back({ds.schema.name(a), ValueType::kString});
+    }
+    return Schema(std::move(attrs));
+  }();
+
+  const int buckets_per_attr =
+      std::max(1, (c.num_form2_rules + c.num_master_attrs - 1) /
+                      std::max(1, c.num_master_attrs));
+
+  // Entities covered by master data: a random subset of size master_size.
+  std::vector<int> entity_order(c.num_entities);
+  for (int i = 0; i < c.num_entities; ++i) entity_order[i] = i;
+  rng.Shuffle(&entity_order);
+  std::vector<char> covered(c.num_entities, 0);
+  for (int i = 0; i < c.num_entities && i < c.master_size; ++i) {
+    covered[entity_order[i]] = 1;
+  }
+
+  Relation master(master_schema);
+
+  // --- entities ------------------------------------------------------------
+  ds.entities.reserve(c.num_entities);
+  ds.truths.reserve(c.num_entities);
+  for (int e = 0; e < c.num_entities; ++e) {
+    const std::string key = c.name + "-e" + std::to_string(e);
+    const uint64_t eh = static_cast<uint64_t>(e) + 1;
+
+    // Tuple count: min + exponential tail, clamped (Med: 1..83, mean ~4).
+    int t_count = c.min_tuples +
+                  static_cast<int>(
+                      -c.mean_extra_tuples *
+                      std::log(std::max(1e-12, rng.UniformDouble())));
+    t_count = std::min(std::max(t_count, c.min_tuples), c.max_tuples);
+
+    // Observed versions; the ground truth is defined at the *maximum
+    // observed* version (the target draws values from Ie, Sec. 1).
+    std::vector<int64_t> versions(t_count);
+    int64_t vmax = 1;
+    for (int t = 0; t < t_count; ++t) {
+      versions[t] = rng.UniformInt(1, c.max_version);
+      vmax = std::max(vmax, versions[t]);
+    }
+
+    // The version is embedded in the value so that a currency-ordered
+    // attribute never *recurs* to an earlier value — recurrence would make
+    // the currency rule genuinely conflicting (non-Church-Rosser), which
+    // real hand-written ARs avoid by construction.
+    auto cur_value = [&](int attr, int64_t v) {
+      return Value::Str("v" + std::to_string(v) + "_" +
+                        Vocab(c.name, attr, eh * 131, c.values_per_attr));
+    };
+    auto true_value = [&](int attr) {
+      return Value::Str(Vocab(c.name, attr, eh * 977, c.values_per_attr));
+    };
+
+    // Ground-truth tuple.
+    std::vector<Value> truth(l.total, Value::Null());
+    truth[l.key] = Value::Str(key);
+    truth[l.version] = Value::Int(vmax);
+    for (int a = l.cur_begin; a < l.cur_end; ++a) truth[a] = cur_value(a, vmax);
+    for (int a = l.mst_begin; a < l.free_end; ++a) truth[a] = true_value(a);
+
+    // Master tuple for covered entities.
+    if (covered[e]) {
+      std::vector<Value> m(master_schema.size());
+      m[0] = Value::Str(key);
+      m[1] = Value::Int(static_cast<int64_t>(eh % buckets_per_attr));
+      for (int a = l.mst_begin; a < l.mst_end; ++a) {
+        m[2 + (a - l.mst_begin)] = truth[a];
+      }
+      master.Add(Tuple(std::move(m)));
+    }
+
+    // Entity-level corruption of free attributes: a corrupted attribute
+    // has a wrong variant circulating among ~half of its observations.
+    std::vector<char> free_corrupted(l.total, 0);
+    for (int a = l.free_begin; a < l.free_end; ++a) {
+      free_corrupted[a] = rng.Bernoulli(c.free_corruption_prob) ? 1 : 0;
+    }
+
+    // Pre-draw the mst observation plan, guaranteeing at least one correct
+    // observation per attribute. Without that guarantee, a column whose
+    // only non-null observation is wrong would λ-assign the wrong value to
+    // te and *conflict* with the master rule — a non-Church-Rosser
+    // specification, which hand-curated rule sets avoid (Sec. 3).
+    enum class MstObs : char { kNull, kWrong, kCorrect };
+    std::vector<std::vector<MstObs>> mst_plan(
+        c.num_master_attrs, std::vector<MstObs>(t_count, MstObs::kNull));
+    for (int m = 0; m < c.num_master_attrs; ++m) {
+      bool has_correct = false;
+      for (int t = 0; t < t_count; ++t) {
+        if (rng.Bernoulli(c.null_prob)) {
+          mst_plan[m][t] = MstObs::kNull;
+        } else if (rng.Bernoulli(c.mst_noise_prob)) {
+          mst_plan[m][t] = MstObs::kWrong;
+        } else {
+          mst_plan[m][t] = MstObs::kCorrect;
+          has_correct = true;
+        }
+      }
+      if (!has_correct) {
+        mst_plan[m][static_cast<std::size_t>(
+            rng.NextBelow(static_cast<uint64_t>(t_count)))] =
+            MstObs::kCorrect;
+      }
+    }
+
+    // Observations.
+    EntityInstance inst(e, ds.schema);
+    for (int t = 0; t < t_count; ++t) {
+      std::vector<Value> row(l.total, Value::Null());
+      row[l.key] = Value::Str(key);
+      row[l.version] = Value::Int(versions[t]);
+      for (int a = l.cur_begin; a < l.cur_end; ++a) {
+        if (rng.Bernoulli(c.null_prob)) continue;  // stays null
+        row[a] = cur_value(a, versions[t]);
+      }
+      // Master-covered attributes: noisy observations per the pre-drawn
+      // plan; a wrong observation is a distinct per-tuple variant so wrong
+      // values do not accidentally form majorities.
+      for (int a = l.mst_begin; a < l.mst_end; ++a) {
+        switch (mst_plan[a - l.mst_begin][t]) {
+          case MstObs::kNull:
+            break;
+          case MstObs::kWrong:
+            // A systematic wrong variant (one per entity-attribute): real
+            // dirty data repeats the same stale/mistyped value, which makes
+            // it a genuine competitor in the preference model (the paper's
+            // top-k curves rise gradually with k for exactly this reason).
+            row[a] = Value::Str(truth[a].as_string() + "~alt");
+            break;
+          case MstObs::kCorrect:
+            row[a] = truth[a];
+            break;
+        }
+      }
+      // Dependent attributes follow the health of their parent mst
+      // attribute (arena follows team): tuples with the wrong parent carry
+      // a stale dependent value.
+      for (int a = l.dep_begin; a < l.dep_end; ++a) {
+        if (rng.Bernoulli(c.null_prob)) continue;
+        const int parent = l.mst_begin + (a - l.dep_begin) %
+                                             std::max(1, c.num_master_attrs);
+        const bool parent_ok =
+            !row[parent].is_null() && row[parent] == truth[parent];
+        if (parent_ok) {
+          row[a] = truth[a];
+        } else {
+          row[a] = Value::Str(truth[a].as_string() + "~stale");
+        }
+      }
+      for (int a = l.free_begin; a < l.free_end; ++a) {
+        if (rng.Bernoulli(c.null_prob)) continue;
+        if (free_corrupted[a] && rng.Bernoulli(0.5)) {
+          row[a] = Value::Str(truth[a].as_string() + "~alt");
+        } else {
+          row[a] = truth[a];
+        }
+      }
+      Tuple tuple(std::move(row));
+      tuple.set_id(t);
+      inst.Add(std::move(tuple));
+    }
+    ds.entities.push_back(std::move(inst));
+    ds.truths.emplace_back(std::move(truth));
+  }
+  ds.masters.push_back(std::move(master));
+
+  // --- accuracy rules ------------------------------------------------------
+  // Version ranges partition the form-1 variants (each variant constrains
+  // t2[version] to one band; the union is the unrestricted rule).
+  auto band = [&](int variant, int variants) {
+    const int lo = 1 + variant * c.max_version / variants;
+    const int hi = (variant + 1) * c.max_version / variants;
+    return std::pair<int64_t, int64_t>(lo, hi);
+  };
+
+  // ϕ1-style currency on version itself.
+  for (int v = 0; v < c.form1_variants; ++v) {
+    const auto [lo, hi] = band(v, c.form1_variants);
+    AccuracyRule r =
+        RuleBuilder(ds.schema, "cur:version/" + std::to_string(v))
+            .WhereAttrs("version", CompareOp::kLt, "version")
+            .WhereConst(2, "version", CompareOp::kGe, Value::Int(lo))
+            .WhereConst(2, "version", CompareOp::kLe, Value::Int(hi))
+            .Currency()
+            .Concludes("version");
+    ds.rules.push_back(std::move(r));
+  }
+  // ϕ2/ϕ3-style: currency propagates to the cur_* attributes.
+  for (int a = l.cur_begin; a < l.cur_end; ++a) {
+    const std::string& name = ds.schema.name(a);
+    for (int v = 0; v < c.form1_variants; ++v) {
+      const auto [lo, hi] = band(v, c.form1_variants);
+      AccuracyRule r =
+          RuleBuilder(ds.schema, "cur:" + name + "/" + std::to_string(v))
+              .WhereOrder("version", /*strict=*/true)
+              .WhereConst(2, name, CompareOp::kNe, Value::Null())
+              .WhereConst(2, "version", CompareOp::kGe, Value::Int(lo))
+              .WhereConst(2, "version", CompareOp::kLe, Value::Int(hi))
+              .Currency()
+              .Concludes(name);
+      ds.rules.push_back(std::move(r));
+    }
+  }
+  // ϕ11-style: dep_* follows the accuracy of its parent mst attribute.
+  for (int a = l.dep_begin; a < l.dep_end; ++a) {
+    const std::string& name = ds.schema.name(a);
+    const int parent =
+        l.mst_begin + (a - l.dep_begin) % std::max(1, c.num_master_attrs);
+    AccuracyRule r = RuleBuilder(ds.schema, "corr:" + name)
+                         .WhereOrder(ds.schema.name(parent), /*strict=*/true)
+                         .WhereConst(2, name, CompareOp::kNe, Value::Null())
+                         .Correlation()
+                         .Concludes(name);
+    ds.rules.push_back(std::move(r));
+  }
+  // ϕ6-style form-2 rules, bucketed into num_form2_rules variants.
+  int emitted = 0;
+  for (int b = 0; b < buckets_per_attr && emitted < c.num_form2_rules; ++b) {
+    for (int a = l.mst_begin;
+         a < l.mst_end && emitted < c.num_form2_rules; ++a) {
+      const std::string& name = ds.schema.name(a);
+      AccuracyRule r =
+          MasterRuleBuilder(ds.schema, master_schema,
+                            "master:" + name + "/b" + std::to_string(b))
+              .WhereTeMaster("key", "key")
+              .WhereMasterConst("bucket", CompareOp::kEq,
+                                Value::Int(static_cast<int64_t>(b)))
+              .Assign(name, name)
+              .Build();
+      ds.rules.push_back(std::move(r));
+      ++emitted;
+    }
+  }
+  return ds;
+}
+
+}  // namespace relacc

@@ -1,0 +1,143 @@
+#include "datagen/rest_generator.h"
+
+#include <algorithm>
+
+#include "rules/rule_builder.h"
+#include "util/rng.h"
+
+namespace relacc {
+
+EntityInstance RestDataset::InstanceFor(int restaurant) const {
+  EntityInstance inst(restaurant, schema);
+  const std::string name = "rest-" + std::to_string(restaurant);
+  const std::string phone = "555-" + std::to_string(1000 + restaurant % 9000);
+  for (int s = 0; s < claims.num_sources(); ++s) {
+    for (int idx : claims.CellClaims(restaurant, s)) {
+      const Claim& cl = claims.claim(idx);
+      std::vector<Value> row(schema.size());
+      row[0] = Value::Int(s);
+      row[1] = Value::Int(cl.snapshot);
+      row[2] = cl.value;
+      row[3] = Value::Str(name);
+      row[4] = Value::Str(phone);
+      Tuple t(std::move(row));
+      t.set_source(s);
+      t.set_snapshot(cl.snapshot);
+      inst.Add(std::move(t));
+    }
+  }
+  return inst;
+}
+
+RestDataset GenerateRest(const RestConfig& c) {
+  Rng rng(c.seed);
+  RestDataset ds;
+  ds.claims = ClaimSet(c.num_restaurants, c.num_sources, c.num_snapshots);
+  ds.schema = Schema({{"source", ValueType::kInt},
+                      {"snapshot", ValueType::kInt},
+                      {"closed", ValueType::kBool},
+                      {"name", ValueType::kString},
+                      {"phone", ValueType::kString}});
+
+  // --- world: closure snapshot per restaurant (absorbing), early-biased --
+  // close_at[o] = snapshot from which the restaurant is closed; INT_MAX-ish
+  // when it never closes inside the window.
+  std::vector<int> close_at(c.num_restaurants, c.num_snapshots + 1);
+  ds.truly_closed.assign(c.num_restaurants, false);
+  for (int o = 0; o < c.num_restaurants; ++o) {
+    if (!rng.Bernoulli(c.close_prob)) continue;
+    // Early bias: min of two uniforms over [1, S-1].
+    const int a = static_cast<int>(rng.UniformInt(1, c.num_snapshots - 1));
+    const int b = static_cast<int>(rng.UniformInt(1, c.num_snapshots - 1));
+    close_at[o] = std::min(a, b);
+    ds.truly_closed[o] = true;
+  }
+  auto state_at = [&](int o, int t) { return t >= close_at[o]; };
+
+  // --- sources: trackers, casuals, copiers -------------------------------
+  ds.copies_from.assign(c.num_sources, -1);
+  // The last `num_copiers` casual sources copy one of the first casual
+  // sources (never a tracker; copiers of authoritative data are less
+  // interesting for copy detection).
+  const int first_casual = c.num_trackers;
+  for (int i = 0; i < c.num_copiers; ++i) {
+    const int copier = c.num_sources - 1 - i;
+    if (copier <= first_casual) break;
+    ds.copies_from[copier] = first_casual + static_cast<int>(rng.NextBelow(
+                                 static_cast<uint64_t>(
+                                     std::max(1, copier - first_casual))));
+  }
+
+  auto observe = [&](int o, int t, double fp, double fn) {
+    const bool closed = state_at(o, t);
+    bool claim = closed;
+    if (closed && rng.Bernoulli(fn)) claim = false;
+    if (!closed && rng.Bernoulli(fp)) claim = true;
+    return claim;
+  };
+
+  // Per (source, object): the snapshots at which the source emits a claim.
+  for (int s = 0; s < c.num_sources; ++s) {
+    const bool tracker = s < c.num_trackers;
+    const double coverage = tracker ? c.tracker_coverage : c.casual_coverage;
+    const double fp = tracker ? c.tracker_fp : c.casual_fp;
+    const double fn = tracker ? c.tracker_fn : c.casual_fn;
+    for (int o = 0; o < c.num_restaurants; ++o) {
+      if (!rng.Bernoulli(coverage)) continue;
+      if (tracker) {
+        // Trackers re-crawl every snapshot.
+        for (int t = 0; t < c.num_snapshots; ++t) {
+          ds.claims.Add({o, s, t, Value::Bool(observe(o, t, fp, fn))});
+        }
+      } else if (ds.copies_from[s] >= 0 && rng.Bernoulli(c.copy_rate)) {
+        // Copier: replicate the parent's latest visible claim at a random
+        // snapshot (errors included). The parent may not cover o.
+        const int parent = ds.copies_from[s];
+        const int t =
+            static_cast<int>(rng.NextBelow(
+                static_cast<uint64_t>(c.num_snapshots)));
+        Value copied = Value::Null();
+        for (int idx : ds.claims.CellClaims(o, parent)) {
+          const Claim& cl = ds.claims.claim(idx);
+          if (cl.snapshot <= t) copied = cl.value;
+        }
+        if (copied.is_null()) {
+          ds.claims.Add({o, s, t, Value::Bool(observe(o, t, fp, fn))});
+        } else {
+          ds.claims.Add({o, s, t, copied});
+        }
+      } else {
+        // Casual source: 1-2 independent observations at random snapshots.
+        const int obs = static_cast<int>(
+            rng.UniformInt(c.casual_obs_min, c.casual_obs_max));
+        for (int i = 0; i < obs; ++i) {
+          const int t = static_cast<int>(rng.NextBelow(
+              static_cast<uint64_t>(c.num_snapshots)));
+          ds.claims.Add({o, s, t, Value::Bool(observe(o, t, fp, fn))});
+        }
+      }
+    }
+  }
+
+  // --- accuracy rules (all form (1), Sec. 7) ------------------------------
+  // Snapshot currency (ϕ1 style).
+  ds.rules.push_back(RuleBuilder(ds.schema, "rest:snapshot")
+                         .WhereAttrs("snapshot", CompareOp::kLt, "snapshot")
+                         .Currency()
+                         .Concludes("snapshot"));
+  // Closures are absorbing: within one source, a "closed" claim after an
+  // "open" claim supersedes it. (The reverse — reopening — is not assumed,
+  // so an erroneous open-after-closed does not poison the instance.)
+  ds.rules.push_back(RuleBuilder(ds.schema, "rest:closed-monotone")
+                         .WhereAttrs("source", CompareOp::kEq, "source")
+                         .WhereAttrs("snapshot", CompareOp::kLt, "snapshot")
+                         .WhereConst(1, "closed", CompareOp::kEq,
+                                     Value::Bool(false))
+                         .WhereConst(2, "closed", CompareOp::kEq,
+                                     Value::Bool(true))
+                         .Currency()
+                         .Concludes("closed"));
+  return ds;
+}
+
+}  // namespace relacc

@@ -1,0 +1,72 @@
+#ifndef RELACC_DATAGEN_REST_GENERATOR_H_
+#define RELACC_DATAGEN_REST_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "chase/specification.h"
+#include "core/relation.h"
+#include "rules/accuracy_rule.h"
+#include "truth/claims.h"
+
+namespace relacc {
+
+/// Synthetic equivalent of the paper's Rest dataset (Dong et al.'s
+/// restaurant snapshots: 5149 Manhattan restaurants, 12 web sources, 8
+/// weekly snapshots; the Boolean attribute closed? is to be determined).
+///
+/// World model: each restaurant may close once (closures are absorbing and
+/// biased toward the early snapshots). Two "tracker" sources re-crawl every
+/// snapshot with high exactness but cover few restaurants — they supply the
+/// false→true transitions that currency reasoning (DeduceOrder) can use.
+/// The remaining "casual" sources observe each covered restaurant at only a
+/// couple of random snapshots, with asymmetric noise (a missing listing is
+/// misread as "closed" more often than the reverse); some casual sources
+/// copy another source's claims, errors included — the structure copyCEF's
+/// copy detection exploits.
+struct RestConfig {
+  uint64_t seed = 11;
+  int num_restaurants = 5149;
+  int num_sources = 12;
+  int num_snapshots = 8;
+
+  double close_prob = 0.22;      ///< P(restaurant closes inside the window)
+  int num_trackers = 2;
+  double tracker_coverage = 0.18;
+  double tracker_fp = 0.005;      ///< P(open misread as closed)
+  double tracker_fn = 0.03;      ///< P(closed misread as open)
+
+  double casual_coverage = 0.6;
+  /// Casual sources list a restaurant once or twice; with the default of a
+  /// single observation they never witness a closure *transition*, which
+  /// pins DeduceOrder to the trackers (paper: precision 1.0, recall 0.15).
+  int casual_obs_min = 1;
+  int casual_obs_max = 1;
+  double casual_fp = 0.15;
+  double casual_fn = 0.10;
+
+  int num_copiers = 3;
+  double copy_rate = 0.85;       ///< P(copier copies rather than observes)
+};
+
+/// The generated Rest workload.
+struct RestDataset {
+  ClaimSet claims;                    ///< closed? claims, for the truth module
+  std::vector<bool> truly_closed;     ///< ground truth (G of Table 4)
+  std::vector<int> copies_from;       ///< per source: copied source or -1
+  Schema schema;                      ///< source | snapshot | closed | name | phone
+  std::vector<AccuracyRule> rules;    ///< all form (1), per the paper
+  ChaseConfig chase_config;
+
+  RestDataset() : claims(0, 0, 0) {}
+
+  /// Entity-instance view of one restaurant (tuples = its claims) for the
+  /// chase/top-k protocols of Exp-5.
+  EntityInstance InstanceFor(int restaurant) const;
+};
+
+RestDataset GenerateRest(const RestConfig& config);
+
+}  // namespace relacc
+
+#endif  // RELACC_DATAGEN_REST_GENERATOR_H_

@@ -1,0 +1,242 @@
+#include "datagen/syn_generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "rules/cfd.h"
+#include "rules/rule_builder.h"
+#include "util/rng.h"
+
+namespace relacc {
+namespace {
+
+std::string BucketValue(int attr, int64_t bucket) {
+  return "s" + std::to_string(attr) + "_" + std::to_string(bucket);
+}
+
+}  // namespace
+
+SynDataset GenerateSyn(const SynConfig& c) {
+  Rng rng(c.seed);
+  SynDataset out;
+
+  // --- schema --------------------------------------------------------------
+  std::vector<Attribute> attrs;
+  attrs.push_back({"key", ValueType::kString});
+  attrs.push_back({"ts", ValueType::kInt});
+  const int ord_begin = 2;
+  for (int i = 0; i < c.num_ord_attrs; ++i) {
+    attrs.push_back({"ord_" + std::to_string(i), ValueType::kInt});
+  }
+  const int cur_begin = ord_begin + c.num_ord_attrs;
+  for (int i = 0; i < c.num_cur_attrs; ++i) {
+    attrs.push_back({"cur_" + std::to_string(i), ValueType::kString});
+  }
+  const int mst_begin = cur_begin + c.num_cur_attrs;
+  for (int i = 0; i < c.num_mst_attrs; ++i) {
+    attrs.push_back({"mst_" + std::to_string(i), ValueType::kString});
+  }
+  const int free_begin = mst_begin + c.num_mst_attrs;
+  for (int i = 0; i < c.num_free_attrs; ++i) {
+    attrs.push_back({"free_" + std::to_string(i), ValueType::kString});
+  }
+  const int total = free_begin + c.num_free_attrs;
+  Schema schema(std::move(attrs));
+
+  // --- entity instance -----------------------------------------------------
+  // Hidden timestamp per tuple; ord_i = ts + i keeps every currency witness
+  // consistent; cur_i is a function of the ts bucket.
+  const int64_t buckets = 6;
+  Relation ie(schema);
+  int64_t ts_max = 1;
+  std::vector<int64_t> ts_of(c.num_tuples);
+  for (int t = 0; t < c.num_tuples; ++t) {
+    ts_of[t] = rng.UniformInt(1, c.max_ts);
+    ts_max = std::max(ts_max, ts_of[t]);
+  }
+  auto cur_value = [&](int attr, int64_t ts) {
+    return Value::Str(BucketValue(attr, ts * buckets / (c.max_ts + 1)));
+  };
+  const std::string key = "syn-entity";
+  for (int t = 0; t < c.num_tuples; ++t) {
+    std::vector<Value> row(total, Value::Null());
+    row[0] = Value::Str(key);
+    row[1] = Value::Int(ts_of[t]);
+    for (int i = 0; i < c.num_ord_attrs; ++i) {
+      row[ord_begin + i] = Value::Int(ts_of[t] + i);
+    }
+    for (int i = 0; i < c.num_cur_attrs; ++i) {
+      if (!rng.Bernoulli(c.null_prob)) {
+        row[cur_begin + i] = cur_value(cur_begin + i, ts_of[t]);
+      }
+    }
+    for (int i = 0; i < c.num_mst_attrs; ++i) {
+      if (!rng.Bernoulli(c.null_prob)) {
+        row[mst_begin + i] = Value::Str(
+            "m" + std::to_string(i) + "_" +
+            std::to_string(rng.NextBelow(4)));  // noisy; master overrides
+      }
+    }
+    for (int i = 0; i < c.num_free_attrs; ++i) {
+      if (!rng.Bernoulli(c.null_prob)) {
+        row[free_begin + i] = Value::Str(
+            "f" + std::to_string(i) + "_" +
+            std::to_string(rng.NextBelow(
+                static_cast<uint64_t>(c.free_domain_size))));
+      }
+    }
+    Tuple tuple(std::move(row));
+    tuple.set_id(t);
+    ie.Add(std::move(tuple));
+  }
+
+  // --- master relation -----------------------------------------------------
+  Schema master_schema = [&] {
+    std::vector<Attribute> ms;
+    ms.push_back({"key", ValueType::kString});
+    for (int i = 0; i < c.num_mst_attrs; ++i) {
+      ms.push_back({"mst_" + std::to_string(i), ValueType::kString});
+    }
+    return Schema(std::move(ms));
+  }();
+  Relation master(master_schema);
+  std::vector<Value> truth_mst(c.num_mst_attrs);
+  for (int i = 0; i < c.num_mst_attrs; ++i) {
+    truth_mst[i] = Value::Str("m" + std::to_string(i) + "_true");
+  }
+  for (int r = 0; r < c.master_size; ++r) {
+    std::vector<Value> row(master_schema.size());
+    // Row 0 matches the entity; the rest are unrelated master entries.
+    row[0] = r == 0 ? Value::Str(key)
+                    : Value::Str("other-" + std::to_string(r));
+    for (int i = 0; i < c.num_mst_attrs; ++i) {
+      row[1 + i] = r == 0 ? truth_mst[i]
+                          : Value::Str("m" + std::to_string(i) + "_r" +
+                                       std::to_string(r));
+    }
+    master.Add(Tuple(std::move(row)));
+  }
+
+  // --- rules ---------------------------------------------------------------
+  // Random ARs: ~75% form (1) — a random currency witness ord_* propagated
+  // to a random cur_* attribute over a random ts band; ~25% form (2).
+  Specification& spec = out.spec;
+  spec.ie = std::move(ie);
+  spec.masters.push_back(std::move(master));
+
+  // Base form-(1) rules guarantee that ts / ord_* / cur_* resolve (the
+  // random banded variants below only add Σ mass); form-(2) rules cycle
+  // over the master attributes. Counts add up to exactly num_rules.
+  int form2_target = std::max(1, c.num_rules / 4);
+  const int base_form1 = 1 + c.num_ord_attrs + c.num_cur_attrs;
+  if (c.num_rules - form2_target - base_form1 < 0) {
+    form2_target = std::max(1, c.num_rules - base_form1);
+  }
+  const int banded_target = std::max(0, c.num_rules - form2_target - base_form1);
+
+  // Windowed currency witness: t1[ts] < t2[ts] ∧ t2[ts] ≤ t1[ord_last]
+  // (= t1[ts] + num_ord-1). The transitive closure of the ≤2-step window
+  // equals the full order, but grounding survives on O(n²/max_ts) pairs
+  // instead of n²/2 — keeping |Γ| (and the per-check state the top-k
+  // algorithms copy) near-linear, as in the paper's cost profile.
+  const std::string window_attr =
+      "ord_" + std::to_string(c.num_ord_attrs - 1);
+  auto windowed = [&](const std::string& rule_name) {
+    RuleBuilder b(schema, rule_name);
+    b.WhereAttrs("ts", CompareOp::kLt, "ts")
+        .WhereAttrs(window_attr, CompareOp::kGe, "ts")
+        .Currency();
+    return b;
+  };
+  spec.rules.push_back(windowed("syn-ts").Concludes("ts"));
+  for (int i = 0; i < c.num_ord_attrs; ++i) {
+    const std::string name = "ord_" + std::to_string(i);
+    spec.rules.push_back(windowed("syn-" + name).Concludes(name));
+  }
+  for (int i = 0; i < c.num_cur_attrs; ++i) {
+    const std::string name = "cur_" + std::to_string(i);
+    spec.rules.push_back(
+        windowed("syn-base-" + name)
+            .WhereConst(2, name, CompareOp::kNe, Value::Null())
+            .Concludes(name));
+  }
+  for (int r = 0; r < banded_target; ++r) {
+    const int ord = ord_begin + static_cast<int>(rng.NextBelow(
+                                    static_cast<uint64_t>(c.num_ord_attrs)));
+    const int tgt = cur_begin + static_cast<int>(rng.NextBelow(
+                                    static_cast<uint64_t>(c.num_cur_attrs)));
+    const int64_t lo = rng.UniformInt(1, c.max_ts / 2);
+    const int64_t hi = rng.UniformInt(lo, c.max_ts) +
+                       static_cast<int64_t>(rng.NextBelow(
+                           static_cast<uint64_t>(c.num_ord_attrs)));
+    AccuracyRule rule =
+        RuleBuilder(schema, "syn-f1-" + std::to_string(r))
+            .WhereAttrs(schema.name(ord), CompareOp::kLt, schema.name(ord))
+            .WhereAttrs(window_attr, CompareOp::kGe, "ts")
+            .WhereConst(2, schema.name(ord), CompareOp::kGe, Value::Int(lo))
+            .WhereConst(2, schema.name(ord), CompareOp::kLe, Value::Int(hi))
+            .WhereConst(2, schema.name(tgt), CompareOp::kNe, Value::Null())
+            .Currency()
+            .Concludes(schema.name(tgt));
+    spec.rules.push_back(std::move(rule));
+  }
+  for (int r = 0; r < form2_target; ++r) {
+    const int i = r % c.num_mst_attrs;
+    AccuracyRule rule =
+        MasterRuleBuilder(schema, master_schema,
+                          "syn-f2-" + std::to_string(r))
+            .WhereTeMaster("key", "key")
+            .Assign("mst_" + std::to_string(i), "mst_" + std::to_string(i))
+            .Build();
+    spec.rules.push_back(std::move(rule));
+  }
+
+  // Compiled CFDs constraining consecutive free attributes: candidates
+  // pairing a covered value with the wrong partner fail `check`.
+  std::vector<ConstantCfd> cfds;
+  for (int i = 0; i + 1 < c.num_free_attrs; i += 2) {
+    for (int v = 0; v < c.free_domain_size; ++v) {
+      if (!rng.Bernoulli(c.cfd_coverage)) continue;
+      ConstantCfd cfd;
+      cfd.name = "syn-cfd-" + std::to_string(i) + "-" + std::to_string(v);
+      cfd.conditions = {
+          {free_begin + i,
+           Value::Str("f" + std::to_string(i) + "_" + std::to_string(v))}};
+      cfd.then_attr = free_begin + i + 1;
+      cfd.then_value = Value::Str("f" + std::to_string(i + 1) + "_" +
+                                  std::to_string(v % c.free_domain_size));
+      cfds.push_back(std::move(cfd));
+    }
+  }
+  if (!cfds.empty()) {
+    CompiledCfds compiled = CompileCfds(
+        schema, cfds, /*master_index_hint=*/static_cast<int>(
+            spec.masters.size()));
+    spec.masters.push_back(std::move(compiled.master));
+    for (AccuracyRule& r : compiled.rules) spec.rules.push_back(std::move(r));
+  }
+
+  // --- preference: random scores (Sec. 7) ----------------------------------
+  out.pref = PreferenceModel(total);
+  for (AttrId a = 0; a < total; ++a) {
+    for (const Value& v : spec.ie.ColumnDomain(a)) {
+      out.pref.SetWeight(a, v, rng.UniformDouble() * 10.0);
+    }
+  }
+
+  // --- ground truth (values at the maximal timestamp; master for mst_*) ----
+  std::vector<Value> truth(total, Value::Null());
+  truth[0] = Value::Str(key);
+  truth[1] = Value::Int(ts_max);
+  for (int i = 0; i < c.num_ord_attrs; ++i) {
+    truth[ord_begin + i] = Value::Int(ts_max + i);
+  }
+  for (int i = 0; i < c.num_cur_attrs; ++i) {
+    truth[cur_begin + i] = cur_value(cur_begin + i, ts_max);
+  }
+  for (int i = 0; i < c.num_mst_attrs; ++i) truth[mst_begin + i] = truth_mst[i];
+  out.truth = Tuple(std::move(truth));
+  return out;
+}
+
+}  // namespace relacc

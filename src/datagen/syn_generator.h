@@ -1,0 +1,52 @@
+#ifndef RELACC_DATAGEN_SYN_GENERATOR_H_
+#define RELACC_DATAGEN_SYN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "chase/specification.h"
+#include "topk/preference.h"
+
+namespace relacc {
+
+/// The paper's Syn workload (Sec. 7): one large entity instance of 20
+/// attributes "extending relations stat and nba", a master relation, a set
+/// Σ of random ARs (75% form (1), 25% form (2)) and random value scores.
+/// Defaults are the paper's defaults (‖Ie‖, ‖Im‖, ‖Σ‖, k) =
+/// (900, 300, 60, 15); Exp-4 varies one of the four at a time.
+struct SynConfig {
+  uint64_t seed = 7;
+  int num_tuples = 900;     ///< ‖Ie‖
+  int master_size = 300;    ///< ‖Im‖
+  int num_rules = 60;       ///< ‖Σ‖
+
+  // Schema layout (20 attributes): key | ts | ord_0..2 | cur_0..6 |
+  // mst_0..3 | free_0..3. A hidden per-tuple timestamp drives the ord_*
+  // attributes (mutually consistent currency witnesses) and the cur_*
+  // values, so randomly drawn currency rules remain Church-Rosser.
+  int num_ord_attrs = 3;
+  int num_cur_attrs = 7;
+  int num_mst_attrs = 4;
+  int num_free_attrs = 4;
+
+  int max_ts = 24;
+  int free_domain_size = 30;   ///< distinct values per free attribute
+  double null_prob = 0.05;
+  /// Fraction of free-attribute value pairs constrained by compiled CFDs
+  /// (te[free_i] = v → te[free_{i+1}] = g(v)); makes some top-k candidates
+  /// fail `check`, as in the paper's random-Σ setting.
+  double cfd_coverage = 0.25;
+};
+
+/// A generated Syn workload: a ready-to-chase specification (single entity
+/// instance), a random-score preference model, and the ground truth.
+struct SynDataset {
+  Specification spec;
+  PreferenceModel pref;
+  Tuple truth;
+};
+
+SynDataset GenerateSyn(const SynConfig& config);
+
+}  // namespace relacc
+
+#endif  // RELACC_DATAGEN_SYN_GENERATOR_H_

@@ -1,0 +1,49 @@
+#ifndef RELACC_DISCOVERY_AR_MINER_H_
+#define RELACC_DISCOVERY_AR_MINER_H_
+
+#include <vector>
+
+#include "core/relation.h"
+#include "rules/accuracy_rule.h"
+
+namespace relacc {
+
+/// Discovery of form-(1) accuracy rules from data — the extension the
+/// paper sketches in Sec. 4 Remark (1) and defers to future work: "group
+/// pairs of tuples (ti, tj) into classes based on their attribute values
+/// ... and discover ARs by analyzing the containment of those classes via
+/// a level-wise approach".
+///
+/// Given entity instances with (at least partially) known ground-truth
+/// targets, the miner labels tuple pairs per attribute — (ti, tj) is a
+/// positive example of ⪯_A when tj[A] equals the target's A-value and
+/// ti[A] does not — and then searches, level-wise, for rule bodies whose
+/// satisfied pair set is contained in the positive set:
+///   level 1: single witnesses   t1[B] < t2[B]           → t1 ⪯_A t2
+///   level 2: guarded witnesses  t1[C] = t2[C] ∧ t1[B] < t2[B] → t1 ⪯_A t2
+/// A candidate is emitted when its support and confidence over all labeled
+/// pairs clear the configured thresholds.
+struct ArMinerConfig {
+  int min_support = 20;        ///< minimum matching labeled pairs
+  double min_confidence = 0.98;  ///< fraction of matches that are positive
+  int max_rules = 200;
+};
+
+/// A mined rule with its quality measures.
+struct MinedRule {
+  AccuracyRule rule;
+  int support = 0;
+  double confidence = 0.0;
+};
+
+/// Mines form-(1) rules from `instances`, using `targets[i]` as the
+/// (possibly partial) ground-truth/curated target of instance i — e.g. the
+/// output of a user-reviewed framework session, making this a rule
+/// *bootstrapping* loop: deduce → review → mine → extend Σ.
+std::vector<MinedRule> MineAccuracyRules(
+    const std::vector<EntityInstance>& instances,
+    const std::vector<Tuple>& targets, const ArMinerConfig& config = {});
+
+}  // namespace relacc
+
+#endif  // RELACC_DISCOVERY_AR_MINER_H_

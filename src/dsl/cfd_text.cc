@@ -1,0 +1,121 @@
+#include "dsl/cfd_text.h"
+
+#include <utility>
+#include <vector>
+
+#include "dsl/lexer.h"
+
+namespace relacc {
+
+namespace {
+
+Status ErrorAt(const Token& token, const std::string& message) {
+  return Status::ParseError(message + " at line " + std::to_string(token.line) +
+                            ", column " + std::to_string(token.column));
+}
+
+/// Parses `[attr] = <literal>`; advances *pos past it.
+Result<std::pair<AttrId, Value>> ParseEquality(
+    const std::vector<Token>& tokens, size_t* pos, const Schema& schema) {
+  const Token& attr = tokens[*pos];
+  if (attr.kind != TokenKind::kAttrRef) {
+    return ErrorAt(attr, "expected an [attribute] reference");
+  }
+  std::optional<AttrId> id = schema.IndexOf(attr.text);
+  if (!id) return ErrorAt(attr, "unknown attribute '" + attr.text + "'");
+  ++*pos;
+  if (tokens[*pos].kind != TokenKind::kEq) {
+    return ErrorAt(tokens[*pos], "expected '='");
+  }
+  ++*pos;
+  const Token& lit = tokens[*pos];
+  Value value;
+  switch (lit.kind) {
+    case TokenKind::kString: value = Value::Str(lit.text); break;
+    case TokenKind::kInt:
+      value = schema.type(*id) == ValueType::kDouble
+                  ? Value::Real(static_cast<double>(lit.int_value))
+                  : Value::Int(lit.int_value);
+      break;
+    case TokenKind::kReal: value = Value::Real(lit.real_value); break;
+    case TokenKind::kKwTrue: value = Value::Bool(true); break;
+    case TokenKind::kKwFalse: value = Value::Bool(false); break;
+    default:
+      return ErrorAt(lit, "expected a literal after '='");
+  }
+  ++*pos;
+  return std::make_pair(*id, std::move(value));
+}
+
+}  // namespace
+
+Result<ConstantCfd> ParseConstantCfd(const std::string& text,
+                                     const Schema& schema,
+                                     const std::string& name) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens_or = lexer.Tokenize();
+  if (!tokens_or.ok()) return tokens_or.status();
+  const std::vector<Token>& tokens = tokens_or.value();
+
+  ConstantCfd cfd;
+  cfd.name = name;
+  size_t pos = 0;
+  while (true) {
+    Result<std::pair<AttrId, Value>> eq = ParseEquality(tokens, &pos, schema);
+    if (!eq.ok()) return eq.status();
+    cfd.conditions.push_back(eq.value());
+    if (tokens[pos].kind == TokenKind::kKwAnd) {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  if (tokens[pos].kind != TokenKind::kArrow) {
+    return ErrorAt(tokens[pos], "expected '->' after the condition(s)");
+  }
+  ++pos;
+  Result<std::pair<AttrId, Value>> then = ParseEquality(tokens, &pos, schema);
+  if (!then.ok()) return then.status();
+  cfd.then_attr = then.value().first;
+  cfd.then_value = then.value().second;
+  if (tokens[pos].kind != TokenKind::kEnd) {
+    return ErrorAt(tokens[pos], "trailing input after the conclusion");
+  }
+  for (const auto& [attr, value] : cfd.conditions) {
+    (void)value;
+    if (attr == cfd.then_attr) {
+      return Status::InvalidArgument(
+          "CFD conclusion attribute '" + schema.name(attr) +
+          "' also appears in the condition");
+    }
+  }
+  return cfd;
+}
+
+std::string FormatConstantCfd(const ConstantCfd& cfd, const Schema& schema) {
+  auto literal = [](const Value& v) {
+    switch (v.type()) {
+      case ValueType::kString: {
+        std::string out = "\"";
+        for (char c : v.as_string()) {
+          if (c == '"' || c == '\\') out.push_back('\\');
+          out.push_back(c);
+        }
+        return out + "\"";
+      }
+      case ValueType::kBool: return std::string(v.as_bool() ? "true" : "false");
+      default: return v.ToString();
+    }
+  };
+  std::string out;
+  for (size_t i = 0; i < cfd.conditions.size(); ++i) {
+    if (i > 0) out += " and ";
+    out += "[" + schema.name(cfd.conditions[i].first) + "] = " +
+           literal(cfd.conditions[i].second);
+  }
+  out += " -> [" + schema.name(cfd.then_attr) + "] = " +
+         literal(cfd.then_value);
+  return out;
+}
+
+}  // namespace relacc

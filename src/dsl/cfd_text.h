@@ -1,0 +1,30 @@
+#ifndef RELACC_DSL_CFD_TEXT_H_
+#define RELACC_DSL_CFD_TEXT_H_
+
+#include <string>
+
+#include "core/schema.h"
+#include "rules/cfd.h"
+#include "util/status.h"
+
+namespace relacc {
+
+/// Textual form of a constant CFD (Sec. 2.1 Remark), lexed with the rule
+/// DSL's lexer:
+///
+///   [team] = "Chicago Bulls" and [league] = "NBA" -> [arena] = "United Center"
+///
+/// i.e. one or more `[attr] = <literal>` conditions joined by `and`, then
+/// `->`, then exactly one `[attr] = <literal>` conclusion. Attribute names
+/// are validated against `schema`; integer literals coerce to double for
+/// real-typed attributes (as in the rule DSL).
+Result<ConstantCfd> ParseConstantCfd(const std::string& text,
+                                     const Schema& schema,
+                                     const std::string& name = "");
+
+/// Renders `cfd` in the syntax above (round-trips through ParseConstantCfd).
+std::string FormatConstantCfd(const ConstantCfd& cfd, const Schema& schema);
+
+}  // namespace relacc
+
+#endif  // RELACC_DSL_CFD_TEXT_H_

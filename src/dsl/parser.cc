@@ -1,0 +1,793 @@
+#include "dsl/parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <utility>
+
+#include "dsl/lexer.h"
+
+namespace relacc {
+
+namespace {
+
+/// A parsed body term: an attribute of a tuple variable (t1/t2/tm), of the
+/// target template te, or a literal.
+struct Term {
+  enum class Kind { kVarAttr, kTeAttr, kLiteral };
+  Kind kind = Kind::kLiteral;
+  int which = 0;          ///< 1 or 2 for entity variables; 0 for tm
+  AttrId attr = -1;
+  Value literal;
+  Token at;               ///< for diagnostics
+};
+
+Result<CompareOp> ToCompareOp(const Token& token) {
+  switch (token.kind) {
+    case TokenKind::kEq: return CompareOp::kEq;
+    case TokenKind::kNe: return CompareOp::kNe;
+    case TokenKind::kLt: return CompareOp::kLt;
+    case TokenKind::kLe: return CompareOp::kLe;
+    case TokenKind::kGt: return CompareOp::kGt;
+    case TokenKind::kGe: return CompareOp::kGe;
+    default:
+      return Status::ParseError(
+          std::string("expected comparison operator, got ") +
+          TokenKindName(token.kind) + " at line " + std::to_string(token.line) +
+          ", column " + std::to_string(token.column));
+  }
+}
+
+Result<RuleProvenance> ToProvenance(const Token& tag) {
+  const std::string& t = tag.text;
+  if (t == "generic") return RuleProvenance::kGeneric;
+  if (t == "currency") return RuleProvenance::kCurrency;
+  if (t == "correlation") return RuleProvenance::kCorrelation;
+  if (t == "null_axiom") return RuleProvenance::kNullAxiom;
+  if (t == "te_anchor") return RuleProvenance::kTeAnchorAxiom;
+  if (t == "equality") return RuleProvenance::kEqualityAxiom;
+  if (t == "master") return RuleProvenance::kMaster;
+  if (t == "cfd") return RuleProvenance::kCfd;
+  return Status::ParseError("unknown provenance tag '@" + t + "' at line " +
+                            std::to_string(tag.line));
+}
+
+const char* ProvenanceTag(RuleProvenance p) {
+  switch (p) {
+    case RuleProvenance::kGeneric: return "generic";
+    case RuleProvenance::kCurrency: return "currency";
+    case RuleProvenance::kCorrelation: return "correlation";
+    case RuleProvenance::kNullAxiom: return "null_axiom";
+    case RuleProvenance::kTeAnchorAxiom: return "te_anchor";
+    case RuleProvenance::kEqualityAxiom: return "equality";
+    case RuleProvenance::kMaster: return "master";
+    case RuleProvenance::kCfd: return "cfd";
+  }
+  return "generic";
+}
+
+/// Coerces an integer literal to double when the attribute it is compared
+/// against is real-typed; otherwise returns the literal unchanged.
+Value CoerceLiteral(Value literal, const Schema& schema, AttrId attr) {
+  if (attr >= 0 && attr < schema.size() &&
+      schema.type(attr) == ValueType::kDouble &&
+      literal.type() == ValueType::kInt) {
+    return Value::Real(static_cast<double>(literal.as_int()));
+  }
+  return literal;
+}
+
+std::string FormatLiteral(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull: return "null";
+    case ValueType::kBool: return v.as_bool() ? "true" : "false";
+    case ValueType::kInt: return std::to_string(v.as_int());
+    case ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.as_double());
+      std::string s(buf);
+      // Keep reals lexically distinguishable from ints.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueType::kString: {
+      std::string out = "\"";
+      for (char c : v.as_string()) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out.push_back(c);
+        }
+      }
+      out += "\"";
+      return out;
+    }
+  }
+  return "null";
+}
+
+const char* OpText(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "=";
+}
+
+/// Rule names pass through the lexer on re-parse, so non-identifier
+/// characters (axiom names like "phi7(FN)") are mapped to '_'.
+std::string SanitizeName(const std::string& name) {
+  if (name.empty()) return "r";
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (std::isdigit(static_cast<unsigned char>(out[0]))) out.insert(0, "r_");
+  return out;
+}
+
+}  // namespace
+
+class RuleParser::Impl {
+ public:
+  Impl(const Schema& entity_schema, const std::string& entity_name,
+       const std::vector<NamedMaster>& masters, std::vector<Token> tokens)
+      : entity_schema_(entity_schema),
+        entity_name_(entity_name),
+        masters_(masters),
+        tokens_(std::move(tokens)) {}
+
+  Result<std::vector<AccuracyRule>> ParseProgram() {
+    std::vector<AccuracyRule> rules;
+    while (Peek().kind != TokenKind::kEnd) {
+      Result<AccuracyRule> rule = ParseOneRule();
+      if (!rule.ok()) return rule.status();
+      rules.push_back(std::move(rule).value());
+    }
+    return rules;
+  }
+
+  Result<AccuracyRule> ParseSingle() {
+    Result<AccuracyRule> rule = ParseOneRule();
+    if (!rule.ok()) return rule;
+    if (Peek().kind != TokenKind::kEnd) {
+      return ErrorAt(Peek(), "trailing input after rule");
+    }
+    return rule;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    int p = pos_ + ahead;
+    if (p >= static_cast<int>(tokens_.size())) return tokens_.back();
+    return tokens_[p];
+  }
+  const Token& Advance() { return tokens_[pos_ < static_cast<int>(tokens_.size()) - 1 ? pos_++ : pos_]; }
+
+  static Status ErrorAt(const Token& token, const std::string& message) {
+    return Status::ParseError(message + " at line " +
+                              std::to_string(token.line) + ", column " +
+                              std::to_string(token.column));
+  }
+
+  Result<Token> Expect(TokenKind kind, const std::string& what) {
+    const Token& token = Peek();
+    if (token.kind != kind) {
+      return ErrorAt(token, "expected " + what + ", got " +
+                                std::string(TokenKindName(token.kind)) +
+                                (token.text.empty() ? "" : " '" + token.text + "'"));
+    }
+    return Advance();
+  }
+
+  Result<AttrId> EntityAttr(const Token& ref) {
+    std::optional<AttrId> id = entity_schema_.IndexOf(ref.text);
+    if (!id) {
+      return ErrorAt(ref, "unknown entity attribute '" + ref.text + "'");
+    }
+    return *id;
+  }
+
+  Result<AccuracyRule> ParseOneRule() {
+    Result<Token> kw = Expect(TokenKind::kKwRule, "'rule'");
+    if (!kw.ok()) return kw.status();
+    Result<Token> name = Expect(TokenKind::kIdent, "rule name");
+    if (!name.ok()) return name.status();
+
+    RuleProvenance provenance = RuleProvenance::kGeneric;
+    if (Peek().kind == TokenKind::kAt) {
+      Advance();
+      Result<Token> tag = Expect(TokenKind::kIdent, "provenance tag");
+      if (!tag.ok()) return tag.status();
+      Result<RuleProvenance> p = ToProvenance(tag.value());
+      if (!p.ok()) return p.status();
+      provenance = p.value();
+    }
+    Result<Token> colon = Expect(TokenKind::kColon, "':'");
+    if (!colon.ok()) return colon.status();
+    Result<Token> fa = Expect(TokenKind::kKwForall, "'forall'");
+    if (!fa.ok()) return fa.status();
+
+    Result<Token> var1 = Expect(TokenKind::kIdent, "variable name");
+    if (!var1.ok()) return var1.status();
+    bool two_vars = false;
+    Token var2;
+    if (Peek().kind == TokenKind::kComma) {
+      Advance();
+      Result<Token> v2 = Expect(TokenKind::kIdent, "variable name");
+      if (!v2.ok()) return v2.status();
+      var2 = v2.value();
+      two_vars = true;
+    }
+    Result<Token> in = Expect(TokenKind::kKwIn, "'in'");
+    if (!in.ok()) return in.status();
+    Result<Token> rel = Expect(TokenKind::kIdent, "relation name");
+    if (!rel.ok()) return rel.status();
+
+    AccuracyRule rule;
+    rule.name = name.value().text;
+    rule.provenance = provenance;
+
+    Status body_status;
+    if (two_vars) {
+      if (var1.value().text == "te" || var2.text == "te" ||
+          var1.value().text == var2.text) {
+        return ErrorAt(var1.value(),
+                       "form-(1) rules need two distinct tuple "
+                       "variables other than 'te'");
+      }
+      if (!entity_name_.empty() && rel.value().text != entity_name_) {
+        return ErrorAt(rel.value(),
+                       "form-(1) rules range over the entity relation '" +
+                           entity_name_ + "', got '" + rel.value().text + "'");
+      }
+      rule.form = AccuracyRule::Form::kTuplePair;
+      body_status = ParseForm1Body(var1.value().text, var2.text, &rule);
+    } else {
+      if (var1.value().text == "te") {
+        return ErrorAt(var1.value(), "the master variable may not be named 'te'");
+      }
+      const NamedMaster* master = nullptr;
+      for (const NamedMaster& m : masters_) {
+        if (m.name == rel.value().text) { master = &m; break; }
+      }
+      if (master == nullptr) {
+        return ErrorAt(rel.value(),
+                       "unknown master relation '" + rel.value().text + "'");
+      }
+      rule.form = AccuracyRule::Form::kMaster;
+      rule.master_index = master->index;
+      body_status = ParseForm2Body(var1.value().text, *master, &rule);
+    }
+    if (!body_status.ok()) return body_status;
+
+    if (Peek().kind == TokenKind::kSemicolon) Advance();
+    return rule;
+  }
+
+  // --- form (1) -----------------------------------------------------------
+
+  Status ParseForm1Body(const std::string& v1, const std::string& v2,
+                        AccuracyRule* rule) {
+    Result<Token> lp = Expect(TokenKind::kLParen, "'('");
+    if (!lp.ok()) return lp.status();
+
+    while (Peek().kind != TokenKind::kArrow) {  // empty ω allowed: (-> ...)
+      TuplePairPredicate pred;
+      Status st = ParseForm1Predicate(v1, v2, &pred);
+      if (!st.ok()) return st;
+      rule->lhs.push_back(std::move(pred));
+      if (Peek().kind == TokenKind::kKwAnd) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+
+    Result<Token> arrow = Expect(TokenKind::kArrow, "'->'");
+    if (!arrow.ok()) return arrow.status();
+
+    // Conclusion: v1 <= v2 on [A]
+    Result<Token> c1 = Expect(TokenKind::kIdent, "variable in conclusion");
+    if (!c1.ok()) return c1.status();
+    if (c1.value().text != v1) {
+      return ErrorAt(c1.value(), "conclusion must start with '" + v1 + "'");
+    }
+    Result<Token> le = Expect(TokenKind::kLe, "'<=' in conclusion");
+    if (!le.ok()) return le.status();
+    Result<Token> c2 = Expect(TokenKind::kIdent, "variable in conclusion");
+    if (!c2.ok()) return c2.status();
+    if (c2.value().text != v2) {
+      return ErrorAt(c2.value(), "conclusion must be '" + v1 + " <= " + v2 + "'");
+    }
+    Result<Token> on = Expect(TokenKind::kKwOn, "'on'");
+    if (!on.ok()) return on.status();
+    Result<Token> attr = Expect(TokenKind::kAttrRef, "attribute reference");
+    if (!attr.ok()) return attr.status();
+    Result<AttrId> id = EntityAttr(attr.value());
+    if (!id.ok()) return id.status();
+    rule->rhs_attr = id.value();
+
+    Result<Token> rp = Expect(TokenKind::kRParen, "')'");
+    if (!rp.ok()) return rp.status();
+    return Status::OK();
+  }
+
+  Status ParseForm1Predicate(const std::string& v1, const std::string& v2,
+                             TuplePairPredicate* pred) {
+    // Order predicate: v1 (< | <=) v2 on [A]. Detected by a bare variable
+    // (no '[' follows).
+    if (Peek().kind == TokenKind::kIdent &&
+        (Peek(1).kind == TokenKind::kLt || Peek(1).kind == TokenKind::kLe) &&
+        Peek(2).kind == TokenKind::kIdent) {
+      Token a = Advance();
+      Token op = Advance();
+      Token b = Advance();
+      if (a.text != v1 || b.text != v2) {
+        return ErrorAt(a, "order predicates must be written '" + v1 +
+                              " < " + v2 + " on [A]' (or '<=')");
+      }
+      Result<Token> on = Expect(TokenKind::kKwOn, "'on'");
+      if (!on.ok()) return on.status();
+      Result<Token> attr = Expect(TokenKind::kAttrRef, "attribute reference");
+      if (!attr.ok()) return attr.status();
+      Result<AttrId> id = EntityAttr(attr.value());
+      if (!id.ok()) return id.status();
+      pred->kind = TuplePairPredicate::Kind::kOrder;
+      pred->left_attr = id.value();
+      pred->strict = op.kind == TokenKind::kLt;
+      return Status::OK();
+    }
+
+    Result<Term> left = ParseForm1Term(v1, v2);
+    if (!left.ok()) return left.status();
+    Result<CompareOp> o = ToCompareOp(Peek());
+    if (!o.ok()) return o.status();
+    CompareOp op = o.value();
+    Advance();
+    Result<Term> right = ParseForm1Term(v1, v2);
+    if (!right.ok()) return right.status();
+    return BuildForm1Predicate(left.value(), op, right.value(), pred);
+  }
+
+  Result<Term> ParseForm1Term(const std::string& v1, const std::string& v2) {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kIdent: {
+        Token var = Advance();
+        Result<Token> attr =
+            Expect(TokenKind::kAttrRef, "attribute reference after '" +
+                                            var.text + "'");
+        if (!attr.ok()) return attr.status();
+        Result<AttrId> id = EntityAttr(attr.value());
+        if (!id.ok()) return id.status();
+        Term term;
+        term.at = var;
+        term.attr = id.value();
+        if (var.text == "te") {
+          term.kind = Term::Kind::kTeAttr;
+        } else if (var.text == v1) {
+          term.kind = Term::Kind::kVarAttr;
+          term.which = 1;
+        } else if (var.text == v2) {
+          term.kind = Term::Kind::kVarAttr;
+          term.which = 2;
+        } else {
+          return ErrorAt(var, "unknown variable '" + var.text + "'");
+        }
+        return term;
+      }
+      case TokenKind::kString: {
+        Token lit = Advance();
+        Term term;
+        term.at = lit;
+        term.literal = Value::Str(lit.text);
+        return term;
+      }
+      case TokenKind::kInt: {
+        Token lit = Advance();
+        Term term;
+        term.at = lit;
+        term.literal = Value::Int(lit.int_value);
+        return term;
+      }
+      case TokenKind::kReal: {
+        Token lit = Advance();
+        Term term;
+        term.at = lit;
+        term.literal = Value::Real(lit.real_value);
+        return term;
+      }
+      case TokenKind::kKwTrue:
+      case TokenKind::kKwFalse: {
+        Token lit = Advance();
+        Term term;
+        term.at = lit;
+        term.literal = Value::Bool(lit.kind == TokenKind::kKwTrue);
+        return term;
+      }
+      case TokenKind::kKwNull: {
+        Token lit = Advance();
+        Term term;
+        term.at = lit;
+        term.literal = Value::Null();
+        return term;
+      }
+      default:
+        return ErrorAt(token, std::string("expected a term, got ") +
+                                  TokenKindName(token.kind));
+    }
+  }
+
+  Status BuildForm1Predicate(const Term& left, CompareOp op, const Term& right,
+                             TuplePairPredicate* pred) {
+    using K = Term::Kind;
+    // Normalize literal-first / te-first spellings by flipping.
+    if ((left.kind == K::kLiteral && right.kind != K::kLiteral) ||
+        (left.kind == K::kTeAttr && right.kind == K::kVarAttr)) {
+      return BuildForm1Predicate(right, FlipCompareOp(op), left, pred);
+    }
+    if (left.kind == K::kVarAttr && right.kind == K::kVarAttr) {
+      if (left.which == right.which) {
+        return ErrorAt(left.at,
+                       "a predicate may not compare a variable with itself");
+      }
+      if (left.which == 2) {
+        return BuildForm1Predicate(right, FlipCompareOp(op), left, pred);
+      }
+      pred->kind = TuplePairPredicate::Kind::kAttrAttr;
+      pred->left_attr = left.attr;
+      pred->right_attr = right.attr;
+      pred->op = op;
+      return Status::OK();
+    }
+    if (left.kind == K::kVarAttr && right.kind == K::kLiteral) {
+      pred->kind = TuplePairPredicate::Kind::kAttrConst;
+      pred->which = left.which;
+      pred->left_attr = left.attr;
+      pred->op = op;
+      pred->constant = CoerceLiteral(right.literal, entity_schema_, left.attr);
+      return Status::OK();
+    }
+    if (left.kind == K::kVarAttr && right.kind == K::kTeAttr) {
+      pred->kind = TuplePairPredicate::Kind::kAttrTe;
+      pred->which = left.which;
+      pred->left_attr = left.attr;
+      pred->right_attr = right.attr;
+      pred->op = op;
+      return Status::OK();
+    }
+    if (left.kind == K::kTeAttr && right.kind == K::kLiteral) {
+      pred->kind = TuplePairPredicate::Kind::kTeConst;
+      pred->left_attr = left.attr;
+      pred->op = op;
+      pred->constant = CoerceLiteral(right.literal, entity_schema_, left.attr);
+      return Status::OK();
+    }
+    return ErrorAt(left.at, "unsupported predicate shape");
+  }
+
+  // --- form (2) -----------------------------------------------------------
+
+  Status ParseForm2Body(const std::string& tm, const NamedMaster& master,
+                        AccuracyRule* rule) {
+    Result<Token> lp = Expect(TokenKind::kLParen, "'('");
+    if (!lp.ok()) return lp.status();
+
+    while (Peek().kind != TokenKind::kArrow) {  // empty ω allowed: (-> ...)
+      MasterPredicate pred;
+      Status st = ParseForm2Predicate(tm, master, &pred);
+      if (!st.ok()) return st;
+      rule->master_lhs.push_back(std::move(pred));
+      if (Peek().kind == TokenKind::kKwAnd) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+
+    Result<Token> arrow = Expect(TokenKind::kArrow, "'->'");
+    if (!arrow.ok()) return arrow.status();
+
+    while (true) {
+      // te[A] := tm[B]
+      Result<Token> te = Expect(TokenKind::kIdent, "'te' in assignment");
+      if (!te.ok()) return te.status();
+      if (te.value().text != "te") {
+        return ErrorAt(te.value(), "assignments must target 'te'");
+      }
+      Result<Token> te_attr = Expect(TokenKind::kAttrRef, "attribute reference");
+      if (!te_attr.ok()) return te_attr.status();
+      Result<AttrId> te_id = EntityAttr(te_attr.value());
+      if (!te_id.ok()) return te_id.status();
+      Result<Token> assign = Expect(TokenKind::kAssign, "':='");
+      if (!assign.ok()) return assign.status();
+      Result<Token> tmv = Expect(TokenKind::kIdent, "'" + tm + "' in assignment");
+      if (!tmv.ok()) return tmv.status();
+      if (tmv.value().text != tm) {
+        return ErrorAt(tmv.value(),
+                       "assignment source must be '" + tm + "[...]'");
+      }
+      Result<Token> tm_attr = Expect(TokenKind::kAttrRef, "attribute reference");
+      if (!tm_attr.ok()) return tm_attr.status();
+      std::optional<AttrId> tm_id = master.schema->IndexOf(tm_attr.value().text);
+      if (!tm_id) {
+        return ErrorAt(tm_attr.value(), "unknown master attribute '" +
+                                            tm_attr.value().text + "'");
+      }
+      rule->assignments.emplace_back(te_id.value(), *tm_id);
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+
+    Result<Token> rp = Expect(TokenKind::kRParen, "')'");
+    if (!rp.ok()) return rp.status();
+    return Status::OK();
+  }
+
+  Status ParseForm2Predicate(const std::string& tm, const NamedMaster& master,
+                             MasterPredicate* pred) {
+    // Term: te[A] | tm[B] | literal, joined by a comparison operator.
+    struct M {
+      enum class Kind { kTe, kMaster, kLiteral } kind = Kind::kLiteral;
+      AttrId attr = -1;
+      Value literal;
+      Token at;
+    };
+    auto parse_term = [&]() -> Result<M> {
+      const Token& token = Peek();
+      M m;
+      m.at = token;
+      switch (token.kind) {
+        case TokenKind::kIdent: {
+          Token var = Advance();
+          Result<Token> attr = Expect(TokenKind::kAttrRef,
+                                      "attribute reference after '" +
+                                          var.text + "'");
+          if (!attr.ok()) return attr.status();
+          if (var.text == "te") {
+            Result<AttrId> id = EntityAttr(attr.value());
+            if (!id.ok()) return id.status();
+            m.kind = M::Kind::kTe;
+            m.attr = id.value();
+          } else if (var.text == tm) {
+            std::optional<AttrId> id = master.schema->IndexOf(attr.value().text);
+            if (!id) {
+              return ErrorAt(attr.value(), "unknown master attribute '" +
+                                               attr.value().text + "'");
+            }
+            m.kind = M::Kind::kMaster;
+            m.attr = *id;
+          } else {
+            return ErrorAt(var, "unknown variable '" + var.text + "'");
+          }
+          return m;
+        }
+        case TokenKind::kString:
+          m.literal = Value::Str(Advance().text);
+          return m;
+        case TokenKind::kInt:
+          m.literal = Value::Int(Advance().int_value);
+          return m;
+        case TokenKind::kReal:
+          m.literal = Value::Real(Advance().real_value);
+          return m;
+        case TokenKind::kKwTrue:
+        case TokenKind::kKwFalse:
+          m.literal = Value::Bool(Advance().kind == TokenKind::kKwTrue);
+          return m;
+        case TokenKind::kKwNull:
+          Advance();
+          m.literal = Value::Null();
+          return m;
+        default:
+          return ErrorAt(token, std::string("expected a term, got ") +
+                                    TokenKindName(token.kind));
+      }
+    };
+
+    Result<M> left = parse_term();
+    if (!left.ok()) return left.status();
+    Result<CompareOp> op = ToCompareOp(Peek());
+    if (!op.ok()) return op.status();
+    Advance();
+    Result<M> right = parse_term();
+    if (!right.ok()) return right.status();
+
+    M l = left.value();
+    CompareOp o = op.value();
+    M r = right.value();
+    // Normalize literal-first and master-first-vs-te spellings.
+    if ((l.kind == M::Kind::kLiteral && r.kind != M::Kind::kLiteral) ||
+        (l.kind == M::Kind::kMaster && r.kind == M::Kind::kTe)) {
+      std::swap(l, r);
+      o = FlipCompareOp(o);
+    }
+    if (l.kind == M::Kind::kTe && r.kind == M::Kind::kMaster) {
+      if (o != CompareOp::kEq) {
+        return ErrorAt(l.at, "te/master predicates must use '='");
+      }
+      pred->kind = MasterPredicate::Kind::kTeMaster;
+      pred->te_attr = l.attr;
+      pred->master_attr = r.attr;
+      pred->op = CompareOp::kEq;
+      return Status::OK();
+    }
+    if (l.kind == M::Kind::kTe && r.kind == M::Kind::kLiteral) {
+      if (o != CompareOp::kEq) {
+        return ErrorAt(l.at, "te predicates must use '='");
+      }
+      pred->kind = MasterPredicate::Kind::kTeConst;
+      pred->te_attr = l.attr;
+      pred->op = CompareOp::kEq;
+      pred->constant = CoerceLiteral(r.literal, entity_schema_, l.attr);
+      return Status::OK();
+    }
+    if (l.kind == M::Kind::kMaster && r.kind == M::Kind::kLiteral) {
+      pred->kind = MasterPredicate::Kind::kMasterConst;
+      pred->master_attr = l.attr;
+      pred->op = o;
+      pred->constant = CoerceLiteral(r.literal, *master.schema, l.attr);
+      return Status::OK();
+    }
+    return ErrorAt(l.at, "unsupported predicate shape");
+  }
+
+  const Schema& entity_schema_;
+  const std::string& entity_name_;
+  const std::vector<NamedMaster>& masters_;
+  std::vector<Token> tokens_;
+  int pos_ = 0;
+};
+
+RuleParser::RuleParser(const Schema& entity_schema, std::string entity_name,
+                       std::vector<NamedMaster> masters)
+    : entity_schema_(entity_schema),
+      entity_name_(std::move(entity_name)),
+      masters_(std::move(masters)) {}
+
+Result<std::vector<AccuracyRule>> RuleParser::ParseProgram(
+    const std::string& text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Impl impl(entity_schema_, entity_name_, masters_,
+            std::move(tokens).value());
+  return impl.ParseProgram();
+}
+
+Result<AccuracyRule> RuleParser::ParseRule(const std::string& text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Impl impl(entity_schema_, entity_name_, masters_,
+            std::move(tokens).value());
+  return impl.ParseSingle();
+}
+
+// --- formatting -----------------------------------------------------------
+
+namespace {
+
+std::string AttrRef(const Schema& schema, AttrId attr) {
+  return "[" + schema.name(attr) + "]";
+}
+
+std::string FormatForm1Predicate(const TuplePairPredicate& pred,
+                                 const Schema& schema) {
+  using K = TuplePairPredicate::Kind;
+  switch (pred.kind) {
+    case K::kAttrAttr:
+      return "t1" + AttrRef(schema, pred.left_attr) + " " + OpText(pred.op) +
+             " t2" + AttrRef(schema, pred.right_attr);
+    case K::kAttrConst:
+      return "t" + std::to_string(pred.which) +
+             AttrRef(schema, pred.left_attr) + " " + OpText(pred.op) + " " +
+             FormatLiteral(pred.constant);
+    case K::kAttrTe:
+      return "t" + std::to_string(pred.which) +
+             AttrRef(schema, pred.left_attr) + " " + OpText(pred.op) + " te" +
+             AttrRef(schema, pred.right_attr);
+    case K::kTeConst:
+      return "te" + AttrRef(schema, pred.left_attr) + " " + OpText(pred.op) +
+             " " + FormatLiteral(pred.constant);
+    case K::kOrder:
+      return std::string("t1 ") + (pred.strict ? "<" : "<=") + " t2 on " +
+             AttrRef(schema, pred.left_attr);
+  }
+  return "";
+}
+
+std::string FormatForm2Predicate(const MasterPredicate& pred,
+                                 const Schema& entity_schema,
+                                 const Schema& master_schema,
+                                 const std::string& tm) {
+  using K = MasterPredicate::Kind;
+  switch (pred.kind) {
+    case K::kTeConst:
+      return "te" + AttrRef(entity_schema, pred.te_attr) + " = " +
+             FormatLiteral(pred.constant);
+    case K::kTeMaster:
+      return "te" + AttrRef(entity_schema, pred.te_attr) + " = " + tm +
+             AttrRef(master_schema, pred.master_attr);
+    case K::kMasterConst:
+      return tm + AttrRef(master_schema, pred.master_attr) + " " +
+             OpText(pred.op) + " " + FormatLiteral(pred.constant);
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string FormatRuleDsl(const AccuracyRule& rule, const Schema& entity_schema,
+                          const std::vector<NamedMaster>& masters,
+                          const std::string& entity_name) {
+  std::string out = "rule " + SanitizeName(rule.name);
+  if (rule.provenance != RuleProvenance::kGeneric) {
+    out += std::string(" @") + ProvenanceTag(rule.provenance);
+  }
+  out += ":\n";
+  if (rule.form == AccuracyRule::Form::kTuplePair) {
+    out += "  forall t1, t2 in " +
+           (entity_name.empty() ? std::string("R") : entity_name) + "\n  (";
+    for (size_t i = 0; i < rule.lhs.size(); ++i) {
+      if (i > 0) out += "\n   and ";
+      out += FormatForm1Predicate(rule.lhs[i], entity_schema);
+    }
+    out += "\n   -> t1 <= t2 on " + AttrRef(entity_schema, rule.rhs_attr) + ")\n";
+    return out;
+  }
+  // Form (2).
+  const NamedMaster* master = nullptr;
+  for (const NamedMaster& m : masters) {
+    if (m.index == rule.master_index) { master = &m; break; }
+  }
+  std::string master_name =
+      master ? master->name : "m" + std::to_string(rule.master_index);
+  const Schema* master_schema = master ? master->schema : &entity_schema;
+  out += "  forall tm in " + master_name + "\n  (";
+  for (size_t i = 0; i < rule.master_lhs.size(); ++i) {
+    if (i > 0) out += "\n   and ";
+    out += FormatForm2Predicate(rule.master_lhs[i], entity_schema,
+                                *master_schema, "tm");
+  }
+  out += "\n   -> ";
+  for (size_t i = 0; i < rule.assignments.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "te" + AttrRef(entity_schema, rule.assignments[i].first) + " := tm" +
+           AttrRef(*master_schema, rule.assignments[i].second);
+  }
+  out += ")\n";
+  return out;
+}
+
+std::string FormatProgramDsl(const std::vector<AccuracyRule>& rules,
+                             const Schema& entity_schema,
+                             const std::vector<NamedMaster>& masters,
+                             const std::string& entity_name) {
+  std::string out;
+  for (const AccuracyRule& rule : rules) {
+    out += FormatRuleDsl(rule, entity_schema, masters, entity_name);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace relacc

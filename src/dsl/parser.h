@@ -1,0 +1,95 @@
+#ifndef RELACC_DSL_PARSER_H_
+#define RELACC_DSL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "dsl/token.h"
+#include "rules/accuracy_rule.h"
+#include "util/status.h"
+
+namespace relacc {
+
+/// A named master relation schema visible to the parser. `index` is the
+/// position of that relation in Specification::masters.
+struct NamedMaster {
+  std::string name;
+  const Schema* schema = nullptr;
+  int index = 0;
+};
+
+/// Parser for the rule DSL, an ASCII rendition of the paper's AR notation
+/// (Sec. 2.1, Table 3). A program is a sequence of rules; `#` comments and
+/// blank lines are free. Two rule forms, dispatched on the quantified
+/// variables:
+///
+/// Form (1) — two tuple variables over the entity relation:
+///
+///   rule phi1 @currency:
+///     forall t1, t2 in stat
+///     (t1[league] = t2[league] and t1[rnds] < t2[rnds] -> t1 <= t2 on [rnds])
+///
+///   Body conjuncts:  t1[A] op t2[B]   |  t1[A] op <literal>  |
+///                    t1[A] op te[B]   |  te[A] op <literal>  |
+///                    t1 < t2 on [A]   |  t1 <= t2 on [A]
+///   with op in {=, !=, <, <=, >, >=} (both sides may be written in either
+///   order; the parser normalizes). Conclusion: t1 <= t2 on [A].
+///
+/// Form (2) — one master variable over a declared master relation:
+///
+///   rule phi6 @master:
+///     forall tm in nba
+///     (tm[FN] = te[FN] and tm[LN] = te[LN] and tm[season] = "1994-95"
+///      -> te[league] := tm[league], te[team] := tm[team])
+///
+///   Body conjuncts:  te[A] = tm[B]  |  te[A] = <literal>  |
+///                    tm[B] op <literal>
+///   Conclusion: a comma-separated list of te[A] := tm[B] assignments.
+///
+/// Literals: "string", integers, reals, true/false, null. Where the target
+/// attribute has a numeric type, integer literals coerce per the schema.
+/// The optional `@tag` after the rule name sets RuleProvenance; tags are
+/// currency, correlation, master, cfd, generic.
+///
+/// Attribute names are validated against the schemas and reported with
+/// line/column positions on error.
+class RuleParser {
+ public:
+  /// `entity_schema` and the schemas in `masters` must outlive the parser.
+  /// `entity_name` is the relation name expected after `in` for form-(1)
+  /// rules; pass "" to accept any name.
+  RuleParser(const Schema& entity_schema, std::string entity_name = "",
+             std::vector<NamedMaster> masters = {});
+
+  /// Parses a whole program (zero or more rules).
+  Result<std::vector<AccuracyRule>> ParseProgram(const std::string& text);
+
+  /// Parses exactly one rule (trailing input is an error).
+  Result<AccuracyRule> ParseRule(const std::string& text);
+
+ private:
+  class Impl;
+
+  const Schema& entity_schema_;
+  std::string entity_name_;
+  std::vector<NamedMaster> masters_;
+};
+
+/// Renders `rule` in DSL syntax such that RuleParser parses it back to an
+/// equivalent rule (round-trip property, tested). `masters[i]` names the
+/// master relation with Specification index i; form-(2) rules whose
+/// master_index is out of range render with a synthesized name `m<i>`.
+std::string FormatRuleDsl(const AccuracyRule& rule, const Schema& entity_schema,
+                          const std::vector<NamedMaster>& masters = {},
+                          const std::string& entity_name = "R");
+
+/// Formats a whole program, one rule per stanza.
+std::string FormatProgramDsl(const std::vector<AccuracyRule>& rules,
+                             const Schema& entity_schema,
+                             const std::vector<NamedMaster>& masters = {},
+                             const std::string& entity_name = "R");
+
+}  // namespace relacc
+
+#endif  // RELACC_DSL_PARSER_H_

@@ -1,0 +1,58 @@
+#ifndef RELACC_DSL_TOKEN_H_
+#define RELACC_DSL_TOKEN_H_
+
+#include <string>
+
+namespace relacc {
+
+/// Token kinds produced by the rule-DSL lexer (src/dsl/lexer.h). The DSL is
+/// an ASCII rendition of the paper's AR notation (Table 3); see
+/// docs in parser.h for the grammar.
+enum class TokenKind {
+  kEnd = 0,       ///< end of input
+  kIdent,         ///< bare identifier (rule names, variables, relation names)
+  kAttrRef,       ///< `[...]` attribute reference; text is the raw inside
+  kString,        ///< double-quoted string literal (escapes resolved)
+  kInt,           ///< integer literal
+  kReal,          ///< floating-point literal
+  kKwRule,        ///< `rule`
+  kKwForall,      ///< `forall`
+  kKwIn,          ///< `in`
+  kKwAnd,         ///< `and`
+  kKwOn,          ///< `on`
+  kKwTrue,        ///< `true`
+  kKwFalse,       ///< `false`
+  kKwNull,        ///< `null`
+  kLParen,        ///< `(`
+  kRParen,        ///< `)`
+  kComma,         ///< `,`
+  kColon,         ///< `:`
+  kSemicolon,     ///< `;`
+  kAt,            ///< `@` (provenance annotation)
+  kArrow,         ///< `->`
+  kAssign,        ///< `:=`
+  kEq,            ///< `=` (also accepts `==`)
+  kNe,            ///< `!=`
+  kLt,            ///< `<`
+  kLe,            ///< `<=`
+  kGt,            ///< `>`
+  kGe,            ///< `>=`
+};
+
+/// Name of a token kind for diagnostics ("identifier", "'('", ...).
+const char* TokenKindName(TokenKind kind);
+
+/// One lexed token with its source position (1-based line/column of the
+/// first character) for error messages.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     ///< raw payload for ident/attr-ref/string literals
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_DSL_TOKEN_H_

@@ -1,0 +1,85 @@
+#include "framework/framework.h"
+
+namespace relacc {
+
+UserOracle::Response SimulatedUser::Inspect(
+    const Tuple& deduced_te, const std::vector<Tuple>& candidates) {
+  Response r;
+  for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+    if (candidates[i] == truth_) {
+      r.accepted_candidate = i;
+      return r;
+    }
+  }
+  // Reveal the true value of the first still-null attribute (Exp-3 picks
+  // one at random; a deterministic pick keeps runs reproducible and is
+  // statistically equivalent under our generators' symmetric noise).
+  for (AttrId a = 0; a < deduced_te.size(); ++a) {
+    if (deduced_te.at(a).is_null() && !truth_.at(a).is_null()) {
+      ++revisions_;
+      r.revision = {a, truth_.at(a)};
+      return r;
+    }
+  }
+  return r;  // nothing to reveal: give up
+}
+
+FrameworkResult RunFramework(const Specification& spec,
+                             const PreferenceModel& pref, UserOracle* user,
+                             const FrameworkOptions& opts) {
+  FrameworkResult result;
+  const GroundProgram program =
+      Instantiate(spec.ie, spec.masters, spec.rules);
+  ChaseEngine engine(spec.ie, &program, spec.config);
+
+  Tuple initial_te(
+      std::vector<Value>(spec.ie.schema().size(), Value::Null()));
+
+  for (int round = 0; round <= opts.max_rounds; ++round) {
+    // Step (1)+(2): Church-Rosser check and target deduction (IsCR). The
+    // incremental path resumes from the shared all-null checkpoint, which
+    // the TopKCT `check` calls below warm up anyway.
+    const ChaseOutcome outcome = opts.incremental
+                                     ? engine.ResumeWith(initial_te)
+                                     : engine.Run(initial_te);
+    if (!outcome.church_rosser) {
+      // Step (4) "No" branch: a real deployment asks the user to revise Σ;
+      // the simulated loop has no rule editing, so report failure.
+      result.church_rosser = false;
+      return result;
+    }
+    result.church_rosser = true;
+    if (round == 0) {
+      result.automatic_attrs =
+          outcome.target.size() - outcome.target.NullCount();
+    }
+    if (outcome.target.IsComplete()) {
+      result.found_complete_target = true;
+      result.target = outcome.target;
+      result.interaction_rounds = round;
+      return result;
+    }
+    // Step (3): top-k candidate targets.
+    result.last_topk = TopKCT(engine, spec.masters, outcome.target, pref,
+                              opts.k, opts.topk);
+    // Step (4): user feedback.
+    const UserOracle::Response resp =
+        user->Inspect(outcome.target, result.last_topk.targets);
+    if (resp.accepted_candidate.has_value()) {
+      result.found_complete_target = true;
+      result.target = result.last_topk.targets[*resp.accepted_candidate];
+      result.interaction_rounds = round;
+      return result;
+    }
+    if (!resp.revision.has_value()) {
+      result.target = outcome.target;
+      result.interaction_rounds = round;
+      return result;  // user gave up; return the partial target
+    }
+    initial_te.set(resp.revision->first, resp.revision->second);
+  }
+  result.interaction_rounds = opts.max_rounds;
+  return result;
+}
+
+}  // namespace relacc

@@ -1,0 +1,74 @@
+#include "order/partial_order.h"
+
+namespace relacc {
+
+PartialOrder::PartialOrder(std::vector<Value> column)
+    : n_(static_cast<int>(column.size())),
+      stride_((column.size() + 63) / 64),
+      column_(std::move(column)) {
+  succ_.assign(static_cast<std::size_t>(n_) * stride_, 0);
+  pred_.assign(static_cast<std::size_t>(n_) * stride_, 0);
+  in_count_.assign(n_, 0);
+  if (n_ == 1) greatest_ = 0;  // a singleton instance is trivially greatest
+}
+
+bool PartialOrder::AddPair(int i, int j,
+                           std::vector<std::pair<int, int>>* new_pairs,
+                           bool* conflict) {
+  if (i == j || TestBit(succ_, i, j)) return false;
+  // Sources: i plus everything that reaches i (snapshot — pred_[i] row may
+  // gain bits mid-loop only when i is also a target, which the snapshot
+  // makes safe). Targets: j plus everything j reaches (that row is stable:
+  // it only mutates when the source equals j, where the missing-bit scan
+  // is empty).
+  std::vector<int> sources;
+  sources.reserve(static_cast<std::size_t>(in_count_[i]) + 1);
+  sources.push_back(i);
+  {
+    const uint64_t* row = &pred_[Row(i)];
+    for (std::size_t w = 0; w < stride_; ++w) {
+      uint64_t bits = row[w];
+      while (bits) {
+        const int b = __builtin_ctzll(bits);
+        sources.push_back(static_cast<int>(w * 64) + b);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  for (int a : sources) {
+    auto consider = [&](int b) {
+      if (a == b || TestBit(succ_, a, b)) return;
+      SetBit(succ_, a, b);
+      SetBit(pred_, b, a);
+      if (++in_count_[b] == n_ - 1) greatest_ = b;
+      new_pairs->emplace_back(a, b);
+      if (TestBit(succ_, b, a) && !(column_[a] == column_[b])) {
+        *conflict = true;
+      }
+    };
+    consider(j);
+    // Missing targets for a: succ_[j] \ succ_[a] (word-parallel scan).
+    const std::size_t row_a = Row(a);
+    const std::size_t row_j = Row(j);
+    for (std::size_t w = 0; w < stride_; ++w) {
+      uint64_t bits = succ_[row_j + w] & ~succ_[row_a + w];
+      while (bits) {
+        const int b = __builtin_ctzll(bits);
+        consider(static_cast<int>(w * 64) + b);
+        bits &= bits - 1;
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t PartialOrder::PairCount() const {
+  std::size_t total = 0;
+  for (uint64_t w : succ_) {
+    total += static_cast<std::size_t>(__builtin_popcountll(w));
+  }
+  return total;
+}
+
+}  // namespace relacc

@@ -1,0 +1,89 @@
+#ifndef RELACC_ORDER_PARTIAL_ORDER_H_
+#define RELACC_ORDER_PARTIAL_ORDER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/value.h"
+
+namespace relacc {
+
+/// The accuracy order ⪯_A over the tuples of one entity instance for one
+/// attribute A (Sec. 2.1). Stored as a transitively-closed directed graph
+/// over tuple indices; the strict order ≺_A is derived:
+///     ti ≺_A tj   iff   ti ⪯_A tj  and  ti[A] ≠ tj[A].
+///
+/// Invariants maintained:
+///  * transitivity (closure is taken incrementally on every insertion);
+///  * a *conflict* — ti ⪯ tj ∧ tj ⪯ ti with ti[A] ≠ tj[A], i.e. a violation
+///    of anti-symmetry of ≺ — is reported to the caller, who treats it as a
+///    Church-Rosser violation (an invalid chase step).
+///
+/// The greatest element (a tuple t with t' ⪯ t for every other t') drives
+/// the λ assignment of te[A] (Sec. 2.2); it is maintained in O(1) via
+/// in-degree counting.
+///
+/// Representation: successor and predecessor adjacency bit-matrices in two
+/// flat word arrays (row stride = ⌈n/64⌉). The flat layout matters: the
+/// top-k candidate check copies chase states wholesale, and one PartialOrder
+/// copy must be two memcpys, not 2n vector allocations.
+class PartialOrder {
+ public:
+  /// `column` holds ti[A] for every tuple; defines strictness & conflicts.
+  explicit PartialOrder(std::vector<Value> column);
+
+  int n() const { return n_; }
+
+  const Value& value(int i) const { return column_[i]; }
+
+  /// ti ⪯_A tj? (Irreflexive storage: Reaches(i,i) is false by convention;
+  /// reflexivity is immaterial to the chase.)
+  bool Reaches(int i, int j) const {
+    return i != j && TestBit(succ_, i, j);
+  }
+
+  /// ti ≺_A tj, derived per the class comment.
+  bool Precedes(int i, int j) const {
+    return Reaches(i, j) && !(column_[i] == column_[j]);
+  }
+
+  /// Inserts i ⪯ j and transitively closes. Every newly derived pair
+  /// (including (i,j) itself) is appended to `new_pairs`. If any new pair
+  /// completes a cycle over differing values, *conflict is set (the
+  /// structure is left closed but the chase must abort). Returns false —
+  /// touching nothing — when the pair is already present or i == j.
+  bool AddPair(int i, int j, std::vector<std::pair<int, int>>* new_pairs,
+               bool* conflict);
+
+  /// A tuple index t with t' ⪯ t for all t' ≠ t, or -1 if none. When
+  /// several exist they carry equal values (otherwise a conflict would have
+  /// been reported), so any witness is as good as another.
+  int GreatestElement() const { return greatest_; }
+
+  /// Number of ⪯ pairs currently stored (excluding the implicit diagonal).
+  std::size_t PairCount() const;
+
+ private:
+  std::size_t Row(int i) const {
+    return static_cast<std::size_t>(i) * stride_;
+  }
+  bool TestBit(const std::vector<uint64_t>& m, int i, int j) const {
+    return (m[Row(i) + (static_cast<unsigned>(j) >> 6)] >> (j & 63)) & 1u;
+  }
+  void SetBit(std::vector<uint64_t>& m, int i, int j) {
+    m[Row(i) + (static_cast<unsigned>(j) >> 6)] |= uint64_t{1} << (j & 63);
+  }
+
+  int n_ = 0;
+  std::size_t stride_ = 0;  ///< words per row
+  std::vector<Value> column_;
+  std::vector<uint64_t> succ_;  ///< succ bit (i,j) <=> i ⪯ j
+  std::vector<uint64_t> pred_;  ///< pred bit (j,i) <=> i ⪯ j
+  std::vector<int> in_count_;   ///< predecessors per node
+  int greatest_ = -1;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_ORDER_PARTIAL_ORDER_H_

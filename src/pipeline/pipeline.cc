@@ -1,0 +1,109 @@
+#include "pipeline/pipeline.h"
+
+#include <utility>
+
+#include "chase/chase_engine.h"
+#include "rules/grounding.h"
+#include "util/thread_pool.h"
+
+namespace relacc {
+
+namespace {
+
+/// Processes one entity instance: chase, then optional candidate
+/// completion. Pure function of its inputs; called concurrently.
+EntityReport ProcessEntity(const EntityInstance& entity,
+                           const std::vector<Relation>& masters,
+                           const std::vector<AccuracyRule>& rules,
+                           const PipelineOptions& options) {
+  EntityReport report;
+  report.entity_id = entity.entity_id();
+  report.num_tuples = entity.size();
+
+  const GroundProgram program = Instantiate(entity, masters, rules);
+  ChaseEngine engine(entity, &program, options.chase);
+  ChaseOutcome outcome = engine.RunFromInitial();
+  if (!outcome.church_rosser) {
+    report.violation = outcome.violation;
+    return report;
+  }
+  report.church_rosser = true;
+  report.deduced_attrs = outcome.target.size() - outcome.target.NullCount();
+  report.target = outcome.target;
+  if (outcome.target.IsComplete() ||
+      options.completion == CompletionPolicy::kLeaveNull) {
+    report.complete = outcome.target.IsComplete();
+    return report;
+  }
+
+  // Candidate completion (Sec. 6): top-1 candidate target.
+  PreferenceModel local_pref;
+  const PreferenceModel* pref = options.preference;
+  if (pref == nullptr) {
+    local_pref = PreferenceModel::FromOccurrences(entity, masters);
+    pref = &local_pref;
+  }
+  TopKResult topk =
+      options.completion == CompletionPolicy::kHeuristic
+          ? TopKCTh(engine, masters, outcome.target, *pref, 1, options.topk)
+          : TopKCT(engine, masters, outcome.target, *pref, 1, options.topk);
+  if (!topk.targets.empty()) {
+    report.target = topk.targets[0];
+    report.used_candidate = true;
+  }
+  report.complete = report.target.IsComplete();
+  return report;
+}
+
+}  // namespace
+
+PipelineReport RunPipeline(const std::vector<EntityInstance>& entities,
+                           const std::vector<Relation>& masters,
+                           const std::vector<AccuracyRule>& rules,
+                           const PipelineOptions& options) {
+  PipelineReport report;
+  report.entities.resize(entities.size());
+
+  ThreadPool pool(options.num_threads);
+  pool.ParallelFor(static_cast<int64_t>(entities.size()), [&](int64_t i) {
+    report.entities[i] = ProcessEntity(entities[i], masters, rules, options);
+  });
+
+  // Deterministic aggregation in input order.
+  Schema schema = entities.empty() ? Schema() : entities[0].schema();
+  report.targets = Relation(schema);
+  int64_t attrs_total = 0;
+  int64_t attrs_deduced = 0;
+  for (size_t i = 0; i < report.entities.size(); ++i) {
+    const EntityReport& e = report.entities[i];
+    report.total_tuples += e.num_tuples;
+    if (!e.church_rosser) {
+      ++report.num_non_church_rosser;
+      continue;
+    }
+    ++report.num_church_rosser;
+    attrs_total += schema.size();
+    attrs_deduced += e.deduced_attrs;
+    if (e.complete && !e.used_candidate) ++report.num_complete_by_chase;
+    if (e.complete && e.used_candidate) ++report.num_completed_by_candidates;
+    if (!e.complete) ++report.num_incomplete;
+    report.targets.Add(e.target);
+    report.row_entity.push_back(static_cast<int>(i));
+  }
+  report.deduced_attr_fraction =
+      attrs_total > 0 ? static_cast<double>(attrs_deduced) /
+                            static_cast<double>(attrs_total)
+                      : 0.0;
+  return report;
+}
+
+PipelineReport RunPipelineOnFlat(const Relation& flat,
+                                 const ResolverConfig& resolver_config,
+                                 const std::vector<Relation>& masters,
+                                 const std::vector<AccuracyRule>& rules,
+                                 const PipelineOptions& options) {
+  ResolutionResult resolution = ResolveEntities(flat, resolver_config);
+  return RunPipeline(resolution.entities, masters, rules, options);
+}
+
+}  // namespace relacc

@@ -1,0 +1,72 @@
+#include "rules/accuracy_rule.h"
+
+namespace relacc {
+namespace {
+
+std::string RenderPairPredicate(const TuplePairPredicate& p,
+                                const Schema& schema) {
+  using Kind = TuplePairPredicate::Kind;
+  const auto attr = [&](AttrId a) { return schema.name(a); };
+  switch (p.kind) {
+    case Kind::kAttrAttr:
+      return "t1[" + attr(p.left_attr) + "] " + CompareOpName(p.op) + " t2[" +
+             attr(p.right_attr) + "]";
+    case Kind::kAttrConst:
+      return "t" + std::to_string(p.which) + "[" + attr(p.left_attr) + "] " +
+             CompareOpName(p.op) + " " +
+             (p.constant.is_null() ? "null" : p.constant.ToString());
+    case Kind::kAttrTe:
+      return "t" + std::to_string(p.which) + "[" + attr(p.left_attr) + "] " +
+             CompareOpName(p.op) + " te[" + attr(p.right_attr) + "]";
+    case Kind::kTeConst:
+      return "te[" + attr(p.left_attr) + "] " + CompareOpName(p.op) + " " +
+             (p.constant.is_null() ? "null" : p.constant.ToString());
+    case Kind::kOrder:
+      return std::string("t1 ") + (p.strict ? "<" : "<=") + "_" +
+             attr(p.left_attr) + " t2";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string RuleToString(const AccuracyRule& rule, const Schema& schema) {
+  std::string out = rule.name.empty() ? "AR" : rule.name;
+  out += ": ";
+  if (rule.form == AccuracyRule::Form::kTuplePair) {
+    for (std::size_t i = 0; i < rule.lhs.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += RenderPairPredicate(rule.lhs[i], schema);
+    }
+    if (rule.lhs.empty()) out += "true";
+    out += " -> t1 <=_" + schema.name(rule.rhs_attr) + " t2";
+  } else {
+    for (std::size_t i = 0; i < rule.master_lhs.size(); ++i) {
+      if (i > 0) out += " AND ";
+      const MasterPredicate& p = rule.master_lhs[i];
+      switch (p.kind) {
+        case MasterPredicate::Kind::kTeConst:
+          out += "te[" + schema.name(p.te_attr) + "] = " + p.constant.ToString();
+          break;
+        case MasterPredicate::Kind::kTeMaster:
+          out += "te[" + schema.name(p.te_attr) + "] = tm[#" +
+                 std::to_string(p.master_attr) + "]";
+          break;
+        case MasterPredicate::Kind::kMasterConst:
+          out += "tm[#" + std::to_string(p.master_attr) + "] " +
+                 CompareOpName(p.op) + " " + p.constant.ToString();
+          break;
+      }
+    }
+    if (rule.master_lhs.empty()) out += "true";
+    out += " -> te[";
+    for (std::size_t i = 0; i < rule.assignments.size(); ++i) {
+      if (i > 0) out += ",";
+      out += schema.name(rule.assignments[i].first);
+    }
+    out += "] := tm[...]";
+  }
+  return out;
+}
+
+}  // namespace relacc

@@ -1,0 +1,61 @@
+#ifndef RELACC_RULES_ACCURACY_RULE_H_
+#define RELACC_RULES_ACCURACY_RULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/schema.h"
+#include "rules/predicate.h"
+
+namespace relacc {
+
+/// Semantic origin of a rule. Used by experiments (e.g. DeduceOrder extracts
+/// currency rules and constant CFDs, Exp-5) and for reporting.
+enum class RuleProvenance {
+  kGeneric = 0,
+  kCurrency,        ///< data-currency rules such as ϕ1
+  kCorrelation,     ///< co-existence of attributes, e.g. ϕ2, ϕ5, ϕ10
+  kNullAxiom,       ///< ϕ7
+  kTeAnchorAxiom,   ///< ϕ8
+  kEqualityAxiom,   ///< ϕ9
+  kMaster,          ///< form-(2) rules over master data, e.g. ϕ6
+  kCfd,             ///< constant CFDs compiled to ARs (Sec. 2.1 Remark)
+};
+
+/// An accuracy rule (AR), Sec. 2.1. Two forms:
+///
+/// Form (1):  ∀t1,t2 (R(t1) ∧ R(t2) ∧ ω → t1 ⪯_{rhs_attr} t2)
+///   with ω = conjunction of TuplePairPredicate. The conclusion is stored as
+///   ⪯ (the non-strict accuracy order); `t1 ≺_A t2` is derivable as
+///   `t1 ⪯_A t2 ∧ t1[A] ≠ t2[A]`.
+///
+/// Form (2):  ∀tm (Rm(tm) ∧ ω → te[Ai..] = tm[Bi..])
+///   with ω = conjunction of MasterPredicate and one or more assignments
+///   (paper ϕ6 assigns two attributes; each assignment is one chase step).
+///   `master_index` selects which master relation of the specification the
+///   rule ranges over (constant CFDs compile to single-tuple master
+///   relations of their own).
+struct AccuracyRule {
+  enum class Form { kTuplePair, kMaster };
+
+  Form form = Form::kTuplePair;
+  std::string name;
+  RuleProvenance provenance = RuleProvenance::kGeneric;
+
+  // --- form (1) ---
+  std::vector<TuplePairPredicate> lhs;
+  AttrId rhs_attr = -1;
+
+  // --- form (2) ---
+  int master_index = 0;
+  std::vector<MasterPredicate> master_lhs;
+  std::vector<std::pair<AttrId, AttrId>> assignments;  ///< (te attr, tm attr)
+};
+
+/// Renders a rule in the paper's notation for logs and docs.
+std::string RuleToString(const AccuracyRule& rule, const Schema& schema);
+
+}  // namespace relacc
+
+#endif  // RELACC_RULES_ACCURACY_RULE_H_

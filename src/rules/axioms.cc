@@ -1,0 +1,69 @@
+#include "rules/axioms.h"
+
+namespace relacc {
+
+std::vector<AccuracyRule> ExpandAxioms(const Schema& schema) {
+  std::vector<AccuracyRule> out;
+  out.reserve(3 * schema.size());
+  for (AttrId a = 0; a < schema.size(); ++a) {
+    const std::string& name = schema.name(a);
+    {
+      AccuracyRule r;
+      r.form = AccuracyRule::Form::kTuplePair;
+      r.name = "phi7[" + name + "]";
+      r.provenance = RuleProvenance::kNullAxiom;
+      TuplePairPredicate p1;
+      p1.kind = TuplePairPredicate::Kind::kAttrConst;
+      p1.which = 1;
+      p1.left_attr = a;
+      p1.op = CompareOp::kEq;
+      p1.constant = Value::Null();
+      TuplePairPredicate p2;
+      p2.kind = TuplePairPredicate::Kind::kAttrConst;
+      p2.which = 2;
+      p2.left_attr = a;
+      p2.op = CompareOp::kNe;
+      p2.constant = Value::Null();
+      r.lhs = {p1, p2};
+      r.rhs_attr = a;
+      out.push_back(std::move(r));
+    }
+    {
+      AccuracyRule r;
+      r.form = AccuracyRule::Form::kTuplePair;
+      r.name = "phi8[" + name + "]";
+      r.provenance = RuleProvenance::kTeAnchorAxiom;
+      TuplePairPredicate p1;
+      p1.kind = TuplePairPredicate::Kind::kAttrTe;
+      p1.which = 2;
+      p1.left_attr = a;
+      p1.right_attr = a;
+      p1.op = CompareOp::kEq;
+      TuplePairPredicate p2;
+      p2.kind = TuplePairPredicate::Kind::kTeConst;
+      p2.left_attr = a;
+      p2.op = CompareOp::kNe;
+      p2.constant = Value::Null();
+      r.lhs = {p1, p2};
+      r.rhs_attr = a;
+      out.push_back(std::move(r));
+    }
+    {
+      AccuracyRule r;
+      r.form = AccuracyRule::Form::kTuplePair;
+      r.name = "phi9[" + name + "]";
+      r.provenance = RuleProvenance::kEqualityAxiom;
+      TuplePairPredicate p;
+      p.kind = TuplePairPredicate::Kind::kAttrAttr;
+      p.left_attr = a;
+      p.right_attr = a;
+      p.op = CompareOp::kEq;
+      r.lhs = {p};
+      r.rhs_attr = a;
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace relacc

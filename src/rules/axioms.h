@@ -1,0 +1,25 @@
+#ifndef RELACC_RULES_AXIOMS_H_
+#define RELACC_RULES_AXIOMS_H_
+
+#include <vector>
+
+#include "core/schema.h"
+#include "rules/accuracy_rule.h"
+
+namespace relacc {
+
+/// Explicit per-attribute expansion of the three axioms that the paper
+/// includes in every Σ (Example 3):
+///   ϕ7: t1[A] = null ∧ t2[A] ≠ null → t1 ⪯_A t2   (null lowest accuracy)
+///   ϕ8: t2[A] = te[A] ∧ te[A] ≠ null → t1 ⪯_A t2  (target anchors the top)
+///   ϕ9: t1[A] = t2[A] → t1 ⪯_A t2                 (equal values tie)
+///
+/// The chase engine implements these natively (ChaseConfig::builtin_axioms)
+/// because grounding ϕ8 materializes O(|Ie|²·n) steps; this expansion exists
+/// for tests that cross-validate the builtin path against the declarative
+/// one, and for callers that want to edit the axioms.
+std::vector<AccuracyRule> ExpandAxioms(const Schema& schema);
+
+}  // namespace relacc
+
+#endif  // RELACC_RULES_AXIOMS_H_

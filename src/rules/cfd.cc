@@ -1,0 +1,51 @@
+#include "rules/cfd.h"
+
+namespace relacc {
+
+CompiledCfds CompileCfds(const Schema& entity_schema,
+                         const std::vector<ConstantCfd>& cfds,
+                         int master_index_hint) {
+  // Master schema: one column per entity attribute (same type), plus a
+  // discriminator so each rule matches only its own pattern tuple.
+  std::vector<Attribute> attrs;
+  attrs.push_back({"cfd_id", ValueType::kString});
+  for (const Attribute& a : entity_schema.attributes()) attrs.push_back(a);
+  Schema master_schema(attrs);
+
+  CompiledCfds out;
+  out.master = Relation(master_schema);
+  for (const ConstantCfd& cfd : cfds) {
+    std::vector<Value> row(master_schema.size(), Value::Null());
+    row[0] = Value::Str(cfd.name);
+    for (const auto& [attr, value] : cfd.conditions) row[1 + attr] = value;
+    row[1 + cfd.then_attr] = cfd.then_value;
+    out.master.Add(Tuple(std::move(row)));
+
+    AccuracyRule rule;
+    rule.form = AccuracyRule::Form::kMaster;
+    rule.name = "cfd:" + cfd.name;
+    rule.provenance = RuleProvenance::kCfd;
+    rule.master_index = master_index_hint;
+    {
+      MasterPredicate disc;
+      disc.kind = MasterPredicate::Kind::kMasterConst;
+      disc.master_attr = 0;
+      disc.op = CompareOp::kEq;
+      disc.constant = Value::Str(cfd.name);
+      rule.master_lhs.push_back(std::move(disc));
+    }
+    for (const auto& [attr, value] : cfd.conditions) {
+      MasterPredicate p;
+      p.kind = MasterPredicate::Kind::kTeMaster;
+      p.te_attr = attr;
+      p.master_attr = 1 + attr;
+      rule.master_lhs.push_back(std::move(p));
+      (void)value;
+    }
+    rule.assignments.emplace_back(cfd.then_attr, 1 + cfd.then_attr);
+    out.rules.push_back(std::move(rule));
+  }
+  return out;
+}
+
+}  // namespace relacc

@@ -1,0 +1,43 @@
+#ifndef RELACC_RULES_CFD_H_
+#define RELACC_RULES_CFD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/relation.h"
+#include "core/schema.h"
+#include "rules/accuracy_rule.h"
+
+namespace relacc {
+
+/// A constant conditional functional dependency (constant CFD, [13]) over
+/// the entity schema, e.g. [team = "Chicago Bulls" → arena = "United
+/// Center"]. The paper (Sec. 2.1 Remark) compiles these into form-(2) ARs
+/// over a synthesized master relation; only the target tuple's consistency
+/// needs assurance, so general two-tuple CFDs are not required.
+struct ConstantCfd {
+  std::string name;
+  std::vector<std::pair<AttrId, Value>> conditions;  ///< te[A] = c conjuncts
+  AttrId then_attr = -1;
+  Value then_value;
+};
+
+/// Result of compiling a batch of constant CFDs: one synthesized master
+/// relation (one tuple per CFD) plus one form-(2) AR per CFD referencing it
+/// via `master_index` (to be fixed up by the caller when appending the
+/// relation to a specification's master list).
+struct CompiledCfds {
+  Relation master;                ///< schema: pattern attrs as strings
+  std::vector<AccuracyRule> rules;
+};
+
+/// Compiles `cfds` against `entity_schema`. Every rule's `master_index` is
+/// set to `master_index_hint`; append `master` at that position.
+CompiledCfds CompileCfds(const Schema& entity_schema,
+                         const std::vector<ConstantCfd>& cfds,
+                         int master_index_hint);
+
+}  // namespace relacc
+
+#endif  // RELACC_RULES_CFD_H_

@@ -1,0 +1,158 @@
+#include "rules/grounding.h"
+
+namespace relacc {
+namespace {
+
+/// Grounds one form-(1) rule on the ordered pair (ti, tj). Returns false if
+/// some constant predicate already fails (the step is dropped).
+bool GroundPairRule(const AccuracyRule& rule, const Relation& ie, int i,
+                    int j, GroundStep* out) {
+  const Tuple& t1 = ie.tuple(i);
+  const Tuple& t2 = ie.tuple(j);
+  out->kind = GroundStep::Kind::kAddOrder;
+  out->attr = rule.rhs_attr;
+  out->i = i;
+  out->j = j;
+  out->residual.clear();
+  for (const TuplePairPredicate& p : rule.lhs) {
+    switch (p.kind) {
+      case TuplePairPredicate::Kind::kAttrAttr: {
+        if (!EvalCompare(p.op, t1.at(p.left_attr), t2.at(p.right_attr))) {
+          return false;
+        }
+        break;
+      }
+      case TuplePairPredicate::Kind::kAttrConst: {
+        const Tuple& t = p.which == 1 ? t1 : t2;
+        if (!EvalCompare(p.op, t.at(p.left_attr), p.constant)) return false;
+        break;
+      }
+      case TuplePairPredicate::Kind::kAttrTe: {
+        // ti[a] op te[b]  ==>  te[b] op' c with c = ti[a].
+        const Tuple& t = p.which == 1 ? t1 : t2;
+        const Value& c = t.at(p.left_attr);
+        const CompareOp flipped = FlipCompareOp(p.op);
+        // te values are non-null once set, so te = null is unsatisfiable
+        // and te-order-compare against null is always false.
+        if (c.is_null() && flipped != CompareOp::kNe) return false;
+        GroundPredicate g;
+        g.kind = GroundPredicate::Kind::kTeCompare;
+        g.attr = p.right_attr;
+        g.op = flipped;
+        g.constant = c;
+        out->residual.push_back(std::move(g));
+        break;
+      }
+      case TuplePairPredicate::Kind::kTeConst: {
+        if (p.constant.is_null() && p.op != CompareOp::kNe) return false;
+        GroundPredicate g;
+        g.kind = GroundPredicate::Kind::kTeCompare;
+        g.attr = p.left_attr;
+        g.op = p.op;
+        g.constant = p.constant;
+        out->residual.push_back(std::move(g));
+        break;
+      }
+      case TuplePairPredicate::Kind::kOrder: {
+        // t1 ≺_a t2 requires differing values; resolved now since tuple
+        // values are constants.
+        if (p.strict && t1.at(p.left_attr) == t2.at(p.left_attr)) {
+          return false;
+        }
+        GroundPredicate g;
+        g.kind = GroundPredicate::Kind::kOrderPair;
+        g.attr = p.left_attr;
+        g.i = i;
+        g.j = j;
+        out->residual.push_back(std::move(g));
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+/// Grounds one form-(2) rule on master tuple tm, emitting one kSetTe step
+/// per assignment with a non-null source value.
+void GroundMasterRule(const AccuracyRule& rule, const Tuple& tm, int rule_id,
+                      std::vector<GroundStep>* out) {
+  std::vector<GroundPredicate> residual;
+  for (const MasterPredicate& p : rule.master_lhs) {
+    switch (p.kind) {
+      case MasterPredicate::Kind::kMasterConst: {
+        if (!EvalCompare(p.op, tm.at(p.master_attr), p.constant)) return;
+        break;
+      }
+      case MasterPredicate::Kind::kTeConst: {
+        if (p.constant.is_null()) return;  // te never becomes null
+        GroundPredicate g;
+        g.kind = GroundPredicate::Kind::kTeCompare;
+        g.attr = p.te_attr;
+        g.op = CompareOp::kEq;
+        g.constant = p.constant;
+        residual.push_back(std::move(g));
+        break;
+      }
+      case MasterPredicate::Kind::kTeMaster: {
+        const Value& c = tm.at(p.master_attr);
+        if (c.is_null()) return;
+        GroundPredicate g;
+        g.kind = GroundPredicate::Kind::kTeCompare;
+        g.attr = p.te_attr;
+        g.op = CompareOp::kEq;
+        g.constant = c;
+        residual.push_back(std::move(g));
+        break;
+      }
+    }
+  }
+  for (const auto& [te_attr, m_attr] : rule.assignments) {
+    const Value& v = tm.at(m_attr);
+    if (v.is_null()) continue;  // no information to copy
+    GroundStep step;
+    step.kind = GroundStep::Kind::kSetTe;
+    step.attr = te_attr;
+    step.te_value = v;
+    step.residual = residual;
+    step.rule_id = rule_id;
+    out->push_back(std::move(step));
+  }
+}
+
+}  // namespace
+
+GroundProgram Instantiate(const Relation& ie,
+                          const std::vector<Relation>& masters,
+                          const std::vector<AccuracyRule>& rules) {
+  GroundProgram prog;
+  prog.num_tuples = ie.size();
+  prog.num_attrs = ie.schema().size();
+  const int n = ie.size();
+  GroundStep scratch;
+  for (int r = 0; r < static_cast<int>(rules.size()); ++r) {
+    const AccuracyRule& rule = rules[r];
+    if (rule.form == AccuracyRule::Form::kTuplePair) {
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          if (i == j) continue;
+          if (GroundPairRule(rule, ie, i, j, &scratch)) {
+            scratch.rule_id = r;
+            prog.steps.push_back(scratch);
+          }
+        }
+      }
+    } else {
+      if (rule.master_index < 0 ||
+          rule.master_index >= static_cast<int>(masters.size())) {
+        continue;  // rule references an absent master relation
+      }
+      const Relation& im = masters[rule.master_index];
+      for (const Tuple& tm : im.tuples()) {
+        GroundMasterRule(rule, tm, r, &prog.steps);
+      }
+    }
+  }
+  return prog;
+}
+
+}  // namespace relacc

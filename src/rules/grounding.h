@@ -1,0 +1,64 @@
+#ifndef RELACC_RULES_GROUNDING_H_
+#define RELACC_RULES_GROUNDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/relation.h"
+#include "rules/accuracy_rule.h"
+
+namespace relacc {
+
+/// A residual conjunct of a ground step (procedure Instantiation, Sec. 5):
+/// every predicate that could be evaluated against constants has been
+/// folded away; only order predicates and target-template predicates
+/// remain, both of which become satisfiable as the chase proceeds.
+struct GroundPredicate {
+  enum class Kind {
+    kOrderPair,  ///< ti ⪯_attr tj derived (strictness resolved at ground time)
+    kTeCompare,  ///< te[attr] op constant; evaluable once te[attr] is set
+  };
+
+  Kind kind = Kind::kOrderPair;
+  AttrId attr = -1;
+  int i = -1;
+  int j = -1;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+};
+
+/// A possible single chase step φ ∈ Γ: once the residual LHS is satisfied,
+/// enforce the conclusion (extend a partial order or instantiate te).
+struct GroundStep {
+  enum class Kind { kAddOrder, kSetTe };
+
+  Kind kind = Kind::kAddOrder;
+  AttrId attr = -1;
+  int i = -1;              ///< kAddOrder: ti ⪯_attr tj
+  int j = -1;
+  Value te_value;          ///< kSetTe: te[attr] := te_value
+  std::vector<GroundPredicate> residual;
+  int rule_id = -1;        ///< index into the specification's rule list
+};
+
+/// Output of Instantiation: the ground step set Γ plus sizing facts needed
+/// to build the chase index H. Built once per specification and shared
+/// across chase runs (the top-k `check` re-runs the chase many times with
+/// different initial targets over the same Γ).
+struct GroundProgram {
+  std::vector<GroundStep> steps;
+  int num_tuples = 0;
+  int num_attrs = 0;
+};
+
+/// Procedure Instantiation (Sec. 5, Fig. 4 line 1): partially evaluates
+/// every rule against every ordered tuple pair of `ie` (form 1) / every
+/// master tuple (form 2). Steps whose LHS is already false are dropped.
+/// Runs in O(|Σ|·(|Ie|² + |Im|)) time.
+GroundProgram Instantiate(const Relation& ie,
+                          const std::vector<Relation>& masters,
+                          const std::vector<AccuracyRule>& rules);
+
+}  // namespace relacc
+
+#endif  // RELACC_RULES_GROUNDING_H_

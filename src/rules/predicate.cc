@@ -1,0 +1,63 @@
+#include "rules/predicate.h"
+
+namespace relacc {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CompareOp FlipCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;
+  }
+}
+
+bool EvalCompare(CompareOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    default:
+      break;
+  }
+  const auto cmp = a.Compare(b);
+  if (!cmp.has_value()) return false;
+  switch (op) {
+    case CompareOp::kLt:
+      return *cmp < 0;
+    case CompareOp::kLe:
+      return *cmp <= 0;
+    case CompareOp::kGt:
+      return *cmp > 0;
+    case CompareOp::kGe:
+      return *cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+}  // namespace relacc

@@ -1,0 +1,61 @@
+#ifndef RELACC_RULES_PREDICATE_H_
+#define RELACC_RULES_PREDICATE_H_
+
+#include <string>
+
+#include "core/schema.h"
+#include "core/value.h"
+
+namespace relacc {
+
+/// Comparison operators usable in AR predicates (paper Sec. 2.1, form (1)).
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Symbol for logs ("=", "≠", ...) rendered in ASCII.
+const char* CompareOpName(CompareOp op);
+
+/// Mirrors `a op b` into `b op' a` (Eq/Ne fixed, Lt<->Gt, Le<->Ge).
+CompareOp FlipCompareOp(CompareOp op);
+
+/// Evaluates `a op b` with the paper's first-order semantics: equality
+/// holds for null=null; order comparisons involving null (or incomparable
+/// types) are false.
+bool EvalCompare(CompareOp op, const Value& a, const Value& b);
+
+/// One conjunct of a form-(1) rule body ω, over tuple variables t1, t2 and
+/// the target template te:
+///   kAttrAttr : t1[left_attr] op t2[right_attr]
+///   kAttrConst: t{which}[left_attr] op constant
+///   kAttrTe   : t{which}[left_attr] op te[right_attr]
+///   kTeConst  : te[left_attr] op constant      (extension used by axiom ϕ8's
+///               "te[A] ≠ null"; constant may be Null only with op = Ne/Eq)
+///   kOrder    : t1 ≺_{left_attr} t2 (strict=true) or t1 ⪯_{left_attr} t2
+struct TuplePairPredicate {
+  enum class Kind { kAttrAttr, kAttrConst, kAttrTe, kTeConst, kOrder };
+
+  Kind kind = Kind::kAttrAttr;
+  int which = 1;            ///< 1 or 2; tuple variable for kAttrConst/kAttrTe.
+  AttrId left_attr = -1;
+  AttrId right_attr = -1;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+  bool strict = false;      ///< kOrder only.
+};
+
+/// One conjunct of a form-(2) rule body over te and a master tuple tm:
+///   kTeConst   : te[te_attr] = constant
+///   kTeMaster  : te[te_attr] = tm[master_attr]
+///   kMasterConst: tm[master_attr] op constant (e.g. ϕ6's season = "1994-95")
+struct MasterPredicate {
+  enum class Kind { kTeConst, kTeMaster, kMasterConst };
+
+  Kind kind = Kind::kTeConst;
+  AttrId te_attr = -1;
+  AttrId master_attr = -1;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_RULES_PREDICATE_H_

@@ -1,0 +1,135 @@
+#include "rules/rule_builder.h"
+
+namespace relacc {
+
+RuleBuilder::RuleBuilder(const Schema& schema, std::string name)
+    : schema_(schema) {
+  rule_.form = AccuracyRule::Form::kTuplePair;
+  rule_.name = std::move(name);
+}
+
+RuleBuilder& RuleBuilder::WhereAttrs(const std::string& a, CompareOp op,
+                                     const std::string& b) {
+  TuplePairPredicate p;
+  p.kind = TuplePairPredicate::Kind::kAttrAttr;
+  p.left_attr = schema_.MustIndexOf(a);
+  p.right_attr = schema_.MustIndexOf(b);
+  p.op = op;
+  rule_.lhs.push_back(std::move(p));
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::WhereConst(int which, const std::string& a,
+                                     CompareOp op, Value c) {
+  TuplePairPredicate p;
+  p.kind = TuplePairPredicate::Kind::kAttrConst;
+  p.which = which;
+  p.left_attr = schema_.MustIndexOf(a);
+  p.op = op;
+  p.constant = std::move(c);
+  rule_.lhs.push_back(std::move(p));
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::WhereTe(int which, const std::string& a,
+                                  CompareOp op, const std::string& b) {
+  TuplePairPredicate p;
+  p.kind = TuplePairPredicate::Kind::kAttrTe;
+  p.which = which;
+  p.left_attr = schema_.MustIndexOf(a);
+  p.right_attr = schema_.MustIndexOf(b);
+  p.op = op;
+  rule_.lhs.push_back(std::move(p));
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::WhereTeConst(const std::string& a, CompareOp op,
+                                       Value c) {
+  TuplePairPredicate p;
+  p.kind = TuplePairPredicate::Kind::kTeConst;
+  p.left_attr = schema_.MustIndexOf(a);
+  p.op = op;
+  p.constant = std::move(c);
+  rule_.lhs.push_back(std::move(p));
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::WhereOrder(const std::string& a, bool strict) {
+  TuplePairPredicate p;
+  p.kind = TuplePairPredicate::Kind::kOrder;
+  p.left_attr = schema_.MustIndexOf(a);
+  p.strict = strict;
+  rule_.lhs.push_back(std::move(p));
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Provenance(RuleProvenance p) {
+  rule_.provenance = p;
+  return *this;
+}
+
+AccuracyRule RuleBuilder::Concludes(const std::string& a) {
+  rule_.rhs_attr = schema_.MustIndexOf(a);
+  return std::move(rule_);
+}
+
+MasterRuleBuilder::MasterRuleBuilder(const Schema& entity_schema,
+                                     const Schema& master_schema,
+                                     std::string name)
+    : entity_schema_(entity_schema), master_schema_(master_schema) {
+  rule_.form = AccuracyRule::Form::kMaster;
+  rule_.name = std::move(name);
+  rule_.provenance = RuleProvenance::kMaster;
+}
+
+MasterRuleBuilder& MasterRuleBuilder::WhereTeMaster(
+    const std::string& te_attr, const std::string& master_attr) {
+  MasterPredicate p;
+  p.kind = MasterPredicate::Kind::kTeMaster;
+  p.te_attr = entity_schema_.MustIndexOf(te_attr);
+  p.master_attr = master_schema_.MustIndexOf(master_attr);
+  rule_.master_lhs.push_back(std::move(p));
+  return *this;
+}
+
+MasterRuleBuilder& MasterRuleBuilder::WhereTeConst(const std::string& te_attr,
+                                                   Value c) {
+  MasterPredicate p;
+  p.kind = MasterPredicate::Kind::kTeConst;
+  p.te_attr = entity_schema_.MustIndexOf(te_attr);
+  p.constant = std::move(c);
+  rule_.master_lhs.push_back(std::move(p));
+  return *this;
+}
+
+MasterRuleBuilder& MasterRuleBuilder::WhereMasterConst(
+    const std::string& master_attr, CompareOp op, Value c) {
+  MasterPredicate p;
+  p.kind = MasterPredicate::Kind::kMasterConst;
+  p.master_attr = master_schema_.MustIndexOf(master_attr);
+  p.op = op;
+  p.constant = std::move(c);
+  rule_.master_lhs.push_back(std::move(p));
+  return *this;
+}
+
+MasterRuleBuilder& MasterRuleBuilder::Assign(const std::string& te_attr,
+                                             const std::string& master_attr) {
+  rule_.assignments.emplace_back(entity_schema_.MustIndexOf(te_attr),
+                                 master_schema_.MustIndexOf(master_attr));
+  return *this;
+}
+
+MasterRuleBuilder& MasterRuleBuilder::OnMaster(int master_index) {
+  rule_.master_index = master_index;
+  return *this;
+}
+
+MasterRuleBuilder& MasterRuleBuilder::Provenance(RuleProvenance p) {
+  rule_.provenance = p;
+  return *this;
+}
+
+AccuracyRule MasterRuleBuilder::Build() { return std::move(rule_); }
+
+}  // namespace relacc

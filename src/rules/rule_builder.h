@@ -1,0 +1,99 @@
+#ifndef RELACC_RULES_RULE_BUILDER_H_
+#define RELACC_RULES_RULE_BUILDER_H_
+
+#include <string>
+#include <utility>
+
+#include "core/schema.h"
+#include "rules/accuracy_rule.h"
+
+namespace relacc {
+
+/// Fluent construction of form-(1) rules against a fixed entity schema.
+/// Attribute names are resolved eagerly (abort on typos), mirroring the
+/// paper's notation, e.g. ϕ1 of Table 3:
+///
+///   AccuracyRule phi1 = RuleBuilder(schema, "phi1")
+///       .WhereAttrs("league", CompareOp::kEq, "league")
+///       .WhereAttrs("rnds", CompareOp::kLt, "rnds")
+///       .Currency()
+///       .Concludes("rnds");
+class RuleBuilder {
+ public:
+  RuleBuilder(const Schema& schema, std::string name);
+
+  /// ω conjunct t1[a] op t2[b].
+  RuleBuilder& WhereAttrs(const std::string& a, CompareOp op,
+                          const std::string& b);
+
+  /// ω conjunct t{which}[a] op c.
+  RuleBuilder& WhereConst(int which, const std::string& a, CompareOp op,
+                          Value c);
+
+  /// ω conjunct t{which}[a] op te[b].
+  RuleBuilder& WhereTe(int which, const std::string& a, CompareOp op,
+                       const std::string& b);
+
+  /// ω conjunct te[a] op c (extension; used by the ϕ8 axiom).
+  RuleBuilder& WhereTeConst(const std::string& a, CompareOp op, Value c);
+
+  /// ω conjunct t1 ≺_a t2 (strict) or t1 ⪯_a t2.
+  RuleBuilder& WhereOrder(const std::string& a, bool strict);
+
+  RuleBuilder& Provenance(RuleProvenance p);
+  RuleBuilder& Currency() { return Provenance(RuleProvenance::kCurrency); }
+  RuleBuilder& Correlation() {
+    return Provenance(RuleProvenance::kCorrelation);
+  }
+
+  /// Finishes the rule with conclusion t1 ⪯_a t2.
+  AccuracyRule Concludes(const std::string& a);
+
+ private:
+  const Schema& schema_;
+  AccuracyRule rule_;
+};
+
+/// Fluent construction of form-(2) rules, e.g. ϕ6 of Table 3:
+///
+///   AccuracyRule phi6 = MasterRuleBuilder(schema, nba_schema, "phi6")
+///       .WhereTeMaster("FN", "FN").WhereTeMaster("LN", "LN")
+///       .WhereMasterConst("season", CompareOp::kEq, Value::Str("1994-95"))
+///       .Assign("league", "league").Assign("team", "team")
+///       .Build();
+class MasterRuleBuilder {
+ public:
+  MasterRuleBuilder(const Schema& entity_schema, const Schema& master_schema,
+                    std::string name);
+
+  /// ω conjunct te[te_attr] = tm[master_attr].
+  MasterRuleBuilder& WhereTeMaster(const std::string& te_attr,
+                                   const std::string& master_attr);
+
+  /// ω conjunct te[te_attr] = c.
+  MasterRuleBuilder& WhereTeConst(const std::string& te_attr, Value c);
+
+  /// ω conjunct tm[master_attr] op c.
+  MasterRuleBuilder& WhereMasterConst(const std::string& master_attr,
+                                      CompareOp op, Value c);
+
+  /// Conclusion component te[te_attr] := tm[master_attr].
+  MasterRuleBuilder& Assign(const std::string& te_attr,
+                            const std::string& master_attr);
+
+  /// Index of the master relation this rule ranges over (default 0).
+  MasterRuleBuilder& OnMaster(int master_index);
+
+  MasterRuleBuilder& Provenance(RuleProvenance p);
+
+  AccuracyRule Build();
+
+ private:
+  const Schema& entity_schema_;
+  const Schema& master_schema_;
+  AccuracyRule rule_;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_RULES_RULE_BUILDER_H_

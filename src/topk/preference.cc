@@ -1,0 +1,92 @@
+#include "topk/preference.h"
+
+#include <limits>
+
+namespace relacc {
+
+PreferenceModel PreferenceModel::FromOccurrences(
+    const Relation& ie, const std::vector<Relation>& masters,
+    double master_bonus) {
+  PreferenceModel model(ie.schema().size());
+  for (AttrId a = 0; a < ie.schema().size(); ++a) {
+    auto& col = model.weights_[a];
+    for (const Tuple& t : ie.tuples()) {
+      const Value& v = t.at(a);
+      if (!v.is_null()) col[v] += 1.0;
+    }
+    for (const Relation& im : masters) {
+      const auto ma = im.schema().IndexOf(ie.schema().name(a));
+      if (!ma.has_value()) continue;
+      // Presence bonus: each distinct master value counts once, however
+      // many master rows carry it — master data is curated, but its row
+      // multiplicities say nothing about *this* entity.
+      for (const Value& v : im.ColumnDomain(*ma)) col[v] += master_bonus;
+    }
+  }
+  return model;
+}
+
+double PreferenceModel::Weight(AttrId a, const Value& v) const {
+  if (a < 0 || a >= num_attrs()) return default_weight_;
+  const auto it = weights_[a].find(v);
+  return it == weights_[a].end() ? default_weight_ : it->second;
+}
+
+void PreferenceModel::SetWeight(AttrId a, const Value& v, double w) {
+  weights_[a][v] = w;
+}
+
+double PreferenceModel::Score(const Tuple& t) const {
+  double s = 0.0;
+  for (AttrId a = 0; a < t.size() && a < num_attrs(); ++a) {
+    if (!t.at(a).is_null()) s += Weight(a, t.at(a));
+  }
+  return s;
+}
+
+Value MakeDefaultValue(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      // An implausible sentinel far outside generated domains.
+      return Value::Int(std::numeric_limits<int64_t>::min() / 2);
+    case ValueType::kDouble:
+      return Value::Real(-1.7976931348623157e308);
+    case ValueType::kString:
+      return Value::Str("\x01_bottom");
+    case ValueType::kBool:
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+std::vector<Value> ActiveDomain(const Relation& ie,
+                                const std::vector<Relation>& masters,
+                                AttrId a, bool include_default) {
+  const ValueType type = ie.schema().type(a);
+  if (type == ValueType::kBool) {
+    return {Value::Bool(true), Value::Bool(false)};
+  }
+  std::vector<Value> domain = ie.ColumnDomain(a);
+  auto contains = [&](const Value& v) {
+    for (const Value& u : domain) {
+      if (u == v) return true;
+    }
+    return false;
+  };
+  for (const Relation& im : masters) {
+    const auto ma = im.schema().IndexOf(ie.schema().name(a));
+    if (!ma.has_value()) continue;
+    for (const Tuple& tm : im.tuples()) {
+      const Value& v = tm.at(*ma);
+      if (!v.is_null() && !contains(v)) domain.push_back(v);
+    }
+  }
+  if (include_default) {
+    const Value def = MakeDefaultValue(type);
+    if (!def.is_null() && !contains(def)) domain.push_back(def);
+  }
+  return domain;
+}
+
+}  // namespace relacc

@@ -1,0 +1,69 @@
+#ifndef RELACC_TOPK_PREFERENCE_H_
+#define RELACC_TOPK_PREFERENCE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/relation.h"
+#include "core/schema.h"
+#include "core/value.h"
+
+namespace relacc {
+
+/// The preference model (k, p(·)) of Sec. 3: a monotone scoring function
+/// p(Te) = Σ_{t∈Te} Σ_{Ai} w_Ai(t[Ai]) defined by per-attribute value
+/// weights. Weights can be
+///  * occurrence counts in the Ie column (the paper's default, used by
+///    Exps 1-4 and the `voting`-preference row of Table 4), or
+///  * probabilities produced by a truth-discovery algorithm such as
+///    copyCEF (Table 4 last row), or
+///  * user-supplied confidences.
+/// Values outside every table share `default_weight` (the paper: for an
+/// infinite domain, w is constant outside Ie and Im).
+class PreferenceModel {
+ public:
+  PreferenceModel() = default;
+  explicit PreferenceModel(int num_attrs) : weights_(num_attrs) {}
+
+  /// Occurrence-count weights over the Ie columns; values that also appear
+  /// in a master column of the same attribute name get +master_bonus
+  /// (master data is curated, so its values deserve at least a tie-break).
+  static PreferenceModel FromOccurrences(const Relation& ie,
+                                         const std::vector<Relation>& masters,
+                                         double master_bonus = 1.0);
+
+  /// Weight w_Ai(v).
+  double Weight(AttrId a, const Value& v) const;
+
+  /// Overrides / defines one weight.
+  void SetWeight(AttrId a, const Value& v, double w);
+
+  void set_default_weight(double w) { default_weight_ = w; }
+  double default_weight() const { return default_weight_; }
+
+  /// p({t}) = Σ_Ai w_Ai(t[Ai]). Null attributes contribute 0.
+  double Score(const Tuple& t) const;
+
+  int num_attrs() const { return static_cast<int>(weights_.size()); }
+
+ private:
+  std::vector<std::unordered_map<Value, double, ValueHash>> weights_;
+  double default_weight_ = 0.0;
+};
+
+/// The active domain of attribute `a` (Sec. 6.1): all values of the Ie
+/// column, plus values of any master column with the same attribute name,
+/// plus — for infinite domains, when `include_default` — one synthetic
+/// "default value" ⊥_a standing for everything outside the tables. Booleans
+/// are a finite domain: both constants are enumerated and no default is
+/// added.
+std::vector<Value> ActiveDomain(const Relation& ie,
+                                const std::vector<Relation>& masters,
+                                AttrId a, bool include_default);
+
+/// The synthetic default value for an attribute (distinct per type).
+Value MakeDefaultValue(ValueType type);
+
+}  // namespace relacc
+
+#endif  // RELACC_TOPK_PREFERENCE_H_

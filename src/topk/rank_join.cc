@@ -1,0 +1,139 @@
+#include "topk/rank_join.h"
+
+#include <limits>
+
+namespace relacc {
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+ListStream::ListStream(std::vector<std::pair<Value, double>> entries)
+    : entries_(std::move(entries)) {}
+
+std::optional<ScoredRow> ListStream::Next() {
+  if (pos_ >= entries_.size()) return std::nullopt;
+  ScoredRow row;
+  row.values = {entries_[pos_].first};
+  row.score = entries_[pos_].second;
+  ++pos_;
+  return row;
+}
+
+double ListStream::UpperBound() const {
+  if (pos_ >= entries_.size()) return kNegInf;
+  return entries_[pos_].second;
+}
+
+HrjnOperator::HrjnOperator(std::unique_ptr<RankedStream> left,
+                           std::unique_ptr<RankedStream> right)
+    : left_(std::move(left)), right_(std::move(right)) {}
+
+bool HrjnOperator::PullLeft() {
+  auto row = left_->Next();
+  if (!row.has_value()) {
+    left_done_ = true;
+    left_cur_ = kNegInf;
+    return false;
+  }
+  if (left_buf_.empty()) left_top_ = row->score;
+  left_cur_ = row->score;
+  for (const ScoredRow& r : right_buf_) {
+    ScoredRow joined;
+    joined.values = row->values;
+    joined.values.insert(joined.values.end(), r.values.begin(),
+                         r.values.end());
+    joined.score = row->score + r.score;
+    output_.push(std::move(joined));
+    ++combinations_built_;
+  }
+  left_buf_.push_back(std::move(*row));
+  return true;
+}
+
+bool HrjnOperator::PullRight() {
+  auto row = right_->Next();
+  if (!row.has_value()) {
+    right_done_ = true;
+    right_cur_ = kNegInf;
+    return false;
+  }
+  if (right_buf_.empty()) right_top_ = row->score;
+  right_cur_ = row->score;
+  for (const ScoredRow& l : left_buf_) {
+    ScoredRow joined;
+    joined.values = l.values;
+    joined.values.insert(joined.values.end(), row->values.begin(),
+                         row->values.end());
+    joined.score = l.score + row->score;
+    output_.push(std::move(joined));
+    ++combinations_built_;
+  }
+  right_buf_.push_back(std::move(*row));
+  return true;
+}
+
+double HrjnOperator::Threshold() const {
+  if (!pulled_any_) return std::numeric_limits<double>::infinity();
+  const double a = left_done_ ? kNegInf : left_top_ + right_cur_;
+  const double b = right_done_ ? kNegInf : left_cur_ + right_top_;
+  // Symmetric form: a future output pairs an unseen row from one side with
+  // a (possibly seen) row from the other, bounded by top + cur.
+  const double c = left_done_ ? kNegInf : left_cur_ + right_top_;
+  const double d = right_done_ ? kNegInf : left_top_ + right_cur_;
+  double t = kNegInf;
+  for (double x : {a, b, c, d}) t = std::max(t, x);
+  return t;
+}
+
+std::optional<ScoredRow> HrjnOperator::Next() {
+  if (!pulled_any_) {
+    pulled_any_ = true;
+    PullLeft();
+    PullRight();
+  }
+  for (;;) {
+    const double t = Threshold();
+    if (!output_.empty() &&
+        (output_.top().score >= t || (left_done_ && right_done_))) {
+      ScoredRow out = output_.top();
+      output_.pop();
+      return out;
+    }
+    if (left_done_ && right_done_) return std::nullopt;
+    // Pull from the side with the larger current score (HRJN's heuristic
+    // for tightening the threshold fastest).
+    bool advanced;
+    if (right_done_ || (!left_done_ && left_cur_ >= right_cur_)) {
+      advanced = PullLeft();
+      if (!advanced && !right_done_) advanced = PullRight();
+    } else {
+      advanced = PullRight();
+      if (!advanced && !left_done_) advanced = PullLeft();
+    }
+    if (!advanced && left_done_ && right_done_ && output_.empty()) {
+      return std::nullopt;
+    }
+  }
+}
+
+double HrjnOperator::UpperBound() const {
+  const double t = Threshold();
+  if (!output_.empty()) return std::max(t, output_.top().score);
+  return t;
+}
+
+std::unique_ptr<RankedStream> BuildRankJoinTree(
+    std::vector<std::vector<std::pair<Value, double>>> lists) {
+  std::unique_ptr<RankedStream> root;
+  for (auto& list : lists) {
+    auto leaf = std::make_unique<ListStream>(std::move(list));
+    if (root == nullptr) {
+      root = std::move(leaf);
+    } else {
+      root = std::make_unique<HrjnOperator>(std::move(root), std::move(leaf));
+    }
+  }
+  return root;
+}
+
+}  // namespace relacc

@@ -1,0 +1,102 @@
+#ifndef RELACC_TOPK_RANK_JOIN_H_
+#define RELACC_TOPK_RANK_JOIN_H_
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/value.h"
+
+namespace relacc {
+
+/// A row flowing through the rank-join pipeline: the values contributed by
+/// the lists joined so far (in list order) and their summed score.
+struct ScoredRow {
+  std::vector<Value> values;
+  double score = 0.0;
+};
+
+/// Pull-based stream of rows in non-increasing score order.
+class RankedStream {
+ public:
+  virtual ~RankedStream() = default;
+
+  /// Next row, or nullopt when exhausted.
+  virtual std::optional<ScoredRow> Next() = 0;
+
+  /// Upper bound on the score of any not-yet-returned row; meaningless
+  /// after exhaustion.
+  virtual double UpperBound() const = 0;
+};
+
+/// Leaf stream over one pre-sorted (descending weight) value list — the
+/// ranked lists Li that RankJoinCT takes as input (Sec. 6.1).
+class ListStream : public RankedStream {
+ public:
+  /// `entries` must be sorted by descending weight.
+  explicit ListStream(std::vector<std::pair<Value, double>> entries);
+
+  std::optional<ScoredRow> Next() override;
+  double UpperBound() const override;
+
+ private:
+  std::vector<std::pair<Value, double>> entries_;
+  std::size_t pos_ = 0;
+};
+
+/// Binary HRJN-style rank-join operator [Ilyas et al., VLDB J. 13(3)]
+/// specialized to the cross join with an additive score (the top-k
+/// candidate problem joins independent attribute domains; there is no join
+/// predicate). Maintains input buffers and emits a joined row only once its
+/// score provably dominates every row producible from unseen inputs
+/// (threshold T = max(ltop + rcur, lcur + rtop)).
+///
+/// The operator is a RankedStream itself, so left-deep trees compose m-way
+/// joins; it is reusable as a standalone top-k rank-join substrate.
+class HrjnOperator : public RankedStream {
+ public:
+  HrjnOperator(std::unique_ptr<RankedStream> left,
+               std::unique_ptr<RankedStream> right);
+
+  std::optional<ScoredRow> Next() override;
+  double UpperBound() const override;
+
+  /// Join combinations materialized so far (cost accounting).
+  int64_t combinations_built() const { return combinations_built_; }
+
+ private:
+  bool PullLeft();
+  bool PullRight();
+  double Threshold() const;
+
+  std::unique_ptr<RankedStream> left_;
+  std::unique_ptr<RankedStream> right_;
+  std::vector<ScoredRow> left_buf_;
+  std::vector<ScoredRow> right_buf_;
+  bool left_done_ = false;
+  bool right_done_ = false;
+  double left_top_ = 0.0;   ///< score of the first left row
+  double right_top_ = 0.0;
+  double left_cur_ = 0.0;   ///< score of the last pulled left row
+  double right_cur_ = 0.0;
+  bool pulled_any_ = false;
+  int64_t combinations_built_ = 0;
+
+  struct RowLess {
+    bool operator()(const ScoredRow& a, const ScoredRow& b) const {
+      return a.score < b.score;
+    }
+  };
+  std::priority_queue<ScoredRow, std::vector<ScoredRow>, RowLess> output_;
+};
+
+/// Builds a left-deep HRJN tree over `lists` (each sorted descending).
+/// Returns a stream of full combinations in non-increasing score order.
+std::unique_ptr<RankedStream> BuildRankJoinTree(
+    std::vector<std::vector<std::pair<Value, double>>> lists);
+
+}  // namespace relacc
+
+#endif  // RELACC_TOPK_RANK_JOIN_H_

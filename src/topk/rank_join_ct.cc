@@ -1,0 +1,68 @@
+#include "topk/rank_join_ct.h"
+
+#include <algorithm>
+
+#include "topk/rank_join.h"
+
+namespace relacc {
+
+TopKResult RankJoinCT(const ChaseEngine& engine,
+                      const std::vector<Relation>& masters,
+                      const Tuple& deduced_te, const PreferenceModel& pref,
+                      int k, const TopKOptions& opts) {
+  TopKResult result;
+  if (k <= 0) return result;
+
+  // Null attributes of te and their ranked lists Li (sorted up front —
+  // the cost RankJoinCT pays that TopKCT avoids).
+  std::vector<AttrId> z;
+  std::vector<std::vector<std::pair<Value, double>>> lists;
+  const Relation& ie = engine.ie();
+  for (AttrId a = 0; a < ie.schema().size(); ++a) {
+    if (!deduced_te.at(a).is_null()) continue;
+    z.push_back(a);
+    std::vector<std::pair<Value, double>> list;
+    for (Value& v :
+         ActiveDomain(ie, masters, a, opts.include_default_values)) {
+      const double w = pref.Weight(a, v);
+      list.emplace_back(std::move(v), w);
+    }
+    if (list.empty()) return result;  // no candidate can exist
+    std::sort(list.begin(), list.end(), [](const auto& x, const auto& y) {
+      if (x.second != y.second) return x.second > y.second;
+      return x.first.TotalLess(y.first);
+    });
+    lists.push_back(std::move(list));
+  }
+
+  const double base_score = pref.Score(deduced_te);
+  if (z.empty()) {
+    ++result.checks;
+    if (opts.skip_check || CheckCandidateTarget(engine, deduced_te)) {
+      result.targets.push_back(deduced_te);
+      result.scores.push_back(base_score);
+    }
+    return result;
+  }
+
+  std::unique_ptr<RankedStream> stream = BuildRankJoinTree(std::move(lists));
+  while (static_cast<int>(result.targets.size()) < k) {
+    if (opts.max_expansions >= 0 && result.queue_pops >= opts.max_expansions) {
+      result.exhausted_budget = true;
+      break;
+    }
+    auto row = stream->Next();
+    if (!row.has_value()) break;
+    ++result.queue_pops;
+    Tuple t = deduced_te;
+    for (std::size_t i = 0; i < z.size(); ++i) t.set(z[i], row->values[i]);
+    ++result.checks;
+    if (opts.skip_check || CheckCandidateTarget(engine, t)) {
+      result.targets.push_back(std::move(t));
+      result.scores.push_back(base_score + row->score);
+    }
+  }
+  return result;
+}
+
+}  // namespace relacc

@@ -1,0 +1,267 @@
+#include "topk/topk_ct.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "topk/pairing_heap.h"
+#include "topk/value_heap.h"
+
+namespace relacc {
+namespace {
+
+/// The search object o of Fig. 5: indices into the per-attribute buffers
+/// Bi, plus the score o.w. The concrete tuple o.t is materialized lazily.
+struct Obj {
+  std::vector<int32_t> p;
+  double w = 0.0;
+};
+
+struct ObjLess {
+  bool operator()(const Obj& a, const Obj& b) const {
+    if (a.w != b.w) return a.w < b.w;
+    // Deterministic tie-break: lexicographically smaller index vector wins.
+    return b.p < a.p;
+  }
+};
+
+struct IndexVectorHash {
+  std::size_t operator()(const std::vector<int32_t>& v) const {
+    std::size_t h = 0x9e3779b97f4a7c15ULL;
+    for (int32_t x : v) {
+      h ^= static_cast<std::size_t>(x) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// Shared set-up for the top-k algorithms: the null attributes Z of te and
+/// their weighted active domains.
+struct SearchSpace {
+  std::vector<AttrId> z;                   ///< null attributes of te
+  std::vector<std::vector<std::pair<Value, double>>> domains;  ///< per z-attr
+};
+
+SearchSpace BuildSearchSpace(const Relation& ie,
+                             const std::vector<Relation>& masters,
+                             const Tuple& te, const PreferenceModel& pref,
+                             const TopKOptions& opts) {
+  SearchSpace space;
+  for (AttrId a = 0; a < ie.schema().size(); ++a) {
+    if (!te.at(a).is_null()) continue;
+    space.z.push_back(a);
+    std::vector<std::pair<Value, double>> dom;
+    for (Value& v :
+         ActiveDomain(ie, masters, a, opts.include_default_values)) {
+      const double w = pref.Weight(a, v);
+      dom.emplace_back(std::move(v), w);
+    }
+    space.domains.push_back(std::move(dom));
+  }
+  return space;
+}
+
+Tuple Materialize(const Tuple& te, const SearchSpace& space,
+                  const std::vector<std::vector<std::pair<Value, double>>>& b,
+                  const Obj& o) {
+  Tuple t = te;
+  for (std::size_t i = 0; i < space.z.size(); ++i) {
+    t.set(space.z[i], b[i][o.p[i]].first);
+  }
+  return t;
+}
+
+}  // namespace
+
+TopKResult TopKCT(const ChaseEngine& engine,
+                  const std::vector<Relation>& masters,
+                  const Tuple& deduced_te, const PreferenceModel& pref, int k,
+                  const TopKOptions& opts) {
+  TopKResult result;
+  if (k <= 0) return result;
+  const SearchSpace space =
+      BuildSearchSpace(engine.ie(), masters, deduced_te, pref, opts);
+  const std::size_t m = space.z.size();
+  const double base_score = pref.Score(deduced_te);
+
+  if (m == 0) {
+    // te is already complete; it is its own (sole) candidate target.
+    ++result.checks;
+    if (opts.skip_check || CheckCandidateTarget(engine, deduced_te)) {
+      result.targets.push_back(deduced_te);
+      result.scores.push_back(base_score);
+    }
+    return result;
+  }
+
+  // Heaps Hi over the active domains; buffers Bi of popped values (Fig. 5
+  // lines 2, 10-11). An empty domain means no candidate target can exist.
+  std::vector<ValueHeap> heaps;
+  heaps.reserve(m);
+  std::vector<std::vector<std::pair<Value, double>>> buffers(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (space.domains[i].empty()) return result;
+    heaps.emplace_back(space.domains[i]);
+    buffers[i].push_back(heaps[i].Pop());
+  }
+
+  PairingHeap<Obj, ObjLess> queue;
+  std::unordered_set<std::vector<int32_t>, IndexVectorHash> seen;
+  {
+    Obj o;
+    o.p.assign(m, 0);
+    o.w = base_score;
+    for (std::size_t i = 0; i < m; ++i) o.w += buffers[i][0].second;
+    seen.insert(o.p);
+    queue.Push(std::move(o));
+  }
+
+  while (static_cast<int>(result.targets.size()) < k && !queue.empty()) {
+    if (opts.max_expansions >= 0 && result.queue_pops >= opts.max_expansions) {
+      result.exhausted_budget = true;
+      break;
+    }
+    const Obj o = queue.Pop();
+    ++result.queue_pops;
+    Tuple t = Materialize(deduced_te, space, buffers, o);
+    ++result.checks;
+    if (opts.skip_check || CheckCandidateTarget(engine, t)) {
+      result.targets.push_back(std::move(t));
+      result.scores.push_back(o.w);
+    }
+    // Expand: successors differing from o in exactly one attribute, taking
+    // the next-best value of that attribute (Fig. 5 lines 10-15).
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t next = static_cast<std::size_t>(o.p[i]) + 1;
+      if (next >= buffers[i].size()) {
+        if (heaps[i].empty()) continue;  // domain exhausted in dimension i
+        buffers[i].push_back(heaps[i].Pop());
+      }
+      Obj succ = o;
+      succ.p[i] = static_cast<int32_t>(next);
+      succ.w = o.w - buffers[i][o.p[i]].second + buffers[i][next].second;
+      if (seen.insert(succ.p).second) queue.Push(std::move(succ));
+    }
+  }
+  for (const ValueHeap& h : heaps) result.heap_pops += h.pops();
+  return result;
+}
+
+TopKResult TopKCTh(const ChaseEngine& engine,
+                   const std::vector<Relation>& masters,
+                   const Tuple& deduced_te, const PreferenceModel& pref,
+                   int k, const TopKOptions& opts) {
+  // Phase 1: k unvalidated seeds (TopKCT without the check step).
+  TopKOptions seed_opts = opts;
+  seed_opts.skip_check = true;
+  TopKResult seeds = TopKCT(engine, masters, deduced_te, pref, k, seed_opts);
+
+  TopKResult result;
+  result.queue_pops = seeds.queue_pops;
+  result.heap_pops = seeds.heap_pops;
+
+  const SearchSpace space =
+      BuildSearchSpace(engine.ie(), masters, deduced_te, pref, opts);
+
+  auto try_accept = [&](Tuple t, double score) {
+    for (const Tuple& prev : result.targets) {
+      if (prev == t) return false;  // dedup revised seeds
+    }
+    ++result.checks;
+    if (CheckCandidateTarget(engine, t)) {
+      result.targets.push_back(std::move(t));
+      result.scores.push_back(score);
+      return true;
+    }
+    return false;
+  };
+
+  for (std::size_t s = 0; s < seeds.targets.size() &&
+                          static_cast<int>(result.targets.size()) < k;
+       ++s) {
+    Tuple t = seeds.targets[s];
+    if (try_accept(t, seeds.scores[s])) continue;
+    // Phase 2: greedy repair — revisit each null attribute in turn and try
+    // the remaining active-domain values in weight order until the check
+    // passes (Sec. 6.3). At most O(m · |dom|) checks per seed.
+    bool accepted = false;
+    for (std::size_t i = 0; i < space.z.size() && !accepted; ++i) {
+      // Values sorted by descending weight for the greedy order.
+      std::vector<std::pair<Value, double>> dom = space.domains[i];
+      std::sort(dom.begin(), dom.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first.TotalLess(b.first);
+      });
+      const Value original = t.at(space.z[i]);
+      int tried = 0;
+      for (const auto& [v, w] : dom) {
+        if (opts.max_repair_values >= 0 && tried >= opts.max_repair_values) {
+          break;
+        }
+        if (v == original) continue;
+        ++tried;
+        Tuple revised = t;
+        revised.set(space.z[i], v);
+        const double score = seeds.scores[s] -
+                             pref.Weight(space.z[i], original) + w;
+        if (try_accept(std::move(revised), score)) {
+          accepted = true;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+TopKResult TopKBruteForce(const ChaseEngine& engine,
+                          const std::vector<Relation>& masters,
+                          const Tuple& deduced_te, const PreferenceModel& pref,
+                          int k, const TopKOptions& opts) {
+  TopKResult result;
+  if (k <= 0) return result;
+  const SearchSpace space =
+      BuildSearchSpace(engine.ie(), masters, deduced_te, pref, opts);
+  const std::size_t m = space.z.size();
+
+  std::vector<std::pair<double, Tuple>> accepted;
+  std::vector<std::size_t> idx(m, 0);
+  for (;;) {
+    Tuple t = deduced_te;
+    bool valid_combo = true;
+    double score = pref.Score(deduced_te);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (space.domains[i].empty()) {
+        valid_combo = false;
+        break;
+      }
+      t.set(space.z[i], space.domains[i][idx[i]].first);
+      score += space.domains[i][idx[i]].second;
+    }
+    if (!valid_combo) break;
+    ++result.checks;
+    if (CheckCandidateTarget(engine, t)) accepted.emplace_back(score, t);
+    // Odometer increment over the product space.
+    std::size_t i = 0;
+    for (; i < m; ++i) {
+      if (++idx[i] < space.domains[i].size()) break;
+      idx[i] = 0;
+    }
+    if (i == m || m == 0) break;
+  }
+  std::stable_sort(accepted.begin(), accepted.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first > b.first;
+                     return false;
+                   });
+  for (std::size_t i = 0;
+       i < accepted.size() && static_cast<int>(result.targets.size()) < k;
+       ++i) {
+    result.targets.push_back(accepted[i].second);
+    result.scores.push_back(accepted[i].first);
+  }
+  (void)opts;
+  return result;
+}
+
+}  // namespace relacc

@@ -1,0 +1,75 @@
+#ifndef RELACC_TOPK_TOPK_CT_H_
+#define RELACC_TOPK_TOPK_CT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "chase/chase_engine.h"
+#include "chase/specification.h"
+#include "topk/preference.h"
+
+namespace relacc {
+
+/// Options shared by the top-k algorithms.
+struct TopKOptions {
+  /// Include the synthetic default value ⊥ in infinite active domains
+  /// (Sec. 6.1: "at most one more distinct value from dom(Ai)").
+  bool include_default_values = false;
+
+  /// Safety cap on priority-queue pops / join results inspected; the
+  /// problem is NPO-complete (Thm. 5) so worst cases are exponential.
+  /// -1 = unbounded.
+  int64_t max_expansions = 1'000'000;
+
+  /// Skip the candidate-target check (used internally by TopKCTh to obtain
+  /// its unvalidated seeds; exposed for ablations).
+  bool skip_check = false;
+
+  /// TopKCTh only: greedy repair tries at most this many replacement values
+  /// per attribute per seed (the heuristic trades completeness for time,
+  /// Sec. 6.3); -1 = unbounded.
+  int max_repair_values = 4;
+};
+
+/// Result of a top-k computation.
+struct TopKResult {
+  std::vector<Tuple> targets;      ///< accepted candidate targets, best first
+  std::vector<double> scores;      ///< p({t}) for each target
+  int64_t queue_pops = 0;          ///< priority-queue / join-result pops
+  int64_t heap_pops = 0;           ///< total ValueHeap pops (Prop. 7 metric)
+  int64_t checks = 0;              ///< candidate-target chase runs
+  bool exhausted_budget = false;   ///< stopped by max_expansions
+};
+
+/// Algorithm TopKCT (Fig. 5): Brodal-queue-based best-first search over the
+/// lattice of value combinations for the null attributes of the deduced
+/// target `te`. Does not require ranked lists; instance optimal w.r.t.
+/// ValueHeap pops (Prop. 7), with the early-termination property.
+///
+/// `engine` supplies Ie (and runs the `check`); `masters` contributes the
+/// master portion of the active domains.
+TopKResult TopKCT(const ChaseEngine& engine,
+                  const std::vector<Relation>& masters,
+                  const Tuple& deduced_te, const PreferenceModel& pref, int k,
+                  const TopKOptions& opts = {});
+
+/// Algorithm TopKCTh (Sec. 6.3): PTIME heuristic — runs TopKCT without the
+/// check to obtain k seeds, then greedily repairs each seed with active-
+/// domain values until the check passes. Accepted tuples are guaranteed
+/// candidate targets but not necessarily of maximal score.
+TopKResult TopKCTh(const ChaseEngine& engine,
+                   const std::vector<Relation>& masters,
+                   const Tuple& deduced_te, const PreferenceModel& pref,
+                   int k, const TopKOptions& opts = {});
+
+/// Exhaustive reference oracle for tests: enumerates the full product of
+/// active domains, checks every combination, and returns the k best.
+/// Exponential; only usable on tiny instances.
+TopKResult TopKBruteForce(const ChaseEngine& engine,
+                          const std::vector<Relation>& masters,
+                          const Tuple& deduced_te, const PreferenceModel& pref,
+                          int k, const TopKOptions& opts = {});
+
+}  // namespace relacc
+
+#endif  // RELACC_TOPK_TOPK_CT_H_

@@ -1,0 +1,55 @@
+#ifndef RELACC_TOPK_VALUE_HEAP_H_
+#define RELACC_TOPK_VALUE_HEAP_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/value.h"
+
+namespace relacc {
+
+/// The heap Hi of TopKCT (Sec. 6.2): holds the active-domain values of one
+/// null attribute; pops them in non-increasing weight order. Built in
+/// linear time (std::make_heap), each pop costs O(log n) — exactly the
+/// contract the instance-optimality argument of Prop. 7 counts.
+class ValueHeap {
+ public:
+  ValueHeap() = default;
+
+  /// Takes (value, weight) entries in any order.
+  explicit ValueHeap(std::vector<std::pair<Value, double>> entries)
+      : entries_(std::move(entries)) {
+    std::make_heap(entries_.begin(), entries_.end(), Less);
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Removes and returns the max-weight entry. Precondition: !empty().
+  std::pair<Value, double> Pop() {
+    std::pop_heap(entries_.begin(), entries_.end(), Less);
+    auto out = std::move(entries_.back());
+    entries_.pop_back();
+    ++pops_;
+    return out;
+  }
+
+  /// Number of pops performed so far (the instance-optimality cost metric).
+  int64_t pops() const { return pops_; }
+
+ private:
+  static bool Less(const std::pair<Value, double>& a,
+                   const std::pair<Value, double>& b) {
+    if (a.second != b.second) return a.second < b.second;
+    // Deterministic tie-break keeps experiments reproducible.
+    return b.first.TotalLess(a.first);
+  }
+
+  std::vector<std::pair<Value, double>> entries_;
+  int64_t pops_ = 0;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_TOPK_VALUE_HEAP_H_

@@ -1,0 +1,22 @@
+#include "truth/claims.h"
+
+namespace relacc {
+
+void ClaimSet::Add(Claim claim) {
+  const std::size_t cell = Cell(claim.object, claim.source);
+  const int idx = static_cast<int>(claims_.size());
+  claims_by_cell_[cell].push_back(idx);
+  const int prev = latest_[cell];
+  if (prev < 0 || claims_[prev].snapshot <= claim.snapshot) {
+    latest_[cell] = idx;
+  }
+  claims_.push_back(std::move(claim));
+}
+
+std::optional<Claim> ClaimSet::LatestClaim(int object, int source) const {
+  const int idx = latest_[Cell(object, source)];
+  if (idx < 0) return std::nullopt;
+  return claims_[idx];
+}
+
+}  // namespace relacc

@@ -1,0 +1,65 @@
+#ifndef RELACC_TRUTH_CLAIMS_H_
+#define RELACC_TRUTH_CLAIMS_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/value.h"
+
+namespace relacc {
+
+/// One observation in the truth-discovery substrate: `source` claims, in
+/// snapshot `snapshot`, that the tracked attribute of `object` has `value`.
+/// Mirrors the structure of the paper's Rest dataset (12 web sources, 8
+/// weekly snapshots of restaurant listings, attribute closed?).
+struct Claim {
+  int object = -1;
+  int source = -1;
+  int snapshot = -1;
+  Value value;
+};
+
+/// An indexed collection of claims over one attribute.
+class ClaimSet {
+ public:
+  ClaimSet(int num_objects, int num_sources, int num_snapshots)
+      : num_objects_(num_objects),
+        num_sources_(num_sources),
+        num_snapshots_(num_snapshots),
+        latest_(static_cast<std::size_t>(num_objects) * num_sources, -1),
+        claims_by_cell_(static_cast<std::size_t>(num_objects) * num_sources) {}
+
+  int num_objects() const { return num_objects_; }
+  int num_sources() const { return num_sources_; }
+  int num_snapshots() const { return num_snapshots_; }
+
+  void Add(Claim claim);
+
+  const std::vector<Claim>& claims() const { return claims_; }
+
+  /// The most recent claim of `source` about `object`, if any.
+  std::optional<Claim> LatestClaim(int object, int source) const;
+
+  /// Every claim of `source` about `object`, in insertion order.
+  const std::vector<int>& CellClaims(int object, int source) const {
+    return claims_by_cell_[Cell(object, source)];
+  }
+
+  const Claim& claim(int idx) const { return claims_[idx]; }
+
+ private:
+  std::size_t Cell(int object, int source) const {
+    return static_cast<std::size_t>(object) * num_sources_ + source;
+  }
+
+  int num_objects_;
+  int num_sources_;
+  int num_snapshots_;
+  std::vector<Claim> claims_;
+  std::vector<int> latest_;  ///< claim index of the latest claim per cell
+  std::vector<std::vector<int>> claims_by_cell_;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_TRUTH_CLAIMS_H_

@@ -1,0 +1,203 @@
+#include "truth/copy_cef.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace relacc {
+namespace {
+
+double Clamp(double x, double lo, double hi) {
+  return std::max(lo, std::min(hi, x));
+}
+
+}  // namespace
+
+std::vector<Value> CopyCefResult::Decisions() const {
+  std::vector<Value> out(value_probs.size(), Value::Null());
+  for (std::size_t o = 0; o < value_probs.size(); ++o) {
+    double best = -1.0;
+    for (const auto& [v, p] : value_probs[o]) {
+      if (p > best || (p == best && !out[o].is_null() && v.TotalLess(out[o]))) {
+        best = p;
+        out[o] = v;
+      }
+    }
+  }
+  return out;
+}
+
+CopyCefResult RunCopyCef(const ClaimSet& claims, const CopyCefConfig& config) {
+  const int num_objects = claims.num_objects();
+  const int num_sources = claims.num_sources();
+  const int max_snapshot = claims.num_snapshots() - 1;
+
+  CopyCefResult result;
+  result.value_probs.resize(num_objects);
+  result.source_accuracy.assign(num_sources, config.initial_accuracy);
+  result.copy_prob.assign(static_cast<std::size_t>(num_sources) * num_sources,
+                          0.0);
+
+  // Latest claim (value + staleness weight) per (object, source).
+  struct Cell {
+    Value value;
+    double fresh_weight = 0.0;
+    bool present = false;
+  };
+  std::vector<Cell> cells(static_cast<std::size_t>(num_objects) * num_sources);
+  for (int o = 0; o < num_objects; ++o) {
+    for (int s = 0; s < num_sources; ++s) {
+      const auto latest = claims.LatestClaim(o, s);
+      if (!latest.has_value() || latest->value.is_null()) continue;
+      Cell& cell = cells[static_cast<std::size_t>(o) * num_sources + s];
+      cell.value = latest->value;
+      cell.present = true;
+      const int staleness = std::max(0, max_snapshot - latest->snapshot);
+      cell.fresh_weight = std::pow(config.freshness_decay, staleness);
+    }
+  }
+  auto cell_at = [&](int o, int s) -> const Cell& {
+    return cells[static_cast<std::size_t>(o) * num_sources + s];
+  };
+
+  const double n = std::max(1, config.n_false_values);
+  std::vector<int> order(num_sources);
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations_run = iter + 1;
+
+    // --- (1) copy detection over the current belief ---------------------
+    // Evidence: both sources claim the same object; classify the shared
+    // claim as "both true", "both same false value", or "different".
+    // Sharing false values is strong dependence evidence [8].
+    if (iter > 0) {
+      for (int s1 = 0; s1 < num_sources; ++s1) {
+        for (int s2 = 0; s2 < num_sources; ++s2) {
+          if (s1 == s2) continue;
+          // Evidence counts [8]: sharing a value that is *clearly losing*
+          // to the current leading value of its object (kf) is strong
+          // dependence evidence — independent sources would each have to
+          // pick the same one of n plausible false values. Sharing a
+          // leading (or tied-for-leading) value is weak evidence (kt);
+          // disagreement is independence evidence. The margin keeps
+          // undecided 50/50 objects from flagging honest pairs.
+          double kt = 0.0;
+          double kf = 0.0;
+          int differ = 0;
+          for (int o = 0; o < num_objects; ++o) {
+            const Cell& c1 = cell_at(o, s1);
+            const Cell& c2 = cell_at(o, s2);
+            if (!c1.present || !c2.present) continue;
+            if (c1.value == c2.value) {
+              const auto& probs = result.value_probs[o];
+              double p_v = probs.empty() ? 0.5 : 0.0;
+              double p_max = probs.empty() ? 0.5 : 0.0;
+              for (const auto& [v, p] : probs) {
+                p_max = std::max(p_max, p);
+                if (v == c1.value) p_v = p;
+              }
+              if (p_v + 0.15 >= p_max) {
+                kt += 1.0;
+              } else {
+                kf += 1.0;
+              }
+            } else {
+              ++differ;
+            }
+          }
+          const double a = Clamp(result.source_accuracy[s1],
+                                 config.accuracy_floor,
+                                 config.accuracy_ceiling);
+          const double pf = 1.0 - a;
+          const double cr = config.copy_rate;
+          // Per-object likelihood ratios P(observation | copy)/P(.. | indep),
+          // conditioned on s1's value: matching a false value happens w.p.
+          // ~ cr + (1-cr)·pf/n under copying vs pf/n independently;
+          // matching the true value: cr + (1-cr)·a vs a; differing:
+          // (1-cr)·(…) vs (…) ≈ 1-cr.
+          double log_ratio =
+              std::log(config.copy_prior / (1.0 - config.copy_prior));
+          log_ratio += kf * std::log((cr + (1 - cr) * pf / n + 1e-12) /
+                                     (pf / n + 1e-12));
+          log_ratio += kt * std::log((cr + (1 - cr) * a + 1e-12) /
+                                     (a + 1e-12));
+          log_ratio += differ * std::log((1 - cr) + 1e-12);
+          const double p_copy = 1.0 / (1.0 + std::exp(-log_ratio));
+          result.copy_prob[static_cast<std::size_t>(s1) * num_sources + s2] =
+              p_copy;
+        }
+      }
+    }
+
+    // --- (2) copy-dampened, freshness-weighted vote counts --------------
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      if (result.source_accuracy[a] != result.source_accuracy[b]) {
+        return result.source_accuracy[a] > result.source_accuracy[b];
+      }
+      return a < b;
+    });
+    for (int o = 0; o < num_objects; ++o) {
+      auto& probs = result.value_probs[o];
+      probs.clear();
+      std::unordered_map<Value, double, ValueHash> vote;
+      std::vector<int> counted;
+      for (int s : order) {
+        const Cell& cell = cell_at(o, s);
+        if (!cell.present) continue;
+        const double a = Clamp(result.source_accuracy[s],
+                               config.accuracy_floor,
+                               config.accuracy_ceiling);
+        // Independence factor: dampen by the probability this claim was
+        // copied from a source already counted for this object.
+        double independent = 1.0;
+        for (int prev : counted) {
+          const double p_copy =
+              result.copy_prob[static_cast<std::size_t>(s) * num_sources +
+                               prev];
+          independent *= 1.0 - config.copy_rate * p_copy;
+        }
+        counted.push_back(s);
+        const double score = std::log(n * a / (1.0 - a));
+        vote[cell.value] += score * independent * cell.fresh_weight;
+      }
+      if (vote.empty()) continue;
+      // Softmax over vote counts gives P(v true | claims).
+      double max_vote = -1e300;
+      for (const auto& [v, w] : vote) max_vote = std::max(max_vote, w);
+      double z = 0.0;
+      for (const auto& [v, w] : vote) z += std::exp(w - max_vote);
+      // One unit of probability mass for "some unseen value" keeps
+      // single-voter objects from certainty 1.0.
+      z += std::exp(-max_vote);
+      for (const auto& [v, w] : vote) {
+        probs[v] = std::exp(w - max_vote) / z;
+      }
+    }
+
+    // --- (3) re-estimate source accuracy --------------------------------
+    double max_delta = 0.0;
+    for (int s = 0; s < num_sources; ++s) {
+      double sum = 0.0;
+      int count = 0;
+      for (int o = 0; o < num_objects; ++o) {
+        const Cell& cell = cell_at(o, s);
+        if (!cell.present) continue;
+        const auto it = result.value_probs[o].find(cell.value);
+        sum += it == result.value_probs[o].end() ? 0.0 : it->second;
+        ++count;
+      }
+      const double updated =
+          count == 0 ? config.initial_accuracy
+                     : Clamp(sum / count, config.accuracy_floor,
+                             config.accuracy_ceiling);
+      max_delta = std::max(max_delta,
+                           std::abs(updated - result.source_accuracy[s]));
+      result.source_accuracy[s] = updated;
+    }
+    if (iter > 0 && max_delta < 1e-4) break;
+  }
+  return result;
+}
+
+}  // namespace relacc

@@ -1,0 +1,60 @@
+#ifndef RELACC_TRUTH_COPY_CEF_H_
+#define RELACC_TRUTH_COPY_CEF_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/value.h"
+#include "truth/claims.h"
+
+namespace relacc {
+
+/// Parameters of the copyCEF model.
+struct CopyCefConfig {
+  int max_iterations = 10;
+  double initial_accuracy = 0.8;   ///< A(s) before the first iteration
+  double copy_prior = 0.1;         ///< prior P(s1 copies s2)
+  double copy_rate = 0.8;          ///< c: prob. a copier copies a given item
+  /// Number of plausible false values per object (n in the vote-count
+  /// formula ln(n·A/(1-A))); 1 for a boolean attribute.
+  int n_false_values = 1;
+  /// Exponential decay per snapshot of staleness applied to vote mass —
+  /// the "freshness" leg of the CEF quality measures.
+  double freshness_decay = 0.85;
+  /// Clamps A(s) away from 0/1 to keep log-odds finite.
+  double accuracy_floor = 0.05;
+  double accuracy_ceiling = 0.99;
+};
+
+/// Output of copyCEF.
+struct CopyCefResult {
+  /// P(value is true) per object, over the values claimed for it.
+  std::vector<std::unordered_map<Value, double, ValueHash>> value_probs;
+  /// Final per-source accuracy estimates A(s).
+  std::vector<double> source_accuracy;
+  /// P(si depends on sj) for i != j (row-major num_sources × num_sources).
+  std::vector<double> copy_prob;
+  int iterations_run = 0;
+
+  /// Maximum-probability value per object (null if unclaimed).
+  std::vector<Value> Decisions() const;
+};
+
+/// Re-implementation of copyCEF [Dong, Berti-Equille, Srivastava: "Truth
+/// discovery and copying detection in a dynamic world", PVLDB 2009]:
+/// a Bayesian truth-discovery model that iterates
+///   (1) pairwise copy detection — sources sharing *false* values are
+///       evidence of copying; P(copy) via Bayes over their latest claims;
+///   (2) copy-dampened vote counts — a claim contributes its source's
+///       log-odds accuracy, scaled down by the probability the claim was
+///       copied from an already-counted source (sources visited in
+///       descending accuracy order);
+///   (3) source accuracy re-estimation A(s) = mean P(claimed value true),
+/// until convergence or `max_iterations`. Freshness (the "F" of CEF) enters
+/// as exponential decay of vote mass with claim staleness.
+CopyCefResult RunCopyCef(const ClaimSet& claims,
+                         const CopyCefConfig& config = {});
+
+}  // namespace relacc
+
+#endif  // RELACC_TRUTH_COPY_CEF_H_

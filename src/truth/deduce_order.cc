@@ -1,0 +1,24 @@
+#include "truth/deduce_order.h"
+
+namespace relacc {
+
+Tuple RunDeduceOrder(const Specification& spec) {
+  Specification restricted;
+  restricted.ie = spec.ie;
+  restricted.masters = spec.masters;  // only CFD rules reference these below
+  restricted.config = spec.config;
+  for (const AccuracyRule& rule : spec.rules) {
+    if (rule.provenance == RuleProvenance::kCurrency ||
+        rule.provenance == RuleProvenance::kCfd) {
+      restricted.rules.push_back(rule);
+    }
+  }
+  const ChaseOutcome outcome = IsCR(restricted);
+  if (!outcome.church_rosser) {
+    return Tuple(
+        std::vector<Value>(spec.ie.schema().size(), Value::Null()));
+  }
+  return outcome.target;
+}
+
+}  // namespace relacc

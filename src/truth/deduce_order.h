@@ -1,0 +1,25 @@
+#ifndef RELACC_TRUTH_DEDUCE_ORDER_H_
+#define RELACC_TRUTH_DEDUCE_ORDER_H_
+
+#include "chase/chase_engine.h"
+#include "chase/specification.h"
+
+namespace relacc {
+
+/// Re-implementation of the DeduceOrder baseline [Fan, Geerts, Tang, Yu:
+/// "Inferring data currency and consistency for conflict resolution",
+/// ICDE 2013], following the paper's own experimental protocol (Exp-5):
+/// "we extracted all ARs relevant to data currency as currency constraints,
+/// and all constant CFDs". Concretely, the chase is restricted to rules
+/// with provenance kCurrency or kCfd (plus the built-in axioms), and only
+/// certainly-derived values are emitted — no preference fallback and no
+/// master-data rules. This yields the high-precision / low-recall profile
+/// Table 4 reports.
+///
+/// Returns the (possibly partial) deduced target; all-null when the
+/// restricted specification is not Church-Rosser.
+Tuple RunDeduceOrder(const Specification& spec);
+
+}  // namespace relacc
+
+#endif  // RELACC_TRUTH_DEDUCE_ORDER_H_

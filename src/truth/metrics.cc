@@ -1,0 +1,65 @@
+#include "truth/metrics.h"
+
+namespace relacc {
+
+BinaryMetrics ComputeBinaryMetrics(const std::vector<Value>& predicted,
+                                   const std::vector<bool>& truth,
+                                   const Value& positive) {
+  BinaryMetrics m;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool actual = truth[i];
+    const bool claimed =
+        i < predicted.size() && !predicted[i].is_null() &&
+        predicted[i] == positive;
+    m.actual_positive += actual ? 1 : 0;
+    m.predicted_positive += claimed ? 1 : 0;
+    m.true_positive += (actual && claimed) ? 1 : 0;
+  }
+  if (m.predicted_positive > 0) {
+    m.precision =
+        static_cast<double>(m.true_positive) / m.predicted_positive;
+  }
+  if (m.actual_positive > 0) {
+    m.recall = static_cast<double>(m.true_positive) / m.actual_positive;
+  }
+  if (m.precision + m.recall > 0) {
+    m.f1 = 2 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+TargetQuality CompareTarget(const Tuple& deduced, const Tuple& truth) {
+  TargetQuality q;
+  const int n = truth.size();
+  if (n == 0) return q;
+  int non_null = 0;
+  int correct = 0;
+  for (AttrId a = 0; a < n; ++a) {
+    const Value& d = a < deduced.size() ? deduced.at(a) : Value::Null();
+    if (!d.is_null()) {
+      ++non_null;
+      if (d == truth.at(a)) ++correct;
+    }
+  }
+  q.attrs_deduced = static_cast<double>(non_null) / n;
+  q.attrs_correct = static_cast<double>(correct) / n;
+  q.complete_and_correct = (non_null == n && correct == n) ? 1.0 : 0.0;
+  return q;
+}
+
+TargetQuality AverageQuality(const std::vector<TargetQuality>& qs) {
+  TargetQuality avg;
+  if (qs.empty()) return avg;
+  for (const TargetQuality& q : qs) {
+    avg.attrs_deduced += q.attrs_deduced;
+    avg.attrs_correct += q.attrs_correct;
+    avg.complete_and_correct += q.complete_and_correct;
+  }
+  const double n = static_cast<double>(qs.size());
+  avg.attrs_deduced /= n;
+  avg.attrs_correct /= n;
+  avg.complete_and_correct /= n;
+  return avg;
+}
+
+}  // namespace relacc

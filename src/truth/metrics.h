@@ -1,0 +1,48 @@
+#ifndef RELACC_TRUTH_METRICS_H_
+#define RELACC_TRUTH_METRICS_H_
+
+#include <vector>
+
+#include "core/relation.h"
+#include "core/value.h"
+
+namespace relacc {
+
+/// Precision / recall / F-measure as used for the Rest experiment
+/// (Table 4): R = objects an algorithm concluded positive, G = objects
+/// truly positive; p = |G∩R|/|R|, r = |G∩R|/|G|, F1 = 2pr/(p+r).
+struct BinaryMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int predicted_positive = 0;
+  int actual_positive = 0;
+  int true_positive = 0;
+};
+
+/// `predicted[i]` is the algorithm's conclusion for object i (null = no
+/// conclusion, counted neither positive nor negative); `truth[i]` the
+/// ground truth. `positive` is the value that counts as "positive" (e.g.
+/// closed? = true).
+BinaryMetrics ComputeBinaryMetrics(const std::vector<Value>& predicted,
+                                   const std::vector<bool>& truth,
+                                   const Value& positive);
+
+/// Attribute-level and tuple-level accuracy of deduced targets against
+/// ground-truth tuples (Exps 1-3, 5): fraction of non-null deduced values
+/// that are correct, fraction of attributes deduced, fraction of targets
+/// completely & correctly deduced.
+struct TargetQuality {
+  double attrs_deduced = 0.0;        ///< non-null fraction of te attributes
+  double attrs_correct = 0.0;        ///< correct fraction (of all attributes)
+  double complete_and_correct = 0.0; ///< 1.0 iff te complete and == truth
+};
+
+TargetQuality CompareTarget(const Tuple& deduced, const Tuple& truth);
+
+/// Averages element-wise.
+TargetQuality AverageQuality(const std::vector<TargetQuality>& qs);
+
+}  // namespace relacc
+
+#endif  // RELACC_TRUTH_METRICS_H_

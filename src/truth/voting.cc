@@ -1,0 +1,52 @@
+#include "truth/voting.h"
+
+#include <unordered_map>
+
+namespace relacc {
+namespace {
+
+Value Majority(const std::vector<Value>& values) {
+  std::unordered_map<Value, int, ValueHash> counts;
+  for (const Value& v : values) {
+    if (!v.is_null()) ++counts[v];
+  }
+  Value best = Value::Null();
+  int best_count = 0;
+  for (const auto& [v, c] : counts) {
+    if (c > best_count || (c == best_count && v.TotalLess(best))) {
+      best = v;
+      best_count = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Tuple VoteEntity(const Relation& ie) {
+  std::vector<Value> out;
+  out.reserve(ie.schema().size());
+  std::vector<Value> column;
+  for (AttrId a = 0; a < ie.schema().size(); ++a) {
+    column.clear();
+    for (const Tuple& t : ie.tuples()) column.push_back(t.at(a));
+    out.push_back(Majority(column));
+  }
+  return Tuple(std::move(out));
+}
+
+std::vector<Value> VoteClaims(const ClaimSet& claims) {
+  std::vector<Value> out(claims.num_objects(), Value::Null());
+  std::vector<Value> votes;
+  for (int o = 0; o < claims.num_objects(); ++o) {
+    votes.clear();
+    for (int s = 0; s < claims.num_sources(); ++s) {
+      const auto latest = claims.LatestClaim(o, s);
+      if (latest.has_value()) votes.push_back(latest->value);
+    }
+    out[o] = Majority(votes);
+  }
+  return out;
+}
+
+}  // namespace relacc

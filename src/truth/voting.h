@@ -1,0 +1,24 @@
+#ifndef RELACC_TRUTH_VOTING_H_
+#define RELACC_TRUTH_VOTING_H_
+
+#include <vector>
+
+#include "core/relation.h"
+#include "truth/claims.h"
+
+namespace relacc {
+
+/// Naive majority voting (the paper's `voting` baseline, Sec. 7): picks,
+/// per attribute, the value with the most occurrences in the entity
+/// instance, ignoring ARs entirely. Deterministic tie-break (smallest value
+/// in total order) keeps experiments reproducible. Null attributes of every
+/// tuple yield a null vote.
+Tuple VoteEntity(const Relation& ie);
+
+/// Voting over a claim set: per object, the majority over each source's
+/// *latest* claim. Objects no source claims get Value::Null().
+std::vector<Value> VoteClaims(const ClaimSet& claims);
+
+}  // namespace relacc
+
+#endif  // RELACC_TRUTH_VOTING_H_

@@ -1,0 +1,102 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace relacc {
+namespace {
+
+bool NeedsQuoting(const std::string& field, char sep) {
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) buffer_.push_back(sep_);
+    const std::string& f = fields[i];
+    if (NeedsQuoting(f, sep_)) {
+      buffer_.push_back('"');
+      for (char c : f) {
+        if (c == '"') buffer_.push_back('"');
+        buffer_.push_back(c);
+      }
+      buffer_.push_back('"');
+    } else {
+      buffer_ += f;
+    }
+  }
+  buffer_.push_back('\n');
+}
+
+Status CsvWriter::Flush(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << buffer_;
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> CsvReader::Parse(
+    const std::string& text) const {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_data = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      row_has_data = true;
+    } else if (c == sep_) {
+      row.push_back(std::move(field));
+      field.clear();
+      row_has_data = true;
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      if (row_has_data || !field.empty()) {
+        row.push_back(std::move(field));
+        field.clear();
+        rows.push_back(std::move(row));
+        row.clear();
+        row_has_data = false;
+      }
+    } else {
+      field.push_back(c);
+      row_has_data = true;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  if (row_has_data || !field.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> CsvReader::ReadFile(
+    const std::string& path) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Parse(ss.str());
+}
+
+}  // namespace relacc

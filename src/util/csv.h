@@ -1,0 +1,49 @@
+#ifndef RELACC_UTIL_CSV_H_
+#define RELACC_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace relacc {
+
+/// Minimal RFC-4180-ish CSV support used to persist generated datasets so
+/// that examples can round-trip realistic files. Quotes fields containing
+/// separators/quotes/newlines; doubles embedded quotes.
+class CsvWriter {
+ public:
+  explicit CsvWriter(char sep = ',') : sep_(sep) {}
+
+  /// Appends one record to the in-memory buffer.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Buffer contents so far.
+  const std::string& contents() const { return buffer_; }
+
+  /// Writes the buffer to `path`, truncating.
+  Status Flush(const std::string& path) const;
+
+ private:
+  char sep_;
+  std::string buffer_;
+};
+
+/// Parses CSV text into rows of fields.
+class CsvReader {
+ public:
+  explicit CsvReader(char sep = ',') : sep_(sep) {}
+
+  /// Parses the full text. Returns rows (possibly ragged).
+  Result<std::vector<std::vector<std::string>>> Parse(const std::string& text) const;
+
+  /// Reads and parses a file.
+  Result<std::vector<std::vector<std::string>>> ReadFile(const std::string& path) const;
+
+ private:
+  char sep_;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_UTIL_CSV_H_

@@ -1,0 +1,11 @@
+#include "util/dynamic_bitset.h"
+
+namespace relacc {
+
+std::size_t DynamicBitset::Count() const {
+  std::size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+}  // namespace relacc

@@ -1,0 +1,82 @@
+#ifndef RELACC_UTIL_DYNAMIC_BITSET_H_
+#define RELACC_UTIL_DYNAMIC_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace relacc {
+
+/// A fixed-size-at-construction bitset used for reachability rows in the
+/// partial-order transitive closure. Word-level operations (OrWith,
+/// iteration over set bits) keep the closure update cache-friendly.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void Set(std::size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Reset(std::size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  /// Sets bit i; returns true iff the bit was previously clear.
+  bool TestAndSet(std::size_t i) {
+    uint64_t& w = words_[i >> 6];
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    if (w & mask) return false;
+    w |= mask;
+    return true;
+  }
+
+  /// this |= other. Sizes must match.
+  void OrWith(const DynamicBitset& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+  /// Number of set bits.
+  std::size_t Count() const;
+
+  /// Invokes fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void ForEachSet(Fn fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits) {
+        const int b = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Invokes fn(index) for every bit set in `other` but not in `*this`.
+  template <typename Fn>
+  void ForEachMissingFrom(const DynamicBitset& other, Fn fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = other.words_[w] & ~words_[w];
+      while (bits) {
+        const int b = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_UTIL_DYNAMIC_BITSET_H_

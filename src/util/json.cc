@@ -1,0 +1,521 @@
+#include "util/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace relacc {
+
+Json Json::Bool(bool v) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::Int(int64_t v) {
+  Json j;
+  j.type_ = Type::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::Real(double v) {
+  Json j;
+  j.type_ = Type::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+Json Json::Str(std::string v) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::as_bool() const {
+  assert(type_ == Type::kBool);
+  return bool_;
+}
+
+int64_t Json::as_int() const {
+  assert(type_ == Type::kInt);
+  return int_;
+}
+
+double Json::as_double() const {
+  assert(is_number());
+  return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+}
+
+const std::string& Json::as_string() const {
+  assert(type_ == Type::kString);
+  return string_;
+}
+
+int Json::size() const {
+  if (type_ == Type::kArray) return static_cast<int>(array_.size());
+  if (type_ == Type::kObject) return static_cast<int>(object_.size());
+  return 0;
+}
+
+const Json& Json::at(int i) const {
+  assert(type_ == Type::kArray && i >= 0 && i < size());
+  return array_[i];
+}
+
+Json& Json::at(int i) {
+  assert(type_ == Type::kArray && i >= 0 && i < size());
+  return array_[i];
+}
+
+void Json::Append(Json v) {
+  assert(type_ == Type::kArray);
+  array_.push_back(std::move(v));
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::Set(const std::string& key, Json v) {
+  assert(type_ == Type::kObject);
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  assert(type_ == Type::kObject);
+  return object_;
+}
+
+Result<bool> Json::GetBool(const std::string& key) const {
+  const Json* v = Find(key);
+  if (v == nullptr) return Status::NotFound("missing key '" + key + "'");
+  if (!v->is_bool()) {
+    return Status::InvalidArgument("key '" + key + "' is not a bool");
+  }
+  return v->as_bool();
+}
+
+Result<int64_t> Json::GetInt(const std::string& key) const {
+  const Json* v = Find(key);
+  if (v == nullptr) return Status::NotFound("missing key '" + key + "'");
+  if (!v->is_int()) {
+    return Status::InvalidArgument("key '" + key + "' is not an integer");
+  }
+  return v->as_int();
+}
+
+Result<double> Json::GetDouble(const std::string& key) const {
+  const Json* v = Find(key);
+  if (v == nullptr) return Status::NotFound("missing key '" + key + "'");
+  if (!v->is_number()) {
+    return Status::InvalidArgument("key '" + key + "' is not a number");
+  }
+  return v->as_double();
+}
+
+Result<std::string> Json::GetString(const std::string& key) const {
+  const Json* v = Find(key);
+  if (v == nullptr) return Status::NotFound("missing key '" + key + "'");
+  if (!v->is_string()) {
+    return Status::InvalidArgument("key '" + key + "' is not a string");
+  }
+  return v->as_string();
+}
+
+Result<const Json*> Json::GetArray(const std::string& key) const {
+  const Json* v = Find(key);
+  if (v == nullptr) return Status::NotFound("missing key '" + key + "'");
+  if (!v->is_array()) {
+    return Status::InvalidArgument("key '" + key + "' is not an array");
+  }
+  return v;
+}
+
+Result<const Json*> Json::GetObject(const std::string& key) const {
+  const Json* v = Find(key);
+  if (v == nullptr) return Status::NotFound("missing key '" + key + "'");
+  if (!v->is_object()) {
+    return Status::InvalidArgument("key '" + key + "' is not an object");
+  }
+  return v;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kInt: return int_ == other.int_;
+    case Type::kDouble: return double_ == other.double_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return array_ == other.array_;
+    case Type::kObject: return object_ == other.object_;
+  }
+  return false;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+namespace {
+
+std::string DumpNumber(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";  // JSON has no inf/nan
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  auto newline = [&](int d) {
+    if (pretty) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent) * d, ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull: *out += "null"; return;
+    case Type::kBool: *out += bool_ ? "true" : "false"; return;
+    case Type::kInt: *out += std::to_string(int_); return;
+    case Type::kDouble: *out += DumpNumber(double_); return;
+    case Type::kString: *out += JsonEscape(string_); return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) *out += ",";
+        newline(depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      *out += "]";
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{";
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) *out += ",";
+        newline(depth + 1);
+        *out += JsonEscape(object_[i].first);
+        *out += pretty ? ": " : ":";
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      *out += "}";
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// --- parsing ---------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SkipWhitespace();
+    Result<Json> v = ParseValue(0);
+    if (!v.ok()) return v;
+    SkipWhitespace();
+    if (pos_ < static_cast<int>(text_.size())) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  char Peek() const {
+    return pos_ < static_cast<int>(text_.size()) ? text_[pos_] : '\0';
+  }
+  char Advance() {
+    char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  bool AtEnd() const { return pos_ >= static_cast<int>(text_.size()); }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError("JSON: " + message + " (line " +
+                              std::to_string(line_) + ")");
+  }
+
+  Result<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (AtEnd()) return Error("unexpected end of input");
+    char c = Peek();
+    switch (c) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        Result<std::string> s = ParseString();
+        if (!s.ok()) return s.status();
+        return Json::Str(std::move(s).value());
+      }
+      case 't':
+        return ParseKeyword("true", Json::Bool(true));
+      case 'f':
+        return ParseKeyword("false", Json::Bool(false));
+      case 'n':
+        return ParseKeyword("null", Json::Null());
+      default:
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+          return ParseNumber();
+        }
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Result<Json> ParseKeyword(const char* word, Json value) {
+    for (const char* p = word; *p; ++p) {
+      if (AtEnd() || Advance() != *p) {
+        return Error(std::string("invalid literal (expected '") + word + "')");
+      }
+    }
+    return value;
+  }
+
+  Result<Json> ParseNumber() {
+    int start = pos_;
+    if (Peek() == '-') Advance();
+    bool integral = true;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    if (Peek() == '.') {
+      integral = false;
+      Advance();
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("digit expected after decimal point");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      integral = false;
+      Advance();
+      if (Peek() == '+' || Peek() == '-') Advance();
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("digit expected in exponent");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    std::string text = text_.substr(start, pos_ - start);
+    if (text.empty() || text == "-") return Error("malformed number");
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return Json::Int(v);
+      }
+      // Fall through to double for out-of-range integers.
+    }
+    return Json::Real(std::strtod(text.c_str(), nullptr));
+  }
+
+  Result<std::string> ParseString() {
+    Advance();  // opening quote
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      char c = Advance();
+      if (c == '"') break;
+      if (c == '\\') {
+        if (AtEnd()) return Error("unterminated escape");
+        char e = Advance();
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              if (AtEnd()) return Error("truncated \\u escape");
+              char h = Advance();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += h - '0';
+              else if (h >= 'a' && h <= 'f') code += h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code += h - 'A' + 10;
+              else return Error("invalid \\u escape");
+            }
+            // Encode as UTF-8 (basic multilingual plane only; surrogate
+            // pairs are passed through as two 3-byte sequences).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error(std::string("unknown escape '\\") + e + "'");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Result<Json> ParseArray(int depth) {
+    Advance();  // '['
+    Json array = Json::Array();
+    SkipWhitespace();
+    if (Peek() == ']') {
+      Advance();
+      return array;
+    }
+    while (true) {
+      Result<Json> v = ParseValue(depth + 1);
+      if (!v.ok()) return v;
+      array.Append(std::move(v).value());
+      SkipWhitespace();
+      char c = Peek();
+      if (c == ',') {
+        Advance();
+        continue;
+      }
+      if (c == ']') {
+        Advance();
+        return array;
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Json> ParseObject(int depth) {
+    Advance();  // '{'
+    Json object = Json::Object();
+    SkipWhitespace();
+    if (Peek() == '}') {
+      Advance();
+      return object;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (Peek() != '"') return Error("expected string key in object");
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (Peek() != ':') return Error("expected ':' after object key");
+      Advance();
+      Result<Json> v = ParseValue(depth + 1);
+      if (!v.ok()) return v;
+      object.Set(key.value(), std::move(v).value());
+      SkipWhitespace();
+      char c = Peek();
+      if (c == ',') {
+        Advance();
+        continue;
+      }
+      if (c == '}') {
+        Advance();
+        return object;
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  int pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  JsonParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace relacc

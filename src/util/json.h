@@ -1,0 +1,103 @@
+#ifndef RELACC_UTIL_JSON_H_
+#define RELACC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace relacc {
+
+/// A JSON document node. Self-contained (no external dependency); used by
+/// the spec/outcome (de)serializers in src/io and by the CLI. Objects keep
+/// key insertion order so serialization is deterministic.
+///
+/// Numbers remember whether they were written as integers; `AsInt` on a
+/// fractional number fails, while `AsDouble` accepts both.
+class Json {
+ public:
+  enum class Type { kNull = 0, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool v);
+  static Json Int(int64_t v);
+  static Json Real(double v);
+  static Json Str(std::string v);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; abort on type mismatch (use the is_* guards or the
+  /// checked Get* helpers below).
+  bool as_bool() const;
+  int64_t as_int() const;
+  double as_double() const;  ///< accepts kInt and kDouble
+  const std::string& as_string() const;
+
+  // --- arrays ---
+  int size() const;  ///< elements (array) or members (object); 0 otherwise
+  const Json& at(int i) const;
+  Json& at(int i);
+  void Append(Json v);
+
+  // --- objects ---
+  /// Member lookup; nullptr when absent (or not an object).
+  const Json* Find(const std::string& key) const;
+  /// Inserts or overwrites member `key`.
+  void Set(const std::string& key, Json v);
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Checked member accessors for deserializers: error Status names the key.
+  Result<bool> GetBool(const std::string& key) const;
+  Result<int64_t> GetInt(const std::string& key) const;
+  Result<double> GetDouble(const std::string& key) const;
+  Result<std::string> GetString(const std::string& key) const;
+  Result<const Json*> GetArray(const std::string& key) const;
+  Result<const Json*> GetObject(const std::string& key) const;
+
+  /// Serializes. `indent` > 0 pretty-prints with that many spaces per
+  /// level; 0 emits compact single-line JSON.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a JSON document. Rejects trailing non-whitespace input. One
+  /// deliberate leniency beyond RFC 8259: literal newlines inside string
+  /// values are accepted (multi-line rule-DSL programs embedded in spec
+  /// documents stay readable); Dump() always emits the strict escape.
+  static Result<Json> Parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Escapes `s` as a JSON string literal including the surrounding quotes.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace relacc
+
+#endif  // RELACC_UTIL_JSON_H_

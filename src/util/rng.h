@@ -1,0 +1,63 @@
+#ifndef RELACC_UTIL_RNG_H_
+#define RELACC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace relacc {
+
+/// Deterministic xoshiro256** generator. Every generator, experiment and
+/// test in this repository takes an explicit seed so results are exactly
+/// reproducible across runs and machines (libstdc++ distributions are not
+/// portable, so we implement the few we need on top of the raw stream).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit word.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Gaussian via Box-Muller, mean/stddev as given.
+  double Gaussian(double mean, double stddev);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s=0 is uniform).
+  /// Uses inverse-CDF over precomputable harmonic weights; intended for
+  /// modest n (active domains), not for n in the millions.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element. Precondition: !v.empty().
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[NextBelow(v.size())];
+  }
+
+ private:
+  uint64_t s_[4];
+  bool have_gauss_ = false;
+  double gauss_spare_ = 0.0;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_UTIL_RNG_H_

@@ -1,0 +1,34 @@
+#ifndef RELACC_UTIL_STRINGS_H_
+#define RELACC_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relacc {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, char sep);
+
+/// ASCII lower-casing copy.
+std::string ToLower(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+std::size_t EditDistance(std::string_view a, std::string_view b);
+
+/// 1 - EditDistance / max(len); 1.0 for two empty strings.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity over character trigrams; falls back to
+/// EditSimilarity for strings shorter than 3 characters.
+double TrigramJaccard(std::string_view a, std::string_view b);
+
+}  // namespace relacc
+
+#endif  // RELACC_UTIL_STRINGS_H_

@@ -1,0 +1,56 @@
+#ifndef RELACC_UTIL_THREAD_POOL_H_
+#define RELACC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace relacc {
+
+/// A fixed-size worker pool for the multi-entity pipeline. Deliberately
+/// minimal: fire-and-forget tasks plus a blocking Wait(); result ordering
+/// is the caller's concern (the pipeline writes results by index, so
+/// output is deterministic regardless of scheduling).
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 selects the hardware concurrency (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task`. Never blocks (unbounded queue).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits. fn must be
+  /// safe to invoke concurrently for distinct i. Indices are chunked to
+  /// limit queue churn on large n.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int64_t in_flight_ = 0;  ///< queued + running tasks
+  bool shutting_down_ = false;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,140 @@
+#ifndef RELACC_TESTS_MJ_FIXTURE_H_
+#define RELACC_TESTS_MJ_FIXTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "chase/specification.h"
+#include "rules/rule_builder.h"
+
+namespace relacc {
+namespace testing_fixture {
+
+/// The paper's running example: relation stat (Table 1), master relation
+/// nba (Table 2) and rules ϕ1-ϕ6, ϕ10, ϕ11 (Table 3 / Example 3). The
+/// axioms ϕ7-ϕ9 are the chase engine's built-ins. Shared by tests and by
+/// examples/quickstart.
+inline Schema StatSchema() {
+  return Schema({{"FN", ValueType::kString},
+                 {"MN", ValueType::kString},
+                 {"LN", ValueType::kString},
+                 {"rnds", ValueType::kInt},
+                 {"totalPts", ValueType::kInt},
+                 {"J#", ValueType::kInt},
+                 {"league", ValueType::kString},
+                 {"team", ValueType::kString},
+                 {"arena", ValueType::kString}});
+}
+
+inline Schema NbaSchema() {
+  return Schema({{"FN", ValueType::kString},
+                 {"LN", ValueType::kString},
+                 {"league", ValueType::kString},
+                 {"season", ValueType::kString},
+                 {"team", ValueType::kString}});
+}
+
+inline Relation StatRelation() {
+  Relation stat(StatSchema());
+  auto S = [](const char* s) { return Value::Str(s); };
+  auto I = [](int64_t i) { return Value::Int(i); };
+  const Value N = Value::Null();
+  stat.Add(Tuple({S("MJ"), N, N, I(16), I(424), I(45), S("NBA"), S("Chicago"),
+                  S("Chicago Stadium")}));
+  stat.Add(Tuple({S("Michael"), N, S("Jordan"), I(27), I(772), I(23),
+                  S("NBA"), S("Chicago Bulls"), S("United Center")}));
+  stat.Add(Tuple({S("Michael"), N, S("Jordan"), I(1), I(19), I(45), S("NBA"),
+                  S("Chicago Bulls"), S("United Center")}));
+  stat.Add(Tuple({S("Michael"), S("Jeffrey"), S("Jordan"), I(127), I(51),
+                  I(45), S("SL"), S("Birmingham Barons"), S("Regions Park")}));
+  return stat;
+}
+
+inline Relation NbaRelation() {
+  Relation nba(NbaSchema());
+  auto S = [](const char* s) { return Value::Str(s); };
+  nba.Add(Tuple({S("Michael"), S("Jordan"), S("NBA"), S("1994-95"),
+                 S("Chicago Bulls")}));
+  nba.Add(Tuple({S("Michael"), S("Jordan"), S("NBA"), S("2001-02"),
+                 S("Washington Wizards")}));
+  return nba;
+}
+
+inline std::vector<AccuracyRule> MjRules(const Schema& stat,
+                                         const Schema& nba) {
+  std::vector<AccuracyRule> rules;
+  // ϕ1: same league, fewer rounds -> less current.
+  rules.push_back(RuleBuilder(stat, "phi1")
+                      .WhereAttrs("league", CompareOp::kEq, "league")
+                      .WhereAttrs("rnds", CompareOp::kLt, "rnds")
+                      .Currency()
+                      .Concludes("rnds"));
+  // ϕ2/ϕ3: currency of rnds propagates to J# and totalPts.
+  rules.push_back(RuleBuilder(stat, "phi2")
+                      .WhereOrder("rnds", /*strict=*/true)
+                      .Correlation()
+                      .Concludes("J#"));
+  rules.push_back(RuleBuilder(stat, "phi3")
+                      .WhereOrder("rnds", /*strict=*/true)
+                      .Correlation()
+                      .Concludes("totalPts"));
+  // ϕ4: league accuracy propagates to rnds.
+  rules.push_back(RuleBuilder(stat, "phi4")
+                      .WhereOrder("league", /*strict=*/true)
+                      .Correlation()
+                      .Concludes("rnds"));
+  // ϕ5/ϕ10: MN accuracy propagates to FN and LN.
+  rules.push_back(RuleBuilder(stat, "phi5")
+                      .WhereOrder("MN", /*strict=*/true)
+                      .Correlation()
+                      .Concludes("FN"));
+  rules.push_back(RuleBuilder(stat, "phi10")
+                      .WhereOrder("MN", /*strict=*/true)
+                      .Correlation()
+                      .Concludes("LN"));
+  // ϕ11: team accuracy propagates to arena.
+  rules.push_back(RuleBuilder(stat, "phi11")
+                      .WhereOrder("team", /*strict=*/true)
+                      .Correlation()
+                      .Concludes("arena"));
+  // ϕ6: master data pins league and team for the 1994-95 season.
+  rules.push_back(MasterRuleBuilder(stat, nba, "phi6")
+                      .WhereTeMaster("FN", "FN")
+                      .WhereTeMaster("LN", "LN")
+                      .WhereMasterConst("season", CompareOp::kEq,
+                                        Value::Str("1994-95"))
+                      .Assign("league", "league")
+                      .Assign("team", "team")
+                      .Build());
+  return rules;
+}
+
+/// ϕ12 of Example 6: claims SL data is at least as accurate as NBA data —
+/// extending the specification with it destroys the Church-Rosser property.
+inline AccuracyRule Phi12(const Schema& stat) {
+  return RuleBuilder(stat, "phi12")
+      .WhereConst(1, "league", CompareOp::kEq, Value::Str("NBA"))
+      .WhereConst(2, "league", CompareOp::kEq, Value::Str("SL"))
+      .Concludes("league");
+}
+
+inline Specification MjSpecification() {
+  Specification spec;
+  spec.ie = StatRelation();
+  spec.masters.push_back(NbaRelation());
+  spec.rules = MjRules(spec.ie.schema(), spec.masters[0].schema());
+  return spec;
+}
+
+/// The target tuple of Example 5.
+inline Tuple MjExpectedTarget() {
+  auto S = [](const char* s) { return Value::Str(s); };
+  auto I = [](int64_t i) { return Value::Int(i); };
+  return Tuple({S("Michael"), S("Jeffrey"), S("Jordan"), I(27), I(772), I(23),
+                S("NBA"), S("Chicago Bulls"), S("United Center")});
+}
+
+}  // namespace testing_fixture
+}  // namespace relacc
+
+#endif  // RELACC_TESTS_MJ_FIXTURE_H_

@@ -1,0 +1,158 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chase/chase_engine.h"
+#include "dsl/cfd_text.h"
+#include "io/spec_io.h"
+#include "mj_fixture.h"
+#include "rules/cfd.h"
+
+namespace relacc {
+namespace {
+
+using testing_fixture::MjExpectedTarget;
+using testing_fixture::MjSpecification;
+using testing_fixture::StatSchema;
+
+TEST(CfdText, ParsesTheRunningExampleCfd) {
+  Schema schema = StatSchema();
+  Result<ConstantCfd> cfd = ParseConstantCfd(
+      "[team] = \"Chicago Bulls\" -> [arena] = \"United Center\"", schema,
+      "psi");
+  ASSERT_TRUE(cfd.ok()) << cfd.status().ToString();
+  EXPECT_EQ(cfd.value().name, "psi");
+  ASSERT_EQ(cfd.value().conditions.size(), 1u);
+  EXPECT_EQ(cfd.value().conditions[0].first, schema.MustIndexOf("team"));
+  EXPECT_EQ(cfd.value().conditions[0].second, Value::Str("Chicago Bulls"));
+  EXPECT_EQ(cfd.value().then_attr, schema.MustIndexOf("arena"));
+  EXPECT_EQ(cfd.value().then_value, Value::Str("United Center"));
+}
+
+TEST(CfdText, MultiConditionAndTypedLiterals) {
+  Schema schema({{"a", ValueType::kString},
+                 {"n", ValueType::kInt},
+                 {"x", ValueType::kDouble},
+                 {"b", ValueType::kBool}});
+  Result<ConstantCfd> cfd = ParseConstantCfd(
+      "[a] = \"v\" and [n] = 7 and [b] = true -> [x] = 2", schema);
+  ASSERT_TRUE(cfd.ok()) << cfd.status().ToString();
+  EXPECT_EQ(cfd.value().conditions.size(), 3u);
+  EXPECT_EQ(cfd.value().conditions[1].second, Value::Int(7));
+  EXPECT_EQ(cfd.value().conditions[2].second, Value::Bool(true));
+  // Integer literal widens because x is double-typed.
+  EXPECT_EQ(cfd.value().then_value, Value::Real(2.0));
+}
+
+TEST(CfdText, RoundTripsThroughFormat) {
+  Schema schema = StatSchema();
+  const std::string text =
+      "[team] = \"Chicago \\\"Bulls\\\"\" and [rnds] = 27"
+      " -> [arena] = \"United Center\"";
+  Result<ConstantCfd> cfd = ParseConstantCfd(text, schema);
+  ASSERT_TRUE(cfd.ok()) << cfd.status().ToString();
+  std::string formatted = FormatConstantCfd(cfd.value(), schema);
+  Result<ConstantCfd> again = ParseConstantCfd(formatted, schema);
+  ASSERT_TRUE(again.ok()) << formatted;
+  EXPECT_EQ(again.value().conditions, cfd.value().conditions);
+  EXPECT_EQ(again.value().then_attr, cfd.value().then_attr);
+  EXPECT_EQ(again.value().then_value, cfd.value().then_value);
+  EXPECT_EQ(FormatConstantCfd(again.value(), schema), formatted);
+}
+
+TEST(CfdText, Diagnostics) {
+  Schema schema = StatSchema();
+  EXPECT_FALSE(ParseConstantCfd("", schema).ok());
+  EXPECT_FALSE(ParseConstantCfd("[team] = \"x\"", schema).ok());  // no arrow
+  EXPECT_FALSE(
+      ParseConstantCfd("[bogus] = \"x\" -> [arena] = \"y\"", schema).ok());
+  EXPECT_FALSE(
+      ParseConstantCfd("[team] -> [arena] = \"y\"", schema).ok());  // no '='
+  EXPECT_FALSE(ParseConstantCfd(
+      "[team] = \"x\" -> [arena] = \"y\" junk", schema).ok());
+  // Conclusion attribute repeated in the condition.
+  Result<ConstantCfd> self =
+      ParseConstantCfd("[arena] = \"x\" -> [arena] = \"y\"", schema);
+  ASSERT_FALSE(self.ok());
+  EXPECT_EQ(self.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The paper's motivating use: drop phi11 (arena becomes undeducible) and
+// recover arena through the CFD of Example 1 instead.
+TEST(CfdText, CompiledCfdRestoresArenaInTheRunningExample) {
+  Specification spec = MjSpecification();
+  std::vector<AccuracyRule> rules;
+  for (const AccuracyRule& r : spec.rules) {
+    if (r.name != "phi11") rules.push_back(r);
+  }
+  spec.rules = std::move(rules);
+
+  // Without the CFD the target is incomplete on arena.
+  ChaseOutcome without = IsCR(spec);
+  ASSERT_TRUE(without.church_rosser);
+  EXPECT_TRUE(
+      without.target.at(spec.ie.schema().MustIndexOf("arena")).is_null());
+
+  Result<ConstantCfd> cfd = ParseConstantCfd(
+      "[team] = \"Chicago Bulls\" -> [arena] = \"United Center\"",
+      spec.ie.schema(), "psi");
+  ASSERT_TRUE(cfd.ok());
+  CompiledCfds compiled =
+      CompileCfds(spec.ie.schema(), {cfd.value()},
+                  static_cast<int>(spec.masters.size()));
+  spec.masters.push_back(compiled.master);
+  for (const AccuracyRule& r : compiled.rules) spec.rules.push_back(r);
+
+  ChaseOutcome with = IsCR(spec);
+  ASSERT_TRUE(with.church_rosser);
+  EXPECT_EQ(with.target, MjExpectedTarget());
+}
+
+TEST(CfdText, SpecDocumentCarriesCfds) {
+  SpecDocument doc;
+  doc.spec = MjSpecification();
+  std::vector<AccuracyRule> rules;
+  for (const AccuracyRule& r : doc.spec.rules) {
+    if (r.name != "phi11") rules.push_back(r);
+  }
+  doc.spec.rules = std::move(rules);
+  doc.entity_name = "stat";
+  doc.master_names = {"nba"};
+
+  Json json = SpecToJson(doc);
+  Json cfds = Json::Array();
+  cfds.Append(Json::Str(
+      "[team] = \"Chicago Bulls\" -> [arena] = \"United Center\""));
+  json.Set("cfds", std::move(cfds));
+
+  Result<SpecDocument> loaded = SpecFromJsonText(json.Dump(2));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().spec.masters.size(), 2u);
+  EXPECT_EQ(loaded.value().master_names[1], "cfd_patterns");
+  ChaseOutcome outcome = IsCR(loaded.value().spec);
+  ASSERT_TRUE(outcome.church_rosser);
+  EXPECT_EQ(outcome.target, MjExpectedTarget());
+
+  // Re-serialization carries the CFD as an ordinary rule + master and
+  // stays semantically stable.
+  Json again = SpecToJson(loaded.value());
+  Result<SpecDocument> reloaded = SpecFromJsonText(again.Dump(2));
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ChaseOutcome outcome2 = IsCR(reloaded.value().spec);
+  ASSERT_TRUE(outcome2.church_rosser);
+  EXPECT_EQ(outcome2.target, MjExpectedTarget());
+}
+
+TEST(CfdText, BadCfdInDocumentIsRejectedWithDiagnostics) {
+  const std::string text = R"json({
+    "entity": {"schema": [{"name": "x", "type": "int"}], "tuples": []},
+    "cfds": ["[x] = 1 -> [nope] = 2"]
+  })json";
+  Result<SpecDocument> doc = SpecFromJsonText(text);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("nope"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace relacc

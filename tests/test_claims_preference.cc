@@ -1,0 +1,142 @@
+// Focused tests for ClaimSet semantics, the Rest generator's structural
+// invariants, and PreferenceModel / ActiveDomain edge cases.
+
+#include <gtest/gtest.h>
+
+#include "datagen/rest_generator.h"
+#include "topk/preference.h"
+#include "truth/claims.h"
+
+namespace relacc {
+namespace {
+
+TEST(ClaimSet, LatestClaimTracksSnapshots) {
+  ClaimSet cs(2, 2, 5);
+  cs.Add({0, 0, 3, Value::Bool(true)});
+  cs.Add({0, 0, 1, Value::Bool(false)});  // out-of-order insert, older
+  ASSERT_TRUE(cs.LatestClaim(0, 0).has_value());
+  EXPECT_EQ(cs.LatestClaim(0, 0)->value, Value::Bool(true));
+  EXPECT_FALSE(cs.LatestClaim(0, 1).has_value());
+  EXPECT_FALSE(cs.LatestClaim(1, 0).has_value());
+  EXPECT_EQ(cs.CellClaims(0, 0).size(), 2u);
+}
+
+TEST(ClaimSet, EqualSnapshotPrefersLatestInsert) {
+  ClaimSet cs(1, 1, 3);
+  cs.Add({0, 0, 2, Value::Bool(false)});
+  cs.Add({0, 0, 2, Value::Bool(true)});  // re-crawl within the snapshot
+  EXPECT_EQ(cs.LatestClaim(0, 0)->value, Value::Bool(true));
+}
+
+TEST(RestGenerator, TrackersObserveEverySnapshotTheyCover) {
+  RestConfig c;
+  c.num_restaurants = 120;
+  const RestDataset ds = GenerateRest(c);
+  for (int s = 0; s < c.num_trackers; ++s) {
+    for (int o = 0; o < c.num_restaurants; ++o) {
+      const auto& cell = ds.claims.CellClaims(o, s);
+      // Covered => all snapshots; uncovered => none.
+      EXPECT_TRUE(cell.empty() ||
+                  static_cast<int>(cell.size()) == c.num_snapshots)
+          << "tracker " << s << " object " << o;
+    }
+  }
+}
+
+TEST(RestGenerator, ClosureIsAbsorbingInTruth) {
+  // Ground-truth invariant exploited by the monotone-closed AR: once a
+  // restaurant closes it stays closed, so a false-then-true transition
+  // within an exact source is conclusive.
+  RestConfig c;
+  c.num_restaurants = 300;
+  c.casual_fp = 0.0;
+  c.casual_fn = 0.0;
+  c.tracker_fp = 0.0;
+  c.tracker_fn = 0.0;
+  const RestDataset ds = GenerateRest(c);
+  for (int o = 0; o < c.num_restaurants; ++o) {
+    for (int s = 0; s < c.num_sources; ++s) {
+      bool seen_closed = false;
+      // Claims within one cell are inserted in snapshot order for
+      // trackers; verify the absorbing property over those.
+      if (s >= c.num_trackers) continue;
+      for (int idx : ds.claims.CellClaims(o, s)) {
+        const bool closed = ds.claims.claim(idx).value.as_bool();
+        if (seen_closed) EXPECT_TRUE(closed) << "o=" << o << " s=" << s;
+        seen_closed |= closed;
+      }
+    }
+  }
+}
+
+TEST(RestGenerator, CopiersReplicateParentValues) {
+  RestConfig c;
+  c.num_restaurants = 400;
+  c.copy_rate = 1.0;  // always copy when the parent has data
+  const RestDataset ds = GenerateRest(c);
+  for (int copier = 0; copier < c.num_sources; ++copier) {
+    const int parent = ds.copies_from[copier];
+    if (parent < 0) continue;
+    int checked = 0, matched = 0;
+    for (int o = 0; o < c.num_restaurants; ++o) {
+      const auto cell = ds.claims.CellClaims(o, copier);
+      if (cell.size() != 1) continue;
+      const Claim& cl = ds.claims.claim(cell[0]);
+      // Parent's latest claim at or before the copier's snapshot.
+      Value expect = Value::Null();
+      for (int idx : ds.claims.CellClaims(o, parent)) {
+        const Claim& pc = ds.claims.claim(idx);
+        if (pc.snapshot <= cl.snapshot) expect = pc.value;
+      }
+      if (expect.is_null()) continue;  // copier had to observe on its own
+      ++checked;
+      matched += cl.value == expect ? 1 : 0;
+    }
+    EXPECT_GT(checked, 10) << "copier " << copier;
+    EXPECT_EQ(matched, checked) << "copier " << copier;
+  }
+}
+
+TEST(Preference, ScoreIgnoresNullAttributes) {
+  Schema schema({{"a", ValueType::kString}, {"b", ValueType::kString}});
+  Relation ie(schema);
+  ie.Add(Tuple({Value::Str("x"), Value::Str("y")}));
+  ie.Add(Tuple({Value::Str("x"), Value::Null()}));
+  const PreferenceModel pref = PreferenceModel::FromOccurrences(ie, {});
+  EXPECT_DOUBLE_EQ(pref.Score(Tuple({Value::Str("x"), Value::Null()})), 2.0);
+  EXPECT_DOUBLE_EQ(pref.Score(Tuple({Value::Str("x"), Value::Str("y")})),
+                   3.0);
+}
+
+TEST(Preference, DefaultWeightAppliesToUnknownValues) {
+  Schema schema({{"a", ValueType::kString}});
+  Relation ie(schema);
+  ie.Add(Tuple({Value::Str("x")}));
+  PreferenceModel pref = PreferenceModel::FromOccurrences(ie, {});
+  pref.set_default_weight(0.25);
+  EXPECT_DOUBLE_EQ(pref.Weight(0, Value::Str("unknown")), 0.25);
+  EXPECT_DOUBLE_EQ(pref.Weight(0, Value::Str("x")), 1.0);
+}
+
+TEST(Preference, BoolActiveDomainIsExactlyBothConstants) {
+  Schema schema({{"flag", ValueType::kBool}});
+  Relation ie(schema);
+  ie.Add(Tuple({Value::Bool(true)}));
+  const auto dom = ActiveDomain(ie, {}, 0, /*include_default=*/true);
+  ASSERT_EQ(dom.size(), 2u);  // finite domain: no synthetic default
+  EXPECT_NE(dom[0], dom[1]);
+}
+
+TEST(Preference, DefaultValueJoinsInfiniteDomainsWhenRequested) {
+  Schema schema({{"name", ValueType::kString}});
+  Relation ie(schema);
+  ie.Add(Tuple({Value::Str("x")}));
+  const auto without = ActiveDomain(ie, {}, 0, false);
+  const auto with = ActiveDomain(ie, {}, 0, true);
+  EXPECT_EQ(without.size(), 1u);
+  EXPECT_EQ(with.size(), 2u);
+  EXPECT_EQ(with[1], MakeDefaultValue(ValueType::kString));
+}
+
+}  // namespace
+}  // namespace relacc

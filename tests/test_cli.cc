@@ -1,0 +1,286 @@
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chase/chase_engine.h"
+#include "cli/args.h"
+#include "cli/commands.h"
+#include "io/spec_io.h"
+#include "mj_fixture.h"
+
+namespace relacc {
+namespace {
+
+using testing_fixture::MjSpecification;
+using testing_fixture::Phi12;
+
+// --- Args ---------------------------------------------------------------------
+
+TEST(Args, ParsesCommandPositionalsAndFlags) {
+  Result<Args> args = Args::Parse(
+      {"topk", "spec.json", "--k=7", "--algo", "heuristic", "--json"});
+  ASSERT_TRUE(args.ok()) << args.status().ToString();
+  EXPECT_EQ(args.value().command(), "topk");
+  ASSERT_EQ(args.value().positionals().size(), 1u);
+  EXPECT_EQ(args.value().positionals()[0], "spec.json");
+  EXPECT_EQ(args.value().GetInt("k", 0).value(), 7);
+  EXPECT_EQ(args.value().GetString("algo"), "heuristic");
+  EXPECT_TRUE(args.value().Has("json"));
+  EXPECT_FALSE(args.value().Has("quiet"));
+}
+
+TEST(Args, DoubleDashEndsFlagParsing) {
+  Result<Args> args = Args::Parse({"check", "--json", "--", "--weird-file"});
+  ASSERT_TRUE(args.ok());
+  ASSERT_EQ(args.value().positionals().size(), 1u);
+  EXPECT_EQ(args.value().positionals()[0], "--weird-file");
+}
+
+TEST(Args, RejectsShortOptionsAndEmptyInput) {
+  EXPECT_FALSE(Args::Parse({"check", "-j"}).ok());
+  EXPECT_FALSE(Args::Parse({}).ok());
+}
+
+TEST(Args, IntFlagValidation) {
+  Result<Args> args = Args::Parse({"topk", "--k", "abc"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args.value().GetInt("k", 0).ok());
+}
+
+TEST(Args, UnreadFlagsAreReported) {
+  Result<Args> args = Args::Parse({"check", "--json", "--bogus=1"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args.value().Has("json"));
+  std::vector<std::string> unread = args.value().UnreadFlags();
+  ASSERT_EQ(unread.size(), 1u);
+  EXPECT_EQ(unread[0], "bogus");
+}
+
+// --- commands -------------------------------------------------------------------
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SpecDocument doc;
+    doc.spec = MjSpecification();
+    doc.entity_name = "stat";
+    doc.master_names = {"nba"};
+    path_ = ::testing::TempDir() + "/relacc_cli_spec.json";
+    ASSERT_TRUE(WriteFile(path_, SpecToJson(doc).Dump(2)).ok());
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  int Run(std::vector<std::string> argv) {
+    out_.str("");
+    err_.str("");
+    return RunCli(argv, out_, err_);
+  }
+
+  std::string path_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliTest, CheckReportsCompleteTarget) {
+  int rc = Run({"check", path_});
+  EXPECT_EQ(rc, 0) << err_.str();
+  EXPECT_NE(out_.str().find("Church-Rosser: yes"), std::string::npos);
+  EXPECT_NE(out_.str().find("complete"), std::string::npos);
+  EXPECT_NE(out_.str().find("MN = Jeffrey"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckJsonOutputParses) {
+  int rc = Run({"check", path_, "--json"});
+  EXPECT_EQ(rc, 0) << err_.str();
+  Result<Json> json = Json::Parse(out_.str());
+  ASSERT_TRUE(json.ok()) << out_.str();
+  EXPECT_TRUE(json.value().GetBool("church_rosser").value());
+  EXPECT_EQ(json.value().Find("target")->GetString("team").value(),
+            "Chicago Bulls");
+}
+
+TEST_F(CliTest, CheckNonChurchRosserExitCode) {
+  SpecDocument doc;
+  doc.spec = MjSpecification();
+  doc.spec.rules.push_back(Phi12(doc.spec.ie.schema()));
+  doc.entity_name = "stat";
+  doc.master_names = {"nba"};
+  std::string bad = ::testing::TempDir() + "/relacc_cli_bad.json";
+  ASSERT_TRUE(WriteFile(bad, SpecToJson(doc).Dump(2)).ok());
+  int rc = Run({"check", bad});
+  EXPECT_EQ(rc, 3);
+  EXPECT_NE(out_.str().find("NOT Church-Rosser"), std::string::npos);
+  std::remove(bad.c_str());
+}
+
+TEST_F(CliTest, ExplainSingleAttribute) {
+  int rc = Run({"explain", path_, "--attr", "totalPts"});
+  EXPECT_EQ(rc, 0) << err_.str();
+  EXPECT_NE(out_.str().find("te[totalPts] = 772"), std::string::npos);
+  EXPECT_NE(out_.str().find("phi1"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainUnknownAttributeFails) {
+  int rc = Run({"explain", path_, "--attr", "nope"});
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err_.str().find("unknown attribute"), std::string::npos);
+}
+
+TEST_F(CliTest, TopKOnCompleteTargetSaysSo) {
+  int rc = Run({"topk", path_, "--k", "3"});
+  EXPECT_EQ(rc, 0) << err_.str();
+  EXPECT_NE(out_.str().find("already complete"), std::string::npos);
+}
+
+TEST_F(CliTest, TopKRanksCandidatesOnIncompleteSpec) {
+  // Drop phi11 so arena is open.
+  SpecDocument doc;
+  doc.spec = MjSpecification();
+  std::vector<AccuracyRule> rules;
+  for (const AccuracyRule& r : doc.spec.rules) {
+    if (r.name != "phi11") rules.push_back(r);
+  }
+  doc.spec.rules = std::move(rules);
+  doc.entity_name = "stat";
+  doc.master_names = {"nba"};
+  std::string inc = ::testing::TempDir() + "/relacc_cli_inc.json";
+  ASSERT_TRUE(WriteFile(inc, SpecToJson(doc).Dump(2)).ok());
+
+  int rc = Run({"topk", inc, "--k", "2", "--json"});
+  EXPECT_EQ(rc, 0) << err_.str();
+  Result<Json> json = Json::Parse(out_.str());
+  ASSERT_TRUE(json.ok()) << out_.str();
+  const Json* candidates = json.value().Find("candidates");
+  ASSERT_NE(candidates, nullptr);
+  EXPECT_GE(candidates->size(), 1);
+  // Candidates keep the deduced values fixed.
+  EXPECT_EQ(candidates->at(0).Find("target")->GetString("team").value(),
+            "Chicago Bulls");
+  std::remove(inc.c_str());
+}
+
+TEST_F(CliTest, TopKAlgoValidation) {
+  int rc = Run({"topk", path_, "--algo", "nonsense"});
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err_.str().find("--algo"), std::string::npos);
+}
+
+TEST_F(CliTest, FmtRulesOnlyEmitsParsableDsl) {
+  int rc = Run({"fmt", path_, "--rules-only"});
+  EXPECT_EQ(rc, 0) << err_.str();
+  EXPECT_NE(out_.str().find("rule phi1"), std::string::npos);
+  EXPECT_NE(out_.str().find("forall t1, t2 in stat"), std::string::npos);
+}
+
+TEST_F(CliTest, FmtFullDocumentIsAFixpoint) {
+  int rc = Run({"fmt", path_});
+  EXPECT_EQ(rc, 0) << err_.str();
+  std::string first = out_.str();
+  // Feeding the formatted doc back through fmt changes nothing.
+  std::string tmp = ::testing::TempDir() + "/relacc_cli_fmt.json";
+  ASSERT_TRUE(WriteFile(tmp, first).ok());
+  int rc2 = Run({"fmt", tmp});
+  EXPECT_EQ(rc2, 0);
+  EXPECT_EQ(out_.str(), first);
+  std::remove(tmp.c_str());
+}
+
+TEST_F(CliTest, PipelineOverFlatRelation) {
+  // A flat two-entity relation in one document; no rules needed for the
+  // smoke test (axioms alone dedupe equal/null values).
+  const std::string text = R"json({
+    "entity": {
+      "name": "shops",
+      "schema": [{"name": "name", "type": "string"},
+                 {"name": "city", "type": "string"}],
+      "tuples": [["jordan steakhouse", "Chicago"],
+                 ["jordan steakhouse", null],
+                 ["blue ribbon diner", "New York"],
+                 ["blue ribbon diner", "New York"]]
+    }
+  })json";
+  std::string flat = ::testing::TempDir() + "/relacc_cli_flat.json";
+  ASSERT_TRUE(WriteFile(flat, text).ok());
+  int rc = Run({"pipeline", flat, "--key", "name", "--json"});
+  EXPECT_EQ(rc, 0) << err_.str();
+  Result<Json> json = Json::Parse(out_.str());
+  ASSERT_TRUE(json.ok()) << out_.str();
+  EXPECT_EQ(json.value().GetInt("entities").value(), 2);
+  EXPECT_EQ(json.value().GetInt("tuples").value(), 4);
+  EXPECT_EQ(json.value().GetInt("church_rosser").value(), 2);
+  std::remove(flat.c_str());
+}
+
+TEST_F(CliTest, PipelineRequiresKey) {
+  int rc = Run({"pipeline", path_});
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err_.str().find("--key"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownFlagIsRejected) {
+  int rc = Run({"check", path_, "--jsn"});
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err_.str().find("--jsn"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandPrintsUsage) {
+  int rc = Run({"frobnicate"});
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+  EXPECT_NE(err_.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, GenEmitsALoadableChaseableDocument) {
+  int rc = Run({"gen", "--profile", "cfp", "--entities", "10", "--seed",
+                "7", "--entity", "2"});
+  EXPECT_EQ(rc, 0) << err_.str();
+  Result<SpecDocument> doc = SpecFromJsonText(out_.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_GT(doc.value().spec.ie.size(), 0);
+  EXPECT_FALSE(doc.value().spec.rules.empty());
+  ChaseOutcome outcome = IsCR(doc.value().spec);
+  EXPECT_TRUE(outcome.church_rosser);
+}
+
+TEST_F(CliTest, GenIsDeterministicPerSeed) {
+  ASSERT_EQ(Run({"gen", "--entities", "6", "--seed", "9"}), 0);
+  std::string first = out_.str();
+  ASSERT_EQ(Run({"gen", "--entities", "6", "--seed", "9"}), 0);
+  EXPECT_EQ(out_.str(), first);
+  ASSERT_EQ(Run({"gen", "--entities", "6", "--seed", "10"}), 0);
+  EXPECT_NE(out_.str(), first);
+}
+
+TEST_F(CliTest, GenValidatesFlags) {
+  EXPECT_EQ(Run({"gen", "--profile", "nosuch"}), 2);
+  EXPECT_EQ(Run({"gen", "--entities", "5", "--entity", "99"}), 2);
+  EXPECT_NE(err_.str().find("out of range"), std::string::npos);
+}
+
+TEST_F(CliTest, GenWritesToFile) {
+  const std::string path = ::testing::TempDir() + "/relacc_gen_out.json";
+  int rc = Run({"gen", "--entities", "5", "--out", path});
+  EXPECT_EQ(rc, 0) << err_.str();
+  Result<std::string> text = ReadFile(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_TRUE(SpecFromJsonText(text.value()).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CliTest, HelpExitsZero) {
+  EXPECT_EQ(Run({"help"}), 0);
+  EXPECT_NE(out_.str().find("relacc"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingFileIsAnIoError) {
+  int rc = Run({"check", "/no/such/file.json"});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err_.str().find("IoError"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace relacc

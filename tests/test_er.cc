@@ -1,0 +1,72 @@
+// Tests for the entity-resolution substrate.
+
+#include <gtest/gtest.h>
+
+#include "er/resolver.h"
+
+namespace relacc {
+namespace {
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_NE(uf.Find(0), uf.Find(1));
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_TRUE(uf.Union(0, 3));
+  EXPECT_EQ(uf.Find(1), uf.Find(2));
+  EXPECT_NE(uf.Find(4), uf.Find(0));
+}
+
+Relation PeopleRelation() {
+  Schema schema({{"name", ValueType::kString}, {"city", ValueType::kString}});
+  Relation r(schema);
+  auto add = [&](const char* n, const char* c) {
+    r.Add(Tuple({Value::Str(n), Value::Str(c)}));
+  };
+  add("Michael Jordan", "Chicago");
+  add("Michael Jordon", "Chicago");   // typo, same entity
+  add("MICHAEL JORDAN", "Chicago");   // case noise
+  add("Scottie Pippen", "Chicago");
+  add("Scotty Pippen", "Chicago");    // variant spelling
+  add("Dennis Rodman", "Detroit");
+  return r;
+}
+
+TEST(Resolver, ClustersTyposAndCaseVariants) {
+  const Relation flat = PeopleRelation();
+  ResolverConfig cfg;
+  cfg.key_attrs = {flat.schema().MustIndexOf("name")};
+  cfg.similarity_threshold = 0.5;
+  const ResolutionResult res = ResolveEntities(flat, cfg);
+  EXPECT_EQ(res.entities.size(), 3u);
+  // The three Jordan rows share a cluster.
+  EXPECT_EQ(res.cluster_of[0], res.cluster_of[1]);
+  EXPECT_EQ(res.cluster_of[0], res.cluster_of[2]);
+  EXPECT_EQ(res.cluster_of[3], res.cluster_of[4]);
+  EXPECT_NE(res.cluster_of[0], res.cluster_of[3]);
+  EXPECT_NE(res.cluster_of[0], res.cluster_of[5]);
+}
+
+TEST(Resolver, ThresholdOneKeepsEverythingSeparate) {
+  const Relation flat = PeopleRelation();
+  ResolverConfig cfg;
+  cfg.key_attrs = {flat.schema().MustIndexOf("name")};
+  cfg.similarity_threshold = 1.01;  // nothing ever matches
+  const ResolutionResult res = ResolveEntities(flat, cfg);
+  EXPECT_EQ(res.entities.size(), flat.tuples().size());
+}
+
+TEST(Resolver, EntityInstancesCarryTheirTuples) {
+  const Relation flat = PeopleRelation();
+  ResolverConfig cfg;
+  cfg.key_attrs = {flat.schema().MustIndexOf("name")};
+  cfg.similarity_threshold = 0.5;
+  const ResolutionResult res = ResolveEntities(flat, cfg);
+  int total = 0;
+  for (const EntityInstance& e : res.entities) total += e.size();
+  EXPECT_EQ(total, flat.size());
+}
+
+}  // namespace
+}  // namespace relacc

@@ -1,0 +1,95 @@
+// Tests for the interactive framework (Fig. 3) and the simulated user
+// protocol of Exp-3.
+
+#include <gtest/gtest.h>
+
+#include "datagen/profile_generator.h"
+#include "framework/framework.h"
+#include "mj_fixture.h"
+
+namespace relacc {
+namespace {
+
+using testing_fixture::MjExpectedTarget;
+using testing_fixture::MjSpecification;
+using testing_fixture::Phi12;
+
+TEST(Framework, CompleteTargetNeedsNoInteraction) {
+  Specification spec = MjSpecification();
+  const PreferenceModel pref =
+      PreferenceModel::FromOccurrences(spec.ie, spec.masters);
+  SimulatedUser user(MjExpectedTarget());
+  const FrameworkResult r = RunFramework(spec, pref, &user);
+  EXPECT_TRUE(r.church_rosser);
+  EXPECT_TRUE(r.found_complete_target);
+  EXPECT_EQ(r.interaction_rounds, 0);
+  EXPECT_EQ(r.target, MjExpectedTarget());
+  EXPECT_EQ(r.automatic_attrs, spec.ie.schema().size());
+}
+
+TEST(Framework, IncompleteTargetResolvedViaCandidates) {
+  // Drop ϕ11: arena is open; the top-k candidates include the true target,
+  // which the (simulated) user accepts in round 0.
+  Specification spec = MjSpecification();
+  std::erase_if(spec.rules,
+                [](const AccuracyRule& r) { return r.name == "phi11"; });
+  const PreferenceModel pref =
+      PreferenceModel::FromOccurrences(spec.ie, spec.masters);
+  SimulatedUser user(MjExpectedTarget());
+  const FrameworkResult r = RunFramework(spec, pref, &user);
+  EXPECT_TRUE(r.found_complete_target);
+  EXPECT_EQ(r.target, MjExpectedTarget());
+  EXPECT_LE(r.interaction_rounds, 1);
+}
+
+TEST(Framework, NonChurchRosserSpecIsReported) {
+  Specification spec = MjSpecification();
+  spec.rules.push_back(Phi12(spec.ie.schema()));
+  const PreferenceModel pref =
+      PreferenceModel::FromOccurrences(spec.ie, spec.masters);
+  SimulatedUser user(MjExpectedTarget());
+  const FrameworkResult r = RunFramework(spec, pref, &user);
+  EXPECT_FALSE(r.church_rosser);
+  EXPECT_FALSE(r.found_complete_target);
+}
+
+TEST(Framework, RevisionsConvergeOnGeneratedEntities) {
+  // Med-like mini dataset: every entity reaches a complete target within a
+  // few simulated revisions (the Exp-3 protocol; paper: ≤3-4 rounds).
+  ProfileConfig c = MedConfig(21);
+  c.num_entities = 25;
+  c.master_size = 20;
+  const EntityDataset ds = GenerateProfile(c);
+  int max_rounds = 0;
+  for (std::size_t i = 0; i < ds.entities.size(); ++i) {
+    Specification spec = ds.SpecFor(static_cast<int>(i));
+    const PreferenceModel pref =
+        PreferenceModel::FromOccurrences(spec.ie, spec.masters);
+    SimulatedUser user(ds.truths[i]);
+    FrameworkOptions opts;
+    opts.k = 15;
+    const FrameworkResult r = RunFramework(spec, pref, &user, opts);
+    ASSERT_TRUE(r.church_rosser) << "entity " << i;
+    EXPECT_TRUE(r.found_complete_target) << "entity " << i;
+    max_rounds = std::max(max_rounds, r.interaction_rounds);
+  }
+  EXPECT_LE(max_rounds, 12);
+}
+
+TEST(SimulatedUserTest, AcceptsExactCandidateOnly) {
+  const Tuple truth({Value::Str("a"), Value::Str("b")});
+  SimulatedUser user(truth);
+  const Tuple wrong({Value::Str("a"), Value::Str("x")});
+  Tuple te(std::vector<Value>{Value::Str("a"), Value::Null()});
+  auto resp = user.Inspect(te, {wrong});
+  EXPECT_FALSE(resp.accepted_candidate.has_value());
+  ASSERT_TRUE(resp.revision.has_value());
+  EXPECT_EQ(resp.revision->first, 1);
+  EXPECT_EQ(resp.revision->second, Value::Str("b"));
+  resp = user.Inspect(te, {wrong, truth});
+  ASSERT_TRUE(resp.accepted_candidate.has_value());
+  EXPECT_EQ(*resp.accepted_candidate, 1);
+}
+
+}  // namespace
+}  // namespace relacc

@@ -1,0 +1,92 @@
+// Tests for the priority-queue substrates: PairingHeap (the Brodal-queue
+// substitute of TopKCT) and ValueHeap (the Hi heaps of Fig. 5).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+
+#include "topk/pairing_heap.h"
+#include "topk/value_heap.h"
+#include "util/rng.h"
+
+namespace relacc {
+namespace {
+
+TEST(PairingHeap, PopsInDescendingOrder) {
+  PairingHeap<int, std::less<int>> h;
+  for (int x : {5, 1, 9, 3, 7}) h.Push(x);
+  EXPECT_EQ(h.size(), 5u);
+  std::vector<int> out;
+  while (!h.empty()) out.push_back(h.Pop());
+  EXPECT_EQ(out, (std::vector<int>{9, 7, 5, 3, 1}));
+}
+
+TEST(PairingHeap, MeldCombinesHeaps) {
+  PairingHeap<int, std::less<int>> a, b;
+  a.Push(1);
+  a.Push(10);
+  b.Push(5);
+  b.Push(20);
+  a.Meld(&b);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(a.Pop(), 20);
+  EXPECT_EQ(a.Pop(), 10);
+}
+
+TEST(PairingHeap, NodeRecyclingSurvivesChurn) {
+  PairingHeap<int, std::less<int>> h;
+  Rng rng(5);
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) h.Push(static_cast<int>(rng.NextBelow(1000)));
+    for (int i = 0; i < 15; ++i) h.Pop();
+  }
+  int prev = 1 << 30;
+  while (!h.empty()) {
+    const int v = h.Pop();
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+}
+
+// Property: PairingHeap agrees with std::priority_queue under a random
+// interleaving of pushes and pops.
+class PairingHeapProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PairingHeapProperty, MatchesStdPriorityQueue) {
+  PairingHeap<int64_t, std::less<int64_t>> ours;
+  std::priority_queue<int64_t> ref;
+  Rng rng(GetParam() * 31 + 1);
+  for (int step = 0; step < 2000; ++step) {
+    if (ref.empty() || rng.Bernoulli(0.6)) {
+      const int64_t v = static_cast<int64_t>(rng.NextBelow(100000));
+      ours.Push(v);
+      ref.push(v);
+    } else {
+      ASSERT_EQ(ours.Top(), ref.top());
+      EXPECT_EQ(ours.Pop(), ref.top());
+      ref.pop();
+    }
+    ASSERT_EQ(ours.size(), ref.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairingHeapProperty, ::testing::Range(1, 9));
+
+TEST(ValueHeap, PopsByDescendingWeightWithDeterministicTies) {
+  ValueHeap h({{Value::Str("b"), 2.0},
+               {Value::Str("a"), 2.0},
+               {Value::Str("c"), 5.0},
+               {Value::Str("d"), 1.0}});
+  EXPECT_EQ(h.Pop().first, Value::Str("c"));
+  // Tie at weight 2.0: smaller value in the total order first.
+  EXPECT_EQ(h.Pop().first, Value::Str("a"));
+  EXPECT_EQ(h.Pop().first, Value::Str("b"));
+  EXPECT_EQ(h.Pop().first, Value::Str("d"));
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.pops(), 4);
+}
+
+}  // namespace
+}  // namespace relacc

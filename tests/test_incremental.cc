@@ -1,0 +1,198 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chase/chase_engine.h"
+#include "datagen/profile_generator.h"
+#include "framework/framework.h"
+#include "mj_fixture.h"
+
+namespace relacc {
+namespace {
+
+using testing_fixture::MjExpectedTarget;
+using testing_fixture::MjSpecification;
+using testing_fixture::Phi12;
+
+// Drop phi11 so arena stays undeduced and there is something to resume
+// into (Sec. 3's incomplete-target example).
+Specification IncompleteMjSpec() {
+  Specification spec = MjSpecification();
+  std::vector<AccuracyRule> rules;
+  for (const AccuracyRule& r : spec.rules) {
+    if (r.name != "phi11") rules.push_back(r);
+  }
+  spec.rules = std::move(rules);
+  return spec;
+}
+
+TEST(ResumeWith, AllNullResumeEqualsPlainRun) {
+  Specification spec = IncompleteMjSpec();
+  GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
+  ChaseEngine engine(spec.ie, &program, spec.config);
+
+  Tuple all_null(std::vector<Value>(spec.ie.schema().size(), Value::Null()));
+  ChaseOutcome full = engine.Run(all_null);
+  ChaseOutcome resumed = engine.ResumeWith(all_null);
+  ASSERT_TRUE(full.church_rosser);
+  ASSERT_TRUE(resumed.church_rosser);
+  EXPECT_EQ(full.target, resumed.target);
+}
+
+TEST(ResumeWith, PartialRevisionMatchesFromScratchRun) {
+  Specification spec = IncompleteMjSpec();
+  GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
+  ChaseEngine engine(spec.ie, &program, spec.config);
+  const Schema& schema = spec.ie.schema();
+
+  Tuple revision(std::vector<Value>(schema.size(), Value::Null()));
+  revision.set(schema.MustIndexOf("arena"), Value::Str("United Center"));
+
+  ChaseOutcome full = engine.Run(revision);
+  ChaseOutcome resumed = engine.ResumeWith(revision);
+  ASSERT_TRUE(full.church_rosser);
+  ASSERT_TRUE(resumed.church_rosser);
+  EXPECT_EQ(full.target, resumed.target);
+  EXPECT_TRUE(resumed.target.IsComplete());
+  EXPECT_EQ(resumed.target, MjExpectedTarget());
+}
+
+TEST(ResumeWith, ConflictingRevisionIsRejectedOnBothPaths) {
+  Specification spec = IncompleteMjSpec();
+  GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
+  ChaseEngine engine(spec.ie, &program, spec.config);
+  const Schema& schema = spec.ie.schema();
+
+  // league is pinned to NBA by master data; revising it to SL must make
+  // the continuation non-Church-Rosser on both paths.
+  Tuple revision(std::vector<Value>(schema.size(), Value::Null()));
+  revision.set(schema.MustIndexOf("league"), Value::Str("SL"));
+
+  ChaseOutcome full = engine.Run(revision);
+  ChaseOutcome resumed = engine.ResumeWith(revision);
+  EXPECT_FALSE(full.church_rosser);
+  EXPECT_FALSE(resumed.church_rosser);
+  EXPECT_FALSE(resumed.violation.empty());
+}
+
+TEST(ResumeWith, NonChurchRosserBaseReportsViolation) {
+  Specification spec = MjSpecification();
+  spec.rules.push_back(Phi12(spec.ie.schema()));
+  GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
+  ChaseEngine engine(spec.ie, &program, spec.config);
+
+  Tuple all_null(std::vector<Value>(spec.ie.schema().size(), Value::Null()));
+  ChaseOutcome resumed = engine.ResumeWith(all_null);
+  EXPECT_FALSE(resumed.church_rosser);
+  EXPECT_FALSE(resumed.violation.empty());
+}
+
+TEST(ResumeWith, RepeatedResumesAreIndependent) {
+  Specification spec = IncompleteMjSpec();
+  GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
+  ChaseEngine engine(spec.ie, &program, spec.config);
+  const Schema& schema = spec.ie.schema();
+  AttrId arena = schema.MustIndexOf("arena");
+
+  Tuple r1(std::vector<Value>(schema.size(), Value::Null()));
+  r1.set(arena, Value::Str("United Center"));
+  Tuple r2(std::vector<Value>(schema.size(), Value::Null()));
+  r2.set(arena, Value::Str("Regions Park"));
+
+  // The checkpoint must not leak state between resumes.
+  ChaseOutcome a = engine.ResumeWith(r1);
+  ChaseOutcome b = engine.ResumeWith(r2);
+  ChaseOutcome c = engine.ResumeWith(r1);
+  ASSERT_TRUE(a.church_rosser);
+  ASSERT_TRUE(b.church_rosser);
+  EXPECT_EQ(a.target.at(arena), Value::Str("United Center"));
+  EXPECT_EQ(b.target.at(arena), Value::Str("Regions Park"));
+  EXPECT_EQ(a.target, c.target);
+}
+
+TEST(ResumeWith, AgreesWithFullRunsAcrossGeneratedRevisions) {
+  ProfileConfig config = MedConfig(/*seed=*/77);
+  config.num_entities = 25;
+  config.master_size = 20;
+  EntityDataset dataset = GenerateProfile(config);
+  int compared = 0;
+  for (size_t i = 0; i < dataset.entities.size(); ++i) {
+    Specification spec = dataset.SpecFor(static_cast<int>(i));
+    GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
+    ChaseEngine engine(spec.ie, &program, spec.config);
+    ChaseOutcome base = engine.RunFromInitial();
+    if (!base.church_rosser || base.target.IsComplete()) continue;
+
+    // Reveal the ground truth of each null attribute in turn.
+    const Tuple& truth = dataset.truths[i];
+    for (AttrId a = 0; a < spec.ie.schema().size(); ++a) {
+      if (!base.target.at(a).is_null() || truth.at(a).is_null()) continue;
+      Tuple revision(std::vector<Value>(spec.ie.schema().size(), Value::Null()));
+      revision.set(a, truth.at(a));
+      ChaseOutcome full = engine.Run(revision);
+      ChaseOutcome resumed = engine.ResumeWith(revision);
+      ASSERT_EQ(full.church_rosser, resumed.church_rosser)
+          << "entity " << i << " attr " << a;
+      if (full.church_rosser) {
+        EXPECT_EQ(full.target, resumed.target)
+            << "entity " << i << " attr " << a;
+      }
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 10);
+}
+
+TEST(ResumeWith, KeepOrdersIsHonoured) {
+  Specification spec = IncompleteMjSpec();
+  spec.config.keep_orders = true;
+  GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
+  ChaseEngine engine(spec.ie, &program, spec.config);
+  Tuple all_null(std::vector<Value>(spec.ie.schema().size(), Value::Null()));
+  ChaseOutcome resumed = engine.ResumeWith(all_null);
+  ASSERT_TRUE(resumed.church_rosser);
+  ASSERT_EQ(resumed.orders.size(),
+            static_cast<size_t>(spec.ie.schema().size()));
+  // t0 ⪯ t1 on rnds (16 < 27 within NBA, phi1).
+  EXPECT_TRUE(resumed.orders[spec.ie.schema().MustIndexOf("rnds")].Reaches(0, 1));
+}
+
+TEST(ChaseConfig, ActionBudgetAborts) {
+  Specification spec = MjSpecification();
+  spec.config.max_actions = 1;  // far below what the MJ chase needs
+  ChaseOutcome outcome = IsCR(spec);
+  EXPECT_FALSE(outcome.church_rosser);
+  EXPECT_NE(outcome.violation.find("budget"), std::string::npos);
+}
+
+TEST(Framework, IncrementalAndFullPathsAgree) {
+  ProfileConfig config = MedConfig(/*seed=*/91);
+  config.num_entities = 15;
+  config.master_size = 12;
+  EntityDataset dataset = GenerateProfile(config);
+
+  for (size_t i = 0; i < dataset.entities.size(); ++i) {
+    Specification spec = dataset.SpecFor(static_cast<int>(i));
+    PreferenceModel pref =
+        PreferenceModel::FromOccurrences(spec.ie, spec.masters);
+    FrameworkOptions incremental;
+    incremental.incremental = true;
+    FrameworkOptions full;
+    full.incremental = false;
+
+    SimulatedUser user_a(dataset.truths[i]);
+    SimulatedUser user_b(dataset.truths[i]);
+    FrameworkResult a = RunFramework(spec, pref, &user_a, incremental);
+    FrameworkResult b = RunFramework(spec, pref, &user_b, full);
+    EXPECT_EQ(a.church_rosser, b.church_rosser) << "entity " << i;
+    EXPECT_EQ(a.found_complete_target, b.found_complete_target)
+        << "entity " << i;
+    EXPECT_EQ(a.interaction_rounds, b.interaction_rounds) << "entity " << i;
+    if (a.found_complete_target && b.found_complete_target) {
+      EXPECT_EQ(a.target, b.target) << "entity " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace relacc

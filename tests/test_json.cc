@@ -1,0 +1,148 @@
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace relacc {
+namespace {
+
+Json MustParse(const std::string& text) {
+  Result<Json> v = Json::Parse(text);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  return v.value_or(Json::Null());
+}
+
+TEST(Json, ScalarsParse) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_EQ(MustParse("true").as_bool(), true);
+  EXPECT_EQ(MustParse("false").as_bool(), false);
+  EXPECT_EQ(MustParse("42").as_int(), 42);
+  EXPECT_EQ(MustParse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(MustParse("3.25").as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(MustParse("-1e3").as_double(), -1000.0);
+  EXPECT_DOUBLE_EQ(MustParse("2E-2").as_double(), 0.02);
+  EXPECT_EQ(MustParse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntVersusDoubleDistinction) {
+  EXPECT_TRUE(MustParse("42").is_int());
+  EXPECT_FALSE(MustParse("42.0").is_int());
+  EXPECT_TRUE(MustParse("42.0").is_number());
+  // as_double accepts both.
+  EXPECT_DOUBLE_EQ(MustParse("42").as_double(), 42.0);
+}
+
+TEST(Json, HugeIntegerFallsBackToDouble) {
+  Json v = MustParse("99999999999999999999999");
+  EXPECT_TRUE(v.is_number());
+  EXPECT_FALSE(v.is_int());
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(MustParse(R"("a\"b\\c\nd\te\r\b\f")").as_string(),
+            "a\"b\\c\nd\te\r\b\f");
+  EXPECT_EQ(MustParse(R"("Aé€")").as_string(),
+            "A\xC3\xA9\xE2\x82\xAC");  // A, é, €
+  EXPECT_EQ(MustParse(R"("\/")").as_string(), "/");
+}
+
+TEST(Json, ArraysAndObjects) {
+  Json v = MustParse(R"({"a": [1, 2, 3], "b": {"c": true}, "d": []})");
+  ASSERT_TRUE(v.is_object());
+  const Json* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 3);
+  EXPECT_EQ(a->at(2).as_int(), 3);
+  ASSERT_NE(v.Find("b"), nullptr);
+  EXPECT_EQ(v.Find("b")->Find("c")->as_bool(), true);
+  EXPECT_EQ(v.Find("d")->size(), 0);
+  EXPECT_EQ(v.Find("nope"), nullptr);
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndOverwrites) {
+  Json obj = Json::Object();
+  obj.Set("z", Json::Int(1));
+  obj.Set("a", Json::Int(2));
+  obj.Set("z", Json::Int(3));  // overwrite, keeps position
+  ASSERT_EQ(obj.size(), 2);
+  EXPECT_EQ(obj.members()[0].first, "z");
+  EXPECT_EQ(obj.members()[0].second.as_int(), 3);
+  EXPECT_EQ(obj.members()[1].first, "a");
+}
+
+TEST(Json, DumpCompactAndPretty) {
+  Json obj = Json::Object();
+  obj.Set("a", Json::Int(1));
+  Json arr = Json::Array();
+  arr.Append(Json::Str("x"));
+  arr.Append(Json::Null());
+  obj.Set("b", std::move(arr));
+  EXPECT_EQ(obj.Dump(), R"({"a":1,"b":["x",null]})");
+  EXPECT_EQ(obj.Dump(2),
+            "{\n  \"a\": 1,\n  \"b\": [\n    \"x\",\n    null\n  ]\n}");
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+  EXPECT_EQ(Json::Str(std::string("a\x01") + "b").Dump(), "\"a\\u0001b\"");
+  EXPECT_EQ(Json::Str("tab\there").Dump(), R"("tab\there")");
+}
+
+TEST(Json, RoundTripThroughDump) {
+  const std::string text =
+      R"({"s":"he\"llo","n":-3.5,"i":7,"b":false,"x":null,"a":[[1],{}]})";
+  Json v = MustParse(text);
+  Json again = MustParse(v.Dump());
+  EXPECT_EQ(v, again);
+  // Pretty-printed output parses back to the same value too.
+  EXPECT_EQ(MustParse(v.Dump(4)), v);
+}
+
+TEST(Json, CheckedGettersReportKeysAndTypes) {
+  Json v = MustParse(R"({"i": 1, "s": "x"})");
+  EXPECT_TRUE(v.GetInt("i").ok());
+  EXPECT_EQ(v.GetInt("i").value(), 1);
+  Result<int64_t> missing = v.GetInt("missing");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  Result<int64_t> wrong = v.GetInt("s");
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(wrong.status().message().find("'s'"), std::string::npos);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("{a: 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("1.").ok());
+  EXPECT_FALSE(Json::Parse("1e").ok());
+  EXPECT_FALSE(Json::Parse("[1] trailing").ok());
+  EXPECT_FALSE(Json::Parse(R"("bad \q escape")").ok());
+}
+
+TEST(Json, DeepNestingIsRejectedNotCrashing) {
+  std::string deep(5000, '[');
+  deep += std::string(5000, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(Json, ErrorsCarryLineNumbers) {
+  Result<Json> v = Json::Parse("{\n  \"a\": 1,\n  bad\n}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(Json, NonFiniteNumbersDumpAsNull) {
+  EXPECT_EQ(Json::Real(std::numeric_limits<double>::infinity()).Dump(), "null");
+  EXPECT_EQ(Json::Real(std::nan("")).Dump(), "null");
+}
+
+}  // namespace
+}  // namespace relacc

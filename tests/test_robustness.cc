@@ -1,0 +1,214 @@
+// Failure-injection and randomized-oracle suites:
+//  * parser robustness: random mutations of valid JSON / DSL inputs must
+//    produce a clean Status or a valid parse — never a crash;
+//  * PartialOrder against a Floyd-Warshall reference closure on random
+//    insertion sequences, including conflict detection and the greatest
+//    element.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dsl/parser.h"
+#include "io/spec_io.h"
+#include "mj_fixture.h"
+#include "order/partial_order.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace relacc {
+namespace {
+
+using testing_fixture::MjSpecification;
+using testing_fixture::NbaSchema;
+using testing_fixture::StatSchema;
+
+std::string MutateText(const std::string& base, Rng* rng, int edits) {
+  std::string text = base;
+  for (int e = 0; e < edits && !text.empty(); ++e) {
+    const int pos = static_cast<int>(rng->NextBelow(text.size()));
+    switch (rng->NextBelow(4)) {
+      case 0:  // flip to a random printable character
+        text[pos] = static_cast<char>(' ' + rng->NextBelow(95));
+        break;
+      case 1:  // delete
+        text.erase(pos, 1);
+        break;
+      case 2:  // duplicate
+        text.insert(pos, 1, text[pos]);
+        break;
+      default:  // insert structural noise
+        text.insert(pos, 1, "{}[]\",:\\"[rng->NextBelow(8)]);
+        break;
+    }
+  }
+  return text;
+}
+
+class ParserRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserRobustness, JsonParserNeverCrashesOnMutations) {
+  SpecDocument doc;
+  doc.spec = MjSpecification();
+  doc.entity_name = "stat";
+  doc.master_names = {"nba"};
+  const std::string base = SpecToJson(doc).Dump(2);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  for (int i = 0; i < 200; ++i) {
+    const std::string mutated = MutateText(base, &rng, 1 + i % 5);
+    Result<Json> parsed = Json::Parse(mutated);
+    if (parsed.ok()) {
+      // Whatever parsed must re-serialize and re-parse.
+      Result<Json> again = Json::Parse(parsed.value().Dump());
+      EXPECT_TRUE(again.ok());
+      // And the spec deserializer must fail cleanly or succeed.
+      Result<SpecDocument> spec = SpecFromJson(parsed.value());
+      if (spec.ok()) {
+        EXPECT_GE(spec.value().spec.ie.schema().size(), 1);
+      }
+    } else {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST_P(ParserRobustness, DslParserNeverCrashesOnMutations) {
+  Schema stat = StatSchema();
+  Schema nba = NbaSchema();
+  const std::string base = R"(
+rule phi1 @currency: forall t1, t2 in stat
+  (t1[league] = t2[league] and t1[rnds] < t2[rnds] -> t1 <= t2 on [rnds])
+rule phi6 @master: forall tm in nba
+  (tm[FN] = te[FN] and tm[season] = "1994-95" -> te[team] := tm[team])
+)";
+  RuleParser parser(stat, "stat", {{"nba", &nba, 0}});
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729);
+  for (int i = 0; i < 300; ++i) {
+    const std::string mutated = MutateText(base, &rng, 1 + i % 4);
+    Result<std::vector<AccuracyRule>> rules = parser.ParseProgram(mutated);
+    if (!rules.ok()) {
+      EXPECT_EQ(rules.status().code(), StatusCode::kParseError);
+      EXPECT_FALSE(rules.status().message().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness, ::testing::Range(1, 7));
+
+// --- PartialOrder vs a reference closure -----------------------------------------
+
+/// Reference implementation: adjacency matrix + Floyd-Warshall closure.
+struct ReferenceOrder {
+  explicit ReferenceOrder(std::vector<Value> column)
+      : n(static_cast<int>(column.size())),
+        values(std::move(column)),
+        reach(n * n, false) {}
+
+  void Add(int i, int j) {
+    reach[i * n + j] = true;
+    Close();
+  }
+
+  void Close() {
+    for (int k = 0; k < n; ++k) {
+      for (int i = 0; i < n; ++i) {
+        if (!reach[i * n + k]) continue;
+        for (int j = 0; j < n; ++j) {
+          if (reach[k * n + j]) reach[i * n + j] = true;
+        }
+      }
+    }
+  }
+
+  bool Reaches(int i, int j) const { return i != j && reach[i * n + j]; }
+
+  bool HasConflict() const {
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (Reaches(i, j) && Reaches(j, i) && !(values[i] == values[j])) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  int Greatest() const {
+    for (int t = 0; t < n; ++t) {
+      bool all = true;
+      for (int o = 0; o < n && all; ++o) {
+        if (o != t && !Reaches(o, t)) all = false;
+      }
+      if (all) return t;
+    }
+    return -1;
+  }
+
+  int n;
+  std::vector<Value> values;
+  std::vector<char> reach;
+};
+
+class OrderOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrderOracle, RandomInsertionsMatchFloydWarshall) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u);
+  for (int round = 0; round < 30; ++round) {
+    const int n = 2 + static_cast<int>(rng.NextBelow(8));
+    // Small value domain so ties (and thus benign cycles) are common.
+    std::vector<Value> column;
+    for (int i = 0; i < n; ++i) {
+      column.push_back(rng.NextBelow(3) == 0
+                           ? Value::Null()
+                           : Value::Int(static_cast<int64_t>(rng.NextBelow(3))));
+    }
+    PartialOrder order(column);
+    ReferenceOrder reference(column);
+    std::vector<std::pair<int, int>> scratch;
+    bool saw_conflict = false;
+
+    const int inserts = 3 + static_cast<int>(rng.NextBelow(20));
+    for (int s = 0; s < inserts; ++s) {
+      const int i = static_cast<int>(rng.NextBelow(n));
+      const int j = static_cast<int>(rng.NextBelow(n));
+      if (i == j) continue;
+      scratch.clear();
+      bool conflict = false;
+      const bool inserted = order.AddPair(i, j, &scratch, &conflict);
+      reference.Add(i, j);
+      if (inserted) {
+        saw_conflict = saw_conflict || conflict;
+        // Every reported new pair must be reachable now.
+        for (const auto& [a, b] : scratch) {
+          EXPECT_TRUE(order.Reaches(a, b));
+        }
+      }
+      // Full cross-check of the closure.
+      for (int a = 0; a < n; ++a) {
+        for (int b = 0; b < n; ++b) {
+          if (a == b) continue;
+          ASSERT_EQ(order.Reaches(a, b), reference.Reaches(a, b))
+              << "n=" << n << " pair (" << a << "," << b << ")";
+        }
+      }
+    }
+    EXPECT_EQ(saw_conflict, reference.HasConflict());
+    if (!saw_conflict) {
+      // Greatest-element agreement (any witness with t'⪯t for all t').
+      const int got = order.GreatestElement();
+      const int want = reference.Greatest();
+      EXPECT_EQ(got >= 0, want >= 0);
+      if (got >= 0 && want >= 0) {
+        for (int o = 0; o < n; ++o) {
+          if (o != got) EXPECT_TRUE(reference.Reaches(o, got));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderOracle, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace relacc

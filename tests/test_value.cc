@@ -1,0 +1,120 @@
+// Unit tests for the typed Value and its paper-aligned comparison
+// semantics (null = null holds; order comparisons with null are false).
+
+#include <gtest/gtest.h>
+
+#include "core/value.h"
+#include "rules/predicate.h"
+
+namespace relacc {
+namespace {
+
+TEST(Value, NullSemantics) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Int(0));
+  EXPECT_NE(Value::Str(""), Value::Null());
+  EXPECT_FALSE(Value::Null().Compare(Value::Int(1)).has_value());
+  EXPECT_FALSE(Value::Int(1).Compare(Value::Null()).has_value());
+}
+
+TEST(Value, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value::Int(3), Value::Real(3.0));
+  EXPECT_NE(Value::Int(3), Value::Real(3.5));
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Real(3.0).Hash());
+}
+
+TEST(Value, CompareOrdersNumericsAndStrings) {
+  EXPECT_LT(*Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(*Value::Real(2.5).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(*Value::Str("a").Compare(Value::Str("a")), 0);
+  EXPECT_LT(*Value::Str("a").Compare(Value::Str("b")), 0);
+  // String vs int: unordered.
+  EXPECT_FALSE(Value::Str("1").Compare(Value::Int(1)).has_value());
+}
+
+TEST(Value, BoolBehaviour) {
+  EXPECT_EQ(Value::Bool(true), Value::Bool(true));
+  EXPECT_NE(Value::Bool(true), Value::Bool(false));
+  EXPECT_LT(*Value::Bool(false).Compare(Value::Bool(true)), 0);
+}
+
+TEST(Value, TotalLessIsAStrictWeakOrder) {
+  std::vector<Value> vs = {Value::Null(),   Value::Bool(false),
+                           Value::Bool(true), Value::Int(-1),
+                           Value::Int(7),   Value::Real(7.5),
+                           Value::Str("a"), Value::Str("b")};
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    EXPECT_FALSE(vs[i].TotalLess(vs[i])) << i;  // irreflexive
+    for (std::size_t j = i + 1; j < vs.size(); ++j) {
+      EXPECT_TRUE(vs[i].TotalLess(vs[j])) << i << "," << j;
+      EXPECT_FALSE(vs[j].TotalLess(vs[i])) << i << "," << j;
+    }
+  }
+}
+
+TEST(Value, ParseRoundTrip) {
+  auto check = [](ValueType t, const std::string& text) {
+    auto r = Value::Parse(t, text);
+    ASSERT_TRUE(r.ok()) << text;
+    EXPECT_EQ(r.value().ToString(), text);
+  };
+  check(ValueType::kInt, "42");
+  check(ValueType::kInt, "-7");
+  check(ValueType::kString, "hello world");
+  check(ValueType::kBool, "true");
+  check(ValueType::kBool, "false");
+  // Empty text parses to null for any type.
+  EXPECT_TRUE(Value::Parse(ValueType::kInt, "").value().is_null());
+  // Garbage is a parse error, not a crash.
+  EXPECT_FALSE(Value::Parse(ValueType::kInt, "12x").ok());
+  EXPECT_FALSE(Value::Parse(ValueType::kBool, "maybe").ok());
+  EXPECT_FALSE(Value::Parse(ValueType::kDouble, "1.2.3").ok());
+}
+
+TEST(Predicate, EvalCompareMatchesFirstOrderSemantics) {
+  const Value null = Value::Null();
+  const Value one = Value::Int(1);
+  const Value two = Value::Int(2);
+  EXPECT_TRUE(EvalCompare(CompareOp::kEq, null, null));
+  EXPECT_FALSE(EvalCompare(CompareOp::kEq, null, one));
+  EXPECT_TRUE(EvalCompare(CompareOp::kNe, null, one));
+  EXPECT_FALSE(EvalCompare(CompareOp::kLt, null, one));  // null unordered
+  EXPECT_FALSE(EvalCompare(CompareOp::kGe, one, null));
+  EXPECT_TRUE(EvalCompare(CompareOp::kLt, one, two));
+  EXPECT_TRUE(EvalCompare(CompareOp::kLe, one, one));
+  EXPECT_TRUE(EvalCompare(CompareOp::kGt, two, one));
+  EXPECT_TRUE(EvalCompare(CompareOp::kGe, two, two));
+}
+
+TEST(Predicate, FlipCompareOpIsAnInvolutionOnOrders) {
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_EQ(FlipCompareOp(FlipCompareOp(op)), op);
+  }
+  EXPECT_EQ(FlipCompareOp(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(FlipCompareOp(CompareOp::kLe), CompareOp::kGe);
+  EXPECT_EQ(FlipCompareOp(CompareOp::kEq), CompareOp::kEq);
+}
+
+// Property: a op b == b flip(op) a for all op, over a value grid.
+class FlipProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlipProperty, MirrorsComparisons) {
+  const std::vector<Value> grid = {Value::Null(),  Value::Int(-2),
+                                   Value::Int(0),  Value::Int(5),
+                                   Value::Real(5), Value::Str("x"),
+                                   Value::Bool(true)};
+  const auto op = static_cast<CompareOp>(GetParam());
+  for (const Value& a : grid) {
+    for (const Value& b : grid) {
+      EXPECT_EQ(EvalCompare(op, a, b), EvalCompare(FlipCompareOp(op), b, a))
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, FlipProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace relacc

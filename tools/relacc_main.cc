@@ -1,0 +1,14 @@
+// Entry point of the `relacc` command-line tool. See src/cli/commands.h
+// for the command set and io/spec_io.h for the document format.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) args.push_back("help");
+  return relacc::RunCli(args, std::cout, std::cerr);
+}
