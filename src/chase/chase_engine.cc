@@ -270,6 +270,15 @@ ChaseOutcome ChaseEngine::Run(const Tuple& initial_te) const {
   return out;
 }
 
+void ChaseEngine::AdoptCheckpointFrom(const ChaseEngine& other) {
+  if (!other.EnsureCheckpoint()) {
+    checkpoint_failed_ = true;
+    return;
+  }
+  checkpoint_ = std::make_unique<RunState>(*other.checkpoint_);
+  checkpoint_failed_ = false;
+}
+
 bool ChaseEngine::EnsureCheckpoint() const {
   if (checkpoint_ == nullptr && !checkpoint_failed_) {
     auto base = std::make_unique<RunState>();

@@ -53,6 +53,13 @@ class ChaseEngine {
   /// from-scratch run would find, the continuation finds too.
   bool CheckCandidate(const Tuple& t) const;
 
+  /// Copies `other`'s prepared all-null checkpoint into this engine,
+  /// building it on `other` first if needed. The checkpoint is a pure
+  /// function of (Ie, program, config), so engines cloned over the same
+  /// triple — e.g. the per-worker engines of topk/batch_check.h — can
+  /// adopt it instead of each re-running the all-null chase.
+  void AdoptCheckpointFrom(const ChaseEngine& other);
+
   /// Incremental re-chase (Fig. 3 loop): resumes from the same all-null
   /// terminal checkpoint as CheckCandidate, enforcing the (possibly
   /// partial) designated target values of `extra_te` on top. Produces the

@@ -131,6 +131,7 @@ int CmdExplain(const Args& args, std::ostream& out, std::ostream& err) {
 
 int CmdTopK(const Args& args, std::ostream& out, std::ostream& err) {
   Result<int64_t> k = args.GetInt("k", 5);
+  Result<int64_t> threads = args.GetInt("threads", 1);
   const std::string algo = args.GetString("algo", "topkct");
   const bool as_json = args.Has("json");
   Result<SpecDocument> doc = LoadSpec(args);
@@ -142,8 +143,19 @@ int CmdTopK(const Args& args, std::ostream& out, std::ostream& err) {
     err << "error: " << k.status().ToString() << "\n";
     return 2;
   }
-  if (algo != "topkct" && algo != "heuristic" && algo != "rankjoin") {
-    err << "error: --algo must be topkct, heuristic or rankjoin\n";
+  if (!threads.ok()) {
+    err << "error: " << threads.status().ToString() << "\n";
+    return 2;
+  }
+  // Bounded before the int cast: each worker is an OS thread plus its own
+  // chase engine, so absurd values would abort in std::thread or OOM.
+  if (threads.value() < 1 || threads.value() > 256) {
+    err << "error: --threads must be between 1 and 256\n";
+    return 2;
+  }
+  if (algo != "topkct" && algo != "heuristic" && algo != "rankjoin" &&
+      algo != "brute") {
+    err << "error: --algo must be topkct, heuristic, rankjoin or brute\n";
     return 2;
   }
   if (int rc = CheckUnread(args, err); rc != 0) return rc;
@@ -160,14 +172,22 @@ int CmdTopK(const Args& args, std::ostream& out, std::ostream& err) {
   }
   PreferenceModel pref =
       PreferenceModel::FromOccurrences(spec.ie, spec.masters);
+  TopKOptions topk_opts;
+  topk_opts.num_threads = static_cast<int>(threads.value());
   TopKResult result;
   const int kk = static_cast<int>(k.value());
   if (algo == "heuristic") {
-    result = TopKCTh(engine, spec.masters, outcome.target, pref, kk);
+    result = TopKCTh(engine, spec.masters, outcome.target, pref, kk,
+                     topk_opts);
   } else if (algo == "rankjoin") {
-    result = RankJoinCT(engine, spec.masters, outcome.target, pref, kk);
+    result = RankJoinCT(engine, spec.masters, outcome.target, pref, kk,
+                        topk_opts);
+  } else if (algo == "brute") {
+    result = TopKBruteForce(engine, spec.masters, outcome.target, pref, kk,
+                            topk_opts);
   } else {
-    result = TopKCT(engine, spec.masters, outcome.target, pref, kk);
+    result = TopKCT(engine, spec.masters, outcome.target, pref, kk,
+                    topk_opts);
   }
 
   const Schema& schema = spec.ie.schema();
@@ -465,7 +485,8 @@ std::string CliUsage() {
       "  explain   proof tree for deduced target attributes\n"
       "            [--attr <name>] [--depth N]\n"
       "  topk      top-k candidate targets for an incomplete target\n"
-      "            [--k N] [--algo topkct|heuristic|rankjoin] [--json]\n"
+      "            [--k N] [--algo topkct|heuristic|rankjoin|brute]\n"
+      "            [--threads N] [--json]\n"
       "  fmt       normalize a spec document / its rule program\n"
       "            [--rules-only]\n"
       "  pipeline  flat relation -> entity resolution -> per-entity targets\n"

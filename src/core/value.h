@@ -9,6 +9,22 @@
 
 #include "util/status.h"
 
+// The tree requires C++20: std::erase_if (tests/, examples/), designated
+// initializers and defaulted comparisons are used throughout. CMakeLists
+// pins CMAKE_CXX_STANDARD 20 with CXX_STANDARD_REQUIRED ON; this guard
+// turns a mis-configured -std=c++17 build into one clear error instead of
+// a page of template noise. (MSVC keeps __cplusplus at 199711L unless
+// /Zc:__cplusplus is passed, so prefer _MSVC_LANG there.)
+#if defined(_MSVC_LANG)
+static_assert(_MSVC_LANG >= 202002L,
+              "relacc requires C++20; build with /std:c++20 or via the "
+              "root CMakeLists.txt");
+#else
+static_assert(__cplusplus >= 202002L,
+              "relacc requires C++20; build with -std=c++20 or via the "
+              "root CMakeLists.txt");
+#endif
+
 namespace relacc {
 
 /// Type tag of a Value.

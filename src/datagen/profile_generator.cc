@@ -43,7 +43,7 @@ Layout MakeLayout(const ProfileConfig& c) {
   return l;
 }
 
-Schema MakeSchema(const ProfileConfig& c, const Layout& l) {
+Schema MakeSchema(const Layout& l) {
   std::vector<Attribute> attrs(l.total);
   attrs[l.key] = {"key", ValueType::kString};
   attrs[l.version] = {"version", ValueType::kInt};
@@ -109,7 +109,7 @@ EntityDataset GenerateProfile(const ProfileConfig& c) {
   const Layout l = MakeLayout(c);
   EntityDataset ds;
   ds.name = c.name;
-  ds.schema = MakeSchema(c, l);
+  ds.schema = MakeSchema(l);
   Rng rng(c.seed);
 
   // --- master relation ---------------------------------------------------

@@ -26,20 +26,22 @@ CompiledCfds CompileCfds(const Schema& entity_schema,
     rule.name = "cfd:" + cfd.name;
     rule.provenance = RuleProvenance::kCfd;
     rule.master_index = master_index_hint;
+    // Predicates are built in place (emplace_back, then field writes):
+    // moving a stack-local MasterPredicate into the vector trips a GCC 12
+    // -Wmaybe-uninitialized false positive on the Value variant storage
+    // (PR105562 family) and the tree builds with -Werror.
     {
-      MasterPredicate disc;
+      MasterPredicate& disc = rule.master_lhs.emplace_back();
       disc.kind = MasterPredicate::Kind::kMasterConst;
       disc.master_attr = 0;
       disc.op = CompareOp::kEq;
       disc.constant = Value::Str(cfd.name);
-      rule.master_lhs.push_back(std::move(disc));
     }
     for (const auto& [attr, value] : cfd.conditions) {
-      MasterPredicate p;
+      MasterPredicate& p = rule.master_lhs.emplace_back();
       p.kind = MasterPredicate::Kind::kTeMaster;
       p.te_attr = attr;
       p.master_attr = 1 + attr;
-      rule.master_lhs.push_back(std::move(p));
       (void)value;
     }
     rule.assignments.emplace_back(cfd.then_attr, 1 + cfd.then_attr);

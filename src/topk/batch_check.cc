@@ -1,0 +1,89 @@
+#include "topk/batch_check.h"
+
+#include "topk/preference.h"
+
+namespace relacc {
+
+CandidateChecker::CandidateChecker(const ChaseEngine& prototype,
+                                   int num_threads)
+    : prototype_(prototype), num_threads_(std::max(1, num_threads)) {}
+
+CandidateChecker::~CandidateChecker() = default;
+
+void CandidateChecker::EnsureWorkers() const {
+  if (pool_ != nullptr) return;
+  pool_ = std::make_unique<ThreadPool>(num_threads_);
+  engines_.reserve(num_threads_);
+  for (int w = 0; w < num_threads_; ++w) {
+    auto engine = std::make_unique<ChaseEngine>(
+        prototype_.ie(), &prototype_.program(), prototype_.config());
+    // The checkpoint is the dominant per-engine setup cost; adopt the
+    // prototype's instead of re-running the all-null chase per worker.
+    engine->AdoptCheckpointFrom(prototype_);
+    engines_.push_back(std::move(engine));
+  }
+}
+
+std::vector<char> CandidateChecker::CheckAll(
+    const std::vector<Tuple>& candidates) const {
+  std::vector<char> verdicts(candidates.size(), 0);
+  // Checks are pure per candidate, so the inline path and the pooled path
+  // produce identical verdict vectors. Only single-candidate batches skip
+  // the pool (nothing to overlap); ParallelForSlots caps the slots at the
+  // batch size, so small batches still fan out.
+  if (num_threads_ == 1 || candidates.size() <= 1) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      verdicts[i] = CheckCandidateTarget(prototype_, candidates[i]) ? 1 : 0;
+    }
+    return verdicts;
+  }
+  EnsureWorkers();
+  pool_->ParallelForSlots(
+      static_cast<int64_t>(candidates.size()), [&](int slot, int64_t i) {
+        verdicts[i] =
+            CheckCandidateTarget(*engines_[slot], candidates[i]) ? 1 : 0;
+      });
+  return verdicts;
+}
+
+std::vector<char> CheckCandidates(const Specification& spec,
+                                  const std::vector<Tuple>& candidates,
+                                  int num_threads) {
+  const GroundProgram program =
+      Instantiate(spec.ie, spec.masters, spec.rules);
+  ChaseEngine engine(spec.ie, &program, spec.config);
+  CandidateChecker checker(engine, num_threads);
+  return checker.CheckAll(candidates);
+}
+
+std::vector<Tuple> EnumerateCandidateProduct(
+    const Relation& ie, const std::vector<Relation>& masters,
+    const Tuple& te, bool include_default_values, std::size_t limit) {
+  std::vector<AttrId> z;
+  std::vector<std::vector<Value>> domains;
+  for (AttrId a = 0; a < ie.schema().size(); ++a) {
+    if (!te.at(a).is_null()) continue;
+    z.push_back(a);
+    domains.push_back(ActiveDomain(ie, masters, a, include_default_values));
+    if (domains.back().empty()) return {};
+  }
+  std::vector<Tuple> out;
+  std::vector<std::size_t> idx(z.size(), 0);
+  while (out.size() < limit) {
+    Tuple t = te;
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      t.set(z[i], domains[i][idx[i]]);
+    }
+    out.push_back(std::move(t));
+    // Odometer increment over the product space.
+    std::size_t i = 0;
+    for (; i < z.size(); ++i) {
+      if (++idx[i] < domains[i].size()) break;
+      idx[i] = 0;
+    }
+    if (i == z.size() || z.empty()) break;
+  }
+  return out;
+}
+
+}  // namespace relacc

@@ -1,0 +1,91 @@
+#ifndef RELACC_TOPK_BATCH_CHECK_H_
+#define RELACC_TOPK_BATCH_CHECK_H_
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "chase/chase_engine.h"
+#include "chase/specification.h"
+#include "rules/grounding.h"
+#include "util/thread_pool.h"
+
+namespace relacc {
+
+/// Fans the per-candidate `check` chase (CheckCandidateTarget, Sec. 6) out
+/// over a ThreadPool. A ChaseEngine holds mutable run state — the lazily
+/// built all-null checkpoint that CheckCandidate resumes from — so engines
+/// must not be shared between workers: the checker owns one engine per
+/// worker slot, all built over the same (Ie, ground program, config) as
+/// the prototype engine.
+///
+/// Verdicts are returned in candidate order, so callers consuming them in
+/// order observe results independent of thread count and scheduling.
+class CandidateChecker {
+ public:
+  /// `prototype` supplies Ie, the ground program and the chase config; it
+  /// must outlive the checker. `num_threads <= 1` means check inline on
+  /// `prototype` itself: no pool and no per-worker engines are built.
+  CandidateChecker(const ChaseEngine& prototype, int num_threads);
+
+  CandidateChecker(const CandidateChecker&) = delete;
+  CandidateChecker& operator=(const CandidateChecker&) = delete;
+  ~CandidateChecker();
+
+  int num_threads() const { return num_threads_; }
+
+  /// How many candidates to gather before a CheckAll call: enough to keep
+  /// every worker busy, small enough to bound the speculative checks past
+  /// the k-th accepted target.
+  int batch_size() const { return std::max(1, num_threads_ * 4); }
+
+  /// Per-round gather cap for a search that still needs `remaining`
+  /// accepts. 1 with one thread — the caller's loop then replays the
+  /// paper's strictly sequential algorithm, stats and all; otherwise a
+  /// pool-filling batch, shrunk toward `remaining` (never below the pool
+  /// width) so a nearly-finished search does not speculate a full batch
+  /// past its last accepted target.
+  int RoundCap(int remaining) const {
+    if (num_threads_ == 1) return 1;
+    return std::min(batch_size(), std::max(num_threads_, remaining));
+  }
+
+  /// CheckCandidateTarget for every candidate; verdicts[i] corresponds to
+  /// candidates[i]. Candidates must satisfy the CheckCandidateTarget
+  /// contract (complete, agreeing with the deduced target on its non-null
+  /// attributes). Not itself thread-safe: one orchestrating caller at a
+  /// time (the top-k search loops are sequential around it).
+  std::vector<char> CheckAll(const std::vector<Tuple>& candidates) const;
+
+ private:
+  /// Spawns the pool and the per-slot engines on the first batch that
+  /// actually fans out, so callers that end up checking one candidate at
+  /// a time never pay for idle workers.
+  void EnsureWorkers() const;
+
+  const ChaseEngine& prototype_;
+  int num_threads_;
+  mutable std::unique_ptr<ThreadPool> pool_;  ///< null until EnsureWorkers
+  mutable std::vector<std::unique_ptr<ChaseEngine>> engines_;
+};
+
+/// The batch form of Sec. 6's `check` over a whole specification: grounds
+/// `spec` once, fans the candidates out over `num_threads` workers (one
+/// ChaseEngine each) and returns the verdicts in input order.
+std::vector<char> CheckCandidates(const Specification& spec,
+                                  const std::vector<Tuple>& candidates,
+                                  int num_threads);
+
+/// Completions of `te` in odometer order over the active domains of its
+/// null attributes, capped at `limit`; empty if some domain is empty (no
+/// complete candidate can exist). This is the materialized form of the
+/// streaming enumeration inside TopKBruteForce (which cannot afford to
+/// materialize the product) — tests and benchmarks build their candidate
+/// pools from it.
+std::vector<Tuple> EnumerateCandidateProduct(
+    const Relation& ie, const std::vector<Relation>& masters,
+    const Tuple& te, bool include_default_values, std::size_t limit);
+
+}  // namespace relacc
+
+#endif  // RELACC_TOPK_BATCH_CHECK_H_

@@ -1,7 +1,9 @@
 #include "topk/rank_join_ct.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "topk/batch_check.h"
 #include "topk/rank_join.h"
 
 namespace relacc {
@@ -45,23 +47,27 @@ TopKResult RankJoinCT(const ChaseEngine& engine,
     return result;
   }
 
+  // Consume join results in output order; the shared loop batches the
+  // checks and keeps the ranked output identical for every thread count.
+  const CandidateChecker checker(engine,
+                                 opts.skip_check ? 1 : opts.num_threads);
   std::unique_ptr<RankedStream> stream = BuildRankJoinTree(std::move(lists));
-  while (static_cast<int>(result.targets.size()) < k) {
-    if (opts.max_expansions >= 0 && result.queue_pops >= opts.max_expansions) {
-      result.exhausted_budget = true;
-      break;
-    }
-    auto row = stream->Next();
-    if (!row.has_value()) break;
-    ++result.queue_pops;
-    Tuple t = deduced_te;
-    for (std::size_t i = 0; i < z.size(); ++i) t.set(z[i], row->values[i]);
-    ++result.checks;
-    if (opts.skip_check || CheckCandidateTarget(engine, t)) {
-      result.targets.push_back(std::move(t));
-      result.scores.push_back(base_score + row->score);
-    }
-  }
+  RunBatchedAcceptLoop(
+      // RankedStream has no non-consuming peek; the pre-batching loop
+      // checked the budget before Next() too, so budget-first is the
+      // original semantics here.
+      checker, opts, k, [] { return true; },
+      [&](Tuple* t, double* score) {
+        auto row = stream->Next();
+        if (!row.has_value()) return false;
+        *t = deduced_te;
+        for (std::size_t i = 0; i < z.size(); ++i) {
+          t->set(z[i], row->values[i]);
+        }
+        *score = base_score + row->score;
+        return true;
+      },
+      &result);
   return result;
 }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
+#include "topk/batch_check.h"
 #include "topk/pairing_heap.h"
 #include "topk/value_heap.h"
 
@@ -73,6 +75,58 @@ Tuple Materialize(const Tuple& te, const SearchSpace& space,
 
 }  // namespace
 
+void RunBatchedAcceptLoop(const CandidateChecker& checker,
+                          const TopKOptions& opts, int k,
+                          const std::function<bool()>& has_more,
+                          const std::function<bool(Tuple*, double*)>& produce,
+                          TopKResult* result) {
+  std::vector<Tuple> batch;
+  std::vector<double> batch_scores;
+  bool done = false;
+  while (static_cast<int>(result->targets.size()) < k && !done) {
+    const int round_cap =
+        checker.RoundCap(k - static_cast<int>(result->targets.size()));
+    batch.clear();
+    batch_scores.clear();
+    bool budget_hit = false;
+    while (static_cast<int>(batch.size()) < round_cap) {
+      if (opts.max_expansions >= 0 &&
+          result->queue_pops >= opts.max_expansions) {
+        if (!has_more()) {
+          done = true;  // space ran out at the boundary: not a budget stop
+        } else {
+          budget_hit = true;
+        }
+        break;
+      }
+      Tuple t;
+      double score = 0.0;
+      if (!produce(&t, &score)) {
+        done = true;
+        break;
+      }
+      ++result->queue_pops;
+      batch.push_back(std::move(t));
+      batch_scores.push_back(score);
+    }
+    result->checks += static_cast<int64_t>(batch.size());
+    const std::vector<char> verdicts =
+        opts.skip_check ? std::vector<char>(batch.size(), 1)
+                        : checker.CheckAll(batch);
+    for (std::size_t i = 0;
+         i < batch.size() && static_cast<int>(result->targets.size()) < k;
+         ++i) {
+      if (!verdicts[i]) continue;
+      result->targets.push_back(std::move(batch[i]));
+      result->scores.push_back(batch_scores[i]);
+    }
+    if (budget_hit && static_cast<int>(result->targets.size()) < k) {
+      result->exhausted_budget = true;
+      break;
+    }
+  }
+}
+
 TopKResult TopKCT(const ChaseEngine& engine,
                   const std::vector<Relation>& masters,
                   const Tuple& deduced_te, const PreferenceModel& pref, int k,
@@ -116,33 +170,35 @@ TopKResult TopKCT(const ChaseEngine& engine,
     queue.Push(std::move(o));
   }
 
-  while (static_cast<int>(result.targets.size()) < k && !queue.empty()) {
-    if (opts.max_expansions >= 0 && result.queue_pops >= opts.max_expansions) {
-      result.exhausted_budget = true;
-      break;
-    }
-    const Obj o = queue.Pop();
-    ++result.queue_pops;
-    Tuple t = Materialize(deduced_te, space, buffers, o);
-    ++result.checks;
-    if (opts.skip_check || CheckCandidateTarget(engine, t)) {
-      result.targets.push_back(std::move(t));
-      result.scores.push_back(o.w);
-    }
-    // Expand: successors differing from o in exactly one attribute, taking
-    // the next-best value of that attribute (Fig. 5 lines 10-15).
-    for (std::size_t i = 0; i < m; ++i) {
-      const std::size_t next = static_cast<std::size_t>(o.p[i]) + 1;
-      if (next >= buffers[i].size()) {
-        if (heaps[i].empty()) continue;  // domain exhausted in dimension i
-        buffers[i].push_back(heaps[i].Pop());
-      }
-      Obj succ = o;
-      succ.p[i] = static_cast<int32_t>(next);
-      succ.w = o.w - buffers[i][o.p[i]].second + buffers[i][next].second;
-      if (seen.insert(succ.p).second) queue.Push(std::move(succ));
-    }
-  }
+  // Under skip_check the checker is never consulted, so don't build its
+  // pool and per-worker engines (TopKCTh's seed phase lands here).
+  const CandidateChecker checker(engine,
+                                 opts.skip_check ? 1 : opts.num_threads);
+  // Pop and expand in the exact sequential best-first order (Fig. 5 lines
+  // 10-15); only the `check` is deferred and batched.
+  RunBatchedAcceptLoop(
+      checker, opts, k, [&] { return !queue.empty(); },
+      [&](Tuple* t, double* score) {
+        if (queue.empty()) return false;
+        const Obj o = queue.Pop();
+        *score = o.w;
+        *t = Materialize(deduced_te, space, buffers, o);
+        // Expand: successors differing from o in exactly one attribute,
+        // taking the next-best value of that attribute.
+        for (std::size_t i = 0; i < m; ++i) {
+          const std::size_t next = static_cast<std::size_t>(o.p[i]) + 1;
+          if (next >= buffers[i].size()) {
+            if (heaps[i].empty()) continue;  // domain exhausted in dim i
+            buffers[i].push_back(heaps[i].Pop());
+          }
+          Obj succ = o;
+          succ.p[i] = static_cast<int32_t>(next);
+          succ.w = o.w - buffers[i][o.p[i]].second + buffers[i][next].second;
+          if (seen.insert(succ.p).second) queue.Push(std::move(succ));
+        }
+        return true;
+      },
+      &result);
   for (const ValueHeap& h : heaps) result.heap_pops += h.pops();
   return result;
 }
@@ -162,29 +218,58 @@ TopKResult TopKCTh(const ChaseEngine& engine,
 
   const SearchSpace space =
       BuildSearchSpace(engine.ie(), masters, deduced_te, pref, opts);
+  const CandidateChecker checker(engine, opts.num_threads);
+  // A seed needs exactly one accept, so rounds never speculate past the
+  // pool width.
+  const int round_cap = checker.RoundCap(1);
 
-  auto try_accept = [&](Tuple t, double score) {
+  auto is_dup = [&](const Tuple& t) {
     for (const Tuple& prev : result.targets) {
-      if (prev == t) return false;  // dedup revised seeds
-    }
-    ++result.checks;
-    if (CheckCandidateTarget(engine, t)) {
-      result.targets.push_back(std::move(t));
-      result.scores.push_back(score);
-      return true;
+      if (prev == t) return true;  // dedup revised seeds
     }
     return false;
   };
 
+  // With a pool, check all seeds in one parallel round up front: verdicts
+  // are pure per candidate, so replaying the accept/repair decisions in
+  // seed order below gives the same ranked output as checking one seed at
+  // a time (only the checks counter sees the speculation).
+  std::vector<char> seed_verdicts;
+  if (checker.num_threads() > 1 && seeds.targets.size() > 1) {
+    seed_verdicts = checker.CheckAll(seeds.targets);
+    result.checks += static_cast<int64_t>(seeds.targets.size());
+  }
+
   for (std::size_t s = 0; s < seeds.targets.size() &&
                           static_cast<int>(result.targets.size()) < k;
        ++s) {
-    Tuple t = seeds.targets[s];
-    if (try_accept(t, seeds.scores[s])) continue;
+    const Tuple& t = seeds.targets[s];
+    if (!is_dup(t)) {
+      bool pass;
+      if (seed_verdicts.empty()) {
+        ++result.checks;
+        pass = checker.CheckAll({t})[0] != 0;
+      } else {
+        pass = seed_verdicts[s] != 0;
+      }
+      if (pass) {
+        result.targets.push_back(t);
+        result.scores.push_back(seeds.scores[s]);
+        continue;
+      }
+    }
     // Phase 2: greedy repair — revisit each null attribute in turn and try
     // the remaining active-domain values in weight order until the check
-    // passes (Sec. 6.3). At most O(m · |dom|) checks per seed.
+    // passes (Sec. 6.3). At most O(m · |dom|) checks per seed. Revisions
+    // are generated lazily, one round_cap-sized batch at a time (later
+    // domains are never even sorted once one passes), and the first
+    // revision that passes wins — exactly as in the one-at-a-time loop.
+    // Accepting a revision is what ends a seed, so the dedup set cannot
+    // change mid-seed and filtering duplicates at generation time is
+    // equivalent to skipping them inline.
     bool accepted = false;
+    std::vector<Tuple> batch;
+    std::vector<double> batch_scores;
     for (std::size_t i = 0; i < space.z.size() && !accepted; ++i) {
       // Values sorted by descending weight for the greedy order.
       std::vector<std::pair<Value, double>> dom = space.domains[i];
@@ -194,17 +279,34 @@ TopKResult TopKCTh(const ChaseEngine& engine,
       });
       const Value original = t.at(space.z[i]);
       int tried = 0;
-      for (const auto& [v, w] : dom) {
-        if (opts.max_repair_values >= 0 && tried >= opts.max_repair_values) {
-          break;
+      std::size_t next = 0;
+      while (!accepted) {
+        batch.clear();
+        batch_scores.clear();
+        while (next < dom.size() &&
+               static_cast<int>(batch.size()) < round_cap) {
+          if (opts.max_repair_values >= 0 &&
+              tried >= opts.max_repair_values) {
+            break;
+          }
+          const auto& [v, w] = dom[next];
+          ++next;
+          if (v == original) continue;
+          ++tried;
+          Tuple revised = t;
+          revised.set(space.z[i], v);
+          if (is_dup(revised)) continue;
+          batch_scores.push_back(seeds.scores[s] -
+                                 pref.Weight(space.z[i], original) + w);
+          batch.push_back(std::move(revised));
         }
-        if (v == original) continue;
-        ++tried;
-        Tuple revised = t;
-        revised.set(space.z[i], v);
-        const double score = seeds.scores[s] -
-                             pref.Weight(space.z[i], original) + w;
-        if (try_accept(std::move(revised), score)) {
+        if (batch.empty()) break;  // attribute exhausted
+        result.checks += static_cast<int64_t>(batch.size());
+        const std::vector<char> verdicts = checker.CheckAll(batch);
+        for (std::size_t j = 0; j < batch.size(); ++j) {
+          if (!verdicts[j]) continue;
+          result.targets.push_back(std::move(batch[j]));
+          result.scores.push_back(batch_scores[j]);
           accepted = true;
           break;
         }
@@ -224,7 +326,27 @@ TopKResult TopKBruteForce(const ChaseEngine& engine,
       BuildSearchSpace(engine.ie(), masters, deduced_te, pref, opts);
   const std::size_t m = space.z.size();
 
+  const CandidateChecker checker(engine, opts.num_threads);
+  // The oracle checks the whole product space anyway, so batches can be
+  // large; enumeration order is preserved by indexing.
+  const std::size_t batch_cap =
+      std::max<std::size_t>(64, static_cast<std::size_t>(checker.batch_size()));
+
   std::vector<std::pair<double, Tuple>> accepted;
+  std::vector<Tuple> batch;
+  std::vector<double> batch_scores;
+  auto flush = [&] {
+    result.checks += static_cast<int64_t>(batch.size());
+    const std::vector<char> verdicts = checker.CheckAll(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (verdicts[i]) {
+        accepted.emplace_back(batch_scores[i], std::move(batch[i]));
+      }
+    }
+    batch.clear();
+    batch_scores.clear();
+  };
+
   std::vector<std::size_t> idx(m, 0);
   for (;;) {
     Tuple t = deduced_te;
@@ -239,8 +361,9 @@ TopKResult TopKBruteForce(const ChaseEngine& engine,
       score += space.domains[i][idx[i]].second;
     }
     if (!valid_combo) break;
-    ++result.checks;
-    if (CheckCandidateTarget(engine, t)) accepted.emplace_back(score, t);
+    batch.push_back(std::move(t));
+    batch_scores.push_back(score);
+    if (batch.size() >= batch_cap) flush();
     // Odometer increment over the product space.
     std::size_t i = 0;
     for (; i < m; ++i) {
@@ -249,6 +372,7 @@ TopKResult TopKBruteForce(const ChaseEngine& engine,
     }
     if (i == m || m == 0) break;
   }
+  flush();
   std::stable_sort(accepted.begin(), accepted.end(),
                    [](const auto& a, const auto& b) {
                      if (a.first != b.first) return a.first > b.first;
@@ -260,7 +384,6 @@ TopKResult TopKBruteForce(const ChaseEngine& engine,
     result.targets.push_back(accepted[i].second);
     result.scores.push_back(accepted[i].first);
   }
-  (void)opts;
   return result;
 }
 

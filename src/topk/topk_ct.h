@@ -2,6 +2,7 @@
 #define RELACC_TOPK_TOPK_CT_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "chase/chase_engine.h"
@@ -9,6 +10,8 @@
 #include "topk/preference.h"
 
 namespace relacc {
+
+class CandidateChecker;  // topk/batch_check.h
 
 /// Options shared by the top-k algorithms.
 struct TopKOptions {
@@ -29,6 +32,15 @@ struct TopKOptions {
   /// per attribute per seed (the heuristic trades completeness for time,
   /// Sec. 6.3); -1 = unbounded.
   int max_repair_values = 4;
+
+  /// Workers for the candidate-target `check` (see topk/batch_check.h).
+  /// With 1 the algorithms run their original strictly-sequential loops;
+  /// with more, checks are batched and fanned out over a thread pool with
+  /// one ChaseEngine per worker. Ranked results (targets and scores) are
+  /// identical for every thread count; the stats counters may report more
+  /// work with >1 threads because batch members past the k-th accepted
+  /// target are checked speculatively. <= 0 is treated as 1.
+  int num_threads = 1;
 };
 
 /// Result of a top-k computation.
@@ -61,6 +73,26 @@ TopKResult TopKCTh(const ChaseEngine& engine,
                    const std::vector<Relation>& masters,
                    const Tuple& deduced_te, const PreferenceModel& pref,
                    int k, const TopKOptions& opts = {});
+
+/// Shared by TopKCT and RankJoinCT: the deterministic gather-check-accept
+/// loop around a CandidateChecker. `produce` yields the next candidate
+/// (tuple + score) in the algorithm's sequential inspection order, false
+/// when the search space is exhausted; each produced candidate counts one
+/// queue_pop against opts.max_expansions. Candidates are checked in
+/// RoundCap-sized batches and accepted in production order until k pass,
+/// so the ranked result is identical for every thread count — batch
+/// members past the k-th acceptance are speculative and discarded.
+///
+/// `has_more` is consulted (without consuming) only when the pop budget
+/// runs out, to decide whether exhausted_budget is honest: a source that
+/// is empty at that exact boundary completed its search and reports
+/// false, matching the pre-batching loops. Sources without a cheap peek
+/// may return true unconditionally (budget-first semantics).
+void RunBatchedAcceptLoop(const CandidateChecker& checker,
+                          const TopKOptions& opts, int k,
+                          const std::function<bool()>& has_more,
+                          const std::function<bool(Tuple*, double*)>& produce,
+                          TopKResult* result);
 
 /// Exhaustive reference oracle for tests: enumerates the full product of
 /// active domains, checks every combination, and returns the k best.

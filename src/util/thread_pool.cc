@@ -53,6 +53,25 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) 
   Wait();
 }
 
+void ThreadPool::ParallelForSlots(
+    int64_t n, const std::function<void(int, int64_t)>& fn) {
+  if (n <= 0) return;
+  const int64_t slots =
+      std::min<int64_t>(n, static_cast<int64_t>(num_threads()));
+  const int64_t chunk = (n + slots - 1) / slots;
+  for (int64_t slot = 0; slot < slots; ++slot) {
+    const int64_t begin = slot * chunk;
+    const int64_t end = std::min(begin + chunk, n);
+    if (begin >= end) break;
+    Submit([slot, begin, end, &fn] {
+      for (int64_t i = begin; i < end; ++i) {
+        fn(static_cast<int>(slot), i);
+      }
+    });
+  }
+  Wait();
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;

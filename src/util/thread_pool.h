@@ -39,6 +39,13 @@ class ThreadPool {
   /// limit queue churn on large n.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
+  /// Like ParallelFor, but partitions [0, n) into at most num_threads()
+  /// contiguous chunks and passes the chunk's slot index as fn's first
+  /// argument. At most one task runs per slot at any time, so fn may use
+  /// per-slot scratch state (e.g. a ChaseEngine per worker) without locks.
+  void ParallelForSlots(int64_t n,
+                        const std::function<void(int, int64_t)>& fn);
+
  private:
   void WorkerLoop();
 

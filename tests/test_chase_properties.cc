@@ -85,7 +85,9 @@ TEST_P(ChaseMetatheory, RepeatedRunsAgree) {
   const ChaseOutcome a = IsCR(spec);
   const ChaseOutcome b = IsCR(spec);
   EXPECT_EQ(a.church_rosser, b.church_rosser);
-  if (a.church_rosser) EXPECT_EQ(a.target, b.target);
+  if (a.church_rosser) {
+    EXPECT_EQ(a.target, b.target);
+  }
 }
 
 TEST_P(ChaseMetatheory, RuleOrderDoesNotChangeTheVerdict) {
@@ -99,7 +101,9 @@ TEST_P(ChaseMetatheory, RuleOrderDoesNotChangeTheVerdict) {
     rng.Shuffle(&spec.rules);
     const ChaseOutcome out = IsCR(spec);
     ASSERT_EQ(out.church_rosser, base.church_rosser) << "perm " << perm;
-    if (base.church_rosser) EXPECT_EQ(out.target, base.target);
+    if (base.church_rosser) {
+      EXPECT_EQ(out.target, base.target);
+    }
   }
 }
 

@@ -62,7 +62,9 @@ TEST(RestGenerator, ClosureIsAbsorbingInTruth) {
       if (s >= c.num_trackers) continue;
       for (int idx : ds.claims.CellClaims(o, s)) {
         const bool closed = ds.claims.claim(idx).value.as_bool();
-        if (seen_closed) EXPECT_TRUE(closed) << "o=" << o << " s=" << s;
+        if (seen_closed) {
+          EXPECT_TRUE(closed) << "o=" << o << " s=" << s;
+        }
         seen_closed |= closed;
       }
     }

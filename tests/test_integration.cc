@@ -65,7 +65,9 @@ TEST(Integration, CsvRoundTripPreservesChaseResults) {
     const ChaseOutcome a = IsCR(original);
     const ChaseOutcome b = IsCR(reloaded);
     ASSERT_EQ(a.church_rosser, b.church_rosser);
-    if (a.church_rosser) EXPECT_EQ(a.target, b.target);
+    if (a.church_rosser) {
+      EXPECT_EQ(a.target, b.target);
+    }
   }
 }
 

@@ -169,7 +169,9 @@ TEST_P(GreatestProperty, WitnessDominatesEverything) {
     const int g = po.GreatestElement();
     if (g >= 0) {
       for (int t = 0; t < n; ++t) {
-        if (t != g) EXPECT_TRUE(po.Reaches(t, g)) << t << " !<= " << g;
+        if (t != g) {
+          EXPECT_TRUE(po.Reaches(t, g)) << t << " !<= " << g;
+        }
       }
     }
   }

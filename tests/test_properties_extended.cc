@@ -107,7 +107,9 @@ TEST_P(ExtensionProperties, GeneratedRulesSurviveTheDslRoundTrip) {
     ChaseOutcome a = IsCR(original);
     ChaseOutcome b = IsCR(round_tripped);
     ASSERT_EQ(a.church_rosser, b.church_rosser) << "entity " << i;
-    if (a.church_rosser) EXPECT_EQ(a.target, b.target) << "entity " << i;
+    if (a.church_rosser) {
+      EXPECT_EQ(a.target, b.target) << "entity " << i;
+    }
   }
 }
 
@@ -125,7 +127,9 @@ TEST_P(ExtensionProperties, GeneratedSpecsSurviveTheJsonRoundTrip) {
     ChaseOutcome a = IsCR(doc.spec);
     ChaseOutcome b = IsCR(loaded.value().spec);
     ASSERT_EQ(a.church_rosser, b.church_rosser) << "entity " << i;
-    if (a.church_rosser) EXPECT_EQ(a.target, b.target) << "entity " << i;
+    if (a.church_rosser) {
+      EXPECT_EQ(a.target, b.target) << "entity " << i;
+    }
   }
 }
 

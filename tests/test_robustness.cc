@@ -201,7 +201,9 @@ TEST_P(OrderOracle, RandomInsertionsMatchFloydWarshall) {
       EXPECT_EQ(got >= 0, want >= 0);
       if (got >= 0 && want >= 0) {
         for (int o = 0; o < n; ++o) {
-          if (o != got) EXPECT_TRUE(reference.Reaches(o, got));
+          if (o != got) {
+            EXPECT_TRUE(reference.Reaches(o, got));
+          }
         }
       }
     }

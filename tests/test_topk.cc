@@ -122,7 +122,9 @@ TEST(TopK, InvalidCombinationsAreRejected) {
   for (const Tuple& t : r.targets) {
     const bool bulls = t.at(s.MustIndexOf("team")) == Value::Str("Chicago Bulls");
     const bool uc = t.at(s.MustIndexOf("arena")) == Value::Str("United Center");
-    if (bulls) EXPECT_TRUE(uc) << t.ToString();
+    if (bulls) {
+      EXPECT_TRUE(uc) << t.ToString();
+    }
   }
   EXPECT_GT(r.checks, static_cast<int64_t>(r.targets.size()));
 }
