@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -14,9 +15,12 @@
 #include "chase/chase_engine.h"
 #include "datagen/dataset.h"
 #include "datagen/profile_generator.h"
+#include "io/spec_io.h"
 #include "topk/rank_join_ct.h"
 #include "topk/topk_ct.h"
 #include "truth/metrics.h"
+#include "util/json.h"
+#include "util/status.h"
 
 namespace relacc {
 namespace bench {
@@ -28,6 +32,74 @@ inline double TimeMs(const std::function<void()>& fn) {
   const auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
+
+/// True when RELACC_BENCH_SMALL is set (non-empty, not "0"): benches shrink
+/// their workloads to smoke-test scale so CI can run them in seconds.
+inline bool SmallScale() {
+  const char* v = std::getenv("RELACC_BENCH_SMALL");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+/// Machine-readable results: each Row becomes one JSON object in a
+/// top-level array written to BENCH_<bench>.json (under
+/// RELACC_BENCH_JSON_DIR when set, else the working directory). CI
+/// smoke-runs the benches and uploads these as artifacts, so the perf
+/// trajectory (ns/check, checks/s, speedups) is recorded per commit.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)), rows_(Json::Array()) {}
+
+  class Row {
+   public:
+    Row() : json_(Json::Object()) {}
+    Row& Set(const std::string& key, const std::string& v) {
+      json_.Set(key, Json::Str(v));
+      return *this;
+    }
+    Row& Set(const std::string& key, double v) {
+      json_.Set(key, Json::Real(v));
+      return *this;
+    }
+    Row& Set(const std::string& key, int64_t v) {
+      json_.Set(key, Json::Int(v));
+      return *this;
+    }
+    Row& Set(const std::string& key, int v) {
+      return Set(key, static_cast<int64_t>(v));
+    }
+    Json json_;
+  };
+
+  void Add(Row row) { rows_.Append(std::move(row.json_)); }
+
+  /// Writes BENCH_<bench_name>.json; returns false (and warns on stdout)
+  /// on I/O failure so benches can keep their exit code meaningful.
+  bool Write() {
+    Json doc = Json::Object();
+    doc.Set("bench", Json::Str(bench_name_));
+    doc.Set("small_scale", Json::Bool(SmallScale()));
+    doc.Set("rows", std::move(rows_));
+    rows_ = Json::Array();
+    const char* dir = std::getenv("RELACC_BENCH_JSON_DIR");
+    const std::string path = (dir != nullptr && *dir != '\0'
+                                  ? std::string(dir) + "/"
+                                  : std::string()) +
+                             "BENCH_" + bench_name_ + ".json";
+    const Status st = WriteFile(path, doc.Dump(2) + "\n");
+    if (!st.ok()) {
+      std::printf("warning: could not write %s: %s\n", path.c_str(),
+                  st.ToString().c_str());
+      return false;
+    }
+    std::printf("bench json: %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  Json rows_;
+};
 
 /// Per-entity chase result against ground truth.
 struct EntityOutcome {
@@ -96,7 +168,8 @@ inline int TruthRank(TopKAlgo algo, const EntityDataset& ds, int i,
   const std::vector<AccuracyRule> rules = ds.FilteredRules(filter);
   const GroundProgram prog = Instantiate(ds.entities[i], masters, rules);
   ChaseEngine engine(ds.entities[i], &prog, ds.chase_config);
-  const ChaseOutcome res = engine.RunFromInitial();
+  // Checkpoint-backed: RunTopK's candidate checks resume from this run.
+  const ChaseOutcome res = engine.RunFromCheckpoint();
   if (!res.church_rosser) return 0;
   if (res.target.IsComplete()) {
     return res.target == ds.truths[i] ? 1 : 0;

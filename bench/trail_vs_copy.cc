@@ -1,0 +1,172 @@
+// Candidate-check throughput of the two CheckCandidate strategies
+// (chase/specification.h): kCopy deep-copies the all-null checkpoint per
+// candidate — every PartialOrder bit-matrix, O(attrs · n²/64) words —
+// while kTrail chases one long-lived probe state forward and rolls back
+// only what the probe changed. Med-profile entities of exact size n are
+// checked over the same candidate pool under both strategies; verdicts
+// must match bit for bit, and kTrail is expected to win by ≥ 2x from
+// n = 32 up (the gap widens with n: copy cost is quadratic in n, trail
+// cost follows the probe's footprint).
+//
+// Emits BENCH_trail_vs_copy.json (see bench::JsonReport); exits nonzero
+// only on a verdict mismatch, so perf noise cannot break CI.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "chase/chase_engine.h"
+#include "common.h"
+#include "datagen/profile_generator.h"
+#include "rules/grounding.h"
+#include "topk/batch_check.h"
+
+namespace relacc {
+namespace bench {
+namespace {
+
+struct StrategyRun {
+  double ms = 0.0;
+  std::vector<char> verdicts;
+};
+
+/// Times `rounds` passes of CheckCandidate over the pool on a fresh
+/// engine configured with `strategy`; the checkpoint chase is excluded
+/// (warmed first) so the measurement isolates the per-candidate cost.
+StrategyRun RunStrategy(const Specification& spec, const GroundProgram& prog,
+                        CheckStrategy strategy,
+                        const std::vector<Tuple>& candidates, int rounds) {
+  ChaseConfig config = spec.config;
+  config.check_strategy = strategy;
+  ChaseEngine engine(spec.ie, &prog, config);
+  StrategyRun run;
+  if (!engine.RunFromCheckpoint().church_rosser) return run;
+  run.verdicts.resize(candidates.size());
+  // Warm-up pass: builds the kTrail probe state (a one-time copy a top-k
+  // caller amortizes over its whole search) and faults in the indexes, so
+  // the timed region isolates the steady-state per-candidate cost.
+  (void)engine.CheckCandidate(candidates[0]);
+  run.ms = TimeMs([&] {
+    for (int r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        run.verdicts[i] = engine.CheckCandidate(candidates[i]) ? 1 : 0;
+      }
+    }
+  });
+  return run;
+}
+
+/// Completions of the deduced target over its null attributes; when that
+/// product is smaller than `cap`, re-opens further attributes (from the
+/// schema tail: free/dep before cur) until the pool is deep enough to
+/// time. Re-opened attributes make some candidates disagree with the
+/// deduced value there — those probes abort on the conflict, exercising
+/// the mid-chase rollback path exactly like a real mixed pool does.
+std::vector<Tuple> BuildPool(const Specification& spec, const Tuple& deduced,
+                             std::size_t cap) {
+  Tuple te = deduced;
+  std::vector<Tuple> pool = EnumerateCandidateProduct(
+      spec.ie, spec.masters, te, /*include_default_values=*/false, cap);
+  for (AttrId a = static_cast<AttrId>(te.size()) - 1;
+       a >= 2 && pool.size() < cap / 2; --a) {
+    if (te.at(a).is_null()) continue;
+    te.set(a, Value::Null());
+    pool = EnumerateCandidateProduct(spec.ie, spec.masters, te,
+                                     /*include_default_values=*/false, cap);
+    if (pool.empty()) return pool;
+  }
+  return pool;
+}
+
+int Run() {
+  const bool small = SmallScale();
+  std::printf("== trail vs copy candidate-check strategies "
+              "(med profile, exact |Ie| per point%s) ==\n",
+              small ? "; RELACC_BENCH_SMALL" : "");
+  std::printf("%6s %12s %14s %14s %14s %9s\n", "n", "candidates",
+              "copy ns/chk", "trail ns/chk", "trail chk/s", "speedup");
+
+  JsonReport report("trail_vs_copy");
+  const std::vector<int> sizes = small ? std::vector<int>{16, 32}
+                                       : std::vector<int>{16, 32, 64, 96};
+  const std::size_t pool_cap = small ? 96 : 256;
+  const int64_t target_checks = small ? 256 : 1024;
+  bool all_identical = true;
+
+  for (int n : sizes) {
+    ProfileConfig config = MedConfig(/*seed=*/1234 + n);
+    config.num_entities = 6;
+    config.min_tuples = n;
+    config.max_tuples = n;
+    config.master_size = 200;
+    // Every free attribute corrupted: observations disagree, the chase
+    // leaves them null, and the candidate search has real work.
+    config.free_corruption_prob = 1.0;
+    const EntityDataset ds = GenerateProfile(config);
+
+    // First Church-Rosser entity with an incomplete target.
+    bool found = false;
+    for (int i = 0; i < static_cast<int>(ds.entities.size()) && !found; ++i) {
+      const Specification spec = ds.SpecFor(i);
+      const GroundProgram prog =
+          Instantiate(spec.ie, spec.masters, spec.rules);
+      ChaseEngine probe(spec.ie, &prog, spec.config);
+      const ChaseOutcome outcome = probe.RunFromCheckpoint();
+      if (!outcome.church_rosser || outcome.target.IsComplete()) continue;
+      found = true;
+
+      const std::vector<Tuple> candidates =
+          BuildPool(spec, outcome.target, pool_cap);
+      if (candidates.empty()) break;
+      const int rounds = static_cast<int>(std::max<int64_t>(
+          1, target_checks / static_cast<int64_t>(candidates.size())));
+      const int64_t checks =
+          static_cast<int64_t>(candidates.size()) * rounds;
+
+      const StrategyRun copy =
+          RunStrategy(spec, prog, CheckStrategy::kCopy, candidates, rounds);
+      const StrategyRun trail =
+          RunStrategy(spec, prog, CheckStrategy::kTrail, candidates, rounds);
+      if (copy.verdicts != trail.verdicts) all_identical = false;
+
+      const double copy_ns = copy.ms * 1e6 / static_cast<double>(checks);
+      const double trail_ns = trail.ms * 1e6 / static_cast<double>(checks);
+      const double trail_cps =
+          trail.ms > 0.0 ? static_cast<double>(checks) / (trail.ms / 1e3)
+                         : 0.0;
+      const double speedup = trail.ms > 0.0 ? copy.ms / trail.ms : 0.0;
+      std::printf("%6d %12zu %14.0f %14.0f %14.0f %8.2fx\n", n,
+                  candidates.size(), copy_ns, trail_ns, trail_cps, speedup);
+
+      JsonReport::Row row;
+      row.Set("name", "trail_vs_copy")
+          .Set("n", n)
+          .Set("candidates", static_cast<int64_t>(candidates.size()))
+          .Set("rounds", rounds)
+          .Set("copy_ns_per_check", copy_ns)
+          .Set("trail_ns_per_check", trail_ns)
+          .Set("copy_checks_per_s",
+               copy.ms > 0.0
+                   ? static_cast<double>(checks) / (copy.ms / 1e3)
+                   : 0.0)
+          .Set("trail_checks_per_s", trail_cps)
+          .Set("speedup", speedup);
+      report.Add(std::move(row));
+    }
+    if (!found) {
+      std::printf("%6d   (no incomplete Church-Rosser entity; skipped)\n",
+                  n);
+    }
+  }
+
+  report.Write();
+  std::printf("verdicts identical across strategies: %s\n",
+              all_identical ? "yes" : "NO (BUG)");
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relacc
+
+int main() { return relacc::bench::Run(); }

@@ -19,6 +19,24 @@ struct ChaseEngine::RunState {
   ChaseStats stats;
   std::string violation;
   int64_t actions = 0;
+
+  /// Journal of one candidate probe for the kTrail check strategy (probes
+  /// never nest, so one level suffices). Disabled — and therefore empty
+  /// and copy-free — on checkpoint states; enabled exactly once, on the
+  /// engine's long-lived probe state. The order-pair deltas live inside
+  /// each PartialOrder's own trail; order_marks holds their rollback
+  /// points. The vectors keep their capacity across probes, so a warmed-up
+  /// check allocates nothing.
+  struct Trail {
+    bool enabled = false;
+    std::vector<AttrId> te_set;          ///< te[attr] went null -> value
+    std::vector<int32_t> remaining_dec;  ///< one entry per --remaining[s]
+    std::vector<int32_t> dead_set;       ///< dead[s] went 0 -> 1
+    std::vector<PartialOrder::Mark> order_marks;  ///< per attribute
+    ChaseStats stats0;
+    int64_t actions0 = 0;
+  };
+  Trail trail;
 };
 
 ChaseEngine::~ChaseEngine() = default;
@@ -65,6 +83,7 @@ void ChaseEngine::EmitOrderEvent(RunState* st, AttrId attr, int i,
   if (it == order_watch_.end()) return;
   for (int32_t s : it->second) {
     if (st->dead[s]) continue;
+    if (st->trail.enabled) st->trail.remaining_dec.push_back(s);
     if (--st->remaining[s] == 0) st->queue.push_back(s);
   }
 }
@@ -75,10 +94,12 @@ void ChaseEngine::EmitTeEvent(RunState* st, AttrId attr,
     if (st->dead[s]) continue;
     const GroundPredicate& g = program_->steps[s].residual[p];
     if (EvalCompare(g.op, v, g.constant)) {
+      if (st->trail.enabled) st->trail.remaining_dec.push_back(s);
       if (--st->remaining[s] == 0) st->queue.push_back(s);
     } else {
       // te[attr] is immutable once set, so the predicate is permanently
       // false and the step can never fire.
+      if (st->trail.enabled) st->trail.dead_set.push_back(s);
       st->dead[s] = 1;
     }
   }
@@ -122,6 +143,7 @@ bool ChaseEngine::ApplySetTe(RunState* st, AttrId attr, const Value& v) const {
                     " vs " + v.ToString();
     return false;
   }
+  if (st->trail.enabled) st->trail.te_set.push_back(attr);
   slot = v;
   EmitTeEvent(st, attr, v);
   if (config_.builtin_axioms) {
@@ -273,10 +295,13 @@ ChaseOutcome ChaseEngine::Run(const Tuple& initial_te) const {
 void ChaseEngine::AdoptCheckpointFrom(const ChaseEngine& other) {
   if (!other.EnsureCheckpoint()) {
     checkpoint_failed_ = true;
+    checkpoint_violation_ = other.checkpoint_violation_;
+    checkpoint_failed_stats_ = other.checkpoint_failed_stats_;
     return;
   }
-  checkpoint_ = std::make_unique<RunState>(*other.checkpoint_);
+  checkpoint_ = other.checkpoint_;  // pointer share, not a deep copy
   checkpoint_failed_ = false;
+  probe_state_.reset();  // rebuilt over the adopted checkpoint on demand
 }
 
 bool ChaseEngine::EnsureCheckpoint() const {
@@ -284,24 +309,81 @@ bool ChaseEngine::EnsureCheckpoint() const {
     auto base = std::make_unique<RunState>();
     Tuple all_null(std::vector<Value>(num_attrs_, Value::Null()));
     if (InitState(base.get(), all_null) && DrainQueue(base.get())) {
-      checkpoint_ = std::move(base);
+      // Frozen from here on: CheckCandidate either copies it (kCopy) or
+      // probes a long-lived copy (kTrail); workers share it by pointer.
+      checkpoint_ = std::shared_ptr<const RunState>(std::move(base));
     } else {
       checkpoint_failed_ = true;  // base spec is not Church-Rosser
+      checkpoint_violation_ = base->violation;
+      checkpoint_failed_stats_ = base->stats;
     }
   }
   return !checkpoint_failed_;
 }
 
-bool ChaseEngine::CheckCandidate(const Tuple& t) const {
-  if (!EnsureCheckpoint()) return false;
-  RunState st = *checkpoint_;  // deep copy of the terminal all-null state
+ChaseEngine::RunState* ChaseEngine::EnsureProbeState() const {
+  if (probe_state_ == nullptr) {
+    probe_state_ = std::make_unique<RunState>(*checkpoint_);
+    for (PartialOrder& order : probe_state_->orders) order.EnableTrail();
+    probe_state_->trail.enabled = true;
+  }
+  return probe_state_.get();
+}
+
+bool ChaseEngine::ContinueWith(RunState* st, const Tuple& te) const {
   bool ok = true;
   for (AttrId a = 0; a < num_attrs_ && ok; ++a) {
-    if (a >= t.size() || t.at(a).is_null()) continue;
-    ok = ApplySetTe(&st, a, t.at(a));
+    if (a >= te.size() || te.at(a).is_null()) continue;
+    ok = ApplySetTe(st, a, te.at(a));
   }
-  if (ok) ok = FlushLambda(&st);
-  if (ok) ok = DrainQueue(&st);
+  if (ok) ok = FlushLambda(st);
+  if (ok) ok = DrainQueue(st);
+  return ok;
+}
+
+void ChaseEngine::BeginProbe(RunState* st) const {
+  RunState::Trail& trail = st->trail;
+  trail.te_set.clear();
+  trail.remaining_dec.clear();
+  trail.dead_set.clear();
+  trail.order_marks.resize(num_attrs_);
+  for (AttrId a = 0; a < num_attrs_; ++a) {
+    trail.order_marks[a] = st->orders[a].MarkTrail();
+  }
+  trail.stats0 = st->stats;
+  trail.actions0 = st->actions;
+}
+
+void ChaseEngine::RollbackProbe(RunState* st) const {
+  RunState::Trail& trail = st->trail;
+  for (AttrId a : trail.te_set) st->te[a] = Value::Null();
+  for (int32_t s : trail.remaining_dec) ++st->remaining[s];
+  for (int32_t s : trail.dead_set) st->dead[s] = 0;
+  // An aborted probe can leave ready steps queued and attributes λ-dirty;
+  // a successful one drained both. Either way the checkpoint had neither.
+  st->queue.clear();
+  for (AttrId a : st->dirty_list) st->attr_dirty[a] = 0;
+  st->dirty_list.clear();
+  for (AttrId a = 0; a < num_attrs_; ++a) {
+    st->orders[a].UndoTo(trail.order_marks[a]);
+  }
+  st->stats = trail.stats0;
+  st->actions = trail.actions0;
+  st->violation.clear();
+}
+
+bool ChaseEngine::CheckCandidate(const Tuple& t) const {
+  if (!EnsureCheckpoint()) return false;
+  if (config_.check_strategy == CheckStrategy::kCopy) {
+    RunState st = *checkpoint_;  // deep copy of the terminal all-null state
+    return ContinueWith(&st, t);
+  }
+  // kTrail: chase forward on the shared-checkpoint copy in place, then
+  // undo exactly what this probe changed — O(delta), not O(state).
+  RunState* st = EnsureProbeState();
+  BeginProbe(st);
+  const bool ok = ContinueWith(st, t);
+  RollbackProbe(st);
   return ok;
 }
 
@@ -309,17 +391,12 @@ ChaseOutcome ChaseEngine::ResumeWith(const Tuple& extra_te) const {
   ChaseOutcome out;
   if (!EnsureCheckpoint()) {
     out.church_rosser = false;
-    out.violation = "base specification is not Church-Rosser";
+    out.violation = checkpoint_violation_;
+    out.stats = checkpoint_failed_stats_;
     return out;
   }
   RunState st = *checkpoint_;
-  bool ok = true;
-  for (AttrId a = 0; a < num_attrs_ && ok; ++a) {
-    if (a >= extra_te.size() || extra_te.at(a).is_null()) continue;
-    ok = ApplySetTe(&st, a, extra_te.at(a));
-  }
-  if (ok) ok = FlushLambda(&st);
-  if (ok) ok = DrainQueue(&st);
+  const bool ok = ContinueWith(&st, extra_te);
   out.stats = st.stats;
   if (!ok) {
     out.church_rosser = false;
@@ -329,6 +406,21 @@ ChaseOutcome ChaseEngine::ResumeWith(const Tuple& extra_te) const {
   out.church_rosser = true;
   out.target = Tuple(std::move(st.te));
   if (config_.keep_orders) out.orders = std::move(st.orders);
+  return out;
+}
+
+ChaseOutcome ChaseEngine::RunFromCheckpoint() const {
+  ChaseOutcome out;
+  if (!EnsureCheckpoint()) {
+    out.church_rosser = false;
+    out.violation = checkpoint_violation_;
+    out.stats = checkpoint_failed_stats_;
+    return out;
+  }
+  out.church_rosser = true;
+  out.target = Tuple(checkpoint_->te);
+  out.stats = checkpoint_->stats;
+  if (config_.keep_orders) out.orders = checkpoint_->orders;
   return out;
 }
 

@@ -45,19 +45,32 @@ class ChaseEngine {
   /// Run with the all-null initial template (the paper's (D0, te^{D0})).
   ChaseOutcome RunFromInitial() const;
 
+  /// Same outcome as RunFromInitial(), but served from (and priming) the
+  /// shared all-null checkpoint instead of a throwaway run. Callers that
+  /// chase first and then check candidates — the pipeline, the CLI —
+  /// should use this so the all-null chase runs once, not twice.
+  ChaseOutcome RunFromCheckpoint() const;
+
   /// Candidate-target check for a complete tuple `t` (Sec. 6's `check`).
   /// Semantically identical to Run(t).church_rosser, but resumes from a
   /// lazily-prepared checkpoint — the terminal instance of the all-null
   /// chase — instead of replaying the axiom closure per candidate. Valid
   /// because orders and te only grow monotonically: every violation the
   /// from-scratch run would find, the continuation finds too.
+  ///
+  /// Under ChaseConfig::check_strategy == kCopy each call deep-copies the
+  /// checkpoint; under kTrail the engine keeps one long-lived probe state,
+  /// chases forward in place and rolls every change back in O(changes) —
+  /// whether the probe succeeded or aborted mid-chase on a Church-Rosser
+  /// violation. Both paths return identical verdicts.
   bool CheckCandidate(const Tuple& t) const;
 
-  /// Copies `other`'s prepared all-null checkpoint into this engine,
+  /// Shares `other`'s prepared all-null checkpoint with this engine,
   /// building it on `other` first if needed. The checkpoint is a pure
-  /// function of (Ie, program, config), so engines cloned over the same
-  /// triple — e.g. the per-worker engines of topk/batch_check.h — can
-  /// adopt it instead of each re-running the all-null chase.
+  /// function of (Ie, program, config) and immutable once built, so
+  /// engines over the same triple — e.g. the per-worker engines of
+  /// topk/batch_check.h — share one instance by pointer instead of each
+  /// re-running (or deep-copying) the all-null chase.
   void AdoptCheckpointFrom(const ChaseEngine& other);
 
   /// Incremental re-chase (Fig. 3 loop): resumes from the same all-null
@@ -80,9 +93,26 @@ class ChaseEngine {
   // specification is not Church-Rosser.
   bool EnsureCheckpoint() const;
 
+  // The long-lived mutable state the kTrail check probes on, created
+  // lazily as one copy of the checkpoint (per engine, not per candidate).
+  RunState* EnsureProbeState() const;
+
   // Phases of Run(), factored so CheckCandidate can resume mid-way.
   bool InitState(RunState* st, const Tuple& initial_te) const;
   bool DrainQueue(RunState* st) const;
+
+  // Continues a prepared (checkpoint-shaped) state with the designated
+  // target values of `te`: ApplySetTe per non-null attribute, λ flush,
+  // queue drain. Shared by CheckCandidate and ResumeWith.
+  bool ContinueWith(RunState* st, const Tuple& te) const;
+
+  // kTrail probe bracket: BeginProbe snapshots the rollback point on the
+  // long-lived probe state; RollbackProbe undoes everything the probe did
+  // (te slots, residual counters, dead flags, queue, dirty lists, order
+  // pairs, stats) in O(changes) — valid on success and mid-chase abort
+  // alike, because every mutation is journaled as it happens.
+  void BeginProbe(RunState* st) const;
+  void RollbackProbe(RunState* st) const;
 
   // Applies "insert i ⪯_attr j, close, λ-update" as one action. Returns
   // false on a validity violation (recorded in state).
@@ -121,8 +151,15 @@ class ChaseEngine {
       value_index_;
 
   /// Lazily-built checkpoint for CheckCandidate (terminal all-null state).
-  mutable std::unique_ptr<RunState> checkpoint_;
+  /// Immutable once built and shared by pointer across the per-worker
+  /// engines of a CandidateChecker (AdoptCheckpointFrom).
+  mutable std::shared_ptr<const RunState> checkpoint_;
   mutable bool checkpoint_failed_ = false;
+  /// Violation + stats of the failed all-null chase (for RunFromCheckpoint).
+  mutable std::string checkpoint_violation_;
+  mutable ChaseStats checkpoint_failed_stats_;
+  /// kTrail probe state; mutated and rolled back by CheckCandidate.
+  mutable std::unique_ptr<RunState> probe_state_;
 };
 
 /// Convenience wrapper: grounds `spec` and runs IsCR (Fig. 4), returning

@@ -133,6 +133,8 @@ int CmdTopK(const Args& args, std::ostream& out, std::ostream& err) {
   Result<int64_t> k = args.GetInt("k", 5);
   Result<int64_t> threads = args.GetInt("threads", 1);
   const std::string algo = args.GetString("algo", "topkct");
+  const bool strategy_given = args.Has("check-strategy");
+  const std::string strategy = args.GetString("check-strategy", "trail");
   const bool as_json = args.Has("json");
   Result<SpecDocument> doc = LoadSpec(args);
   if (!doc.ok()) {
@@ -158,13 +160,23 @@ int CmdTopK(const Args& args, std::ostream& out, std::ostream& err) {
     err << "error: --algo must be topkct, heuristic, rankjoin or brute\n";
     return 2;
   }
+  CheckStrategy check_strategy = CheckStrategy::kTrail;
+  if (!ParseCheckStrategy(strategy, &check_strategy)) {
+    err << "error: --check-strategy must be trail or copy\n";
+    return 2;
+  }
   if (int rc = CheckUnread(args, err); rc != 0) return rc;
 
-  const Specification& spec = doc.value().spec;
+  Specification& spec = doc.value().spec;
+  // The flag overrides the spec document's config only when given, so a
+  // spec pinned to one strategy keeps it by default.
+  if (strategy_given) spec.config.check_strategy = check_strategy;
   const GroundProgram program =
       Instantiate(spec.ie, spec.masters, spec.rules);
   ChaseEngine engine(spec.ie, &program, spec.config);
-  ChaseOutcome outcome = engine.RunFromInitial();
+  // Checkpoint-backed: the candidate checks below resume from the same
+  // all-null terminal state this run primes.
+  ChaseOutcome outcome = engine.RunFromCheckpoint();
   if (!outcome.church_rosser) {
     err << "error: specification is not Church-Rosser: " << outcome.violation
         << "\n";
@@ -486,7 +498,7 @@ std::string CliUsage() {
       "            [--attr <name>] [--depth N]\n"
       "  topk      top-k candidate targets for an incomplete target\n"
       "            [--k N] [--algo topkct|heuristic|rankjoin|brute]\n"
-      "            [--threads N] [--json]\n"
+      "            [--threads N] [--check-strategy trail|copy] [--json]\n"
       "  fmt       normalize a spec document / its rule program\n"
       "            [--rules-only]\n"
       "  pipeline  flat relation -> entity resolution -> per-entity targets\n"

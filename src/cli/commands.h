@@ -19,7 +19,8 @@ namespace relacc {
 ///   relacc explain <spec.json> --attr <name> [--depth N]
 ///       Proof tree for the deduced te[attr].
 ///   relacc topk <spec.json> [--k N] [--algo topkct|heuristic|rankjoin]
-///       [--json]       Top-k candidate targets for an incomplete te.
+///       [--threads N] [--check-strategy trail|copy] [--json]
+///       Top-k candidate targets for an incomplete te.
 ///   relacc fmt <spec.json> [--rules-only]
 ///       Normalized spec (canonical rule DSL) back to stdout.
 ///   relacc pipeline <spec.json> --key <attr[,attr...]> [--threads N]

@@ -41,7 +41,11 @@ bool PartialOrder::AddPair(int i, int j,
       if (a == b || TestBit(succ_, a, b)) return;
       SetBit(succ_, a, b);
       SetBit(pred_, b, a);
-      if (++in_count_[b] == n_ - 1) greatest_ = b;
+      if (trail_on_) trail_.emplace_back(a, b);
+      if (++in_count_[b] == n_ - 1) {
+        if (trail_on_) greatest_trail_.emplace_back(trail_.size(), greatest_);
+        greatest_ = b;
+      }
       new_pairs->emplace_back(a, b);
       if (TestBit(succ_, b, a) && !(column_[a] == column_[b])) {
         *conflict = true;
@@ -61,6 +65,22 @@ bool PartialOrder::AddPair(int i, int j,
     }
   }
   return true;
+}
+
+void PartialOrder::UndoTo(Mark mark) {
+  while (trail_.size() > mark) {
+    const auto [a, b] = trail_.back();
+    trail_.pop_back();
+    ClearBit(succ_, a, b);
+    ClearBit(pred_, b, a);
+    --in_count_[b];
+  }
+  // Replay the greatest-element history backwards; the last assignment is
+  // the value in force at the mark.
+  while (!greatest_trail_.empty() && greatest_trail_.back().first > mark) {
+    greatest_ = greatest_trail_.back().second;
+    greatest_trail_.pop_back();
+  }
 }
 
 std::size_t PartialOrder::PairCount() const {

@@ -25,9 +25,12 @@ namespace relacc {
 /// in-degree counting.
 ///
 /// Representation: successor and predecessor adjacency bit-matrices in two
-/// flat word arrays (row stride = ⌈n/64⌉). The flat layout matters: the
-/// top-k candidate check copies chase states wholesale, and one PartialOrder
-/// copy must be two memcpys, not 2n vector allocations.
+/// flat word arrays (row stride = ⌈n/64⌉). The flat layout keeps the
+/// kCopy check strategy cheap — one PartialOrder copy is two memcpys, not
+/// 2n vector allocations — while the kTrail strategy avoids the copy
+/// entirely: with the trail enabled, every inserted pair (and every
+/// greatest-element change) is journaled, so Mark()/UndoTo() roll a probe
+/// back in O(pairs inserted since the mark) instead of O(n²/64) words.
 class PartialOrder {
  public:
   /// `column` holds ti[A] for every tuple; defines strictness & conflicts.
@@ -64,6 +67,24 @@ class PartialOrder {
   /// Number of ⪯ pairs currently stored (excluding the implicit diagonal).
   std::size_t PairCount() const;
 
+  /// Opaque rollback point for the trail (see EnableTrail).
+  using Mark = std::size_t;
+
+  /// Starts journaling insertions so they can be undone. Typically called
+  /// once, on the long-lived probe state the candidate check mutates in
+  /// place; the all-null base chase never records (nothing undoes it).
+  void EnableTrail() { trail_on_ = true; }
+  bool trail_enabled() const { return trail_on_; }
+
+  /// Current trail position. Pairs inserted after a mark can be removed
+  /// again with UndoTo(mark); marks are positions, so they nest naturally.
+  Mark MarkTrail() const { return trail_.size(); }
+
+  /// Rolls back every pair inserted since `mark` — bits, in-degrees and
+  /// the greatest element — in O(pairs since mark). Requires the trail to
+  /// have been enabled before those insertions.
+  void UndoTo(Mark mark);
+
  private:
   std::size_t Row(int i) const {
     return static_cast<std::size_t>(i) * stride_;
@@ -74,6 +95,9 @@ class PartialOrder {
   void SetBit(std::vector<uint64_t>& m, int i, int j) {
     m[Row(i) + (static_cast<unsigned>(j) >> 6)] |= uint64_t{1} << (j & 63);
   }
+  void ClearBit(std::vector<uint64_t>& m, int i, int j) {
+    m[Row(i) + (static_cast<unsigned>(j) >> 6)] &= ~(uint64_t{1} << (j & 63));
+  }
 
   int n_ = 0;
   std::size_t stride_ = 0;  ///< words per row
@@ -82,6 +106,12 @@ class PartialOrder {
   std::vector<uint64_t> pred_;  ///< pred bit (j,i) <=> i ⪯ j
   std::vector<int> in_count_;   ///< predecessors per node
   int greatest_ = -1;
+
+  bool trail_on_ = false;
+  /// Journaled insertions, in order; entry k is pair (a ⪯ b).
+  std::vector<std::pair<int32_t, int32_t>> trail_;
+  /// (trail size right after the causing insertion, previous greatest).
+  std::vector<std::pair<std::size_t, int32_t>> greatest_trail_;
 };
 
 }  // namespace relacc

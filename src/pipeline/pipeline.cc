@@ -22,7 +22,10 @@ EntityReport ProcessEntity(const EntityInstance& entity,
 
   const GroundProgram program = Instantiate(entity, masters, rules);
   ChaseEngine engine(entity, &program, options.chase);
-  ChaseOutcome outcome = engine.RunFromInitial();
+  // Serve the all-null chase from the engine's checkpoint: the candidate
+  // completion below checks against the same checkpoint, so the worker
+  // reuses one chase (and one probe state) instead of chasing twice.
+  ChaseOutcome outcome = engine.RunFromCheckpoint();
   if (!outcome.church_rosser) {
     report.violation = outcome.violation;
     return report;

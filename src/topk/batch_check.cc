@@ -17,8 +17,12 @@ void CandidateChecker::EnsureWorkers() const {
   for (int w = 0; w < num_threads_; ++w) {
     auto engine = std::make_unique<ChaseEngine>(
         prototype_.ie(), &prototype_.program(), prototype_.config());
-    // The checkpoint is the dominant per-engine setup cost; adopt the
-    // prototype's instead of re-running the all-null chase per worker.
+    // The checkpoint is the dominant per-engine setup cost; adopting the
+    // prototype's shares it by pointer (it is immutable once built)
+    // instead of re-running the all-null chase per worker. Each worker
+    // engine then grows its own long-lived probe state from it — marked
+    // and rolled back per candidate under the kTrail strategy — so the
+    // per-candidate cost is O(changes), not O(state copy).
     engine->AdoptCheckpointFrom(prototype_);
     engines_.push_back(std::move(engine));
   }

@@ -13,11 +13,13 @@
 namespace relacc {
 
 /// Fans the per-candidate `check` chase (CheckCandidateTarget, Sec. 6) out
-/// over a ThreadPool. A ChaseEngine holds mutable run state — the lazily
-/// built all-null checkpoint that CheckCandidate resumes from — so engines
+/// over a ThreadPool. A ChaseEngine holds mutable run state — the kTrail
+/// probe state that CheckCandidate chases on and rolls back — so engines
 /// must not be shared between workers: the checker owns one engine per
 /// worker slot, all built over the same (Ie, ground program, config) as
-/// the prototype engine.
+/// the prototype engine and sharing its immutable all-null checkpoint by
+/// pointer. Worker engines live as long as the checker, so each worker
+/// pays the one-time probe-state copy once, then O(delta) per candidate.
 ///
 /// Verdicts are returned in candidate order, so callers consuming them in
 /// order observe results independent of thread count and scheduling.

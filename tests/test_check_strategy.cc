@@ -1,0 +1,295 @@
+// Equivalence and rollback tests for the two candidate-check strategies
+// (ChaseConfig::check_strategy): kTrail — chase in place on a long-lived
+// probe state and undo in O(changes) — must be observationally identical
+// to the kCopy reference (deep copy of the all-null checkpoint per
+// candidate). Covers per-candidate verdicts (including candidates whose
+// probe aborts mid-chase on a Church-Rosser violation: the rollback must
+// leave the checkpoint pristine), the batch layer across thread counts,
+// byte-identical ranked output of all four top-k algorithms, the
+// checkpoint-backed RunFromCheckpoint entry point, and the config's JSON
+// round-trip.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chase/chase_engine.h"
+#include "datagen/syn_generator.h"
+#include "io/spec_io.h"
+#include "mj_fixture.h"
+#include "rules/grounding.h"
+#include "topk/batch_check.h"
+#include "topk/rank_join_ct.h"
+#include "topk/topk_ct.h"
+
+namespace relacc {
+namespace {
+
+using testing_fixture::MjSpecification;
+
+/// Example 9/10 setting (as in test_batch_check.cc): drop `team` from ϕ6
+/// so the deduced target is incomplete and candidates exist.
+Specification Example9Spec() {
+  Specification spec = MjSpecification();
+  for (AccuracyRule& r : spec.rules) {
+    if (r.name == "phi6") {
+      std::erase_if(r.assignments, [&](const auto& as) {
+        return as.first == spec.ie.schema().MustIndexOf("team");
+      });
+    }
+  }
+  return spec;
+}
+
+/// Candidate pool with a guaranteed mix of passing, failing and
+/// conflicting tuples: completions of the deduced target, plus the same
+/// completions with one *deduced* attribute overwritten by a different
+/// active-domain value — those probes abort mid-chase on the te conflict,
+/// exercising the abort-path rollback.
+std::vector<Tuple> MixedPool(const Specification& spec,
+                             const ChaseEngine& engine) {
+  const ChaseOutcome outcome = engine.RunFromCheckpoint();
+  EXPECT_TRUE(outcome.church_rosser);
+  std::vector<Tuple> pool = EnumerateCandidateProduct(
+      spec.ie, spec.masters, outcome.target,
+      /*include_default_values=*/false, /*limit=*/64);
+  Tuple reopened = outcome.target;
+  for (AttrId a = 0; a < reopened.size(); ++a) {
+    if (!reopened.at(a).is_null()) {
+      reopened.set(a, Value::Null());
+      break;
+    }
+  }
+  const std::vector<Tuple> conflicted = EnumerateCandidateProduct(
+      spec.ie, spec.masters, reopened, /*include_default_values=*/false,
+      /*limit=*/32);
+  pool.insert(pool.end(), conflicted.begin(), conflicted.end());
+  return pool;
+}
+
+TEST(CheckStrategy, VerdictsMatchCopyIncludingConflictedProbes) {
+  const Specification spec = Example9Spec();
+  const GroundProgram program =
+      Instantiate(spec.ie, spec.masters, spec.rules);
+
+  ChaseConfig copy_cfg = spec.config;
+  copy_cfg.check_strategy = CheckStrategy::kCopy;
+  const ChaseEngine copy_engine(spec.ie, &program, copy_cfg);
+
+  ChaseConfig trail_cfg = spec.config;
+  trail_cfg.check_strategy = CheckStrategy::kTrail;
+  const ChaseEngine trail_engine(spec.ie, &program, trail_cfg);
+
+  const std::vector<Tuple> pool = MixedPool(spec, copy_engine);
+  ASSERT_GT(pool.size(), 8u);
+
+  int passed = 0, failed = 0;
+  for (const Tuple& t : pool) {
+    const bool expect = copy_engine.CheckCandidate(t);
+    EXPECT_EQ(trail_engine.CheckCandidate(t), expect);
+    (expect ? passed : failed) += 1;
+  }
+  // The pool genuinely mixes outcomes, so the comparison is not vacuous.
+  EXPECT_GT(passed, 0);
+  EXPECT_GT(failed, 0);
+}
+
+TEST(CheckStrategy, RollbackAfterConflictLeavesCheckpointPristine) {
+  const Specification spec = Example9Spec();
+  const GroundProgram program =
+      Instantiate(spec.ie, spec.masters, spec.rules);
+  ChaseConfig cfg = spec.config;
+  cfg.check_strategy = CheckStrategy::kTrail;
+  const ChaseEngine engine(spec.ie, &program, cfg);
+
+  const std::vector<Tuple> pool = MixedPool(spec, engine);
+  std::vector<char> first;
+  for (const Tuple& t : pool) first.push_back(engine.CheckCandidate(t));
+
+  // Every probe — successful or aborted mid-chase — must roll the probe
+  // state back to the checkpoint: re-checking the pool (forward, then
+  // backward, so each candidate also runs right after a different
+  // predecessor) must reproduce the verdicts exactly.
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(engine.CheckCandidate(pool[i]), first[i] != 0) << "i=" << i;
+  }
+  for (std::size_t i = pool.size(); i-- > 0;) {
+    EXPECT_EQ(engine.CheckCandidate(pool[i]), first[i] != 0) << "i=" << i;
+  }
+  // The shared checkpoint itself is untouched: the all-null outcome it
+  // serves is still the fixture's expected target.
+  const ChaseOutcome after = engine.RunFromCheckpoint();
+  ASSERT_TRUE(after.church_rosser);
+  EXPECT_EQ(after.target, engine.Run(Tuple(std::vector<Value>(
+                              spec.ie.schema().size(), Value::Null())))
+                              .target);
+}
+
+TEST(CheckStrategy, BatchVerdictsMatchAcrossStrategiesAndThreads) {
+  const Specification spec = Example9Spec();
+  const GroundProgram program =
+      Instantiate(spec.ie, spec.masters, spec.rules);
+  const ChaseEngine engine(spec.ie, &program, spec.config);
+  const std::vector<Tuple> pool = MixedPool(spec, engine);
+
+  Specification copy_spec = spec;
+  copy_spec.config.check_strategy = CheckStrategy::kCopy;
+  const std::vector<char> reference = CheckCandidates(copy_spec, pool, 1);
+
+  Specification trail_spec = spec;
+  trail_spec.config.check_strategy = CheckStrategy::kTrail;
+  for (int threads : {1, 4}) {
+    EXPECT_EQ(CheckCandidates(trail_spec, pool, threads), reference)
+        << "threads=" << threads;
+    EXPECT_EQ(CheckCandidates(copy_spec, pool, threads), reference)
+        << "threads=" << threads;
+  }
+}
+
+struct AlgoCase {
+  const char* name;
+  TopKResult (*run)(const ChaseEngine&, const std::vector<Relation>&,
+                    const Tuple&, const PreferenceModel&, int,
+                    const TopKOptions&);
+};
+
+constexpr AlgoCase kAlgos[] = {
+    {"TopKCT", &TopKCT},
+    {"TopKCTh", &TopKCTh},
+    {"RankJoinCT", &RankJoinCT},
+    {"TopKBruteForce", &TopKBruteForce},
+};
+
+/// All four algorithms, both strategies, thread counts {1, 4}: ranked
+/// output (targets, scores, exhausted_budget) must be byte-identical to
+/// the sequential kCopy reference.
+void ExpectStrategiesEquivalent(const Specification& spec,
+                                const PreferenceModel& pref, const Tuple& te,
+                                int k) {
+  const GroundProgram program =
+      Instantiate(spec.ie, spec.masters, spec.rules);
+  std::size_t max_targets = 0;
+  for (const AlgoCase& algo : kAlgos) {
+    TopKOptions opts;
+    opts.max_expansions = 2000;
+    opts.num_threads = 1;
+
+    ChaseConfig copy_cfg = spec.config;
+    copy_cfg.check_strategy = CheckStrategy::kCopy;
+    const ChaseEngine copy_engine(spec.ie, &program, copy_cfg);
+    ASSERT_TRUE(copy_engine.RunFromCheckpoint().church_rosser);
+    const TopKResult reference =
+        algo.run(copy_engine, spec.masters, te, pref, k, opts);
+    max_targets = std::max(max_targets, reference.targets.size());
+
+    for (CheckStrategy strategy :
+         {CheckStrategy::kCopy, CheckStrategy::kTrail}) {
+      ChaseConfig cfg = spec.config;
+      cfg.check_strategy = strategy;
+      const ChaseEngine engine(spec.ie, &program, cfg);
+      for (int threads : {1, 4}) {
+        opts.num_threads = threads;
+        const TopKResult got =
+            algo.run(engine, spec.masters, te, pref, k, opts);
+        const char* strategy_name = CheckStrategyName(strategy);
+        EXPECT_EQ(got.targets, reference.targets)
+            << algo.name << " " << strategy_name << " threads=" << threads;
+        EXPECT_EQ(got.scores, reference.scores)
+            << algo.name << " " << strategy_name << " threads=" << threads;
+        EXPECT_EQ(got.exhausted_budget, reference.exhausted_budget)
+            << algo.name << " " << strategy_name << " threads=" << threads;
+      }
+    }
+  }
+  EXPECT_GT(max_targets, 0u);  // not vacuous
+}
+
+TEST(CheckStrategy, RankedOutputIdenticalOnMjFixture) {
+  const Specification spec = Example9Spec();
+  const PreferenceModel pref =
+      PreferenceModel::FromOccurrences(spec.ie, spec.masters);
+  const GroundProgram program =
+      Instantiate(spec.ie, spec.masters, spec.rules);
+  const ChaseEngine engine(spec.ie, &program, spec.config);
+  const ChaseOutcome outcome = engine.RunFromCheckpoint();
+  ASSERT_TRUE(outcome.church_rosser);
+  ExpectStrategiesEquivalent(spec, pref, outcome.target, 5);
+}
+
+TEST(CheckStrategy, RankedOutputIdenticalOnSyntheticSpec) {
+  // Same re-opened synthetic setting as test_batch_check.cc: a small
+  // product with a pass/fail mix every algorithm can search.
+  SynConfig config;
+  config.seed = 20260726;
+  config.num_tuples = 40;
+  config.master_size = 20;
+  config.num_rules = 24;
+  config.num_ord_attrs = 2;
+  config.num_cur_attrs = 3;
+  config.num_mst_attrs = 2;
+  config.num_free_attrs = 2;
+  config.free_domain_size = 6;
+  const SynDataset syn = GenerateSyn(config);
+  const Schema& schema = syn.spec.ie.schema();
+  Tuple te = syn.truth;
+  for (const char* name : {"cur_0", "mst_0", "free_0"}) {
+    te.set(schema.MustIndexOf(name), Value());
+  }
+  ASSERT_GE(te.NullCount(), 3);
+  ExpectStrategiesEquivalent(syn.spec, syn.pref, te, 4);
+}
+
+TEST(CheckStrategy, RunFromCheckpointMatchesRunFromInitial) {
+  const Specification spec = Example9Spec();
+  const GroundProgram program =
+      Instantiate(spec.ie, spec.masters, spec.rules);
+  const ChaseEngine engine(spec.ie, &program, spec.config);
+  const ChaseOutcome fresh = engine.RunFromInitial();
+  const ChaseOutcome shared = engine.RunFromCheckpoint();
+  ASSERT_EQ(shared.church_rosser, fresh.church_rosser);
+  EXPECT_EQ(shared.target, fresh.target);
+  EXPECT_EQ(shared.stats.steps_applied, fresh.stats.steps_applied);
+  EXPECT_EQ(shared.stats.pairs_derived, fresh.stats.pairs_derived);
+  // Served from the cache on repeat calls, still identical.
+  EXPECT_EQ(engine.RunFromCheckpoint().target, fresh.target);
+}
+
+TEST(CheckStrategy, RunFromCheckpointReportsViolationOfBrokenSpec) {
+  // ϕ12 makes the Mj fixture non-Church-Rosser (Example 6); the shared
+  // checkpoint must report the same violation as a from-scratch run, and
+  // candidate checks against the broken base must refuse everything.
+  Specification spec = MjSpecification();
+  spec.rules.push_back(testing_fixture::Phi12(spec.ie.schema()));
+
+  const GroundProgram program =
+      Instantiate(spec.ie, spec.masters, spec.rules);
+  const ChaseEngine engine(spec.ie, &program, spec.config);
+  const ChaseOutcome fresh = engine.RunFromInitial();
+  const ChaseOutcome shared = engine.RunFromCheckpoint();
+  EXPECT_EQ(shared.church_rosser, fresh.church_rosser);
+  EXPECT_EQ(shared.violation, fresh.violation);
+  if (!fresh.church_rosser) {
+    // Candidate checks against a broken base spec refuse everything.
+    EXPECT_FALSE(engine.CheckCandidate(testing_fixture::MjExpectedTarget()));
+  }
+}
+
+TEST(CheckStrategy, ConfigRoundTripsThroughSpecJson) {
+  SpecDocument doc;
+  doc.spec = Example9Spec();
+  doc.entity_name = "stat";
+  doc.master_names = {"nba"};
+  for (CheckStrategy strategy :
+       {CheckStrategy::kCopy, CheckStrategy::kTrail}) {
+    doc.spec.config.check_strategy = strategy;
+    const Json json = SpecToJson(doc);
+    const Result<SpecDocument> parsed = SpecFromJson(json);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().spec.config.check_strategy, strategy);
+  }
+}
+
+}  // namespace
+}  // namespace relacc
