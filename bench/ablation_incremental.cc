@@ -64,7 +64,12 @@ void BM_Rechase(benchmark::State& state) {
       Tuple all_null(std::vector<Value>(num_attrs, Value::Null()));
       benchmark::DoNotOptimize(p->engine->ResumeWith(all_null).church_rosser);
     }
-    if (!p->revisions.empty()) prepared.push_back(std::move(p));
+    // At least two distinct revisions per entity: ResumeWith keeps a
+    // persistent session, so repeating one identical revision would
+    // measure its no-op extension path instead of an incremental
+    // re-chase. Alternating incompatible revisions resets the session
+    // every call, which is the re-chase this ablation is about.
+    if (p->revisions.size() >= 2) prepared.push_back(std::move(p));
   }
 
   int64_t rounds = 0;

@@ -1,108 +1,241 @@
-// IsCR timing (Sec. 7, text): "IsCR takes about 10ms" per entity; grounding
-// + Church-Rosser check + target deduction. google-benchmark over Med/CFP
-// entities and the Syn instance at the paper's default sizes.
+// IsCR timing (Sec. 7, text: "IsCR takes about 10ms" per entity) plus the
+// interactive-session resume cost: the Fig. 3 loop re-chases once per user
+// revision via ChaseEngine::ResumeWith, and this bench pits the
+// trail-native resume (a persistent session state that extends across
+// accumulating revisions and rolls back through its trail) against the
+// kCopy escape hatch (deep-copy the
+// all-null checkpoint per revision, O(attrs · n²/64) words). Outcomes must
+// be identical — Church-Rosser flag, target, violation emptiness and the
+// per-call stats delta — and trail is expected to win by ≥ 5x from n = 64
+// up on med-profile entities (the copy cost is quadratic in n; the trail
+// cost follows the resume's footprint).
+//
+// Emits BENCH_iscr_timing.json (bench::JsonReport); exits nonzero only on
+// an outcome mismatch, so perf noise cannot break CI.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "chase/chase_engine.h"
+#include "common.h"
 #include "datagen/profile_generator.h"
 #include "datagen/syn_generator.h"
+#include "rules/grounding.h"
+#include "topk/preference.h"
 
+namespace relacc {
+namespace bench {
 namespace {
 
-using namespace relacc;
-
-const EntityDataset& MedDataset() {
-  static const EntityDataset* ds = [] {
-    ProfileConfig c = MedConfig();
-    c.num_entities = 200;
-    c.master_size = 178;
-    return new EntityDataset(GenerateProfile(c));
-  }();
-  return *ds;
+/// Average IsCR wall time (grounding + index + chase) over a dataset.
+void TimeIsCR(JsonReport* report, const char* profile,
+              const EntityDataset& ds, int entities) {
+  const int n = std::min<int>(entities, static_cast<int>(ds.entities.size()));
+  int church_rosser = 0;
+  const double ms = TimeMs([&] {
+    for (int i = 0; i < n; ++i) {
+      church_rosser += IsCR(ds.SpecFor(i)).church_rosser ? 1 : 0;
+    }
+  });
+  std::printf("%-24s %6d entities %10.3f ms/entity (%d CR)\n",
+              profile, n, ms / n, church_rosser);
+  JsonReport::Row row;
+  row.Set("section", "iscr")
+      .Set("profile", profile)
+      .Set("entities", n)
+      .Set("church_rosser", church_rosser)
+      .Set("ms_per_entity", ms / n);
+  report->Add(std::move(row));
 }
 
-const EntityDataset& CfpDataset() {
-  static const EntityDataset* ds =
-      new EntityDataset(GenerateProfile(CfpConfig()));
-  return *ds;
-}
-
-/// Full IsCR: Instantiation + index + chase, per entity.
-void BM_IsCR_Med(benchmark::State& state) {
-  const EntityDataset& ds = MedDataset();
-  int i = 0;
-  for (auto _ : state) {
-    const Specification spec = ds.SpecFor(i % 200);
-    benchmark::DoNotOptimize(IsCR(spec).church_rosser);
-    ++i;
-  }
-}
-BENCHMARK(BM_IsCR_Med)->Unit(benchmark::kMillisecond);
-
-void BM_IsCR_Cfp(benchmark::State& state) {
-  const EntityDataset& ds = CfpDataset();
-  int i = 0;
-  for (auto _ : state) {
-    const Specification spec = ds.SpecFor(i % 100);
-    benchmark::DoNotOptimize(IsCR(spec).church_rosser);
-    ++i;
-  }
-}
-BENCHMARK(BM_IsCR_Cfp)->Unit(benchmark::kMillisecond);
-
-/// Chase only (index/grounding prebuilt) — the incremental cost per chase
-/// run, which the top-k `check` pays.
-void BM_ChaseOnly_Med(benchmark::State& state) {
-  const EntityDataset& ds = MedDataset();
-  const Specification spec = ds.SpecFor(0);
-  const GroundProgram prog = Instantiate(spec.ie, spec.masters, spec.rules);
-  const ChaseEngine engine(spec.ie, &prog, spec.config);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.RunFromInitial().church_rosser);
-  }
-}
-BENCHMARK(BM_ChaseOnly_Med)->Unit(benchmark::kMicrosecond);
-
-/// Syn at the paper's defaults (‖Ie‖=900, ‖Im‖=300, ‖Σ‖=60).
-void BM_IsCR_Syn(benchmark::State& state) {
-  SynConfig c;
-  c.num_tuples = static_cast<int>(state.range(0));
-  const SynDataset syn = GenerateSyn(c);
-  const GroundProgram prog =
-      Instantiate(syn.spec.ie, syn.spec.masters, syn.spec.rules);
-  const ChaseEngine engine(syn.spec.ie, &prog, syn.spec.config);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.RunFromInitial().church_rosser);
-  }
-}
-BENCHMARK(BM_IsCR_Syn)->Arg(300)->Arg(900)->Arg(1500)
-    ->Unit(benchmark::kMillisecond);
-
-/// The candidate-target check from the warm checkpoint — the inner loop of
-/// all top-k algorithms.
-void BM_CheckCandidate_Syn(benchmark::State& state) {
-  SynConfig c;
-  c.num_tuples = static_cast<int>(state.range(0));
-  const SynDataset syn = GenerateSyn(c);
-  const GroundProgram prog =
-      Instantiate(syn.spec.ie, syn.spec.masters, syn.spec.rules);
-  const ChaseEngine engine(syn.spec.ie, &prog, syn.spec.config);
-  const ChaseOutcome out = engine.RunFromInitial();
-  Tuple candidate = out.target;
-  for (AttrId a = 0; a < syn.spec.ie.schema().size(); ++a) {
-    if (candidate.at(a).is_null()) {
-      const auto dom = syn.spec.ie.ColumnDomain(a);
-      if (!dom.empty()) candidate.set(a, dom[0]);
+/// The rounds of one simulated interactive session over `spec`:
+/// cumulative truth reveals — round r designates the true values of the
+/// first r still-null attributes, exactly the Exp-3 shape RunFramework
+/// feeds ResumeWith. Under kTrail each round extends the session prefix,
+/// so only the new reveal is chased in; kCopy replays the whole prefix
+/// on a fresh checkpoint copy every round.
+std::vector<Tuple> SessionRounds(const Specification& spec,
+                                 const Tuple& deduced, const Tuple& truth) {
+  const int num_attrs = spec.ie.schema().size();
+  std::vector<Tuple> rounds;
+  Tuple cumulative(std::vector<Value>(num_attrs, Value::Null()));
+  for (AttrId a = 0; a < num_attrs; ++a) {
+    if (!deduced.at(a).is_null()) continue;
+    if (a < truth.size() && !truth.at(a).is_null()) {
+      cumulative.set(a, truth.at(a));
+      rounds.push_back(cumulative);
     }
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.CheckCandidate(candidate));
-  }
+  return rounds;
 }
-BENCHMARK(BM_CheckCandidate_Syn)->Arg(300)->Arg(900)->Arg(1500)
-    ->Unit(benchmark::kMillisecond);
+
+/// Independent one-attribute revisions (no two extend each other), so a
+/// trail session resets to the checkpoint on every call — the
+/// no-prefix-reuse worst case.
+std::vector<Tuple> IndependentRevisions(const Specification& spec,
+                                        const Tuple& deduced) {
+  const int num_attrs = spec.ie.schema().size();
+  std::vector<Tuple> revisions;
+  for (AttrId a = 0; a < num_attrs; ++a) {
+    if (!deduced.at(a).is_null()) continue;
+    int taken = 0;
+    for (const Value& v :
+         ActiveDomain(spec.ie, spec.masters, a, /*defaults=*/false)) {
+      if (taken >= 2) break;
+      Tuple single(std::vector<Value>(num_attrs, Value::Null()));
+      single.set(a, v);
+      revisions.push_back(std::move(single));
+      ++taken;
+    }
+  }
+  return revisions;
+}
+
+struct ResumeRun {
+  double ms = 0.0;
+  /// One entry per revision: CR flag and target (or violation marker) —
+  /// must match across strategies. Stats are excluded deliberately: a
+  /// session-extending trail resume legitimately reports less work.
+  std::vector<std::string> outcomes;
+};
+
+ResumeRun RunResumes(const Specification& spec, const GroundProgram& prog,
+                     CheckStrategy strategy,
+                     const std::vector<Tuple>& revisions, int rounds) {
+  ChaseConfig config = spec.config;
+  config.check_strategy = strategy;
+  ChaseEngine engine(spec.ie, &prog, config);
+  ResumeRun run;
+  if (!engine.RunFromCheckpoint().church_rosser) return run;
+  // Warm-up: builds the kTrail session state (a one-time copy a
+  // framework session amortizes over all its rounds).
+  (void)engine.ResumeWith(revisions[0]);
+  run.ms = TimeMs([&] {
+    for (int r = 0; r < rounds; ++r) {
+      for (const Tuple& revision : revisions) {
+        const ChaseOutcome out = engine.ResumeWith(revision);
+        if (r == 0) {
+          run.outcomes.push_back(out.church_rosser ? out.target.ToString()
+                                                   : "abort");
+        }
+      }
+    }
+  });
+  return run;
+}
+
+int Run() {
+  const bool small = SmallScale();
+  JsonReport report("iscr_timing");
+
+  std::printf("== IsCR per entity (grounding + chase) ==\n");
+  {
+    ProfileConfig c = MedConfig();
+    c.num_entities = small ? 24 : 200;
+    c.master_size = small ? 24 : 178;
+    const EntityDataset med = GenerateProfile(c);
+    TimeIsCR(&report, "med", med, small ? 24 : 200);
+    const EntityDataset cfp =
+        GenerateProfile(small ? [] {
+          ProfileConfig cc = CfpConfig();
+          cc.num_entities = 12;
+          cc.master_size = 12;
+          return cc;
+        }() : CfpConfig());
+    TimeIsCR(&report, "cfp", cfp, small ? 12 : 100);
+  }
+
+  std::printf("\n== per-revision ResumeWith: trail vs copy "
+              "(med profile, exact |Ie| per point%s) ==\n",
+              small ? "; RELACC_BENCH_SMALL" : "");
+  std::printf("%6s %-12s %10s %14s %14s %9s\n", "n", "kind", "revisions",
+              "copy us/rev", "trail us/rev", "speedup");
+
+  const std::vector<int> sizes =
+      small ? std::vector<int>{16, 32} : std::vector<int>{16, 64, 96};
+  const int64_t target_resumes = small ? 128 : 512;
+  bool all_identical = true;
+
+  for (int n : sizes) {
+    ProfileConfig config = MedConfig(/*seed=*/4321 + n);
+    config.num_entities = 6;
+    config.min_tuples = n;
+    config.max_tuples = n;
+    config.master_size = 200;
+    // Every free attribute corrupted: observations disagree, the chase
+    // leaves them null, and the session has real revisions to make. Med
+    // proper has two free attributes; eight of them here make the
+    // session a realistic multi-round interaction (the paper's Exp-3
+    // reports up to ~4 rounds even with top-k suggestions absorbing
+    // most of the work).
+    config.free_corruption_prob = 1.0;
+    config.num_free_attrs = 8;
+    const EntityDataset ds = GenerateProfile(config);
+
+    bool found = false;
+    for (int i = 0; i < static_cast<int>(ds.entities.size()) && !found; ++i) {
+      const Specification spec = ds.SpecFor(i);
+      const GroundProgram prog =
+          Instantiate(spec.ie, spec.masters, spec.rules);
+      ChaseEngine probe(spec.ie, &prog, spec.config);
+      const ChaseOutcome outcome = probe.RunFromCheckpoint();
+      if (!outcome.church_rosser || outcome.target.IsComplete()) continue;
+      const std::vector<Tuple> session =
+          SessionRounds(spec, outcome.target, ds.truths[i]);
+      const std::vector<Tuple> independent =
+          IndependentRevisions(spec, outcome.target);
+      if (session.empty() || independent.empty()) continue;
+      found = true;
+
+      const struct {
+        const char* kind;
+        const std::vector<Tuple>& revisions;
+      } kinds[] = {{"session", session}, {"independent", independent}};
+      for (const auto& [kind, revisions] : kinds) {
+        const int rounds = static_cast<int>(std::max<int64_t>(
+            1, target_resumes / static_cast<int64_t>(revisions.size())));
+        const int64_t resumes =
+            static_cast<int64_t>(revisions.size()) * rounds;
+        const ResumeRun copy =
+            RunResumes(spec, prog, CheckStrategy::kCopy, revisions, rounds);
+        const ResumeRun trail =
+            RunResumes(spec, prog, CheckStrategy::kTrail, revisions, rounds);
+        if (copy.outcomes != trail.outcomes) all_identical = false;
+
+        const double copy_us = copy.ms * 1e3 / static_cast<double>(resumes);
+        const double trail_us =
+            trail.ms * 1e3 / static_cast<double>(resumes);
+        const double speedup = trail.ms > 0.0 ? copy.ms / trail.ms : 0.0;
+        std::printf("%6d %-12s %10zu %14.1f %14.1f %8.2fx\n", n, kind,
+                    revisions.size(), copy_us, trail_us, speedup);
+
+        JsonReport::Row row;
+        row.Set("section", "resume_trail_vs_copy")
+            .Set("kind", kind)
+            .Set("n", n)
+            .Set("revisions", static_cast<int64_t>(revisions.size()))
+            .Set("rounds", rounds)
+            .Set("copy_us_per_resume", copy_us)
+            .Set("trail_us_per_resume", trail_us)
+            .Set("speedup", speedup);
+        report.Add(std::move(row));
+      }
+    }
+    if (!found) {
+      std::printf("%6d   (no incomplete Church-Rosser entity; skipped)\n",
+                  n);
+    }
+  }
+
+  report.Write();
+  std::printf("resume outcomes identical across strategies: %s\n",
+              all_identical ? "yes" : "NO (BUG)");
+  return all_identical ? 0 : 1;
+}
 
 }  // namespace
+}  // namespace bench
+}  // namespace relacc
 
-BENCHMARK_MAIN();
+int main() { return relacc::bench::Run(); }

@@ -1,51 +1,156 @@
-// Extension bench: whole-database accuracy pipeline (the paper's Sec. 8
-// future-work scenario). Measures throughput of RunPipeline over Med-shaped
-// databases while varying the worker count — the per-entity work (ground,
-// IsCR, top-1 candidate) is embarrassingly parallel, so scaling should be
-// near-linear until memory bandwidth binds.
+// Whole-database accuracy pipeline (the paper's Sec. 8 future-work
+// scenario) under the single thread budget: RunPipeline chases entities
+// in parallel, then completes incomplete targets through one shared
+// CandidateChecker rebound per entity (ComputePipelineThreadPlan gives
+// the whole budget to each phase in turn, so the levels time-multiplex
+// instead of multiplying into N×M threads). reuse_checkers=false is the
+// A/B baseline: a fresh checker — and a fresh thread pool — torn down
+// per completed entity.
+//
+// Two scenarios: `many_entities` (most entities complete via the chase;
+// the per-entity completions that remain are where rebuild pays a pool
+// spawn each and reuse pays one total) and `few_entities_deep` (every
+// target incomplete, deep candidate searches — the check batches must
+// keep the wide shared pool busy). Reports must be identical across
+// modes and budgets; exits nonzero only on a report mismatch, so perf
+// noise cannot break CI.
+//
+// Emits BENCH_pipeline_scaling.json (bench::JsonReport).
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "common.h"
 #include "datagen/profile_generator.h"
 #include "pipeline/pipeline.h"
 
+namespace relacc {
+namespace bench {
 namespace {
 
-using namespace relacc;  // NOLINT(build/namespaces): bench-local
-
-const EntityDataset& Dataset() {
-  static const EntityDataset* dataset = [] {
-    ProfileConfig config = MedConfig(/*seed=*/3);
-    config.num_entities = 150;
-    config.master_size = 120;
-    return new EntityDataset(GenerateProfile(config));
-  }();
-  return *dataset;
-}
-
-void BM_PipelineThreads(benchmark::State& state) {
-  const EntityDataset& dataset = Dataset();
-  PipelineOptions options;
-  options.num_threads = static_cast<int>(state.range(0));
-  options.completion = CompletionPolicy::kBestCandidate;
-  int complete = 0;
-  for (auto _ : state) {
-    PipelineReport report = RunPipeline(dataset.entities, dataset.masters,
-                                        dataset.rules, options);
-    complete =
-        report.num_complete_by_chase + report.num_completed_by_candidates;
-    benchmark::DoNotOptimize(report.num_church_rosser);
+/// Canonical form of a report for cross-run comparison: per-entity CR
+/// flag and final target, plus the aggregate counters.
+std::string ReportKey(const PipelineReport& report) {
+  std::string key;
+  for (const EntityReport& e : report.entities) {
+    key += e.church_rosser ? e.target.ToString() : "!CR";
+    key += '\n';
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(dataset.entities.size()));
-  state.counters["entities"] =
-      benchmark::Counter(static_cast<double>(dataset.entities.size()));
-  state.counters["complete_targets"] =
-      benchmark::Counter(static_cast<double>(complete));
+  key += std::to_string(report.num_complete_by_chase) + "/" +
+         std::to_string(report.num_completed_by_candidates) + "/" +
+         std::to_string(report.num_incomplete);
+  return key;
 }
-BENCHMARK(BM_PipelineThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->UseRealTime()->MeasureProcessCPUTime()->Unit(benchmark::kMillisecond);
+
+struct Scenario {
+  const char* name;
+  EntityDataset dataset;
+  std::vector<int> budgets;
+  int reps;
+};
+
+int Run() {
+  const bool small = SmallScale();
+  JsonReport json("pipeline_scaling");
+
+  std::vector<Scenario> scenarios;
+  {
+    // Many small entities: the chase phase is the embarrassingly-parallel
+    // bulk; the minority of incomplete targets flows through the shared
+    // completion checker one entity at a time.
+    ProfileConfig config = MedConfig(/*seed=*/3);
+    config.num_entities = small ? 36 : 150;
+    config.master_size = small ? 40 : 120;
+    scenarios.push_back({"many_entities", GenerateProfile(config),
+                         small ? std::vector<int>{1, 4}
+                               : std::vector<int>{1, 2, 4, 8},
+                         small ? 1 : 3});
+  }
+  {
+    // Few large entities with every free attribute corrupted: targets
+    // stay incomplete and the per-entity top-1 candidate search (checks
+    // included) dominates, exercising the wide shared checker.
+    ProfileConfig config = MedConfig(/*seed=*/17);
+    config.num_entities = 4;
+    config.min_tuples = small ? 24 : 48;
+    config.max_tuples = small ? 24 : 48;
+    config.master_size = 120;
+    config.free_corruption_prob = 1.0;
+    scenarios.push_back({"few_entities_deep", GenerateProfile(config),
+                         small ? std::vector<int>{8} : std::vector<int>{4, 8},
+                         small ? 2 : 5});
+  }
+
+  bool all_identical = true;
+  for (const Scenario& scenario : scenarios) {
+    std::printf("== pipeline %s (%zu entities%s) ==\n", scenario.name,
+                scenario.dataset.entities.size(),
+                small ? "; RELACC_BENCH_SMALL" : "");
+    std::printf("%8s %8s %6s %6s %12s %14s\n", "budget", "mode", "chase",
+                "check", "ms/run", "entities/s");
+    std::string reference_key;
+    {
+      // Untimed warm-up: faults in the dataset and allocator so the first
+      // timed configuration is not charged for cold caches.
+      PipelineOptions warm;
+      warm.num_threads = scenario.budgets.front();
+      (void)RunPipeline(scenario.dataset.entities, scenario.dataset.masters,
+                        scenario.dataset.rules, warm);
+    }
+    for (int budget : scenario.budgets) {
+      for (const bool reuse : {true, false}) {
+        PipelineOptions options;
+        options.num_threads = budget;
+        options.completion = CompletionPolicy::kBestCandidate;
+        options.reuse_checkers = reuse;
+        PipelineReport report;
+        const double ms = TimeMs([&] {
+          for (int r = 0; r < scenario.reps; ++r) {
+            report = RunPipeline(scenario.dataset.entities,
+                                 scenario.dataset.masters,
+                                 scenario.dataset.rules, options);
+          }
+        });
+        const double ms_per_run = ms / scenario.reps;
+        const double entities_per_s =
+            ms_per_run > 0.0
+                ? static_cast<double>(scenario.dataset.entities.size()) /
+                      (ms_per_run / 1e3)
+                : 0.0;
+        const std::string key = ReportKey(report);
+        if (reference_key.empty()) {
+          reference_key = key;
+        } else if (key != reference_key) {
+          all_identical = false;
+        }
+        const char* mode = reuse ? "reuse" : "rebuild";
+        std::printf("%8d %8s %6d %6d %12.2f %14.0f\n", budget, mode,
+                    report.plan.chase_threads, report.plan.check_threads,
+                    ms_per_run, entities_per_s);
+        JsonReport::Row row;
+        row.Set("scenario", scenario.name)
+            .Set("mode", mode)
+            .Set("budget", budget)
+            .Set("chase_threads", report.plan.chase_threads)
+            .Set("check_threads", report.plan.check_threads)
+            .Set("entities",
+                 static_cast<int64_t>(scenario.dataset.entities.size()))
+            .Set("ms_per_run", ms_per_run)
+            .Set("entities_per_s", entities_per_s);
+        json.Add(std::move(row));
+      }
+    }
+  }
+
+  json.Write();
+  std::printf("reports identical across modes and budgets: %s\n",
+              all_identical ? "yes" : "NO (BUG)");
+  return all_identical ? 0 : 1;
+}
 
 }  // namespace
+}  // namespace bench
+}  // namespace relacc
 
-BENCHMARK_MAIN();
+int main() { return relacc::bench::Run(); }

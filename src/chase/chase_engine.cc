@@ -20,21 +20,19 @@ struct ChaseEngine::RunState {
   std::string violation;
   int64_t actions = 0;
 
-  /// Journal of one candidate probe for the kTrail check strategy (probes
-  /// never nest, so one level suffices). Disabled — and therefore empty
-  /// and copy-free — on checkpoint states; enabled exactly once, on the
-  /// engine's long-lived probe state. The order-pair deltas live inside
-  /// each PartialOrder's own trail; order_marks holds their rollback
-  /// points. The vectors keep their capacity across probes, so a warmed-up
-  /// check allocates nothing.
+  /// Composite journal for the kTrail strategy. Disabled — and therefore
+  /// empty and copy-free — on checkpoint states; enabled exactly once per
+  /// long-lived state (the engine's check probe state and its resume
+  /// session state). The order-pair deltas live inside each
+  /// PartialOrder's own trail; a StateMark records positions into all of
+  /// them, so rollback points nest (checkpoint < session prefix < current
+  /// probe). The vectors keep their capacity across brackets, so a
+  /// warmed-up check or resume allocates nothing.
   struct Trail {
     bool enabled = false;
     std::vector<AttrId> te_set;          ///< te[attr] went null -> value
     std::vector<int32_t> remaining_dec;  ///< one entry per --remaining[s]
     std::vector<int32_t> dead_set;       ///< dead[s] went 0 -> 1
-    std::vector<PartialOrder::Mark> order_marks;  ///< per attribute
-    ChaseStats stats0;
-    int64_t actions0 = 0;
   };
   Trail trail;
 };
@@ -301,7 +299,9 @@ void ChaseEngine::AdoptCheckpointFrom(const ChaseEngine& other) {
   }
   checkpoint_ = other.checkpoint_;  // pointer share, not a deep copy
   checkpoint_failed_ = false;
-  probe_state_.reset();  // rebuilt over the adopted checkpoint on demand
+  // Both rebuilt over the adopted checkpoint on demand.
+  probe_state_.reset();
+  session_state_.reset();
 }
 
 bool ChaseEngine::EnsureCheckpoint() const {
@@ -330,6 +330,30 @@ ChaseEngine::RunState* ChaseEngine::EnsureProbeState() const {
   return probe_state_.get();
 }
 
+ChaseEngine::RunState* ChaseEngine::EnsureSessionState() const {
+  if (session_state_ == nullptr) {
+    session_state_ = std::make_unique<RunState>(*checkpoint_);
+    for (PartialOrder& order : session_state_->orders) order.EnableTrail();
+    session_state_->trail.enabled = true;
+    session_te_ = Tuple(std::vector<Value>(num_attrs_, Value::Null()));
+    MarkState(*session_state_, &session_base_);
+    MarkState(*session_state_, &session_mark_);
+  }
+  return session_state_.get();
+}
+
+bool ChaseEngine::ExtendsSession(const Tuple& extra_te) const {
+  for (AttrId a = 0; a < num_attrs_; ++a) {
+    const Value& applied = session_te_.at(a);
+    if (applied.is_null()) continue;
+    if (a >= extra_te.size() || extra_te.at(a).is_null() ||
+        !(extra_te.at(a) == applied)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool ChaseEngine::ContinueWith(RunState* st, const Tuple& te) const {
   bool ok = true;
   for (AttrId a = 0; a < num_attrs_ && ok; ++a) {
@@ -341,34 +365,44 @@ bool ChaseEngine::ContinueWith(RunState* st, const Tuple& te) const {
   return ok;
 }
 
-void ChaseEngine::BeginProbe(RunState* st) const {
-  RunState::Trail& trail = st->trail;
-  trail.te_set.clear();
-  trail.remaining_dec.clear();
-  trail.dead_set.clear();
-  trail.order_marks.resize(num_attrs_);
+void ChaseEngine::MarkState(const RunState& st, StateMark* mark) const {
+  const RunState::Trail& trail = st.trail;
+  mark->te_set = trail.te_set.size();
+  mark->remaining_dec = trail.remaining_dec.size();
+  mark->dead_set = trail.dead_set.size();
+  mark->order_marks.resize(num_attrs_);
   for (AttrId a = 0; a < num_attrs_; ++a) {
-    trail.order_marks[a] = st->orders[a].MarkTrail();
+    mark->order_marks[a] = st.orders[a].MarkTrail();
   }
-  trail.stats0 = st->stats;
-  trail.actions0 = st->actions;
+  mark->stats = st.stats;
+  mark->actions = st.actions;
 }
 
-void ChaseEngine::RollbackProbe(RunState* st) const {
+void ChaseEngine::RollbackTo(RunState* st, const StateMark& mark) const {
   RunState::Trail& trail = st->trail;
-  for (AttrId a : trail.te_set) st->te[a] = Value::Null();
-  for (int32_t s : trail.remaining_dec) ++st->remaining[s];
-  for (int32_t s : trail.dead_set) st->dead[s] = 0;
-  // An aborted probe can leave ready steps queued and attributes λ-dirty;
-  // a successful one drained both. Either way the checkpoint had neither.
+  while (trail.te_set.size() > mark.te_set) {
+    st->te[trail.te_set.back()] = Value::Null();
+    trail.te_set.pop_back();
+  }
+  while (trail.remaining_dec.size() > mark.remaining_dec) {
+    ++st->remaining[trail.remaining_dec.back()];
+    trail.remaining_dec.pop_back();
+  }
+  while (trail.dead_set.size() > mark.dead_set) {
+    st->dead[trail.dead_set.back()] = 0;
+    trail.dead_set.pop_back();
+  }
+  // An aborted continuation can leave ready steps queued and attributes
+  // λ-dirty; a successful one drained both. Either way every mark is
+  // taken at a drained state, so clearing restores it.
   st->queue.clear();
   for (AttrId a : st->dirty_list) st->attr_dirty[a] = 0;
   st->dirty_list.clear();
   for (AttrId a = 0; a < num_attrs_; ++a) {
-    st->orders[a].UndoTo(trail.order_marks[a]);
+    st->orders[a].UndoTo(mark.order_marks[a]);
   }
-  st->stats = trail.stats0;
-  st->actions = trail.actions0;
+  st->stats = mark.stats;
+  st->actions = mark.actions;
   st->violation.clear();
 }
 
@@ -381,11 +415,25 @@ bool ChaseEngine::CheckCandidate(const Tuple& t) const {
   // kTrail: chase forward on the shared-checkpoint copy in place, then
   // undo exactly what this probe changed — O(delta), not O(state).
   RunState* st = EnsureProbeState();
-  BeginProbe(st);
+  MarkState(*st, &probe_mark_);
   const bool ok = ContinueWith(st, t);
-  RollbackProbe(st);
+  RollbackTo(st, probe_mark_);
   return ok;
 }
+
+namespace {
+
+/// Per-call stats of a resume: only the work done beyond `base` (the
+/// checkpoint). ground_steps is |Γ|, a program constant, not additive.
+ChaseStats ResumeDelta(const ChaseStats& now, const ChaseStats& base) {
+  ChaseStats delta;
+  delta.ground_steps = now.ground_steps;
+  delta.steps_applied = now.steps_applied - base.steps_applied;
+  delta.pairs_derived = now.pairs_derived - base.pairs_derived;
+  return delta;
+}
+
+}  // namespace
 
 ChaseOutcome ChaseEngine::ResumeWith(const Tuple& extra_te) const {
   ChaseOutcome out;
@@ -395,17 +443,66 @@ ChaseOutcome ChaseEngine::ResumeWith(const Tuple& extra_te) const {
     out.stats = checkpoint_failed_stats_;
     return out;
   }
-  RunState st = *checkpoint_;
-  const bool ok = ContinueWith(&st, extra_te);
-  out.stats = st.stats;
-  if (!ok) {
-    out.church_rosser = false;
-    out.violation = st.violation;
+  if (config_.check_strategy == CheckStrategy::kCopy) {
+    RunState st = *checkpoint_;
+    const bool ok = ContinueWith(&st, extra_te);
+    out.stats = ResumeDelta(st.stats, checkpoint_->stats);
+    if (!ok) {
+      out.church_rosser = false;
+      out.violation = st.violation;
+      return out;
+    }
+    out.church_rosser = true;
+    out.target = Tuple(std::move(st.te));
+    if (config_.keep_orders) out.orders = std::move(st.orders);
     return out;
   }
-  out.church_rosser = true;
-  out.target = Tuple(std::move(st.te));
-  if (config_.keep_orders) out.orders = std::move(st.orders);
+  // kTrail: resume on the persistent session state. When `extra_te`
+  // extends the applied prefix — the framework's case: revisions only
+  // accumulate — the continuation starts from the last terminal instance
+  // and chases in just the new designated values, O(changes of this
+  // revision). Sound for the same reason CheckCandidate's continuation
+  // is: orders and te grow monotonically and the chase is Church-Rosser,
+  // so the prefix's terminal instance is an intermediate state of the
+  // extended chase. Otherwise the session rolls back to the checkpoint
+  // through its trail first.
+  RunState* st = EnsureSessionState();
+  if (!ExtendsSession(extra_te)) {
+    RollbackTo(st, session_base_);
+    session_te_ = Tuple(std::vector<Value>(num_attrs_, Value::Null()));
+    MarkState(*st, &session_mark_);
+  }
+  const ChaseStats before = st->stats;
+  const bool ok = ContinueWith(st, extra_te);
+  out.stats = ResumeDelta(st->stats, before);
+  if (ok) {
+    out.church_rosser = true;
+    out.target = Tuple(st->te);
+    // Materializing orders copies the bit-matrices — the one O(state)
+    // cost left, paid only when the caller asked to keep them. The
+    // copies skip the session's journal: callers get the same trail-free
+    // orders a from-scratch run returns.
+    if (config_.keep_orders) {
+      out.orders.reserve(st->orders.size());
+      for (const PartialOrder& order : st->orders) {
+        out.orders.push_back(order.CopyWithoutTrail());
+      }
+    }
+    // The successful continuation becomes the new session prefix.
+    Tuple applied(std::vector<Value>(num_attrs_, Value::Null()));
+    for (AttrId a = 0; a < num_attrs_; ++a) {
+      if (a < extra_te.size() && !extra_te.at(a).is_null()) {
+        applied.set(a, extra_te.at(a));
+      }
+    }
+    session_te_ = std::move(applied);
+    MarkState(*st, &session_mark_);
+  } else {
+    out.church_rosser = false;
+    out.violation = st->violation;
+    // Extract first, then restore the last valid session state.
+    RollbackTo(st, session_mark_);
+  }
   return out;
 }
 

@@ -73,13 +73,35 @@ class ChaseEngine {
   /// re-running (or deep-copying) the all-null chase.
   void AdoptCheckpointFrom(const ChaseEngine& other);
 
-  /// Incremental re-chase (Fig. 3 loop): resumes from the same all-null
-  /// terminal checkpoint as CheckCandidate, enforcing the (possibly
-  /// partial) designated target values of `extra_te` on top. Produces the
-  /// same outcome as Run(extra_te) — validated by tests — while skipping
-  /// the replay of everything the all-null chase already derived; the
-  /// interactive framework calls this once per user revision. Stats are
-  /// cumulative from the checkpoint run onwards.
+  /// Incremental re-chase (Fig. 3 loop): resumes from the all-null
+  /// terminal checkpoint, enforcing the (possibly partial) designated
+  /// target values of `extra_te` on top. Produces the same outcome as
+  /// Run(extra_te) — validated by tests — while skipping the replay of
+  /// everything the all-null chase already derived; the interactive
+  /// framework calls this once per user revision.
+  ///
+  /// The resume obeys ChaseConfig::check_strategy. Under kTrail the
+  /// engine keeps a persistent *chase session*: a long-lived state —
+  /// separate from CheckCandidate's probe state, so checks and resumes
+  /// never disturb each other — holding the terminal instance of the
+  /// last successful resume. When `extra_te` extends the session's
+  /// applied values (the framework's case: revisions only accumulate),
+  /// only the new values are chased in, so the call costs O(changes of
+  /// this revision); otherwise the session rolls back to the checkpoint
+  /// through its trail and re-chases `extra_te` from there. The outcome
+  /// (flag, target, stats, orders when keep_orders) is extracted before
+  /// any rollback; a resume that aborts mid-chase rolls back to the last
+  /// valid session state. Under kCopy each call deep-copies the
+  /// checkpoint and replays the whole continuation — the cross-validated
+  /// escape hatch. Outcomes are identical on both paths.
+  ///
+  /// Stats are per-call deltas — the work *this call* performed, so
+  /// summing them across framework rounds never double-counts the
+  /// checkpoint chase (ground_steps stays |Γ|, a program constant).
+  /// Consequently kTrail may legitimately report smaller numbers than
+  /// kCopy for session-extending calls: it genuinely does less work.
+  /// Exception: when the base spec itself is not Church-Rosser, the
+  /// failing all-null chase's own stats are reported.
   ChaseOutcome ResumeWith(const Tuple& extra_te) const;
 
   const Relation& ie() const { return ie_; }
@@ -89,6 +111,20 @@ class ChaseEngine {
  private:
   struct RunState;
 
+  /// A rollback point on a trail-enabled RunState: positions into the
+  /// composite journal (te slots, residual decrements, dead flags), one
+  /// PartialOrder::Mark per attribute, and the counters in force. Marks
+  /// are positions, so they nest — the session mark sits above the
+  /// checkpoint mark, and each probe/resume marks on top of those.
+  struct StateMark {
+    std::size_t te_set = 0;
+    std::size_t remaining_dec = 0;
+    std::size_t dead_set = 0;
+    std::vector<PartialOrder::Mark> order_marks;
+    ChaseStats stats;
+    int64_t actions = 0;
+  };
+
   // Builds the all-null terminal checkpoint once; false if the base
   // specification is not Church-Rosser.
   bool EnsureCheckpoint() const;
@@ -96,6 +132,16 @@ class ChaseEngine {
   // The long-lived mutable state the kTrail check probes on, created
   // lazily as one copy of the checkpoint (per engine, not per candidate).
   RunState* EnsureProbeState() const;
+
+  // The kTrail resume session (see ResumeWith): another long-lived copy
+  // of the checkpoint, plus session_te_/session_mark_ tracking the
+  // applied prefix, created lazily on the first trail resume.
+  RunState* EnsureSessionState() const;
+
+  // True iff `extra_te` agrees with every designated value the session
+  // has already applied — the continuation can then start from the
+  // session state instead of the checkpoint.
+  bool ExtendsSession(const Tuple& extra_te) const;
 
   // Phases of Run(), factored so CheckCandidate can resume mid-way.
   bool InitState(RunState* st, const Tuple& initial_te) const;
@@ -106,13 +152,14 @@ class ChaseEngine {
   // queue drain. Shared by CheckCandidate and ResumeWith.
   bool ContinueWith(RunState* st, const Tuple& te) const;
 
-  // kTrail probe bracket: BeginProbe snapshots the rollback point on the
-  // long-lived probe state; RollbackProbe undoes everything the probe did
-  // (te slots, residual counters, dead flags, queue, dirty lists, order
+  // kTrail rollback bracket: MarkState snapshots a rollback point on a
+  // trail-enabled state; RollbackTo undoes everything done since (te
+  // slots, residual counters, dead flags, queue, dirty lists, order
   // pairs, stats) in O(changes) — valid on success and mid-chase abort
-  // alike, because every mutation is journaled as it happens.
-  void BeginProbe(RunState* st) const;
-  void RollbackProbe(RunState* st) const;
+  // alike, because every mutation is journaled as it happens. MarkState
+  // fills a caller-owned mark so steady-state brackets allocate nothing.
+  void MarkState(const RunState& st, StateMark* mark) const;
+  void RollbackTo(RunState* st, const StateMark& mark) const;
 
   // Applies "insert i ⪯_attr j, close, λ-update" as one action. Returns
   // false on a validity violation (recorded in state).
@@ -160,6 +207,15 @@ class ChaseEngine {
   mutable ChaseStats checkpoint_failed_stats_;
   /// kTrail probe state; mutated and rolled back by CheckCandidate.
   mutable std::unique_ptr<RunState> probe_state_;
+  /// Scratch mark for the per-candidate probe bracket (reused).
+  mutable StateMark probe_mark_;
+  /// kTrail resume session (ResumeWith): state, applied designated
+  /// values, and the rollback points at the checkpoint and at the end of
+  /// the applied prefix.
+  mutable std::unique_ptr<RunState> session_state_;
+  mutable Tuple session_te_;
+  mutable StateMark session_base_;
+  mutable StateMark session_mark_;
 };
 
 /// Convenience wrapper: grounds `spec` and runs IsCR (Fig. 4), returning

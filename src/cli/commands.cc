@@ -293,6 +293,10 @@ int CmdPipeline(const Args& args, std::ostream& out, std::ostream& err) {
   }
   PipelineOptions options;
   options.num_threads = static_cast<int>(threads.value());
+  // The spec document's chase config (check_strategy, builtin_axioms,
+  // action budget) governs every per-entity chase; it used to be dropped
+  // here, silently running the default config instead.
+  options.chase = spec.config;
   options.completion = completion == "best"
                            ? CompletionPolicy::kBestCandidate
                            : completion == "heuristic"
@@ -406,6 +410,7 @@ int CmdDiscover(const Args& args, std::ostream& out, std::ostream& err) {
   // mine candidate rules from (instances, deduced targets).
   ResolutionResult resolution = ResolveEntities(spec.ie, resolver);
   PipelineOptions options;
+  options.chase = spec.config;  // same wiring as CmdPipeline
   PipelineReport report = RunPipeline(resolution.entities, spec.masters,
                                       spec.rules, options);
   std::vector<Tuple> targets(resolution.entities.size(),

@@ -1,5 +1,7 @@
 #include "framework/framework.h"
 
+#include "topk/batch_check.h"
+
 namespace relacc {
 
 UserOracle::Response SimulatedUser::Inspect(
@@ -32,6 +34,16 @@ FrameworkResult RunFramework(const Specification& spec,
       Instantiate(spec.ie, spec.masters, spec.rules);
   ChaseEngine engine(spec.ie, &program, spec.config);
 
+  // One candidate checker serves every round's top-k call: the engine —
+  // and with it the shared checkpoint and the warm per-worker probe
+  // states — is the same across rounds, so candidate checking reuses the
+  // thread pool instead of rebuilding it per user revision. Overrides
+  // any checker a caller put into opts.topk: that one would be bound to
+  // a different engine.
+  const CandidateChecker checker(engine, opts.topk.num_threads);
+  TopKOptions topk_opts = opts.topk;
+  topk_opts.checker = &checker;
+
   Tuple initial_te(
       std::vector<Value>(spec.ie.schema().size(), Value::Null()));
 
@@ -61,7 +73,7 @@ FrameworkResult RunFramework(const Specification& spec,
     }
     // Step (3): top-k candidate targets.
     result.last_topk = TopKCT(engine, spec.masters, outcome.target, pref,
-                              opts.k, opts.topk);
+                              opts.k, topk_opts);
     // Step (4): user feedback.
     const UserOracle::Response resp =
         user->Inspect(outcome.target, result.last_topk.targets);

@@ -20,9 +20,11 @@ bool PartialOrder::AddPair(int i, int j,
   // gain bits mid-loop only when i is also a target, which the snapshot
   // makes safe). Targets: j plus everything j reaches (that row is stable:
   // it only mutates when the source equals j, where the missing-bit scan
-  // is empty).
-  std::vector<int> sources;
-  sources.reserve(static_cast<std::size_t>(in_count_[i]) + 1);
+  // is empty). The snapshot buffer is a member so a warmed-up insertion
+  // allocates nothing — anchor cascades call AddPair O(n·|dup|) times
+  // per chase continuation.
+  std::vector<int>& sources = sources_scratch_;
+  sources.clear();
   sources.push_back(i);
   {
     const uint64_t* row = &pred_[Row(i)];
@@ -64,6 +66,10 @@ bool PartialOrder::AddPair(int i, int j,
       }
     }
   }
+  // Leave the scratch empty (capacity retained): a deep copy of this
+  // order — the kCopy strategy's per-candidate cost — must not pay for
+  // a stale snapshot.
+  sources.clear();
   return true;
 }
 
@@ -81,6 +87,15 @@ void PartialOrder::UndoTo(Mark mark) {
     greatest_ = greatest_trail_.back().second;
     greatest_trail_.pop_back();
   }
+}
+
+PartialOrder PartialOrder::CopyWithoutTrail() const {
+  PartialOrder copy(column_);
+  copy.succ_ = succ_;
+  copy.pred_ = pred_;
+  copy.in_count_ = in_count_;
+  copy.greatest_ = greatest_;
+  return copy;
 }
 
 std::size_t PartialOrder::PairCount() const {

@@ -76,6 +76,14 @@ class PartialOrder {
   void EnableTrail() { trail_on_ = true; }
   bool trail_enabled() const { return trail_on_; }
 
+  /// A copy of the current order without the journal: trail disabled,
+  /// nothing to roll back. For materializing orders out of a
+  /// trail-enabled state — e.g. a resume outcome under keep_orders — so
+  /// the result matches the trail-free orders of a from-scratch run
+  /// instead of paying for (and carrying) a journal nobody will ever
+  /// undo.
+  PartialOrder CopyWithoutTrail() const;
+
   /// Current trail position. Pairs inserted after a mark can be removed
   /// again with UndoTo(mark); marks are positions, so they nest naturally.
   Mark MarkTrail() const { return trail_.size(); }
@@ -108,6 +116,9 @@ class PartialOrder {
   int greatest_ = -1;
 
   bool trail_on_ = false;
+  /// Reused by AddPair for its source-set snapshot (see the comment
+  /// there); holding it here keeps warmed-up insertions allocation-free.
+  std::vector<int> sources_scratch_;
   /// Journaled insertions, in order; entry k is pair (a ⪯ b).
   std::vector<std::pair<int32_t, int32_t>> trail_;
   /// (trail size right after the causing insertion, previous greatest).

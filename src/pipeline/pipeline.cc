@@ -1,31 +1,48 @@
 #include "pipeline/pipeline.h"
 
+#include <algorithm>
+#include <memory>
+#include <thread>
 #include <utility>
 
 #include "chase/chase_engine.h"
 #include "rules/grounding.h"
+#include "topk/batch_check.h"
 #include "util/thread_pool.h"
 
 namespace relacc {
 
 namespace {
 
-/// Processes one entity instance: chase, then optional candidate
-/// completion. Pure function of its inputs; called concurrently.
-EntityReport ProcessEntity(const EntityInstance& entity,
-                           const std::vector<Relation>& masters,
-                           const std::vector<AccuracyRule>& rules,
-                           const PipelineOptions& options) {
+/// Phase-2 carry-over for one incomplete entity: the grounded program
+/// and the engine with its warm all-null checkpoint, kept alive across
+/// the phase boundary so completion never re-grounds or re-chases.
+struct PendingCompletion {
+  std::unique_ptr<GroundProgram> program;
+  std::unique_ptr<ChaseEngine> engine;  ///< references *program
+};
+
+/// Phase 1 for one entity: ground and run the checkpoint chase. When the
+/// target stays incomplete (and completion is enabled), the engine is
+/// handed back via `pending` for phase 2. Pure function of its inputs;
+/// called concurrently.
+EntityReport ChaseEntityPhase(const EntityInstance& entity,
+                              const std::vector<Relation>& masters,
+                              const std::vector<AccuracyRule>& rules,
+                              const PipelineOptions& options,
+                              std::unique_ptr<PendingCompletion>* pending) {
   EntityReport report;
   report.entity_id = entity.entity_id();
   report.num_tuples = entity.size();
 
-  const GroundProgram program = Instantiate(entity, masters, rules);
-  ChaseEngine engine(entity, &program, options.chase);
+  auto program =
+      std::make_unique<GroundProgram>(Instantiate(entity, masters, rules));
+  auto engine =
+      std::make_unique<ChaseEngine>(entity, program.get(), options.chase);
   // Serve the all-null chase from the engine's checkpoint: the candidate
-  // completion below checks against the same checkpoint, so the worker
-  // reuses one chase (and one probe state) instead of chasing twice.
-  ChaseOutcome outcome = engine.RunFromCheckpoint();
+  // completion of phase 2 checks against the same checkpoint, so each
+  // entity is chased once, not twice.
+  ChaseOutcome outcome = engine->RunFromCheckpoint();
   if (!outcome.church_rosser) {
     report.violation = outcome.violation;
     return report;
@@ -33,32 +50,57 @@ EntityReport ProcessEntity(const EntityInstance& entity,
   report.church_rosser = true;
   report.deduced_attrs = outcome.target.size() - outcome.target.NullCount();
   report.target = outcome.target;
-  if (outcome.target.IsComplete() ||
-      options.completion == CompletionPolicy::kLeaveNull) {
-    report.complete = outcome.target.IsComplete();
-    return report;
+  report.complete = outcome.target.IsComplete();
+  if (!report.complete && options.completion != CompletionPolicy::kLeaveNull) {
+    auto p = std::make_unique<PendingCompletion>();
+    p->program = std::move(program);
+    p->engine = std::move(engine);
+    *pending = std::move(p);
   }
+  return report;
+}
 
-  // Candidate completion (Sec. 6): top-1 candidate target.
+/// Phase 2 for one incomplete entity (Sec. 6): top-1 candidate target.
+/// `checker` is already bound to `engine` and runs every check chase.
+void CompleteEntityPhase(const EntityInstance& entity,
+                         const std::vector<Relation>& masters,
+                         const PipelineOptions& options,
+                         const ChaseEngine& engine,
+                         const CandidateChecker& checker,
+                         EntityReport* report) {
   PreferenceModel local_pref;
   const PreferenceModel* pref = options.preference;
   if (pref == nullptr) {
     local_pref = PreferenceModel::FromOccurrences(entity, masters);
     pref = &local_pref;
   }
+  TopKOptions topk_opts = options.topk;
+  topk_opts.checker = &checker;
   TopKResult topk =
       options.completion == CompletionPolicy::kHeuristic
-          ? TopKCTh(engine, masters, outcome.target, *pref, 1, options.topk)
-          : TopKCT(engine, masters, outcome.target, *pref, 1, options.topk);
+          ? TopKCTh(engine, masters, report->target, *pref, 1, topk_opts)
+          : TopKCT(engine, masters, report->target, *pref, 1, topk_opts);
   if (!topk.targets.empty()) {
-    report.target = topk.targets[0];
-    report.used_candidate = true;
+    report->target = topk.targets[0];
+    report->used_candidate = true;
   }
-  report.complete = report.target.IsComplete();
-  return report;
+  report->complete = report->target.IsComplete();
 }
 
 }  // namespace
+
+PipelineThreadPlan ComputePipelineThreadPlan(int budget,
+                                             int64_t num_entities) {
+  if (budget <= 0) {
+    budget = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  PipelineThreadPlan plan;
+  plan.chase_threads = static_cast<int>(std::clamp<int64_t>(
+      num_entities, 1, static_cast<int64_t>(budget)));
+  plan.check_threads = budget;
+  return plan;
+}
 
 PipelineReport RunPipeline(const std::vector<EntityInstance>& entities,
                            const std::vector<Relation>& masters,
@@ -66,11 +108,67 @@ PipelineReport RunPipeline(const std::vector<EntityInstance>& entities,
                            const PipelineOptions& options) {
   PipelineReport report;
   report.entities.resize(entities.size());
+  report.plan = ComputePipelineThreadPlan(
+      options.num_threads, static_cast<int64_t>(entities.size()));
 
-  ThreadPool pool(options.num_threads);
-  pool.ParallelFor(static_cast<int64_t>(entities.size()), [&](int64_t i) {
-    report.entities[i] = ProcessEntity(entities[i], masters, rules, options);
-  });
+  // The plan is the single source of threading truth from here on:
+  // whatever the caller put in topk.num_threads/topk.checker is replaced
+  // so entity-level and check-level parallelism cannot multiply past the
+  // budget.
+  PipelineOptions planned = options;
+  planned.topk.num_threads = report.plan.check_threads;
+  planned.topk.checker = nullptr;
+
+  // The two phases alternate over windows of entities so the peak count
+  // of alive PendingCompletion engines (checkpoint bit-matrices are
+  // O(attrs·n²) bits each) is bounded by the window, not by the number
+  // of incomplete entities in the whole input. Within a window: phase 1
+  // chases entity-parallel, phase 2 completes sequentially in input
+  // order through the shared checker, whose candidate batches fan out
+  // over its own pool. The chase pool sleeps while the checker works and
+  // vice versa, so at most `budget` threads are ever *active* — the two
+  // levels time-multiplex the budget rather than multiplying it.
+  //
+  // Between entities — and after the loop — the shared checker may be
+  // bound to an engine that is already gone; Rebind and destruction are
+  // documented safe for that. reuse_checkers=false tears a fresh checker
+  // down per entity instead (the A/B baseline for the bench).
+  const int64_t num_entities = static_cast<int64_t>(entities.size());
+  const int64_t window =
+      std::max<int64_t>(64, 8 * report.plan.chase_threads);
+  ThreadPool pool(report.plan.chase_threads);
+  std::unique_ptr<CandidateChecker> shared;
+  std::vector<std::unique_ptr<PendingCompletion>> pending(entities.size());
+  for (int64_t begin = 0; begin < num_entities; begin += window) {
+    const int64_t end = std::min(num_entities, begin + window);
+    pool.ParallelFor(end - begin, [&](int64_t k) {
+      const int64_t i = begin + k;
+      report.entities[i] = ChaseEntityPhase(entities[i], masters, rules,
+                                            planned, &pending[i]);
+    });
+    for (int64_t i = begin; i < end; ++i) {
+      if (pending[i] == nullptr) continue;
+      const ChaseEngine& engine = *pending[i]->engine;
+      std::unique_ptr<CandidateChecker> fresh;
+      const CandidateChecker* checker;
+      if (planned.reuse_checkers) {
+        if (shared == nullptr) {
+          shared = std::make_unique<CandidateChecker>(
+              engine, report.plan.check_threads);
+        } else {
+          shared->Rebind(engine);
+        }
+        checker = shared.get();
+      } else {
+        fresh = std::make_unique<CandidateChecker>(
+            engine, report.plan.check_threads);
+        checker = fresh.get();
+      }
+      CompleteEntityPhase(entities[i], masters, planned, engine, *checker,
+                          &report.entities[i]);
+      pending[i].reset();  // free the checkpoint/probe memory as we go
+    }
+  }
 
   // Deterministic aggregation in input order.
   Schema schema = entities.empty() ? Schema() : entities[0].schema();

@@ -20,16 +20,48 @@ enum class CompletionPolicy {
   kHeuristic,      ///< TopKCTh top-1 (PTIME; for wide-open targets)
 };
 
+/// How RunPipeline spends its single thread budget. The two parallelism
+/// levels run in separate, non-overlapping phases — entity-parallel
+/// chasing first, then candidate completion fanning each entity's check
+/// batches over one shared checker — so they time-multiplex the budget
+/// instead of multiplying: invariant max(chase_threads, check_threads)
+/// <= budget, i.e. at most `budget` threads are ever active at once
+/// (the pre-budget behaviour could spawn entity pool × topk.num_threads
+/// checker threads, one pool per in-flight entity).
+struct PipelineThreadPlan {
+  int chase_threads = 1;  ///< entity slots of the phase-1 chase pool
+  int check_threads = 1;  ///< width of the phase-2 completion checker
+};
+
+/// Splits `budget` (<= 0: hardware concurrency) for `num_entities`:
+/// the chase phase takes one slot per entity up to the budget; the
+/// completion phase gives the whole budget to the shared checker, whose
+/// RoundCap-sized candidate batches keep it busy per entity.
+PipelineThreadPlan ComputePipelineThreadPlan(int budget,
+                                             int64_t num_entities);
+
 /// Options of the whole-database accuracy pipeline.
 struct PipelineOptions {
-  /// Worker threads; <= 0 selects hardware concurrency.
+  /// Total worker-thread budget for the whole run; <= 0 selects hardware
+  /// concurrency. ComputePipelineThreadPlan turns it into the two-phase
+  /// plan above; this is the only threading knob the pipeline honours.
   int num_threads = 0;
   CompletionPolicy completion = CompletionPolicy::kBestCandidate;
+  /// Per-entity top-k knobs. `topk.num_threads` and `topk.checker` are
+  /// overridden by the thread plan — the budget above is the only
+  /// threading knob the pipeline honours.
   TopKOptions topk;
   ChaseConfig chase;
   /// Occurrence-count preference weights are built per entity instance
   /// (plus masters) unless the caller supplies a model via `preference`.
   const PreferenceModel* preference = nullptr;
+  /// Serve every completion-phase top-k call from one persistent
+  /// CandidateChecker (and one thread pool), rebound per entity
+  /// (CandidateChecker::Rebind), instead of building and tearing one
+  /// down per entity. Reports are identical either way; false restores
+  /// the per-entity teardown for A/B measurement
+  /// (bench/pipeline_scaling.cc).
+  bool reuse_checkers = true;
 };
 
 /// Per-entity outcome of the pipeline.
@@ -52,6 +84,9 @@ struct PipelineReport {
   Relation targets;
   std::vector<int> row_entity;    ///< targets row -> index into `entities`
 
+  /// The thread split this run used (tests assert the budget invariant).
+  PipelineThreadPlan plan;
+
   int64_t total_tuples = 0;
   int num_church_rosser = 0;
   int num_complete_by_chase = 0;  ///< complete with no candidate needed
@@ -66,10 +101,24 @@ struct PipelineReport {
 
 /// The whole-database accuracy pipeline — the paper's future-work scenario
 /// ("improving the accuracy of data in a database", Sec. 8) built from the
-/// library's parts: per entity, ground Σ, run IsCR, and complete the target
-/// per `options.completion`. Entities are processed in parallel
-/// (options.num_threads); reports are ordered deterministically by input
-/// position regardless of scheduling.
+/// library's parts, in two phases under one thread budget
+/// (options.num_threads; see PipelineThreadPlan):
+///
+///  1. chase — per entity, ground Σ and run IsCR, entity-parallel. The
+///     engine (grounding, indexes, warm all-null checkpoint) of every
+///     entity whose target stays incomplete is kept alive for phase 2
+///     instead of being torn down and rebuilt.
+///  2. completion — per incomplete entity in input order, complete the
+///     target per `options.completion`; all candidate `check` chases run
+///     through one shared CandidateChecker that is rebound per entity
+///     (parallelism moves inside each entity's check batches).
+///
+/// The phases alternate over bounded windows of entities, so the peak
+/// number of kept-alive engines is independent of how many targets stay
+/// incomplete.
+///
+/// Reports are ordered deterministically by input position and identical
+/// for every budget, completion-phase width and reuse setting.
 PipelineReport RunPipeline(const std::vector<EntityInstance>& entities,
                            const std::vector<Relation>& masters,
                            const std::vector<AccuracyRule>& rules,

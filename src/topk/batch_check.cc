@@ -6,24 +6,36 @@ namespace relacc {
 
 CandidateChecker::CandidateChecker(const ChaseEngine& prototype,
                                    int num_threads)
-    : prototype_(prototype), num_threads_(std::max(1, num_threads)) {}
+    : prototype_(&prototype), num_threads_(std::max(1, num_threads)) {}
 
 CandidateChecker::~CandidateChecker() = default;
 
+void CandidateChecker::Rebind(const ChaseEngine& prototype) {
+  // Unconditionally drop the workers — no address-identity shortcut: a
+  // new engine allocated where a destroyed one lived would alias it, and
+  // keeping workers bound to the old engine's freed program would be a
+  // use-after-free on the next fan-out. The stale workers reference the
+  // previous prototype's Ie and program but own every byte they free, so
+  // clearing is safe even when that prototype is already gone. The pool
+  // survives: its threads are the reuse win.
+  engines_.clear();
+  prototype_ = &prototype;
+}
+
 void CandidateChecker::EnsureWorkers() const {
-  if (pool_ != nullptr) return;
-  pool_ = std::make_unique<ThreadPool>(num_threads_);
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads_);
+  if (!engines_.empty()) return;
   engines_.reserve(num_threads_);
   for (int w = 0; w < num_threads_; ++w) {
     auto engine = std::make_unique<ChaseEngine>(
-        prototype_.ie(), &prototype_.program(), prototype_.config());
+        prototype_->ie(), &prototype_->program(), prototype_->config());
     // The checkpoint is the dominant per-engine setup cost; adopting the
     // prototype's shares it by pointer (it is immutable once built)
     // instead of re-running the all-null chase per worker. Each worker
     // engine then grows its own long-lived probe state from it — marked
     // and rolled back per candidate under the kTrail strategy — so the
     // per-candidate cost is O(changes), not O(state copy).
-    engine->AdoptCheckpointFrom(prototype_);
+    engine->AdoptCheckpointFrom(*prototype_);
     engines_.push_back(std::move(engine));
   }
 }
@@ -37,7 +49,7 @@ std::vector<char> CandidateChecker::CheckAll(
   // batch size, so small batches still fan out.
   if (num_threads_ == 1 || candidates.size() <= 1) {
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      verdicts[i] = CheckCandidateTarget(prototype_, candidates[i]) ? 1 : 0;
+      verdicts[i] = CheckCandidateTarget(*prototype_, candidates[i]) ? 1 : 0;
     }
     return verdicts;
   }

@@ -2,7 +2,9 @@
 #define RELACC_TOPK_BATCH_CHECK_H_
 
 #include <algorithm>
+#include <cassert>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "chase/chase_engine.h"
@@ -18,21 +20,39 @@ namespace relacc {
 /// must not be shared between workers: the checker owns one engine per
 /// worker slot, all built over the same (Ie, ground program, config) as
 /// the prototype engine and sharing its immutable all-null checkpoint by
-/// pointer. Worker engines live as long as the checker, so each worker
-/// pays the one-time probe-state copy once, then O(delta) per candidate.
+/// pointer. Worker engines live as long as the current binding (see
+/// Rebind), so within one prototype each worker pays the one-time
+/// probe-state copy once, then O(delta) per candidate; the thread pool
+/// itself lives as long as the checker and serves every binding.
 ///
 /// Verdicts are returned in candidate order, so callers consuming them in
 /// order observe results independent of thread count and scheduling.
 class CandidateChecker {
  public:
   /// `prototype` supplies Ie, the ground program and the chase config; it
-  /// must outlive the checker. `num_threads <= 1` means check inline on
-  /// `prototype` itself: no pool and no per-worker engines are built.
+  /// must outlive the checker (or be replaced via Rebind before the next
+  /// CheckAll). `num_threads <= 1` means check inline on `prototype`
+  /// itself: no pool and no per-worker engines are built.
   CandidateChecker(const ChaseEngine& prototype, int num_threads);
 
   CandidateChecker(const CandidateChecker&) = delete;
   CandidateChecker& operator=(const CandidateChecker&) = delete;
   ~CandidateChecker();
+
+  /// Points the checker at a new prototype — typically the next entity of
+  /// a pipeline — keeping the thread pool (the expensive part: C spawned
+  /// OS threads) alive across prototypes instead of tearing it down per
+  /// entity. Worker engines are bound to (Ie, program, config) and so are
+  /// always dropped here and lazily rebuilt over the new prototype on
+  /// the next fan-out — never skipped on pointer equality, since
+  /// `prototype` may be a new engine reusing a destroyed one's address;
+  /// dropping them never touches the previous prototype or its program,
+  /// so Rebind is safe to call after those have been destroyed.
+  void Rebind(const ChaseEngine& prototype);
+
+  /// The engine the checker is currently bound to; CheckAll verdicts are
+  /// against this engine's specification.
+  const ChaseEngine& prototype() const { return *prototype_; }
 
   int num_threads() const { return num_threads_; }
 
@@ -60,15 +80,48 @@ class CandidateChecker {
   std::vector<char> CheckAll(const std::vector<Tuple>& candidates) const;
 
  private:
-  /// Spawns the pool and the per-slot engines on the first batch that
-  /// actually fans out, so callers that end up checking one candidate at
-  /// a time never pay for idle workers.
+  /// Spawns the pool (once per checker lifetime) and the per-slot engines
+  /// (once per bound prototype) on the first batch that actually fans
+  /// out, so callers that end up checking one candidate at a time never
+  /// pay for idle workers.
   void EnsureWorkers() const;
 
-  const ChaseEngine& prototype_;
+  const ChaseEngine* prototype_;
   int num_threads_;
   mutable std::unique_ptr<ThreadPool> pool_;  ///< null until EnsureWorkers
   mutable std::vector<std::unique_ptr<ChaseEngine>> engines_;
+};
+
+/// Resolves which checker a top-k call runs its checks through: the
+/// caller-injected one (TopKOptions::checker) when usable, else a
+/// privately owned one over TopKOptions::num_threads. skip_check always
+/// gets a private width-1 checker — it is never consulted for verdicts,
+/// but its RoundCap shapes batching and the stats counters, which must
+/// not depend on whether an outer caller happened to inject a pool.
+class CheckerHandle {
+ public:
+  CheckerHandle(const ChaseEngine& engine, bool skip_check,
+                int num_threads, const CandidateChecker* injected) {
+    if (!skip_check && injected != nullptr &&
+        &injected->prototype() == &engine) {
+      checker_ = injected;
+      return;
+    }
+    // An injected checker bound to some other engine would compute
+    // verdicts against the wrong specification; assert loudly in debug
+    // builds and fall back to a correct private checker in release
+    // (slower, never wrong).
+    assert(injected == nullptr || skip_check ||
+           &injected->prototype() == &engine);
+    owned_.emplace(engine, skip_check ? 1 : num_threads);
+    checker_ = &*owned_;
+  }
+
+  const CandidateChecker& get() const { return *checker_; }
+
+ private:
+  std::optional<CandidateChecker> owned_;
+  const CandidateChecker* checker_ = nullptr;
 };
 
 /// The batch form of Sec. 6's `check` over a whole specification: grounds

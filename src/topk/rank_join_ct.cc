@@ -49,14 +49,14 @@ TopKResult RankJoinCT(const ChaseEngine& engine,
 
   // Consume join results in output order; the shared loop batches the
   // checks and keeps the ranked output identical for every thread count.
-  const CandidateChecker checker(engine,
-                                 opts.skip_check ? 1 : opts.num_threads);
+  const CheckerHandle checker(engine, opts.skip_check, opts.num_threads,
+                              opts.checker);
   std::unique_ptr<RankedStream> stream = BuildRankJoinTree(std::move(lists));
   RunBatchedAcceptLoop(
       // RankedStream has no non-consuming peek; the pre-batching loop
       // checked the budget before Next() too, so budget-first is the
       // original semantics here.
-      checker, opts, k, [] { return true; },
+      checker.get(), opts, k, [] { return true; },
       [&](Tuple* t, double* score) {
         auto row = stream->Next();
         if (!row.has_value()) return false;

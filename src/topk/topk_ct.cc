@@ -170,14 +170,15 @@ TopKResult TopKCT(const ChaseEngine& engine,
     queue.Push(std::move(o));
   }
 
-  // Under skip_check the checker is never consulted, so don't build its
-  // pool and per-worker engines (TopKCTh's seed phase lands here).
-  const CandidateChecker checker(engine,
-                                 opts.skip_check ? 1 : opts.num_threads);
+  // Under skip_check the checker is never consulted, so don't build a
+  // pool or per-worker engines (TopKCTh's seed phase lands here); an
+  // injected checker (opts.checker) is reused instead of owned.
+  const CheckerHandle checker(engine, opts.skip_check, opts.num_threads,
+                              opts.checker);
   // Pop and expand in the exact sequential best-first order (Fig. 5 lines
   // 10-15); only the `check` is deferred and batched.
   RunBatchedAcceptLoop(
-      checker, opts, k, [&] { return !queue.empty(); },
+      checker.get(), opts, k, [&] { return !queue.empty(); },
       [&](Tuple* t, double* score) {
         if (queue.empty()) return false;
         const Obj o = queue.Pop();
@@ -218,7 +219,9 @@ TopKResult TopKCTh(const ChaseEngine& engine,
 
   const SearchSpace space =
       BuildSearchSpace(engine.ie(), masters, deduced_te, pref, opts);
-  const CandidateChecker checker(engine, opts.num_threads);
+  const CheckerHandle handle(engine, /*skip_check=*/false, opts.num_threads,
+                             opts.checker);
+  const CandidateChecker& checker = handle.get();
   // A seed needs exactly one accept, so rounds never speculate past the
   // pool width.
   const int round_cap = checker.RoundCap(1);
@@ -326,7 +329,9 @@ TopKResult TopKBruteForce(const ChaseEngine& engine,
       BuildSearchSpace(engine.ie(), masters, deduced_te, pref, opts);
   const std::size_t m = space.z.size();
 
-  const CandidateChecker checker(engine, opts.num_threads);
+  const CheckerHandle handle(engine, /*skip_check=*/false, opts.num_threads,
+                             opts.checker);
+  const CandidateChecker& checker = handle.get();
   // The oracle checks the whole product space anyway, so batches can be
   // large; enumeration order is preserved by indexing.
   const std::size_t batch_cap =

@@ -42,8 +42,20 @@ struct TopKOptions {
   /// scores) are identical for every thread count and check strategy; the
   /// stats counters may report more work with >1 threads because batch
   /// members past the k-th accepted target are checked speculatively.
-  /// <= 0 is treated as 1.
+  /// <= 0 is treated as 1. Superseded by `checker` when that is set.
   int num_threads = 1;
+
+  /// External candidate checker to run the `check` chases through. When
+  /// set it must be bound (CandidateChecker ctor / Rebind) to the same
+  /// engine passed to the algorithm, and its width supersedes
+  /// `num_threads`; the algorithm then reuses its thread pool and warm
+  /// per-worker probe states instead of building and tearing down its
+  /// own per call — the pipeline rebinds one checker per entity and the
+  /// interactive framework keeps one across revision rounds. Null: each
+  /// call owns a private checker over `num_threads`. Internal seed
+  /// phases that skip the check (TopKCTh) always use a private inline
+  /// checker so their stats stay identical with and without injection.
+  const CandidateChecker* checker = nullptr;
 };
 
 /// Result of a top-k computation.

@@ -215,6 +215,28 @@ TEST_F(CliTest, PipelineOverFlatRelation) {
   std::remove(flat.c_str());
 }
 
+TEST_F(CliTest, PipelineHonoursSpecChaseConfig) {
+  // Regression: `relacc pipeline` used to default-construct its
+  // PipelineOptions and drop the spec document's ChaseConfig entirely. A
+  // config with a one-action budget makes every per-entity chase abort,
+  // which is only observable when the config actually reaches the
+  // engine; under the old bug every entity came back Church-Rosser.
+  SpecDocument doc;
+  doc.spec = MjSpecification();
+  doc.spec.config.max_actions = 1;  // far below what any chase needs
+  doc.entity_name = "stat";
+  doc.master_names = {"nba"};
+  std::string limited = ::testing::TempDir() + "/relacc_cli_limited.json";
+  ASSERT_TRUE(WriteFile(limited, SpecToJson(doc).Dump(2)).ok());
+  int rc = Run({"pipeline", limited, "--key", "league", "--json"});
+  EXPECT_EQ(rc, 0) << err_.str();
+  Result<Json> json = Json::Parse(out_.str());
+  ASSERT_TRUE(json.ok()) << out_.str();
+  EXPECT_GT(json.value().GetInt("entities").value(), 0);
+  EXPECT_EQ(json.value().GetInt("church_rosser").value(), 0);
+  std::remove(limited.c_str());
+}
+
 TEST_F(CliTest, PipelineRequiresKey) {
   int rc = Run({"pipeline", path_});
   EXPECT_EQ(rc, 2);

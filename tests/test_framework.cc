@@ -1,6 +1,9 @@
 // Tests for the interactive framework (Fig. 3) and the simulated user
 // protocol of Exp-3.
 
+#include <string>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 #include "datagen/profile_generator.h"
@@ -74,6 +77,76 @@ TEST(Framework, RevisionsConvergeOnGeneratedEntities) {
     max_rounds = std::max(max_rounds, r.interaction_rounds);
   }
   EXPECT_LE(max_rounds, 12);
+}
+
+/// Wraps SimulatedUser and records everything the framework shows the
+/// user: per round, the deduced target and the ranked candidate list.
+/// Byte-identical transcripts across configurations prove the whole
+/// session — not just the final result — is configuration-independent.
+class TranscriptUser : public UserOracle {
+ public:
+  explicit TranscriptUser(Tuple truth) : inner_(std::move(truth)) {}
+
+  Response Inspect(const Tuple& deduced_te,
+                   const std::vector<Tuple>& candidates) override {
+    transcript_ += "te: " + deduced_te.ToString() + "\n";
+    for (const Tuple& c : candidates) {
+      transcript_ += "  cand: " + c.ToString() + "\n";
+    }
+    return inner_.Inspect(deduced_te, candidates);
+  }
+
+  const std::string& transcript() const { return transcript_; }
+
+ private:
+  SimulatedUser inner_;
+  std::string transcript_;
+};
+
+TEST(Framework, TranscriptsIdenticalAcrossStrategiesAndThreadBudgets) {
+  // More corrupted free attributes than Med proper, so sessions run
+  // several rounds and the trail session's prefix reuse is exercised.
+  ProfileConfig c = MedConfig(55);
+  c.num_entities = 8;
+  c.master_size = 12;
+  c.num_free_attrs = 4;
+  c.free_corruption_prob = 0.6;
+  const EntityDataset ds = GenerateProfile(c);
+
+  for (std::size_t i = 0; i < ds.entities.size(); ++i) {
+    std::string reference;
+    std::string reference_config;
+    Tuple reference_target;
+    for (CheckStrategy strategy :
+         {CheckStrategy::kTrail, CheckStrategy::kCopy}) {
+      for (int threads : {1, 4, 8}) {
+        Specification spec = ds.SpecFor(static_cast<int>(i));
+        spec.config.check_strategy = strategy;
+        const PreferenceModel pref =
+            PreferenceModel::FromOccurrences(spec.ie, spec.masters);
+        TranscriptUser user(ds.truths[i]);
+        FrameworkOptions opts;
+        opts.k = 5;
+        opts.topk.num_threads = threads;
+        const FrameworkResult r = RunFramework(spec, pref, &user, opts);
+        ASSERT_TRUE(r.church_rosser) << "entity " << i;
+        const std::string config_name =
+            std::string(CheckStrategyName(strategy)) + "/" +
+            std::to_string(threads);
+        if (reference_config.empty()) {
+          reference = user.transcript();
+          reference_config = config_name;
+          reference_target = r.target;
+        } else {
+          EXPECT_EQ(user.transcript(), reference)
+              << "entity " << i << ": " << config_name
+              << " diverged from " << reference_config;
+          EXPECT_EQ(r.target, reference_target)
+              << "entity " << i << ": " << config_name;
+        }
+      }
+    }
+  }
 }
 
 TEST(SimulatedUserTest, AcceptsExactCandidateOnly) {

@@ -1,3 +1,6 @@
+#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -6,6 +9,7 @@
 #include "datagen/profile_generator.h"
 #include "framework/framework.h"
 #include "mj_fixture.h"
+#include "topk/batch_check.h"
 
 namespace relacc {
 namespace {
@@ -26,8 +30,27 @@ Specification IncompleteMjSpec() {
   return spec;
 }
 
-TEST(ResumeWith, AllNullResumeEqualsPlainRun) {
-  Specification spec = IncompleteMjSpec();
+// The resume tests run under both check strategies: kTrail resumes on
+// the engine's persistent session state; kCopy deep-copies the
+// checkpoint per call. Outcomes must be identical.
+class ResumeWithStrategy
+    : public ::testing::TestWithParam<CheckStrategy> {
+ protected:
+  Specification WithStrategy(Specification spec) const {
+    spec.config.check_strategy = GetParam();
+    return spec;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, ResumeWithStrategy,
+                         ::testing::Values(CheckStrategy::kTrail,
+                                           CheckStrategy::kCopy),
+                         [](const auto& info) {
+                           return std::string(CheckStrategyName(info.param));
+                         });
+
+TEST_P(ResumeWithStrategy, AllNullResumeEqualsPlainRun) {
+  Specification spec = WithStrategy(IncompleteMjSpec());
   GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
   ChaseEngine engine(spec.ie, &program, spec.config);
 
@@ -39,8 +62,8 @@ TEST(ResumeWith, AllNullResumeEqualsPlainRun) {
   EXPECT_EQ(full.target, resumed.target);
 }
 
-TEST(ResumeWith, PartialRevisionMatchesFromScratchRun) {
-  Specification spec = IncompleteMjSpec();
+TEST_P(ResumeWithStrategy, PartialRevisionMatchesFromScratchRun) {
+  Specification spec = WithStrategy(IncompleteMjSpec());
   GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
   ChaseEngine engine(spec.ie, &program, spec.config);
   const Schema& schema = spec.ie.schema();
@@ -57,8 +80,8 @@ TEST(ResumeWith, PartialRevisionMatchesFromScratchRun) {
   EXPECT_EQ(resumed.target, MjExpectedTarget());
 }
 
-TEST(ResumeWith, ConflictingRevisionIsRejectedOnBothPaths) {
-  Specification spec = IncompleteMjSpec();
+TEST_P(ResumeWithStrategy, ConflictingRevisionIsRejectedOnBothPaths) {
+  Specification spec = WithStrategy(IncompleteMjSpec());
   GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
   ChaseEngine engine(spec.ie, &program, spec.config);
   const Schema& schema = spec.ie.schema();
@@ -75,8 +98,8 @@ TEST(ResumeWith, ConflictingRevisionIsRejectedOnBothPaths) {
   EXPECT_FALSE(resumed.violation.empty());
 }
 
-TEST(ResumeWith, NonChurchRosserBaseReportsViolation) {
-  Specification spec = MjSpecification();
+TEST_P(ResumeWithStrategy, NonChurchRosserBaseReportsViolation) {
+  Specification spec = WithStrategy(MjSpecification());
   spec.rules.push_back(Phi12(spec.ie.schema()));
   GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
   ChaseEngine engine(spec.ie, &program, spec.config);
@@ -87,8 +110,8 @@ TEST(ResumeWith, NonChurchRosserBaseReportsViolation) {
   EXPECT_FALSE(resumed.violation.empty());
 }
 
-TEST(ResumeWith, RepeatedResumesAreIndependent) {
-  Specification spec = IncompleteMjSpec();
+TEST_P(ResumeWithStrategy, RepeatedResumesAreIndependent) {
+  Specification spec = WithStrategy(IncompleteMjSpec());
   GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
   ChaseEngine engine(spec.ie, &program, spec.config);
   const Schema& schema = spec.ie.schema();
@@ -99,7 +122,8 @@ TEST(ResumeWith, RepeatedResumesAreIndependent) {
   Tuple r2(std::vector<Value>(schema.size(), Value::Null()));
   r2.set(arena, Value::Str("Regions Park"));
 
-  // The checkpoint must not leak state between resumes.
+  // Mutually incompatible revisions: the trail session must reset to the
+  // checkpoint between them instead of leaking the previous value.
   ChaseOutcome a = engine.ResumeWith(r1);
   ChaseOutcome b = engine.ResumeWith(r2);
   ChaseOutcome c = engine.ResumeWith(r1);
@@ -110,14 +134,14 @@ TEST(ResumeWith, RepeatedResumesAreIndependent) {
   EXPECT_EQ(a.target, c.target);
 }
 
-TEST(ResumeWith, AgreesWithFullRunsAcrossGeneratedRevisions) {
+TEST_P(ResumeWithStrategy, AgreesWithFullRunsAcrossGeneratedRevisions) {
   ProfileConfig config = MedConfig(/*seed=*/77);
   config.num_entities = 25;
   config.master_size = 20;
   EntityDataset dataset = GenerateProfile(config);
   int compared = 0;
   for (size_t i = 0; i < dataset.entities.size(); ++i) {
-    Specification spec = dataset.SpecFor(static_cast<int>(i));
+    Specification spec = WithStrategy(dataset.SpecFor(static_cast<int>(i)));
     GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
     ChaseEngine engine(spec.ie, &program, spec.config);
     ChaseOutcome base = engine.RunFromInitial();
@@ -143,8 +167,8 @@ TEST(ResumeWith, AgreesWithFullRunsAcrossGeneratedRevisions) {
   EXPECT_GT(compared, 10);
 }
 
-TEST(ResumeWith, KeepOrdersIsHonoured) {
-  Specification spec = IncompleteMjSpec();
+TEST_P(ResumeWithStrategy, KeepOrdersIsHonoured) {
+  Specification spec = WithStrategy(IncompleteMjSpec());
   spec.config.keep_orders = true;
   GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
   ChaseEngine engine(spec.ie, &program, spec.config);
@@ -155,6 +179,197 @@ TEST(ResumeWith, KeepOrdersIsHonoured) {
             static_cast<size_t>(spec.ie.schema().size()));
   // t0 ⪯ t1 on rnds (16 < 27 within NBA, phi1).
   EXPECT_TRUE(resumed.orders[spec.ie.schema().MustIndexOf("rnds")].Reaches(0, 1));
+}
+
+/// One generated med entity with at least `min_nulls` revisable
+/// attributes and its truth values for them, for the session tests.
+struct SessionFixture {
+  Specification spec;
+  std::vector<std::pair<AttrId, Value>> reveals;  ///< null attr -> truth
+};
+
+std::optional<SessionFixture> FindSessionFixture(CheckStrategy strategy,
+                                                 std::size_t min_nulls) {
+  ProfileConfig config = MedConfig(/*seed=*/123);
+  config.num_entities = 20;
+  config.master_size = 30;
+  config.num_free_attrs = 4;
+  config.free_corruption_prob = 1.0;
+  EntityDataset dataset = GenerateProfile(config);
+  for (size_t i = 0; i < dataset.entities.size(); ++i) {
+    SessionFixture fx;
+    fx.spec = dataset.SpecFor(static_cast<int>(i));
+    fx.spec.config.check_strategy = strategy;
+    GroundProgram program =
+        Instantiate(fx.spec.ie, fx.spec.masters, fx.spec.rules);
+    ChaseEngine engine(fx.spec.ie, &program, fx.spec.config);
+    ChaseOutcome base = engine.RunFromInitial();
+    if (!base.church_rosser) continue;
+    const Tuple& truth = dataset.truths[i];
+    for (AttrId a = 0; a < fx.spec.ie.schema().size(); ++a) {
+      if (base.target.at(a).is_null() && !truth.at(a).is_null()) {
+        fx.reveals.emplace_back(a, truth.at(a));
+      }
+    }
+    if (fx.reveals.size() >= min_nulls) return fx;
+  }
+  return std::nullopt;
+}
+
+TEST_P(ResumeWithStrategy, SessionExtensionMatchesFromScratchEveryRound) {
+  std::optional<SessionFixture> fx = FindSessionFixture(GetParam(), 3);
+  ASSERT_TRUE(fx.has_value());
+  GroundProgram program =
+      Instantiate(fx->spec.ie, fx->spec.masters, fx->spec.rules);
+  ChaseEngine engine(fx->spec.ie, &program, fx->spec.config);
+
+  // Cumulative reveals, as RunFramework issues them: every round must
+  // match the from-scratch chase of the same designated values.
+  const int num_attrs = fx->spec.ie.schema().size();
+  Tuple cumulative(std::vector<Value>(num_attrs, Value::Null()));
+  for (const auto& [attr, value] : fx->reveals) {
+    cumulative.set(attr, value);
+    ChaseOutcome full = engine.Run(cumulative);
+    ChaseOutcome resumed = engine.ResumeWith(cumulative);
+    ASSERT_EQ(full.church_rosser, resumed.church_rosser) << "attr " << attr;
+    if (full.church_rosser) {
+      EXPECT_EQ(full.target, resumed.target) << "attr " << attr;
+    }
+  }
+  // A non-extending revision after the session grew: back to round one.
+  Tuple fresh(std::vector<Value>(num_attrs, Value::Null()));
+  fresh.set(fx->reveals[1].first, fx->reveals[1].second);
+  ChaseOutcome full = engine.Run(fresh);
+  ChaseOutcome resumed = engine.ResumeWith(fresh);
+  ASSERT_EQ(full.church_rosser, resumed.church_rosser);
+  if (full.church_rosser) {
+    EXPECT_EQ(full.target, resumed.target);
+  }
+}
+
+TEST_P(ResumeWithStrategy, AbortedResumeKeepsSessionUsable) {
+  Specification spec = WithStrategy(IncompleteMjSpec());
+  GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
+  ChaseEngine engine(spec.ie, &program, spec.config);
+  const Schema& schema = spec.ie.schema();
+
+  Tuple good(std::vector<Value>(schema.size(), Value::Null()));
+  good.set(schema.MustIndexOf("arena"), Value::Str("United Center"));
+  Tuple bad = good;
+  bad.set(schema.MustIndexOf("league"), Value::Str("SL"));
+
+  ChaseOutcome first = engine.ResumeWith(good);
+  ASSERT_TRUE(first.church_rosser);
+  // Extends the session's applied values but aborts mid-chase; the
+  // session must roll back to its last valid state.
+  ChaseOutcome aborted = engine.ResumeWith(bad);
+  EXPECT_FALSE(aborted.church_rosser);
+  EXPECT_FALSE(aborted.violation.empty());
+  ChaseOutcome again = engine.ResumeWith(good);
+  ASSERT_TRUE(again.church_rosser);
+  EXPECT_EQ(first.target, again.target);
+  EXPECT_EQ(engine.Run(good).target, again.target);
+}
+
+TEST(ResumeWithStats, ReportsPerCallDeltas) {
+  Specification spec = IncompleteMjSpec();
+  GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
+  const Schema& schema = spec.ie.schema();
+  Tuple all_null(std::vector<Value>(schema.size(), Value::Null()));
+  Tuple revision = all_null;
+  revision.set(schema.MustIndexOf("arena"), Value::Str("United Center"));
+
+  for (CheckStrategy strategy :
+       {CheckStrategy::kTrail, CheckStrategy::kCopy}) {
+    spec.config.check_strategy = strategy;
+    ChaseEngine engine(spec.ie, &program, spec.config);
+    const ChaseOutcome checkpoint = engine.RunFromCheckpoint();
+    ASSERT_TRUE(checkpoint.church_rosser);
+
+    // Resuming with nothing new performs no work: the checkpoint chase
+    // must not be re-reported (the pre-fix behaviour double-counted it
+    // in every round's stats).
+    ChaseOutcome nothing = engine.ResumeWith(all_null);
+    EXPECT_EQ(nothing.stats.steps_applied, 0) << CheckStrategyName(strategy);
+    EXPECT_EQ(nothing.stats.pairs_derived, 0) << CheckStrategyName(strategy);
+    EXPECT_EQ(nothing.stats.ground_steps, checkpoint.stats.ground_steps);
+
+    // A real revision reports only its own work, and summing rounds
+    // cannot double-count: under kTrail the second identical call
+    // extends the session and reports zero; under kCopy it redoes (and
+    // so re-reports) the same continuation.
+    ChaseOutcome first = engine.ResumeWith(revision);
+    ASSERT_TRUE(first.church_rosser);
+    EXPECT_GT(first.stats.pairs_derived, 0);
+    EXPECT_LT(first.stats.pairs_derived, checkpoint.stats.pairs_derived);
+    ChaseOutcome second = engine.ResumeWith(revision);
+    ASSERT_TRUE(second.church_rosser);
+    if (strategy == CheckStrategy::kTrail) {
+      EXPECT_EQ(second.stats.pairs_derived, 0);
+      EXPECT_EQ(second.stats.steps_applied, 0);
+    } else {
+      EXPECT_EQ(second.stats.pairs_derived, first.stats.pairs_derived);
+      EXPECT_EQ(second.stats.steps_applied, first.stats.steps_applied);
+    }
+  }
+}
+
+TEST(ResumeWithStats, FirstCallDeltasAgreeAcrossStrategies) {
+  Specification spec = IncompleteMjSpec();
+  GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
+  const Schema& schema = spec.ie.schema();
+  Tuple revision(std::vector<Value>(schema.size(), Value::Null()));
+  revision.set(schema.MustIndexOf("arena"), Value::Str("United Center"));
+
+  spec.config.check_strategy = CheckStrategy::kTrail;
+  ChaseEngine trail(spec.ie, &program, spec.config);
+  spec.config.check_strategy = CheckStrategy::kCopy;
+  ChaseEngine copy(spec.ie, &program, spec.config);
+  // Both continue from the checkpoint (fresh trail session), so the
+  // per-call deltas describe the same derivation.
+  ChaseOutcome t = trail.ResumeWith(revision);
+  ChaseOutcome c = copy.ResumeWith(revision);
+  ASSERT_TRUE(t.church_rosser);
+  ASSERT_TRUE(c.church_rosser);
+  EXPECT_EQ(t.stats.pairs_derived, c.stats.pairs_derived);
+  EXPECT_EQ(t.stats.steps_applied, c.stats.steps_applied);
+}
+
+TEST(ResumeWith, CandidateChecksPristineAcrossSessionActivity) {
+  // The kTrail check probe state and the resume session state are
+  // separate; resumes (including aborting ones) must not disturb
+  // candidate verdicts, and vice versa.
+  Specification spec = IncompleteMjSpec();  // default strategy: trail
+  GroundProgram program = Instantiate(spec.ie, spec.masters, spec.rules);
+  ChaseEngine engine(spec.ie, &program, spec.config);
+  const Schema& schema = spec.ie.schema();
+
+  ChaseOutcome base = engine.RunFromCheckpoint();
+  ASSERT_TRUE(base.church_rosser);
+  const std::vector<Tuple> pool = EnumerateCandidateProduct(
+      spec.ie, spec.masters, base.target, /*include_default_values=*/false,
+      /*limit=*/32);
+  ASSERT_FALSE(pool.empty());
+  std::vector<char> verdicts_before;
+  for (const Tuple& t : pool) {
+    verdicts_before.push_back(engine.CheckCandidate(t) ? 1 : 0);
+  }
+
+  Tuple good(std::vector<Value>(schema.size(), Value::Null()));
+  good.set(schema.MustIndexOf("arena"), Value::Str("United Center"));
+  Tuple bad(std::vector<Value>(schema.size(), Value::Null()));
+  bad.set(schema.MustIndexOf("league"), Value::Str("SL"));
+  ASSERT_TRUE(engine.ResumeWith(good).church_rosser);
+  ASSERT_FALSE(engine.ResumeWith(bad).church_rosser);
+
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(engine.CheckCandidate(pool[i]) ? 1 : 0, verdicts_before[i])
+        << i;
+  }
+  // And the session still continues correctly after the checks.
+  ChaseOutcome resumed = engine.ResumeWith(good);
+  ASSERT_TRUE(resumed.church_rosser);
+  EXPECT_EQ(resumed.target, engine.Run(good).target);
 }
 
 TEST(ChaseConfig, ActionBudgetAborts) {

@@ -1,5 +1,7 @@
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -207,6 +209,77 @@ TEST(Pipeline, EmptyInputYieldsEmptyReport) {
   EXPECT_EQ(report.targets.size(), 0);
   EXPECT_EQ(report.num_church_rosser, 0);
   EXPECT_EQ(report.deduced_attr_fraction, 0.0);
+}
+
+TEST(PipelineThreadPlanTest, BudgetIsNeverExceeded) {
+  // The N×M oversubscription bug: the entity pool and the per-entity
+  // checker pools used to multiply. The plan's phases time-multiplex the
+  // budget instead: no phase may use more threads than the budget.
+  for (int budget = 1; budget <= 16; ++budget) {
+    for (int64_t entities : {0LL, 1LL, 2LL, 5LL, 100LL}) {
+      const PipelineThreadPlan plan =
+          ComputePipelineThreadPlan(budget, entities);
+      EXPECT_GE(plan.chase_threads, 1) << budget << "/" << entities;
+      EXPECT_GE(plan.check_threads, 1) << budget << "/" << entities;
+      EXPECT_LE(plan.chase_threads, budget) << budget << "/" << entities;
+      EXPECT_LE(plan.check_threads, budget) << budget << "/" << entities;
+      EXPECT_LE(plan.chase_threads, std::max<int64_t>(1, entities));
+    }
+  }
+}
+
+TEST(PipelineThreadPlanTest, DefaultBudgetUsesHardwareConcurrency) {
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  const PipelineThreadPlan plan = ComputePipelineThreadPlan(0, 1000);
+  EXPECT_LE(plan.chase_threads, hw);
+  EXPECT_EQ(plan.check_threads, hw);
+}
+
+TEST(Pipeline, ReportsItsThreadPlan) {
+  PipelineReport report = MedPipelineReport(
+      /*num_threads=*/3, CompletionPolicy::kBestCandidate, /*num_entities=*/10);
+  EXPECT_EQ(report.plan.chase_threads, 3);
+  EXPECT_EQ(report.plan.check_threads, 3);
+}
+
+TEST(Pipeline, CheckerReuseAndRebuildAgreeExactly) {
+  ProfileConfig config = MedConfig(/*seed=*/5);
+  config.num_entities = 40;
+  config.master_size = 45;
+  EntityDataset dataset = GenerateProfile(config);
+  PipelineOptions reuse;
+  reuse.num_threads = 4;
+  reuse.reuse_checkers = true;
+  PipelineOptions rebuild = reuse;
+  rebuild.reuse_checkers = false;
+  PipelineReport a =
+      RunPipeline(dataset.entities, dataset.masters, dataset.rules, reuse);
+  PipelineReport b =
+      RunPipeline(dataset.entities, dataset.masters, dataset.rules, rebuild);
+  ASSERT_EQ(a.entities.size(), b.entities.size());
+  EXPECT_GT(a.num_completed_by_candidates, 0);  // the checkers did work
+  for (size_t i = 0; i < a.entities.size(); ++i) {
+    EXPECT_EQ(a.entities[i].church_rosser, b.entities[i].church_rosser) << i;
+    EXPECT_EQ(a.entities[i].complete, b.entities[i].complete) << i;
+    EXPECT_EQ(a.entities[i].target, b.entities[i].target) << i;
+  }
+}
+
+TEST(Pipeline, ReportsAgreeAcrossThreadBudgets) {
+  PipelineReport one = MedPipelineReport(1, CompletionPolicy::kBestCandidate);
+  PipelineReport three =
+      MedPipelineReport(3, CompletionPolicy::kBestCandidate);
+  PipelineReport eight =
+      MedPipelineReport(8, CompletionPolicy::kBestCandidate);
+  ASSERT_EQ(one.entities.size(), three.entities.size());
+  ASSERT_EQ(one.entities.size(), eight.entities.size());
+  for (size_t i = 0; i < one.entities.size(); ++i) {
+    EXPECT_EQ(one.entities[i].target, three.entities[i].target) << i;
+    EXPECT_EQ(one.entities[i].target, eight.entities[i].target) << i;
+  }
+  EXPECT_EQ(one.num_completed_by_candidates,
+            eight.num_completed_by_candidates);
 }
 
 TEST(Pipeline, SharedPreferenceModelIsHonoured) {
