@@ -11,6 +11,14 @@
 #include "common.h"
 #include "framework/framework.h"
 
+// This sweep deliberately exercises the deprecated RunFramework shim:
+// it is now a thin wrapper over AccuracyService::StartInteraction, so
+// the figures double as a regression bench for the shim path. The
+// suppression is scoped (push/pop at the end of this header) so
+// including TUs keep the deprecation wall for their own code.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace relacc {
 namespace bench {
 
@@ -50,5 +58,7 @@ inline void RunInteractionSweep(const EntityDataset& ds, int sample,
 
 }  // namespace bench
 }  // namespace relacc
+
+#pragma GCC diagnostic pop
 
 #endif  // RELACC_BENCH_INTERACTION_SWEEP_H_

@@ -1,36 +1,54 @@
 // Whole-database accuracy pipeline (the paper's Sec. 8 future-work
-// scenario) under the single thread budget: RunPipeline chases entities
-// in parallel, then completes incomplete targets through one shared
-// CandidateChecker rebound per entity (ComputePipelineThreadPlan gives
-// the whole budget to each phase in turn, so the levels time-multiplex
-// instead of multiplying into N×M threads). reuse_checkers=false is the
-// A/B baseline: a fresh checker — and a fresh thread pool — torn down
-// per completed entity.
+// scenario) under the single thread budget, in two sections:
 //
-// Two scenarios: `many_entities` (most entities complete via the chase;
-// the per-entity completions that remain are where rebuild pays a pool
-// spawn each and reuse pays one total) and `few_entities_deep` (every
-// target incomplete, deep candidate searches — the check batches must
-// keep the wide shared pool busy). Reports must be identical across
-// modes and budgets; exits nonzero only on a report mismatch, so perf
-// noise cannot break CI.
+// 1. Batch A/B (via the deprecated RunPipeline shim): reuse_checkers on
+//    vs off across budgets — one persistent completion checker rebound
+//    per entity vs a fresh checker (and pool) torn down per entity.
+//    Reports must be identical across modes and budgets.
 //
-// Emits BENCH_pipeline_scaling.json (bench::JsonReport).
+// 2. Streaming (AccuracyService::StartPipeline): entities submitted in
+//    arrival-sized batches through a bounded window. The report must be
+//    byte-identical to the batch path for every window, while
+//    stats().peak_in_flight_engines stays <= window — memory is
+//    O(window), not O(entities).
+//
+// Exits nonzero only on a report mismatch or a window-bound violation,
+// so perf noise cannot break CI. Emits BENCH_pipeline_scaling.json.
+//
+// Extra mode for the CI peak-memory lane:
+//   bench_pipeline_scaling --stream N [--window W] [--chunk C]
+// streams N med-shaped entities (the same C-entity chunk resubmitted, so
+// input memory is constant) through one session and prints a JSON line
+// with the process peak RSS; the lane runs it at two entity counts and
+// asserts the RSS does not scale with N.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "api/accuracy_service.h"
 #include "common.h"
 #include "datagen/profile_generator.h"
 #include "pipeline/pipeline.h"
+
+// The batch section deliberately exercises the deprecated RunPipeline
+// shim — it is the A/B baseline the streaming session must match.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace relacc {
 namespace bench {
 namespace {
 
 /// Canonical form of a report for cross-run comparison: per-entity CR
-/// flag and final target, plus the aggregate counters.
+/// flag and final target, plus the aggregate counters. The thread plan is
+/// deliberately excluded — it varies with the budget by design while
+/// everything else must not.
 std::string ReportKey(const PipelineReport& report) {
   std::string key;
   for (const EntityReport& e : report.entities) {
@@ -43,12 +61,146 @@ std::string ReportKey(const PipelineReport& report) {
   return key;
 }
 
+/// Peak RSS of this process in KiB (0 where unsupported).
+int64_t PeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return usage.ru_maxrss / 1024;  // bytes on macOS
+#else
+  return usage.ru_maxrss;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// One streaming run: `entities` submitted in batches of `batch`,
+/// through a session with the given window. Returns the final report;
+/// peak/ok flow out through the out-params.
+PipelineReport RunStreaming(const EntityDataset& dataset, int budget,
+                            int64_t window, std::size_t batch,
+                            int64_t* peak_in_flight, bool* ok) {
+  Specification spec;
+  spec.ie = Relation(dataset.schema);
+  spec.masters = dataset.masters;
+  spec.rules = dataset.rules;
+  spec.config = dataset.chase_config;
+  ServiceOptions options;
+  options.num_threads = budget;
+  options.window = window;
+  Result<std::unique_ptr<AccuracyService>> service =
+      AccuracyService::Create(std::move(spec), options);
+  if (!service.ok()) {
+    *ok = false;
+    return {};
+  }
+  Result<std::unique_ptr<PipelineSession>> session =
+      service.value()->StartPipeline();
+  if (!session.ok()) {
+    *ok = false;
+    return {};
+  }
+  for (std::size_t begin = 0; begin < dataset.entities.size();
+       begin += batch) {
+    const std::size_t end =
+        std::min(dataset.entities.size(), begin + batch);
+    std::vector<EntityInstance> chunk(dataset.entities.begin() + begin,
+                                      dataset.entities.begin() + end);
+    if (!session.value()->Submit(std::move(chunk)).ok()) {
+      *ok = false;
+      return {};
+    }
+  }
+  Result<PipelineReport> report = session.value()->Finish();
+  if (!report.ok()) {
+    *ok = false;
+    return {};
+  }
+  *peak_in_flight = session.value()->stats().peak_in_flight_engines;
+  *ok = *peak_in_flight <= window;
+  return std::move(report).value();
+}
+
 struct Scenario {
   const char* name;
   EntityDataset dataset;
   std::vector<int> budgets;
   int reps;
 };
+
+/// The CI peak-memory lane: stream `total` entities (one `chunk`-sized
+/// generated set resubmitted over and over, so the *input* held by the
+/// driver is constant) through a single window-bounded session and print
+/// peak RSS. With a bounded window the RSS must not scale with `total` —
+/// the lane runs two entity counts and compares.
+int RunStreamRssMode(int64_t total, int64_t window, int64_t chunk) {
+  ProfileConfig config = MedConfig(/*seed=*/29);
+  config.num_entities = static_cast<int>(chunk);
+  config.min_tuples = 16;
+  config.max_tuples = 16;
+  config.master_size = 60;
+  config.free_corruption_prob = 0.6;  // most targets reach phase 2
+  const EntityDataset dataset = GenerateProfile(config);
+
+  Specification spec;
+  spec.ie = Relation(dataset.schema);
+  spec.masters = dataset.masters;
+  spec.rules = dataset.rules;
+  spec.config = dataset.chase_config;
+  ServiceOptions options;
+  options.num_threads = 2;
+  options.window = window;
+  Result<std::unique_ptr<AccuracyService>> service =
+      AccuracyService::Create(std::move(spec), options);
+  if (!service.ok()) {
+    std::printf("stream: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<PipelineSession>> session =
+      service.value()->StartPipeline();
+  if (!session.ok()) {
+    std::printf("stream: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  int64_t submitted = 0;
+  double ms = TimeMs([&] {
+    while (submitted < total) {
+      const int64_t take =
+          std::min<int64_t>(chunk, total - submitted);
+      std::vector<EntityInstance> batch(
+          dataset.entities.begin(), dataset.entities.begin() + take);
+      if (!session.value()->Submit(std::move(batch)).ok()) return;
+      submitted += take;
+      // Consume reports as they complete, as a real caller would.
+      (void)session.value()->Drain();
+    }
+  });
+  Result<PipelineReport> report = session.value()->Finish();
+  if (!report.ok() || submitted != total) {
+    std::printf("stream failed after %lld entities\n",
+                static_cast<long long>(submitted));
+    return 1;
+  }
+  const int64_t peak = session.value()->stats().peak_in_flight_engines;
+  const int64_t rss_kb = PeakRssKb();
+  // Machine-readable single line for the CI lane.
+  std::printf(
+      "STREAM_RSS {\"entities\": %lld, \"window\": %lld, "
+      "\"peak_in_flight\": %lld, \"maxrss_kb\": %lld, \"ms\": %.1f, "
+      "\"church_rosser\": %d}\n",
+      static_cast<long long>(total), static_cast<long long>(window),
+      static_cast<long long>(peak), static_cast<long long>(rss_kb), ms,
+      report.value().num_church_rosser);
+  if (peak > window) {
+    std::printf("window bound violated: %lld > %lld\n",
+                static_cast<long long>(peak),
+                static_cast<long long>(window));
+    return 1;
+  }
+  return 0;
+}
 
 int Run() {
   const bool small = SmallScale();
@@ -83,11 +235,12 @@ int Run() {
   }
 
   bool all_identical = true;
+  bool window_bound_held = true;
   for (const Scenario& scenario : scenarios) {
     std::printf("== pipeline %s (%zu entities%s) ==\n", scenario.name,
                 scenario.dataset.entities.size(),
                 small ? "; RELACC_BENCH_SMALL" : "");
-    std::printf("%8s %8s %6s %6s %12s %14s\n", "budget", "mode", "chase",
+    std::printf("%8s %10s %6s %6s %12s %14s\n", "budget", "mode", "chase",
                 "check", "ms/run", "entities/s");
     std::string reference_key;
     {
@@ -95,6 +248,7 @@ int Run() {
       // timed configuration is not charged for cold caches.
       PipelineOptions warm;
       warm.num_threads = scenario.budgets.front();
+      warm.chase = scenario.dataset.chase_config;
       (void)RunPipeline(scenario.dataset.entities, scenario.dataset.masters,
                         scenario.dataset.rules, warm);
     }
@@ -103,6 +257,7 @@ int Run() {
         PipelineOptions options;
         options.num_threads = budget;
         options.completion = CompletionPolicy::kBestCandidate;
+        options.chase = scenario.dataset.chase_config;
         options.reuse_checkers = reuse;
         PipelineReport report;
         const double ms = TimeMs([&] {
@@ -125,7 +280,7 @@ int Run() {
           all_identical = false;
         }
         const char* mode = reuse ? "reuse" : "rebuild";
-        std::printf("%8d %8s %6d %6d %12.2f %14.0f\n", budget, mode,
+        std::printf("%8d %10s %6d %6d %12.2f %14.0f\n", budget, mode,
                     report.plan.chase_threads, report.plan.check_threads,
                     ms_per_run, entities_per_s);
         JsonReport::Row row;
@@ -140,17 +295,80 @@ int Run() {
             .Set("entities_per_s", entities_per_s);
         json.Add(std::move(row));
       }
+
+      // Streaming session at the same budget: submitted in small
+      // arrival batches across several windows; the report must match
+      // the batch reference byte for byte while the in-flight engine
+      // count respects the window.
+      for (const int64_t window :
+           {static_cast<int64_t>(1), static_cast<int64_t>(5),
+            static_cast<int64_t>(64)}) {
+        int64_t peak = 0;
+        bool ok = true;
+        PipelineReport report;
+        const double ms = TimeMs([&] {
+          for (int r = 0; r < scenario.reps; ++r) {
+            report = RunStreaming(scenario.dataset, budget, window,
+                                  /*batch=*/7, &peak, &ok);
+          }
+        });
+        const double ms_per_run = ms / scenario.reps;
+        if (!ok) window_bound_held = false;
+        const std::string key = ReportKey(report);
+        if (key != reference_key) all_identical = false;
+        std::string mode = "stream/w" + std::to_string(window);
+        std::printf("%8d %10s %6s %6s %12.2f %14.0f  peak=%lld\n", budget,
+                    mode.c_str(), "-", "-", ms_per_run,
+                    ms_per_run > 0.0
+                        ? scenario.dataset.entities.size() /
+                              (ms_per_run / 1e3)
+                        : 0.0,
+                    static_cast<long long>(peak));
+        JsonReport::Row row;
+        row.Set("scenario", scenario.name)
+            .Set("mode", mode)
+            .Set("budget", budget)
+            .Set("window", window)
+            .Set("peak_in_flight", peak)
+            .Set("entities",
+                 static_cast<int64_t>(scenario.dataset.entities.size()))
+            .Set("ms_per_run", ms_per_run);
+        json.Add(std::move(row));
+      }
     }
   }
 
   json.Write();
-  std::printf("reports identical across modes and budgets: %s\n",
+  std::printf("reports identical across modes, budgets and windows: %s\n",
               all_identical ? "yes" : "NO (BUG)");
-  return all_identical ? 0 : 1;
+  std::printf("streaming window bound held: %s\n",
+              window_bound_held ? "yes" : "NO (BUG)");
+  return all_identical && window_bound_held ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace relacc
 
-int main() { return relacc::bench::Run(); }
+int main(int argc, char** argv) {
+  int64_t stream_total = 0;
+  int64_t window = 8;
+  int64_t chunk = 48;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stream") == 0 && i + 1 < argc) {
+      stream_total = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      window = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--chunk") == 0 && i + 1 < argc) {
+      chunk = std::atoll(argv[++i]);
+    } else {
+      std::printf("usage: %s [--stream N [--window W] [--chunk C]]\n",
+                  argv[0]);
+      return 2;
+    }
+  }
+  if (stream_total > 0) {
+    return relacc::bench::RunStreamRssMode(stream_total, window, chunk);
+  }
+  return relacc::bench::Run();
+}

@@ -1,15 +1,20 @@
 // Medicine catalog: an end-to-end Med-style pipeline (DESIGN.md §5).
 //
 // A medicine distributor holds noisy sale records from many stores plus a
-// curated reference list (master data). For each medicine (entity):
-//   1. deduce the target tuple automatically (IsCR),
-//   2. when incomplete, suggest top-k candidates,
-//   3. loop in a (simulated) data steward until the record is complete,
-// and finally export the cleaned catalog as CSV.
+// curated reference list (master data). One AccuracyService holds the
+// reference data, rules and thread plan; for each medicine (entity) an
+// interaction session
+//   1. deduces the target tuple automatically (Suggest / IsCR),
+//   2. when incomplete, suggests top-k candidates,
+//   3. loops in a (simulated) data steward until the record is complete,
+// and finally the cleaned catalog is exported as CSV. Every session runs
+// through the service's persistent candidate checker instead of building
+// its own.
 
 #include <cstdio>
 #include <map>
 
+#include "api/accuracy_service.h"
 #include "datagen/profile_generator.h"
 #include "framework/framework.h"
 #include "truth/metrics.h"
@@ -37,14 +42,32 @@ int main() {
     catalog.WriteRow(header);
   }
 
+  // One service for the whole catalog: masters, rules and the candidate
+  // checker persist; each medicine gets its own interaction session.
+  Specification shared;
+  shared.ie = Relation(ds.schema);
+  shared.masters = ds.masters;
+  shared.rules = ds.rules;
+  shared.config = ds.chase_config;
+  Result<std::unique_ptr<AccuracyService>> service =
+      AccuracyService::Create(std::move(shared));
+  if (!service.ok()) {
+    std::printf("service: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+
   for (std::size_t i = 0; i < ds.entities.size(); ++i) {
-    Specification spec = ds.SpecFor(static_cast<int>(i));
-    const PreferenceModel pref =
-        PreferenceModel::FromOccurrences(spec.ie, spec.masters);
     SimulatedUser steward(ds.truths[i]);
-    FrameworkOptions opts;
+    InteractionOptions opts;
     opts.k = 15;
-    const FrameworkResult r = RunFramework(spec, pref, &steward, opts);
+    Result<std::unique_ptr<InteractionSession>> session =
+        service.value()->StartInteraction(ds.entities[i], opts);
+    if (!session.ok()) {
+      std::printf("entity %zu: %s\n", i, session.status().ToString().c_str());
+      continue;
+    }
+    const FrameworkResult r =
+        DriveInteraction(*session.value(), &steward, /*max_rounds=*/32);
     if (!r.church_rosser) {
       std::printf("entity %zu: specification not Church-Rosser — skipped\n", i);
       continue;

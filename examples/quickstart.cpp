@@ -1,18 +1,20 @@
-// Quickstart: the paper's running example (Tables 1-3, Examples 1-6).
+// Quickstart: the paper's running example (Tables 1-3, Examples 1-6),
+// driven through the public service API (api/accuracy_service.h).
 //
 // Builds the `stat` entity instance for Michael Jordan's 1994-95 season,
 // the `nba` master relation and the accuracy rules ϕ1-ϕ11, then
-//   1. checks the Church-Rosser property and deduces the target tuple,
+//   1. checks the Church-Rosser property and deduces the target tuple
+//      (AccuracyService::DeduceEntity),
 //   2. shows the inferred accuracy orders for a few attributes,
 //   3. demonstrates how ϕ12 (Example 6) destroys Church-Rosser-ness,
-//   4. drops `team` from ϕ6 and recovers it via top-k candidates (Ex. 9).
+//   4. drops `team` from ϕ6 and recovers it via top-k candidates
+//      (AccuracyService::TopK, Ex. 9).
 
 #include <cstdio>
 
-#include "chase/chase_engine.h"
+#include "api/accuracy_service.h"
 #include "core/relation.h"
 #include "rules/rule_builder.h"
-#include "topk/topk_ct.h"
 
 // The fixture is shared with the test suite so the example and the tests
 // can never drift apart.
@@ -47,16 +49,23 @@ int main() {
   }
 
   // --- 1. IsCR: Church-Rosser check + target deduction --------------------
+  // One service owns the grounded program, the chase engine and its
+  // checkpoint; every call below reuses them.
   spec.config.keep_orders = true;
-  const GroundProgram program =
-      Instantiate(spec.ie, spec.masters, spec.rules);
-  ChaseEngine engine(spec.ie, &program, spec.config);
-  const ChaseOutcome outcome = engine.RunFromInitial();
-  if (!outcome.church_rosser) {
-    std::printf("unexpected: specification is not Church-Rosser (%s)\n",
-                outcome.violation.c_str());
+  Result<std::unique_ptr<AccuracyService>> service =
+      AccuracyService::Create(spec);
+  if (!service.ok()) {
+    std::printf("service: %s\n", service.status().ToString().c_str());
     return 1;
   }
+  Result<ChaseOutcome> deduced = service.value()->DeduceEntity();
+  if (!deduced.ok() || !deduced.value().church_rosser) {
+    std::printf("unexpected: specification is not Church-Rosser (%s)\n",
+                deduced.ok() ? deduced.value().violation.c_str()
+                             : deduced.status().ToString().c_str());
+    return 1;
+  }
+  const ChaseOutcome& outcome = deduced.value();
   std::printf("\nSpecification is Church-Rosser (%lld ground steps, %lld applied).\n",
               static_cast<long long>(outcome.stats.ground_steps),
               static_cast<long long>(outcome.stats.steps_applied));
@@ -75,7 +84,10 @@ int main() {
   // --- 3. Example 6: ϕ12 breaks confluence ---------------------------------
   Specification bad = MjSpecification();
   bad.rules.push_back(Phi12(schema));
-  const ChaseOutcome nil = IsCR(bad);
+  Result<std::unique_ptr<AccuracyService>> bad_service =
+      AccuracyService::Create(std::move(bad));
+  const ChaseOutcome nil =
+      std::move(bad_service.value()->DeduceEntity()).value();
   std::printf("\nWith ϕ12 added (NBA data <= SL data): Church-Rosser = %s\n",
               nil.church_rosser ? "yes (?)" : "no");
   std::printf("  violation: %s\n", nil.violation.c_str());
@@ -89,20 +101,28 @@ int main() {
       });
     }
   }
-  const GroundProgram p2 =
-      Instantiate(partial.ie, partial.masters, partial.rules);
-  ChaseEngine e2(partial.ie, &p2, partial.config);
-  const ChaseOutcome o2 = e2.RunFromInitial();
+  Result<std::unique_ptr<AccuracyService>> partial_service =
+      AccuracyService::Create(std::move(partial));
   std::printf("\nDropping team from ϕ6: target now misses team/arena.\n");
-  const PreferenceModel pref =
-      PreferenceModel::FromOccurrences(partial.ie, partial.masters);
-  const TopKResult topk = TopKCT(e2, partial.masters, o2.target, pref, 2);
+  Result<TopKResult> topk = partial_service.value()->TopK(2);
+  if (!topk.ok()) {
+    std::printf("topk: %s\n", topk.status().ToString().c_str());
+    return 1;
+  }
   std::printf("Top-2 candidate targets (Example 9/10):\n");
-  for (std::size_t i = 0; i < topk.targets.size(); ++i) {
+  for (std::size_t i = 0; i < topk.value().targets.size(); ++i) {
     std::printf("  #%zu (score %.1f): team=%s, arena=%s\n", i + 1,
-                topk.scores[i],
-                topk.targets[i].at(schema.MustIndexOf("team")).ToString().c_str(),
-                topk.targets[i].at(schema.MustIndexOf("arena")).ToString().c_str());
+                topk.value().scores[i],
+                topk.value()
+                    .targets[i]
+                    .at(schema.MustIndexOf("team"))
+                    .ToString()
+                    .c_str(),
+                topk.value()
+                    .targets[i]
+                    .at(schema.MustIndexOf("arena"))
+                    .ToString()
+                    .c_str());
   }
   std::printf("\nDone.\n");
   return 0;

@@ -1,0 +1,553 @@
+#include "api/accuracy_service.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "rules/grounding.h"
+#include "topk/batch_check.h"
+#include "topk/rank_join_ct.h"
+#include "util/thread_pool.h"
+
+namespace relacc {
+
+namespace {
+
+/// Phase-2 carry-over for one incomplete entity: the grounded program
+/// and the engine with its warm all-null checkpoint, kept alive across
+/// the phase boundary so completion never re-grounds or re-chases.
+struct PendingCompletion {
+  std::unique_ptr<GroundProgram> program;
+  std::unique_ptr<ChaseEngine> engine;  ///< references *program
+};
+
+/// Phase 1 for one entity: ground and run the checkpoint chase. When the
+/// target stays incomplete (and completion is enabled), the engine is
+/// handed back via `pending` for phase 2. Pure function of its inputs;
+/// called concurrently.
+EntityReport ChaseEntityPhase(const EntityInstance& entity,
+                              const std::vector<Relation>& masters,
+                              const std::vector<AccuracyRule>& rules,
+                              const ChaseConfig& chase,
+                              CompletionPolicy completion,
+                              std::unique_ptr<PendingCompletion>* pending) {
+  EntityReport report;
+  report.entity_id = entity.entity_id();
+  report.num_tuples = entity.size();
+
+  auto program =
+      std::make_unique<GroundProgram>(Instantiate(entity, masters, rules));
+  auto engine = std::make_unique<ChaseEngine>(entity, program.get(), chase);
+  // Serve the all-null chase from the engine's checkpoint: the candidate
+  // completion of phase 2 checks against the same checkpoint, so each
+  // entity is chased once, not twice.
+  ChaseOutcome outcome = engine->RunFromCheckpoint();
+  if (!outcome.church_rosser) {
+    report.violation = outcome.violation;
+    return report;
+  }
+  report.church_rosser = true;
+  report.deduced_attrs = outcome.target.size() - outcome.target.NullCount();
+  report.target = outcome.target;
+  report.complete = outcome.target.IsComplete();
+  if (!report.complete && completion != CompletionPolicy::kLeaveNull) {
+    auto p = std::make_unique<PendingCompletion>();
+    p->program = std::move(program);
+    p->engine = std::move(engine);
+    *pending = std::move(p);
+  }
+  return report;
+}
+
+/// Phase 2 for one incomplete entity (Sec. 6): top-1 candidate target.
+/// `checker` is already bound to `engine` and runs every check chase.
+void CompleteEntityPhase(const EntityInstance& entity,
+                         const std::vector<Relation>& masters,
+                         CompletionPolicy completion,
+                         const TopKOptions& topk_options,
+                         const PreferenceModel* preference,
+                         const ChaseEngine& engine,
+                         const CandidateChecker& checker,
+                         EntityReport* report) {
+  PreferenceModel local_pref;
+  const PreferenceModel* pref = preference;
+  if (pref == nullptr) {
+    local_pref = PreferenceModel::FromOccurrences(entity, masters);
+    pref = &local_pref;
+  }
+  TopKOptions topk_opts = topk_options;
+  topk_opts.checker = &checker;
+  TopKResult topk =
+      completion == CompletionPolicy::kHeuristic
+          ? TopKCTh(engine, masters, report->target, *pref, 1, topk_opts)
+          : TopKCT(engine, masters, report->target, *pref, 1, topk_opts);
+  if (!topk.targets.empty()) {
+    report->target = topk.targets[0];
+    report->used_candidate = true;
+  }
+  report->complete = report->target.IsComplete();
+}
+
+/// The option-audit gate (see ISSUE 4): top-k threading is owned by the
+/// service plan, so caller-set values that the legacy batch functions
+/// used to override silently are rejected loudly instead.
+Status ValidateManagedTopK(const TopKOptions& topk, const char* where) {
+  if (topk.checker != nullptr) {
+    return Status::InvalidArgument(
+        std::string(where) +
+        ": TopKOptions::checker is managed by the service (it injects its "
+        "own persistent checker); leave it null");
+  }
+  if (topk.num_threads != 1) {  // 1 is the TopKOptions default
+    return Status::InvalidArgument(
+        std::string(where) +
+        ": TopKOptions::num_threads is governed by the service thread "
+        "budget; leave it at its default and set "
+        "ServiceOptions::num_threads instead");
+  }
+  return Status::OK();
+}
+
+int ResolveBudget(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- AccuracyService
+
+AccuracyService::AccuracyService(Specification spec, ServiceOptions options,
+                                 int budget)
+    : spec_(std::move(spec)), options_(std::move(options)), budget_(budget) {}
+
+AccuracyService::~AccuracyService() = default;
+
+Result<std::unique_ptr<AccuracyService>> AccuracyService::Create(
+    Specification spec, ServiceOptions options) {
+  if (options.window < 1) {
+    return Status::InvalidArgument(
+        "ServiceOptions::window must be >= 1, got " +
+        std::to_string(options.window));
+  }
+  if (options.chase.has_value()) spec.config = *options.chase;
+  const int budget = ResolveBudget(options.num_threads);
+  return std::unique_ptr<AccuracyService>(
+      new AccuracyService(std::move(spec), std::move(options), budget));
+}
+
+Status AccuracyService::EnsureDefaultEngine() {
+  if (engine_ != nullptr) return Status::OK();
+  program_ = std::make_unique<GroundProgram>(
+      Instantiate(spec_.ie, spec_.masters, spec_.rules));
+  engine_ = std::make_unique<ChaseEngine>(spec_.ie, program_.get(),
+                                          spec_.config);
+  engine_token_ = NewBindingToken();
+  return Status::OK();
+}
+
+ThreadPool& AccuracyService::ChasePool() {
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(budget_);
+  return *pool_;
+}
+
+const CandidateChecker& AccuracyService::AcquireChecker(
+    const ChaseEngine& engine, uint64_t token) {
+  if (checker_ == nullptr) {
+    checker_ = std::make_unique<CandidateChecker>(engine, budget_);
+    bound_token_ = token;
+  } else if (bound_token_ != token) {
+    checker_->Rebind(engine);
+    bound_token_ = token;
+  }
+  return *checker_;
+}
+
+Result<ChaseOutcome> AccuracyService::DeduceEntity() {
+  RELACC_RETURN_NOT_OK(EnsureDefaultEngine());
+  return engine_->RunFromCheckpoint();
+}
+
+Result<ChaseOutcome> AccuracyService::DeduceEntity(const Relation& entity) {
+  const GroundProgram program =
+      Instantiate(entity, spec_.masters, spec_.rules);
+  ChaseEngine engine(entity, &program, spec_.config);
+  return engine.RunFromInitial();
+}
+
+Result<TopKResult> AccuracyService::TopK(int k, TopKAlgorithm algo,
+                                         TopKOptions topk,
+                                         const PreferenceModel* preference) {
+  if (k < 1) {
+    return Status::InvalidArgument("TopK: k must be >= 1, got " +
+                                   std::to_string(k));
+  }
+  RELACC_RETURN_NOT_OK(ValidateManagedTopK(topk, "AccuracyService::TopK"));
+  RELACC_RETURN_NOT_OK(EnsureDefaultEngine());
+  const ChaseOutcome outcome = engine_->RunFromCheckpoint();
+  if (!outcome.church_rosser) {
+    return Status::FailedPrecondition(
+        "specification is not Church-Rosser: " + outcome.violation);
+  }
+  // A complete deduced target is not an error: the algorithms verify it
+  // and return it as its own sole candidate (their m == 0 branch).
+  PreferenceModel local_pref;
+  if (preference == nullptr) {
+    local_pref = PreferenceModel::FromOccurrences(spec_.ie, spec_.masters);
+    preference = &local_pref;
+  }
+  topk.num_threads = budget_;
+  topk.checker = &AcquireChecker(*engine_, engine_token_);
+  switch (algo) {
+    case TopKAlgorithm::kHeuristic:
+      return TopKCTh(*engine_, spec_.masters, outcome.target, *preference, k,
+                     topk);
+    case TopKAlgorithm::kRankJoin:
+      return RankJoinCT(*engine_, spec_.masters, outcome.target, *preference,
+                        k, topk);
+    case TopKAlgorithm::kBruteForce:
+      return TopKBruteForce(*engine_, spec_.masters, outcome.target,
+                            *preference, k, topk);
+    case TopKAlgorithm::kTopKCT:
+      break;
+  }
+  return TopKCT(*engine_, spec_.masters, outcome.target, *preference, k,
+                topk);
+}
+
+Result<std::vector<char>> AccuracyService::CheckCandidates(
+    const std::vector<Tuple>& candidates) {
+  RELACC_RETURN_NOT_OK(EnsureDefaultEngine());
+  return AcquireChecker(*engine_, engine_token_).CheckAll(candidates);
+}
+
+Result<std::unique_ptr<PipelineSession>> AccuracyService::StartPipeline(
+    PipelineSessionOptions options) {
+  RELACC_RETURN_NOT_OK(
+      ValidateManagedTopK(options.topk, "AccuracyService::StartPipeline"));
+  if (options.window < 0) {
+    return Status::InvalidArgument(
+        "PipelineSessionOptions::window must be >= 0 (0 = service default), "
+        "got " +
+        std::to_string(options.window));
+  }
+  const int64_t window =
+      options.window == 0 ? options_.window : options.window;
+  const CompletionPolicy completion =
+      options.completion.value_or(options_.completion);
+  return std::unique_ptr<PipelineSession>(
+      new PipelineSession(this, std::move(options), completion, window));
+}
+
+Result<std::unique_ptr<InteractionSession>>
+AccuracyService::StartInteractionImpl(InteractionOptions options,
+                                      std::unique_ptr<Relation> own_ie) {
+  if (options.k < 1) {
+    return Status::InvalidArgument(
+        "InteractionOptions::k must be >= 1, got " +
+        std::to_string(options.k));
+  }
+  RELACC_RETURN_NOT_OK(
+      ValidateManagedTopK(options.topk, "AccuracyService::StartInteraction"));
+  auto session = std::unique_ptr<InteractionSession>(
+      new InteractionSession(this, std::move(options)));
+  const Relation* ie;
+  const GroundProgram* program;
+  if (own_ie == nullptr) {
+    RELACC_RETURN_NOT_OK(EnsureDefaultEngine());
+    ie = &spec_.ie;
+    program = program_.get();
+  } else {
+    session->own_ie_ = std::move(own_ie);
+    session->own_program_ = std::make_unique<GroundProgram>(
+        Instantiate(*session->own_ie_, spec_.masters, spec_.rules));
+    ie = session->own_ie_.get();
+    program = session->own_program_.get();
+  }
+  // Session-owned engine either way: the ResumeWith trail session is
+  // engine state, so concurrent interactions must not share one engine.
+  // Default-entity sessions still share the service checkpoint by
+  // pointer (no second all-null chase).
+  session->engine_ =
+      std::make_unique<ChaseEngine>(*ie, program, spec_.config);
+  if (session->own_ie_ == nullptr) {
+    session->engine_->AdoptCheckpointFrom(*engine_);
+  }
+  session->token_ = NewBindingToken();
+  session->template_ =
+      Tuple(std::vector<Value>(ie->schema().size(), Value::Null()));
+  if (session->options_.preference == nullptr) {
+    session->own_pref_ = PreferenceModel::FromOccurrences(*ie, spec_.masters);
+  }
+  return session;
+}
+
+Result<std::unique_ptr<InteractionSession>> AccuracyService::StartInteraction(
+    InteractionOptions options) {
+  return StartInteractionImpl(std::move(options), nullptr);
+}
+
+Result<std::unique_ptr<InteractionSession>> AccuracyService::StartInteraction(
+    Relation entity, InteractionOptions options) {
+  return StartInteractionImpl(std::move(options),
+                              std::make_unique<Relation>(std::move(entity)));
+}
+
+// ---------------------------------------------------------- PipelineSession
+
+PipelineSession::PipelineSession(AccuracyService* service,
+                                 PipelineSessionOptions options,
+                                 CompletionPolicy completion, int64_t window)
+    : service_(service),
+      options_(std::move(options)),
+      completion_(completion),
+      window_(window) {}
+
+PipelineSession::~PipelineSession() = default;
+
+Status PipelineSession::Submit(EntityInstance entity) {
+  std::vector<EntityInstance> batch;
+  batch.push_back(std::move(entity));
+  return Submit(std::move(batch));
+}
+
+Status PipelineSession::Submit(std::vector<EntityInstance> batch) {
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "PipelineSession::Submit after Finish()");
+  }
+  // Validate the whole batch before accepting any of it, so a failed
+  // Submit leaves the stream exactly as it was.
+  {
+    bool have = have_schema_;
+    AttrId arity = have ? schema_.size() : 0;
+    for (const EntityInstance& e : batch) {
+      if (!have) {
+        have = true;
+        arity = e.schema().size();
+        continue;
+      }
+      if (e.schema().size() != arity) {
+        return Status::InvalidArgument(
+            "PipelineSession::Submit: entity " +
+            std::to_string(e.entity_id()) + " has schema arity " +
+            std::to_string(e.schema().size()) + ", stream started with " +
+            std::to_string(arity));
+      }
+    }
+  }
+  for (EntityInstance& e : batch) {
+    if (!have_schema_) {
+      schema_ = e.schema();
+      have_schema_ = true;
+    }
+    buffer_.push_back(std::move(e));
+    ++stats_.submitted;
+  }
+  // Interleave completion as the window fills: every full window is
+  // processed now, so in-flight engines never exceed the window no
+  // matter how large a batch arrives.
+  std::size_t pos = 0;
+  while (static_cast<int64_t>(buffer_.size() - pos) >= window_) {
+    ProcessChunk(pos, window_);
+    pos += static_cast<std::size_t>(window_);
+  }
+  if (pos > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  return Status::OK();
+}
+
+void PipelineSession::ProcessChunk(std::size_t begin, int64_t count) {
+  const Specification& spec = service_->spec_;
+  std::vector<std::unique_ptr<PendingCompletion>> pending(
+      static_cast<std::size_t>(count));
+  const std::size_t base = reports_.size();
+  reports_.resize(base + static_cast<std::size_t>(count));
+  service_->ChasePool().ParallelFor(count, [&](int64_t k) {
+    reports_[base + static_cast<std::size_t>(k)] = ChaseEntityPhase(
+        buffer_[begin + static_cast<std::size_t>(k)], spec.masters,
+        spec.rules, spec.config, completion_,
+        &pending[static_cast<std::size_t>(k)]);
+  });
+
+  int64_t in_flight = 0;
+  for (const auto& p : pending) {
+    if (p != nullptr) ++in_flight;
+  }
+  stats_.peak_in_flight_engines =
+      std::max(stats_.peak_in_flight_engines, in_flight);
+
+  // Phase 2: sequential in input order; candidate batches fan out inside
+  // the checker. The service checker may still be bound to an engine
+  // that is already gone — Rebind is documented safe for that.
+  TopKOptions topk = options_.topk;
+  topk.num_threads = service_->budget_;
+  for (int64_t k = 0; k < count; ++k) {
+    auto& p = pending[static_cast<std::size_t>(k)];
+    if (p == nullptr) continue;
+    const ChaseEngine& engine = *p->engine;
+    std::unique_ptr<CandidateChecker> fresh;
+    const CandidateChecker* checker;
+    if (options_.reuse_checkers) {
+      checker =
+          &service_->AcquireChecker(engine, service_->NewBindingToken());
+    } else {
+      fresh = std::make_unique<CandidateChecker>(engine, service_->budget_);
+      checker = fresh.get();
+    }
+    CompleteEntityPhase(buffer_[begin + static_cast<std::size_t>(k)],
+                        spec.masters, completion_, topk, options_.preference,
+                        engine, *checker,
+                        &reports_[base + static_cast<std::size_t>(k)]);
+    p.reset();  // free the checkpoint/probe memory as we go
+  }
+  ++stats_.windows;
+  stats_.processed += count;
+}
+
+std::optional<EntityReport> PipelineSession::Poll() {
+  if (next_poll_ >= reports_.size()) return std::nullopt;
+  return reports_[next_poll_++];
+}
+
+std::vector<EntityReport> PipelineSession::Drain() {
+  std::vector<EntityReport> out(
+      reports_.begin() + static_cast<std::ptrdiff_t>(next_poll_),
+      reports_.end());
+  next_poll_ = reports_.size();
+  return out;
+}
+
+Result<PipelineReport> PipelineSession::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "PipelineSession::Finish called twice");
+  }
+  if (!buffer_.empty()) {
+    ProcessChunk(0, static_cast<int64_t>(buffer_.size()));
+    buffer_.clear();
+  }
+  finished_ = true;
+
+  // Deterministic aggregation in input order — field for field what the
+  // legacy batch RunPipeline produced, including the thread plan it
+  // would have computed for this entity count.
+  PipelineReport report;
+  report.entities = reports_;
+  report.plan =
+      ComputePipelineThreadPlan(service_->budget_, stats_.submitted);
+  const Schema schema = have_schema_ ? schema_ : Schema();
+  report.targets = Relation(schema);
+  int64_t attrs_total = 0;
+  int64_t attrs_deduced = 0;
+  for (std::size_t i = 0; i < report.entities.size(); ++i) {
+    const EntityReport& e = report.entities[i];
+    report.total_tuples += e.num_tuples;
+    if (!e.church_rosser) {
+      ++report.num_non_church_rosser;
+      continue;
+    }
+    ++report.num_church_rosser;
+    attrs_total += schema.size();
+    attrs_deduced += e.deduced_attrs;
+    if (e.complete && !e.used_candidate) ++report.num_complete_by_chase;
+    if (e.complete && e.used_candidate) ++report.num_completed_by_candidates;
+    if (!e.complete) ++report.num_incomplete;
+    report.targets.Add(e.target);
+    report.row_entity.push_back(static_cast<int>(i));
+  }
+  report.deduced_attr_fraction =
+      attrs_total > 0 ? static_cast<double>(attrs_deduced) /
+                            static_cast<double>(attrs_total)
+                      : 0.0;
+  return report;
+}
+
+// ------------------------------------------------------- InteractionSession
+
+InteractionSession::InteractionSession(AccuracyService* service,
+                                       InteractionOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+InteractionSession::~InteractionSession() = default;
+
+Result<Suggestion> InteractionSession::Suggest() {
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "InteractionSession::Suggest after the session finished");
+  }
+  Suggestion s;
+  const ChaseOutcome outcome = options_.incremental
+                                   ? engine_->ResumeWith(template_)
+                                   : engine_->Run(template_);
+  s.church_rosser = outcome.church_rosser;
+  if (!outcome.church_rosser) {
+    s.violation = outcome.violation;
+    last_.reset();
+    return s;
+  }
+  s.deduced_target = outcome.target;
+  s.complete = outcome.target.IsComplete();
+  if (s.complete) {
+    finished_ = true;
+    final_target_ = outcome.target;
+    last_.reset();
+    return s;
+  }
+  const PreferenceModel* pref = options_.preference != nullptr
+                                    ? options_.preference
+                                    : &own_pref_;
+  TopKOptions topk = options_.topk;
+  topk.num_threads = service_->budget_;
+  topk.checker = &service_->AcquireChecker(*engine_, token_);
+  s.candidates =
+      TopKCT(*engine_, service_->spec_.masters, s.deduced_target, *pref,
+             options_.k, topk);
+  last_ = s;
+  return s;
+}
+
+Status InteractionSession::Revise(AttrId attr, Value value) {
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "InteractionSession::Revise after the session finished");
+  }
+  if (attr < 0 || attr >= template_.size()) {
+    return Status::InvalidArgument(
+        "Revise: attribute " + std::to_string(attr) +
+        " out of range [0, " + std::to_string(template_.size()) + ")");
+  }
+  if (value.is_null()) {
+    return Status::InvalidArgument(
+        "Revise: a revision supplies a known value; got null");
+  }
+  template_.set(attr, std::move(value));
+  ++revisions_;
+  last_.reset();  // the previous candidates no longer match the template
+  return Status::OK();
+}
+
+Result<Tuple> InteractionSession::Accept(int index) {
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "InteractionSession::Accept after the session finished");
+  }
+  if (!last_.has_value()) {
+    return Status::FailedPrecondition(
+        "Accept: no suggestion outstanding; call Suggest() first");
+  }
+  if (index < 0 ||
+      index >= static_cast<int>(last_->candidates.targets.size())) {
+    return Status::OutOfRange(
+        "Accept: candidate index " + std::to_string(index) +
+        " out of range [0, " +
+        std::to_string(last_->candidates.targets.size()) + ")");
+  }
+  finished_ = true;
+  final_target_ = last_->candidates.targets[index];
+  return final_target_;
+}
+
+}  // namespace relacc

@@ -1,0 +1,413 @@
+#ifndef RELACC_API_ACCURACY_SERVICE_H_
+#define RELACC_API_ACCURACY_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chase/chase_engine.h"
+#include "chase/specification.h"
+#include "core/relation.h"
+#include "pipeline/pipeline.h"
+#include "topk/preference.h"
+#include "topk/topk_ct.h"
+#include "util/status.h"
+
+namespace relacc {
+
+class CandidateChecker;  // topk/batch_check.h
+class ThreadPool;        // util/thread_pool.h
+
+class PipelineSession;
+class InteractionSession;
+
+/// Options fixed for the lifetime of an AccuracyService.
+struct ServiceOptions {
+  /// Total worker-thread budget shared by everything the service runs —
+  /// entity-parallel chasing and the candidate-check fan-out time-multiplex
+  /// it, never multiply it. <= 0 selects the hardware concurrency.
+  int num_threads = 0;
+
+  /// Chase configuration override. When set it replaces the `config`
+  /// embedded in the Specification; when empty the spec's own config
+  /// governs. An optional (rather than a plain ChaseConfig) so a
+  /// spec-pinned check strategy is never silently clobbered by a
+  /// default-constructed option.
+  std::optional<ChaseConfig> chase;
+
+  /// Default completion policy for pipeline sessions and one-shot runs.
+  CompletionPolicy completion = CompletionPolicy::kBestCandidate;
+
+  /// Default streaming window: the maximum number of in-flight completion
+  /// engines a PipelineSession keeps alive at once (each holds a warm
+  /// all-null checkpoint, O(attrs·n²) bits). Memory is O(window), not
+  /// O(entities). Must be >= 1.
+  int64_t window = 64;
+};
+
+/// Per-session options of AccuracyService::StartPipeline.
+struct PipelineSessionOptions {
+  /// Completion policy; empty means the service default.
+  std::optional<CompletionPolicy> completion;
+
+  /// Streaming window override; 0 means the service default. See
+  /// ServiceOptions::window.
+  int64_t window = 0;
+
+  /// Per-entity top-k knobs (max_expansions, include_default_values, ...).
+  /// `num_threads` and `checker` are managed by the service thread plan:
+  /// setting them here is rejected with kInvalidArgument instead of being
+  /// silently overridden (set ServiceOptions::num_threads instead).
+  TopKOptions topk;
+
+  /// Occurrence-count preference weights are built per entity (plus
+  /// masters) unless a model is supplied here.
+  const PreferenceModel* preference = nullptr;
+
+  /// Serve every completion through the service's persistent
+  /// CandidateChecker (rebound per entity) instead of building and
+  /// tearing one down per entity. Reports are identical either way;
+  /// false restores the per-entity teardown for A/B measurement.
+  bool reuse_checkers = true;
+};
+
+/// Options of an interactive session (the Fig. 3 loop).
+struct InteractionOptions {
+  int k = 15;  ///< candidates per Suggest() (paper default)
+
+  /// Re-chase after a revision via the engine's persistent trail session
+  /// (ChaseEngine::ResumeWith) instead of replaying the full chase.
+  /// Identical outcomes; see framework/framework.h.
+  bool incremental = true;
+
+  /// Top-k knobs for Suggest(). As with PipelineSessionOptions::topk,
+  /// `num_threads`/`checker` are managed by the service and rejected when
+  /// set.
+  TopKOptions topk;
+
+  /// Preference model for ranking; null builds occurrence-count weights
+  /// over the session's entity instance (plus masters) once at start.
+  const PreferenceModel* preference = nullptr;
+};
+
+/// What one Suggest() round shows the user: the deduced target under the
+/// current template, and — when it is incomplete — the ranked candidates.
+struct Suggestion {
+  bool church_rosser = false;
+  std::string violation;  ///< when !church_rosser
+  Tuple deduced_target;
+  bool complete = false;
+  TopKResult candidates;  ///< empty when complete or !church_rosser
+};
+
+/// Which top-k algorithm a one-shot AccuracyService::TopK call runs.
+enum class TopKAlgorithm {
+  kTopKCT,      ///< Fig. 5 best-first search (instance optimal)
+  kHeuristic,   ///< TopKCTh, the PTIME greedy-repair heuristic (Sec. 6.3)
+  kRankJoin,    ///< RankJoinCT over ranked attribute lists
+  kBruteForce,  ///< exhaustive oracle; tiny instances only
+};
+
+/// The streaming, session-oriented entry point of the library: one
+/// long-lived object constructed from a Specification (entity instance,
+/// master relations, accuracy rules, chase config) plus a ServiceOptions,
+/// owning for its whole lifetime
+///
+///   * the grounded program and chase engine of the spec's own entity
+///     instance — and with them the shared all-null *checkpoint* every
+///     deduction, candidate check and interactive resume starts from
+///     (built lazily on first use, so pipeline-only services over a
+///     placeholder instance never pay for it);
+///   * one persistent CandidateChecker (and its thread pool), rebound
+///     across entities, sessions and one-shot calls instead of being
+///     rebuilt per call; and
+///   * the thread plan: ServiceOptions::num_threads is the single budget
+///     that entity-parallel chasing and candidate-check fan-out
+///     time-multiplex (see PipelineThreadPlan in pipeline/pipeline.h).
+///
+/// Work is exposed as sessions:
+///
+///   * StartPipeline() — a streaming whole-database run: Submit entity
+///     batches as they arrive, Poll/Drain per-entity reports as they
+///     complete, Finish() for the aggregate PipelineReport. At most
+///     `window` completion engines are in flight, so memory is bounded by
+///     the window, not by the number of entities; the report is
+///     byte-identical to the legacy batch RunPipeline for every window,
+///     budget and check strategy.
+///   * StartInteraction() — the Fig. 3 user loop as a stateful object:
+///     Suggest()/Revise()/Accept() over a persistent chase session
+///     (ChaseEngine::ResumeWith), so each accumulating revision costs
+///     O(its own changes).
+///   * DeduceEntity()/TopK() — one-shot conveniences routed through the
+///     same shared checkpoint and checker.
+///
+/// Error handling: every fallible path returns Status / Result<T>; the
+/// service never writes to stderr or exits the process. Domain outcomes
+/// (a non-Church-Rosser spec, an incomplete target) are reported in the
+/// returned values, not as errors — except where a call is meaningless
+/// without them (TopK on a non-CR spec is kFailedPrecondition).
+///
+/// Threading and ownership: the service and its sessions are not
+/// internally synchronized — drive them from one thread at a time (the
+/// parallelism lives *inside*, governed by the budget). Sessions hold
+/// pointers into the service and must not outlive it. The service is
+/// immovable; the Specification is copied in and owned.
+class AccuracyService {
+ public:
+  /// Validates `options` and takes ownership of `spec`. When
+  /// `options.chase` is set it replaces spec.config.
+  static Result<std::unique_ptr<AccuracyService>> Create(
+      Specification spec, ServiceOptions options = {});
+
+  AccuracyService(const AccuracyService&) = delete;
+  AccuracyService& operator=(const AccuracyService&) = delete;
+  ~AccuracyService();
+
+  const Specification& specification() const { return spec_; }
+
+  /// The resolved worker-thread budget (hardware concurrency when
+  /// ServiceOptions::num_threads was <= 0).
+  int thread_budget() const { return budget_; }
+
+  /// The resolved default streaming window.
+  int64_t default_window() const { return options_.window; }
+
+  /// Opens a streaming pipeline session. Rejects managed TopKOptions
+  /// knobs (num_threads/checker) and negative windows with
+  /// kInvalidArgument.
+  Result<std::unique_ptr<PipelineSession>> StartPipeline(
+      PipelineSessionOptions options = {});
+
+  /// Opens an interactive session over the spec's own entity instance.
+  /// The session shares the service checkpoint (no second all-null
+  /// chase).
+  Result<std::unique_ptr<InteractionSession>> StartInteraction(
+      InteractionOptions options = {});
+
+  /// Opens an interactive session over a caller-supplied entity instance
+  /// (grounded against the service's masters and rules; the relation is
+  /// copied into the session).
+  Result<std::unique_ptr<InteractionSession>> StartInteraction(
+      Relation entity, InteractionOptions options = {});
+
+  /// IsCR over the spec's own entity instance, served from (and priming)
+  /// the shared checkpoint. The Church-Rosser verdict and any violation
+  /// live in the returned ChaseOutcome; Status is for service-level
+  /// failures only.
+  Result<ChaseOutcome> DeduceEntity();
+
+  /// IsCR over a caller-supplied entity instance (grounded fresh against
+  /// the service's masters and rules; no state is retained).
+  Result<ChaseOutcome> DeduceEntity(const Relation& entity);
+
+  /// Top-k candidate targets for the spec's own deduced target, through
+  /// the shared checkpoint and checker. An already-complete deduced
+  /// target is returned (check-verified) as its own sole candidate.
+  /// kFailedPrecondition when the spec is not Church-Rosser;
+  /// kInvalidArgument for k < 1 or managed topk knobs. `preference` null
+  /// builds occurrence-count weights over (ie, masters).
+  Result<TopKResult> TopK(int k, TopKAlgorithm algo = TopKAlgorithm::kTopKCT,
+                          TopKOptions topk = {},
+                          const PreferenceModel* preference = nullptr);
+
+  /// The candidate-target `check` (Sec. 6) for every candidate against
+  /// the spec's own entity instance, fanned out through the shared
+  /// checker; verdicts[i] corresponds to candidates[i]. Candidates must
+  /// satisfy the CheckCandidateTarget contract (complete, agreeing with
+  /// the deduced target on its non-null attributes).
+  Result<std::vector<char>> CheckCandidates(
+      const std::vector<Tuple>& candidates);
+
+ private:
+  friend class PipelineSession;
+  friend class InteractionSession;
+
+  AccuracyService(Specification spec, ServiceOptions options, int budget);
+
+  /// Shared tail of both StartInteraction overloads: validates options
+  /// and wires a session over either the service's own relation and
+  /// program (own_ie null: checkpoint adopted from the service engine)
+  /// or a session-owned relation grounded here.
+  Result<std::unique_ptr<InteractionSession>> StartInteractionImpl(
+      InteractionOptions options, std::unique_ptr<Relation> own_ie);
+
+  /// Grounds the spec's own entity instance and builds its engine, once.
+  Status EnsureDefaultEngine();
+
+  /// The shared chase pool (width = budget), built on first use.
+  ThreadPool& ChasePool();
+
+  /// Hands out the persistent CandidateChecker bound to `engine`,
+  /// rebinding only when the binding token changed. Tokens are unique per
+  /// engine binding (NewBindingToken), never reused, so a token match
+  /// guarantees the checker is still bound to this very engine — pointer
+  /// equality alone could be fooled by a new engine reusing a freed
+  /// address.
+  const CandidateChecker& AcquireChecker(const ChaseEngine& engine,
+                                         uint64_t token);
+  uint64_t NewBindingToken() { return next_token_++; }
+
+  Specification spec_;
+  ServiceOptions options_;
+  int budget_;
+
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Lazily-grounded state of the spec's own entity instance; engine_
+  // owns the shared all-null checkpoint.
+  std::unique_ptr<GroundProgram> program_;
+  std::unique_ptr<ChaseEngine> engine_;
+  uint64_t engine_token_ = 0;
+
+  std::unique_ptr<CandidateChecker> checker_;
+  uint64_t bound_token_ = 0;   ///< token of the engine checker_ is bound to
+  uint64_t next_token_ = 1;    ///< 0 is never handed out
+};
+
+/// A streaming whole-database run (the incremental form of the legacy
+/// RunPipeline): submit entity batches as they arrive, poll per-entity
+/// reports as they complete, finish for the aggregate. Entities are
+/// processed in windows — phase-1 entity-parallel chase, then phase-2
+/// completion in input order through the service checker — as soon as a
+/// full window has accumulated, so at most `window` completion engines
+/// are ever alive (stats().peak_in_flight_engines proves it).
+///
+/// Reports come back in input order and are byte-identical to the legacy
+/// batch path for every window size, thread budget, reuse setting and
+/// check strategy (enforced by tests/test_accuracy_service.cc and
+/// bench/pipeline_scaling.cc).
+class PipelineSession {
+ public:
+  struct Stats {
+    int64_t submitted = 0;  ///< entities accepted by Submit
+    int64_t processed = 0;  ///< entities chased + completed so far
+    int64_t windows = 0;    ///< windows processed
+    /// Peak number of simultaneously-alive phase-2 completion engines;
+    /// <= window by construction.
+    int64_t peak_in_flight_engines = 0;
+  };
+
+  PipelineSession(const PipelineSession&) = delete;
+  PipelineSession& operator=(const PipelineSession&) = delete;
+  ~PipelineSession();
+
+  /// Appends entities to the stream; any full windows they complete are
+  /// processed before returning (their reports become Poll()able).
+  /// kFailedPrecondition after Finish(); kInvalidArgument on a schema
+  /// arity mismatch with the first submitted entity (nothing from the
+  /// batch is accepted then).
+  Status Submit(std::vector<EntityInstance> batch);
+  Status Submit(EntityInstance entity);
+
+  /// Next completed per-entity report in input order, if one is ready.
+  std::optional<EntityReport> Poll();
+
+  /// Every completed-but-unpolled report, in input order.
+  std::vector<EntityReport> Drain();
+
+  /// Processes the final partial window and returns the aggregate report
+  /// (identical to RunPipeline over the same entities). The session
+  /// refuses further Submit/Finish calls afterwards; Poll/Drain keep
+  /// working on what completed.
+  Result<PipelineReport> Finish();
+
+  bool finished() const { return finished_; }
+  int64_t window() const { return window_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class AccuracyService;
+
+  PipelineSession(AccuracyService* service, PipelineSessionOptions options,
+                  CompletionPolicy completion, int64_t window);
+
+  /// Chases buffer_[begin, begin+count) entity-parallel, then completes
+  /// the incomplete ones in input order; appends their reports.
+  void ProcessChunk(std::size_t begin, int64_t count);
+
+  AccuracyService* service_;
+  PipelineSessionOptions options_;
+  CompletionPolicy completion_;
+  int64_t window_;
+
+  Schema schema_;
+  bool have_schema_ = false;
+  std::vector<EntityInstance> buffer_;  ///< submitted, not yet processed
+  std::vector<EntityReport> reports_;   ///< processed, input order
+  std::size_t next_poll_ = 0;
+  bool finished_ = false;
+  Stats stats_;
+};
+
+/// The Fig. 3 interactive loop as a stateful object, replacing the inline
+/// UserOracle wiring of the legacy RunFramework: Suggest() chases the
+/// current target template (via the engine's persistent trail session, so
+/// accumulating revisions cost O(their own changes)) and ranks candidate
+/// targets when the deduced target is incomplete; Revise() folds a
+/// user-supplied value into the template; Accept() finalizes on a
+/// suggested candidate. A completing Suggest() finalizes the session by
+/// itself.
+class InteractionSession {
+ public:
+  InteractionSession(const InteractionSession&) = delete;
+  InteractionSession& operator=(const InteractionSession&) = delete;
+  ~InteractionSession();
+
+  /// One deduction round: chases the current template and — when the
+  /// result is incomplete — computes the top-k candidates. Not an error
+  /// when the spec is not Church-Rosser: the Suggestion carries the
+  /// verdict and violation. kFailedPrecondition once finished.
+  Result<Suggestion> Suggest();
+
+  /// Folds the accurate value of one attribute into the target template
+  /// (the user's Fig. 3 "revise" move). kInvalidArgument for an
+  /// out-of-range attribute or a null value; kFailedPrecondition once
+  /// finished. Invalidates the previous Suggestion for Accept().
+  Status Revise(AttrId attr, Value value);
+
+  /// Accepts candidate `index` of the latest Suggest() as the final
+  /// target. kFailedPrecondition when finished or no suggestion is
+  /// outstanding; kOutOfRange for a bad index.
+  Result<Tuple> Accept(int index);
+
+  /// True once a complete target was deduced or accepted.
+  bool finished() const { return finished_; }
+
+  /// The final target; meaningful once finished().
+  const Tuple& final_target() const { return final_target_; }
+
+  /// The current (partial) target template the next Suggest() chases.
+  const Tuple& target_template() const { return template_; }
+
+  /// Revisions applied so far (h of the paper's Exp-3).
+  int revisions() const { return revisions_; }
+
+ private:
+  friend class AccuracyService;
+
+  InteractionSession(AccuracyService* service, InteractionOptions options);
+
+  AccuracyService* service_;
+  InteractionOptions options_;
+
+  // For sessions over a caller-supplied entity; default-entity sessions
+  // borrow the service's relation and program instead.
+  std::unique_ptr<Relation> own_ie_;
+  std::unique_ptr<GroundProgram> own_program_;
+
+  std::unique_ptr<ChaseEngine> engine_;  ///< always session-owned
+  uint64_t token_ = 0;
+  PreferenceModel own_pref_;             ///< used when options_.preference null
+
+  Tuple template_;
+  std::optional<Suggestion> last_;  ///< latest Suggest, for Accept
+  Tuple final_target_;
+  bool finished_ = false;
+  int revisions_ = 0;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_API_ACCURACY_SERVICE_H_

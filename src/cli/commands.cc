@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "api/accuracy_service.h"
+#include "api/version.h"
 #include "chase/chase_engine.h"
 #include "chase/explain.h"
 #include "cli/console_user.h"
@@ -34,17 +36,64 @@ Result<SpecDocument> LoadSpec(const Args& args) {
   const auto slash = path.find_last_of('/');
   const std::string base_dir =
       slash == std::string::npos ? "" : path.substr(0, slash);
-  return SpecFromJsonText(text.value(), base_dir);
+  Result<SpecDocument> doc = SpecFromJsonText(text.value(), base_dir);
+  if (!doc.ok() && doc.status().code() != StatusCode::kParseError &&
+      doc.status().code() != StatusCode::kIoError) {
+    // Spec-content problems (reported as kInvalidArgument by spec_io)
+    // are document parse failures from the CLI's point of view — exit
+    // code 1, as this tool has always reported for a bad spec file —
+    // not usage errors (exit 2).
+    return Status::ParseError(doc.status().message());
+  }
+  return doc;
 }
 
 /// Rejects unrecognized flags after a command has consumed its own.
-int CheckUnread(const Args& args, std::ostream& err) {
+Status CheckUnread(const Args& args) {
   std::vector<std::string> unread = args.UnreadFlags();
-  if (unread.empty()) return 0;
-  err << "error: unknown flag(s):";
-  for (const std::string& f : unread) err << " --" << f;
-  err << "\n";
-  return 2;
+  if (unread.empty()) return Status::OK();
+  std::string msg = "unknown flag(s):";
+  for (const std::string& f : unread) msg += " --" + f;
+  return Status::InvalidArgument(std::move(msg));
+}
+
+/// Resolves --key into ResolverConfig::key_attrs over `schema`.
+Status ParseKeyAttrs(const std::string& key, const Schema& schema,
+                     ResolverConfig* resolver) {
+  if (key.empty()) {
+    return Status::InvalidArgument(
+        "--key <attr[,attr...]> is required (entity-resolution key over "
+        "the flat relation)");
+  }
+  for (const std::string& part : Split(key, ',')) {
+    std::optional<AttrId> a = schema.IndexOf(std::string(Trim(part)));
+    if (!a) {
+      return Status::InvalidArgument("unknown key attribute '" + part + "'");
+    }
+    resolver->key_attrs.push_back(*a);
+  }
+  return Status::OK();
+}
+
+/// Shared by CmdPipeline and CmdDiscover: streams resolved entity
+/// clusters through one pipeline session over a service built from the
+/// spec document's (masters, rules, chase config).
+Result<PipelineReport> StreamResolvedEntities(
+    const Specification& spec, std::vector<EntityInstance> entities,
+    ServiceOptions service_options) {
+  Specification service_spec;
+  service_spec.ie = Relation(spec.ie.schema());
+  service_spec.masters = spec.masters;
+  service_spec.rules = spec.rules;
+  service_spec.config = spec.config;
+  Result<std::unique_ptr<AccuracyService>> service = AccuracyService::Create(
+      std::move(service_spec), std::move(service_options));
+  if (!service.ok()) return service.status();
+  Result<std::unique_ptr<PipelineSession>> session =
+      service.value()->StartPipeline();
+  if (!session.ok()) return session.status();
+  RELACC_RETURN_NOT_OK(session.value()->Submit(std::move(entities)));
+  return session.value()->Finish();
 }
 
 void PrintTarget(const Tuple& target, const Schema& schema,
@@ -57,15 +106,12 @@ void PrintTarget(const Tuple& target, const Schema& schema,
   }
 }
 
-int CmdCheck(const Args& args, std::ostream& out, std::ostream& err) {
+Status CmdCheck(const Args& args, std::ostream& out) {
   const bool as_json = args.Has("json");
   const bool quiet = args.Has("quiet");
   Result<SpecDocument> doc = LoadSpec(args);
-  if (!doc.ok()) {
-    err << "error: " << doc.status().ToString() << "\n";
-    return 1;
-  }
-  if (int rc = CheckUnread(args, err); rc != 0) return rc;
+  if (!doc.ok()) return doc.status();
+  RELACC_RETURN_NOT_OK(CheckUnread(args));
 
   const Specification& spec = doc.value().spec;
   ChaseOutcome outcome = IsCR(spec);
@@ -75,34 +121,34 @@ int CmdCheck(const Args& args, std::ostream& out, std::ostream& err) {
     out << "NOT Church-Rosser: " << outcome.violation << "\n";
   } else {
     out << "Church-Rosser: yes\n";
-    out << "target " << (outcome.target.IsComplete() ? "(complete)" : "(incomplete)")
+    out << "target "
+        << (outcome.target.IsComplete() ? "(complete)" : "(incomplete)")
         << ":\n";
     if (!quiet) PrintTarget(outcome.target, spec.ie.schema(), out);
   }
-  return outcome.church_rosser ? 0 : 3;
+  if (!outcome.church_rosser) {
+    // The verdict was fully reported on `out` above; an empty message
+    // tells the exit point to set the code without a duplicate stderr
+    // diagnostic.
+    return Status::FailedPrecondition("");
+  }
+  return Status::OK();
 }
 
-int CmdExplain(const Args& args, std::ostream& out, std::ostream& err) {
+Status CmdExplain(const Args& args, std::ostream& out) {
   const std::string attr_name = args.GetString("attr");
   Result<int64_t> depth = args.GetInt("depth", 12);
   Result<SpecDocument> doc = LoadSpec(args);
-  if (!doc.ok()) {
-    err << "error: " << doc.status().ToString() << "\n";
-    return 1;
-  }
-  if (!depth.ok()) {
-    err << "error: " << depth.status().ToString() << "\n";
-    return 2;
-  }
-  if (int rc = CheckUnread(args, err); rc != 0) return rc;
+  if (!doc.ok()) return doc.status();
+  if (!depth.ok()) return depth.status();
+  RELACC_RETURN_NOT_OK(CheckUnread(args));
 
   const Specification& spec = doc.value().spec;
   const Schema& schema = spec.ie.schema();
   ExplainedChase explained(spec);
   if (!explained.church_rosser()) {
-    err << "error: specification is not Church-Rosser: "
-        << explained.violation() << "\n";
-    return 3;
+    return Status::FailedPrecondition("specification is not Church-Rosser: " +
+                                      explained.violation());
   }
   if (attr_name.empty()) {
     // Explain every deduced attribute.
@@ -113,23 +159,22 @@ int CmdExplain(const Args& args, std::ostream& out, std::ostream& err) {
         out << "\n";
       }
     }
-    return 0;
+    return Status::OK();
   }
   std::optional<AttrId> attr = schema.IndexOf(attr_name);
   if (!attr) {
-    err << "error: unknown attribute '" << attr_name << "'\n";
-    return 2;
+    return Status::InvalidArgument("unknown attribute '" + attr_name + "'");
   }
   std::optional<int> d = explained.FindTeDerivation(*attr);
   if (!d) {
     out << explained.ExplainTarget(*attr);
-    return 0;
+    return Status::OK();
   }
   out << explained.Explain(*d, static_cast<int>(depth.value()));
-  return 0;
+  return Status::OK();
 }
 
-int CmdTopK(const Args& args, std::ostream& out, std::ostream& err) {
+Status CmdTopK(const Args& args, std::ostream& out) {
   Result<int64_t> k = args.GetInt("k", 5);
   Result<int64_t> threads = args.GetInt("threads", 1);
   const std::string algo = args.GetString("algo", "topkct");
@@ -137,75 +182,60 @@ int CmdTopK(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string strategy = args.GetString("check-strategy", "trail");
   const bool as_json = args.Has("json");
   Result<SpecDocument> doc = LoadSpec(args);
-  if (!doc.ok()) {
-    err << "error: " << doc.status().ToString() << "\n";
-    return 1;
-  }
-  if (!k.ok()) {
-    err << "error: " << k.status().ToString() << "\n";
-    return 2;
-  }
-  if (!threads.ok()) {
-    err << "error: " << threads.status().ToString() << "\n";
-    return 2;
-  }
+  if (!doc.ok()) return doc.status();
+  if (!k.ok()) return k.status();
+  if (!threads.ok()) return threads.status();
   // Bounded before the int cast: each worker is an OS thread plus its own
   // chase engine, so absurd values would abort in std::thread or OOM.
   if (threads.value() < 1 || threads.value() > 256) {
-    err << "error: --threads must be between 1 and 256\n";
-    return 2;
+    return Status::InvalidArgument("--threads must be between 1 and 256");
   }
-  if (algo != "topkct" && algo != "heuristic" && algo != "rankjoin" &&
-      algo != "brute") {
-    err << "error: --algo must be topkct, heuristic, rankjoin or brute\n";
-    return 2;
+  TopKAlgorithm algorithm = TopKAlgorithm::kTopKCT;
+  if (algo == "heuristic") {
+    algorithm = TopKAlgorithm::kHeuristic;
+  } else if (algo == "rankjoin") {
+    algorithm = TopKAlgorithm::kRankJoin;
+  } else if (algo == "brute") {
+    algorithm = TopKAlgorithm::kBruteForce;
+  } else if (algo != "topkct") {
+    return Status::InvalidArgument(
+        "--algo must be topkct, heuristic, rankjoin or brute");
   }
   CheckStrategy check_strategy = CheckStrategy::kTrail;
   if (!ParseCheckStrategy(strategy, &check_strategy)) {
-    err << "error: --check-strategy must be trail or copy\n";
-    return 2;
+    return Status::InvalidArgument("--check-strategy must be trail or copy");
   }
-  if (int rc = CheckUnread(args, err); rc != 0) return rc;
+  RELACC_RETURN_NOT_OK(CheckUnread(args));
 
   Specification& spec = doc.value().spec;
   // The flag overrides the spec document's config only when given, so a
   // spec pinned to one strategy keeps it by default.
   if (strategy_given) spec.config.check_strategy = check_strategy;
-  const GroundProgram program =
-      Instantiate(spec.ie, spec.masters, spec.rules);
-  ChaseEngine engine(spec.ie, &program, spec.config);
-  // Checkpoint-backed: the candidate checks below resume from the same
-  // all-null terminal state this run primes.
-  ChaseOutcome outcome = engine.RunFromCheckpoint();
-  if (!outcome.church_rosser) {
-    err << "error: specification is not Church-Rosser: " << outcome.violation
-        << "\n";
-    return 3;
-  }
-  PreferenceModel pref =
-      PreferenceModel::FromOccurrences(spec.ie, spec.masters);
-  TopKOptions topk_opts;
-  topk_opts.num_threads = static_cast<int>(threads.value());
-  TopKResult result;
-  const int kk = static_cast<int>(k.value());
-  if (algo == "heuristic") {
-    result = TopKCTh(engine, spec.masters, outcome.target, pref, kk,
-                     topk_opts);
-  } else if (algo == "rankjoin") {
-    result = RankJoinCT(engine, spec.masters, outcome.target, pref, kk,
-                        topk_opts);
-  } else if (algo == "brute") {
-    result = TopKBruteForce(engine, spec.masters, outcome.target, pref, kk,
-                            topk_opts);
-  } else {
-    result = TopKCT(engine, spec.masters, outcome.target, pref, kk,
-                    topk_opts);
-  }
+  const Schema schema = spec.ie.schema();
 
-  const Schema& schema = spec.ie.schema();
+  ServiceOptions service_options;
+  service_options.num_threads = static_cast<int>(threads.value());
+  Result<std::unique_ptr<AccuracyService>> service =
+      AccuracyService::Create(std::move(spec), std::move(service_options));
+  if (!service.ok()) return service.status();
+  Result<ChaseOutcome> outcome = service.value()->DeduceEntity();
+  if (!outcome.ok()) return outcome.status();
+  if (!outcome.value().church_rosser) {
+    return Status::FailedPrecondition("specification is not Church-Rosser: " +
+                                      outcome.value().violation);
+  }
+  const Tuple& deduced = outcome.value().target;
+  const int kk = static_cast<int>(k.value());
+  // Run the ranking even when the deduced target is complete: the
+  // algorithms then verify the target and return it as its own sole
+  // candidate, which the JSON output has always reported.
+  Result<TopKResult> ranked = service.value()->TopK(kk, algorithm);
+  if (!ranked.ok()) return ranked.status();
+  const TopKResult& result = ranked.value();
+
   if (as_json) {
     Json json = Json::Object();
-    json.Set("deduced_target", TupleToJson(outcome.target, schema));
+    json.Set("deduced_target", TupleToJson(deduced, schema));
     Json candidates = Json::Array();
     for (size_t i = 0; i < result.targets.size(); ++i) {
       Json c = Json::Object();
@@ -218,32 +248,29 @@ int CmdTopK(const Args& args, std::ostream& out, std::ostream& err) {
     json.Set("checks", Json::Int(result.checks));
     json.Set("heap_pops", Json::Int(result.heap_pops));
     out << json.Dump(2) << "\n";
-    return 0;
+    return Status::OK();
   }
-  if (outcome.target.IsComplete()) {
+  if (deduced.IsComplete()) {
     out << "deduced target is already complete; nothing to rank\n";
-    PrintTarget(outcome.target, schema, out);
-    return 0;
+    PrintTarget(deduced, schema, out);
+    return Status::OK();
   }
   out << "deduced target (incomplete):\n";
-  PrintTarget(outcome.target, schema, out);
+  PrintTarget(deduced, schema, out);
   out << "top-" << kk << " candidates (" << algo << "):\n";
   for (size_t i = 0; i < result.targets.size(); ++i) {
     out << "#" << (i + 1) << "  score=" << result.scores[i] << "\n";
     PrintTarget(result.targets[i], schema, out);
   }
   if (result.targets.empty()) out << "(no candidate targets found)\n";
-  return 0;
+  return Status::OK();
 }
 
-int CmdFmt(const Args& args, std::ostream& out, std::ostream& err) {
+Status CmdFmt(const Args& args, std::ostream& out) {
   const bool rules_only = args.Has("rules-only");
   Result<SpecDocument> doc = LoadSpec(args);
-  if (!doc.ok()) {
-    err << "error: " << doc.status().ToString() << "\n";
-    return 1;
-  }
-  if (int rc = CheckUnread(args, err); rc != 0) return rc;
+  if (!doc.ok()) return doc.status();
+  RELACC_RETURN_NOT_OK(CheckUnread(args));
   if (rules_only) {
     out << FormatProgramDsl(doc.value().spec.rules,
                             doc.value().spec.ie.schema(),
@@ -251,76 +278,65 @@ int CmdFmt(const Args& args, std::ostream& out, std::ostream& err) {
   } else {
     out << SpecToJson(doc.value()).Dump(2) << "\n";
   }
-  return 0;
+  return Status::OK();
 }
 
-int CmdPipeline(const Args& args, std::ostream& out, std::ostream& err) {
+Status CmdPipeline(const Args& args, std::ostream& out) {
   const std::string key = args.GetString("key");
   Result<int64_t> threads = args.GetInt("threads", 0);
   const std::string completion = args.GetString("completion", "best");
   const bool as_json = args.Has("json");
   Result<SpecDocument> doc = LoadSpec(args);
-  if (!doc.ok()) {
-    err << "error: " << doc.status().ToString() << "\n";
-    return 1;
+  if (!doc.ok()) return doc.status();
+  if (!threads.ok()) return threads.status();
+  CompletionPolicy policy = CompletionPolicy::kBestCandidate;
+  if (completion == "heuristic") {
+    policy = CompletionPolicy::kHeuristic;
+  } else if (completion == "none") {
+    policy = CompletionPolicy::kLeaveNull;
+  } else if (completion != "best") {
+    return Status::InvalidArgument(
+        "--completion must be best, heuristic or none");
   }
-  if (!threads.ok()) {
-    err << "error: " << threads.status().ToString() << "\n";
-    return 2;
-  }
-  if (key.empty()) {
-    err << "error: --key <attr[,attr...]> is required (entity-resolution "
-           "key over the flat relation)\n";
-    return 2;
-  }
-  if (completion != "best" && completion != "heuristic" &&
-      completion != "none") {
-    err << "error: --completion must be best, heuristic or none\n";
-    return 2;
-  }
-  if (int rc = CheckUnread(args, err); rc != 0) return rc;
-
   const Specification& spec = doc.value().spec;
   const Schema& schema = spec.ie.schema();
   ResolverConfig resolver;
-  for (const std::string& part : Split(key, ',')) {
-    std::optional<AttrId> a = schema.IndexOf(std::string(Trim(part)));
-    if (!a) {
-      err << "error: unknown key attribute '" << part << "'\n";
-      return 2;
-    }
-    resolver.key_attrs.push_back(*a);
-  }
-  PipelineOptions options;
-  options.num_threads = static_cast<int>(threads.value());
-  // The spec document's chase config (check_strategy, builtin_axioms,
-  // action budget) governs every per-entity chase; it used to be dropped
-  // here, silently running the default config instead.
-  options.chase = spec.config;
-  options.completion = completion == "best"
-                           ? CompletionPolicy::kBestCandidate
-                           : completion == "heuristic"
-                                 ? CompletionPolicy::kHeuristic
-                                 : CompletionPolicy::kLeaveNull;
-  PipelineReport report = RunPipelineOnFlat(spec.ie, resolver, spec.masters,
-                                            spec.rules, options);
+  RELACC_RETURN_NOT_OK(ParseKeyAttrs(key, schema, &resolver));
+  RELACC_RETURN_NOT_OK(CheckUnread(args));
+
+  // The flat relation goes through entity resolution, then every cluster
+  // streams through one pipeline session. The spec document's chase
+  // config (check_strategy, builtin_axioms, action budget) governs every
+  // per-entity chase; it used to be dropped here, silently running the
+  // default config instead.
+  ResolutionResult resolution = ResolveEntities(spec.ie, resolver);
+  ServiceOptions service_options;
+  service_options.num_threads = static_cast<int>(threads.value());
+  service_options.completion = policy;
+  Result<PipelineReport> finished = StreamResolvedEntities(
+      spec, std::move(resolution.entities), std::move(service_options));
+  if (!finished.ok()) return finished.status();
+  const PipelineReport& report = finished.value();
+
   if (as_json) {
     Json json = Json::Object();
-    json.Set("entities", Json::Int(static_cast<int64_t>(report.entities.size())));
+    json.Set("entities",
+             Json::Int(static_cast<int64_t>(report.entities.size())));
     json.Set("tuples", Json::Int(report.total_tuples));
     json.Set("church_rosser", Json::Int(report.num_church_rosser));
     json.Set("complete_by_chase", Json::Int(report.num_complete_by_chase));
     json.Set("completed_by_candidates",
              Json::Int(report.num_completed_by_candidates));
     json.Set("incomplete", Json::Int(report.num_incomplete));
-    json.Set("deduced_attr_fraction", Json::Real(report.deduced_attr_fraction));
+    json.Set("deduced_attr_fraction",
+             Json::Real(report.deduced_attr_fraction));
     Json targets = Json::Array();
     for (int i = 0; i < report.targets.size(); ++i) {
       targets.Append(TupleToJson(report.targets.tuple(i), schema));
     }
     json.Set("targets", std::move(targets));
     out << json.Dump(2) << "\n";
-    return 0;
+    return Status::OK();
   }
   out << "entities resolved:          " << report.entities.size() << "\n"
       << "input tuples:               " << report.total_tuples << "\n"
@@ -331,88 +347,85 @@ int CmdPipeline(const Args& args, std::ostream& out, std::ostream& err) {
       << "still incomplete:           " << report.num_incomplete << "\n"
       << "attrs deduced by chase:     "
       << static_cast<int>(report.deduced_attr_fraction * 100.0 + 0.5) << "%\n";
-  return 0;
+  return Status::OK();
 }
 
-int CmdInteractive(const Args& args, std::ostream& out, std::ostream& err,
-                   std::istream& in) {
+Status CmdInteractive(const Args& args, std::ostream& out, std::istream& in) {
   Result<int64_t> k = args.GetInt("k", 5);
   Result<SpecDocument> doc = LoadSpec(args);
-  if (!doc.ok()) {
-    err << "error: " << doc.status().ToString() << "\n";
-    return 1;
-  }
-  if (!k.ok()) {
-    err << "error: " << k.status().ToString() << "\n";
-    return 2;
-  }
-  if (int rc = CheckUnread(args, err); rc != 0) return rc;
+  if (!doc.ok()) return doc.status();
+  if (!k.ok()) return k.status();
+  RELACC_RETURN_NOT_OK(CheckUnread(args));
 
   const Specification& spec = doc.value().spec;
   const Schema& schema = spec.ie.schema();
   PreferenceModel pref =
       PreferenceModel::FromOccurrences(spec.ie, spec.masters);
   ConsoleUser user(schema, in, out);
-  FrameworkOptions options;
-  options.k = static_cast<int>(k.value());
-  FrameworkResult result = RunFramework(spec, pref, &user, options);
+
+  // The console loop is the Fig. 3 oracle over an interactive session:
+  // the session keeps the chase trail and candidate checker warm across
+  // the user's revisions.
+  ServiceOptions service_options;
+  service_options.num_threads = 1;
+  Result<std::unique_ptr<AccuracyService>> service =
+      AccuracyService::Create(spec, std::move(service_options));
+  if (!service.ok()) return service.status();
+  InteractionOptions session_options;
+  session_options.k = static_cast<int>(std::max<int64_t>(1, k.value()));
+  session_options.preference = &pref;
+  Result<std::unique_ptr<InteractionSession>> session =
+      service.value()->StartInteraction(std::move(session_options));
+  if (!session.ok()) return session.status();
+  FrameworkResult result =
+      DriveInteraction(*session.value(), &user, /*max_rounds=*/32);
   if (!result.church_rosser) {
-    err << "error: specification is not Church-Rosser; revise the rules\n";
-    return 3;
+    return Status::FailedPrecondition(
+        "specification is not Church-Rosser; revise the rules");
   }
   out << "\n== final target ("
       << (result.found_complete_target ? "complete" : "partial") << ", "
       << result.interaction_rounds << " interaction round(s)) ==\n";
   PrintTarget(result.target, schema, out);
-  return 0;
+  return Status::OK();
 }
 
-int CmdDiscover(const Args& args, std::ostream& out, std::ostream& err) {
+Status CmdDiscover(const Args& args, std::ostream& out) {
   const std::string key = args.GetString("key");
   Result<int64_t> min_support = args.GetInt("min-support", 20);
   const std::string min_conf_text = args.GetString("min-confidence", "0.98");
   Result<int64_t> max_rules = args.GetInt("max-rules", 50);
   Result<SpecDocument> doc = LoadSpec(args);
-  if (!doc.ok()) {
-    err << "error: " << doc.status().ToString() << "\n";
-    return 1;
-  }
+  if (!doc.ok()) return doc.status();
   if (!min_support.ok() || !max_rules.ok()) {
-    err << "error: --min-support / --max-rules expect integers\n";
-    return 2;
+    return Status::InvalidArgument(
+        "--min-support / --max-rules expect integers");
   }
   char* end = nullptr;
   const double min_confidence = std::strtod(min_conf_text.c_str(), &end);
   if (end == nullptr || *end != '\0' || min_confidence < 0.0 ||
       min_confidence > 1.0) {
-    err << "error: --min-confidence expects a number in [0,1]\n";
-    return 2;
+    return Status::InvalidArgument(
+        "--min-confidence expects a number in [0,1]");
   }
-  if (key.empty()) {
-    err << "error: --key <attr[,attr...]> is required\n";
-    return 2;
-  }
-  if (int rc = CheckUnread(args, err); rc != 0) return rc;
-
   const Specification& spec = doc.value().spec;
   const Schema& schema = spec.ie.schema();
   ResolverConfig resolver;
-  for (const std::string& part : Split(key, ',')) {
-    std::optional<AttrId> a = schema.IndexOf(std::string(Trim(part)));
-    if (!a) {
-      err << "error: unknown key attribute '" << part << "'\n";
-      return 2;
-    }
-    resolver.key_attrs.push_back(*a);
-  }
+  RELACC_RETURN_NOT_OK(ParseKeyAttrs(key, schema, &resolver));
+  RELACC_RETURN_NOT_OK(CheckUnread(args));
 
-  // Bootstrap loop of ar_miner.h: deduce targets with the current Σ, then
-  // mine candidate rules from (instances, deduced targets).
+  // Bootstrap loop of ar_miner.h: deduce targets with the current Σ
+  // (streamed through one pipeline session, same wiring as CmdPipeline),
+  // then mine candidate rules from (instances, deduced targets).
   ResolutionResult resolution = ResolveEntities(spec.ie, resolver);
-  PipelineOptions options;
-  options.chase = spec.config;  // same wiring as CmdPipeline
-  PipelineReport report = RunPipeline(resolution.entities, spec.masters,
-                                      spec.rules, options);
+  // The miner below still needs resolution.entities, so the session gets
+  // its own copy.
+  std::vector<EntityInstance> clusters = resolution.entities;
+  Result<PipelineReport> finished = StreamResolvedEntities(
+      spec, std::move(clusters), ServiceOptions{});
+  if (!finished.ok()) return finished.status();
+  const PipelineReport& report = finished.value();
+
   std::vector<Tuple> targets(resolution.entities.size(),
                              Tuple(std::vector<Value>(schema.size())));
   for (size_t row = 0; row < report.row_entity.size(); ++row) {
@@ -432,24 +445,23 @@ int CmdDiscover(const Args& args, std::ostream& out, std::ostream& err) {
         << FormatRuleDsl(m.rule, schema, doc.value().Masters(),
                          doc.value().entity_name);
   }
-  return 0;
+  return Status::OK();
 }
 
-int CmdGen(const Args& args, std::ostream& out, std::ostream& err) {
+Status CmdGen(const Args& args, std::ostream& out) {
   const std::string profile = args.GetString("profile", "med");
   Result<int64_t> entities = args.GetInt("entities", 50);
   Result<int64_t> seed = args.GetInt("seed", 42);
   Result<int64_t> index = args.GetInt("entity", 0);
   const std::string output = args.GetString("out");
   if (!entities.ok() || !seed.ok() || !index.ok()) {
-    err << "error: --entities / --seed / --entity expect integers\n";
-    return 2;
+    return Status::InvalidArgument(
+        "--entities / --seed / --entity expect integers");
   }
   if (profile != "med" && profile != "cfp") {
-    err << "error: --profile must be med or cfp\n";
-    return 2;
+    return Status::InvalidArgument("--profile must be med or cfp");
   }
-  if (int rc = CheckUnread(args, err); rc != 0) return rc;
+  RELACC_RETURN_NOT_OK(CheckUnread(args));
 
   ProfileConfig config = profile == "med"
                              ? MedConfig(static_cast<uint64_t>(seed.value()))
@@ -460,9 +472,9 @@ int CmdGen(const Args& args, std::ostream& out, std::ostream& err) {
   EntityDataset dataset = GenerateProfile(config);
   if (index.value() < 0 ||
       index.value() >= static_cast<int64_t>(dataset.entities.size())) {
-    err << "error: --entity out of range (dataset has "
-        << dataset.entities.size() << " entities)\n";
-    return 2;
+    return Status::OutOfRange("--entity out of range (dataset has " +
+                              std::to_string(dataset.entities.size()) +
+                              " entities)");
   }
 
   SpecDocument doc;
@@ -474,17 +486,42 @@ int CmdGen(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string text = SpecToJson(doc).Dump(2) + "\n";
   if (output.empty()) {
     out << text;
-    return 0;
+    return Status::OK();
   }
-  Status written = WriteFile(output, text);
-  if (!written.ok()) {
-    err << "error: " << written.ToString() << "\n";
-    return 1;
-  }
+  RELACC_RETURN_NOT_OK(WriteFile(output, text));
   out << "wrote " << output << " (entity " << index.value() << " of "
       << dataset.entities.size() << ", " << doc.spec.ie.size()
       << " tuples, " << doc.spec.rules.size() << " rules)\n";
-  return 0;
+  return Status::OK();
+}
+
+/// The single exit point: every command failure is a Status routed up
+/// here, mapped onto the tool's historical exit codes — 2 for usage
+/// errors, 3 for a specification that is not Church-Rosser, 1 for I/O,
+/// parse and internal failures.
+int ExitCodeOf(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 2;
+    case StatusCode::kFailedPrecondition:
+      return 3;
+    default:
+      return 1;
+  }
+}
+
+int FinishCli(const Status& status, std::ostream& err) {
+  if (status.ok()) return 0;
+  // An empty message means the command already reported the outcome on
+  // its own stream (CmdCheck's Church-Rosser verdict goes to `out`);
+  // only the exit code is taken from the status then.
+  if (!status.message().empty()) {
+    err << "error: " << status.ToString() << "\n";
+  }
+  return ExitCodeOf(status);
 }
 
 }  // namespace
@@ -495,6 +532,7 @@ std::string CliUsage() {
       "(Cao/Fan/Yu, SIGMOD'13)\n"
       "\n"
       "usage: relacc <command> <spec.json> [flags]\n"
+      "       relacc --version\n"
       "\n"
       "commands:\n"
       "  check     Church-Rosser check + deduced target (IsCR)\n"
@@ -517,10 +555,13 @@ std::string CliUsage() {
       "  gen       emit a sample spec document from the built-in generators\n"
       "            [--profile med|cfp] [--entities N] [--seed N]\n"
       "            [--entity I] [--out FILE]\n"
+      "  version   print the library version (also: relacc --version)\n"
       "  help      this text\n"
       "\n"
       "The spec document format is described in io/spec_io.h; rules use the\n"
-      "DSL of dsl/parser.h (an ASCII form of the paper's Table 3 notation).\n";
+      "DSL of dsl/parser.h (an ASCII form of the paper's Table 3 notation).\n"
+      "All commands exit 0 on success, 2 on usage errors, 3 when the\n"
+      "specification is not Church-Rosser, and 1 on I/O or parse failures.\n";
 }
 
 int RunCliCommand(const Args& args, std::ostream& out, std::ostream& err) {
@@ -530,14 +571,20 @@ int RunCliCommand(const Args& args, std::ostream& out, std::ostream& err) {
 int RunCliCommand(const Args& args, std::ostream& out, std::ostream& err,
                   std::istream& in) {
   const std::string& cmd = args.command();
-  if (cmd == "check") return CmdCheck(args, out, err);
-  if (cmd == "explain") return CmdExplain(args, out, err);
-  if (cmd == "topk") return CmdTopK(args, out, err);
-  if (cmd == "fmt") return CmdFmt(args, out, err);
-  if (cmd == "pipeline") return CmdPipeline(args, out, err);
-  if (cmd == "interactive") return CmdInteractive(args, out, err, in);
-  if (cmd == "discover") return CmdDiscover(args, out, err);
-  if (cmd == "gen") return CmdGen(args, out, err);
+  if (cmd == "check") return FinishCli(CmdCheck(args, out), err);
+  if (cmd == "explain") return FinishCli(CmdExplain(args, out), err);
+  if (cmd == "topk") return FinishCli(CmdTopK(args, out), err);
+  if (cmd == "fmt") return FinishCli(CmdFmt(args, out), err);
+  if (cmd == "pipeline") return FinishCli(CmdPipeline(args, out), err);
+  if (cmd == "interactive") {
+    return FinishCli(CmdInteractive(args, out, in), err);
+  }
+  if (cmd == "discover") return FinishCli(CmdDiscover(args, out), err);
+  if (cmd == "gen") return FinishCli(CmdGen(args, out), err);
+  if (cmd == "version" || cmd == "--version") {
+    out << "relacc " << kRelaccVersion << "\n";
+    return 0;
+  }
   if (cmd == "help" || cmd == "--help" || cmd == "-h") {
     out << CliUsage();
     return 0;

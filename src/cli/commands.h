@@ -12,8 +12,13 @@ namespace relacc {
 /// Implementation of the `relacc` command-line tool, factored as a library
 /// so tests drive commands through plain function calls. Every command
 /// reads a JSON specification document (io/spec_io.h), writes its result
-/// to `out`, diagnostics to `err`, and returns a process exit code.
+/// to `out`, and reports failures as a Status routed to one exit point
+/// that prints the message to `err` and maps the code onto the process
+/// exit code (0 ok, 2 usage, 3 not-Church-Rosser, 1 I/O or parse).
+/// Commands run on relacc::AccuracyService (api/accuracy_service.h).
 ///
+///   relacc --version | relacc version
+///       Print the library version.
 ///   relacc check <spec.json> [--json] [--quiet]
 ///       IsCR: Church-Rosser verdict + deduced target.
 ///   relacc explain <spec.json> --attr <name> [--depth N]

@@ -1,6 +1,9 @@
 #include "framework/framework.h"
 
-#include "topk/batch_check.h"
+#include <algorithm>
+#include <utility>
+
+#include "api/accuracy_service.h"
 
 namespace relacc {
 
@@ -26,72 +29,92 @@ UserOracle::Response SimulatedUser::Inspect(
   return r;  // nothing to reveal: give up
 }
 
-FrameworkResult RunFramework(const Specification& spec,
-                             const PreferenceModel& pref, UserOracle* user,
-                             const FrameworkOptions& opts) {
+FrameworkResult DriveInteraction(InteractionSession& session,
+                                 UserOracle* user, int max_rounds) {
   FrameworkResult result;
-  const GroundProgram program =
-      Instantiate(spec.ie, spec.masters, spec.rules);
-  ChaseEngine engine(spec.ie, &program, spec.config);
-
-  // One candidate checker serves every round's top-k call: the engine —
-  // and with it the shared checkpoint and the warm per-worker probe
-  // states — is the same across rounds, so candidate checking reuses the
-  // thread pool instead of rebuilding it per user revision. Overrides
-  // any checker a caller put into opts.topk: that one would be bound to
-  // a different engine.
-  const CandidateChecker checker(engine, opts.topk.num_threads);
-  TopKOptions topk_opts = opts.topk;
-  topk_opts.checker = &checker;
-
-  Tuple initial_te(
-      std::vector<Value>(spec.ie.schema().size(), Value::Null()));
-
-  for (int round = 0; round <= opts.max_rounds; ++round) {
-    // Step (1)+(2): Church-Rosser check and target deduction (IsCR). The
-    // incremental path resumes from the shared all-null checkpoint, which
-    // the TopKCT `check` calls below warm up anyway.
-    const ChaseOutcome outcome = opts.incremental
-                                     ? engine.ResumeWith(initial_te)
-                                     : engine.Run(initial_te);
-    if (!outcome.church_rosser) {
+  for (int round = 0; round <= max_rounds; ++round) {
+    Result<Suggestion> suggested = session.Suggest();
+    if (!suggested.ok()) {
+      // Finished or otherwise unusable session; report what we have.
+      result.interaction_rounds = round;
+      return result;
+    }
+    const Suggestion& s = suggested.value();
+    if (!s.church_rosser) {
       // Step (4) "No" branch: a real deployment asks the user to revise Σ;
-      // the simulated loop has no rule editing, so report failure.
+      // the driver has no rule editing, so report failure.
       result.church_rosser = false;
       return result;
     }
     result.church_rosser = true;
     if (round == 0) {
       result.automatic_attrs =
-          outcome.target.size() - outcome.target.NullCount();
+          s.deduced_target.size() - s.deduced_target.NullCount();
     }
-    if (outcome.target.IsComplete()) {
+    if (s.complete) {
       result.found_complete_target = true;
-      result.target = outcome.target;
+      result.target = s.deduced_target;
       result.interaction_rounds = round;
       return result;
     }
-    // Step (3): top-k candidate targets.
-    result.last_topk = TopKCT(engine, spec.masters, outcome.target, pref,
-                              opts.k, topk_opts);
-    // Step (4): user feedback.
+    result.last_topk = s.candidates;
     const UserOracle::Response resp =
-        user->Inspect(outcome.target, result.last_topk.targets);
+        user->Inspect(s.deduced_target, s.candidates.targets);
     if (resp.accepted_candidate.has_value()) {
-      result.found_complete_target = true;
-      result.target = result.last_topk.targets[*resp.accepted_candidate];
+      Result<Tuple> accepted = session.Accept(*resp.accepted_candidate);
       result.interaction_rounds = round;
+      if (accepted.ok()) {
+        result.found_complete_target = true;
+        result.target = std::move(accepted).value();
+      } else {
+        result.target = s.deduced_target;  // oracle pointed out of range
+      }
       return result;
     }
     if (!resp.revision.has_value()) {
-      result.target = outcome.target;
+      result.target = s.deduced_target;
       result.interaction_rounds = round;
       return result;  // user gave up; return the partial target
     }
-    initial_te.set(resp.revision->first, resp.revision->second);
+    const Status revised =
+        session.Revise(resp.revision->first, resp.revision->second);
+    if (!revised.ok()) {
+      result.target = s.deduced_target;
+      result.interaction_rounds = round;
+      return result;  // oracle produced an unusable revision
+    }
   }
-  result.interaction_rounds = opts.max_rounds;
+  result.interaction_rounds = max_rounds;
   return result;
+}
+
+FrameworkResult RunFramework(const Specification& spec,
+                             const PreferenceModel& pref, UserOracle* user,
+                             const FrameworkOptions& opts) {
+  // One service per call: its budget is the historical checker width
+  // (opts.topk.num_threads), and its engine/checkpoint/checker persist
+  // across every round of the loop exactly as the old inline
+  // implementation kept them.
+  ServiceOptions service_options;
+  service_options.num_threads = std::max(1, opts.topk.num_threads);
+  Result<std::unique_ptr<AccuracyService>> service =
+      AccuracyService::Create(spec, std::move(service_options));
+  if (!service.ok()) return {};
+
+  InteractionOptions session_options;
+  session_options.k = std::max(1, opts.k);
+  session_options.incremental = opts.incremental;
+  session_options.preference = &pref;
+  session_options.topk = opts.topk;
+  // Managed by the service plan; the legacy contract overrode any
+  // caller-set checker silently (it would be bound to the wrong engine),
+  // and the width moved into ServiceOptions::num_threads above.
+  session_options.topk.num_threads = 1;
+  session_options.topk.checker = nullptr;
+  Result<std::unique_ptr<InteractionSession>> session =
+      service.value()->StartInteraction(std::move(session_options));
+  if (!session.ok()) return {};
+  return DriveInteraction(*session.value(), user, opts.max_rounds);
 }
 
 }  // namespace relacc

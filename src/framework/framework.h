@@ -73,10 +73,28 @@ struct FrameworkOptions {
   TopKOptions topk;
 };
 
+class InteractionSession;  // api/accuracy_service.h
+
+/// Drives an AccuracyService interaction session with a UserOracle,
+/// reproducing the legacy RunFramework loop exactly: Suggest; on an
+/// incomplete target consult the user; Accept an approved candidate or
+/// fold the revealed value back via Revise; stop after `max_rounds`
+/// revisions. The adapter between callback-style oracles (SimulatedUser,
+/// the CLI console) and the session API.
+FrameworkResult DriveInteraction(InteractionSession& session,
+                                 UserOracle* user, int max_rounds = 32);
+
 /// The deducing framework of Fig. 3: check Church-Rosser; chase to the
 /// deduced target; if incomplete, compute top-k candidates (TopKCT) and
 /// consult the user; fold the user's revision back into the initial target
 /// template and repeat until a complete target is found.
+///
+/// Deprecated: now a shim over AccuracyService::StartInteraction +
+/// DriveInteraction (api/accuracy_service.h). New code should hold the
+/// service and session objects — they keep the chase session, checkpoint
+/// and checker warm across calls instead of rebuilding them per entity.
+[[deprecated(
+    "use AccuracyService::StartInteraction (api/accuracy_service.h)")]]
 FrameworkResult RunFramework(const Specification& spec,
                              const PreferenceModel& pref, UserOracle* user,
                              const FrameworkOptions& opts = {});

@@ -1,93 +1,13 @@
 #include "pipeline/pipeline.h"
 
 #include <algorithm>
-#include <memory>
+#include <cstdlib>
 #include <thread>
 #include <utility>
 
-#include "chase/chase_engine.h"
-#include "rules/grounding.h"
-#include "topk/batch_check.h"
-#include "util/thread_pool.h"
+#include "api/accuracy_service.h"
 
 namespace relacc {
-
-namespace {
-
-/// Phase-2 carry-over for one incomplete entity: the grounded program
-/// and the engine with its warm all-null checkpoint, kept alive across
-/// the phase boundary so completion never re-grounds or re-chases.
-struct PendingCompletion {
-  std::unique_ptr<GroundProgram> program;
-  std::unique_ptr<ChaseEngine> engine;  ///< references *program
-};
-
-/// Phase 1 for one entity: ground and run the checkpoint chase. When the
-/// target stays incomplete (and completion is enabled), the engine is
-/// handed back via `pending` for phase 2. Pure function of its inputs;
-/// called concurrently.
-EntityReport ChaseEntityPhase(const EntityInstance& entity,
-                              const std::vector<Relation>& masters,
-                              const std::vector<AccuracyRule>& rules,
-                              const PipelineOptions& options,
-                              std::unique_ptr<PendingCompletion>* pending) {
-  EntityReport report;
-  report.entity_id = entity.entity_id();
-  report.num_tuples = entity.size();
-
-  auto program =
-      std::make_unique<GroundProgram>(Instantiate(entity, masters, rules));
-  auto engine =
-      std::make_unique<ChaseEngine>(entity, program.get(), options.chase);
-  // Serve the all-null chase from the engine's checkpoint: the candidate
-  // completion of phase 2 checks against the same checkpoint, so each
-  // entity is chased once, not twice.
-  ChaseOutcome outcome = engine->RunFromCheckpoint();
-  if (!outcome.church_rosser) {
-    report.violation = outcome.violation;
-    return report;
-  }
-  report.church_rosser = true;
-  report.deduced_attrs = outcome.target.size() - outcome.target.NullCount();
-  report.target = outcome.target;
-  report.complete = outcome.target.IsComplete();
-  if (!report.complete && options.completion != CompletionPolicy::kLeaveNull) {
-    auto p = std::make_unique<PendingCompletion>();
-    p->program = std::move(program);
-    p->engine = std::move(engine);
-    *pending = std::move(p);
-  }
-  return report;
-}
-
-/// Phase 2 for one incomplete entity (Sec. 6): top-1 candidate target.
-/// `checker` is already bound to `engine` and runs every check chase.
-void CompleteEntityPhase(const EntityInstance& entity,
-                         const std::vector<Relation>& masters,
-                         const PipelineOptions& options,
-                         const ChaseEngine& engine,
-                         const CandidateChecker& checker,
-                         EntityReport* report) {
-  PreferenceModel local_pref;
-  const PreferenceModel* pref = options.preference;
-  if (pref == nullptr) {
-    local_pref = PreferenceModel::FromOccurrences(entity, masters);
-    pref = &local_pref;
-  }
-  TopKOptions topk_opts = options.topk;
-  topk_opts.checker = &checker;
-  TopKResult topk =
-      options.completion == CompletionPolicy::kHeuristic
-          ? TopKCTh(engine, masters, report->target, *pref, 1, topk_opts)
-          : TopKCT(engine, masters, report->target, *pref, 1, topk_opts);
-  if (!topk.targets.empty()) {
-    report->target = topk.targets[0];
-    report->used_candidate = true;
-  }
-  report->complete = report->target.IsComplete();
-}
-
-}  // namespace
 
 PipelineThreadPlan ComputePipelineThreadPlan(int budget,
                                              int64_t num_entities) {
@@ -102,100 +22,68 @@ PipelineThreadPlan ComputePipelineThreadPlan(int budget,
   return plan;
 }
 
+namespace {
+
+/// The batch entry points are one streaming session submitted in one go:
+/// build a service over (masters, rules, config), stream every entity
+/// through a PipelineSession with the legacy window, finish. Report
+/// identity with the historical in-place implementation is enforced by
+/// tests/test_accuracy_service.cc across windows, budgets and strategies.
+PipelineReport RunPipelineViaService(
+    const std::vector<EntityInstance>& entities,
+    const std::vector<Relation>& masters,
+    const std::vector<AccuracyRule>& rules, const PipelineOptions& options) {
+  Specification spec;
+  spec.ie = Relation(entities.empty() ? Schema() : entities[0].schema());
+  spec.masters = masters;
+  spec.rules = rules;
+  spec.config = options.chase;
+
+  ServiceOptions service_options;
+  service_options.num_threads = options.num_threads;
+  service_options.completion = options.completion;
+  // The historical window: engines of at most this many entities were
+  // alive across the two-phase boundary.
+  const PipelineThreadPlan plan = ComputePipelineThreadPlan(
+      options.num_threads, static_cast<int64_t>(entities.size()));
+  service_options.window = std::max<int64_t>(64, 8 * plan.chase_threads);
+  // None of the calls below can fail for inputs the historical batch
+  // function accepted (the window is >= 64, the managed topk knobs are
+  // cleared, and mixed-arity entity batches aborted inside
+  // Relation::Add before this refactor too) — so a failure here is a
+  // caller error the old contract answered with an abort, not a Status.
+  Result<std::unique_ptr<AccuracyService>> service =
+      AccuracyService::Create(std::move(spec), std::move(service_options));
+  if (!service.ok()) std::abort();
+
+  PipelineSessionOptions session_options;
+  session_options.reuse_checkers = options.reuse_checkers;
+  session_options.preference = options.preference;
+  session_options.topk = options.topk;
+  // The legacy contract: whatever the caller put in topk.num_threads /
+  // topk.checker is replaced by the thread plan. The service API rejects
+  // these knobs instead of overriding them — the shim keeps the historical
+  // silent-override behaviour for source compatibility.
+  session_options.topk.num_threads = 1;
+  session_options.topk.checker = nullptr;
+  Result<std::unique_ptr<PipelineSession>> session =
+      service.value()->StartPipeline(std::move(session_options));
+  if (!session.ok()) std::abort();
+
+  Status submitted = session.value()->Submit(entities);
+  if (!submitted.ok()) std::abort();
+  Result<PipelineReport> report = session.value()->Finish();
+  if (!report.ok()) std::abort();
+  return std::move(report).value();
+}
+
+}  // namespace
+
 PipelineReport RunPipeline(const std::vector<EntityInstance>& entities,
                            const std::vector<Relation>& masters,
                            const std::vector<AccuracyRule>& rules,
                            const PipelineOptions& options) {
-  PipelineReport report;
-  report.entities.resize(entities.size());
-  report.plan = ComputePipelineThreadPlan(
-      options.num_threads, static_cast<int64_t>(entities.size()));
-
-  // The plan is the single source of threading truth from here on:
-  // whatever the caller put in topk.num_threads/topk.checker is replaced
-  // so entity-level and check-level parallelism cannot multiply past the
-  // budget.
-  PipelineOptions planned = options;
-  planned.topk.num_threads = report.plan.check_threads;
-  planned.topk.checker = nullptr;
-
-  // The two phases alternate over windows of entities so the peak count
-  // of alive PendingCompletion engines (checkpoint bit-matrices are
-  // O(attrs·n²) bits each) is bounded by the window, not by the number
-  // of incomplete entities in the whole input. Within a window: phase 1
-  // chases entity-parallel, phase 2 completes sequentially in input
-  // order through the shared checker, whose candidate batches fan out
-  // over its own pool. The chase pool sleeps while the checker works and
-  // vice versa, so at most `budget` threads are ever *active* — the two
-  // levels time-multiplex the budget rather than multiplying it.
-  //
-  // Between entities — and after the loop — the shared checker may be
-  // bound to an engine that is already gone; Rebind and destruction are
-  // documented safe for that. reuse_checkers=false tears a fresh checker
-  // down per entity instead (the A/B baseline for the bench).
-  const int64_t num_entities = static_cast<int64_t>(entities.size());
-  const int64_t window =
-      std::max<int64_t>(64, 8 * report.plan.chase_threads);
-  ThreadPool pool(report.plan.chase_threads);
-  std::unique_ptr<CandidateChecker> shared;
-  std::vector<std::unique_ptr<PendingCompletion>> pending(entities.size());
-  for (int64_t begin = 0; begin < num_entities; begin += window) {
-    const int64_t end = std::min(num_entities, begin + window);
-    pool.ParallelFor(end - begin, [&](int64_t k) {
-      const int64_t i = begin + k;
-      report.entities[i] = ChaseEntityPhase(entities[i], masters, rules,
-                                            planned, &pending[i]);
-    });
-    for (int64_t i = begin; i < end; ++i) {
-      if (pending[i] == nullptr) continue;
-      const ChaseEngine& engine = *pending[i]->engine;
-      std::unique_ptr<CandidateChecker> fresh;
-      const CandidateChecker* checker;
-      if (planned.reuse_checkers) {
-        if (shared == nullptr) {
-          shared = std::make_unique<CandidateChecker>(
-              engine, report.plan.check_threads);
-        } else {
-          shared->Rebind(engine);
-        }
-        checker = shared.get();
-      } else {
-        fresh = std::make_unique<CandidateChecker>(
-            engine, report.plan.check_threads);
-        checker = fresh.get();
-      }
-      CompleteEntityPhase(entities[i], masters, planned, engine, *checker,
-                          &report.entities[i]);
-      pending[i].reset();  // free the checkpoint/probe memory as we go
-    }
-  }
-
-  // Deterministic aggregation in input order.
-  Schema schema = entities.empty() ? Schema() : entities[0].schema();
-  report.targets = Relation(schema);
-  int64_t attrs_total = 0;
-  int64_t attrs_deduced = 0;
-  for (size_t i = 0; i < report.entities.size(); ++i) {
-    const EntityReport& e = report.entities[i];
-    report.total_tuples += e.num_tuples;
-    if (!e.church_rosser) {
-      ++report.num_non_church_rosser;
-      continue;
-    }
-    ++report.num_church_rosser;
-    attrs_total += schema.size();
-    attrs_deduced += e.deduced_attrs;
-    if (e.complete && !e.used_candidate) ++report.num_complete_by_chase;
-    if (e.complete && e.used_candidate) ++report.num_completed_by_candidates;
-    if (!e.complete) ++report.num_incomplete;
-    report.targets.Add(e.target);
-    report.row_entity.push_back(static_cast<int>(i));
-  }
-  report.deduced_attr_fraction =
-      attrs_total > 0 ? static_cast<double>(attrs_deduced) /
-                            static_cast<double>(attrs_total)
-                      : 0.0;
-  return report;
+  return RunPipelineViaService(entities, masters, rules, options);
 }
 
 PipelineReport RunPipelineOnFlat(const Relation& flat,
@@ -204,7 +92,7 @@ PipelineReport RunPipelineOnFlat(const Relation& flat,
                                  const std::vector<AccuracyRule>& rules,
                                  const PipelineOptions& options) {
   ResolutionResult resolution = ResolveEntities(flat, resolver_config);
-  return RunPipeline(resolution.entities, masters, rules, options);
+  return RunPipelineViaService(resolution.entities, masters, rules, options);
 }
 
 }  // namespace relacc

@@ -119,13 +119,28 @@ struct PipelineReport {
 ///
 /// Reports are ordered deterministically by input position and identical
 /// for every budget, completion-phase width and reuse setting.
+///
+/// Deprecated: this is now a thin shim — one AccuracyService pipeline
+/// session submitted in a single batch (api/accuracy_service.h). New code
+/// should create the service once and stream entities through
+/// StartPipeline(), which bounds memory by the window instead of the
+/// input size and reports errors as Status rather than silently
+/// overriding caller-set TopKOptions threading knobs the way this entry
+/// point historically did.
+[[deprecated(
+    "use AccuracyService::StartPipeline (api/accuracy_service.h)")]]
 PipelineReport RunPipeline(const std::vector<EntityInstance>& entities,
                            const std::vector<Relation>& masters,
                            const std::vector<AccuracyRule>& rules,
                            const PipelineOptions& options = {});
 
 /// Convenience entry point from a flat relation: resolve entities first
-/// (src/er), then run the pipeline over the clusters.
+/// (src/er), then run the pipeline over the clusters. Deprecated like
+/// RunPipeline; resolve with ResolveEntities and stream the clusters
+/// through AccuracyService::StartPipeline instead.
+[[deprecated(
+    "use ResolveEntities + AccuracyService::StartPipeline "
+    "(api/accuracy_service.h)")]]
 PipelineReport RunPipelineOnFlat(const Relation& flat,
                                  const ResolverConfig& resolver_config,
                                  const std::vector<Relation>& masters,

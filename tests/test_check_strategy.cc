@@ -24,6 +24,11 @@
 #include "topk/rank_join_ct.h"
 #include "topk/topk_ct.h"
 
+// This file deliberately exercises the deprecated batch entry points:
+// they are thin shims over AccuracyService now, and the expectations
+// here are what pin the shims to the service's behaviour.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace relacc {
 namespace {
 

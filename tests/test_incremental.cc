@@ -11,6 +11,11 @@
 #include "mj_fixture.h"
 #include "topk/batch_check.h"
 
+// This file deliberately exercises the deprecated batch entry points:
+// they are thin shims over AccuracyService now, and the expectations
+// here are what pin the shims to the service's behaviour.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace relacc {
 namespace {
 
