@@ -21,7 +21,9 @@
 // This file deliberately exercises the deprecated batch entry points:
 // they are thin shims over AccuracyService now, and the expectations
 // here are what pin the shims to the service's behaviour.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "api/version.h"
+
+RELACC_SUPPRESS_DEPRECATED_BEGIN
 
 namespace relacc {
 namespace bench {
@@ -140,3 +142,5 @@ int Run() {
 }  // namespace relacc
 
 int main() { return relacc::bench::Run(); }
+
+RELACC_SUPPRESS_DEPRECATED_END

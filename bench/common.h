@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "api/version.h"
 #include "chase/chase_engine.h"
 #include "datagen/dataset.h"
 #include "datagen/profile_generator.h"
@@ -78,6 +79,7 @@ class JsonReport {
   bool Write() {
     Json doc = Json::Object();
     doc.Set("bench", Json::Str(bench_name_));
+    doc.Set("version", Json::Str(kRelaccVersion));
     doc.Set("small_scale", Json::Bool(SmallScale()));
     doc.Set("rows", std::move(rows_));
     rows_ = Json::Array();

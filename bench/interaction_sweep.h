@@ -14,10 +14,12 @@
 // This sweep deliberately exercises the deprecated RunFramework shim:
 // it is now a thin wrapper over AccuracyService::StartInteraction, so
 // the figures double as a regression bench for the shim path. The
-// suppression is scoped (push/pop at the end of this header) so
-// including TUs keep the deprecation wall for their own code.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// suppression macro pair (api/version.h) is scoped — END at the end of
+// this header — so including TUs keep the deprecation wall for their
+// own code.
+#include "api/version.h"
+
+RELACC_SUPPRESS_DEPRECATED_BEGIN
 
 namespace relacc {
 namespace bench {
@@ -59,6 +61,6 @@ inline void RunInteractionSweep(const EntityDataset& ds, int sample,
 }  // namespace bench
 }  // namespace relacc
 
-#pragma GCC diagnostic pop
+RELACC_SUPPRESS_DEPRECATED_END
 
 #endif  // RELACC_BENCH_INTERACTION_SWEEP_H_

@@ -12,8 +12,18 @@
 //    stats().peak_in_flight_engines stays <= window — memory is
 //    O(window), not O(entities).
 //
-// Exits nonzero only on a report mismatch or a window-bound violation,
-// so perf noise cannot break CI. Emits BENCH_pipeline_scaling.json.
+// 3. Completion A/B (many_entities_completion scenario): phase-2
+//    entity-parallel completion (the 2-D thread plan) vs the one-entity-
+//    at-a-time schedule at the same budget, identical reports enforced;
+//    the parallel row carries speedup_vs_serial for the CI gate.
+//
+// 4. ground_scaling: sharded Instantiate at several |Ie| points and
+//    shard counts — step-for-step program identity enforced, timing
+//    recorded.
+//
+// Exits nonzero only on a report/program mismatch or a window-bound
+// violation, so perf noise cannot break CI. Emits
+// BENCH_pipeline_scaling.json.
 //
 // Extra mode for the CI peak-memory lane:
 //   bench_pipeline_scaling --stream N [--window W] [--chunk C]
@@ -22,10 +32,12 @@
 // with the process peak RSS; the lane runs it at two entity counts and
 // asserts the RSS does not scale with N.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -39,7 +51,9 @@
 
 // The batch section deliberately exercises the deprecated RunPipeline
 // shim — it is the A/B baseline the streaming session must match.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "api/version.h"
+
+RELACC_SUPPRESS_DEPRECATED_BEGIN
 
 namespace relacc {
 namespace bench {
@@ -77,11 +91,13 @@ int64_t PeakRssKb() {
 }
 
 /// One streaming run: `entities` submitted in batches of `batch`,
-/// through a session with the given window. Returns the final report;
-/// peak/ok flow out through the out-params.
+/// through a session with the given window (and, when
+/// `completion_workers` > 0, a forced phase-2 entity-parallel width).
+/// Returns the final report; peak/ok flow out through the out-params.
 PipelineReport RunStreaming(const EntityDataset& dataset, int budget,
                             int64_t window, std::size_t batch,
-                            int64_t* peak_in_flight, bool* ok) {
+                            int64_t* peak_in_flight, bool* ok,
+                            int completion_workers = 0) {
   Specification spec;
   spec.ie = Relation(dataset.schema);
   spec.masters = dataset.masters;
@@ -96,8 +112,10 @@ PipelineReport RunStreaming(const EntityDataset& dataset, int budget,
     *ok = false;
     return {};
   }
+  PipelineSessionOptions session_options;
+  session_options.completion_workers = completion_workers;
   Result<std::unique_ptr<PipelineSession>> session =
-      service.value()->StartPipeline();
+      service.value()->StartPipeline(std::move(session_options));
   if (!session.ok()) {
     *ok = false;
     return {};
@@ -128,7 +146,68 @@ struct Scenario {
   EntityDataset dataset;
   std::vector<int> budgets;
   int reps;
+  /// Emit the completion-serial vs completion-parallel A/B rows (the
+  /// phase-2 entity-parallelism satellite) for this scenario.
+  bool completion_ab = false;
 };
+
+/// Sharded-grounding rows: Instantiate one med-shaped entity of exactly
+/// `n` tuples at several shard counts. The sharded program must equal
+/// the serial one step for step (determinism is the gate; the timing
+/// rows record the speedup trajectory). Returns false on a mismatch.
+bool RunGroundScaling(JsonReport* json) {
+  const bool small = SmallScale();
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  bool identical = true;
+  const std::vector<int> sizes = small ? std::vector<int>{16, 32}
+                                       : std::vector<int>{32, 64, 96};
+  std::printf("== ground_scaling (Instantiate, shards {1,4,hw=%d}) ==\n",
+              hw);
+  std::printf("%6s %8s %6s %12s %12s %10s\n", "n", "shards", "reps",
+              "steps", "ms/ground", "speedup");
+  for (const int n : sizes) {
+    ProfileConfig config = MedConfig(/*seed=*/41);
+    config.num_entities = 1;
+    config.min_tuples = n;
+    config.max_tuples = n;
+    config.master_size = 60;
+    const EntityDataset ds = GenerateProfile(config);
+    const Relation& ie = ds.entities[0];
+    const int reps = small ? 3 : (n >= 96 ? 5 : 10);
+    const GroundProgram reference = Instantiate(ie, ds.masters, ds.rules);
+    double serial_ms = 0.0;
+    std::vector<int> shard_counts = {1, 4, hw};
+    shard_counts.erase(std::unique(shard_counts.begin(), shard_counts.end()),
+                       shard_counts.end());
+    if (hw == 1) shard_counts = {1, 4};  // hw duplicates the serial row
+    for (const int shards : shard_counts) {
+      GroundProgram program;
+      const double ms = TimeMs([&] {
+        for (int r = 0; r < reps; ++r) {
+          program = shards <= 1
+                        ? Instantiate(ie, ds.masters, ds.rules)
+                        : Instantiate(ie, ds.masters, ds.rules, shards);
+        }
+      });
+      const double ms_per = ms / reps;
+      if (shards <= 1) serial_ms = ms_per;
+      if (!(program == reference)) identical = false;
+      const double speedup = ms_per > 0.0 ? serial_ms / ms_per : 0.0;
+      std::printf("%6d %8d %6d %12zu %12.3f %9.2fx\n", n, shards, reps,
+                  program.steps.size(), ms_per, speedup);
+      JsonReport::Row row;
+      row.Set("scenario", "ground_scaling")
+          .Set("n", n)
+          .Set("shards", shards)
+          .Set("steps", static_cast<int64_t>(program.steps.size()))
+          .Set("ms_per_ground", ms_per)
+          .Set("speedup_vs_serial", speedup);
+      json->Add(std::move(row));
+    }
+  }
+  return identical;
+}
 
 /// The CI peak-memory lane: stream `total` entities (one `chunk`-sized
 /// generated set resubmitted over and over, so the *input* held by the
@@ -233,6 +312,24 @@ int Run() {
                          small ? std::vector<int>{8} : std::vector<int>{4, 8},
                          small ? 2 : 5});
   }
+  {
+    // Many entities, every target incomplete: phase 2 dominates and is
+    // embarrassingly parallel across entities — the scenario behind the
+    // completion-serial vs completion-parallel A/B rows and the
+    // budget-8-vs-1 end-to-end acceptance number.
+    ProfileConfig config = MedConfig(/*seed=*/31);
+    config.num_entities = small ? 16 : 64;
+    config.min_tuples = 12;
+    config.max_tuples = 12;
+    config.master_size = 60;
+    config.free_corruption_prob = 1.0;
+    // Budget 8 in small mode too: the CI gate reads the top-budget
+    // completion-parallel row, and the acceptance number is budget 8 vs
+    // budget 1.
+    scenarios.push_back({"many_entities_completion", GenerateProfile(config),
+                         std::vector<int>{1, 8},
+                         small ? 2 : 3, /*completion_ab=*/true});
+  }
 
   bool all_identical = true;
   bool window_bound_held = true;
@@ -288,6 +385,7 @@ int Run() {
             .Set("mode", mode)
             .Set("budget", budget)
             .Set("chase_threads", report.plan.chase_threads)
+            .Set("completion_workers", report.plan.completion_workers)
             .Set("check_threads", report.plan.check_threads)
             .Set("entities",
                  static_cast<int64_t>(scenario.dataset.entities.size()))
@@ -335,8 +433,51 @@ int Run() {
             .Set("ms_per_run", ms_per_run);
         json.Add(std::move(row));
       }
+
+      // Completion A/B at this budget: one entity at a time through a
+      // budget-wide checker (workers=1, the pre-2-D schedule) vs the
+      // plan's entity-parallel completion (workers=0, auto). Identical
+      // reports enforced; the parallel row records its speedup — the
+      // bench-json CI job gates on it at the highest budget.
+      if (scenario.completion_ab) {
+        double serial_ms = 0.0;
+        for (const int workers : {1, 0}) {
+          int64_t peak = 0;
+          bool ok = true;
+          PipelineReport report;
+          const double ms = TimeMs([&] {
+            for (int r = 0; r < scenario.reps; ++r) {
+              report = RunStreaming(scenario.dataset, budget, /*window=*/64,
+                                    /*batch=*/16, &peak, &ok, workers);
+            }
+          });
+          const double ms_per_run = ms / scenario.reps;
+          if (!ok) window_bound_held = false;
+          if (ReportKey(report) != reference_key) all_identical = false;
+          if (workers == 1) serial_ms = ms_per_run;
+          const double speedup =
+              ms_per_run > 0.0 ? serial_ms / ms_per_run : 0.0;
+          const std::string mode = workers == 1 ? "completion-serial"
+                                                : "completion-parallel";
+          std::printf("%8d %18s %12.2f  speedup=%.2fx\n", budget,
+                      mode.c_str(), ms_per_run, speedup);
+          JsonReport::Row row;
+          row.Set("scenario", scenario.name)
+              .Set("mode", mode)
+              .Set("budget", budget)
+              .Set("completion_workers", workers)
+              .Set("entities",
+                   static_cast<int64_t>(scenario.dataset.entities.size()))
+              .Set("ms_per_run", ms_per_run)
+              .Set("speedup_vs_serial", speedup);
+          json.Add(std::move(row));
+        }
+      }
     }
   }
+
+  const bool ground_identical = RunGroundScaling(&json);
+  if (!ground_identical) all_identical = false;
 
   json.Write();
   std::printf("reports identical across modes, budgets and windows: %s\n",
@@ -372,3 +513,5 @@ int main(int argc, char** argv) {
   }
   return relacc::bench::Run();
 }
+
+RELACC_SUPPRESS_DEPRECATED_END

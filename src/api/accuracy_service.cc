@@ -1,6 +1,7 @@
 #include "api/accuracy_service.h"
 
 #include <algorithm>
+#include <iterator>
 #include <thread>
 #include <utility>
 
@@ -130,6 +131,12 @@ Result<std::unique_ptr<AccuracyService>> AccuracyService::Create(
         "ServiceOptions::window must be >= 1, got " +
         std::to_string(options.window));
   }
+  if (options.ground_shards < 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::ground_shards must be >= 0 (0 = thread budget), "
+        "got " +
+        std::to_string(options.ground_shards));
+  }
   if (options.chase.has_value()) spec.config = *options.chase;
   const int budget = ResolveBudget(options.num_threads);
   return std::unique_ptr<AccuracyService>(
@@ -138,10 +145,15 @@ Result<std::unique_ptr<AccuracyService>> AccuracyService::Create(
 
 Status AccuracyService::EnsureDefaultEngine() {
   if (engine_ != nullptr) return Status::OK();
+  // Sharded bring-up (the large-|Ie| startup path): grounding and the
+  // engine's index build both fan out over the budget pool; the chase to
+  // the checkpoint itself stays sequential (and lazy).
+  const int shards = GroundShardCount();
+  ThreadPool* pool = shards > 1 ? &ChasePool() : nullptr;
   program_ = std::make_unique<GroundProgram>(
-      Instantiate(spec_.ie, spec_.masters, spec_.rules));
+      Instantiate(spec_.ie, spec_.masters, spec_.rules, shards, pool));
   engine_ = std::make_unique<ChaseEngine>(spec_.ie, program_.get(),
-                                          spec_.config);
+                                          spec_.config, pool);
   engine_token_ = NewBindingToken();
   return Status::OK();
 }
@@ -163,15 +175,39 @@ const CandidateChecker& AccuracyService::AcquireChecker(
   return *checker_;
 }
 
+void AccuracyService::EnsureCompletionSlots(int workers) {
+  if (static_cast<int>(completion_checkers_.size()) < workers) {
+    completion_checkers_.resize(static_cast<std::size_t>(workers));
+  }
+}
+
+const CandidateChecker& AccuracyService::AcquireCompletionChecker(
+    int slot, int width, const ChaseEngine& engine) {
+  std::unique_ptr<CandidateChecker>& holder =
+      completion_checkers_[static_cast<std::size_t>(slot)];
+  if (holder == nullptr || holder->num_threads() != width) {
+    // First use of the slot, or a session with a different per-worker
+    // width: (re)spawn the slot's pool at the right width.
+    holder = std::make_unique<CandidateChecker>(engine, width);
+  } else {
+    // The common case: the pool survives, only the worker engines are
+    // dropped and lazily rebuilt over the new entity.
+    holder->Rebind(engine);
+  }
+  return *holder;
+}
+
 Result<ChaseOutcome> AccuracyService::DeduceEntity() {
   RELACC_RETURN_NOT_OK(EnsureDefaultEngine());
   return engine_->RunFromCheckpoint();
 }
 
 Result<ChaseOutcome> AccuracyService::DeduceEntity(const Relation& entity) {
+  const int shards = GroundShardCount();
+  ThreadPool* pool = shards > 1 ? &ChasePool() : nullptr;
   const GroundProgram program =
-      Instantiate(entity, spec_.masters, spec_.rules);
-  ChaseEngine engine(entity, &program, spec_.config);
+      Instantiate(entity, spec_.masters, spec_.rules, shards, pool);
+  ChaseEngine engine(entity, &program, spec_.config, pool);
   return engine.RunFromInitial();
 }
 
@@ -231,6 +267,12 @@ Result<std::unique_ptr<PipelineSession>> AccuracyService::StartPipeline(
         "got " +
         std::to_string(options.window));
   }
+  if (options.completion_workers < 0) {
+    return Status::InvalidArgument(
+        "PipelineSessionOptions::completion_workers must be >= 0 "
+        "(0 = thread plan), got " +
+        std::to_string(options.completion_workers));
+  }
   const int64_t window =
       options.window == 0 ? options_.window : options.window;
   const CompletionPolicy completion =
@@ -259,8 +301,10 @@ AccuracyService::StartInteractionImpl(InteractionOptions options,
     program = program_.get();
   } else {
     session->own_ie_ = std::move(own_ie);
-    session->own_program_ = std::make_unique<GroundProgram>(
-        Instantiate(*session->own_ie_, spec_.masters, spec_.rules));
+    const int shards = GroundShardCount();
+    ThreadPool* pool = shards > 1 ? &ChasePool() : nullptr;
+    session->own_program_ = std::make_unique<GroundProgram>(Instantiate(
+        *session->own_ie_, spec_.masters, spec_.rules, shards, pool));
     ie = session->own_ie_.get();
     program = session->own_program_.get();
   }
@@ -303,7 +347,16 @@ PipelineSession::PipelineSession(AccuracyService* service,
       completion_(completion),
       window_(window) {}
 
-PipelineSession::~PipelineSession() = default;
+PipelineSession::~PipelineSession() {
+  if (driver_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    driver_.join();
+  }
+}
 
 Status PipelineSession::Submit(EntityInstance entity) {
   std::vector<EntityInstance> batch;
@@ -336,20 +389,29 @@ Status PipelineSession::Submit(std::vector<EntityInstance> batch) {
       }
     }
   }
+  const int64_t accepted = static_cast<int64_t>(batch.size());
   for (EntityInstance& e : batch) {
     if (!have_schema_) {
       schema_ = e.schema();
       have_schema_ = true;
     }
     buffer_.push_back(std::move(e));
-    ++stats_.submitted;
   }
-  // Interleave completion as the window fills: every full window is
-  // processed now, so in-flight engines never exceed the window no
-  // matter how large a batch arrives.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.submitted += accepted;
+  }
+  // Hand every full window to the completion driver and return: the
+  // producer keeps streaming while the driver chases and completes. The
+  // bounded hand-off queue keeps in-flight engines (and buffered input)
+  // O(window) no matter how large a batch arrives.
   std::size_t pos = 0;
   while (static_cast<int64_t>(buffer_.size() - pos) >= window_) {
-    ProcessChunk(pos, window_);
+    const auto begin = buffer_.begin() + static_cast<std::ptrdiff_t>(pos);
+    EnqueueWindow(std::vector<EntityInstance>(
+        std::make_move_iterator(begin),
+        std::make_move_iterator(begin + static_cast<std::ptrdiff_t>(
+                                            window_))));
     pos += static_cast<std::size_t>(window_);
   }
   if (pos > 0) {
@@ -359,65 +421,144 @@ Status PipelineSession::Submit(std::vector<EntityInstance> batch) {
   return Status::OK();
 }
 
-void PipelineSession::ProcessChunk(std::size_t begin, int64_t count) {
+void PipelineSession::EnqueueWindow(std::vector<EntityInstance> batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!driver_.joinable()) {
+    driver_ = std::thread([this] { DriverLoop(); });
+  }
+  space_cv_.wait(lock, [this] { return queued_.size() < kMaxQueuedWindows; });
+  queued_.push_back(std::move(batch));
+  work_cv_.notify_one();
+}
+
+void PipelineSession::DriverLoop() {
+  for (;;) {
+    std::vector<EntityInstance> window;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this] { return shutdown_ || !queued_.empty(); });
+      // Shutdown drains the queue first: hand-offs are owed processing
+      // even when the session is torn down without Finish.
+      if (queued_.empty()) return;
+      window = std::move(queued_.front());
+      queued_.pop_front();
+      driver_busy_ = true;
+    }
+    space_cv_.notify_one();
+    WindowResult result = ProcessWindow(window);
+    CommitWindow(std::move(result), window.size());
+  }
+}
+
+void PipelineSession::CommitWindow(WindowResult result,
+                                   std::size_t entity_count) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (EntityReport& r : result.reports) {
+      reports_.push_back(std::move(r));
+    }
+    stats_.processed += static_cast<int64_t>(entity_count);
+    ++stats_.windows;
+    stats_.peak_in_flight_engines = std::max(stats_.peak_in_flight_engines,
+                                             result.in_flight_engines);
+    driver_busy_ = false;
+  }
+  idle_cv_.notify_all();
+}
+
+PipelineSession::WindowResult PipelineSession::ProcessWindow(
+    const std::vector<EntityInstance>& entities) {
   const Specification& spec = service_->spec_;
-  std::vector<std::unique_ptr<PendingCompletion>> pending(
-      static_cast<std::size_t>(count));
-  const std::size_t base = reports_.size();
-  reports_.resize(base + static_cast<std::size_t>(count));
+  const int64_t count = static_cast<int64_t>(entities.size());
+  WindowResult result;
+  result.reports.resize(entities.size());
+  std::vector<std::unique_ptr<PendingCompletion>> pending(entities.size());
   service_->ChasePool().ParallelFor(count, [&](int64_t k) {
-    reports_[base + static_cast<std::size_t>(k)] = ChaseEntityPhase(
-        buffer_[begin + static_cast<std::size_t>(k)], spec.masters,
-        spec.rules, spec.config, completion_,
-        &pending[static_cast<std::size_t>(k)]);
+    result.reports[static_cast<std::size_t>(k)] = ChaseEntityPhase(
+        entities[static_cast<std::size_t>(k)], spec.masters, spec.rules,
+        spec.config, completion_, &pending[static_cast<std::size_t>(k)]);
   });
 
-  int64_t in_flight = 0;
-  for (const auto& p : pending) {
-    if (p != nullptr) ++in_flight;
-  }
-  stats_.peak_in_flight_engines =
-      std::max(stats_.peak_in_flight_engines, in_flight);
-
-  // Phase 2: sequential in input order; candidate batches fan out inside
-  // the checker. The service checker may still be bound to an engine
-  // that is already gone — Rebind is documented safe for that.
-  TopKOptions topk = options_.topk;
-  topk.num_threads = service_->budget_;
+  std::vector<int64_t> todo;
   for (int64_t k = 0; k < count; ++k) {
-    auto& p = pending[static_cast<std::size_t>(k)];
-    if (p == nullptr) continue;
-    const ChaseEngine& engine = *p->engine;
-    std::unique_ptr<CandidateChecker> fresh;
-    const CandidateChecker* checker;
-    if (options_.reuse_checkers) {
-      checker =
-          &service_->AcquireChecker(engine, service_->NewBindingToken());
-    } else {
-      fresh = std::make_unique<CandidateChecker>(engine, service_->budget_);
-      checker = fresh.get();
-    }
-    CompleteEntityPhase(buffer_[begin + static_cast<std::size_t>(k)],
-                        spec.masters, completion_, topk, options_.preference,
-                        engine, *checker,
-                        &reports_[base + static_cast<std::size_t>(k)]);
-    p.reset();  // free the checkpoint/probe memory as we go
+    if (pending[static_cast<std::size_t>(k)] != nullptr) todo.push_back(k);
   }
-  ++stats_.windows;
-  stats_.processed += count;
+  result.in_flight_engines = static_cast<int64_t>(todo.size());
+  if (todo.empty()) return result;
+
+  // The two-dimensional completion split, resolved against what this
+  // window actually carries into phase 2: entity-level workers up to
+  // the pending count, the rest of the budget as per-worker check
+  // width. A window with a single incomplete entity therefore hands
+  // that entity's checker the whole budget — exactly the pre-plan
+  // one-wide-checker schedule — while a full window goes maximally
+  // entity-parallel. A forced worker count (the serial baseline and the
+  // determinism matrix) keeps the product invariant by shrinking the
+  // width instead.
+  const int workers =
+      options_.completion_workers > 0
+          ? std::min(options_.completion_workers, service_->budget_)
+          : ComputePipelineThreadPlan(service_->budget_,
+                                      static_cast<int64_t>(todo.size()))
+                .completion_workers;
+  const int check_width = std::max(1, service_->budget_ / workers);
+
+  // Entity-parallel across the completion-worker slots: each slot
+  // completes whole entities through its own persistent checker
+  // (Rebind-reused across entities; a slot checker may still be bound to
+  // an engine that is already gone — Rebind is documented safe for
+  // that). Every per-entity completion is a pure function of the entity
+  // and its engine, and results land at the entity's input index, so the
+  // reduction is byte-identical to the serial loop for every worker
+  // count and check width.
+  TopKOptions topk = options_.topk;
+  topk.num_threads = check_width;
+  if (options_.reuse_checkers) {
+    service_->EnsureCompletionSlots(workers);
+  }
+  service_->ChasePool().ParallelForSlots(
+      static_cast<int64_t>(todo.size()), workers,
+      [&](int slot, int64_t t) {
+        const std::size_t k =
+            static_cast<std::size_t>(todo[static_cast<std::size_t>(t)]);
+        std::unique_ptr<PendingCompletion>& p = pending[k];
+        const ChaseEngine& engine = *p->engine;
+        std::unique_ptr<CandidateChecker> fresh;
+        const CandidateChecker* checker;
+        if (options_.reuse_checkers) {
+          checker = &service_->AcquireCompletionChecker(slot, check_width,
+                                                        engine);
+        } else {
+          fresh = std::make_unique<CandidateChecker>(engine, check_width);
+          checker = fresh.get();
+        }
+        CompleteEntityPhase(entities[k], spec.masters, completion_, topk,
+                            options_.preference, engine, *checker,
+                            &result.reports[k]);
+        p.reset();  // free the checkpoint/probe memory as we go
+      });
+  return result;
 }
 
 std::optional<EntityReport> PipelineSession::Poll() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (next_poll_ >= reports_.size()) return std::nullopt;
   return reports_[next_poll_++];
 }
 
 std::vector<EntityReport> PipelineSession::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<EntityReport> out(
       reports_.begin() + static_cast<std::ptrdiff_t>(next_poll_),
       reports_.end());
   next_poll_ = reports_.size();
   return out;
+}
+
+PipelineSession::Stats PipelineSession::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 Result<PipelineReport> PipelineSession::Finish() {
@@ -426,8 +567,22 @@ Result<PipelineReport> PipelineSession::Finish() {
         "PipelineSession::Finish called twice");
   }
   if (!buffer_.empty()) {
-    ProcessChunk(0, static_cast<int64_t>(buffer_.size()));
-    buffer_.clear();
+    std::vector<EntityInstance> tail;
+    tail.swap(buffer_);
+    if (driver_.joinable()) {
+      // Keep the strict window order: the tail goes through the same
+      // queue as every full window.
+      EnqueueWindow(std::move(tail));
+    } else {
+      // No window ever filled — the whole stream is this tail; process
+      // it inline rather than spinning up a driver to retire one chunk.
+      CommitWindow(ProcessWindow(tail), tail.size());
+    }
+  }
+  if (driver_.joinable()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock,
+                  [this] { return queued_.empty() && !driver_busy_; });
   }
   finished_ = true;
 

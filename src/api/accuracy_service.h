@@ -1,10 +1,16 @@
 #ifndef RELACC_API_ACCURACY_SERVICE_H_
 #define RELACC_API_ACCURACY_SERVICE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chase/chase_engine.h"
@@ -45,6 +51,14 @@ struct ServiceOptions {
   /// all-null checkpoint, O(attrs·n²) bits). Memory is O(window), not
   /// O(entities). Must be >= 1.
   int64_t window = 64;
+
+  /// Shard count for grounding the service's own specification —
+  /// Instantiate over rule×Ie row partitions plus the sharded engine
+  /// index build that consumes Γ (see rules/grounding.h). 0 derives the
+  /// count from the thread budget; 1 forces the serial path. The
+  /// GroundProgram (and therefore every chase) is identical for every
+  /// value; only AccuracyService::Create/first-use latency changes.
+  int ground_shards = 0;
 };
 
 /// Per-session options of AccuracyService::StartPipeline.
@@ -66,11 +80,25 @@ struct PipelineSessionOptions {
   /// masters) unless a model is supplied here.
   const PreferenceModel* preference = nullptr;
 
-  /// Serve every completion through the service's persistent
-  /// CandidateChecker (rebound per entity) instead of building and
-  /// tearing one down per entity. Reports are identical either way;
-  /// false restores the per-entity teardown for A/B measurement.
+  /// Serve every completion through the service's persistent checker
+  /// slot pool (one CandidateChecker per completion worker, rebound per
+  /// entity) instead of building and tearing one down per entity.
+  /// Reports are identical either way; false restores the per-entity
+  /// teardown for A/B measurement.
   bool reuse_checkers = true;
+
+  /// Phase-2 entity-level parallelism: how many in-flight entities
+  /// complete concurrently, each through its own slot-pooled checker of
+  /// width budget/workers (see PipelineThreadPlan). 0 derives
+  /// `completion_workers` from the thread plan per window — one worker
+  /// per pending incomplete entity up to the budget, so a window with a
+  /// single incomplete entity hands that entity's checker the whole
+  /// budget; 1 forces the one-entity-at-a-time completion loop (whose
+  /// single checker then gets the whole budget) for every window.
+  /// Reports are byte-identical for every value — the reduction is by
+  /// input index, and per-entity completion is a pure function of the
+  /// entity.
+  int completion_workers = 0;
 };
 
 /// Options of an interactive session (the Fig. 3 loop).
@@ -120,12 +148,16 @@ enum class TopKAlgorithm {
 ///     deduction, candidate check and interactive resume starts from
 ///     (built lazily on first use, so pipeline-only services over a
 ///     placeholder instance never pay for it);
-///   * one persistent CandidateChecker (and its thread pool), rebound
-///     across entities, sessions and one-shot calls instead of being
-///     rebuilt per call; and
+///   * the persistent CandidateCheckers (and their thread pools): one
+///     service-wide checker for one-shot calls and interactive sessions,
+///     plus a slot pool of completion checkers — one per completion
+///     worker — all rebound across entities, sessions and one-shot calls
+///     instead of being rebuilt per call; and
 ///   * the thread plan: ServiceOptions::num_threads is the single budget
-///     that entity-parallel chasing and candidate-check fan-out
-///     time-multiplex (see PipelineThreadPlan in pipeline/pipeline.h).
+///     that entity-parallel chasing, entity-parallel completion and
+///     candidate-check fan-out time-multiplex (see PipelineThreadPlan in
+///     pipeline/pipeline.h; completion_workers × check_threads never
+///     exceeds the budget).
 ///
 /// Work is exposed as sessions:
 ///
@@ -247,7 +279,28 @@ class AccuracyService {
   /// address.
   const CandidateChecker& AcquireChecker(const ChaseEngine& engine,
                                          uint64_t token);
-  uint64_t NewBindingToken() { return next_token_++; }
+  uint64_t NewBindingToken() { return next_token_.fetch_add(1); }
+
+  /// Grows the completion-checker slot pool to at least `workers` slots.
+  /// Called single-threaded (by a session's completion driver) before a
+  /// parallel completion fan-out.
+  void EnsureCompletionSlots(int workers);
+
+  /// Hands out slot `slot`'s persistent completion checker, rebound to
+  /// `engine` (a fresh engine every call, so no token bookkeeping: the
+  /// pool survives the rebind, which is the reuse win). Recreates the
+  /// checker when `width` changed since the slot was built. Distinct
+  /// slots are called concurrently — each call touches only its own
+  /// slot, and the vector itself is only grown by EnsureCompletionSlots
+  /// between fan-outs.
+  const CandidateChecker& AcquireCompletionChecker(int slot, int width,
+                                                   const ChaseEngine& engine);
+
+  /// The resolved grounding shard count (ServiceOptions::ground_shards;
+  /// 0 means the budget).
+  int GroundShardCount() const {
+    return options_.ground_shards > 0 ? options_.ground_shards : budget_;
+  }
 
   Specification spec_;
   ServiceOptions options_;
@@ -263,21 +316,40 @@ class AccuracyService {
 
   std::unique_ptr<CandidateChecker> checker_;
   uint64_t bound_token_ = 0;   ///< token of the engine checker_ is bound to
-  uint64_t next_token_ = 1;    ///< 0 is never handed out
+  /// 0 is never handed out. Atomic: parallel completion workers mint
+  /// interaction-style tokens never, but sessions and one-shot calls may
+  /// interleave with a driver thread that is between windows.
+  std::atomic<uint64_t> next_token_{1};
+
+  /// Phase-2 completion slot pool: one persistent CandidateChecker (and
+  /// thread pool) per completion worker, rebound across entities,
+  /// sessions and windows.
+  std::vector<std::unique_ptr<CandidateChecker>> completion_checkers_;
 };
 
 /// A streaming whole-database run (the incremental form of the legacy
 /// RunPipeline): submit entity batches as they arrive, poll per-entity
 /// reports as they complete, finish for the aggregate. Entities are
 /// processed in windows — phase-1 entity-parallel chase, then phase-2
-/// completion in input order through the service checker — as soon as a
-/// full window has accumulated, so at most `window` completion engines
-/// are ever alive (stats().peak_in_flight_engines proves it).
+/// completion across the plan's completion-worker slots with an
+/// input-order reduction — so at most `window` completion engines are
+/// ever alive (stats().peak_in_flight_engines proves it).
+///
+/// Full windows are handed to a background *completion driver* thread,
+/// so Submit returns promptly while the window chases and completes
+/// concurrently with the producer; Poll/Drain surface reports as the
+/// driver finishes them, still strictly in input order. The hand-off
+/// queue is bounded (a producer far ahead of the driver blocks in
+/// Submit), so buffered input stays O(window) no matter how fast
+/// entities arrive. While submitted work is still in flight the driver
+/// owns the service's pipeline state — interleave other service calls
+/// only after Finish() (or between sessions), exactly as the
+/// one-session-at-a-time contract has always required.
 ///
 /// Reports come back in input order and are byte-identical to the legacy
-/// batch path for every window size, thread budget, reuse setting and
-/// check strategy (enforced by tests/test_accuracy_service.cc and
-/// bench/pipeline_scaling.cc).
+/// batch path for every window size, thread budget, completion-worker
+/// count, reuse setting and check strategy (enforced by
+/// tests/test_accuracy_service.cc and bench/pipeline_scaling.cc).
 class PipelineSession {
  public:
   struct Stats {
@@ -291,13 +363,18 @@ class PipelineSession {
 
   PipelineSession(const PipelineSession&) = delete;
   PipelineSession& operator=(const PipelineSession&) = delete;
+
+  /// Stops the completion driver. Windows already handed off are still
+  /// processed (their reports are simply never observed); buffered
+  /// entities that never filled a window are dropped — call Finish() to
+  /// flush them.
   ~PipelineSession();
 
   /// Appends entities to the stream; any full windows they complete are
-  /// processed before returning (their reports become Poll()able).
-  /// kFailedPrecondition after Finish(); kInvalidArgument on a schema
-  /// arity mismatch with the first submitted entity (nothing from the
-  /// batch is accepted then).
+  /// handed to the completion driver (their reports become Poll()able as
+  /// the driver finishes them). kFailedPrecondition after Finish();
+  /// kInvalidArgument on a schema arity mismatch with the first
+  /// submitted entity (nothing from the batch is accepted then).
   Status Submit(std::vector<EntityInstance> batch);
   Status Submit(EntityInstance entity);
 
@@ -307,37 +384,71 @@ class PipelineSession {
   /// Every completed-but-unpolled report, in input order.
   std::vector<EntityReport> Drain();
 
-  /// Processes the final partial window and returns the aggregate report
-  /// (identical to RunPipeline over the same entities). The session
-  /// refuses further Submit/Finish calls afterwards; Poll/Drain keep
-  /// working on what completed.
+  /// Flushes the final partial window, waits for the driver to drain,
+  /// and returns the aggregate report (identical to RunPipeline over the
+  /// same entities). The session refuses further Submit/Finish calls
+  /// afterwards; Poll/Drain keep working on what completed.
   Result<PipelineReport> Finish();
 
   bool finished() const { return finished_; }
   int64_t window() const { return window_; }
-  const Stats& stats() const { return stats_; }
+
+  /// Synchronized snapshot (the driver updates counters concurrently).
+  Stats stats() const;
 
  private:
   friend class AccuracyService;
 
+  /// How many full windows may sit in the hand-off queue before Submit
+  /// blocks: enough to keep the driver fed across a batch boundary,
+  /// small enough that buffered input stays O(window).
+  static constexpr std::size_t kMaxQueuedWindows = 2;
+
   PipelineSession(AccuracyService* service, PipelineSessionOptions options,
                   CompletionPolicy completion, int64_t window);
 
-  /// Chases buffer_[begin, begin+count) entity-parallel, then completes
-  /// the incomplete ones in input order; appends their reports.
-  void ProcessChunk(std::size_t begin, int64_t count);
+  /// One window, start to finish: entity-parallel chase, then
+  /// completion of the incomplete entities across the completion-worker
+  /// slots. Reports are reduced by input index, so the result is
+  /// byte-identical to the serial loop for every worker count.
+  struct WindowResult {
+    std::vector<EntityReport> reports;
+    int64_t in_flight_engines = 0;
+  };
+  WindowResult ProcessWindow(const std::vector<EntityInstance>& entities);
+
+  /// Publishes a finished window's reports and counters (under mu_).
+  void CommitWindow(WindowResult result, std::size_t entity_count);
+
+  /// Hands a full window to the driver, starting it on first use;
+  /// blocks while kMaxQueuedWindows are already pending.
+  void EnqueueWindow(std::vector<EntityInstance> batch);
+
+  void DriverLoop();
 
   AccuracyService* service_;
   PipelineSessionOptions options_;
   CompletionPolicy completion_;
   int64_t window_;
 
+  // Caller-thread state (Submit/Finish only).
   Schema schema_;
   bool have_schema_ = false;
-  std::vector<EntityInstance> buffer_;  ///< submitted, not yet processed
-  std::vector<EntityReport> reports_;   ///< processed, input order
-  std::size_t next_poll_ = 0;
+  std::vector<EntityInstance> buffer_;  ///< submitted, not yet windowed
   bool finished_ = false;
+
+  // Cross-thread state: the caller thread produces windows and polls
+  // reports; the driver thread consumes windows and appends reports.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< driver: a window arrived / shutdown
+  std::condition_variable space_cv_;  ///< producer: queue has room again
+  std::condition_variable idle_cv_;   ///< Finish: driver drained everything
+  std::deque<std::vector<EntityInstance>> queued_;
+  bool driver_busy_ = false;
+  bool shutdown_ = false;
+  std::thread driver_;
+  std::vector<EntityReport> reports_;  ///< processed, input order
+  std::size_t next_poll_ = 0;
   Stats stats_;
 };
 

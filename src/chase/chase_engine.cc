@@ -1,7 +1,11 @@
 #include "chase/chase_engine.h"
 
+#include <algorithm>
 #include <deque>
 #include <string>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace relacc {
 
@@ -40,7 +44,7 @@ struct ChaseEngine::RunState {
 ChaseEngine::~ChaseEngine() = default;
 
 ChaseEngine::ChaseEngine(const Relation& ie, const GroundProgram* program,
-                         ChaseConfig config)
+                         ChaseConfig config, ThreadPool* build_pool)
     : ie_(ie),
       program_(program),
       config_(config),
@@ -60,17 +64,79 @@ ChaseEngine::ChaseEngine(const Relation& ie, const GroundProgram* program,
   }
   const auto& steps = program_->steps;
   remaining0_.resize(steps.size());
-  for (int32_t s = 0; s < static_cast<int32_t>(steps.size()); ++s) {
-    const GroundStep& step = steps[s];
-    remaining0_[s] = static_cast<int>(step.residual.size());
-    for (int32_t p = 0; p < static_cast<int32_t>(step.residual.size()); ++p) {
-      const GroundPredicate& g = step.residual[p];
-      if (g.kind == GroundPredicate::Kind::kOrderPair) {
-        order_watch_[OrderKey(g.attr, g.i, g.j)].push_back(s);
-        attr_has_order_watch_[g.attr] = 1;
-      } else {
-        te_watch_[g.attr].emplace_back(s, p);
+
+  // Watch lists keyed by (step, residual predicate) — the Γ-sized part
+  // of the index. A shard scans a contiguous step range into private
+  // maps/lists; the merge appends them in shard order, so every per-key
+  // watcher list comes out in ascending step order exactly as the serial
+  // scan would emit it. Below the cutoff (or with no pool) the fan-out
+  // would cost more than the scan.
+  struct WatchShard {
+    std::unordered_map<uint64_t, std::vector<int32_t>> order_watch;
+    std::vector<std::vector<std::pair<int32_t, int32_t>>> te_watch;
+    std::vector<char> attr_has_order_watch;
+  };
+  const auto scan_steps = [&](int32_t begin, int32_t end, auto&& order_emit,
+                              auto&& te_emit) {
+    for (int32_t s = begin; s < end; ++s) {
+      const GroundStep& step = steps[s];
+      remaining0_[s] = static_cast<int>(step.residual.size());
+      for (int32_t p = 0; p < static_cast<int32_t>(step.residual.size());
+           ++p) {
+        const GroundPredicate& g = step.residual[p];
+        if (g.kind == GroundPredicate::Kind::kOrderPair) {
+          order_emit(g, s);
+        } else {
+          te_emit(g, s, p);
+        }
       }
+    }
+  };
+  constexpr std::size_t kParallelBuildCutoff = 2048;
+  const int shards =
+      build_pool != nullptr && steps.size() >= kParallelBuildCutoff
+          ? std::min<int>(build_pool->num_threads(),
+                          static_cast<int>(steps.size()))
+          : 1;
+  if (shards <= 1) {
+    scan_steps(0, static_cast<int32_t>(steps.size()),
+               [&](const GroundPredicate& g, int32_t s) {
+                 order_watch_[OrderKey(g.attr, g.i, g.j)].push_back(s);
+                 attr_has_order_watch_[g.attr] = 1;
+               },
+               [&](const GroundPredicate& g, int32_t s, int32_t p) {
+                 te_watch_[g.attr].emplace_back(s, p);
+               });
+    return;
+  }
+  std::vector<WatchShard> parts(static_cast<std::size_t>(shards));
+  const int64_t chunk =
+      (static_cast<int64_t>(steps.size()) + shards - 1) / shards;
+  build_pool->ParallelFor(shards, [&](int64_t w) {
+    WatchShard& part = parts[static_cast<std::size_t>(w)];
+    part.te_watch.resize(num_attrs_);
+    part.attr_has_order_watch.assign(num_attrs_, 0);
+    const int32_t begin = static_cast<int32_t>(w * chunk);
+    const int32_t end = static_cast<int32_t>(
+        std::min<int64_t>((w + 1) * chunk, steps.size()));
+    scan_steps(begin, end,
+               [&](const GroundPredicate& g, int32_t s) {
+                 part.order_watch[OrderKey(g.attr, g.i, g.j)].push_back(s);
+                 part.attr_has_order_watch[g.attr] = 1;
+               },
+               [&](const GroundPredicate& g, int32_t s, int32_t p) {
+                 part.te_watch[g.attr].emplace_back(s, p);
+               });
+  });
+  for (WatchShard& part : parts) {
+    for (auto& [key, watchers] : part.order_watch) {
+      std::vector<int32_t>& dst = order_watch_[key];
+      dst.insert(dst.end(), watchers.begin(), watchers.end());
+    }
+    for (AttrId a = 0; a < num_attrs_; ++a) {
+      te_watch_[a].insert(te_watch_[a].end(), part.te_watch[a].begin(),
+                          part.te_watch[a].end());
+      if (part.attr_has_order_watch[a]) attr_has_order_watch_[a] = 1;
     }
   }
 }

@@ -28,9 +28,16 @@ namespace relacc {
 /// (whether via a form-(2) assignment or via the λ greatest-element rule).
 class ChaseEngine {
  public:
-  /// `ie` and `program` must outlive the engine.
+  /// `ie` and `program` must outlive the engine. `build_pool` (optional)
+  /// parallelizes the construction of the immutable index H — the watch
+  /// lists are built over contiguous shards of Γ and merged in shard
+  /// order, so the index (and every chase over it) is identical to a
+  /// serial build. Construction is the Γ-consuming half of bringing up
+  /// the shared all-null checkpoint (the chase itself is inherently
+  /// sequential), so large-|Ie| services pass their budget pool here;
+  /// the pool is only used during the constructor and not retained.
   ChaseEngine(const Relation& ie, const GroundProgram* program,
-              ChaseConfig config);
+              ChaseConfig config, ThreadPool* build_pool = nullptr);
 
   ChaseEngine(const ChaseEngine&) = delete;
   ChaseEngine& operator=(const ChaseEngine&) = delete;

@@ -284,11 +284,23 @@ Status CmdFmt(const Args& args, std::ostream& out) {
 Status CmdPipeline(const Args& args, std::ostream& out) {
   const std::string key = args.GetString("key");
   Result<int64_t> threads = args.GetInt("threads", 0);
+  Result<int64_t> window = args.GetInt("window", 0);
+  Result<int64_t> ground_shards = args.GetInt("ground-shards", 0);
   const std::string completion = args.GetString("completion", "best");
   const bool as_json = args.Has("json");
   Result<SpecDocument> doc = LoadSpec(args);
   if (!doc.ok()) return doc.status();
   if (!threads.ok()) return threads.status();
+  if (!window.ok()) return window.status();
+  if (!ground_shards.ok()) return ground_shards.status();
+  if (window.value() < 0) {
+    return Status::InvalidArgument(
+        "--window must be >= 0 (0 = service default)");
+  }
+  if (ground_shards.value() < 0) {
+    return Status::InvalidArgument(
+        "--ground-shards must be >= 0 (0 = thread budget)");
+  }
   CompletionPolicy policy = CompletionPolicy::kBestCandidate;
   if (completion == "heuristic") {
     policy = CompletionPolicy::kHeuristic;
@@ -313,6 +325,10 @@ Status CmdPipeline(const Args& args, std::ostream& out) {
   ServiceOptions service_options;
   service_options.num_threads = static_cast<int>(threads.value());
   service_options.completion = policy;
+  service_options.ground_shards = static_cast<int>(ground_shards.value());
+  if (window.value() > 0) {
+    service_options.window = window.value();
+  }
   Result<PipelineReport> finished = StreamResolvedEntities(
       spec, std::move(resolution.entities), std::move(service_options));
   if (!finished.ok()) return finished.status();
@@ -338,7 +354,13 @@ Status CmdPipeline(const Args& args, std::ostream& out) {
     out << json.Dump(2) << "\n";
     return Status::OK();
   }
-  out << "entities resolved:          " << report.entities.size() << "\n"
+  // The plan echo (budget-dependent by design, so it stays out of the
+  // --json document that CI diffs across budgets): phase-1 chase slots
+  // and the phase-2 completion_workers × check_threads split.
+  out << "thread plan:                chase=" << report.plan.chase_threads
+      << " completion=" << report.plan.completion_workers << "x"
+      << report.plan.check_threads << "\n"
+      << "entities resolved:          " << report.entities.size() << "\n"
       << "input tuples:               " << report.total_tuples << "\n"
       << "Church-Rosser:              " << report.num_church_rosser << "\n"
       << "complete via chase:         " << report.num_complete_by_chase << "\n"
@@ -545,8 +567,9 @@ std::string CliUsage() {
       "  fmt       normalize a spec document / its rule program\n"
       "            [--rules-only]\n"
       "  pipeline  flat relation -> entity resolution -> per-entity targets\n"
-      "            --key <attr[,attr...]> [--threads N]\n"
-      "            [--completion best|heuristic|none] [--json]\n"
+      "            --key <attr[,attr...]> [--threads N] [--window N]\n"
+      "            [--ground-shards N] [--completion best|heuristic|none]\n"
+      "            [--json]\n"
       "  interactive  the Fig. 3 user loop on one entity instance\n"
       "            [--k N]\n"
       "  discover  mine candidate form-(1) rules from a flat relation\n"

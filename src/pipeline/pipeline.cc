@@ -18,7 +18,8 @@ PipelineThreadPlan ComputePipelineThreadPlan(int budget,
   PipelineThreadPlan plan;
   plan.chase_threads = static_cast<int>(std::clamp<int64_t>(
       num_entities, 1, static_cast<int64_t>(budget)));
-  plan.check_threads = budget;
+  plan.completion_workers = plan.chase_threads;
+  plan.check_threads = std::max(1, budget / plan.completion_workers);
   return plan;
 }
 

@@ -20,23 +20,38 @@ enum class CompletionPolicy {
   kHeuristic,      ///< TopKCTh top-1 (PTIME; for wide-open targets)
 };
 
-/// How RunPipeline spends its single thread budget. The two parallelism
-/// levels run in separate, non-overlapping phases — entity-parallel
-/// chasing first, then candidate completion fanning each entity's check
-/// batches over one shared checker — so they time-multiplex the budget
-/// instead of multiplying: invariant max(chase_threads, check_threads)
-/// <= budget, i.e. at most `budget` threads are ever active at once
-/// (the pre-budget behaviour could spawn entity pool × topk.num_threads
-/// checker threads, one pool per in-flight entity).
+/// How the pipeline spends its single thread budget. The two phases run
+/// non-overlapping — entity-parallel chasing first, then candidate
+/// completion — so they time-multiplex the budget instead of multiplying
+/// it (the pre-budget behaviour could spawn entity pool ×
+/// topk.num_threads checker threads, one pool per in-flight entity).
+///
+/// The completion phase is itself two-dimensional: `completion_workers`
+/// entities complete concurrently (one slot-pooled CandidateChecker per
+/// worker, Rebind-reused across entities), and each worker's checker
+/// fans its candidate batches out over `check_threads` engines. The
+/// budget invariant is therefore
+///
+///   chase_threads <= budget  and
+///   completion_workers * check_threads <= budget,
+///
+/// i.e. at most `budget` threads are ever doing chase work at once in
+/// either phase.
 struct PipelineThreadPlan {
-  int chase_threads = 1;  ///< entity slots of the phase-1 chase pool
-  int check_threads = 1;  ///< width of the phase-2 completion checker
+  int chase_threads = 1;       ///< entity slots of the phase-1 chase pool
+  int completion_workers = 1;  ///< entities completed concurrently (phase 2)
+  int check_threads = 1;       ///< per-worker candidate-check fan-out width
 };
 
-/// Splits `budget` (<= 0: hardware concurrency) for `num_entities`:
-/// the chase phase takes one slot per entity up to the budget; the
-/// completion phase gives the whole budget to the shared checker, whose
-/// RoundCap-sized candidate batches keep it busy per entity.
+/// Splits `budget` (<= 0: hardware concurrency) for `num_entities`: the
+/// chase phase takes one slot per entity up to the budget; the
+/// completion phase prefers entity-level parallelism — one worker per
+/// entity up to the budget, since the per-entity serial costs
+/// (preference model, candidate enumeration, checker rebind) dominate
+/// for small entities — and hands each worker an equal share of the
+/// remaining width for its check batches (the whole budget when a
+/// single entity is in flight, reproducing the old one-wide-checker
+/// schedule).
 PipelineThreadPlan ComputePipelineThreadPlan(int budget,
                                              int64_t num_entities);
 
@@ -108,10 +123,11 @@ struct PipelineReport {
 ///     engine (grounding, indexes, warm all-null checkpoint) of every
 ///     entity whose target stays incomplete is kept alive for phase 2
 ///     instead of being torn down and rebuilt.
-///  2. completion — per incomplete entity in input order, complete the
-///     target per `options.completion`; all candidate `check` chases run
-///     through one shared CandidateChecker that is rebound per entity
-///     (parallelism moves inside each entity's check batches).
+///  2. completion — incomplete entities complete concurrently across the
+///     plan's `completion_workers` slots (reports reduced in input
+///     order); each slot's candidate `check` chases run through a
+///     slot-pooled CandidateChecker of `check_threads` width, rebound
+///     per entity.
 ///
 /// The phases alternate over bounded windows of entities, so the peak
 /// number of kept-alive engines is independent of how many targets stay

@@ -1,5 +1,11 @@
 #include "rules/grounding.h"
 
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/thread_pool.h"
+
 namespace relacc {
 namespace {
 
@@ -119,7 +125,82 @@ void GroundMasterRule(const AccuracyRule& rule, const Tuple& tm, int rule_id,
   }
 }
 
+/// The flattened loop space of Instantiation: one row per (rule, ti)
+/// outer-loop iteration of a form-(1) rule and per (rule, tm) iteration
+/// of a form-(2) rule. `starts[r]` is the first global row of rule r,
+/// `starts[rules.size()]` the total row count. Rules referencing an
+/// absent master relation contribute zero rows, matching the serial
+/// loop's `continue`.
+std::vector<int64_t> RowStarts(const Relation& ie,
+                               const std::vector<Relation>& masters,
+                               const std::vector<AccuracyRule>& rules) {
+  std::vector<int64_t> starts(rules.size() + 1, 0);
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    int64_t rows = 0;
+    if (rules[r].form == AccuracyRule::Form::kTuplePair) {
+      rows = ie.size();
+    } else if (rules[r].master_index >= 0 &&
+               rules[r].master_index < static_cast<int>(masters.size())) {
+      rows = masters[rules[r].master_index].size();
+    }
+    starts[r + 1] = starts[r] + rows;
+  }
+  return starts;
+}
+
+/// Grounds global rows [begin, end) in row order, appending to `out`.
+/// Emission order within a row (the inner j loop / the assignment list)
+/// is the serial order, so concatenating contiguous ranges in ascending
+/// row order reproduces the serial program exactly.
+void GroundRows(const Relation& ie, const std::vector<Relation>& masters,
+                const std::vector<AccuracyRule>& rules,
+                const std::vector<int64_t>& starts, int64_t begin,
+                int64_t end, std::vector<GroundStep>* out) {
+  const int n = ie.size();
+  GroundStep scratch;
+  for (int r = 0; r < static_cast<int>(rules.size()); ++r) {
+    const int64_t lo = std::max(begin, starts[r]);
+    const int64_t hi = std::min(end, starts[r + 1]);
+    if (lo >= hi) continue;
+    const AccuracyRule& rule = rules[r];
+    if (rule.form == AccuracyRule::Form::kTuplePair) {
+      for (int64_t row = lo; row < hi; ++row) {
+        const int i = static_cast<int>(row - starts[r]);
+        for (int j = 0; j < n; ++j) {
+          if (i == j) continue;
+          if (GroundPairRule(rule, ie, i, j, &scratch)) {
+            scratch.rule_id = r;
+            out->push_back(scratch);
+          }
+        }
+      }
+    } else {
+      const Relation& im = masters[rule.master_index];
+      for (int64_t row = lo; row < hi; ++row) {
+        GroundMasterRule(rule, im.tuple(static_cast<int>(row - starts[r])),
+                         r, out);
+      }
+    }
+  }
+}
+
 }  // namespace
+
+bool operator==(const GroundPredicate& a, const GroundPredicate& b) {
+  return a.kind == b.kind && a.attr == b.attr && a.i == b.i && a.j == b.j &&
+         a.op == b.op && a.constant == b.constant;
+}
+
+bool operator==(const GroundStep& a, const GroundStep& b) {
+  return a.kind == b.kind && a.attr == b.attr && a.i == b.i && a.j == b.j &&
+         a.te_value == b.te_value && a.rule_id == b.rule_id &&
+         a.residual == b.residual;
+}
+
+bool operator==(const GroundProgram& a, const GroundProgram& b) {
+  return a.num_tuples == b.num_tuples && a.num_attrs == b.num_attrs &&
+         a.steps == b.steps;
+}
 
 GroundProgram Instantiate(const Relation& ie,
                           const std::vector<Relation>& masters,
@@ -127,30 +208,56 @@ GroundProgram Instantiate(const Relation& ie,
   GroundProgram prog;
   prog.num_tuples = ie.size();
   prog.num_attrs = ie.schema().size();
-  const int n = ie.size();
-  GroundStep scratch;
-  for (int r = 0; r < static_cast<int>(rules.size()); ++r) {
-    const AccuracyRule& rule = rules[r];
-    if (rule.form == AccuracyRule::Form::kTuplePair) {
-      for (int i = 0; i < n; ++i) {
-        for (int j = 0; j < n; ++j) {
-          if (i == j) continue;
-          if (GroundPairRule(rule, ie, i, j, &scratch)) {
-            scratch.rule_id = r;
-            prog.steps.push_back(scratch);
-          }
-        }
-      }
-    } else {
-      if (rule.master_index < 0 ||
-          rule.master_index >= static_cast<int>(masters.size())) {
-        continue;  // rule references an absent master relation
-      }
-      const Relation& im = masters[rule.master_index];
-      for (const Tuple& tm : im.tuples()) {
-        GroundMasterRule(rule, tm, r, &prog.steps);
-      }
+  const std::vector<int64_t> starts = RowStarts(ie, masters, rules);
+  GroundRows(ie, masters, rules, starts, 0, starts.back(), &prog.steps);
+  return prog;
+}
+
+GroundProgram Instantiate(const Relation& ie,
+                          const std::vector<Relation>& masters,
+                          const std::vector<AccuracyRule>& rules,
+                          int num_shards, ThreadPool* pool) {
+  const std::vector<int64_t> starts = RowStarts(ie, masters, rules);
+  const int64_t rows = starts.back();
+  // Below ~2 rows per shard the fan-out costs more than the grounding;
+  // the serial path is also the reference the sharded one must match.
+  const int64_t shards =
+      std::min<int64_t>(std::max(1, num_shards), std::max<int64_t>(1, rows));
+  if (shards <= 1) return Instantiate(ie, masters, rules);
+
+  std::vector<std::vector<GroundStep>> parts(
+      static_cast<std::size_t>(shards));
+  const int64_t chunk = (rows + shards - 1) / shards;
+  const auto ground_shard = [&](int64_t s) {
+    const int64_t begin = s * chunk;
+    const int64_t end = std::min(begin + chunk, rows);
+    if (begin < end) {
+      GroundRows(ie, masters, rules, starts, begin, end,
+                 &parts[static_cast<std::size_t>(s)]);
     }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(shards, ground_shard);
+  } else {
+    // Shards beyond the core count cannot run anyway; cap the transient
+    // pool so an aggressive shard count costs partitioning, not OS
+    // threads (ParallelFor chunks the shards over fewer workers).
+    ThreadPool local(static_cast<int>(std::min<int64_t>(
+        shards,
+        std::max(1u, std::thread::hardware_concurrency()))));
+    local.ParallelFor(shards, ground_shard);
+  }
+
+  GroundProgram prog;
+  prog.num_tuples = ie.size();
+  prog.num_attrs = ie.schema().size();
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  prog.steps.reserve(total);
+  // Deterministic merge: shard order == ascending row order == the
+  // serial emission order.
+  for (auto& part : parts) {
+    for (GroundStep& step : part) prog.steps.push_back(std::move(step));
   }
   return prog;
 }

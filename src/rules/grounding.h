@@ -9,6 +9,8 @@
 
 namespace relacc {
 
+class ThreadPool;  // util/thread_pool.h
+
 /// A residual conjunct of a ground step (procedure Instantiation, Sec. 5):
 /// every predicate that could be evaluated against constants has been
 /// folded away; only order predicates and target-template predicates
@@ -51,6 +53,23 @@ struct GroundProgram {
   int num_attrs = 0;
 };
 
+/// Structural equality, field for field in step order — the determinism
+/// contract of sharded grounding (tests assert step-by-step identity
+/// across shard counts). Value equality treats null == null as true, so
+/// residual constants compare as stored.
+bool operator==(const GroundPredicate& a, const GroundPredicate& b);
+inline bool operator!=(const GroundPredicate& a, const GroundPredicate& b) {
+  return !(a == b);
+}
+bool operator==(const GroundStep& a, const GroundStep& b);
+inline bool operator!=(const GroundStep& a, const GroundStep& b) {
+  return !(a == b);
+}
+bool operator==(const GroundProgram& a, const GroundProgram& b);
+inline bool operator!=(const GroundProgram& a, const GroundProgram& b) {
+  return !(a == b);
+}
+
 /// Procedure Instantiation (Sec. 5, Fig. 4 line 1): partially evaluates
 /// every rule against every ordered tuple pair of `ie` (form 1) / every
 /// master tuple (form 2). Steps whose LHS is already false are dropped.
@@ -58,6 +77,26 @@ struct GroundProgram {
 GroundProgram Instantiate(const Relation& ie,
                           const std::vector<Relation>& masters,
                           const std::vector<AccuracyRule>& rules);
+
+/// Sharded Instantiation: the same Γ, built in parallel. The rule×Ie
+/// (and rule×Im) loop space is flattened into "rows" — one (rule, ti)
+/// outer-loop iteration of a form-(1) rule, one (rule, tm) iteration of
+/// a form-(2) rule — and split into `num_shards` contiguous row ranges.
+/// Each shard grounds its rows into a private step list; the merge
+/// concatenates the lists in shard order, which reproduces the serial
+/// emission order exactly, so the returned GroundProgram is
+/// step-for-step identical to Instantiate(ie, masters, rules) for every
+/// shard count (operator== above; enforced by tests and by
+/// bench/pipeline_scaling's ground_scaling rows).
+///
+/// `num_shards <= 1` (or a trivially small row space) runs the serial
+/// path. Shards run on `pool` when given — only idle-at-call-site pools
+/// may be passed, e.g. the service's chase pool between phases — or on a
+/// transient pool of min(num_shards, rows) threads when null.
+GroundProgram Instantiate(const Relation& ie,
+                          const std::vector<Relation>& masters,
+                          const std::vector<AccuracyRule>& rules,
+                          int num_shards, ThreadPool* pool = nullptr);
 
 }  // namespace relacc
 

@@ -46,6 +46,15 @@ class ThreadPool {
   void ParallelForSlots(int64_t n,
                         const std::function<void(int, int64_t)>& fn);
 
+  /// ParallelForSlots with the slot count additionally capped at
+  /// `max_slots` (>= 1). The pipeline's two-dimensional thread plan uses
+  /// this to run `completion_workers` concurrent entity completions on a
+  /// budget-wide pool while each slot's candidate checker fans out over
+  /// the budget's remaining width — the product, not the pool size, is
+  /// what must respect the thread budget.
+  void ParallelForSlots(int64_t n, int max_slots,
+                        const std::function<void(int, int64_t)>& fn);
+
  private:
   void WorkerLoop();
 

@@ -27,7 +27,9 @@
 // This file deliberately exercises the deprecated batch entry points:
 // they are thin shims over AccuracyService now, and the expectations
 // here are what pin the shims to the service's behaviour.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "api/version.h"
+
+RELACC_SUPPRESS_DEPRECATED_BEGIN
 
 namespace relacc {
 namespace {
@@ -298,3 +300,5 @@ TEST(CheckStrategy, ConfigRoundTripsThroughSpecJson) {
 
 }  // namespace
 }  // namespace relacc
+
+RELACC_SUPPRESS_DEPRECATED_END

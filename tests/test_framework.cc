@@ -13,7 +13,9 @@
 // This file deliberately exercises the deprecated batch entry points:
 // they are thin shims over AccuracyService now, and the expectations
 // here are what pin the shims to the service's behaviour.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "api/version.h"
+
+RELACC_SUPPRESS_DEPRECATED_BEGIN
 
 namespace relacc {
 namespace {
@@ -171,3 +173,5 @@ TEST(SimulatedUserTest, AcceptsExactCandidateOnly) {
 
 }  // namespace
 }  // namespace relacc
+
+RELACC_SUPPRESS_DEPRECATED_END

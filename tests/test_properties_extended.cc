@@ -21,7 +21,9 @@
 // This file deliberately exercises the deprecated batch entry points:
 // they are thin shims over AccuracyService now, and the expectations
 // here are what pin the shims to the service's behaviour.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "api/version.h"
+
+RELACC_SUPPRESS_DEPRECATED_BEGIN
 
 namespace relacc {
 namespace {
@@ -160,3 +162,5 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ExtensionProperties, ::testing::Range(1, 13));
 
 }  // namespace
 }  // namespace relacc
+
+RELACC_SUPPRESS_DEPRECATED_END
