@@ -1,0 +1,955 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rules/predicate.h"
+
+namespace relacc {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Satisfiability core
+// ---------------------------------------------------------------------------
+
+/// Transitive reachability over the (tiny) symbolic order graph: returns
+/// a predicate `reaches(a, b)`.
+auto TransitiveReach(const std::vector<std::pair<int, int>>& edges) {
+  std::map<int, std::set<int>> next;
+  std::set<int> nodes;
+  for (const auto& [a, b] : edges) {
+    next[a].insert(b);
+    nodes.insert(a);
+    nodes.insert(b);
+  }
+  // Floyd-Warshall-style closure; node counts here are single digits.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int a : nodes) {
+      std::set<int>& out = next[a];
+      const std::set<int> snapshot = out;
+      for (int mid : snapshot) {
+        for (int b : next[mid]) changed |= out.insert(b).second;
+      }
+    }
+  }
+  return [next = std::move(next)](int a, int b) {
+    auto it = next.find(a);
+    return it != next.end() && it->second.count(b) != 0;
+  };
+}
+
+/// A conservative satisfiability test for conjunctions of rule-body
+/// predicates over the slots t1[A], t2[A], te[A], tm[A]. Union-find
+/// congruence over equalities, constant propagation, numeric bounds,
+/// strict-order cycle detection, and the tuple-level order-atom rules
+/// (⪯ both ways forces equal values; ≺ forces differing values).
+///
+/// Satisfiable() == false is a proof of unsatisfiability; true means
+/// "not provably unsatisfiable" (the engine ignores constraints it
+/// cannot reason about, e.g. lexicographic string bounds).
+class ConstraintSystem {
+ public:
+  /// Variable ids for Slot(): the target template, the two tuple
+  /// variables of a (possibly unified) form-(1) body, a master tuple.
+  static constexpr int kTe = 0;
+  static constexpr int kT1 = 1;
+  static constexpr int kT2 = 2;
+  static constexpr int kTm = 3;
+
+  int Slot(int var, AttrId attr) {
+    auto [it, inserted] = slot_ids_.emplace(std::make_pair(var, attr),
+                                            static_cast<int>(parent_.size()));
+    if (inserted) parent_.push_back(it->second);
+    return it->second;
+  }
+
+  void MarkUnsat() { unsat_ = true; }
+
+  /// Slot-vs-slot comparison.
+  void Cmp(int a, CompareOp op, int b) {
+    switch (op) {
+      case CompareOp::kEq: eq_pairs_.emplace_back(a, b); break;
+      case CompareOp::kNe: ne_pairs_.emplace_back(a, b); break;
+      case CompareOp::kLt: lt_edges_.push_back({a, b, true}); break;
+      case CompareOp::kLe: lt_edges_.push_back({a, b, false}); break;
+      case CompareOp::kGt: lt_edges_.push_back({b, a, true}); break;
+      case CompareOp::kGe: lt_edges_.push_back({b, a, false}); break;
+    }
+  }
+
+  /// Slot-vs-constant comparison. Order comparisons against null are
+  /// unsatisfiable outright (EvalCompare is false for every value).
+  void CmpConst(int a, CompareOp op, const Value& v) {
+    if (v.is_null() && op != CompareOp::kEq && op != CompareOp::kNe) {
+      MarkUnsat();
+      return;
+    }
+    cmp_consts_.push_back({a, op, v});
+  }
+
+  /// Tuple-level order atom t1 ⪯_attr t2 (reversed: t2 ⪯_attr t1).
+  void OrderAtom(AttrId attr, bool reversed, bool strict) {
+    unsigned& mask = order_atoms_[attr];
+    mask |= reversed ? 2u : 1u;
+    if (strict) {
+      // t1 ≺_A t2 requires t1[A] != t2[A] (resolved this way by the
+      // grounder too).
+      ne_pairs_.emplace_back(Slot(kT1, attr), Slot(kT2, attr));
+    }
+  }
+
+  bool Satisfiable() {
+    if (unsat_) return false;
+
+    // ⪯ in both directions forces equal values on that attribute: the
+    // chase reports an order conflict exactly when a two-way pair has
+    // differing values, so a body demanding both directions is only
+    // satisfiable where the values agree.
+    for (const auto& [attr, mask] : order_atoms_) {
+      if ((mask & 1u) && (mask & 2u)) {
+        eq_pairs_.emplace_back(Slot(kT1, attr), Slot(kT2, attr));
+      }
+    }
+
+    for (const auto& [a, b] : eq_pairs_) Union(a, b);
+
+    // Constant propagation: assign each class its required constant;
+    // then every remaining comparison against a known class constant is
+    // decided by EvalCompare (which also encodes the null semantics).
+    std::map<int, Value> consts;
+    for (const auto& c : cmp_consts_) {
+      if (c.op != CompareOp::kEq) continue;
+      const int root = Find(c.slot);
+      auto it = consts.find(root);
+      if (it == consts.end()) {
+        consts.emplace(root, c.value);
+      } else if (!(it->second == c.value)) {
+        return false;
+      }
+    }
+    for (const auto& c : cmp_consts_) {
+      auto it = consts.find(Find(c.slot));
+      if (it != consts.end() && !EvalCompare(c.op, it->second, c.value)) {
+        return false;
+      }
+    }
+
+    // Numeric bounds for classes without a known constant.
+    struct Bounds {
+      bool has_lo = false, lo_strict = false;
+      bool has_hi = false, hi_strict = false;
+      double lo = 0.0, hi = 0.0;
+    };
+    std::map<int, Bounds> bounds;
+    for (const auto& c : cmp_consts_) {
+      const int root = Find(c.slot);
+      if (consts.count(root) != 0) continue;  // already decided above
+      const std::optional<double> v = c.value.AsNumeric();
+      if (!v) continue;
+      Bounds& b = bounds[root];
+      switch (c.op) {
+        case CompareOp::kLt:
+        case CompareOp::kLe:
+          if (!b.has_hi || *v < b.hi ||
+              (*v == b.hi && c.op == CompareOp::kLt)) {
+            b.has_hi = true;
+            b.hi = *v;
+            b.hi_strict = c.op == CompareOp::kLt;
+          }
+          break;
+        case CompareOp::kGt:
+        case CompareOp::kGe:
+          if (!b.has_lo || *v > b.lo ||
+              (*v == b.lo && c.op == CompareOp::kGt)) {
+            b.has_lo = true;
+            b.lo = *v;
+            b.lo_strict = c.op == CompareOp::kGt;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    for (const auto& [root, b] : bounds) {
+      (void)root;
+      if (b.has_lo && b.has_hi &&
+          (b.lo > b.hi || (b.lo == b.hi && (b.lo_strict || b.hi_strict)))) {
+        return false;
+      }
+    }
+
+    // Disequalities: a class cannot differ from itself.
+    for (const auto& [a, b] : ne_pairs_) {
+      const int ra = Find(a);
+      const int rb = Find(b);
+      if (ra == rb) return false;
+      const auto ca = consts.find(ra);
+      const auto cb = consts.find(rb);
+      if (ca != consts.end() && cb != consts.end() &&
+          ca->second == cb->second) {
+        return false;
+      }
+    }
+
+    // Order edges between classes: evaluate decided ones, then look for
+    // cycles through a strict edge (x < ... < x) and for disequal slots
+    // forced equal by a ≤-cycle.
+    std::vector<std::pair<int, int>> edges;  // root pairs (a ≤/< b)
+    std::vector<std::pair<int, int>> strict_edges;
+    for (const auto& e : lt_edges_) {
+      const int ra = Find(e.a);
+      const int rb = Find(e.b);
+      if (ra == rb) {
+        if (e.strict) return false;  // x < x
+        continue;
+      }
+      const auto ca = consts.find(ra);
+      const auto cb = consts.find(rb);
+      if (ca != consts.end() && cb != consts.end()) {
+        if (!EvalCompare(e.strict ? CompareOp::kLt : CompareOp::kLe,
+                         ca->second, cb->second)) {
+          return false;
+        }
+        continue;  // decided; keep it out of the symbolic graph
+      }
+      edges.emplace_back(ra, rb);
+      if (e.strict) strict_edges.emplace_back(ra, rb);
+    }
+    if (!edges.empty()) {
+      const auto reaches = TransitiveReach(edges);
+      for (const auto& [a, b] : strict_edges) {
+        if (reaches(b, a)) return false;  // cycle through a strict edge
+      }
+      for (const auto& [a, b] : ne_pairs_) {
+        const int ra = Find(a);
+        const int rb = Find(b);
+        // a ≤ ... ≤ b and b ≤ ... ≤ a force a = b; a != b contradicts.
+        if (reaches(ra, rb) && reaches(rb, ra)) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct CmpConstEntry {
+    int slot;
+    CompareOp op;
+    Value value;
+  };
+  struct LtEdge {
+    int a;
+    int b;
+    bool strict;
+  };
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+  std::map<std::pair<int, AttrId>, int> slot_ids_;
+  std::vector<int> parent_;
+  std::vector<std::pair<int, int>> eq_pairs_;
+  std::vector<std::pair<int, int>> ne_pairs_;
+  std::vector<CmpConstEntry> cmp_consts_;
+  std::vector<LtEdge> lt_edges_;
+  std::map<AttrId, unsigned> order_atoms_;
+  bool unsat_ = false;
+};
+
+/// Adds a form-(1) rule body to `cs`. With `swap` the rule is
+/// instantiated on the reversed tuple pair (its t1 becomes the system's
+/// t2 and vice versa) — the unification move of the cr-order-conflict
+/// check.
+void AddForm1Body(ConstraintSystem* cs, const AccuracyRule& rule, bool swap) {
+  const int v1 = swap ? ConstraintSystem::kT2 : ConstraintSystem::kT1;
+  const int v2 = swap ? ConstraintSystem::kT1 : ConstraintSystem::kT2;
+  for (const TuplePairPredicate& p : rule.lhs) {
+    switch (p.kind) {
+      case TuplePairPredicate::Kind::kAttrAttr:
+        cs->Cmp(cs->Slot(v1, p.left_attr), p.op, cs->Slot(v2, p.right_attr));
+        break;
+      case TuplePairPredicate::Kind::kAttrConst:
+        cs->CmpConst(cs->Slot(p.which == 1 ? v1 : v2, p.left_attr), p.op,
+                     p.constant);
+        break;
+      case TuplePairPredicate::Kind::kAttrTe:
+        cs->Cmp(cs->Slot(p.which == 1 ? v1 : v2, p.left_attr), p.op,
+                cs->Slot(ConstraintSystem::kTe, p.right_attr));
+        break;
+      case TuplePairPredicate::Kind::kTeConst:
+        // te values are never null once set (the grounder drops steps
+        // whose te-vs-null predicate is not a tautological !=).
+        if (p.constant.is_null()) {
+          if (p.op != CompareOp::kNe) cs->MarkUnsat();
+          break;
+        }
+        cs->CmpConst(cs->Slot(ConstraintSystem::kTe, p.left_attr), p.op,
+                     p.constant);
+        break;
+      case TuplePairPredicate::Kind::kOrder:
+        cs->OrderAtom(p.left_attr, /*reversed=*/swap, p.strict);
+        break;
+    }
+  }
+}
+
+/// Adds the te-side constraints of a form-(2) rule body to `cs` (the
+/// master-side conjuncts are evaluated against the master data directly).
+void AddForm2TeBody(ConstraintSystem* cs, const AccuracyRule& rule) {
+  for (const MasterPredicate& p : rule.master_lhs) {
+    switch (p.kind) {
+      case MasterPredicate::Kind::kTeConst:
+        if (p.constant.is_null()) {
+          if (p.op != CompareOp::kNe) cs->MarkUnsat();
+          break;
+        }
+        cs->CmpConst(cs->Slot(ConstraintSystem::kTe, p.te_attr), p.op,
+                     p.constant);
+        break;
+      case MasterPredicate::Kind::kTeMaster:
+        cs->Cmp(cs->Slot(ConstraintSystem::kTe, p.te_attr), p.op,
+                cs->Slot(ConstraintSystem::kTm, p.master_attr));
+        break;
+      case MasterPredicate::Kind::kMasterConst:
+        cs->CmpConst(cs->Slot(ConstraintSystem::kTm, p.master_attr), p.op,
+                     p.constant);
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+SourceSpan SpanOf(const AccuracyRule& rule) {
+  return SourceSpan{rule.line, rule.column};
+}
+
+std::string RuleRef(const AccuracyRule& rule, std::size_t index) {
+  if (!rule.name.empty()) return "rule '" + rule.name + "'";
+  return "rule #" + std::to_string(index);
+}
+
+std::string AttrRef(const Schema& schema, AttrId attr) {
+  if (attr >= 0 && attr < schema.size()) {
+    return "attribute '" + schema.name(attr) + "'";
+  }
+  return "attribute id " + std::to_string(attr);
+}
+
+// ---------------------------------------------------------------------------
+// schema-unknown-attr / schema-unknown-master
+// ---------------------------------------------------------------------------
+
+/// Validates every attribute and master reference of `rule`; true iff the
+/// rule is well-formed (later checks skip malformed rules so one broken
+/// rule does not cascade into value-level noise).
+bool CheckRuleSchema(const AccuracyRule& rule, std::size_t index,
+                     const Specification& spec,
+                     const std::vector<std::string>& master_names,
+                     DiagnosticSink* sink) {
+  const int n = spec.ie.schema().size();
+  const std::string who = RuleRef(rule, index);
+  bool ok = true;
+  const auto bad_entity_attr = [&](AttrId attr, const char* where) {
+    sink->Report("schema-unknown-attr", Severity::kError,
+                 who + ": " + where + " attribute id " + std::to_string(attr) +
+                     " is outside the entity schema (0.." +
+                     std::to_string(n - 1) + ")",
+                 SpanOf(rule));
+    ok = false;
+  };
+  const auto check_entity = [&](AttrId attr, const char* where) {
+    if (attr < 0 || attr >= n) bad_entity_attr(attr, where);
+  };
+
+  if (rule.form == AccuracyRule::Form::kTuplePair) {
+    check_entity(rule.rhs_attr, "conclusion");
+    for (const TuplePairPredicate& p : rule.lhs) {
+      switch (p.kind) {
+        case TuplePairPredicate::Kind::kAttrAttr:
+          check_entity(p.left_attr, "predicate");
+          check_entity(p.right_attr, "predicate");
+          break;
+        case TuplePairPredicate::Kind::kAttrConst:
+        case TuplePairPredicate::Kind::kAttrTe:
+          check_entity(p.left_attr, "predicate");
+          if (p.kind == TuplePairPredicate::Kind::kAttrTe) {
+            check_entity(p.right_attr, "predicate te");
+          }
+          if (p.which != 1 && p.which != 2) {
+            sink->Report("schema-unknown-attr", Severity::kError,
+                         who + ": predicate tuple variable index " +
+                             std::to_string(p.which) + " must be 1 or 2",
+                         SpanOf(rule));
+            ok = false;
+          }
+          break;
+        case TuplePairPredicate::Kind::kTeConst:
+        case TuplePairPredicate::Kind::kOrder:
+          check_entity(p.left_attr, "predicate");
+          break;
+      }
+    }
+    return ok;
+  }
+
+  // Form (2).
+  const int num_masters = static_cast<int>(spec.masters.size());
+  if (rule.master_index < 0 || rule.master_index >= num_masters) {
+    sink->Report("schema-unknown-master", Severity::kError,
+                 who + ": master relation index " +
+                     std::to_string(rule.master_index) +
+                     " is out of range (the specification declares " +
+                     std::to_string(num_masters) + ")",
+                 SpanOf(rule));
+    return false;
+  }
+  const Schema& master = spec.masters[rule.master_index].schema();
+  const std::string master_name =
+      static_cast<std::size_t>(rule.master_index) < master_names.size()
+          ? master_names[rule.master_index]
+          : "m" + std::to_string(rule.master_index);
+  const auto check_master = [&](AttrId attr, const char* where) {
+    if (attr < 0 || attr >= master.size()) {
+      sink->Report("schema-unknown-master", Severity::kError,
+                   who + ": " + where + " attribute id " +
+                       std::to_string(attr) + " is outside master '" +
+                       master_name + "' (0.." +
+                       std::to_string(master.size() - 1) + ")",
+                   SpanOf(rule));
+      ok = false;
+    }
+  };
+  for (const MasterPredicate& p : rule.master_lhs) {
+    switch (p.kind) {
+      case MasterPredicate::Kind::kTeConst:
+        check_entity(p.te_attr, "predicate te");
+        break;
+      case MasterPredicate::Kind::kTeMaster:
+        check_entity(p.te_attr, "predicate te");
+        check_master(p.master_attr, "predicate");
+        break;
+      case MasterPredicate::Kind::kMasterConst:
+        check_master(p.master_attr, "predicate");
+        break;
+    }
+  }
+  for (const auto& [te_attr, m_attr] : rule.assignments) {
+    check_entity(te_attr, "assignment target");
+    check_master(m_attr, "assignment source");
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// rule-dead-lhs
+// ---------------------------------------------------------------------------
+
+/// True iff any master tuple satisfies the rule's master-side conjuncts
+/// (evaluated directly — master data is part of the specification).
+bool AnyMasterTupleMatches(const AccuracyRule& rule, const Relation& master) {
+  for (const Tuple& tm : master.tuples()) {
+    bool match = true;
+    for (const MasterPredicate& p : rule.master_lhs) {
+      if (p.kind != MasterPredicate::Kind::kMasterConst) continue;
+      if (!EvalCompare(p.op, tm.at(p.master_attr), p.constant)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+/// Returns true (and reports) when `rule`'s body can never be satisfied.
+bool CheckDeadLhs(const AccuracyRule& rule, std::size_t index,
+                  const Specification& spec,
+                  const std::vector<std::string>& master_names,
+                  DiagnosticSink* sink) {
+  const std::string who = RuleRef(rule, index);
+  if (rule.form == AccuracyRule::Form::kTuplePair) {
+    ConstraintSystem cs;
+    AddForm1Body(&cs, rule, /*swap=*/false);
+    if (!cs.Satisfiable()) {
+      sink->Report("rule-dead-lhs", Severity::kWarning,
+                   who + ": the body is unsatisfiable (its predicates "
+                         "contradict each other), so the rule can never fire",
+                   SpanOf(rule));
+      return true;
+    }
+    return false;
+  }
+  const Relation& master = spec.masters[rule.master_index];
+  const std::string master_name =
+      static_cast<std::size_t>(rule.master_index) < master_names.size()
+          ? master_names[rule.master_index]
+          : "m" + std::to_string(rule.master_index);
+  if (master.empty()) {
+    sink->Report("rule-dead-lhs", Severity::kWarning,
+                 who + ": master relation '" + master_name +
+                     "' has no tuples, so the rule can never fire",
+                 SpanOf(rule));
+    return true;
+  }
+  if (!AnyMasterTupleMatches(rule, master)) {
+    sink->Report("rule-dead-lhs", Severity::kWarning,
+                 who + ": no tuple of master '" + master_name +
+                     "' satisfies the body's master predicates, so the "
+                     "rule can never fire",
+                 SpanOf(rule));
+    return true;
+  }
+  ConstraintSystem cs;
+  AddForm2TeBody(&cs, rule);
+  if (!cs.Satisfiable()) {
+    sink->Report("rule-dead-lhs", Severity::kWarning,
+                 who + ": the body's target-template predicates are "
+                       "unsatisfiable, so the rule can never fire",
+                 SpanOf(rule));
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// rule-duplicate / rule-shadowed
+// ---------------------------------------------------------------------------
+
+std::string ValueKey(const Value& v) {
+  return std::string(ValueTypeName(v.type())) + ":" + v.ToString();
+}
+
+std::string PredKey(const TuplePairPredicate& p) {
+  return std::to_string(static_cast<int>(p.kind)) + "|" +
+         std::to_string(p.which) + "|" + std::to_string(p.left_attr) + "|" +
+         std::to_string(p.right_attr) + "|" +
+         std::to_string(static_cast<int>(p.op)) + "|" + ValueKey(p.constant) +
+         "|" + (p.strict ? "s" : "n");
+}
+
+std::string PredKey(const MasterPredicate& p) {
+  return std::to_string(static_cast<int>(p.kind)) + "|" +
+         std::to_string(p.te_attr) + "|" + std::to_string(p.master_attr) +
+         "|" + std::to_string(static_cast<int>(p.op)) + "|" +
+         ValueKey(p.constant);
+}
+
+/// A rule's canonical signature: its conclusion plus the sorted multiset
+/// of body-conjunct encodings. Equal signatures = duplicate rules; a
+/// strict body subset with the same conclusion = shadowing.
+struct RuleSignature {
+  std::string conclusion;
+  std::vector<std::string> body;  ///< sorted
+
+  bool SameConclusion(const RuleSignature& o) const {
+    return conclusion == o.conclusion;
+  }
+  bool SameBody(const RuleSignature& o) const { return body == o.body; }
+  /// True iff this body is a strict sub-multiset of `o`'s.
+  bool BodySubsetOf(const RuleSignature& o) const {
+    return body.size() < o.body.size() &&
+           std::includes(o.body.begin(), o.body.end(), body.begin(),
+                         body.end());
+  }
+};
+
+RuleSignature SignatureOf(const AccuracyRule& rule) {
+  RuleSignature sig;
+  if (rule.form == AccuracyRule::Form::kTuplePair) {
+    sig.conclusion = "order:" + std::to_string(rule.rhs_attr);
+    for (const TuplePairPredicate& p : rule.lhs) {
+      sig.body.push_back(PredKey(p));
+    }
+  } else {
+    std::vector<std::string> assigns;
+    for (const auto& [te_attr, m_attr] : rule.assignments) {
+      assigns.push_back(std::to_string(te_attr) + ":=" +
+                        std::to_string(m_attr));
+    }
+    std::sort(assigns.begin(), assigns.end());
+    sig.conclusion = "assign:" + std::to_string(rule.master_index);
+    for (const std::string& a : assigns) sig.conclusion += "," + a;
+    for (const MasterPredicate& p : rule.master_lhs) {
+      sig.body.push_back(PredKey(p));
+    }
+  }
+  std::sort(sig.body.begin(), sig.body.end());
+  return sig;
+}
+
+void CheckRedundancy(const std::vector<AccuracyRule>& rules,
+                     const std::vector<char>& valid, DiagnosticSink* sink) {
+  std::vector<RuleSignature> sigs(rules.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (valid[i]) sigs[i] = SignatureOf(rules[i]);
+  }
+  for (std::size_t j = 0; j < rules.size(); ++j) {
+    if (!valid[j]) continue;
+    for (std::size_t i = 0; i < j; ++i) {
+      if (!valid[i] || !sigs[i].SameConclusion(sigs[j])) continue;
+      if (sigs[i].SameBody(sigs[j])) {
+        Diagnostic& d = sink->Report(
+            "rule-duplicate", Severity::kWarning,
+            RuleRef(rules[j], j) + " duplicates " + RuleRef(rules[i], i) +
+                " (same body and conclusion)",
+            SpanOf(rules[j]));
+        d.notes.push_back({"first occurrence: " + RuleRef(rules[i], i),
+                           SpanOf(rules[i])});
+        break;  // one report per duplicate rule is enough
+      }
+      if (sigs[i].BodySubsetOf(sigs[j])) {
+        Diagnostic& d = sink->Report(
+            "rule-shadowed", Severity::kWarning,
+            RuleRef(rules[j], j) + " is shadowed by the more general " +
+                RuleRef(rules[i], i) +
+                ": whenever it fires, the general rule has already derived "
+                "the same conclusion",
+            SpanOf(rules[j]));
+        d.notes.push_back({"shadowing rule: " + RuleRef(rules[i], i),
+                           SpanOf(rules[i])});
+        break;
+      }
+      if (sigs[j].BodySubsetOf(sigs[i])) {
+        Diagnostic& d = sink->Report(
+            "rule-shadowed", Severity::kWarning,
+            RuleRef(rules[i], i) + " is shadowed by the more general " +
+                RuleRef(rules[j], j) +
+                ": whenever it fires, the general rule has already derived "
+                "the same conclusion",
+            SpanOf(rules[i]));
+        d.notes.push_back({"shadowing rule: " + RuleRef(rules[j], j),
+                           SpanOf(rules[j])});
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// cr-order-conflict
+// ---------------------------------------------------------------------------
+
+void CheckOrderConflicts(const std::vector<AccuracyRule>& rules,
+                         const std::vector<char>& usable, const Schema& schema,
+                         DiagnosticSink* sink) {
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (!usable[i] || rules[i].form != AccuracyRule::Form::kTuplePair) {
+      continue;
+    }
+    for (std::size_t j = i; j < rules.size(); ++j) {
+      if (!usable[j] || rules[j].form != AccuracyRule::Form::kTuplePair ||
+          rules[i].rhs_attr != rules[j].rhs_attr) {
+        continue;
+      }
+      // Unify rule i on (x, y) with rule j on (y, x). The conclusions
+      // x ⪯ y and y ⪯ x only conflict where the concluded attribute's
+      // values differ, so that disequality joins the conjunction; the
+      // conclusions themselves must NOT (they are what the conflict
+      // derives, not a premise).
+      ConstraintSystem cs;
+      AddForm1Body(&cs, rules[i], /*swap=*/false);
+      AddForm1Body(&cs, rules[j], /*swap=*/true);
+      cs.Cmp(cs.Slot(ConstraintSystem::kT1, rules[i].rhs_attr), CompareOp::kNe,
+             cs.Slot(ConstraintSystem::kT2, rules[i].rhs_attr));
+      if (!cs.Satisfiable()) continue;
+      const std::string attr = AttrRef(schema, rules[i].rhs_attr);
+      Diagnostic& d =
+          i == j
+              ? sink->Report(
+                    "cr-order-conflict", Severity::kWarning,
+                    RuleRef(rules[i], i) + " can derive opposite orders on " +
+                        attr +
+                        " for a tuple pair with differing values (its body "
+                        "is satisfiable in both directions at once) — the "
+                        "specification may not be Church-Rosser",
+                    SpanOf(rules[i]))
+              : sink->Report(
+                    "cr-order-conflict", Severity::kWarning,
+                    RuleRef(rules[i], i) + " and " + RuleRef(rules[j], j) +
+                        " can derive opposite orders on " + attr +
+                        " for the same tuple pair — the specification may "
+                        "not be Church-Rosser",
+                    SpanOf(rules[i]));
+      if (i != j) {
+        d.notes.push_back({"conflicting rule: " + RuleRef(rules[j], j),
+                           SpanOf(rules[j])});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// cr-assign-conflict
+// ---------------------------------------------------------------------------
+
+/// One realizable grounding of a form-(2) rule on a master tuple: the
+/// target-template equalities its body demands (master references
+/// resolved to that tuple's values) and the assignments it would enforce.
+struct AssignGrounding {
+  std::size_t rule;
+  int tuple;
+  std::vector<std::pair<AttrId, Value>> te_eq;  ///< required te values
+  std::vector<std::pair<AttrId, Value>> sets;   ///< enforced te values
+};
+
+void CheckAssignConflicts(const std::vector<AccuracyRule>& rules,
+                          const std::vector<char>& usable,
+                          const Specification& spec, const Schema& schema,
+                          DiagnosticSink* sink) {
+  // Mirror the grounder: skip tuples failing a master-const conjunct,
+  // skip groundings whose te-vs-master binding hits a null master value,
+  // skip null assignment sources.
+  std::vector<AssignGrounding> groundings;
+  constexpr std::size_t kMaxGroundings = 4096;
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    if (!usable[r] || rules[r].form != AccuracyRule::Form::kMaster) continue;
+    const AccuracyRule& rule = rules[r];
+    const Relation& master = spec.masters[rule.master_index];
+    for (int t = 0; t < master.size(); ++t) {
+      const Tuple& tm = master.tuple(t);
+      AssignGrounding g{r, t, {}, {}};
+      bool alive = true;
+      for (const MasterPredicate& p : rule.master_lhs) {
+        switch (p.kind) {
+          case MasterPredicate::Kind::kMasterConst:
+            alive = EvalCompare(p.op, tm.at(p.master_attr), p.constant);
+            break;
+          case MasterPredicate::Kind::kTeConst:
+            if (p.op == CompareOp::kEq) g.te_eq.emplace_back(p.te_attr,
+                                                             p.constant);
+            break;
+          case MasterPredicate::Kind::kTeMaster: {
+            const Value& v = tm.at(p.master_attr);
+            if (v.is_null()) {
+              alive = false;  // te never equals null
+            } else if (p.op == CompareOp::kEq) {
+              g.te_eq.emplace_back(p.te_attr, v);
+            }
+            break;
+          }
+        }
+        if (!alive) break;
+      }
+      if (!alive) continue;
+      for (const auto& [te_attr, m_attr] : rule.assignments) {
+        const Value& v = tm.at(m_attr);
+        if (!v.is_null()) g.sets.emplace_back(te_attr, v);
+      }
+      if (!g.sets.empty()) groundings.push_back(std::move(g));
+      if (groundings.size() > kMaxGroundings) return;  // combinatorial cap
+    }
+  }
+
+  const auto compatible = [](const AssignGrounding& a,
+                             const AssignGrounding& b) {
+    for (const auto& [attr_a, val_a] : a.te_eq) {
+      for (const auto& [attr_b, val_b] : b.te_eq) {
+        if (attr_a == attr_b && !(val_a == val_b)) return false;
+      }
+    }
+    return true;
+  };
+
+  std::set<std::pair<std::size_t, std::size_t>> reported;  // rule pairs
+  for (std::size_t a = 0; a < groundings.size(); ++a) {
+    for (std::size_t b = a + 1; b < groundings.size(); ++b) {
+      const AssignGrounding& ga = groundings[a];
+      const AssignGrounding& gb = groundings[b];
+      if (reported.count({ga.rule, gb.rule}) != 0) continue;
+      if (!compatible(ga, gb)) continue;
+      for (const auto& [attr_a, val_a] : ga.sets) {
+        bool hit = false;
+        for (const auto& [attr_b, val_b] : gb.sets) {
+          if (attr_a != attr_b || val_a == val_b) continue;
+          reported.insert({ga.rule, gb.rule});
+          const AccuracyRule& ra = rules[ga.rule];
+          const AccuracyRule& rb = rules[gb.rule];
+          std::string msg =
+              ga.rule == gb.rule
+                  ? RuleRef(ra, ga.rule) + " can assign conflicting values " +
+                        val_a.ToString() + " vs " + val_b.ToString() + " to " +
+                        AttrRef(schema, attr_a) +
+                        " from different master tuples"
+                  : RuleRef(ra, ga.rule) + " and " + RuleRef(rb, gb.rule) +
+                        " can assign conflicting values " + val_a.ToString() +
+                        " vs " + val_b.ToString() + " to " +
+                        AttrRef(schema, attr_a);
+          msg += " under co-satisfiable conditions — the specification may "
+                 "not be Church-Rosser";
+          Diagnostic& d = sink->Report("cr-assign-conflict",
+                                       Severity::kWarning, std::move(msg),
+                                       SpanOf(ra));
+          if (ga.rule != gb.rule) {
+            d.notes.push_back({"conflicting rule: " + RuleRef(rb, gb.rule),
+                               SpanOf(rb)});
+          }
+          hit = true;
+          break;
+        }
+        if (hit) break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// cr-order-cycle
+// ---------------------------------------------------------------------------
+
+void CheckOrderCycles(const std::vector<AccuracyRule>& rules,
+                      const std::vector<char>& usable, const Schema& schema,
+                      DiagnosticSink* sink) {
+  // Attribute-level order-dependency graph: an edge A -> B for every
+  // form-(1) rule whose body has an order atom on A and whose conclusion
+  // orders B. Self-edges (plain transitivity) are benign and skipped.
+  std::map<AttrId, std::map<AttrId, std::size_t>> edges;  // A -> B -> rule
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    if (!usable[r] || rules[r].form != AccuracyRule::Form::kTuplePair) {
+      continue;
+    }
+    for (const TuplePairPredicate& p : rules[r].lhs) {
+      if (p.kind != TuplePairPredicate::Kind::kOrder) continue;
+      if (p.left_attr == rules[r].rhs_attr) continue;
+      edges[p.left_attr].emplace(rules[r].rhs_attr, r);
+    }
+  }
+  if (edges.empty()) return;
+
+  // DFS cycle enumeration; every attribute starts at most one report, so
+  // a k-cycle is reported once (from its smallest attribute).
+  std::set<AttrId> done;
+  for (const auto& [start, unused] : edges) {
+    (void)unused;
+    if (done.count(start) != 0) continue;
+    // Walk for a path start -> ... -> start.
+    std::vector<AttrId> path{start};
+    std::vector<std::size_t> path_rules;
+    std::set<AttrId> on_path{start};
+    bool found = false;
+    const std::function<void(AttrId)> dfs = [&](AttrId at) {
+      if (found) return;
+      auto it = edges.find(at);
+      if (it == edges.end()) return;
+      for (const auto& [next, rule] : it->second) {
+        if (found) return;
+        if (next == start && path.size() > 1) {
+          path_rules.push_back(rule);
+          found = true;
+          return;
+        }
+        if (on_path.count(next) != 0 || done.count(next) != 0) continue;
+        path.push_back(next);
+        path_rules.push_back(rule);
+        on_path.insert(next);
+        dfs(next);
+        if (found) return;
+        path.pop_back();
+        path_rules.pop_back();
+        on_path.erase(next);
+      }
+    };
+    dfs(start);
+    for (AttrId a : path) done.insert(a);
+    if (!found) continue;
+
+    std::string cycle;
+    for (AttrId a : path) cycle += schema.name(a) + " -> ";
+    cycle += schema.name(start);
+    Diagnostic& d = sink->Report(
+        "cr-order-cycle", Severity::kNote,
+        "order dependencies cycle through " + cycle +
+            ": derived orders feed back into their own premises (the chase "
+            "still terminates; this is informational)",
+        SpanOf(rules[path_rules.front()]));
+    for (std::size_t r : path_rules) {
+      d.notes.push_back({"contributing " + RuleRef(rules[r], r),
+                         SpanOf(rules[r])});
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<AnalyzerCheck>& AnalyzerChecks() {
+  static const std::vector<AnalyzerCheck> kChecks = {
+      {"parse-syntax", Severity::kError,
+       "rule-DSL or CFD text failed to parse"},
+      {"schema-unknown-attr", Severity::kError,
+       "attribute reference outside the entity schema"},
+      {"schema-unknown-master", Severity::kError,
+       "master relation or master attribute does not resolve"},
+      {"rule-dead-lhs", Severity::kWarning,
+       "rule body is unsatisfiable; the rule can never fire"},
+      {"rule-duplicate", Severity::kWarning,
+       "rule repeats an earlier rule's body and conclusion"},
+      {"rule-shadowed", Severity::kWarning,
+       "a more general rule with the same conclusion makes this one "
+       "redundant"},
+      {"cr-order-conflict", Severity::kWarning,
+       "two rules can derive opposite orders for the same tuple pair"},
+      {"cr-assign-conflict", Severity::kWarning,
+       "two groundings can assign different values to the same target "
+       "attribute"},
+      {"cr-order-cycle", Severity::kNote,
+       "the attribute-level order-dependency graph has a cycle"},
+  };
+  return kChecks;
+}
+
+std::vector<Diagnostic> AnalyzeSpecification(
+    const Specification& spec, const std::string& entity_name,
+    const std::vector<std::string>& master_names,
+    const AnalyzerOptions& options) {
+  (void)entity_name;  // messages name attributes/rules; kept for symmetry
+  DiagnosticSink sink;
+  const Schema& schema = spec.ie.schema();
+  const std::vector<AccuracyRule>& rules = spec.rules;
+
+  // Schema validation gates everything else: value-level checks index
+  // schemas with the ids they validate here.
+  std::vector<char> valid(rules.size(), 1);
+  if (options.check_schema) {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      valid[i] = CheckRuleSchema(rules[i], i, spec, master_names, &sink);
+    }
+  }
+
+  std::vector<char> live = valid;  // valid and not provably dead
+  if (options.check_satisfiability) {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (valid[i] && CheckDeadLhs(rules[i], i, spec, master_names, &sink)) {
+        live[i] = 0;
+      }
+    }
+  }
+
+  if (options.check_redundancy) CheckRedundancy(rules, valid, &sink);
+
+  if (options.check_confluence) {
+    CheckOrderConflicts(rules, live, schema, &sink);
+    CheckAssignConflicts(rules, live, spec, schema, &sink);
+    CheckOrderCycles(rules, live, schema, &sink);
+  }
+
+  sink.Sort();
+  return sink.Take();
+}
+
+}  // namespace relacc

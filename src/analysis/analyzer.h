@@ -1,0 +1,94 @@
+#ifndef RELACC_ANALYSIS_ANALYZER_H_
+#define RELACC_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "chase/specification.h"
+
+namespace relacc {
+
+/// The static analyzer over parsed specifications: every check runs
+/// before grounding, on the rule structures alone (plus master data,
+/// which is part of the spec), so a broken spec is rejected at the door
+/// instead of dying chase-side with exit code 3 and one violation string.
+///
+/// Checks and their stable IDs (see also the README "Static analysis"
+/// section; `relacc lint` surfaces them, ServiceOptions::validate_spec
+/// enforces the error-severity ones):
+///
+///   schema-unknown-attr    (error)   An attribute id of a rule —
+///       predicate side, conclusion, or assignment target — is outside
+///       the entity schema. DSL-parsed rules cannot carry these (the
+///       parser resolves names); the check guards programmatically-built
+///       and hand-edited specs.
+///   schema-unknown-master  (error)   A form-(2) rule's master_index or
+///       master-attribute id does not resolve against the declared
+///       master relations.
+///   parse-syntax           (error)   The rule-DSL or CFD text failed to
+///       parse (reported by the lenient spec loader, not this analyzer).
+///   rule-dead-lhs          (warning) A rule body is unsatisfiable — its
+///       constant predicates contradict each other (te[A] = "x" and
+///       te[A] = "y"), its order atoms cycle, or no master tuple matches
+///       a form-(2) body — so the rule can never fire.
+///   rule-duplicate         (warning) Two rules have the same body and
+///       conclusion; the later one is flagged.
+///   rule-shadowed          (warning) A rule's body strictly contains
+///       another rule's body with the same conclusion; the stricter rule
+///       can never derive anything new.
+///   cr-order-conflict      (warning) Two form-(1) rules on the same
+///       attribute can derive opposite orders ti ⪯ tj and tj ⪯ ti for a
+///       tuple pair with differing values — the static
+///       may-not-be-Church-Rosser signal. Found by unifying the rule
+///       bodies (one instantiated on (x,y), the other on (y,x)) and
+///       testing the conjunction for satisfiability.
+///   cr-assign-conflict     (warning) Two form-(2) groundings can assign
+///       different values to the same target attribute under
+///       co-satisfiable conditions (typically two CFDs with overlapping
+///       patterns and different conclusions).
+///   cr-order-cycle         (note)    The attribute-level order-dependency
+///       graph (order-predicate attr → conclusion attr) has a cycle, so
+///       derived orders feed back into their own premises. Legal — the
+///       chase runs to a fixpoint — but worth knowing when debugging
+///       rule sets.
+///
+/// The satisfiability core is conservative in the safe direction: it
+/// only reports rule-dead-lhs when the body is *provably* unsatisfiable,
+/// and suppresses cr-order-conflict / cr-assign-conflict when the
+/// unified bodies are provably unsatisfiable. Conflicts that arise only
+/// through axiom interplay at chase time (e.g. the paper's ϕ12, whose
+/// reversed body is unsatisfiable but which still breaks Church-Rosser
+/// through the ϕ8 anchor) are out of static reach — the warning means
+/// "may not be Church-Rosser", and its absence is not a proof of
+/// confluence.
+struct AnalyzerOptions {
+  bool check_schema = true;        ///< schema-unknown-attr/-master
+  bool check_satisfiability = true;  ///< rule-dead-lhs
+  bool check_redundancy = true;    ///< rule-duplicate / rule-shadowed
+  bool check_confluence = true;    ///< cr-order-conflict/-assign-conflict/-order-cycle
+};
+
+/// Metadata of one check, for docs and tests.
+struct AnalyzerCheck {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+/// Every check the analyzer (or the lenient parser feeding it) can emit.
+const std::vector<AnalyzerCheck>& AnalyzerChecks();
+
+/// Runs all enabled checks over `spec`. `entity_name` / `master_names`
+/// are the document names used in messages (positional fallbacks are
+/// synthesized when absent). Returned diagnostics are sorted with
+/// DiagnosticSink::Sort. Rules with schema errors are excluded from the
+/// later (value-level) checks, so one bad rule does not cascade.
+std::vector<Diagnostic> AnalyzeSpecification(
+    const Specification& spec, const std::string& entity_name = "R",
+    const std::vector<std::string>& master_names = {},
+    const AnalyzerOptions& options = {});
+
+}  // namespace relacc
+
+#endif  // RELACC_ANALYSIS_ANALYZER_H_

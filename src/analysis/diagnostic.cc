@@ -1,0 +1,162 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace relacc {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "note";
+}
+
+Diagnostic& DiagnosticSink::Report(std::string check_id, Severity severity,
+                                   std::string message, SourceSpan span) {
+  Diagnostic d;
+  d.check_id = std::move(check_id);
+  d.severity = severity;
+  d.message = std::move(message);
+  d.span = span;
+  diagnostics_.push_back(std::move(d));
+  return diagnostics_.back();
+}
+
+void DiagnosticSink::Add(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+int DiagnosticSink::CountOf(Severity severity) const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+void DiagnosticSink::Sort() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.severity != b.severity) {
+                       return static_cast<int>(a.severity) >
+                              static_cast<int>(b.severity);
+                     }
+                     // Unknown spans (line 0) sort after located ones.
+                     const int al = a.span.known() ? a.span.line : 1 << 30;
+                     const int bl = b.span.known() ? b.span.line : 1 << 30;
+                     if (al != bl) return al < bl;
+                     return a.span.column < b.span.column;
+                   });
+}
+
+Diagnostic DiagnosticFromParseIssue(const ParseIssue& issue) {
+  Diagnostic d;
+  d.check_id = issue.check_id.empty() ? "parse-syntax" : issue.check_id;
+  d.severity = Severity::kError;
+  d.message = issue.message;
+  d.span.line = issue.line;
+  d.span.column = issue.column;
+  return d;
+}
+
+namespace {
+
+std::string SpanPrefix(const SourceSpan& span, const std::string& file) {
+  std::string out;
+  if (!file.empty()) out += file + ":";
+  if (span.known()) {
+    out += std::to_string(span.line) + ":" + std::to_string(span.column) + ":";
+  }
+  if (!out.empty()) out += " ";
+  return out;
+}
+
+std::string CountPhrase(int n, const char* noun) {
+  return std::to_string(n) + " " + noun + (n == 1 ? "" : "s");
+}
+
+}  // namespace
+
+std::string FormatDiagnostic(const Diagnostic& diagnostic,
+                             const std::string& file) {
+  std::string out = SpanPrefix(diagnostic.span, file);
+  out += std::string(SeverityName(diagnostic.severity)) + ": " +
+         diagnostic.message + " [" + diagnostic.check_id + "]";
+  for (const DiagnosticNote& note : diagnostic.notes) {
+    out += "\n  note: " + note.message;
+    if (note.span.known()) {
+      out += " (line " + std::to_string(note.span.line) + ", column " +
+             std::to_string(note.span.column) + ")";
+    }
+  }
+  return out;
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              const std::string& file) {
+  if (diagnostics.empty()) return "";
+  std::string out;
+  int errors = 0;
+  int warnings = 0;
+  for (const Diagnostic& d : diagnostics) {
+    out += FormatDiagnostic(d, file) + "\n";
+    if (d.severity == Severity::kError) ++errors;
+    if (d.severity == Severity::kWarning) ++warnings;
+  }
+  out += CountPhrase(errors, "error") + ", " +
+         CountPhrase(warnings, "warning") + "\n";
+  return out;
+}
+
+Json DiagnosticToJson(const Diagnostic& diagnostic) {
+  Json out = Json::Object();
+  out.Set("check", Json::Str(diagnostic.check_id));
+  out.Set("severity", Json::Str(SeverityName(diagnostic.severity)));
+  out.Set("message", Json::Str(diagnostic.message));
+  if (diagnostic.span.known()) {
+    out.Set("line", Json::Int(diagnostic.span.line));
+    out.Set("column", Json::Int(diagnostic.span.column));
+  }
+  if (!diagnostic.notes.empty()) {
+    Json notes = Json::Array();
+    for (const DiagnosticNote& note : diagnostic.notes) {
+      Json n = Json::Object();
+      n.Set("message", Json::Str(note.message));
+      if (note.span.known()) {
+        n.Set("line", Json::Int(note.span.line));
+        n.Set("column", Json::Int(note.span.column));
+      }
+      notes.Append(std::move(n));
+    }
+    out.Set("notes", std::move(notes));
+  }
+  return out;
+}
+
+Json DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
+                       const std::string& file) {
+  Json out = Json::Object();
+  out.Set("file", Json::Str(file));
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+  Json list = Json::Array();
+  for (const Diagnostic& d : diagnostics) {
+    switch (d.severity) {
+      case Severity::kError: ++errors; break;
+      case Severity::kWarning: ++warnings; break;
+      case Severity::kNote: ++notes; break;
+    }
+    list.Append(DiagnosticToJson(d));
+  }
+  out.Set("errors", Json::Int(errors));
+  out.Set("warnings", Json::Int(warnings));
+  out.Set("notes", Json::Int(notes));
+  out.Set("diagnostics", std::move(list));
+  return out;
+}
+
+}  // namespace relacc

@@ -1,0 +1,112 @@
+#ifndef RELACC_ANALYSIS_DIAGNOSTIC_H_
+#define RELACC_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "dsl/parse_issue.h"
+#include "util/json.h"
+
+namespace relacc {
+
+/// Severity of a static-analysis finding. Errors make a specification
+/// unusable (AccuracyService::Create rejects it under validate_spec, and
+/// `relacc lint` always fails); warnings flag likely mistakes (`--werror`
+/// promotes them to failures); notes are informational and never fail.
+enum class Severity { kNote = 0, kWarning, kError };
+
+/// "note" / "warning" / "error".
+const char* SeverityName(Severity severity);
+
+/// A position in the spec's rule-DSL (or CFD) source text, 1-based as the
+/// lexer counts. line == 0 means the finding has no source location — it
+/// concerns a programmatically-built rule or the spec as a whole.
+struct SourceSpan {
+  int line = 0;
+  int column = 0;
+
+  bool known() const { return line > 0; }
+  bool operator==(const SourceSpan&) const = default;
+};
+
+/// A secondary location attached to a Diagnostic — e.g. the other rule of
+/// a cr-order-conflict pair, or the earlier rule a duplicate repeats.
+struct DiagnosticNote {
+  std::string message;
+  SourceSpan span;
+};
+
+/// One static-analysis finding. `check_id` is a stable kebab-case
+/// identifier (the vocabulary is listed in analysis/analyzer.h and in the
+/// README's "Static analysis" section); consumers key suppressions and
+/// tests on it, so renaming one is a breaking change.
+struct Diagnostic {
+  std::string check_id;
+  Severity severity = Severity::kWarning;
+  std::string message;
+  SourceSpan span;
+  std::vector<DiagnosticNote> notes;
+};
+
+/// Collects diagnostics. Checks report through Report(); surfaces read
+/// the collected list. Not thread-safe (the analyzer is single-threaded).
+class DiagnosticSink {
+ public:
+  /// Appends a finding and returns it for note chaining:
+  ///   sink.Report("cr-order-conflict", Severity::kWarning, msg, span)
+  ///       .notes.push_back({other_msg, other_span});
+  Diagnostic& Report(std::string check_id, Severity severity,
+                     std::string message, SourceSpan span = {});
+
+  void Add(Diagnostic diagnostic);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  int CountOf(Severity severity) const;
+  int errors() const { return CountOf(Severity::kError); }
+  int warnings() const { return CountOf(Severity::kWarning); }
+
+  /// Stable sort by (severity desc, line, column): errors first, then
+  /// source order within a severity. Located findings sort before
+  /// unlocated ones of the same severity.
+  void Sort();
+
+  /// Moves the collected list out (the sink is empty afterwards).
+  std::vector<Diagnostic> Take() { return std::move(diagnostics_); }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Converts a parser/CFD ParseIssue into an error-severity Diagnostic
+/// (the check id carries over; see dsl/parse_issue.h).
+Diagnostic DiagnosticFromParseIssue(const ParseIssue& issue);
+
+/// One-line rendering in the compiler idiom:
+///   file:line:column: severity: message [check-id]
+/// followed by one indented line per note. `file` may be empty (the
+/// leading "line:column:" then only appears when the span is known).
+std::string FormatDiagnostic(const Diagnostic& diagnostic,
+                             const std::string& file = "");
+
+/// Renders every diagnostic plus a trailing summary line
+/// ("2 errors, 1 warning"); empty string for an empty list.
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              const std::string& file = "");
+
+/// Machine-readable form of one finding:
+/// {"check": id, "severity": name, "message": text,
+///  "line": N, "column": N,            // omitted when unknown
+///  "notes": [{"message": ..., "line": ..., "column": ...}, ...]}
+Json DiagnosticToJson(const Diagnostic& diagnostic);
+
+/// The `relacc lint --json` document:
+/// {"file": path, "errors": N, "warnings": N, "notes": N,
+///  "diagnostics": [...]}.
+Json DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
+                       const std::string& file);
+
+}  // namespace relacc
+
+#endif  // RELACC_ANALYSIS_DIAGNOSTIC_H_

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/analyzer.h"
 #include "rules/grounding.h"
 #include "topk/batch_check.h"
 #include "topk/rank_join_ct.h"
@@ -136,6 +137,21 @@ Result<std::unique_ptr<AccuracyService>> AccuracyService::Create(
         "ServiceOptions::ground_shards must be >= 0 (0 = thread budget), "
         "got " +
         std::to_string(options.ground_shards));
+  }
+  if (options.validate_spec) {
+    // Static analysis at the door (analysis/analyzer.h): reject on
+    // error-severity findings; warnings are lint's business.
+    std::vector<Diagnostic> diagnostics = AnalyzeSpecification(spec);
+    std::string errors;
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity != Severity::kError) continue;
+      if (!errors.empty()) errors += "; ";
+      errors += d.message + " [" + d.check_id + "]";
+    }
+    if (!errors.empty()) {
+      return Status::InvalidArgument("specification failed validation: " +
+                                     errors);
+    }
   }
   if (options.chase.has_value()) spec.config = *options.chase;
   const int budget = ResolveBudget(options.num_threads);

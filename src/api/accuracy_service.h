@@ -59,6 +59,15 @@ struct ServiceOptions {
   /// GroundProgram (and therefore every chase) is identical for every
   /// value; only AccuracyService::Create/first-use latency changes.
   int ground_shards = 0;
+
+  /// Run the static analyzer (analysis/analyzer.h) over the
+  /// specification in Create. Error-severity findings — unknown
+  /// attribute ids, unresolvable master references — make Create return
+  /// kInvalidArgument carrying the full formatted diagnostic list;
+  /// warnings and notes never reject (run `relacc lint` for those).
+  /// Off by default: programmatic callers often assemble specs that are
+  /// correct by construction and should not pay the analysis.
+  bool validate_spec = false;
 };
 
 /// Per-session options of AccuracyService::StartPipeline.

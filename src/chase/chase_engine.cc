@@ -14,6 +14,9 @@ namespace relacc {
 struct ChaseEngine::RunState {
   std::vector<PartialOrder> orders;
   std::vector<Value> te;
+  /// Provenance of each set te slot (rule id or a kBy* sentinel), for
+  /// violation messages; parallel to `te`, kByDesignated where unset.
+  std::vector<int32_t> te_rule;
   std::vector<int> remaining;
   std::vector<char> dead;
   std::deque<int32_t> queue;           ///< ready ground steps (Q of Fig. 4)
@@ -169,8 +172,20 @@ void ChaseEngine::EmitTeEvent(RunState* st, AttrId attr,
   }
 }
 
-bool ChaseEngine::ApplyAddPair(RunState* st, AttrId attr, int i,
-                               int j) const {
+std::string ChaseEngine::RuleNameOf(int32_t rule_id) const {
+  if (rule_id == kByLambda) return "the lambda greatest-element rule";
+  if (rule_id == kByAxiom) return "a built-in axiom";
+  if (rule_id == kByDesignated) return "a designated target value";
+  if (rule_id >= 0 &&
+      rule_id < static_cast<int32_t>(program_->rule_names.size()) &&
+      !program_->rule_names[rule_id].empty()) {
+    return "rule '" + program_->rule_names[rule_id] + "'";
+  }
+  return "rule #" + std::to_string(rule_id);
+}
+
+bool ChaseEngine::ApplyAddPair(RunState* st, AttrId attr, int i, int j,
+                               int32_t rule_id) const {
   st->scratch_pairs.clear();
   bool conflict = false;
   if (!st->orders[attr].AddPair(i, j, &st->scratch_pairs, &conflict)) {
@@ -178,7 +193,30 @@ bool ChaseEngine::ApplyAddPair(RunState* st, AttrId attr, int i,
   }
   st->stats.pairs_derived += static_cast<int64_t>(st->scratch_pairs.size());
   if (conflict) {
-    st->violation = "order conflict on attribute " + ie_.schema().name(attr);
+    // Cross-reference the static analyzer: find the ground step that
+    // derives the opposite pair (preferring one from another rule) so
+    // the message names the conflicting rule pair like `relacc lint`'s
+    // cr-order-conflict does.
+    int32_t opposite = rule_id;
+    bool found = false;
+    for (const GroundStep& step : program_->steps) {
+      if (step.kind != GroundStep::Kind::kAddOrder || step.attr != attr ||
+          step.i != j || step.j != i) {
+        continue;
+      }
+      if (!found || (opposite == rule_id && step.rule_id != rule_id)) {
+        opposite = step.rule_id;
+        found = true;
+      }
+      if (opposite != rule_id) break;
+    }
+    st->violation = "order conflict on attribute " + ie_.schema().name(attr) +
+                    " (pair derived by " + RuleNameOf(rule_id);
+    if (found) {
+      st->violation += ", opposite order derivable by " + RuleNameOf(opposite);
+    }
+    st->violation +=
+        "); `relacc lint` flags such rule pairs as cr-order-conflict";
     return false;
   }
   // EmitOrderEvent only touches counters/queue, never orders, so the
@@ -198,26 +236,33 @@ bool ChaseEngine::ApplyAddPair(RunState* st, AttrId attr, int i,
   return true;
 }
 
-bool ChaseEngine::ApplySetTe(RunState* st, AttrId attr, const Value& v) const {
+bool ChaseEngine::ApplySetTe(RunState* st, AttrId attr, const Value& v,
+                             int32_t rule_id) const {
   Value& slot = st->te[attr];
   if (!slot.is_null()) {
     if (slot == v) return true;  // no-op
     st->violation = "conflicting target values for attribute " +
                     ie_.schema().name(attr) + ": " + slot.ToString() +
-                    " vs " + v.ToString();
+                    " (set by " + RuleNameOf(st->te_rule[attr]) + ") vs " +
+                    v.ToString() + " (from " + RuleNameOf(rule_id) +
+                    "); `relacc lint` flags such rule pairs as "
+                    "cr-assign-conflict";
     return false;
   }
   if (st->trail.enabled) st->trail.te_set.push_back(attr);
   slot = v;
+  st->te_rule[attr] = rule_id;
   EmitTeEvent(st, attr, v);
   if (config_.builtin_axioms) {
-    // Axiom ϕ8: the defined target value anchors the top of ⪯_attr.
+    // Axiom ϕ8: the defined target value anchors the top of ⪯_attr. The
+    // anchored pairs inherit the setter's provenance — a conflict they
+    // cause traces back to the rule that set te[attr].
     auto it = value_index_[attr].find(v);
     if (it != value_index_[attr].end()) {
       for (int j : it->second) {
         for (int i = 0; i < n_; ++i) {
           if (i == j) continue;
-          if (!ApplyAddPair(st, attr, i, j)) return false;
+          if (!ApplyAddPair(st, attr, i, j, rule_id)) return false;
         }
       }
     }
@@ -239,11 +284,14 @@ bool ChaseEngine::FlushLambda(RunState* st) const {
     const Value& val = columns_[attr][g];
     if (val.is_null()) continue;  // never instantiate te with null
     if (st->te[attr].is_null()) {
-      if (!ApplySetTe(st, attr, val)) return false;
+      if (!ApplySetTe(st, attr, val, kByLambda)) return false;
     } else if (!(st->te[attr] == val)) {
       st->violation = "lambda would overwrite target attribute " +
                       ie_.schema().name(attr) + ": " +
-                      st->te[attr].ToString() + " vs " + val.ToString();
+                      st->te[attr].ToString() + " (set by " +
+                      RuleNameOf(st->te_rule[attr]) + ") vs " +
+                      val.ToString() +
+                      " (the greatest element of the derived order)";
       return false;
     }
   }
@@ -253,6 +301,7 @@ bool ChaseEngine::FlushLambda(RunState* st) const {
 bool ChaseEngine::InitState(RunState* st_ptr, const Tuple& initial_te) const {
   RunState& st = *st_ptr;
   st.te.assign(num_attrs_, Value::Null());
+  st.te_rule.assign(num_attrs_, kByDesignated);
   st.remaining = remaining0_;
   st.dead.assign(program_->steps.size(), 0);
   // Every attribute starts λ-dirty: a singleton instance has a greatest
@@ -283,21 +332,23 @@ bool ChaseEngine::InitState(RunState* st_ptr, const Tuple& initial_te) const {
         (void)value;
         for (std::size_t x = 0; x < indices.size() && ok; ++x) {
           for (std::size_t y = x + 1; y < indices.size() && ok; ++y) {
-            ok = ApplyAddPair(&st, a, indices[x], indices[y]) &&
-                 ApplyAddPair(&st, a, indices[y], indices[x]);
+            ok = ApplyAddPair(&st, a, indices[x], indices[y], kByAxiom) &&
+                 ApplyAddPair(&st, a, indices[y], indices[x], kByAxiom);
           }
         }
       }
       // ϕ9 over nulls (null = null holds) and ϕ7 null -> non-null.
       for (std::size_t x = 0; x < nulls.size() && ok; ++x) {
         for (std::size_t y = x + 1; y < nulls.size() && ok; ++y) {
-          ok = ApplyAddPair(&st, a, nulls[x], nulls[y]) &&
-               ApplyAddPair(&st, a, nulls[y], nulls[x]);
+          ok = ApplyAddPair(&st, a, nulls[x], nulls[y], kByAxiom) &&
+               ApplyAddPair(&st, a, nulls[y], nulls[x], kByAxiom);
         }
       }
       for (std::size_t x = 0; x < nulls.size() && ok; ++x) {
         for (int j = 0; j < n_ && ok; ++j) {
-          if (!columns_[a][j].is_null()) ok = ApplyAddPair(&st, a, nulls[x], j);
+          if (!columns_[a][j].is_null()) {
+            ok = ApplyAddPair(&st, a, nulls[x], j, kByAxiom);
+          }
         }
       }
     }
@@ -306,7 +357,7 @@ bool ChaseEngine::InitState(RunState* st_ptr, const Tuple& initial_te) const {
   // for the candidate-target check; partial after user interaction).
   for (AttrId a = 0; a < num_attrs_ && ok; ++a) {
     if (a < initial_te.size() && !initial_te.at(a).is_null()) {
-      ok = ApplySetTe(&st, a, initial_te.at(a));
+      ok = ApplySetTe(&st, a, initial_te.at(a), kByDesignated);
     }
   }
   if (ok) ok = FlushLambda(&st);
@@ -327,9 +378,9 @@ bool ChaseEngine::DrainQueue(RunState* st_ptr) const {
     const GroundStep& step = program_->steps[s];
     bool applied_ok;
     if (step.kind == GroundStep::Kind::kAddOrder) {
-      applied_ok = ApplyAddPair(&st, step.attr, step.i, step.j);
+      applied_ok = ApplyAddPair(&st, step.attr, step.i, step.j, step.rule_id);
     } else {
-      applied_ok = ApplySetTe(&st, step.attr, step.te_value);
+      applied_ok = ApplySetTe(&st, step.attr, step.te_value, step.rule_id);
     }
     if (applied_ok) applied_ok = FlushLambda(&st);
     if (!applied_ok) return false;
@@ -424,7 +475,7 @@ bool ChaseEngine::ContinueWith(RunState* st, const Tuple& te) const {
   bool ok = true;
   for (AttrId a = 0; a < num_attrs_ && ok; ++a) {
     if (a >= te.size() || te.at(a).is_null()) continue;
-    ok = ApplySetTe(st, a, te.at(a));
+    ok = ApplySetTe(st, a, te.at(a), kByDesignated);
   }
   if (ok) ok = FlushLambda(st);
   if (ok) ok = DrainQueue(st);
@@ -448,6 +499,7 @@ void ChaseEngine::RollbackTo(RunState* st, const StateMark& mark) const {
   RunState::Trail& trail = st->trail;
   while (trail.te_set.size() > mark.te_set) {
     st->te[trail.te_set.back()] = Value::Null();
+    st->te_rule[trail.te_set.back()] = kByDesignated;
     trail.te_set.pop_back();
   }
   while (trail.remaining_dec.size() > mark.remaining_dec) {

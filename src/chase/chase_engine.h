@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -168,11 +169,25 @@ class ChaseEngine {
   void MarkState(const RunState& st, StateMark* mark) const;
   void RollbackTo(RunState* st, const StateMark& mark) const;
 
+  // Provenance of a chase action, for violation messages that name the
+  // rules involved and cross-reference the static `relacc lint` checks.
+  // Non-negative ids index the specification's rule list (via
+  // GroundProgram::rule_names); negatives are the engine's own actions.
+  static constexpr int32_t kByDesignated = -1;  ///< designated target value
+  static constexpr int32_t kByLambda = -2;      ///< λ greatest-element rule
+  static constexpr int32_t kByAxiom = -3;       ///< built-in axiom ϕ7/ϕ8/ϕ9
+
+  // Human-readable name of the rule (or engine action) behind `rule_id`.
+  std::string RuleNameOf(int32_t rule_id) const;
+
   // Applies "insert i ⪯_attr j, close, λ-update" as one action. Returns
-  // false on a validity violation (recorded in state).
-  bool ApplyAddPair(RunState* st, AttrId attr, int i, int j) const;
+  // false on a validity violation (recorded in state). `rule_id` is the
+  // provenance of the pair being inserted.
+  bool ApplyAddPair(RunState* st, AttrId attr, int i, int j,
+                    int32_t rule_id) const;
   // Applies te[attr] := v. Returns false on a violation.
-  bool ApplySetTe(RunState* st, AttrId attr, const Value& v) const;
+  bool ApplySetTe(RunState* st, AttrId attr, const Value& v,
+                  int32_t rule_id) const;
   // Re-evaluates λ for attributes whose order changed.
   bool FlushLambda(RunState* st) const;
 

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
 #include "api/accuracy_service.h"
 #include "api/version.h"
 #include "chase/chase_engine.h"
@@ -517,6 +519,83 @@ Status CmdGen(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+/// `relacc lint <spec.json> [--json] [--werror]`: loads the document
+/// leniently (parse failures become diagnostics instead of aborting the
+/// load), runs the static analyzer, and prints the findings. Its exit
+/// contract extends the tool's usual one with code 4: 0 means a clean
+/// spec, 1 an unreadable or structurally-broken document (nothing to
+/// analyze), 2 a usage error, and 4 that the linter produced findings —
+/// errors always fail; warnings only under --werror; notes never do.
+/// Returns the exit code directly because 4 is not expressible as a
+/// Status, but routes the 1/2 failures through the shared formatting.
+int LintExitCode(const Status& status, std::ostream& err) {
+  if (!status.message().empty()) {
+    err << "error: " << status.ToString() << "\n";
+  }
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+int CmdLint(const Args& args, std::ostream& out, std::ostream& err) {
+  const bool as_json = args.Has("json");
+  const bool werror = args.Has("werror");
+  Status unread = CheckUnread(args);
+  if (!unread.ok()) return LintExitCode(unread, err);
+  if (args.positionals().empty()) {
+    return LintExitCode(
+        Status::InvalidArgument("expected a <spec.json> argument"), err);
+  }
+  const std::string& path = args.positionals()[0];
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return LintExitCode(text.status(), err);
+  Result<Json> parsed = Json::Parse(text.value());
+  if (!parsed.ok()) {
+    return LintExitCode(Status::ParseError(parsed.status().message()), err);
+  }
+  const auto slash = path.find_last_of('/');
+  const std::string base_dir =
+      slash == std::string::npos ? "" : path.substr(0, slash);
+  std::vector<ParseIssue> issues;
+  Result<SpecDocument> doc =
+      SpecFromJsonLenient(parsed.value(), base_dir, &issues);
+  if (!doc.ok()) {
+    // Structural problems (missing schema, bad tuples) leave nothing to
+    // analyze; they stay hard failures like every other command's.
+    return LintExitCode(Status::ParseError(doc.status().message()), err);
+  }
+
+  DiagnosticSink sink;
+  for (const ParseIssue& issue : issues) {
+    sink.Add(DiagnosticFromParseIssue(issue));
+  }
+  for (Diagnostic& d :
+       AnalyzeSpecification(doc.value().spec, doc.value().entity_name,
+                            doc.value().master_names)) {
+    sink.Add(std::move(d));
+  }
+  sink.Sort();
+  const int errors = sink.errors();
+  const int warnings = sink.warnings();
+  const std::vector<Diagnostic> diagnostics = sink.Take();
+
+  if (as_json) {
+    out << DiagnosticsToJson(diagnostics, path).Dump(2) << "\n";
+  } else if (diagnostics.empty()) {
+    out << path << ": no issues found\n";
+  } else {
+    out << FormatDiagnostics(diagnostics, path);
+  }
+  if (errors > 0 || (werror && warnings > 0)) return 4;
+  return 0;
+}
+
 /// The single exit point: every command failure is a Status routed up
 /// here, mapped onto the tool's historical exit codes — 2 for usage
 /// errors, 3 for a specification that is not Church-Rosser, 1 for I/O,
@@ -566,6 +645,9 @@ std::string CliUsage() {
       "            [--threads N] [--check-strategy trail|copy] [--json]\n"
       "  fmt       normalize a spec document / its rule program\n"
       "            [--rules-only]\n"
+      "  lint      static analysis of the spec (schema, dead rules,\n"
+      "            duplicates, Church-Rosser conflict pairs)\n"
+      "            [--json] [--werror]\n"
       "  pipeline  flat relation -> entity resolution -> per-entity targets\n"
       "            --key <attr[,attr...]> [--threads N] [--window N]\n"
       "            [--ground-shards N] [--completion best|heuristic|none]\n"
@@ -584,7 +666,9 @@ std::string CliUsage() {
       "The spec document format is described in io/spec_io.h; rules use the\n"
       "DSL of dsl/parser.h (an ASCII form of the paper's Table 3 notation).\n"
       "All commands exit 0 on success, 2 on usage errors, 3 when the\n"
-      "specification is not Church-Rosser, and 1 on I/O or parse failures.\n";
+      "specification is not Church-Rosser, and 1 on I/O or parse failures.\n"
+      "`lint` additionally exits 4 when it has findings: errors always\n"
+      "fail; warnings fail only under --werror; notes never do.\n";
 }
 
 int RunCliCommand(const Args& args, std::ostream& out, std::ostream& err) {
@@ -598,6 +682,8 @@ int RunCliCommand(const Args& args, std::ostream& out, std::ostream& err,
   if (cmd == "explain") return FinishCli(CmdExplain(args, out), err);
   if (cmd == "topk") return FinishCli(CmdTopK(args, out), err);
   if (cmd == "fmt") return FinishCli(CmdFmt(args, out), err);
+  // lint owns its exit codes (4 = findings, which no Status expresses).
+  if (cmd == "lint") return CmdLint(args, out, err);
   if (cmd == "pipeline") return FinishCli(CmdPipeline(args, out), err);
   if (cmd == "interactive") {
     return FinishCli(CmdInteractive(args, out, in), err);

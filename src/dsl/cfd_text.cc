@@ -9,23 +9,33 @@ namespace relacc {
 
 namespace {
 
-Status ErrorAt(const Token& token, const std::string& message) {
+/// Records the structured issue (when requested) and builds the
+/// positioned parse error.
+Status ErrorAt(const Token& token, const std::string& message,
+               ParseIssue* issue, const char* check_id = "parse-syntax") {
+  if (issue != nullptr) {
+    *issue = ParseIssue{check_id, message, token.line, token.column};
+  }
   return Status::ParseError(message + " at line " + std::to_string(token.line) +
                             ", column " + std::to_string(token.column));
 }
 
 /// Parses `[attr] = <literal>`; advances *pos past it.
 Result<std::pair<AttrId, Value>> ParseEquality(
-    const std::vector<Token>& tokens, size_t* pos, const Schema& schema) {
+    const std::vector<Token>& tokens, size_t* pos, const Schema& schema,
+    ParseIssue* issue) {
   const Token& attr = tokens[*pos];
   if (attr.kind != TokenKind::kAttrRef) {
-    return ErrorAt(attr, "expected an [attribute] reference");
+    return ErrorAt(attr, "expected an [attribute] reference", issue);
   }
   std::optional<AttrId> id = schema.IndexOf(attr.text);
-  if (!id) return ErrorAt(attr, "unknown attribute '" + attr.text + "'");
+  if (!id) {
+    return ErrorAt(attr, "unknown attribute '" + attr.text + "'", issue,
+                   "schema-unknown-attr");
+  }
   ++*pos;
   if (tokens[*pos].kind != TokenKind::kEq) {
-    return ErrorAt(tokens[*pos], "expected '='");
+    return ErrorAt(tokens[*pos], "expected '='", issue);
   }
   ++*pos;
   const Token& lit = tokens[*pos];
@@ -41,7 +51,7 @@ Result<std::pair<AttrId, Value>> ParseEquality(
     case TokenKind::kKwTrue: value = Value::Bool(true); break;
     case TokenKind::kKwFalse: value = Value::Bool(false); break;
     default:
-      return ErrorAt(lit, "expected a literal after '='");
+      return ErrorAt(lit, "expected a literal after '='", issue);
   }
   ++*pos;
   return std::make_pair(*id, std::move(value));
@@ -51,17 +61,27 @@ Result<std::pair<AttrId, Value>> ParseEquality(
 
 Result<ConstantCfd> ParseConstantCfd(const std::string& text,
                                      const Schema& schema,
-                                     const std::string& name) {
+                                     const std::string& name,
+                                     ParseIssue* issue) {
   Lexer lexer(text);
   Result<std::vector<Token>> tokens_or = lexer.Tokenize();
-  if (!tokens_or.ok()) return tokens_or.status();
+  if (!tokens_or.ok()) {
+    if (issue != nullptr) {
+      issue->check_id = "parse-syntax";
+      issue->message = tokens_or.status().message();
+      issue->line = 0;
+      issue->column = 0;
+    }
+    return tokens_or.status();
+  }
   const std::vector<Token>& tokens = tokens_or.value();
 
   ConstantCfd cfd;
   cfd.name = name;
   size_t pos = 0;
   while (true) {
-    Result<std::pair<AttrId, Value>> eq = ParseEquality(tokens, &pos, schema);
+    Result<std::pair<AttrId, Value>> eq =
+        ParseEquality(tokens, &pos, schema, issue);
     if (!eq.ok()) return eq.status();
     cfd.conditions.push_back(eq.value());
     if (tokens[pos].kind == TokenKind::kKwAnd) {
@@ -71,22 +91,27 @@ Result<ConstantCfd> ParseConstantCfd(const std::string& text,
     break;
   }
   if (tokens[pos].kind != TokenKind::kArrow) {
-    return ErrorAt(tokens[pos], "expected '->' after the condition(s)");
+    return ErrorAt(tokens[pos], "expected '->' after the condition(s)", issue);
   }
   ++pos;
-  Result<std::pair<AttrId, Value>> then = ParseEquality(tokens, &pos, schema);
+  const Token& then_token = tokens[pos];  // the conclusion's [attr] token
+  Result<std::pair<AttrId, Value>> then =
+      ParseEquality(tokens, &pos, schema, issue);
   if (!then.ok()) return then.status();
   cfd.then_attr = then.value().first;
   cfd.then_value = then.value().second;
   if (tokens[pos].kind != TokenKind::kEnd) {
-    return ErrorAt(tokens[pos], "trailing input after the conclusion");
+    return ErrorAt(tokens[pos], "trailing input after the conclusion", issue);
   }
   for (const auto& [attr, value] : cfd.conditions) {
     (void)value;
     if (attr == cfd.then_attr) {
-      return Status::InvalidArgument(
-          "CFD conclusion attribute '" + schema.name(attr) +
-          "' also appears in the condition");
+      // Semantic, not syntactic — but positioned all the same, on the
+      // conclusion's attribute token.
+      return ErrorAt(then_token,
+                     "CFD conclusion attribute '" + schema.name(attr) +
+                         "' also appears in the condition",
+                     issue);
     }
   }
   return cfd;

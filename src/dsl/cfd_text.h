@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/schema.h"
+#include "dsl/parse_issue.h"
 #include "rules/cfd.h"
 #include "util/status.h"
 
@@ -18,9 +19,13 @@ namespace relacc {
 /// `->`, then exactly one `[attr] = <literal>` conclusion. Attribute names
 /// are validated against `schema`; integer literals coerce to double for
 /// real-typed attributes (as in the rule DSL).
+/// On failure, `issue` (when non-null) receives the structured form of
+/// the error — message, source span and the analyzer check id it maps to
+/// (parse-syntax or schema-unknown-attr) — for `relacc lint`.
 Result<ConstantCfd> ParseConstantCfd(const std::string& text,
                                      const Schema& schema,
-                                     const std::string& name = "");
+                                     const std::string& name = "",
+                                     ParseIssue* issue = nullptr);
 
 /// Renders `cfd` in the syntax above (round-trips through ParseConstantCfd).
 std::string FormatConstantCfd(const ConstantCfd& cfd, const Schema& schema);

@@ -1,0 +1,25 @@
+#ifndef RELACC_DSL_PARSE_ISSUE_H_
+#define RELACC_DSL_PARSE_ISSUE_H_
+
+#include <string>
+
+namespace relacc {
+
+/// One structured problem found while parsing rule-DSL or CFD text: the
+/// machine-readable companion of the human-readable ParseError Status the
+/// strict parsers return. `check_id` uses the static-analyzer vocabulary
+/// (analysis/analyzer.h) so parser findings and analyzer findings share
+/// one diagnostic surface: "parse-syntax" for grammar errors,
+/// "schema-unknown-attr" / "schema-unknown-master" for name-resolution
+/// failures. `line`/`column` are 1-based; 0 means unknown (e.g. a lexer
+/// failure before any token existed).
+struct ParseIssue {
+  std::string check_id = "parse-syntax";
+  std::string message;  ///< without the " at line L, column C" suffix
+  int line = 0;
+  int column = 0;
+};
+
+}  // namespace relacc
+
+#endif  // RELACC_DSL_PARSE_ISSUE_H_

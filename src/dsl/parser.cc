@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <optional>
 #include <utility>
 
 #include "dsl/lexer.h"
@@ -161,6 +162,36 @@ class RuleParser::Impl {
     return rules;
   }
 
+  ParsedProgram ParseLenient() {
+    ParsedProgram out;
+    while (Peek().kind != TokenKind::kEnd) {
+      last_issue_.reset();
+      const int start = pos_;
+      Result<AccuracyRule> rule = ParseOneRule();
+      if (rule.ok()) {
+        out.rules.push_back(std::move(rule).value());
+        continue;
+      }
+      if (last_issue_) {
+        out.issues.push_back(*last_issue_);
+      } else {
+        // Error paths that bypass ErrorAt (ToCompareOp, ToProvenance)
+        // embed the position in the message; keep it, span unknown.
+        ParseIssue issue;
+        issue.message = rule.status().message();
+        out.issues.push_back(std::move(issue));
+      }
+      // Resync at the next rule. The progress guard covers a failure on
+      // the `rule` keyword itself (pos_ unmoved, Peek() still kKwRule).
+      if (pos_ == start) Advance();
+      while (Peek().kind != TokenKind::kEnd &&
+             Peek().kind != TokenKind::kKwRule) {
+        Advance();
+      }
+    }
+    return out;
+  }
+
   Result<AccuracyRule> ParseSingle() {
     Result<AccuracyRule> rule = ParseOneRule();
     if (!rule.ok()) return rule;
@@ -178,7 +209,12 @@ class RuleParser::Impl {
   }
   const Token& Advance() { return tokens_[pos_ < static_cast<int>(tokens_.size()) - 1 ? pos_++ : pos_]; }
 
-  static Status ErrorAt(const Token& token, const std::string& message) {
+  /// Builds the positioned parse error and records a structured issue
+  /// for lenient mode. `check_id` classifies the failure for lint
+  /// (name-resolution sites pass the schema-* ids).
+  Status ErrorAt(const Token& token, const std::string& message,
+                 const char* check_id = "parse-syntax") {
+    last_issue_ = ParseIssue{check_id, message, token.line, token.column};
     return Status::ParseError(message + " at line " +
                               std::to_string(token.line) + ", column " +
                               std::to_string(token.column));
@@ -197,7 +233,8 @@ class RuleParser::Impl {
   Result<AttrId> EntityAttr(const Token& ref) {
     std::optional<AttrId> id = entity_schema_.IndexOf(ref.text);
     if (!id) {
-      return ErrorAt(ref, "unknown entity attribute '" + ref.text + "'");
+      return ErrorAt(ref, "unknown entity attribute '" + ref.text + "'",
+                     "schema-unknown-attr");
     }
     return *id;
   }
@@ -241,6 +278,8 @@ class RuleParser::Impl {
     AccuracyRule rule;
     rule.name = name.value().text;
     rule.provenance = provenance;
+    rule.line = name.value().line;
+    rule.column = name.value().column;
 
     Status body_status;
     if (two_vars) {
@@ -267,7 +306,8 @@ class RuleParser::Impl {
       }
       if (master == nullptr) {
         return ErrorAt(rel.value(),
-                       "unknown master relation '" + rel.value().text + "'");
+                       "unknown master relation '" + rel.value().text + "'",
+                       "schema-unknown-master");
       }
       rule.form = AccuracyRule::Form::kMaster;
       rule.master_index = master->index;
@@ -526,8 +566,10 @@ class RuleParser::Impl {
       if (!tm_attr.ok()) return tm_attr.status();
       std::optional<AttrId> tm_id = master.schema->IndexOf(tm_attr.value().text);
       if (!tm_id) {
-        return ErrorAt(tm_attr.value(), "unknown master attribute '" +
-                                            tm_attr.value().text + "'");
+        return ErrorAt(tm_attr.value(),
+                       "unknown master attribute '" + tm_attr.value().text +
+                           "'",
+                       "schema-unknown-master");
       }
       rule->assignments.emplace_back(te_id.value(), *tm_id);
       if (Peek().kind == TokenKind::kComma) {
@@ -570,8 +612,10 @@ class RuleParser::Impl {
           } else if (var.text == tm) {
             std::optional<AttrId> id = master.schema->IndexOf(attr.value().text);
             if (!id) {
-              return ErrorAt(attr.value(), "unknown master attribute '" +
-                                               attr.value().text + "'");
+              return ErrorAt(attr.value(),
+                             "unknown master attribute '" +
+                                 attr.value().text + "'",
+                             "schema-unknown-master");
             }
             m.kind = M::Kind::kMaster;
             m.attr = *id;
@@ -655,6 +699,7 @@ class RuleParser::Impl {
   const std::vector<NamedMaster>& masters_;
   std::vector<Token> tokens_;
   int pos_ = 0;
+  std::optional<ParseIssue> last_issue_;  ///< set by ErrorAt, lenient mode
 };
 
 RuleParser::RuleParser(const Schema& entity_schema, std::string entity_name,
@@ -680,6 +725,23 @@ Result<AccuracyRule> RuleParser::ParseRule(const std::string& text) {
   Impl impl(entity_schema_, entity_name_, masters_,
             std::move(tokens).value());
   return impl.ParseSingle();
+}
+
+ParsedProgram RuleParser::ParseProgramLenient(const std::string& text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) {
+    // A lexer failure poisons the whole program; its message carries the
+    // position in text form.
+    ParsedProgram out;
+    ParseIssue issue;
+    issue.message = tokens.status().message();
+    out.issues.push_back(std::move(issue));
+    return out;
+  }
+  Impl impl(entity_schema_, entity_name_, masters_,
+            std::move(tokens).value());
+  return impl.ParseLenient();
 }
 
 // --- formatting -----------------------------------------------------------

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/schema.h"
+#include "dsl/parse_issue.h"
 #include "dsl/token.h"
 #include "rules/accuracy_rule.h"
 #include "util/status.h"
@@ -54,6 +55,17 @@ struct NamedMaster {
 ///
 /// Attribute names are validated against the schemas and reported with
 /// line/column positions on error.
+///
+/// Parsed rules carry the source span of their name token
+/// (AccuracyRule::line/column) for static-analysis diagnostics.
+
+/// Result of ParseProgramLenient: every rule that parsed, plus one
+/// structured issue per rule (or lexer failure) that did not.
+struct ParsedProgram {
+  std::vector<AccuracyRule> rules;
+  std::vector<ParseIssue> issues;
+};
+
 class RuleParser {
  public:
   /// `entity_schema` and the schemas in `masters` must outlive the parser.
@@ -67,6 +79,13 @@ class RuleParser {
 
   /// Parses exactly one rule (trailing input is an error).
   Result<AccuracyRule> ParseRule(const std::string& text);
+
+  /// Error-tolerant variant of ParseProgram for `relacc lint`: on a
+  /// rule-level failure the issue is recorded (with the analyzer check id
+  /// it maps to — parse-syntax, schema-unknown-attr or
+  /// schema-unknown-master) and parsing resumes at the next `rule`
+  /// keyword, so one broken rule does not hide issues in later ones.
+  ParsedProgram ParseProgramLenient(const std::string& text);
 
  private:
   class Impl;

@@ -166,8 +166,13 @@ std::vector<NamedMaster> SpecDocument::Masters() const {
   return masters;
 }
 
-Result<SpecDocument> SpecFromJson(const Json& doc,
-                                  const std::string& base_dir) {
+namespace {
+
+/// Shared deserialization. With `issues` non-null (lenient mode) the
+/// rule/CFD text failures are collected instead of aborting.
+Result<SpecDocument> SpecFromJsonImpl(const Json& doc,
+                                      const std::string& base_dir,
+                                      std::vector<ParseIssue>* issues) {
   if (!doc.is_object()) {
     return Status::InvalidArgument("specification document must be an object");
   }
@@ -230,10 +235,18 @@ Result<SpecDocument> SpecFromJson(const Json& doc,
           "'rules' must be a string holding a rule-DSL program");
     }
     RuleParser parser(out.spec.ie.schema(), out.entity_name, out.Masters());
-    Result<std::vector<AccuracyRule>> parsed =
-        parser.ParseProgram(rules->as_string());
-    if (!parsed.ok()) return parsed.status();
-    out.spec.rules = std::move(parsed).value();
+    if (issues != nullptr) {
+      ParsedProgram program = parser.ParseProgramLenient(rules->as_string());
+      out.spec.rules = std::move(program.rules);
+      for (ParseIssue& issue : program.issues) {
+        issues->push_back(std::move(issue));
+      }
+    } else {
+      Result<std::vector<AccuracyRule>> parsed =
+          parser.ParseProgram(rules->as_string());
+      if (!parsed.ok()) return parsed.status();
+      out.spec.rules = std::move(parsed).value();
+    }
   }
 
   // Constant CFDs (Sec. 2.1 Remark): compile to form-(2) ARs over one
@@ -249,10 +262,20 @@ Result<SpecDocument> SpecFromJson(const Json& doc,
       if (!cfds->at(i).is_string()) {
         return Status::InvalidArgument("'cfds' entries must be strings");
       }
+      ParseIssue cfd_issue;
       Result<ConstantCfd> cfd =
           ParseConstantCfd(cfds->at(i).as_string(), out.spec.ie.schema(),
-                           "cfd" + std::to_string(i));
-      if (!cfd.ok()) return cfd.status();
+                           "cfd" + std::to_string(i),
+                           issues != nullptr ? &cfd_issue : nullptr);
+      if (!cfd.ok()) {
+        if (issues == nullptr) return cfd.status();
+        // CFD strings are separate one-line programs; keep the in-string
+        // span but say which entry it concerns.
+        cfd_issue.message =
+            "cfds[" + std::to_string(i) + "]: " + cfd_issue.message;
+        issues->push_back(std::move(cfd_issue));
+        continue;
+      }
       parsed_cfds.push_back(std::move(cfd).value());
     }
     if (!parsed_cfds.empty()) {
@@ -267,6 +290,19 @@ Result<SpecDocument> SpecFromJson(const Json& doc,
     }
   }
   return out;
+}
+
+}  // namespace
+
+Result<SpecDocument> SpecFromJson(const Json& doc,
+                                  const std::string& base_dir) {
+  return SpecFromJsonImpl(doc, base_dir, nullptr);
+}
+
+Result<SpecDocument> SpecFromJsonLenient(const Json& doc,
+                                         const std::string& base_dir,
+                                         std::vector<ParseIssue>* issues) {
+  return SpecFromJsonImpl(doc, base_dir, issues);
 }
 
 Result<SpecDocument> SpecFromJsonText(const std::string& text,

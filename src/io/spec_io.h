@@ -56,6 +56,16 @@ struct SpecDocument {
 Result<SpecDocument> SpecFromJson(const Json& doc,
                                   const std::string& base_dir = "");
 
+/// Error-tolerant variant for `relacc lint`: rule-DSL and CFD parse
+/// failures are appended to `issues` (with source spans and analyzer
+/// check ids) instead of aborting the load — the document loads with the
+/// rules that did parse, so the analyzer can still run over them.
+/// Structural problems (missing entity, malformed tuples, unreadable CSV
+/// references) still fail the whole load, as no useful spec exists then.
+Result<SpecDocument> SpecFromJsonLenient(const Json& doc,
+                                         const std::string& base_dir,
+                                         std::vector<ParseIssue>* issues);
+
 /// Convenience: parse text then deserialize.
 Result<SpecDocument> SpecFromJsonText(const std::string& text,
                                       const std::string& base_dir = "");

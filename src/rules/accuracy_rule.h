@@ -43,6 +43,13 @@ struct AccuracyRule {
   std::string name;
   RuleProvenance provenance = RuleProvenance::kGeneric;
 
+  /// Source span of the rule's name token in the DSL program it was
+  /// parsed from (1-based; 0 = unknown, e.g. a programmatically-built
+  /// rule). Carried so static-analysis diagnostics (analysis/) and lint
+  /// output can point at the offending rule's source line.
+  int line = 0;
+  int column = 0;
+
   // --- form (1) ---
   std::vector<TuplePairPredicate> lhs;
   AttrId rhs_attr = -1;

@@ -199,8 +199,19 @@ bool operator==(const GroundStep& a, const GroundStep& b) {
 
 bool operator==(const GroundProgram& a, const GroundProgram& b) {
   return a.num_tuples == b.num_tuples && a.num_attrs == b.num_attrs &&
-         a.steps == b.steps;
+         a.rule_names == b.rule_names && a.steps == b.steps;
 }
+
+namespace {
+
+std::vector<std::string> RuleNames(const std::vector<AccuracyRule>& rules) {
+  std::vector<std::string> names;
+  names.reserve(rules.size());
+  for (const AccuracyRule& rule : rules) names.push_back(rule.name);
+  return names;
+}
+
+}  // namespace
 
 GroundProgram Instantiate(const Relation& ie,
                           const std::vector<Relation>& masters,
@@ -208,6 +219,7 @@ GroundProgram Instantiate(const Relation& ie,
   GroundProgram prog;
   prog.num_tuples = ie.size();
   prog.num_attrs = ie.schema().size();
+  prog.rule_names = RuleNames(rules);
   const std::vector<int64_t> starts = RowStarts(ie, masters, rules);
   GroundRows(ie, masters, rules, starts, 0, starts.back(), &prog.steps);
   return prog;
@@ -251,6 +263,7 @@ GroundProgram Instantiate(const Relation& ie,
   GroundProgram prog;
   prog.num_tuples = ie.size();
   prog.num_attrs = ie.schema().size();
+  prog.rule_names = RuleNames(rules);
   std::size_t total = 0;
   for (const auto& part : parts) total += part.size();
   prog.steps.reserve(total);

@@ -51,6 +51,10 @@ struct GroundProgram {
   std::vector<GroundStep> steps;
   int num_tuples = 0;
   int num_attrs = 0;
+  /// Rule names by rule_id (parallel to the specification's rule list),
+  /// so chase violations can name the rules whose steps conflicted and
+  /// cross-reference the static `relacc lint` checks.
+  std::vector<std::string> rule_names;
 };
 
 /// Structural equality, field for field in step order — the determinism

@@ -71,11 +71,17 @@ TEST(CfdText, Diagnostics) {
       ParseConstantCfd("[team] -> [arena] = \"y\"", schema).ok());  // no '='
   EXPECT_FALSE(ParseConstantCfd(
       "[team] = \"x\" -> [arena] = \"y\" junk", schema).ok());
-  // Conclusion attribute repeated in the condition.
-  Result<ConstantCfd> self =
-      ParseConstantCfd("[arena] = \"x\" -> [arena] = \"y\"", schema);
+  // Conclusion attribute repeated in the condition: the semantic error
+  // is positioned at the conclusion's opening token, like syntax errors.
+  ParseIssue issue;
+  Result<ConstantCfd> self = ParseConstantCfd(
+      "[arena] = \"x\" -> [arena] = \"y\"", schema, "", &issue);
   ASSERT_FALSE(self.ok());
-  EXPECT_EQ(self.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(self.status().code(), StatusCode::kParseError);
+  EXPECT_NE(self.status().message().find("line 1"), std::string::npos)
+      << self.status().ToString();
+  EXPECT_EQ(issue.line, 1);
+  EXPECT_EQ(issue.column, 18);  // the conclusion's '[' token
 }
 
 // The paper's motivating use: drop phi11 (arena becomes undeducible) and
