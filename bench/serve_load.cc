@@ -1,0 +1,395 @@
+// serve_load: load generator for the `relacc serve` daemon.
+//
+// Drives N concurrent clients with a mixed workload — batch clients
+// stream every resolved entity through a pipeline session
+// (pipeline.start / submit / finish), interactive clients run
+// interaction rounds (interact.start / suggest / session.close) — and
+// reports p50/p99 request latency plus end-to-end entity throughput as
+// a bench::JsonReport row (BENCH_serve_load.json).
+//
+// Two modes:
+//   * embedded (default): starts an in-process serve::Server on an
+//     ephemeral port over the given spec — the sanitize and bench-json
+//     CI lanes use this, so the daemon runs under ASan/TSan without any
+//     process choreography.
+//   * external (--port N or --port-file PATH): connects to an already
+//     running `relacc serve` daemon — the serve-smoke CI lane uses this
+//     to exercise the real process + SIGTERM drain path.
+//
+// Every batch client must produce a byte-identical pipeline.finish
+// report; the generator exits 1 on any divergence. --report-out writes
+// that canonical report exactly as `relacc pipeline --json` prints it
+// (same serializer, Dump(2) + newline), so CI can `diff` the two.
+//
+// Usage:
+//   serve_load <spec.json> [--key attr[,attr...]] [--clients N]
+//              [--iters N] [--window N] [--host H]
+//              [--port N | --port-file PATH] [--report-out PATH]
+//
+// Exit codes: 0 success, 1 runtime/verification failure, 2 usage.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/accuracy_service.h"
+#include "common.h"
+#include "er/resolver.h"
+#include "io/spec_io.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace relacc {
+namespace bench {
+namespace {
+
+struct LoadOptions {
+  std::string spec_path;
+  std::string key = "key";
+  std::string host = "127.0.0.1";
+  std::string port_file;
+  std::string report_out;
+  int clients = 4;
+  int iters = 0;  // interactive rounds per client; 0 = auto (small-aware)
+  int port = 0;   // 0 = embedded server on an ephemeral port
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <spec.json> [--key attr[,attr...]] [--clients N]\n"
+               "       [--iters N] [--window N] [--host H]\n"
+               "       [--port N | --port-file PATH] [--report-out PATH]\n",
+               argv0);
+  return 2;
+}
+
+/// Nearest-rank percentile over an unsorted latency sample (ms).
+double Percentile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const auto rank = static_cast<size_t>(q * static_cast<double>(sample.size()));
+  return sample[rank >= sample.size() ? sample.size() - 1 : rank];
+}
+
+/// Polls `path` for up to ~10s for the daemon's --port-file handshake.
+Result<int> PortFromFile(const std::string& path) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    Result<std::string> text = ReadFile(path);
+    if (text.ok() && !text.value().empty()) {
+      return Result<int>(std::atoi(text.value().c_str()));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return Result<int>(Status::IoError("port file " + path + " never appeared"));
+}
+
+struct ClientOutcome {
+  std::vector<double> latencies_ms;
+  std::string report;  ///< batch clients: pipeline.finish Dump(2)
+  std::string error;   ///< non-empty on failure
+  int64_t entities = 0;
+};
+
+/// One timed round trip; appends the latency and surfaces errors.
+Result<Json> TimedCall(serve::ServeClient* client, ClientOutcome* out,
+                       const std::string& method, Json params) {
+  const auto start = std::chrono::steady_clock::now();
+  Result<Json> response = client->Call(method, std::move(params));
+  const auto end = std::chrono::steady_clock::now();
+  out->latencies_ms.push_back(
+      std::chrono::duration<double, std::milli>(end - start).count());
+  if (!response.ok()) {
+    out->error = method + ": " + response.status().ToString();
+  }
+  return response;
+}
+
+/// Streams every entity through one pipeline session and keeps the
+/// finish report for the byte-identity check.
+void RunBatchClient(const LoadOptions& opt, int port,
+                    const std::vector<EntityInstance>& entities,
+                    const Schema& schema, int64_t window, ClientOutcome* out) {
+  Result<std::unique_ptr<serve::ServeClient>> client =
+      serve::ServeClient::Connect(opt.host, port);
+  if (!client.ok()) {
+    out->error = "connect: " + client.status().ToString();
+    return;
+  }
+  Json start = Json::Object();
+  if (window > 0) start.Set("window", Json::Int(window));
+  Result<Json> started =
+      TimedCall(client.value().get(), out, "pipeline.start", std::move(start));
+  if (!started.ok()) return;
+  const int64_t sid = started.value().GetInt("session").value();
+
+  Json submit = Json::Object();
+  submit.Set("session", Json::Int(sid));
+  submit.Set("entities", serve::EntitiesToJson(entities, schema));
+  Result<Json> accepted =
+      TimedCall(client.value().get(), out, "pipeline.submit", std::move(submit));
+  if (!accepted.ok()) return;
+  out->entities = accepted.value().GetInt("accepted").value();
+
+  Json finish = Json::Object();
+  finish.Set("session", Json::Int(sid));
+  Result<Json> report =
+      TimedCall(client.value().get(), out, "pipeline.finish", std::move(finish));
+  if (!report.ok()) return;
+  out->report = report.value().Dump(2) + "\n";
+}
+
+/// Interaction rounds over one resolved entity (rotating through the
+/// cluster set): start a session, take the first suggestion, close.
+/// Suggestion content is not asserted on — only that the calls succeed.
+void RunInteractiveClient(const LoadOptions& opt, int port, int iters,
+                          const std::vector<EntityInstance>& entities,
+                          const Schema& schema, ClientOutcome* out) {
+  Result<std::unique_ptr<serve::ServeClient>> client =
+      serve::ServeClient::Connect(opt.host, port);
+  if (!client.ok()) {
+    out->error = "connect: " + client.status().ToString();
+    return;
+  }
+  for (int i = 0; i < iters; ++i) {
+    Json start = Json::Object();
+    const std::vector<EntityInstance> one(
+        1, entities[static_cast<size_t>(i) % entities.size()]);
+    start.Set("entity", serve::EntitiesToJson(one, schema).at(0));
+    Result<Json> started =
+        TimedCall(client.value().get(), out, "interact.start", std::move(start));
+    if (!started.ok()) return;
+    const int64_t sid = started.value().GetInt("session").value();
+    Json suggest = Json::Object();
+    suggest.Set("session", Json::Int(sid));
+    if (!TimedCall(client.value().get(), out, "interact.suggest",
+                   std::move(suggest))
+             .ok()) {
+      return;
+    }
+    Json close = Json::Object();
+    close.Set("session", Json::Int(sid));
+    if (!TimedCall(client.value().get(), out, "session.close", std::move(close))
+             .ok()) {
+      return;
+    }
+  }
+}
+
+int RunLoad(const LoadOptions& opt, int64_t window) {
+  Result<std::string> text = ReadFile(opt.spec_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  std::string base_dir = ".";
+  const size_t slash = opt.spec_path.find_last_of('/');
+  if (slash != std::string::npos) base_dir = opt.spec_path.substr(0, slash);
+  Result<SpecDocument> doc = SpecFromJsonText(text.value(), base_dir);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "error: %s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  const Schema& schema = doc.value().spec.ie.schema();
+
+  ResolverConfig resolver;
+  for (size_t from = 0; from <= opt.key.size();) {
+    size_t comma = opt.key.find(',', from);
+    if (comma == std::string::npos) comma = opt.key.size();
+    const std::string name = opt.key.substr(from, comma - from);
+    std::optional<AttrId> attr = schema.IndexOf(name);
+    if (!attr.has_value()) {
+      std::fprintf(stderr, "error: --key attribute '%s' not in the schema\n",
+                   name.c_str());
+      return 1;
+    }
+    resolver.key_attrs.push_back(*attr);
+    from = comma + 1;
+  }
+  ResolutionResult resolution = ResolveEntities(doc.value().spec.ie, resolver);
+  if (resolution.entities.empty()) {
+    std::fprintf(stderr, "error: spec resolved to zero entities\n");
+    return 1;
+  }
+
+  // Embedded daemon unless an external endpoint was named.
+  std::unique_ptr<AccuracyService> service;
+  std::unique_ptr<serve::Server> server;
+  int port = opt.port;
+  if (!opt.port_file.empty()) {
+    Result<int> read = PortFromFile(opt.port_file);
+    if (!read.ok()) {
+      std::fprintf(stderr, "error: %s\n", read.status().ToString().c_str());
+      return 1;
+    }
+    port = read.value();
+  } else if (port == 0) {
+    Result<std::unique_ptr<AccuracyService>> created =
+        AccuracyService::Create(doc.value().spec, ServiceOptions{});
+    if (!created.ok()) {
+      std::fprintf(stderr, "error: %s\n", created.status().ToString().c_str());
+      return 1;
+    }
+    service = std::move(created).value();
+    Result<std::unique_ptr<serve::Server>> started =
+        serve::Server::Start(service.get(), serve::ServerOptions{});
+    if (!started.ok()) {
+      std::fprintf(stderr, "error: %s\n", started.status().ToString().c_str());
+      return 1;
+    }
+    server = std::move(started).value();
+    port = server->port();
+  }
+
+  const int batch_clients = opt.clients / 2 + opt.clients % 2;  // >= 1
+  const int interactive_clients = opt.clients - batch_clients;
+  const int iters = opt.iters > 0 ? opt.iters : (SmallScale() ? 2 : 5);
+
+  std::vector<ClientOutcome> outcomes(static_cast<size_t>(opt.clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(opt.clients));
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < opt.clients; ++i) {
+    ClientOutcome* out = &outcomes[static_cast<size_t>(i)];
+    if (i < batch_clients) {
+      threads.emplace_back([&opt, port, &resolution, &schema, window, out] {
+        RunBatchClient(opt, port, resolution.entities, schema, window, out);
+      });
+    } else {
+      threads.emplace_back([&opt, port, iters, &resolution, &schema, out] {
+        RunInteractiveClient(opt, port, iters, resolution.entities, schema,
+                             out);
+      });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+
+  // An embedded daemon drains before we report, so its executor's work is
+  // fully accounted and TSan sees the complete join graph.
+  if (server != nullptr) {
+    server->RequestDrain();
+    const Status drained = server->Wait();
+    if (!drained.ok()) {
+      std::fprintf(stderr, "error: drain: %s\n", drained.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<double> latencies;
+  int64_t entities_done = 0;
+  int failures = 0;
+  for (const ClientOutcome& out : outcomes) {
+    if (!out.error.empty()) {
+      std::fprintf(stderr, "error: client failed: %s\n", out.error.c_str());
+      ++failures;
+    }
+    latencies.insert(latencies.end(), out.latencies_ms.begin(),
+                     out.latencies_ms.end());
+    entities_done += out.entities;
+  }
+  if (failures > 0) return 1;
+
+  // Byte-identity across batch clients: every pipeline saw the same
+  // entities through the same service, so every report must match.
+  const std::string& canonical = outcomes[0].report;
+  for (int i = 1; i < batch_clients; ++i) {
+    if (outcomes[static_cast<size_t>(i)].report != canonical) {
+      std::fprintf(stderr,
+                   "error: batch client %d report diverges from client 0\n", i);
+      return 1;
+    }
+  }
+  if (!opt.report_out.empty()) {
+    const Status written = WriteFile(opt.report_out, canonical);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const double p50 = Percentile(latencies, 0.50);
+  const double p99 = Percentile(latencies, 0.99);
+  const double entities_per_s =
+      wall_ms > 0.0 ? static_cast<double>(entities_done) / (wall_ms / 1000.0)
+                    : 0.0;
+  std::printf(
+      "serve_load: clients=%d (batch=%d interactive=%d) entities=%lld "
+      "requests=%zu p50=%.3fms p99=%.3fms wall=%.1fms entities/s=%.1f\n",
+      opt.clients, batch_clients, interactive_clients,
+      static_cast<long long>(entities_done), latencies.size(), p50, p99,
+      wall_ms, entities_per_s);
+
+  JsonReport json("serve_load");
+  JsonReport::Row row;
+  row.Set("scenario", std::string("serve_load"))
+      .Set("mode", server != nullptr ? std::string("embedded")
+                                     : std::string("external"))
+      .Set("clients", opt.clients)
+      .Set("batch_clients", batch_clients)
+      .Set("interactive_clients", interactive_clients)
+      .Set("entities", entities_done)
+      .Set("requests", static_cast<int64_t>(latencies.size()))
+      .Set("p50_ms", p50)
+      .Set("p99_ms", p99)
+      .Set("wall_ms", wall_ms)
+      .Set("entities_per_s", entities_per_s);
+  json.Add(std::move(row));
+  json.Write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relacc
+
+int main(int argc, char** argv) {
+  relacc::bench::LoadOptions opt;
+  int64_t window = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--key" && next(&value)) {
+      opt.key = value;
+    } else if (arg == "--clients" && next(&value)) {
+      opt.clients = std::atoi(value.c_str());
+    } else if (arg == "--iters" && next(&value)) {
+      opt.iters = std::atoi(value.c_str());
+    } else if (arg == "--window" && next(&value)) {
+      window = std::atoll(value.c_str());
+    } else if (arg == "--host" && next(&value)) {
+      opt.host = value;
+    } else if (arg == "--port" && next(&value)) {
+      opt.port = std::atoi(value.c_str());
+    } else if (arg == "--port-file" && next(&value)) {
+      opt.port_file = value;
+    } else if (arg == "--report-out" && next(&value)) {
+      opt.report_out = value;
+    } else if (!arg.empty() && arg[0] != '-' && opt.spec_path.empty()) {
+      opt.spec_path = arg;
+    } else {
+      return relacc::bench::Usage(argv[0]);
+    }
+  }
+  if (opt.spec_path.empty() || opt.clients < 1 ||
+      (opt.port != 0 && (opt.port < 0 || opt.port > 65535))) {
+    return relacc::bench::Usage(argv[0]);
+  }
+  return relacc::bench::RunLoad(opt, window);
+}

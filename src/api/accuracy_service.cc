@@ -420,14 +420,21 @@ Status PipelineSession::Submit(std::vector<EntityInstance> batch) {
   // Hand every full window to the completion driver and return: the
   // producer keeps streaming while the driver chases and completes. The
   // bounded hand-off queue keeps in-flight engines (and buffered input)
-  // O(window) no matter how large a batch arrives.
+  // O(window) no matter how large a batch arrives. Under inline_windows
+  // the same windows are processed right here on the caller's thread
+  // instead — no driver, identical reports.
   std::size_t pos = 0;
   while (static_cast<int64_t>(buffer_.size() - pos) >= window_) {
     const auto begin = buffer_.begin() + static_cast<std::ptrdiff_t>(pos);
-    EnqueueWindow(std::vector<EntityInstance>(
+    std::vector<EntityInstance> window(
         std::make_move_iterator(begin),
-        std::make_move_iterator(begin + static_cast<std::ptrdiff_t>(
-                                            window_))));
+        std::make_move_iterator(begin +
+                                static_cast<std::ptrdiff_t>(window_)));
+    if (options_.inline_windows) {
+      CommitWindow(ProcessWindow(window), window.size());
+    } else {
+      EnqueueWindow(std::move(window));
+    }
     pos += static_cast<std::size_t>(window_);
   }
   if (pos > 0) {

@@ -108,6 +108,16 @@ struct PipelineSessionOptions {
   /// input index, and per-entity completion is a pure function of the
   /// entity.
   int completion_workers = 0;
+
+  /// Process full windows synchronously on the Submit caller's thread
+  /// instead of handing them to the background completion driver. Submit
+  /// then blocks for the windows it completes, and the session spawns no
+  /// thread of its own — which is exactly what an external scheduler
+  /// wants when it time-slices ONE executor thread across many sessions
+  /// (serve/scheduler.h: each window becomes one batch quantum, and the
+  /// service's internal thread budget is the only parallelism). Reports
+  /// are byte-identical to the driver path.
+  bool inline_windows = false;
 };
 
 /// Options of an interactive session (the Fig. 3 loop).

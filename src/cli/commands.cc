@@ -1,6 +1,10 @@
 #include "cli/commands.h"
 
+#include <csignal>
+
 #include <algorithm>
+#include <atomic>
+#include <cstring>
 #include <iostream>
 #include <ostream>
 #include <sstream>
@@ -17,6 +21,8 @@
 #include "framework/framework.h"
 #include "io/spec_io.h"
 #include "pipeline/pipeline.h"
+#include "serve/server.h"
+#include "serve/wire.h"
 #include "topk/rank_join_ct.h"
 #include "topk/topk_ct.h"
 #include "util/strings.h"
@@ -236,20 +242,9 @@ Status CmdTopK(const Args& args, std::ostream& out) {
   const TopKResult& result = ranked.value();
 
   if (as_json) {
-    Json json = Json::Object();
-    json.Set("deduced_target", TupleToJson(deduced, schema));
-    Json candidates = Json::Array();
-    for (size_t i = 0; i < result.targets.size(); ++i) {
-      Json c = Json::Object();
-      c.Set("rank", Json::Int(static_cast<int64_t>(i) + 1));
-      c.Set("score", Json::Real(result.scores[i]));
-      c.Set("target", TupleToJson(result.targets[i], schema));
-      candidates.Append(std::move(c));
-    }
-    json.Set("candidates", std::move(candidates));
-    json.Set("checks", Json::Int(result.checks));
-    json.Set("heap_pops", Json::Int(result.heap_pops));
-    out << json.Dump(2) << "\n";
+    // The shared serve serializer, so this document is byte-identical to
+    // a serve client's `topk` result by construction.
+    out << serve::TopKReportToJson(deduced, result, schema).Dump(2) << "\n";
     return Status::OK();
   }
   if (deduced.IsComplete()) {
@@ -337,23 +332,10 @@ Status CmdPipeline(const Args& args, std::ostream& out) {
   const PipelineReport& report = finished.value();
 
   if (as_json) {
-    Json json = Json::Object();
-    json.Set("entities",
-             Json::Int(static_cast<int64_t>(report.entities.size())));
-    json.Set("tuples", Json::Int(report.total_tuples));
-    json.Set("church_rosser", Json::Int(report.num_church_rosser));
-    json.Set("complete_by_chase", Json::Int(report.num_complete_by_chase));
-    json.Set("completed_by_candidates",
-             Json::Int(report.num_completed_by_candidates));
-    json.Set("incomplete", Json::Int(report.num_incomplete));
-    json.Set("deduced_attr_fraction",
-             Json::Real(report.deduced_attr_fraction));
-    Json targets = Json::Array();
-    for (int i = 0; i < report.targets.size(); ++i) {
-      targets.Append(TupleToJson(report.targets.tuple(i), schema));
-    }
-    json.Set("targets", std::move(targets));
-    out << json.Dump(2) << "\n";
+    // The shared serve serializer, so this document is byte-identical to
+    // a serve client's `pipeline.finish` result by construction (the
+    // serve-smoke CI lane diffs the two).
+    out << serve::PipelineReportToJson(report, schema).Dump(2) << "\n";
     return Status::OK();
   }
   // The plan echo (budget-dependent by design, so it stays out of the
@@ -412,6 +394,122 @@ Status CmdInteractive(const Args& args, std::ostream& out, std::istream& in) {
       << result.interaction_rounds << " interaction round(s)) ==\n";
   PrintTarget(result.target, schema, out);
   return Status::OK();
+}
+
+// --- relacc serve ----------------------------------------------------------
+
+/// Signal → drain hand-off. The handler only calls RequestDrain (one
+/// async-signal-safe write on the server's self-pipe); if the signal
+/// lands in the window before the server pointer is published, the
+/// pending flag makes CmdServe drain immediately after Start.
+std::atomic<serve::Server*> g_serve_server{nullptr};
+std::atomic<bool> g_serve_drain_pending{false};
+
+extern "C" void RelaccServeSignalHandler(int) {
+  serve::Server* server = g_serve_server.load();
+  if (server != nullptr) {
+    server->RequestDrain();
+  } else {
+    g_serve_drain_pending.store(true);
+  }
+}
+
+/// Installs the drain handler on SIGTERM and SIGINT for the lifetime of
+/// the scope, restoring the previous dispositions after — the serve
+/// command must not leave handlers pointing at a dead server behind.
+class ServeSignalScope {
+ public:
+  ServeSignalScope() {
+    g_serve_drain_pending.store(false);
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = RelaccServeSignalHandler;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGTERM, &action, &old_term_);
+    sigaction(SIGINT, &action, &old_int_);
+  }
+  ~ServeSignalScope() {
+    g_serve_server.store(nullptr);
+    sigaction(SIGTERM, &old_term_, nullptr);
+    sigaction(SIGINT, &old_int_, nullptr);
+  }
+
+ private:
+  struct sigaction old_term_;
+  struct sigaction old_int_;
+};
+
+/// `relacc serve <spec.json> [--host H] [--port N] [--threads N]
+/// [--window N] [--queue-depth N] [--port-file PATH]`: the long-lived
+/// daemon of serve/server.h over one AccuracyService built from the spec
+/// document. Exit contract: 0 after a clean SIGTERM/SIGINT drain, 2 on
+/// usage errors, 1 when the address cannot be bound or the spec cannot
+/// be read.
+Status CmdServe(const Args& args, std::ostream& out) {
+  const std::string host = args.GetString("host", "127.0.0.1");
+  Result<int64_t> port = args.GetInt("port", 0);
+  Result<int64_t> threads = args.GetInt("threads", 0);
+  Result<int64_t> window = args.GetInt("window", 0);
+  Result<int64_t> queue_depth = args.GetInt("queue-depth", 32);
+  const std::string port_file = args.GetString("port-file");
+  Result<SpecDocument> doc = LoadSpec(args);
+  if (!doc.ok()) return doc.status();
+  if (!port.ok()) return port.status();
+  if (!threads.ok()) return threads.status();
+  if (!window.ok()) return window.status();
+  if (!queue_depth.ok()) return queue_depth.status();
+  if (port.value() < 0 || port.value() > 65535) {
+    return Status::InvalidArgument(
+        "--port must be in [0, 65535] (0 = ephemeral)");
+  }
+  if (threads.value() < 0 || threads.value() > 256) {
+    return Status::InvalidArgument(
+        "--threads must be between 0 and 256 (0 = hardware concurrency)");
+  }
+  if (window.value() < 0) {
+    return Status::InvalidArgument(
+        "--window must be >= 0 (0 = service default)");
+  }
+  if (queue_depth.value() < 1 || queue_depth.value() > 4096) {
+    return Status::InvalidArgument("--queue-depth must be in [1, 4096]");
+  }
+  RELACC_RETURN_NOT_OK(CheckUnread(args));
+
+  ServiceOptions service_options;
+  service_options.num_threads = static_cast<int>(threads.value());
+  if (window.value() > 0) service_options.window = window.value();
+  Result<std::unique_ptr<AccuracyService>> service = AccuracyService::Create(
+      std::move(doc.value().spec), std::move(service_options));
+  if (!service.ok()) return service.status();
+
+  serve::ServerOptions server_options;
+  server_options.host = host;
+  server_options.port = static_cast<int>(port.value());
+  server_options.queue_depth = static_cast<int>(queue_depth.value());
+  ServeSignalScope signals;
+  Result<std::unique_ptr<serve::Server>> server =
+      serve::Server::Start(service.value().get(), server_options);
+  if (!server.ok()) return server.status();
+  g_serve_server.store(server.value().get());
+  if (g_serve_drain_pending.load()) server.value()->RequestDrain();
+
+  // Readiness protocol: the port file (then the listening line) appears
+  // only once accepts are live, so a supervisor can wait on either.
+  if (!port_file.empty()) {
+    Status wrote = WriteFile(
+        port_file, std::to_string(server.value()->port()) + "\n");
+    if (!wrote.ok()) return wrote;
+  }
+  out << "relacc serve listening on " << host << ":"
+      << server.value()->port() << "\n"
+      << std::flush;
+
+  Status done = server.value()->Wait();
+  const serve::Scheduler::Stats stats = server.value()->scheduler_stats();
+  out << "relacc serve drained (interactive=" << stats.executed_interactive
+      << " batch=" << stats.executed_batch << " rejected=" << stats.rejected
+      << ")\n";
+  return done;
 }
 
 Status CmdDiscover(const Args& args, std::ostream& out) {
@@ -477,6 +575,7 @@ Status CmdGen(const Args& args, std::ostream& out) {
   Result<int64_t> entities = args.GetInt("entities", 50);
   Result<int64_t> seed = args.GetInt("seed", 42);
   Result<int64_t> index = args.GetInt("entity", 0);
+  const bool flat = args.Has("flat");
   const std::string output = args.GetString("out");
   if (!entities.ok() || !seed.ok() || !index.ok()) {
     return Status::InvalidArgument(
@@ -503,6 +602,18 @@ Status CmdGen(const Args& args, std::ostream& out) {
 
   SpecDocument doc;
   doc.spec = dataset.SpecFor(static_cast<int>(index.value()));
+  if (flat) {
+    // One flat relation holding every generated entity's tuples, so the
+    // document exercises the full ER + pipeline path (`pipeline --key
+    // key`) and multi-entity serve workloads instead of a single
+    // instance. The profile's `key` attribute identifies each entity,
+    // so resolution recovers the generated clusters.
+    Relation all(dataset.schema);
+    for (const EntityInstance& entity : dataset.entities) {
+      for (const Tuple& t : entity.tuples()) all.Add(t);
+    }
+    doc.spec.ie = std::move(all);
+  }
   doc.entity_name = "R";
   for (size_t m = 0; m < doc.spec.masters.size(); ++m) {
     doc.master_names.push_back("m" + std::to_string(m));
@@ -513,9 +624,15 @@ Status CmdGen(const Args& args, std::ostream& out) {
     return Status::OK();
   }
   RELACC_RETURN_NOT_OK(WriteFile(output, text));
-  out << "wrote " << output << " (entity " << index.value() << " of "
-      << dataset.entities.size() << ", " << doc.spec.ie.size()
-      << " tuples, " << doc.spec.rules.size() << " rules)\n";
+  if (flat) {
+    out << "wrote " << output << " (flat, " << dataset.entities.size()
+        << " entities, " << doc.spec.ie.size() << " tuples, "
+        << doc.spec.rules.size() << " rules)\n";
+  } else {
+    out << "wrote " << output << " (entity " << index.value() << " of "
+        << dataset.entities.size() << ", " << doc.spec.ie.size()
+        << " tuples, " << doc.spec.rules.size() << " rules)\n";
+  }
   return Status::OK();
 }
 
@@ -654,12 +771,16 @@ std::string CliUsage() {
       "            [--json]\n"
       "  interactive  the Fig. 3 user loop on one entity instance\n"
       "            [--k N]\n"
+      "  serve     long-lived daemon over one AccuracyService (frame\n"
+      "            protocol of serve/wire.h; drains cleanly on SIGTERM)\n"
+      "            [--host H] [--port N] [--threads N] [--window N]\n"
+      "            [--queue-depth N] [--port-file PATH]\n"
       "  discover  mine candidate form-(1) rules from a flat relation\n"
       "            --key <attr[,attr...]> [--min-support N]\n"
       "            [--min-confidence X] [--max-rules N]\n"
       "  gen       emit a sample spec document from the built-in generators\n"
       "            [--profile med|cfp] [--entities N] [--seed N]\n"
-      "            [--entity I] [--out FILE]\n"
+      "            [--entity I] [--flat] [--out FILE]\n"
       "  version   print the library version (also: relacc --version)\n"
       "  help      this text\n"
       "\n"
@@ -688,6 +809,7 @@ int RunCliCommand(const Args& args, std::ostream& out, std::ostream& err,
   if (cmd == "interactive") {
     return FinishCli(CmdInteractive(args, out, in), err);
   }
+  if (cmd == "serve") return FinishCli(CmdServe(args, out), err);
   if (cmd == "discover") return FinishCli(CmdDiscover(args, out), err);
   if (cmd == "gen") return FinishCli(CmdGen(args, out), err);
   if (cmd == "version" || cmd == "--version") {

@@ -8,16 +8,6 @@
 
 namespace relacc {
 
-namespace {
-
-Result<ValueType> ValueTypeFromName(const std::string& name) {
-  if (name == "string") return ValueType::kString;
-  if (name == "int") return ValueType::kInt;
-  if (name == "double") return ValueType::kDouble;
-  if (name == "bool") return ValueType::kBool;
-  return Status::InvalidArgument("unknown attribute type '" + name + "'");
-}
-
 Json ValueToJson(const Value& v) {
   switch (v.type()) {
     case ValueType::kNull: return Json::Null();
@@ -50,6 +40,16 @@ Result<Value> ValueFromJson(const Json& cell, ValueType declared,
   }
   return Status::InvalidArgument(where + ": cell does not match declared type '" +
                                  ValueTypeName(declared) + "'");
+}
+
+namespace {
+
+Result<ValueType> ValueTypeFromName(const std::string& name) {
+  if (name == "string") return ValueType::kString;
+  if (name == "int") return ValueType::kInt;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "bool") return ValueType::kBool;
+  return Status::InvalidArgument("unknown attribute type '" + name + "'");
 }
 
 Result<Schema> SchemaFromJson(const Json& array, const std::string& where) {

@@ -84,6 +84,15 @@ Json OutcomeToJson(const ChaseOutcome& outcome, const Schema& schema);
 /// Serializes a tuple as an attribute-name -> value object.
 Json TupleToJson(const Tuple& tuple, const Schema& schema);
 
+/// Serializes one cell with the natural JSON value for its type.
+Json ValueToJson(const Value& v);
+
+/// Deserializes one cell against the declared attribute type (an integer
+/// cell is accepted for a "double" attribute and widened; null is always
+/// accepted). `where` prefixes the error message.
+Result<Value> ValueFromJson(const Json& cell, ValueType declared,
+                            const std::string& where);
+
 /// Reads a whole file into a string (IoError on failure).
 Result<std::string> ReadFile(const std::string& path);
 

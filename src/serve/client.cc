@@ -1,0 +1,85 @@
+#include "serve/client.h"
+
+#include <utility>
+
+#include "serve/socket.h"
+#include "serve/wire.h"
+
+namespace relacc {
+namespace serve {
+
+Result<std::unique_ptr<ServeClient>> ServeClient::Connect(
+    const std::string& host, int port) {
+  Result<int> fd = ConnectTo(host, port);
+  if (!fd.ok()) return fd.status();
+  return std::unique_ptr<ServeClient>(new ServeClient(fd.value()));
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) CloseFd(fd_);
+}
+
+Result<Json> ServeClient::Call(const std::string& method, Json params) {
+  const int64_t id = next_id_++;
+  RELACC_RETURN_NOT_OK(
+      WriteFrame(fd_, MakeRequest(id, method, std::move(params)).Dump()));
+  std::string payload;
+  Result<bool> frame = ReadFrame(fd_, &payload);
+  if (!frame.ok()) return frame.status();
+  if (!frame.value()) {
+    return Status::IoError("server closed the connection before responding");
+  }
+  Result<Json> doc = Json::Parse(payload);
+  if (!doc.ok()) {
+    return Status::ParseError("response is not valid JSON: " +
+                              doc.status().message());
+  }
+  Json response = std::move(doc).value();
+  Result<int64_t> got_id = response.GetInt("id");
+  Result<bool> ok = response.GetBool("ok");
+  if (!got_id.ok() || !ok.ok()) {
+    return Status::ParseError("response missing 'id'/'ok'");
+  }
+  if (got_id.value() != id && got_id.value() != 0) {
+    return Status::ParseError("response id " + std::to_string(got_id.value()) +
+                              " does not match request id " +
+                              std::to_string(id));
+  }
+  if (!ok.value()) {
+    Result<const Json*> error = response.GetObject("error");
+    if (!error.ok()) return Status::ParseError("error frame without 'error'");
+    Result<std::string> code = error.value()->GetString("code");
+    Result<std::string> message = error.value()->GetString("message");
+    if (!code.ok() || !message.ok()) {
+      return Status::ParseError("error frame missing 'code'/'message'");
+    }
+    switch (StatusCodeFromWire(code.value())) {
+      case StatusCode::kInvalidArgument:
+        return Status::InvalidArgument(message.value());
+      case StatusCode::kNotFound:
+        return Status::NotFound(message.value());
+      case StatusCode::kOutOfRange:
+        return Status::OutOfRange(message.value());
+      case StatusCode::kFailedPrecondition:
+        return Status::FailedPrecondition(message.value());
+      case StatusCode::kIoError:
+        return Status::IoError(message.value());
+      case StatusCode::kParseError:
+        return Status::ParseError(message.value());
+      case StatusCode::kResourceExhausted:
+        return Status::ResourceExhausted(message.value());
+      case StatusCode::kOk:
+      case StatusCode::kInternal:
+        return Status::Internal(message.value());
+    }
+    return Status::Internal(message.value());
+  }
+  const Json* result = response.Find("result");
+  if (result == nullptr) {
+    return Status::ParseError("ok response without 'result'");
+  }
+  return *result;
+}
+
+}  // namespace serve
+}  // namespace relacc

@@ -1,0 +1,49 @@
+#ifndef RELACC_SERVE_CLIENT_H_
+#define RELACC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace relacc {
+namespace serve {
+
+/// A blocking client for the `relacc serve` wire protocol: one request in
+/// flight at a time, so the single response frame per request always
+/// matches the call. Used by the load generator, the serve tests and the
+/// serve-smoke CI lane; not thread-safe (give each client thread its own
+/// connection — that is also what makes it a distinct scheduler tenant).
+class ServeClient {
+ public:
+  static Result<std::unique_ptr<ServeClient>> Connect(const std::string& host,
+                                                      int port);
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  /// One round trip: sends {id, method, params}, reads the response
+  /// frame, and returns its `result`. A server-side error frame comes
+  /// back as the equivalent Status (code restored via
+  /// StatusCodeFromWire); transport and protocol failures are
+  /// kIoError/kParseError.
+  Result<Json> Call(const std::string& method, Json params);
+
+  /// The connection's file descriptor (tests shut it down mid-call to
+  /// provoke truncated-frame handling).
+  int fd() const { return fd_; }
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+
+  int fd_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace serve
+}  // namespace relacc
+
+#endif  // RELACC_SERVE_CLIENT_H_

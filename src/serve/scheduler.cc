@@ -1,0 +1,153 @@
+#include "serve/scheduler.h"
+
+#include <utility>
+
+namespace relacc {
+namespace serve {
+
+Scheduler::Scheduler() : Scheduler(Options()) {}
+
+Scheduler::Scheduler(Options options) : options_(options) {
+  executor_ = std::thread([this] { ExecutorLoop(); });
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (executor_.joinable()) executor_.join();
+}
+
+Status Scheduler::Enqueue(int64_t tenant, JobClass cls,
+                          std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ || stop_) {
+      return Status::FailedPrecondition("scheduler is draining");
+    }
+    TenantQueues& q = tenants_[tenant];
+    if (q.size() >= options_.queue_depth) {
+      ++stats_.rejected;
+      return Status::ResourceExhausted(
+          "tenant " + std::to_string(tenant) + " has " +
+          std::to_string(q.size()) + " jobs pending (limit " +
+          std::to_string(options_.queue_depth) + ")");
+    }
+    (cls == JobClass::kInteractive ? q.interactive : q.batch)
+        .push_back(std::move(job));
+    MarkReady(tenant, cls);
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+void Scheduler::RequeueFront(int64_t tenant, JobClass cls,
+                             std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;  // abrupt teardown: the continuation is dropped
+    TenantQueues& q = tenants_[tenant];
+    (cls == JobClass::kInteractive ? q.interactive : q.batch)
+        .push_front(std::move(job));
+    MarkReady(tenant, cls);
+  }
+  work_cv_.notify_one();
+}
+
+void Scheduler::RemoveTenant(int64_t tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tenants_.erase(tenant);
+  for (std::deque<int64_t>* rotation : {&ready_interactive_, &ready_batch_}) {
+    for (auto it = rotation->begin(); it != rotation->end();) {
+      it = *it == tenant ? rotation->erase(it) : it + 1;
+    }
+  }
+}
+
+void Scheduler::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+  if (executor_.joinable()) executor_.join();
+}
+
+bool Scheduler::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_ || stop_;
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Scheduler::MarkReady(int64_t tenant, JobClass cls) {
+  std::deque<int64_t>& rotation =
+      cls == JobClass::kInteractive ? ready_interactive_ : ready_batch_;
+  for (const int64_t t : rotation) {
+    if (t == tenant) return;
+  }
+  rotation.push_back(tenant);
+}
+
+bool Scheduler::PopNext(std::function<void()>* job, JobClass* cls) {
+  // Interactive strictly first; round-robin across tenants within the
+  // class (the tenant leaves the rotation while its job runs and
+  // re-enters at the back, so no tenant runs twice before a ready peer
+  // ran once).
+  for (JobClass c : {JobClass::kInteractive, JobClass::kBatch}) {
+    std::deque<int64_t>& rotation =
+        c == JobClass::kInteractive ? ready_interactive_ : ready_batch_;
+    while (!rotation.empty()) {
+      const int64_t tenant = rotation.front();
+      rotation.pop_front();
+      auto it = tenants_.find(tenant);
+      if (it == tenants_.end()) continue;  // removed while queued
+      std::deque<std::function<void()>>& q = c == JobClass::kInteractive
+                                                 ? it->second.interactive
+                                                 : it->second.batch;
+      if (q.empty()) continue;
+      *job = std::move(q.front());
+      q.pop_front();
+      *cls = c;
+      if (!q.empty()) rotation.push_back(tenant);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scheduler::ExecutorLoop() {
+  for (;;) {
+    std::function<void()> job;
+    JobClass cls = JobClass::kInteractive;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (stop_) return;
+        if (PopNext(&job, &cls)) break;
+        // Queues are empty. Draining means no further Enqueue can add
+        // work and no job is running to spawn a continuation, so this
+        // is the drained fixpoint.
+        if (draining_) return;
+        work_cv_.wait(lock);
+      }
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cls == JobClass::kInteractive) {
+        ++stats_.executed_interactive;
+      } else {
+        ++stats_.executed_batch;
+      }
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace relacc

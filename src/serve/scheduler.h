@@ -1,0 +1,135 @@
+#ifndef RELACC_SERVE_SCHEDULER_H_
+#define RELACC_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace relacc {
+namespace serve {
+
+/// How the scheduler classifies a job. The daemon multiplexes every
+/// client onto ONE AccuracyService, and the service is not internally
+/// synchronized — so all service work funnels through the scheduler's
+/// single executor thread, and the service's thread budget parallelizes
+/// *inside* each job. Arbitration is therefore about which tenant's job
+/// the executor runs next:
+///
+///   * kInteractive — latency-sensitive, bounded work: an interaction
+///     round, a top-k call, pipeline control ops. Strict priority over
+///     batch work; round-robin across tenants within the class.
+///   * kBatch — throughput work chopped into window-sized quanta: one
+///     pipeline window per job, with multi-window submissions re-queued
+///     as continuations (RequeueFront keeps a tenant's batch stream
+///     FIFO). Round-robin across tenants, so two streaming clients
+///     interleave window for window.
+///
+/// An interactive request thus waits for at most the quantum in flight —
+/// one window — no matter how large a competing batch job is. This
+/// generalizes the PR 5 completion-driver hand-off queue: instead of one
+/// driver thread per PipelineSession, the daemon has one executor
+/// arbitrating all sessions (sessions run with inline windows; see
+/// PipelineSessionOptions::inline_windows).
+enum class JobClass { kInteractive, kBatch };
+
+/// Per-tenant bounded queues + single executor thread. Admission
+/// control: a tenant may have at most `queue_depth` jobs pending across
+/// both classes; Enqueue beyond that is rejected with
+/// kResourceExhausted (the server surfaces it as a "resource-exhausted"
+/// wire error, not by blocking the connection's reader).
+class Scheduler {
+ public:
+  struct Options {
+    /// Max pending jobs per tenant (continuations are exempt: a
+    /// multi-window batch job occupies one slot for its whole life).
+    int queue_depth = 32;
+  };
+
+  struct Stats {
+    int64_t executed_interactive = 0;
+    int64_t executed_batch = 0;
+    int64_t rejected = 0;  ///< admission-control rejections
+  };
+
+  Scheduler();  ///< default Options
+  explicit Scheduler(Options options);
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Stops abruptly: pending jobs are discarded.
+  ~Scheduler();
+
+  /// Queues `job` for `tenant`. kResourceExhausted when the tenant's
+  /// queues are full; kFailedPrecondition once draining/stopped.
+  Status Enqueue(int64_t tenant, JobClass cls, std::function<void()> job);
+
+  /// Re-queues a continuation at the FRONT of the tenant's queue for
+  /// `cls`: exempt from admission control, and guaranteed to run before
+  /// anything else the tenant has pending in that class — a multi-window
+  /// batch submission stays one logical FIFO job even though each window
+  /// is its own quantum. Only meaningful from inside a running job of
+  /// the same tenant. Accepted even while draining (drain owes
+  /// continuations their completion: that is the "flush in-flight
+  /// windows" half of graceful shutdown).
+  void RequeueFront(int64_t tenant, JobClass cls, std::function<void()> job);
+
+  /// Discards every job `tenant` has pending (a vanished client's work
+  /// is unobservable). Its running job, if any, finishes normally.
+  void RemoveTenant(int64_t tenant);
+
+  /// Graceful shutdown: rejects further Enqueue calls, runs everything
+  /// already queued (including continuations those jobs spawn) to
+  /// completion, then stops the executor. Idempotent; blocks until the
+  /// executor has exited.
+  void Drain();
+
+  /// True once Drain() has begun (jobs observing this can cut work
+  /// short; none are required to).
+  bool draining() const;
+
+  Stats stats() const;
+
+ private:
+  struct TenantQueues {
+    std::deque<std::function<void()>> interactive;
+    std::deque<std::function<void()>> batch;
+    bool empty() const { return interactive.empty() && batch.empty(); }
+    int64_t size() const {
+      return static_cast<int64_t>(interactive.size() + batch.size());
+    }
+  };
+
+  void ExecutorLoop();
+
+  /// Pops the next job under `mu_` honoring class priority and
+  /// round-robin; false when nothing is queued.
+  bool PopNext(std::function<void()>* job, JobClass* cls);
+
+  /// Appends `tenant` to the ready rotation of `cls` unless present.
+  void MarkReady(int64_t tenant, JobClass cls);
+
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< executor: work arrived / shutdown
+  std::unordered_map<int64_t, TenantQueues> tenants_;
+  /// Round-robin rotations: tenants with at least one queued job of the
+  /// class, each at most once.
+  std::deque<int64_t> ready_interactive_;
+  std::deque<int64_t> ready_batch_;
+  bool draining_ = false;
+  bool stop_ = false;
+  Stats stats_;
+  std::thread executor_;
+};
+
+}  // namespace serve
+}  // namespace relacc
+
+#endif  // RELACC_SERVE_SCHEDULER_H_

@@ -1,0 +1,567 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <optional>
+#include <utility>
+
+#include "api/accuracy_service.h"
+#include "api/version.h"
+#include "io/spec_io.h"
+#include "serve/socket.h"
+
+namespace relacc {
+namespace serve {
+
+namespace {
+
+/// Optional integer param with a default; wrong types are errors (a
+/// silently-ignored typo'd param would be worse than a rejection).
+Result<int64_t> OptInt(const Json& params, const std::string& key,
+                       int64_t dflt) {
+  const Json* v = params.Find(key);
+  if (v == nullptr) return dflt;
+  if (!v->is_int()) {
+    return Status::InvalidArgument("param '" + key + "' must be an integer");
+  }
+  return v->as_int();
+}
+
+Result<std::string> OptString(const Json& params, const std::string& key,
+                              std::string dflt) {
+  const Json* v = params.Find(key);
+  if (v == nullptr) return dflt;
+  if (!v->is_string()) {
+    return Status::InvalidArgument("param '" + key + "' must be a string");
+  }
+  return v->as_string();
+}
+
+Result<TopKAlgorithm> ParseAlgo(const std::string& algo) {
+  if (algo == "topkct") return TopKAlgorithm::kTopKCT;
+  if (algo == "heuristic") return TopKAlgorithm::kHeuristic;
+  if (algo == "rankjoin") return TopKAlgorithm::kRankJoin;
+  if (algo == "brute") return TopKAlgorithm::kBruteForce;
+  return Status::InvalidArgument(
+      "algo must be topkct, heuristic, rankjoin or brute");
+}
+
+Result<CompletionPolicy> ParseCompletion(const std::string& name) {
+  if (name == "best") return CompletionPolicy::kBestCandidate;
+  if (name == "heuristic") return CompletionPolicy::kHeuristic;
+  if (name == "none") return CompletionPolicy::kLeaveNull;
+  return Status::InvalidArgument(
+      "completion must be best, heuristic or none");
+}
+
+/// Optional caller-supplied entity instance (`"entity"` param in the
+/// wire form of EntitiesFromJson): empty when absent, error when
+/// malformed. deduce and interact.start route it to the per-entity
+/// AccuracyService overloads.
+Result<std::optional<EntityInstance>> OptEntity(const Json& params,
+                                                const Schema& schema) {
+  const Json* node = params.Find("entity");
+  if (node == nullptr) {
+    return Result<std::optional<EntityInstance>>(std::nullopt);
+  }
+  Json array = Json::Array();
+  array.Append(*node);
+  Result<std::vector<EntityInstance>> parsed = EntitiesFromJson(array, schema);
+  if (!parsed.ok()) return parsed.status();
+  return Result<std::optional<EntityInstance>>(
+      std::move(parsed.value().front()));
+}
+
+}  // namespace
+
+Server::Connection::~Connection() {
+  if (fd >= 0) CloseFd(fd);
+}
+
+Result<std::unique_ptr<Server>> Server::Start(AccuracyService* service,
+                                              ServerOptions options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("serve: null service");
+  }
+  if (options.port < 0 || options.port > 65535) {
+    return Status::InvalidArgument("serve: port must be in [0, 65535]");
+  }
+  if (options.queue_depth < 1) {
+    return Status::InvalidArgument("serve: queue_depth must be >= 1");
+  }
+  std::unique_ptr<Server> server(new Server(service, std::move(options)));
+  Result<int> listener = ListenOn(server->options_.host, server->options_.port);
+  if (!listener.ok()) return listener.status();
+  server->listen_fd_ = listener.value();
+  Result<int> port = BoundPort(server->listen_fd_);
+  if (!port.ok()) {
+    CloseFd(server->listen_fd_);
+    return port.status();
+  }
+  server->port_ = port.value();
+  if (pipe(server->drain_pipe_) != 0) {
+    CloseFd(server->listen_fd_);
+    return Status::IoError("serve: pipe() failed");
+  }
+  Scheduler::Options sched;
+  sched.queue_depth = server->options_.queue_depth;
+  server->scheduler_ = std::make_unique<Scheduler>(sched);
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+Server::Server(AccuracyService* service, ServerOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      schema_(service->specification().ie.schema()) {}
+
+Server::~Server() {
+  RequestDrain();
+  Wait();
+  if (drain_pipe_[0] >= 0) CloseFd(drain_pipe_[0]);
+  if (drain_pipe_[1] >= 0) CloseFd(drain_pipe_[1]);
+}
+
+void Server::RequestDrain() {
+  // One byte on the self-pipe; async-signal-safe (write(2) only). The
+  // accept loop treats any readable byte as the drain order. Writes after
+  // the first are harmless; a full pipe (impossible here) would be too.
+  if (drain_pipe_[1] >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] ssize_t n = write(drain_pipe_[1], &byte, 1);
+  }
+}
+
+Status Server::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    struct pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = drain_pipe_[0];
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    const int r = poll(fds, 2, -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // drain requested
+    if (fds[0].revents == 0) continue;
+    Result<int> client = AcceptConn(listen_fd_);
+    if (!client.ok()) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = client.value();
+    conn->tenant = next_tenant_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_[conn->tenant] = conn;
+    readers_.emplace_back([this, conn] { ReaderLoop(conn); });
+  }
+  DoDrain();
+}
+
+void Server::DoDrain() {
+  // 1. Stop accepting: nothing new can join the queues.
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  // 2. Flush admitted work. Enqueue rejects from here on
+  //    ("failed-precondition"), but continuations of in-flight batch
+  //    submits keep running until their windows are flushed and their
+  //    responses written — the graceful half of SIGTERM.
+  scheduler_->Drain();
+  // 3. Wake every reader blocked in recv and join them all.
+  std::vector<std::shared_ptr<Connection>> conns;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.reserve(conns_.size());
+    for (auto& [tenant, conn] : conns_) conns.push_back(conn);
+    readers.swap(readers_);
+  }
+  for (auto& conn : conns) ShutdownFd(conn->fd);
+  for (std::thread& t : readers) t.join();
+  conns.clear();
+  // 4. Release the registry; the last reference destroys each
+  //    connection's sessions (the executor has stopped, so this thread
+  //    holds the final references).
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.clear();
+}
+
+void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    std::string payload;
+    Result<bool> frame =
+        ReadFrame(conn->fd, &payload, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      // Truncated/oversized frame or socket error: the stream is no
+      // longer frame-aligned. Best-effort id-0 error, then close.
+      SendError(conn, 0, frame.status());
+      break;
+    }
+    if (!frame.value()) break;  // clean EOF
+    Result<Json> doc = Json::Parse(payload);
+    if (!doc.ok()) {
+      SendError(conn, 0, Status::ParseError("request is not valid JSON: " +
+                                            doc.status().message()));
+      break;
+    }
+    if (!Dispatch(conn, doc.value())) break;
+  }
+  conn->closed.store(true);
+  // Discard whatever the connection still has queued (nobody can observe
+  // the responses) and stop its batch continuations at the next quantum.
+  scheduler_->RemoveTenant(conn->tenant);
+  ShutdownFd(conn->fd);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(conn->tenant);
+}
+
+bool Server::Dispatch(const std::shared_ptr<Connection>& conn,
+                      const Json& request) {
+  if (!request.is_object()) {
+    SendError(conn, 0, Status::ParseError("request must be a JSON object"));
+    return false;
+  }
+  const Json* id_node = request.Find("id");
+  const Json* method_node = request.Find("method");
+  if (id_node == nullptr || !id_node->is_int() || method_node == nullptr ||
+      !method_node->is_string()) {
+    SendError(conn, 0,
+              Status::ParseError(
+                  "request needs an integer 'id' and a string 'method'"));
+    return false;
+  }
+  const int64_t id = id_node->as_int();
+  const std::string& method = method_node->as_string();
+  Json params = Json::Object();
+  if (const Json* p = request.Find("params"); p != nullptr) {
+    if (!p->is_object()) {
+      SendError(conn, 0, Status::ParseError("'params' must be an object"));
+      return false;
+    }
+    params = *p;
+  }
+
+  // Service-free methods answer inline on the reader thread.
+  if (method == "ping") {
+    Json result = Json::Object();
+    result.Set("pong", Json::Bool(true));
+    SendResult(conn, id, std::move(result));
+    return true;
+  }
+  if (method == "version") {
+    Json result = Json::Object();
+    result.Set("version", Json::Str(kRelaccVersion));
+    SendResult(conn, id, std::move(result));
+    return true;
+  }
+  if (method == "stats") {
+    const Scheduler::Stats stats = scheduler_->stats();
+    Json result = Json::Object();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      result.Set("connections", Json::Int(static_cast<int64_t>(conns_.size())));
+    }
+    result.Set("draining", Json::Bool(scheduler_->draining()));
+    result.Set("executed_interactive", Json::Int(stats.executed_interactive));
+    result.Set("executed_batch", Json::Int(stats.executed_batch));
+    result.Set("rejected", Json::Int(stats.rejected));
+    SendResult(conn, id, std::move(result));
+    return true;
+  }
+
+  // pipeline.submit parses its entity payload here on the reader thread
+  // (the schema is immutable service state), so the executor's quantum is
+  // pure service work and malformed batches are rejected without
+  // occupying a queue slot.
+  if (method == "pipeline.submit") {
+    Result<int64_t> session = params.GetInt("session");
+    if (!session.ok()) {
+      SendError(conn, id, session.status());
+      return true;
+    }
+    const Json* entities_node = params.Find("entities");
+    if (entities_node == nullptr) {
+      SendError(conn, id,
+                Status::InvalidArgument("param 'entities' is required"));
+      return true;
+    }
+    Result<std::vector<EntityInstance>> entities =
+        EntitiesFromJson(*entities_node, schema_);
+    if (!entities.ok()) {
+      SendError(conn, id, entities.status());
+      return true;
+    }
+    auto state = std::make_shared<SubmitState>();
+    state->session = session.value();
+    state->entities = std::move(entities).value();
+    Status admitted = scheduler_->Enqueue(
+        conn->tenant, JobClass::kBatch,
+        [this, conn, id, state] { RunSubmitQuantum(conn, id, state); });
+    if (!admitted.ok()) SendError(conn, id, admitted);
+    return true;
+  }
+
+  const JobClass cls =
+      method == "pipeline.finish" ? JobClass::kBatch : JobClass::kInteractive;
+  Status admitted = scheduler_->Enqueue(
+      conn->tenant, cls, [this, conn, id, method, params] {
+        RunJob(conn, id, method, params);
+      });
+  if (!admitted.ok()) SendError(conn, id, admitted);
+  return true;
+}
+
+void Server::RunSubmitQuantum(const std::shared_ptr<Connection>& conn,
+                              int64_t id,
+                              const std::shared_ptr<SubmitState>& state) {
+  if (conn->closed.load()) return;
+  auto it = conn->pipelines.find(state->session);
+  if (it == conn->pipelines.end()) {
+    SendError(conn, id,
+              Status::NotFound("no pipeline session " +
+                               std::to_string(state->session)));
+    return;
+  }
+  PipelineSession* session = it->second.get();
+  // One window per quantum: the session has inline_windows set, so this
+  // Submit chases and completes the window right here before returning —
+  // and then yields the executor to whoever is next.
+  const std::size_t take =
+      std::min(static_cast<std::size_t>(session->window()),
+               state->entities.size() - state->pos);
+  std::vector<EntityInstance> chunk;
+  chunk.reserve(take);
+  const auto begin =
+      state->entities.begin() + static_cast<std::ptrdiff_t>(state->pos);
+  chunk.assign(std::make_move_iterator(begin),
+               std::make_move_iterator(begin +
+                                       static_cast<std::ptrdiff_t>(take)));
+  Status submitted = session->Submit(std::move(chunk));
+  if (!submitted.ok()) {
+    SendError(conn, id, submitted);
+    return;
+  }
+  state->pos += take;
+  if (state->pos >= state->entities.size()) {
+    Json result = Json::Object();
+    result.Set("accepted",
+               Json::Int(static_cast<int64_t>(state->entities.size())));
+    SendResult(conn, id, std::move(result));
+    return;
+  }
+  scheduler_->RequeueFront(
+      conn->tenant, JobClass::kBatch,
+      [this, conn, id, state] { RunSubmitQuantum(conn, id, state); });
+}
+
+void Server::RunJob(const std::shared_ptr<Connection>& conn, int64_t id,
+                    const std::string& method, const Json& params) {
+  if (conn->closed.load()) return;
+
+  if (method == "pipeline.start") {
+    Result<int64_t> window = OptInt(params, "window", 0);
+    Result<std::string> completion = OptString(params, "completion", "");
+    if (!window.ok()) return SendError(conn, id, window.status());
+    if (!completion.ok()) return SendError(conn, id, completion.status());
+    PipelineSessionOptions options;
+    options.inline_windows = true;
+    options.window = window.value();
+    if (!completion.value().empty()) {
+      Result<CompletionPolicy> policy = ParseCompletion(completion.value());
+      if (!policy.ok()) return SendError(conn, id, policy.status());
+      options.completion = policy.value();
+    }
+    Result<std::unique_ptr<PipelineSession>> session =
+        service_->StartPipeline(std::move(options));
+    if (!session.ok()) return SendError(conn, id, session.status());
+    const int64_t sid = next_session_.fetch_add(1);
+    conn->pipelines[sid] = std::move(session).value();
+    Json result = Json::Object();
+    result.Set("session", Json::Int(sid));
+    return SendResult(conn, id, std::move(result));
+  }
+
+  if (method == "pipeline.poll" || method == "pipeline.drain" ||
+      method == "pipeline.finish") {
+    Result<int64_t> sid = params.GetInt("session");
+    if (!sid.ok()) return SendError(conn, id, sid.status());
+    auto it = conn->pipelines.find(sid.value());
+    if (it == conn->pipelines.end()) {
+      return SendError(conn, id,
+                       Status::NotFound("no pipeline session " +
+                                        std::to_string(sid.value())));
+    }
+    PipelineSession* session = it->second.get();
+    if (method == "pipeline.poll") {
+      Json result = Json::Object();
+      std::optional<EntityReport> report = session->Poll();
+      result.Set("report", report.has_value()
+                               ? EntityReportToJson(*report, schema_)
+                               : Json::Null());
+      return SendResult(conn, id, std::move(result));
+    }
+    if (method == "pipeline.drain") {
+      Json reports = Json::Array();
+      for (const EntityReport& report : session->Drain()) {
+        reports.Append(EntityReportToJson(report, schema_));
+      }
+      Json result = Json::Object();
+      result.Set("reports", std::move(reports));
+      return SendResult(conn, id, std::move(result));
+    }
+    Result<PipelineReport> report = session->Finish();
+    if (!report.ok()) return SendError(conn, id, report.status());
+    return SendResult(conn, id,
+                      PipelineReportToJson(report.value(), schema_));
+  }
+
+  if (method == "session.close") {
+    Result<int64_t> sid = params.GetInt("session");
+    if (!sid.ok()) return SendError(conn, id, sid.status());
+    const bool erased = conn->pipelines.erase(sid.value()) > 0 ||
+                        conn->interactions.erase(sid.value()) > 0;
+    if (!erased) {
+      return SendError(conn, id,
+                       Status::NotFound("no session " +
+                                        std::to_string(sid.value())));
+    }
+    Json result = Json::Object();
+    result.Set("closed", Json::Bool(true));
+    return SendResult(conn, id, std::move(result));
+  }
+
+  if (method == "deduce") {
+    Result<std::optional<EntityInstance>> entity = OptEntity(params, schema_);
+    if (!entity.ok()) return SendError(conn, id, entity.status());
+    Result<ChaseOutcome> outcome =
+        entity.value().has_value() ? service_->DeduceEntity(*entity.value())
+                                   : service_->DeduceEntity();
+    if (!outcome.ok()) return SendError(conn, id, outcome.status());
+    return SendResult(conn, id, OutcomeToJson(outcome.value(), schema_));
+  }
+
+  if (method == "topk") {
+    Result<int64_t> k = OptInt(params, "k", 5);
+    Result<std::string> algo_name = OptString(params, "algo", "topkct");
+    if (!k.ok()) return SendError(conn, id, k.status());
+    if (!algo_name.ok()) return SendError(conn, id, algo_name.status());
+    Result<TopKAlgorithm> algo = ParseAlgo(algo_name.value());
+    if (!algo.ok()) return SendError(conn, id, algo.status());
+    Result<ChaseOutcome> outcome = service_->DeduceEntity();
+    if (!outcome.ok()) return SendError(conn, id, outcome.status());
+    if (!outcome.value().church_rosser) {
+      return SendError(
+          conn, id,
+          Status::FailedPrecondition("specification is not Church-Rosser: " +
+                                     outcome.value().violation));
+    }
+    Result<TopKResult> ranked =
+        service_->TopK(static_cast<int>(k.value()), algo.value());
+    if (!ranked.ok()) return SendError(conn, id, ranked.status());
+    return SendResult(conn, id,
+                      TopKReportToJson(outcome.value().target, ranked.value(),
+                                       schema_));
+  }
+
+  if (method == "interact.start") {
+    Result<int64_t> k = OptInt(params, "k", 15);
+    if (!k.ok()) return SendError(conn, id, k.status());
+    Result<std::optional<EntityInstance>> entity = OptEntity(params, schema_);
+    if (!entity.ok()) return SendError(conn, id, entity.status());
+    InteractionOptions options;
+    options.k = static_cast<int>(k.value());
+    Result<std::unique_ptr<InteractionSession>> session =
+        entity.value().has_value()
+            ? service_->StartInteraction(std::move(*entity.value()),
+                                         std::move(options))
+            : service_->StartInteraction(std::move(options));
+    if (!session.ok()) return SendError(conn, id, session.status());
+    const int64_t sid = next_session_.fetch_add(1);
+    conn->interactions[sid] = std::move(session).value();
+    Json result = Json::Object();
+    result.Set("session", Json::Int(sid));
+    return SendResult(conn, id, std::move(result));
+  }
+
+  if (method == "interact.suggest" || method == "interact.revise" ||
+      method == "interact.accept") {
+    Result<int64_t> sid = params.GetInt("session");
+    if (!sid.ok()) return SendError(conn, id, sid.status());
+    auto it = conn->interactions.find(sid.value());
+    if (it == conn->interactions.end()) {
+      return SendError(conn, id,
+                       Status::NotFound("no interaction session " +
+                                        std::to_string(sid.value())));
+    }
+    InteractionSession* session = it->second.get();
+    if (method == "interact.suggest") {
+      Result<Suggestion> suggestion = session->Suggest();
+      if (!suggestion.ok()) return SendError(conn, id, suggestion.status());
+      return SendResult(conn, id,
+                        SuggestionToJson(suggestion.value(),
+                                         session->finished(), schema_));
+    }
+    if (method == "interact.revise") {
+      Result<std::string> attr = params.GetString("attr");
+      if (!attr.ok()) return SendError(conn, id, attr.status());
+      std::optional<AttrId> a = schema_.IndexOf(attr.value());
+      if (!a) {
+        return SendError(conn, id,
+                         Status::InvalidArgument("unknown attribute '" +
+                                                 attr.value() + "'"));
+      }
+      const Json* cell = params.Find("value");
+      if (cell == nullptr) {
+        return SendError(conn, id,
+                         Status::InvalidArgument("param 'value' is required"));
+      }
+      Result<Value> value = ValueFromJson(*cell, schema_.type(*a), "value");
+      if (!value.ok()) return SendError(conn, id, value.status());
+      Status revised = session->Revise(*a, std::move(value).value());
+      if (!revised.ok()) return SendError(conn, id, revised);
+      Json result = Json::Object();
+      result.Set("revisions", Json::Int(session->revisions()));
+      return SendResult(conn, id, std::move(result));
+    }
+    Result<int64_t> index = params.GetInt("index");
+    if (!index.ok()) return SendError(conn, id, index.status());
+    Result<Tuple> target = session->Accept(static_cast<int>(index.value()));
+    if (!target.ok()) return SendError(conn, id, target.status());
+    Json result = Json::Object();
+    result.Set("target", TupleToJson(target.value(), schema_));
+    result.Set("finished", Json::Bool(true));
+    return SendResult(conn, id, std::move(result));
+  }
+
+  SendError(conn, id, Status::NotFound("unknown method '" + method + "'"));
+}
+
+void Server::SendResult(const std::shared_ptr<Connection>& conn, int64_t id,
+                        Json result) {
+  const std::string payload = MakeResponse(id, std::move(result)).Dump();
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  // A failed write means the peer vanished; the reader notices on its own.
+  (void)WriteFrame(conn->fd, payload);
+}
+
+void Server::SendError(const std::shared_ptr<Connection>& conn, int64_t id,
+                       const Status& status) {
+  const std::string payload =
+      MakeErrorResponse(id, WireErrorCode(status.code()), status.message())
+          .Dump();
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  (void)WriteFrame(conn->fd, payload);
+}
+
+}  // namespace serve
+}  // namespace relacc

@@ -1,0 +1,171 @@
+#ifndef RELACC_SERVE_SERVER_H_
+#define RELACC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/relation.h"
+#include "serve/scheduler.h"
+#include "serve/wire.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace relacc {
+
+class AccuracyService;
+class PipelineSession;
+class InteractionSession;
+
+namespace serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 binds an ephemeral port; read it back with port()
+
+  /// Admission control: max pending requests per connection (see
+  /// Scheduler::Options::queue_depth).
+  int queue_depth = 32;
+
+  /// Per-frame payload ceiling for incoming requests.
+  uint32_t max_frame_bytes = kMaxFrameBytes;
+};
+
+/// The `relacc serve` daemon: a long-lived concurrent front end over ONE
+/// AccuracyService. Connections are accepted on a dedicated thread; each
+/// gets a reader thread that decodes frames and a tenant id for the
+/// scheduler. Every service-touching request runs as a scheduler job on
+/// the single executor thread (the service is not internally
+/// synchronized; its thread budget parallelizes *inside* each job), so
+/// responses are byte-identical to the same calls made directly against
+/// the service — the serve-smoke CI lane diffs them against the batch
+/// CLI.
+///
+/// Request routing:
+///
+///   * `ping`, `version`, `stats` answer inline on the reader thread
+///     (they never touch the service).
+///   * `pipeline.submit` and `pipeline.finish` are kBatch jobs;
+///     multi-window submits run one window per quantum and re-queue
+///     themselves, so a big batch never blockades the executor.
+///   * everything else (`pipeline.start/poll/drain`, `session.close`,
+///     `deduce`, `topk`, `interact.*`) is kInteractive: strict priority,
+///     round-robin across connections.
+///
+/// Sessions (PipelineSession with inline windows, InteractionSession)
+/// live in a per-connection registry keyed by server-assigned session
+/// ids; a vanished connection's pending jobs are discarded and its
+/// sessions destroyed once in-flight work releases them.
+///
+/// Graceful drain (SIGTERM via RequestDrain): stop accepting, reject new
+/// requests with "failed-precondition", run everything already admitted
+/// — including the remaining windows of in-flight batch submits — to
+/// completion, wake and join every reader, then Wait() returns OK and
+/// the CLI exits 0.
+class Server {
+ public:
+  /// Binds and starts serving. The service must outlive the server and
+  /// must not be used directly while the server runs (the executor owns
+  /// it). kIoError when the address cannot be bound.
+  static Result<std::unique_ptr<Server>> Start(AccuracyService* service,
+                                               ServerOptions options = {});
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Drains (if not already drained) and joins everything.
+  ~Server();
+
+  /// The bound port (resolves an ephemeral bind).
+  int port() const { return port_; }
+
+  /// Begins graceful shutdown. Thread-safe AND async-signal-safe (one
+  /// write on a self-pipe), so SIGTERM handlers may call it directly.
+  /// Idempotent.
+  void RequestDrain();
+
+  /// Blocks until the drain completes: listener closed, admitted work
+  /// flushed, connections closed, all threads joined. OK on a clean
+  /// drain. Call once, from one thread (the CLI's main thread).
+  Status Wait();
+
+  Scheduler::Stats scheduler_stats() const { return scheduler_->stats(); }
+
+ private:
+  /// One client connection. The session maps are touched only by
+  /// scheduler jobs (single executor thread) and by the destructor,
+  /// which runs strictly after every job that captured the connection.
+  struct Connection {
+    int fd = -1;
+    int64_t tenant = 0;
+    std::mutex write_mu;            ///< serializes response frames
+    std::atomic<bool> closed{false};
+    std::unordered_map<int64_t, std::unique_ptr<PipelineSession>> pipelines;
+    std::unordered_map<int64_t, std::unique_ptr<InteractionSession>>
+        interactions;
+    ~Connection();
+  };
+
+  /// Cross-quantum state of one pipeline.submit request.
+  struct SubmitState {
+    int64_t session = 0;
+    std::vector<EntityInstance> entities;
+    std::size_t pos = 0;
+  };
+
+  Server(AccuracyService* service, ServerOptions options);
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+
+  /// Routes one decoded request. Returns false on a protocol error (the
+  /// connection must close).
+  bool Dispatch(const std::shared_ptr<Connection>& conn, const Json& request);
+
+  /// Runs one request on the executor thread.
+  void RunJob(const std::shared_ptr<Connection>& conn, int64_t id,
+              const std::string& method, const Json& params);
+
+  /// One batch quantum of a pipeline.submit: at most one window, then a
+  /// continuation via RequeueFront.
+  void RunSubmitQuantum(const std::shared_ptr<Connection>& conn, int64_t id,
+                        const std::shared_ptr<SubmitState>& state);
+
+  void SendResult(const std::shared_ptr<Connection>& conn, int64_t id,
+                  Json result);
+  void SendError(const std::shared_ptr<Connection>& conn, int64_t id,
+                 const Status& status);
+
+  /// Performs the drain on the accept thread after the self-pipe fires.
+  void DoDrain();
+
+  AccuracyService* service_;
+  const ServerOptions options_;
+  Schema schema_;  ///< the serving spec's entity schema, copied once
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int drain_pipe_[2] = {-1, -1};  ///< [read, write]; write end is signal-safe
+
+  std::unique_ptr<Scheduler> scheduler_;
+
+  std::mutex conns_mu_;
+  std::unordered_map<int64_t, std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> readers_;
+
+  std::atomic<int64_t> next_tenant_{1};
+  std::atomic<int64_t> next_session_{1};
+
+  std::thread accept_thread_;
+};
+
+}  // namespace serve
+}  // namespace relacc
+
+#endif  // RELACC_SERVE_SERVER_H_

@@ -1,0 +1,104 @@
+#include "serve/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace relacc {
+namespace serve {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<int> ListenOn(const std::string& host, int port, int backlog) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port must be in [0, 65535], got " +
+                                   std::to_string(port));
+  }
+  Result<sockaddr_in> addr = MakeAddr(host, port);
+  if (!addr.ok()) return addr.status();
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  // REUSEADDR so a restarted daemon does not trip over TIME_WAIT from
+  // its predecessor's connections.
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr.value()),
+           sizeof(sockaddr_in)) != 0) {
+    Status st = Errno("bind " + host + ":" + std::to_string(port));
+    close(fd);
+    return st;
+  }
+  if (listen(fd, backlog) != 0) {
+    Status st = Errno("listen");
+    close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+Result<int> AcceptConn(int listen_fd) {
+  for (;;) {
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      // Request/response frames are small; Nagle only adds latency.
+      const int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+Result<int> ConnectTo(const std::string& host, int port) {
+  Result<sockaddr_in> addr = MakeAddr(host, port);
+  if (!addr.ok()) return addr.status();
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr.value()),
+              sizeof(sockaddr_in)) != 0) {
+    Status st = Errno("connect " + host + ":" + std::to_string(port));
+    close(fd);
+    return st;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void ShutdownFd(int fd) { shutdown(fd, SHUT_RDWR); }
+
+void CloseFd(int fd) { close(fd); }
+
+}  // namespace serve
+}  // namespace relacc

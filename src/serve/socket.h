@@ -1,0 +1,41 @@
+#ifndef RELACC_SERVE_SOCKET_H_
+#define RELACC_SERVE_SOCKET_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace relacc {
+namespace serve {
+
+/// Thin POSIX TCP wrappers for the serve daemon and its clients — no
+/// third-party dependency, IPv4 only (the daemon binds loopback by
+/// default; production fronting is a reverse proxy's business). All
+/// functions return raw fds the caller owns (CloseFd).
+
+/// Creates a listening socket bound to host:port (SO_REUSEADDR; port 0
+/// picks an ephemeral port — read it back with BoundPort). kIoError on
+/// bind/listen failure (the "address already in use" path callers map to
+/// exit code 1).
+Result<int> ListenOn(const std::string& host, int port, int backlog = 64);
+
+/// The local port a socket is bound to (resolves port-0 binds).
+Result<int> BoundPort(int fd);
+
+/// Accepts one connection; restarts on EINTR. kIoError on failure
+/// (including the listener having been closed or shut down).
+Result<int> AcceptConn(int listen_fd);
+
+/// Connects to host:port. kIoError on failure.
+Result<int> ConnectTo(const std::string& host, int port);
+
+/// shutdown(2) both directions, waking any thread blocked in recv on the
+/// fd; safe on an already-shut-down socket.
+void ShutdownFd(int fd);
+
+void CloseFd(int fd);
+
+}  // namespace serve
+}  // namespace relacc
+
+#endif  // RELACC_SERVE_SOCKET_H_

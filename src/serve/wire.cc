@@ -1,0 +1,291 @@
+#include "serve/wire.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "api/accuracy_service.h"
+#include "io/spec_io.h"
+
+namespace relacc {
+namespace serve {
+
+namespace {
+
+/// recv() the exact number of bytes, restarting on EINTR. Returns the
+/// bytes actually read (short only on EOF), or -1 on a socket error.
+ssize_t RecvAll(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = recv(fd, buf + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+}  // namespace
+
+std::string EncodeFrame(const std::string& payload) {
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(payload.size() + 4);
+  out.push_back(static_cast<char>((n >> 24) & 0xff));
+  out.push_back(static_cast<char>((n >> 16) & 0xff));
+  out.push_back(static_cast<char>((n >> 8) & 0xff));
+  out.push_back(static_cast<char>(n & 0xff));
+  out += payload;
+  return out;
+}
+
+Result<bool> ReadFrame(int fd, std::string* payload, uint32_t max_bytes) {
+  unsigned char len_buf[4];
+  const ssize_t got =
+      RecvAll(fd, reinterpret_cast<char*>(len_buf), sizeof(len_buf));
+  if (got < 0) {
+    return Status::IoError(std::string("recv: ") + std::strerror(errno));
+  }
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < static_cast<ssize_t>(sizeof(len_buf))) {
+    return Status::ParseError("truncated frame: EOF inside length prefix");
+  }
+  const uint32_t n = (static_cast<uint32_t>(len_buf[0]) << 24) |
+                     (static_cast<uint32_t>(len_buf[1]) << 16) |
+                     (static_cast<uint32_t>(len_buf[2]) << 8) |
+                     static_cast<uint32_t>(len_buf[3]);
+  if (n > max_bytes) {
+    return Status::InvalidArgument(
+        "frame length " + std::to_string(n) + " exceeds the limit of " +
+        std::to_string(max_bytes) + " bytes");
+  }
+  payload->resize(n);
+  if (n > 0) {
+    const ssize_t body = RecvAll(fd, payload->data(), n);
+    if (body < 0) {
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (body < static_cast<ssize_t>(n)) {
+      return Status::ParseError(
+          "truncated frame: EOF after " + std::to_string(body) + " of " +
+          std::to_string(n) + " payload bytes");
+    }
+  }
+  return true;
+}
+
+Status WriteFrame(int fd, const std::string& payload) {
+  const std::string frame = EncodeFrame(payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t w =
+        send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Json MakeRequest(int64_t id, const std::string& method, Json params) {
+  Json req = Json::Object();
+  req.Set("id", Json::Int(id));
+  req.Set("method", Json::Str(method));
+  req.Set("params", std::move(params));
+  return req;
+}
+
+Json MakeResponse(int64_t id, Json result) {
+  Json resp = Json::Object();
+  resp.Set("id", Json::Int(id));
+  resp.Set("ok", Json::Bool(true));
+  resp.Set("result", std::move(result));
+  return resp;
+}
+
+Json MakeErrorResponse(int64_t id, const std::string& code,
+                       const std::string& message) {
+  Json error = Json::Object();
+  error.Set("code", Json::Str(code));
+  error.Set("message", Json::Str(message));
+  Json resp = Json::Object();
+  resp.Set("id", Json::Int(id));
+  resp.Set("ok", Json::Bool(false));
+  resp.Set("error", std::move(error));
+  return resp;
+}
+
+std::string WireErrorCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kOutOfRange: return "out-of-range";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kParseError: return "parse-error";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
+  }
+  return "internal";
+}
+
+StatusCode StatusCodeFromWire(const std::string& code) {
+  if (code == "ok") return StatusCode::kOk;
+  if (code == "invalid-argument") return StatusCode::kInvalidArgument;
+  if (code == "not-found") return StatusCode::kNotFound;
+  if (code == "out-of-range") return StatusCode::kOutOfRange;
+  if (code == "failed-precondition") return StatusCode::kFailedPrecondition;
+  if (code == "io-error") return StatusCode::kIoError;
+  if (code == "parse-error") return StatusCode::kParseError;
+  if (code == "resource-exhausted") return StatusCode::kResourceExhausted;
+  return StatusCode::kInternal;
+}
+
+Json EntitiesToJson(const std::vector<EntityInstance>& entities,
+                    const Schema& schema) {
+  Json array = Json::Array();
+  for (const EntityInstance& e : entities) {
+    Json entity = Json::Object();
+    entity.Set("id", Json::Int(e.entity_id()));
+    Json rows = Json::Array();
+    for (int r = 0; r < e.size(); ++r) {
+      Json row = Json::Array();
+      for (AttrId a = 0; a < schema.size(); ++a) {
+        row.Append(ValueToJson(e.tuple(r).at(a)));
+      }
+      rows.Append(std::move(row));
+    }
+    entity.Set("rows", std::move(rows));
+    array.Append(std::move(entity));
+  }
+  return array;
+}
+
+Result<std::vector<EntityInstance>> EntitiesFromJson(const Json& array,
+                                                     const Schema& schema) {
+  if (!array.is_array()) {
+    return Status::InvalidArgument("entities: expected an array");
+  }
+  std::vector<EntityInstance> entities;
+  entities.reserve(static_cast<size_t>(array.size()));
+  for (int i = 0; i < array.size(); ++i) {
+    const Json& entry = array.at(i);
+    const std::string where = "entities[" + std::to_string(i) + "]";
+    if (!entry.is_object()) {
+      return Status::InvalidArgument(where + ": expected an object");
+    }
+    Result<int64_t> id = entry.GetInt("id");
+    if (!id.ok()) return id.status();
+    Result<const Json*> rows = entry.GetArray("rows");
+    if (!rows.ok()) return rows.status();
+    EntityInstance entity(id.value(), schema);
+    for (int r = 0; r < rows.value()->size(); ++r) {
+      const Json& row = rows.value()->at(r);
+      if (!row.is_array() || row.size() != static_cast<int>(schema.size())) {
+        return Status::InvalidArgument(
+            where + ".rows[" + std::to_string(r) + "]: expected an array of " +
+            std::to_string(schema.size()) + " cells");
+      }
+      std::vector<Value> values;
+      values.reserve(schema.size());
+      for (AttrId a = 0; a < schema.size(); ++a) {
+        Result<Value> v = ValueFromJson(
+            row.at(static_cast<int>(a)), schema.type(a),
+            where + ".rows[" + std::to_string(r) + "] column '" +
+                schema.name(a) + "'");
+        if (!v.ok()) return v.status();
+        values.push_back(std::move(v).value());
+      }
+      entity.Add(Tuple(std::move(values)));
+    }
+    entities.push_back(std::move(entity));
+  }
+  return entities;
+}
+
+Json PipelineReportToJson(const PipelineReport& report, const Schema& schema) {
+  Json json = Json::Object();
+  json.Set("entities",
+           Json::Int(static_cast<int64_t>(report.entities.size())));
+  json.Set("tuples", Json::Int(report.total_tuples));
+  json.Set("church_rosser", Json::Int(report.num_church_rosser));
+  json.Set("complete_by_chase", Json::Int(report.num_complete_by_chase));
+  json.Set("completed_by_candidates",
+           Json::Int(report.num_completed_by_candidates));
+  json.Set("incomplete", Json::Int(report.num_incomplete));
+  json.Set("deduced_attr_fraction", Json::Real(report.deduced_attr_fraction));
+  Json targets = Json::Array();
+  for (int i = 0; i < report.targets.size(); ++i) {
+    targets.Append(TupleToJson(report.targets.tuple(i), schema));
+  }
+  json.Set("targets", std::move(targets));
+  return json;
+}
+
+Json EntityReportToJson(const EntityReport& report, const Schema& schema) {
+  Json json = Json::Object();
+  json.Set("entity_id", Json::Int(report.entity_id));
+  json.Set("num_tuples", Json::Int(report.num_tuples));
+  json.Set("church_rosser", Json::Bool(report.church_rosser));
+  if (!report.church_rosser) {
+    json.Set("violation", Json::Str(report.violation));
+    return json;
+  }
+  json.Set("complete", Json::Bool(report.complete));
+  json.Set("used_candidate", Json::Bool(report.used_candidate));
+  json.Set("deduced_attrs", Json::Int(report.deduced_attrs));
+  json.Set("target", TupleToJson(report.target, schema));
+  return json;
+}
+
+Json TopKReportToJson(const Tuple& deduced, const TopKResult& result,
+                      const Schema& schema) {
+  Json json = Json::Object();
+  json.Set("deduced_target", TupleToJson(deduced, schema));
+  Json candidates = Json::Array();
+  for (size_t i = 0; i < result.targets.size(); ++i) {
+    Json c = Json::Object();
+    c.Set("rank", Json::Int(static_cast<int64_t>(i) + 1));
+    c.Set("score", Json::Real(result.scores[i]));
+    c.Set("target", TupleToJson(result.targets[i], schema));
+    candidates.Append(std::move(c));
+  }
+  json.Set("candidates", std::move(candidates));
+  json.Set("checks", Json::Int(result.checks));
+  json.Set("heap_pops", Json::Int(result.heap_pops));
+  return json;
+}
+
+Json SuggestionToJson(const Suggestion& suggestion, bool finished,
+                      const Schema& schema) {
+  Json json = Json::Object();
+  json.Set("church_rosser", Json::Bool(suggestion.church_rosser));
+  if (!suggestion.church_rosser) {
+    json.Set("violation", Json::Str(suggestion.violation));
+    return json;
+  }
+  json.Set("deduced_target", TupleToJson(suggestion.deduced_target, schema));
+  json.Set("complete", Json::Bool(suggestion.complete));
+  json.Set("finished", Json::Bool(finished));
+  Json candidates = Json::Array();
+  for (size_t i = 0; i < suggestion.candidates.targets.size(); ++i) {
+    Json c = Json::Object();
+    c.Set("rank", Json::Int(static_cast<int64_t>(i) + 1));
+    c.Set("score", Json::Real(suggestion.candidates.scores[i]));
+    c.Set("target", TupleToJson(suggestion.candidates.targets[i], schema));
+    candidates.Append(std::move(c));
+  }
+  json.Set("candidates", std::move(candidates));
+  return json;
+}
+
+}  // namespace serve
+}  // namespace relacc

@@ -1,0 +1,108 @@
+#ifndef RELACC_SERVE_WIRE_H_
+#define RELACC_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "pipeline/pipeline.h"
+#include "topk/topk_ct.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace relacc {
+
+struct Suggestion;  // api/accuracy_service.h
+
+namespace serve {
+
+/// The `relacc serve` wire protocol: length-prefixed JSON frames over a
+/// stream socket. Each frame is
+///
+///   [4-byte big-endian payload length][payload bytes]
+///
+/// where the payload is one JSON document. Requests carry
+///   {"id": <int>, "method": "<name>", "params": {...}}
+/// and every request receives exactly one response frame,
+///   {"id": <int>, "ok": true,  "result": {...}}   or
+///   {"id": <int>, "ok": false, "error": {"code": "<kebab>",
+///                                        "message": "..."}}.
+/// Responses to one connection come back in request order. A frame whose
+/// declared length exceeds the receiver's limit, or a payload that is not
+/// a JSON object of the shape above, is a protocol error: the server
+/// answers with an `id` 0 error frame and closes the connection (the
+/// stream can no longer be trusted to be frame-aligned).
+
+/// Hard ceiling on one frame's payload; also the default server limit.
+constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Encodes `payload` as a frame (length prefix + bytes).
+std::string EncodeFrame(const std::string& payload);
+
+/// Reads one frame from `fd` into `payload`. Returns false on a clean
+/// EOF at a frame boundary (the peer hung up between frames), true when
+/// a frame was read. Errors: kParseError on a truncated frame (EOF
+/// mid-length or mid-payload), kInvalidArgument when the declared length
+/// exceeds `max_bytes`, kIoError on socket errors.
+Result<bool> ReadFrame(int fd, std::string* payload,
+                       uint32_t max_bytes = kMaxFrameBytes);
+
+/// Writes `payload` as one frame to `fd` (kIoError on failure; SIGPIPE is
+/// suppressed so a vanished peer surfaces as a Status, not a signal).
+Status WriteFrame(int fd, const std::string& payload);
+
+// --- request / response documents -----------------------------------------
+
+Json MakeRequest(int64_t id, const std::string& method, Json params);
+Json MakeResponse(int64_t id, Json result);
+Json MakeErrorResponse(int64_t id, const std::string& code,
+                       const std::string& message);
+
+/// The wire error code for a library Status ("invalid-argument",
+/// "not-found", "out-of-range", "failed-precondition", "internal",
+/// "io-error", "parse-error", "resource-exhausted").
+std::string WireErrorCode(StatusCode code);
+
+/// The inverse mapping, for clients turning an error frame back into a
+/// Status; unknown codes become kInternal.
+StatusCode StatusCodeFromWire(const std::string& code);
+
+// --- entity batches over the wire -----------------------------------------
+//
+// pipeline.submit carries entity instances as
+//   [{"id": <entity id>, "rows": [[cell, ...], ...]}, ...]
+// with cells typed against the serving specification's entity schema
+// (exactly the spec-document tuple convention of io/spec_io.h).
+
+Json EntitiesToJson(const std::vector<EntityInstance>& entities,
+                    const Schema& schema);
+Result<std::vector<EntityInstance>> EntitiesFromJson(const Json& array,
+                                                     const Schema& schema);
+
+// --- result documents ------------------------------------------------------
+//
+// These are the single source of truth for the JSON the CLI prints and
+// the server returns, so `relacc pipeline --json` output and a serve
+// client's pipeline.finish result are byte-identical by construction
+// (the serve-smoke CI lane diffs them).
+
+/// The `relacc pipeline --json` document (entity counts, summary
+/// counters, final targets).
+Json PipelineReportToJson(const PipelineReport& report, const Schema& schema);
+
+/// One per-entity report, as returned by pipeline.poll / pipeline.drain.
+Json EntityReportToJson(const EntityReport& report, const Schema& schema);
+
+/// The `relacc topk --json` document (deduced target + ranked candidates).
+Json TopKReportToJson(const Tuple& deduced, const TopKResult& result,
+                      const Schema& schema);
+
+/// One interaction round as returned by interact.suggest.
+Json SuggestionToJson(const Suggestion& suggestion, bool finished,
+                      const Schema& schema);
+
+}  // namespace serve
+}  // namespace relacc
+
+#endif  // RELACC_SERVE_WIRE_H_

@@ -18,6 +18,7 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kParseError,
+  kResourceExhausted,
 };
 
 /// A lightweight success/error carrier in the RocksDB/Arrow idiom.
@@ -47,6 +48,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

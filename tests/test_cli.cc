@@ -10,6 +10,7 @@
 #include "cli/commands.h"
 #include "io/spec_io.h"
 #include "mj_fixture.h"
+#include "serve/socket.h"
 
 namespace relacc {
 namespace {
@@ -302,6 +303,57 @@ TEST_F(CliTest, MissingFileIsAnIoError) {
   int rc = Run({"check", "/no/such/file.json"});
   EXPECT_EQ(rc, 1);
   EXPECT_NE(err_.str().find("IoError"), std::string::npos);
+}
+
+// --- relacc serve exit-code contract ----------------------------------------
+//
+// Only the non-blocking paths run here (usage and bind failures return
+// before the daemon starts serving); the clean-drain exit 0 is covered
+// end-to-end by the serve-smoke CI lane and tests/test_serve.cc.
+
+TEST_F(CliTest, ServeWithoutSpecIsUsageError) {
+  EXPECT_EQ(Run({"serve"}), 2);
+  EXPECT_NE(err_.str().find("spec.json"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeValidatesPort) {
+  EXPECT_EQ(Run({"serve", path_, "--port", "99999"}), 2);
+  EXPECT_NE(err_.str().find("--port"), std::string::npos);
+  EXPECT_EQ(Run({"serve", path_, "--port", "-1"}), 2);
+}
+
+TEST_F(CliTest, ServeValidatesThreadsWindowAndQueueDepth) {
+  EXPECT_EQ(Run({"serve", path_, "--threads", "9999"}), 2);
+  EXPECT_NE(err_.str().find("--threads"), std::string::npos);
+  EXPECT_EQ(Run({"serve", path_, "--window", "-1"}), 2);
+  EXPECT_EQ(Run({"serve", path_, "--queue-depth", "0"}), 2);
+}
+
+TEST_F(CliTest, ServeRejectsUnknownFlags) {
+  EXPECT_EQ(Run({"serve", path_, "--bogus", "1"}), 2);
+  EXPECT_NE(err_.str().find("unknown flag"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeMissingSpecFileIsIoError) {
+  EXPECT_EQ(Run({"serve", "/no/such/file.json"}), 1);
+  EXPECT_NE(err_.str().find("IoError"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeOccupiedPortExitsOne) {
+  // Hold the port ourselves, then ask the daemon to bind it.
+  Result<int> held = serve::ListenOn("127.0.0.1", 0);
+  ASSERT_TRUE(held.ok()) << held.status().ToString();
+  Result<int> port = serve::BoundPort(held.value());
+  ASSERT_TRUE(port.ok());
+  int rc = Run({"serve", path_, "--port", std::to_string(port.value())});
+  serve::CloseFd(held.value());
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err_.str().find("bind"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeIsListedInUsage) {
+  EXPECT_EQ(Run({"help"}), 0);
+  EXPECT_NE(out_.str().find("serve"), std::string::npos);
 }
 
 }  // namespace

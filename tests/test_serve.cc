@@ -1,0 +1,688 @@
+// Tests for the serve subsystem: the frame codec, the fair-share
+// scheduler, and the daemon end-to-end over real sockets — including the
+// byte-identity of serve responses with direct AccuracyService calls,
+// which is the contract the serve-smoke CI lane enforces against the
+// batch CLI.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/accuracy_service.h"
+#include "serve/client.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "serve/socket.h"
+#include "serve/wire.h"
+#include "mj_fixture.h"
+#include "util/json.h"
+
+namespace relacc {
+namespace {
+
+using serve::JobClass;
+using serve::ReadFrame;
+using serve::Scheduler;
+using serve::ServeClient;
+using serve::Server;
+using serve::ServerOptions;
+using serve::WriteFrame;
+using testing_fixture::MjSpecification;
+using testing_fixture::StatRelation;
+
+std::vector<EntityInstance> MakeEntities(int n) {
+  const Relation stat = StatRelation();
+  std::vector<EntityInstance> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EntityInstance e(i, stat.schema());
+    for (const Tuple& t : stat.tuples()) e.Add(t);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+// --- frame codec -----------------------------------------------------------
+
+struct SocketPair {
+  SocketPair() { EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    CloseWriter();
+    if (fds[1] >= 0) close(fds[1]);
+  }
+  /// Closes the writing end (hangs up mid-stream from the reader's view).
+  void CloseWriter() {
+    if (fds[0] >= 0) close(fds[0]);
+    fds[0] = -1;
+  }
+  int fds[2] = {-1, -1};
+};
+
+TEST(ServeWire, FrameRoundTrip) {
+  SocketPair pair;
+  const std::string payload = "{\"id\":1,\"method\":\"ping\",\"params\":{}}";
+  ASSERT_TRUE(WriteFrame(pair.fds[0], payload).ok());
+  std::string got;
+  Result<bool> frame = ReadFrame(pair.fds[1], &got);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame.value());
+  EXPECT_EQ(got, payload);
+}
+
+TEST(ServeWire, EmptyPayloadRoundTrips) {
+  SocketPair pair;
+  ASSERT_TRUE(WriteFrame(pair.fds[0], "").ok());
+  std::string got = "sentinel";
+  Result<bool> frame = ReadFrame(pair.fds[1], &got);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame.value());
+  EXPECT_EQ(got, "");
+}
+
+TEST(ServeWire, CleanEofBetweenFrames) {
+  SocketPair pair;
+  pair.CloseWriter();
+  std::string got;
+  Result<bool> frame = ReadFrame(pair.fds[1], &got);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(frame.value());  // EOF at a frame boundary is not an error
+}
+
+TEST(ServeWire, TruncatedLengthPrefixIsParseError) {
+  SocketPair pair;
+  const char half[2] = {0, 0};
+  ASSERT_EQ(send(pair.fds[0], half, 2, 0), 2);
+  pair.CloseWriter();
+  std::string got;
+  Result<bool> frame = ReadFrame(pair.fds[1], &got);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kParseError);
+}
+
+TEST(ServeWire, TruncatedPayloadIsParseError) {
+  SocketPair pair;
+  const std::string frame_bytes = serve::EncodeFrame("full payload");
+  // Send the header plus half the payload, then hang up.
+  ASSERT_EQ(send(pair.fds[0], frame_bytes.data(), 9, 0), 9);
+  pair.CloseWriter();
+  std::string got;
+  Result<bool> frame = ReadFrame(pair.fds[1], &got);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kParseError);
+}
+
+TEST(ServeWire, OversizedFrameIsRejected) {
+  SocketPair pair;
+  ASSERT_TRUE(WriteFrame(pair.fds[0], "0123456789").ok());
+  std::string got;
+  Result<bool> frame = ReadFrame(pair.fds[1], &got, /*max_bytes=*/4);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeWire, ErrorCodeMappingRoundTrips) {
+  for (StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kIoError, StatusCode::kParseError,
+        StatusCode::kResourceExhausted}) {
+    EXPECT_EQ(serve::StatusCodeFromWire(serve::WireErrorCode(code)), code);
+  }
+  EXPECT_EQ(serve::StatusCodeFromWire("no-such-code"), StatusCode::kInternal);
+}
+
+// --- scheduler -------------------------------------------------------------
+
+TEST(ServeScheduler, RejectsWhenTenantQueueFull) {
+  Scheduler::Options options;
+  options.queue_depth = 2;
+  Scheduler scheduler(options);
+  // Block the executor so queued jobs stay queued.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool blocked = false;
+  ASSERT_TRUE(scheduler
+                  .Enqueue(1, JobClass::kInteractive,
+                           [&] {
+                             std::unique_lock<std::mutex> lock(mu);
+                             blocked = true;
+                             cv.notify_all();
+                             cv.wait(lock, [&] { return release; });
+                           })
+                  .ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return blocked; });
+  }
+  EXPECT_TRUE(scheduler.Enqueue(1, JobClass::kBatch, [] {}).ok());
+  EXPECT_TRUE(scheduler.Enqueue(1, JobClass::kInteractive, [] {}).ok());
+  Status rejected = scheduler.Enqueue(1, JobClass::kBatch, [] {});
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  // Another tenant is unaffected: the bound is per tenant.
+  EXPECT_TRUE(scheduler.Enqueue(2, JobClass::kBatch, [] {}).ok());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.stats().rejected, 1);
+}
+
+TEST(ServeScheduler, InteractiveOvertakesBatchChain) {
+  Scheduler scheduler;
+  std::mutex mu;
+  std::vector<std::string> order;
+  std::condition_variable cv;
+  bool interactive_enqueued = false;
+  constexpr int kQuanta = 50;
+  // A self-requeuing batch chain, the shape of a multi-window submit.
+  // The FIRST quantum blocks until the interactive job is enqueued, so
+  // the interleaving is deterministic: the interactive job arrives
+  // while exactly one batch quantum is in flight, no matter how the
+  // executor and this thread are scheduled (TSan skews them heavily).
+  std::function<void(int)> quantum = [&](int remaining) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      order.push_back("batch");
+      if (remaining == kQuanta) {
+        cv.notify_all();  // the chain is in flight: release the enqueuer
+        cv.wait(lock, [&] { return interactive_enqueued; });
+      }
+    }
+    if (remaining > 1) {
+      scheduler.RequeueFront(1, JobClass::kBatch,
+                             [&quantum, remaining] { quantum(remaining - 1); });
+    }
+  };
+  ASSERT_TRUE(
+      scheduler.Enqueue(1, JobClass::kBatch, [&] { quantum(kQuanta); }).ok());
+  {
+    // The interactive job must arrive while quantum 1 is IN FLIGHT (not
+    // merely queued — the executor would then rightly run interactive
+    // first and the position assertion below would be vacuous).
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return !order.empty(); });
+  }
+  ASSERT_TRUE(scheduler
+                  .Enqueue(2, JobClass::kInteractive,
+                           [&] {
+                             std::lock_guard<std::mutex> lock(mu);
+                             order.push_back("interactive");
+                           })
+                  .ok());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    interactive_enqueued = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+  ASSERT_EQ(static_cast<int>(order.size()), kQuanta + 1);
+  int interactive_at = -1;
+  for (int i = 0; i < static_cast<int>(order.size()); ++i) {
+    if (order[i] == "interactive") interactive_at = i;
+  }
+  // Strict priority: the interactive job waited only for the one batch
+  // quantum in flight — never for the whole chain. The in-flight
+  // quantum requeues its continuation, but class priority runs the
+  // interactive job before it.
+  EXPECT_EQ(interactive_at, 1);
+}
+
+TEST(ServeScheduler, DrainRunsPendingJobsAndContinuations) {
+  Scheduler scheduler;
+  std::atomic<int> ran{0};
+  std::function<void(int)> chain = [&](int remaining) {
+    ran.fetch_add(1);
+    if (remaining > 1) {
+      scheduler.RequeueFront(1, JobClass::kBatch,
+                             [&chain, remaining] { chain(remaining - 1); });
+    }
+  };
+  ASSERT_TRUE(scheduler.Enqueue(1, JobClass::kBatch, [&] { chain(20); }).ok());
+  ASSERT_TRUE(
+      scheduler.Enqueue(2, JobClass::kInteractive, [&] { ran.fetch_add(1); })
+          .ok());
+  scheduler.Drain();
+  // Drain owes continuations their completion: all 20 quanta plus the
+  // interactive job ran even though Drain began immediately.
+  EXPECT_EQ(ran.load(), 21);
+  Status late = scheduler.Enqueue(3, JobClass::kInteractive, [] {});
+  EXPECT_EQ(late.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServeScheduler, RemoveTenantDiscardsPendingJobs) {
+  Scheduler scheduler;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool blocked = false;
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(scheduler
+                  .Enqueue(1, JobClass::kInteractive,
+                           [&] {
+                             std::unique_lock<std::mutex> lock(mu);
+                             blocked = true;
+                             cv.notify_all();
+                             cv.wait(lock, [&] { return release; });
+                           })
+                  .ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return blocked; });
+  }
+  ASSERT_TRUE(
+      scheduler.Enqueue(1, JobClass::kBatch, [&] { ran.fetch_add(1); }).ok());
+  ASSERT_TRUE(
+      scheduler.Enqueue(2, JobClass::kBatch, [&] { ran.fetch_add(1); }).ok());
+  scheduler.RemoveTenant(1);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+  EXPECT_EQ(ran.load(), 1);  // only tenant 2's job survived
+}
+
+// --- server end-to-end -----------------------------------------------------
+
+class ServeServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<std::unique_ptr<AccuracyService>> service =
+        AccuracyService::Create(MjSpecification(), ServiceOptions{});
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    service_ = std::move(service).value();
+    Result<std::unique_ptr<Server>> server =
+        Server::Start(service_.get(), ServerOptions{});
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+  }
+
+  std::unique_ptr<ServeClient> Connect() {
+    Result<std::unique_ptr<ServeClient>> client =
+        ServeClient::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return client.ok() ? std::move(client).value() : nullptr;
+  }
+
+  /// Drives one whole pipeline over the wire and returns the finish
+  /// report's compact dump.
+  std::string RunPipelineOverWire(ServeClient* client, int entities,
+                                  int64_t window) {
+    Json start = Json::Object();
+    start.Set("window", Json::Int(window));
+    Result<Json> started = client->Call("pipeline.start", std::move(start));
+    EXPECT_TRUE(started.ok()) << started.status().ToString();
+    if (!started.ok()) return "";
+    const int64_t sid = started.value().GetInt("session").value();
+
+    Json submit = Json::Object();
+    submit.Set("session", Json::Int(sid));
+    submit.Set("entities", serve::EntitiesToJson(
+                               MakeEntities(entities),
+                               service_->specification().ie.schema()));
+    Result<Json> accepted = client->Call("pipeline.submit", std::move(submit));
+    EXPECT_TRUE(accepted.ok()) << accepted.status().ToString();
+    if (!accepted.ok()) return "";
+    EXPECT_EQ(accepted.value().GetInt("accepted").value(), entities);
+
+    Json finish = Json::Object();
+    finish.Set("session", Json::Int(sid));
+    Result<Json> report = client->Call("pipeline.finish", std::move(finish));
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.ok() ? report.value().Dump() : "";
+  }
+
+  /// The same pipeline, directly against an identically-configured
+  /// service — the byte-identity reference.
+  std::string RunPipelineDirect(int entities, int64_t window) {
+    Result<std::unique_ptr<AccuracyService>> service =
+        AccuracyService::Create(MjSpecification(), ServiceOptions{});
+    EXPECT_TRUE(service.ok());
+    PipelineSessionOptions options;
+    options.window = window;
+    Result<std::unique_ptr<PipelineSession>> session =
+        service.value()->StartPipeline(std::move(options));
+    EXPECT_TRUE(session.ok());
+    EXPECT_TRUE(session.value()->Submit(MakeEntities(entities)).ok());
+    Result<PipelineReport> report = session.value()->Finish();
+    EXPECT_TRUE(report.ok());
+    return serve::PipelineReportToJson(
+               report.value(), service.value()->specification().ie.schema())
+        .Dump();
+  }
+
+  std::unique_ptr<AccuracyService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeServerTest, PingVersionStats) {
+  std::unique_ptr<ServeClient> client = Connect();
+  ASSERT_NE(client, nullptr);
+  Result<Json> pong = client->Call("ping", Json::Object());
+  ASSERT_TRUE(pong.ok());
+  EXPECT_TRUE(pong.value().GetBool("pong").value());
+  Result<Json> version = client->Call("version", Json::Object());
+  ASSERT_TRUE(version.ok());
+  EXPECT_FALSE(version.value().GetString("version").value().empty());
+  Result<Json> stats = client->Call("stats", Json::Object());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats.value().GetInt("connections").value(), 1);
+}
+
+TEST_F(ServeServerTest, PipelineMatchesDirectServiceByteForByte) {
+  std::unique_ptr<ServeClient> client = Connect();
+  ASSERT_NE(client, nullptr);
+  // 11 entities over window 3: three full windows through the batch
+  // quanta plus a tail flushed by finish.
+  const std::string wire = RunPipelineOverWire(client.get(), 11, 3);
+  const std::string direct = RunPipelineDirect(11, 3);
+  ASSERT_FALSE(wire.empty());
+  EXPECT_EQ(wire, direct);
+}
+
+TEST_F(ServeServerTest, PollAndDrainSurfacePerEntityReports) {
+  std::unique_ptr<ServeClient> client = Connect();
+  ASSERT_NE(client, nullptr);
+  Json start = Json::Object();
+  start.Set("window", Json::Int(2));
+  Result<Json> started = client->Call("pipeline.start", std::move(start));
+  ASSERT_TRUE(started.ok());
+  const int64_t sid = started.value().GetInt("session").value();
+  Json submit = Json::Object();
+  submit.Set("session", Json::Int(sid));
+  submit.Set("entities",
+             serve::EntitiesToJson(MakeEntities(5),
+                                   service_->specification().ie.schema()));
+  ASSERT_TRUE(client->Call("pipeline.submit", std::move(submit)).ok());
+  // Two full windows were processed inline by the submit quanta: four
+  // reports are already pollable, in input order.
+  Json poll = Json::Object();
+  poll.Set("session", Json::Int(sid));
+  Result<Json> first = client->Call("pipeline.poll", poll);
+  ASSERT_TRUE(first.ok());
+  const Json* report = first.value().Find("report");
+  ASSERT_NE(report, nullptr);
+  ASSERT_TRUE(report->is_object());
+  EXPECT_EQ(report->GetInt("entity_id").value(), 0);
+  Json drain = Json::Object();
+  drain.Set("session", Json::Int(sid));
+  Result<Json> rest = client->Call("pipeline.drain", drain);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest.value().GetArray("reports").value()->size(), 3);
+  Json finish = Json::Object();
+  finish.Set("session", Json::Int(sid));
+  ASSERT_TRUE(client->Call("pipeline.finish", std::move(finish)).ok());
+  // The tail entity's report arrives with the finish flush.
+  Result<Json> tail = client->Call("pipeline.drain", drain);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail.value().GetArray("reports").value()->size(), 1);
+}
+
+TEST_F(ServeServerTest, TopKMatchesDirectService) {
+  std::unique_ptr<ServeClient> client = Connect();
+  ASSERT_NE(client, nullptr);
+  Json params = Json::Object();
+  params.Set("k", Json::Int(5));
+  Result<Json> wire = client->Call("topk", std::move(params));
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+
+  Result<std::unique_ptr<AccuracyService>> direct =
+      AccuracyService::Create(MjSpecification(), ServiceOptions{});
+  ASSERT_TRUE(direct.ok());
+  Result<ChaseOutcome> outcome = direct.value()->DeduceEntity();
+  ASSERT_TRUE(outcome.ok());
+  Result<TopKResult> ranked = direct.value()->TopK(5);
+  ASSERT_TRUE(ranked.ok());
+  const std::string reference =
+      serve::TopKReportToJson(outcome.value().target, ranked.value(),
+                              direct.value()->specification().ie.schema())
+          .Dump();
+  EXPECT_EQ(wire.value().Dump(), reference);
+}
+
+TEST_F(ServeServerTest, InteractionMatchesDirectService) {
+  std::unique_ptr<ServeClient> client = Connect();
+  ASSERT_NE(client, nullptr);
+  Result<Json> started = client->Call("interact.start", Json::Object());
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  const int64_t sid = started.value().GetInt("session").value();
+  Json suggest = Json::Object();
+  suggest.Set("session", Json::Int(sid));
+  Result<Json> wire = client->Call("interact.suggest", suggest);
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+
+  Result<std::unique_ptr<AccuracyService>> direct =
+      AccuracyService::Create(MjSpecification(), ServiceOptions{});
+  ASSERT_TRUE(direct.ok());
+  Result<std::unique_ptr<InteractionSession>> session =
+      direct.value()->StartInteraction();
+  ASSERT_TRUE(session.ok());
+  Result<Suggestion> suggestion = session.value()->Suggest();
+  ASSERT_TRUE(suggestion.ok());
+  const std::string reference =
+      serve::SuggestionToJson(suggestion.value(), session.value()->finished(),
+                              direct.value()->specification().ie.schema())
+          .Dump();
+  EXPECT_EQ(wire.value().Dump(), reference);
+
+  // The MJ spec deduces a complete target, so the completing Suggest
+  // finalized the session on both sides — a Revise must now fail the
+  // same way over the wire as it does directly.
+  ASSERT_TRUE(session.value()->finished());
+  Json revise = Json::Object();
+  revise.Set("session", Json::Int(sid));
+  revise.Set("attr", Json::Str("MN"));
+  revise.Set("value", Json::Str("Jeffrey"));
+  Result<Json> revised = client->Call("interact.revise", std::move(revise));
+  ASSERT_FALSE(revised.ok());
+  EXPECT_EQ(revised.status().code(), StatusCode::kFailedPrecondition);
+  Status direct_revise = session.value()->Revise(
+      direct.value()->specification().ie.schema().MustIndexOf("MN"),
+      Value::Str("Jeffrey"));
+  EXPECT_EQ(direct_revise.code(), revised.status().code());
+  EXPECT_EQ(direct_revise.message(), revised.status().message());
+}
+
+TEST_F(ServeServerTest, ConcurrentClientsGetIdenticalReports) {
+  constexpr int kClients = 4;
+  std::vector<std::string> dumps(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, i, &dumps] {
+      std::unique_ptr<ServeClient> client = Connect();
+      ASSERT_NE(client, nullptr);
+      dumps[static_cast<std::size_t>(i)] =
+          RunPipelineOverWire(client.get(), 9, 2);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::string reference = RunPipelineDirect(9, 2);
+  for (const std::string& dump : dumps) {
+    ASSERT_FALSE(dump.empty());
+    EXPECT_EQ(dump, reference);
+  }
+}
+
+TEST_F(ServeServerTest, InteractiveCompletesWhileBatchStreams) {
+  // Client A streams a long batch (many one-window quanta); client B's
+  // interaction round must complete while A is still streaming — the
+  // fair-share contract. Checked structurally via the scheduler
+  // counters, not wall-clock: when B's suggest returns, the batch must
+  // not have finished its quanta yet.
+  constexpr int kEntities = 120;
+  constexpr int64_t kWindow = 2;
+  std::atomic<bool> batch_ok{false};
+  std::thread batcher([&] {
+    std::unique_ptr<ServeClient> client = Connect();
+    ASSERT_NE(client, nullptr);
+    const std::string dump =
+        RunPipelineOverWire(client.get(), kEntities, kWindow);
+    batch_ok.store(!dump.empty());
+  });
+  std::unique_ptr<ServeClient> client = Connect();
+  ASSERT_NE(client, nullptr);
+  // Wait until the batch is genuinely streaming.
+  for (;;) {
+    Result<Json> stats = client->Call("stats", Json::Object());
+    ASSERT_TRUE(stats.ok());
+    if (stats.value().GetInt("executed_batch").value() >= 2) break;
+  }
+  Result<Json> started = client->Call("interact.start", Json::Object());
+  ASSERT_TRUE(started.ok());
+  Json suggest = Json::Object();
+  suggest.Set("session", Json::Int(started.value().GetInt("session").value()));
+  Result<Json> round = client->Call("interact.suggest", suggest);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  const int64_t batch_quanta_after =
+      client->Call("stats", Json::Object()).value().GetInt("executed_batch")
+          .value();
+  batcher.join();
+  EXPECT_TRUE(batch_ok.load());
+  // The suggest round finished before the batch drained its quanta.
+  EXPECT_LT(batch_quanta_after, kEntities / kWindow);
+}
+
+TEST_F(ServeServerTest, DrainFlushesInFlightSubmit) {
+  // A drain that lands mid-batch must still flush the remaining windows
+  // and deliver the submit response (graceful SIGTERM semantics).
+  constexpr int kEntities = 60;
+  std::unique_ptr<ServeClient> client = Connect();
+  ASSERT_NE(client, nullptr);
+  Json start = Json::Object();
+  start.Set("window", Json::Int(2));
+  Result<Json> started = client->Call("pipeline.start", std::move(start));
+  ASSERT_TRUE(started.ok());
+  const int64_t sid = started.value().GetInt("session").value();
+  std::atomic<bool> submitted_ok{false};
+  std::atomic<int64_t> accepted{0};
+  std::thread submitter([&] {
+    Json submit = Json::Object();
+    submit.Set("session", Json::Int(sid));
+    submit.Set("entities",
+               serve::EntitiesToJson(MakeEntities(kEntities),
+                                     service_->specification().ie.schema()));
+    Result<Json> response = client->Call("pipeline.submit", std::move(submit));
+    if (response.ok()) {
+      submitted_ok.store(true);
+      accepted.store(response.value().GetInt("accepted").value_or(0));
+    }
+  });
+  // Second connection just to watch progress (stats answers inline).
+  std::unique_ptr<ServeClient> watcher = Connect();
+  ASSERT_NE(watcher, nullptr);
+  for (;;) {
+    Result<Json> stats = watcher->Call("stats", Json::Object());
+    if (!stats.ok()) break;  // drain may already have closed us
+    if (stats.value().GetInt("executed_batch").value() >= 2) break;
+  }
+  server_->RequestDrain();
+  ASSERT_TRUE(server_->Wait().ok());
+  submitter.join();
+  EXPECT_TRUE(submitted_ok.load());
+  EXPECT_EQ(accepted.load(), kEntities);
+}
+
+TEST_F(ServeServerTest, MalformedJsonGetsErrorFrameAndClose) {
+  Result<int> fd = serve::ConnectTo("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(WriteFrame(fd.value(), "this is not json").ok());
+  std::string payload;
+  Result<bool> frame = ReadFrame(fd.value(), &payload);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame.value());
+  Result<Json> response = Json::Parse(payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().GetInt("id").value(), 0);
+  EXPECT_FALSE(response.value().GetBool("ok").value());
+  // The connection closes after a protocol error.
+  Result<bool> eof = ReadFrame(fd.value(), &payload);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof.value());
+  serve::CloseFd(fd.value());
+}
+
+TEST_F(ServeServerTest, RequestWithoutIdGetsErrorFrameAndClose) {
+  Result<int> fd = serve::ConnectTo("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(WriteFrame(fd.value(), "{\"method\":\"ping\"}").ok());
+  std::string payload;
+  Result<bool> frame = ReadFrame(fd.value(), &payload);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame.value());
+  Result<Json> response = Json::Parse(payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response.value().GetBool("ok").value());
+  Result<bool> eof = ReadFrame(fd.value(), &payload);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof.value());
+  serve::CloseFd(fd.value());
+}
+
+TEST_F(ServeServerTest, UnknownMethodAndUnknownSessionAreErrors) {
+  std::unique_ptr<ServeClient> client = Connect();
+  ASSERT_NE(client, nullptr);
+  Result<Json> unknown = client->Call("no.such.method", Json::Object());
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  Json poll = Json::Object();
+  poll.Set("session", Json::Int(999));
+  Result<Json> missing = client->Call("pipeline.poll", std::move(poll));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // The connection survives request-level errors.
+  EXPECT_TRUE(client->Call("ping", Json::Object()).ok());
+}
+
+TEST_F(ServeServerTest, SessionCloseReleasesTheSession) {
+  std::unique_ptr<ServeClient> client = Connect();
+  ASSERT_NE(client, nullptr);
+  Result<Json> started = client->Call("pipeline.start", Json::Object());
+  ASSERT_TRUE(started.ok());
+  const int64_t sid = started.value().GetInt("session").value();
+  Json params = Json::Object();
+  params.Set("session", Json::Int(sid));
+  ASSERT_TRUE(client->Call("session.close", params).ok());
+  Result<Json> gone = client->Call("pipeline.poll", params);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ServeInlineWindows, ReportsMatchDriverPath) {
+  // The inline_windows option the server relies on: same entities, same
+  // window, driver path vs inline path — byte-identical reports.
+  auto run = [](bool inline_windows) {
+    Result<std::unique_ptr<AccuracyService>> service =
+        AccuracyService::Create(MjSpecification(), ServiceOptions{});
+    EXPECT_TRUE(service.ok());
+    PipelineSessionOptions options;
+    options.window = 3;
+    options.inline_windows = inline_windows;
+    Result<std::unique_ptr<PipelineSession>> session =
+        service.value()->StartPipeline(std::move(options));
+    EXPECT_TRUE(session.ok());
+    EXPECT_TRUE(session.value()->Submit(MakeEntities(10)).ok());
+    Result<PipelineReport> report = session.value()->Finish();
+    EXPECT_TRUE(report.ok());
+    return serve::PipelineReportToJson(
+               report.value(), service.value()->specification().ie.schema())
+        .Dump();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace relacc
