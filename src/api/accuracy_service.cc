@@ -18,28 +18,45 @@ namespace {
 /// Phase-2 carry-over for one incomplete entity: the grounded program
 /// and the engine with its warm all-null checkpoint, kept alive across
 /// the phase boundary so completion never re-grounds or re-chases.
+/// Under columnar storage the encoded relation rides along too — the
+/// engine reads its columns until phase 2 retires it.
 struct PendingCompletion {
+  std::unique_ptr<ColumnarRelation> columnar;
   std::unique_ptr<GroundProgram> program;
   std::unique_ptr<ChaseEngine> engine;  ///< references *program
 };
 
 /// Phase 1 for one entity: ground and run the checkpoint chase. When the
 /// target stays incomplete (and completion is enabled), the engine is
-/// handed back via `pending` for phase 2. Pure function of its inputs;
-/// called concurrently.
+/// handed back via `pending` for phase 2. Pure function of its inputs
+/// (`dict` only accretes interned terms, thread-safely); called
+/// concurrently. A non-null `dict` selects dictionary-encoded storage:
+/// the entity is interned into it and grounded/chased on integer
+/// columns — the report is byte-identical either way.
 EntityReport ChaseEntityPhase(const EntityInstance& entity,
                               const std::vector<Relation>& masters,
                               const std::vector<AccuracyRule>& rules,
                               const ChaseConfig& chase,
-                              CompletionPolicy completion,
+                              CompletionPolicy completion, Dictionary* dict,
                               std::unique_ptr<PendingCompletion>* pending) {
   EntityReport report;
   report.entity_id = entity.entity_id();
   report.num_tuples = entity.size();
 
-  auto program =
-      std::make_unique<GroundProgram>(Instantiate(entity, masters, rules));
-  auto engine = std::make_unique<ChaseEngine>(entity, program.get(), chase);
+  std::unique_ptr<ColumnarRelation> columnar;
+  std::unique_ptr<GroundProgram> program;
+  std::unique_ptr<ChaseEngine> engine;
+  if (dict != nullptr) {
+    columnar = std::make_unique<ColumnarRelation>(
+        ColumnarRelation::FromRelation(entity, dict));
+    program = std::make_unique<GroundProgram>(
+        Instantiate(*columnar, masters, rules));
+    engine = std::make_unique<ChaseEngine>(*columnar, program.get(), chase);
+  } else {
+    program =
+        std::make_unique<GroundProgram>(Instantiate(entity, masters, rules));
+    engine = std::make_unique<ChaseEngine>(entity, program.get(), chase);
+  }
   // Serve the all-null chase from the engine's checkpoint: the candidate
   // completion of phase 2 checks against the same checkpoint, so each
   // entity is chased once, not twice.
@@ -54,6 +71,7 @@ EntityReport ChaseEntityPhase(const EntityInstance& entity,
   report.complete = outcome.target.IsComplete();
   if (!report.complete && completion != CompletionPolicy::kLeaveNull) {
     auto p = std::make_unique<PendingCompletion>();
+    p->columnar = std::move(columnar);
     p->program = std::move(program);
     p->engine = std::move(engine);
     *pending = std::move(p);
@@ -121,7 +139,10 @@ int ResolveBudget(int num_threads) {
 
 AccuracyService::AccuracyService(Specification spec, ServiceOptions options,
                                  int budget)
-    : spec_(std::move(spec)), options_(std::move(options)), budget_(budget) {}
+    : spec_(std::move(spec)), options_(std::move(options)), budget_(budget) {
+  dict_ = options_.dictionary != nullptr ? options_.dictionary
+                                         : std::make_shared<Dictionary>();
+}
 
 AccuracyService::~AccuracyService() = default;
 
@@ -166,10 +187,19 @@ Status AccuracyService::EnsureDefaultEngine() {
   // the checkpoint itself stays sequential (and lazy).
   const int shards = GroundShardCount();
   ThreadPool* pool = shards > 1 ? &ChasePool() : nullptr;
-  program_ = std::make_unique<GroundProgram>(
-      Instantiate(spec_.ie, spec_.masters, spec_.rules, shards, pool));
-  engine_ = std::make_unique<ChaseEngine>(spec_.ie, program_.get(),
-                                          spec_.config, pool);
+  if (options_.columnar_storage) {
+    cie_ = std::make_unique<ColumnarRelation>(
+        ColumnarRelation::FromRelation(spec_.ie, dict_.get()));
+    program_ = std::make_unique<GroundProgram>(
+        Instantiate(*cie_, spec_.masters, spec_.rules, shards, pool));
+    engine_ = std::make_unique<ChaseEngine>(*cie_, program_.get(),
+                                            spec_.config, pool);
+  } else {
+    program_ = std::make_unique<GroundProgram>(
+        Instantiate(spec_.ie, spec_.masters, spec_.rules, shards, pool));
+    engine_ = std::make_unique<ChaseEngine>(spec_.ie, program_.get(),
+                                            spec_.config, pool, dict_.get());
+  }
   engine_token_ = NewBindingToken();
   return Status::OK();
 }
@@ -221,6 +251,17 @@ Result<ChaseOutcome> AccuracyService::DeduceEntity() {
 Result<ChaseOutcome> AccuracyService::DeduceEntity(const Relation& entity) {
   const int shards = GroundShardCount();
   ThreadPool* pool = shards > 1 ? &ChasePool() : nullptr;
+  if (options_.columnar_storage) {
+    // One-shot: a call-local dictionary, so no state (or memory) is
+    // retained by the service for ad-hoc entities.
+    Dictionary local_dict;
+    const ColumnarRelation cie =
+        ColumnarRelation::FromRelation(entity, &local_dict);
+    const GroundProgram program =
+        Instantiate(cie, spec_.masters, spec_.rules, shards, pool);
+    ChaseEngine engine(cie, &program, spec_.config, pool);
+    return engine.RunFromInitial();
+  }
   const GroundProgram program =
       Instantiate(entity, spec_.masters, spec_.rules, shards, pool);
   ChaseEngine engine(entity, &program, spec_.config, pool);
@@ -310,26 +351,42 @@ AccuracyService::StartInteractionImpl(InteractionOptions options,
   auto session = std::unique_ptr<InteractionSession>(
       new InteractionSession(this, std::move(options)));
   const Relation* ie;
+  const ColumnarRelation* cie = nullptr;
   const GroundProgram* program;
   if (own_ie == nullptr) {
     RELACC_RETURN_NOT_OK(EnsureDefaultEngine());
     ie = &spec_.ie;
+    cie = cie_.get();
     program = program_.get();
   } else {
     session->own_ie_ = std::move(own_ie);
     const int shards = GroundShardCount();
     ThreadPool* pool = shards > 1 ? &ChasePool() : nullptr;
-    session->own_program_ = std::make_unique<GroundProgram>(Instantiate(
-        *session->own_ie_, spec_.masters, spec_.rules, shards, pool));
     ie = session->own_ie_.get();
+    if (options_.columnar_storage) {
+      session->own_cie_ = std::make_unique<ColumnarRelation>(
+          ColumnarRelation::FromRelation(*ie, dict_.get()));
+      cie = session->own_cie_.get();
+      session->own_program_ = std::make_unique<GroundProgram>(
+          Instantiate(*cie, spec_.masters, spec_.rules, shards, pool));
+    } else {
+      session->own_program_ = std::make_unique<GroundProgram>(Instantiate(
+          *session->own_ie_, spec_.masters, spec_.rules, shards, pool));
+    }
     program = session->own_program_.get();
   }
   // Session-owned engine either way: the ResumeWith trail session is
   // engine state, so concurrent interactions must not share one engine.
   // Default-entity sessions still share the service checkpoint by
-  // pointer (no second all-null chase).
-  session->engine_ =
-      std::make_unique<ChaseEngine>(*ie, program, spec_.config);
+  // pointer (no second all-null chase) — which requires the session
+  // engine to intern into the same dictionary as the service engine.
+  if (cie != nullptr) {
+    session->engine_ =
+        std::make_unique<ChaseEngine>(*cie, program, spec_.config);
+  } else {
+    session->engine_ = std::make_unique<ChaseEngine>(
+        *ie, program, spec_.config, nullptr, dict_.get());
+  }
   if (session->own_ie_ == nullptr) {
     session->engine_->AdoptCheckpointFrom(*engine_);
   }
@@ -497,10 +554,13 @@ PipelineSession::WindowResult PipelineSession::ProcessWindow(
   WindowResult result;
   result.reports.resize(entities.size());
   std::vector<std::unique_ptr<PendingCompletion>> pending(entities.size());
+  Dictionary* const dict =
+      service_->options_.columnar_storage ? service_->dict_.get() : nullptr;
   service_->ChasePool().ParallelFor(count, [&](int64_t k) {
     result.reports[static_cast<std::size_t>(k)] = ChaseEntityPhase(
         entities[static_cast<std::size_t>(k)], spec.masters, spec.rules,
-        spec.config, completion_, &pending[static_cast<std::size_t>(k)]);
+        spec.config, completion_, dict,
+        &pending[static_cast<std::size_t>(k)]);
   });
 
   std::vector<int64_t> todo;

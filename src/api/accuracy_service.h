@@ -15,6 +15,8 @@
 
 #include "chase/chase_engine.h"
 #include "chase/specification.h"
+#include "core/columnar.h"
+#include "core/dictionary.h"
 #include "core/relation.h"
 #include "pipeline/pipeline.h"
 #include "topk/preference.h"
@@ -68,6 +70,23 @@ struct ServiceOptions {
   /// Off by default: programmatic callers often assemble specs that are
   /// correct by construction and should not pay the analysis.
   bool validate_spec = false;
+
+  /// Store and chase the spec's entity instances dictionary-encoded
+  /// (core/columnar.h): terms are interned once into the service
+  /// dictionary, and grounding/chasing run on integer columns. Reports
+  /// and outcomes are byte-identical to the row path for every setting
+  /// (enforced by tests); what changes is the memory and cache profile —
+  /// O(distinct terms) Values plus 4-byte ids instead of a Value per
+  /// cell. The row Relation stays the public-API boundary either way.
+  bool columnar_storage = false;
+
+  /// The term dictionary the service interns into. Null (the default)
+  /// makes the service create its own; pass one to share terms across
+  /// services or to reuse a dictionary built at parse time
+  /// (SpecDocument::dict). Used by both storage modes — the engines'
+  /// TermId-encoded checkpoints are shared across workers and sessions,
+  /// which requires a common dictionary regardless of storage layout.
+  std::shared_ptr<Dictionary> dictionary;
 };
 
 /// Per-session options of AccuracyService::StartPipeline.
@@ -225,6 +244,15 @@ class AccuracyService {
   /// The resolved default streaming window.
   int64_t default_window() const { return options_.window; }
 
+  /// The service-wide term dictionary (ServiceOptions::dictionary or
+  /// service-created): every engine the service builds interns into it,
+  /// so TermId-encoded checkpoints stay portable across the default
+  /// engine, checker worker engines, completion slots and sessions.
+  Dictionary* dictionary() const { return dict_.get(); }
+
+  /// Whether entity instances are stored and chased dictionary-encoded.
+  bool columnar_storage() const { return options_.columnar_storage; }
+
   /// Opens a streaming pipeline session. Rejects managed TopKOptions
   /// knobs (num_threads/checker) and negative windows with
   /// kInvalidArgument.
@@ -325,10 +353,16 @@ class AccuracyService {
   ServiceOptions options_;
   int budget_;
 
+  /// The service-wide dictionary; never null after construction.
+  std::shared_ptr<Dictionary> dict_;
+
   std::unique_ptr<ThreadPool> pool_;
 
   // Lazily-grounded state of the spec's own entity instance; engine_
-  // owns the shared all-null checkpoint.
+  // owns the shared all-null checkpoint. Under columnar storage, cie_
+  // is the dictionary-encoded spec_.ie the engine reads its columns
+  // from (and must outlive the engine).
+  std::unique_ptr<ColumnarRelation> cie_;
   std::unique_ptr<GroundProgram> program_;
   std::unique_ptr<ChaseEngine> engine_;
   uint64_t engine_token_ = 0;
@@ -523,8 +557,11 @@ class InteractionSession {
   InteractionOptions options_;
 
   // For sessions over a caller-supplied entity; default-entity sessions
-  // borrow the service's relation and program instead.
+  // borrow the service's relation and program instead. Under columnar
+  // storage, own_cie_ is the encoded form the session engine reads
+  // (interned into the service dictionary).
   std::unique_ptr<Relation> own_ie_;
+  std::unique_ptr<ColumnarRelation> own_cie_;
   std::unique_ptr<GroundProgram> own_program_;
 
   std::unique_ptr<ChaseEngine> engine_;  ///< always session-owned

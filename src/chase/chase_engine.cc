@@ -10,10 +10,12 @@
 namespace relacc {
 
 /// Mutable per-run state; one instance per Run() call so the engine itself
-/// stays const and reusable.
+/// stays const and reusable. Everything is dictionary-encoded: te slots
+/// are TermIds (4 bytes, trivially copyable), so the kCopy strategy's
+/// deep copy and the kTrail journal both shrank with the columnar layer.
 struct ChaseEngine::RunState {
   std::vector<PartialOrder> orders;
-  std::vector<Value> te;
+  std::vector<TermId> te;
   /// Provenance of each set te slot (rule id or a kBy* sentinel), for
   /// violation messages; parallel to `te`, kByDesignated where unset.
   std::vector<int32_t> te_rule;
@@ -47,36 +49,92 @@ struct ChaseEngine::RunState {
 ChaseEngine::~ChaseEngine() = default;
 
 ChaseEngine::ChaseEngine(const Relation& ie, const GroundProgram* program,
-                         ChaseConfig config, ThreadPool* build_pool)
-    : ie_(ie),
+                         ChaseConfig config, ThreadPool* build_pool,
+                         Dictionary* dict)
+    : ie_(&ie),
+      schema_(&ie.schema()),
+      dict_(dict),
       program_(program),
       config_(config),
       n_(ie.size()),
       num_attrs_(ie.schema().size()) {
-  te_watch_.resize(num_attrs_);
-  attr_has_order_watch_.assign(num_attrs_, 0);
+  if (dict_ == nullptr) {
+    owned_dict_ = std::make_unique<Dictionary>();
+    dict_ = owned_dict_.get();
+  }
   columns_.resize(num_attrs_);
-  value_index_.resize(num_attrs_);
+  value_groups_.resize(num_attrs_);
+  value_slot_.resize(num_attrs_);
   for (AttrId a = 0; a < num_attrs_; ++a) {
     columns_[a].reserve(n_);
     for (int i = 0; i < n_; ++i) {
-      const Value& v = ie.tuple(i).at(a);
-      columns_[a].push_back(v);
-      if (!v.is_null()) value_index_[a][v].push_back(i);
+      const TermId id = dict_->Intern(ie.tuple(i).at(a));
+      columns_[a].push_back(id);
+      if (id == kNullTermId) continue;
+      auto [it, inserted] = value_slot_[a].try_emplace(
+          id, static_cast<int32_t>(value_groups_[a].size()));
+      if (inserted) value_groups_[a].emplace_back();
+      value_groups_[a][it->second].push_back(i);
     }
   }
+  BuildIndex(build_pool);
+}
+
+ChaseEngine::ChaseEngine(const ColumnarRelation& ie,
+                         const GroundProgram* program, ChaseConfig config,
+                         ThreadPool* build_pool)
+    : cie_(&ie),
+      schema_(&ie.schema()),
+      dict_(ie.mutable_dict()),
+      program_(program),
+      config_(config),
+      n_(ie.size()),
+      num_attrs_(ie.schema().size()) {
+  columns_.resize(num_attrs_);
+  value_groups_.resize(num_attrs_);
+  value_slot_.resize(num_attrs_);
+  for (AttrId a = 0; a < num_attrs_; ++a) {
+    columns_[a] = ie.column(a);  // already this dictionary's ids
+    for (int i = 0; i < n_; ++i) {
+      const TermId id = columns_[a][i];
+      if (id == kNullTermId) continue;
+      auto [it, inserted] = value_slot_[a].try_emplace(
+          id, static_cast<int32_t>(value_groups_[a].size()));
+      if (inserted) value_groups_[a].emplace_back();
+      value_groups_[a][it->second].push_back(i);
+    }
+  }
+  BuildIndex(build_pool);
+}
+
+const Relation& ChaseEngine::ie() const {
+  if (ie_ != nullptr) return *ie_;
+  // Columnar engine: the row adapter exists only for consumers that walk
+  // tuples (top-k search-space builders); built once, thread-safely.
+  std::call_once(ie_once_, [this] {
+    materialized_ie_ = std::make_unique<Relation>(cie_->ToRelation());
+  });
+  return *materialized_ie_;
+}
+
+void ChaseEngine::BuildIndex(ThreadPool* build_pool) {
+  te_watch_.resize(num_attrs_);
+  attr_has_order_watch_.assign(num_attrs_, 0);
   const auto& steps = program_->steps;
   remaining0_.resize(steps.size());
+  step_te_.assign(steps.size(), kNullTermId);
 
   // Watch lists keyed by (step, residual predicate) — the Γ-sized part
   // of the index. A shard scans a contiguous step range into private
   // maps/lists; the merge appends them in shard order, so every per-key
   // watcher list comes out in ascending step order exactly as the serial
   // scan would emit it. Below the cutoff (or with no pool) the fan-out
-  // would cost more than the scan.
+  // would cost more than the scan. Residual te constants (and kSetTe
+  // payloads) are interned here once, so the chase loop compares ids;
+  // Dictionary::Intern is thread-safe, which the sharded build leans on.
   struct WatchShard {
     std::unordered_map<uint64_t, std::vector<int32_t>> order_watch;
-    std::vector<std::vector<std::pair<int32_t, int32_t>>> te_watch;
+    std::vector<std::vector<TeWatch>> te_watch;
     std::vector<char> attr_has_order_watch;
   };
   const auto scan_steps = [&](int32_t begin, int32_t end, auto&& order_emit,
@@ -84,6 +142,9 @@ ChaseEngine::ChaseEngine(const Relation& ie, const GroundProgram* program,
     for (int32_t s = begin; s < end; ++s) {
       const GroundStep& step = steps[s];
       remaining0_[s] = static_cast<int>(step.residual.size());
+      if (step.kind == GroundStep::Kind::kSetTe) {
+        step_te_[s] = dict_->Intern(step.te_value);
+      }
       for (int32_t p = 0; p < static_cast<int32_t>(step.residual.size());
            ++p) {
         const GroundPredicate& g = step.residual[p];
@@ -94,6 +155,9 @@ ChaseEngine::ChaseEngine(const Relation& ie, const GroundProgram* program,
         }
       }
     }
+  };
+  const auto make_watch = [&](const GroundPredicate& g, int32_t s, int32_t p) {
+    return TeWatch{s, p, g.op, dict_->Intern(g.constant)};
   };
   constexpr std::size_t kParallelBuildCutoff = 2048;
   const int shards =
@@ -108,7 +172,7 @@ ChaseEngine::ChaseEngine(const Relation& ie, const GroundProgram* program,
                  attr_has_order_watch_[g.attr] = 1;
                },
                [&](const GroundPredicate& g, int32_t s, int32_t p) {
-                 te_watch_[g.attr].emplace_back(s, p);
+                 te_watch_[g.attr].push_back(make_watch(g, s, p));
                });
     return;
   }
@@ -128,7 +192,7 @@ ChaseEngine::ChaseEngine(const Relation& ie, const GroundProgram* program,
                  part.attr_has_order_watch[g.attr] = 1;
                },
                [&](const GroundPredicate& g, int32_t s, int32_t p) {
-                 part.te_watch[g.attr].emplace_back(s, p);
+                 part.te_watch[g.attr].push_back(make_watch(g, s, p));
                });
   });
   for (WatchShard& part : parts) {
@@ -155,12 +219,26 @@ void ChaseEngine::EmitOrderEvent(RunState* st, AttrId attr, int i,
   }
 }
 
-void ChaseEngine::EmitTeEvent(RunState* st, AttrId attr,
-                              const Value& v) const {
-  for (const auto& [s, p] : te_watch_[attr]) {
+void ChaseEngine::EmitTeEvent(RunState* st, AttrId attr, TermId v) const {
+  for (const TeWatch& w : te_watch_[attr]) {
+    const int32_t s = w.step;
     if (st->dead[s]) continue;
-    const GroundPredicate& g = program_->steps[s].residual[p];
-    if (EvalCompare(g.op, v, g.constant)) {
+    // Interning is canonical (Value equality == id equality), so the
+    // dominant kEq/kNe compares run on ids; order comparisons — rare in
+    // residuals — fall back to the dictionary values.
+    bool holds;
+    switch (w.op) {
+      case CompareOp::kEq:
+        holds = v == w.constant;
+        break;
+      case CompareOp::kNe:
+        holds = v != w.constant;
+        break;
+      default:
+        holds = EvalCompare(w.op, dict_->value(v), dict_->value(w.constant));
+        break;
+    }
+    if (holds) {
       if (st->trail.enabled) st->trail.remaining_dec.push_back(s);
       if (--st->remaining[s] == 0) st->queue.push_back(s);
     } else {
@@ -210,7 +288,7 @@ bool ChaseEngine::ApplyAddPair(RunState* st, AttrId attr, int i, int j,
       }
       if (opposite != rule_id) break;
     }
-    st->violation = "order conflict on attribute " + ie_.schema().name(attr) +
+    st->violation = "order conflict on attribute " + schema_->name(attr) +
                     " (pair derived by " + RuleNameOf(rule_id);
     if (found) {
       st->violation += ", opposite order derivable by " + RuleNameOf(opposite);
@@ -236,15 +314,15 @@ bool ChaseEngine::ApplyAddPair(RunState* st, AttrId attr, int i, int j,
   return true;
 }
 
-bool ChaseEngine::ApplySetTe(RunState* st, AttrId attr, const Value& v,
+bool ChaseEngine::ApplySetTe(RunState* st, AttrId attr, TermId v,
                              int32_t rule_id) const {
-  Value& slot = st->te[attr];
-  if (!slot.is_null()) {
+  TermId& slot = st->te[attr];
+  if (slot != kNullTermId) {
     if (slot == v) return true;  // no-op
     st->violation = "conflicting target values for attribute " +
-                    ie_.schema().name(attr) + ": " + slot.ToString() +
+                    schema_->name(attr) + ": " + TermToString(slot) +
                     " (set by " + RuleNameOf(st->te_rule[attr]) + ") vs " +
-                    v.ToString() + " (from " + RuleNameOf(rule_id) +
+                    TermToString(v) + " (from " + RuleNameOf(rule_id) +
                     "); `relacc lint` flags such rule pairs as "
                     "cr-assign-conflict";
     return false;
@@ -257,9 +335,9 @@ bool ChaseEngine::ApplySetTe(RunState* st, AttrId attr, const Value& v,
     // Axiom ϕ8: the defined target value anchors the top of ⪯_attr. The
     // anchored pairs inherit the setter's provenance — a conflict they
     // cause traces back to the rule that set te[attr].
-    auto it = value_index_[attr].find(v);
-    if (it != value_index_[attr].end()) {
-      for (int j : it->second) {
+    auto it = value_slot_[attr].find(v);
+    if (it != value_slot_[attr].end()) {
+      for (int j : value_groups_[attr][it->second]) {
         for (int i = 0; i < n_; ++i) {
           if (i == j) continue;
           if (!ApplyAddPair(st, attr, i, j, rule_id)) return false;
@@ -281,16 +359,16 @@ bool ChaseEngine::FlushLambda(RunState* st) const {
     st->attr_dirty[attr] = 0;
     const int g = st->orders[attr].GreatestElement();
     if (g < 0) continue;
-    const Value& val = columns_[attr][g];
-    if (val.is_null()) continue;  // never instantiate te with null
-    if (st->te[attr].is_null()) {
+    const TermId val = columns_[attr][g];
+    if (val == kNullTermId) continue;  // never instantiate te with null
+    if (st->te[attr] == kNullTermId) {
       if (!ApplySetTe(st, attr, val, kByLambda)) return false;
-    } else if (!(st->te[attr] == val)) {
+    } else if (st->te[attr] != val) {
       st->violation = "lambda would overwrite target attribute " +
-                      ie_.schema().name(attr) + ": " +
-                      st->te[attr].ToString() + " (set by " +
+                      schema_->name(attr) + ": " +
+                      TermToString(st->te[attr]) + " (set by " +
                       RuleNameOf(st->te_rule[attr]) + ") vs " +
-                      val.ToString() +
+                      TermToString(val) +
                       " (the greatest element of the derived order)";
       return false;
     }
@@ -298,9 +376,22 @@ bool ChaseEngine::FlushLambda(RunState* st) const {
   return true;
 }
 
+std::string ChaseEngine::TermToString(TermId id) const {
+  return dict_->value(id).ToString();
+}
+
+Tuple ChaseEngine::MaterializeTe(const std::vector<TermId>& te) const {
+  std::vector<Value> values;
+  values.reserve(num_attrs_);
+  for (AttrId a = 0; a < num_attrs_; ++a) {
+    values.push_back(MaterializeAs(*dict_, te[a], schema_->type(a)));
+  }
+  return Tuple(std::move(values));
+}
+
 bool ChaseEngine::InitState(RunState* st_ptr, const Tuple& initial_te) const {
   RunState& st = *st_ptr;
-  st.te.assign(num_attrs_, Value::Null());
+  st.te.assign(num_attrs_, kNullTermId);
   st.te_rule.assign(num_attrs_, kByDesignated);
   st.remaining = remaining0_;
   st.dead.assign(program_->steps.size(), 0);
@@ -325,17 +416,18 @@ bool ChaseEngine::InitState(RunState* st_ptr, const Tuple& initial_te) const {
     for (AttrId a = 0; a < num_attrs_ && ok; ++a) {
       std::vector<int> nulls;
       for (int i = 0; i < n_; ++i) {
-        if (columns_[a][i].is_null()) nulls.push_back(i);
+        if (columns_[a][i] == kNullTermId) nulls.push_back(i);
       }
-      // ϕ9 over non-null duplicates.
-      for (const auto& [value, indices] : value_index_[a]) {
-        (void)value;
+      // ϕ9 over non-null duplicates, in first-seen group order (stable
+      // across the row and columnar construction paths).
+      for (const std::vector<int>& indices : value_groups_[a]) {
         for (std::size_t x = 0; x < indices.size() && ok; ++x) {
           for (std::size_t y = x + 1; y < indices.size() && ok; ++y) {
             ok = ApplyAddPair(&st, a, indices[x], indices[y], kByAxiom) &&
                  ApplyAddPair(&st, a, indices[y], indices[x], kByAxiom);
           }
         }
+        if (!ok) break;
       }
       // ϕ9 over nulls (null = null holds) and ϕ7 null -> non-null.
       for (std::size_t x = 0; x < nulls.size() && ok; ++x) {
@@ -346,7 +438,7 @@ bool ChaseEngine::InitState(RunState* st_ptr, const Tuple& initial_te) const {
       }
       for (std::size_t x = 0; x < nulls.size() && ok; ++x) {
         for (int j = 0; j < n_ && ok; ++j) {
-          if (!columns_[a][j].is_null()) {
+          if (columns_[a][j] != kNullTermId) {
             ok = ApplyAddPair(&st, a, nulls[x], j, kByAxiom);
           }
         }
@@ -357,7 +449,7 @@ bool ChaseEngine::InitState(RunState* st_ptr, const Tuple& initial_te) const {
   // for the candidate-target check; partial after user interaction).
   for (AttrId a = 0; a < num_attrs_ && ok; ++a) {
     if (a < initial_te.size() && !initial_te.at(a).is_null()) {
-      ok = ApplySetTe(&st, a, initial_te.at(a), kByDesignated);
+      ok = ApplySetTe(&st, a, dict_->Intern(initial_te.at(a)), kByDesignated);
     }
   }
   if (ok) ok = FlushLambda(&st);
@@ -380,7 +472,7 @@ bool ChaseEngine::DrainQueue(RunState* st_ptr) const {
     if (step.kind == GroundStep::Kind::kAddOrder) {
       applied_ok = ApplyAddPair(&st, step.attr, step.i, step.j, step.rule_id);
     } else {
-      applied_ok = ApplySetTe(&st, step.attr, step.te_value, step.rule_id);
+      applied_ok = ApplySetTe(&st, step.attr, step_te_[s], step.rule_id);
     }
     if (applied_ok) applied_ok = FlushLambda(&st);
     if (!applied_ok) return false;
@@ -401,7 +493,7 @@ ChaseOutcome ChaseEngine::Run(const Tuple& initial_te) const {
   }
   ChaseOutcome out;
   out.church_rosser = true;
-  out.target = Tuple(std::move(st.te));
+  out.target = MaterializeTe(st.te);
   out.stats = st.stats;
   if (config_.keep_orders) out.orders = std::move(st.orders);
   return out;
@@ -452,7 +544,7 @@ ChaseEngine::RunState* ChaseEngine::EnsureSessionState() const {
     session_state_ = std::make_unique<RunState>(*checkpoint_);
     for (PartialOrder& order : session_state_->orders) order.EnableTrail();
     session_state_->trail.enabled = true;
-    session_te_ = Tuple(std::vector<Value>(num_attrs_, Value::Null()));
+    session_te_.assign(num_attrs_, kNullTermId);
     MarkState(*session_state_, &session_base_);
     MarkState(*session_state_, &session_mark_);
   }
@@ -461,10 +553,12 @@ ChaseEngine::RunState* ChaseEngine::EnsureSessionState() const {
 
 bool ChaseEngine::ExtendsSession(const Tuple& extra_te) const {
   for (AttrId a = 0; a < num_attrs_; ++a) {
-    const Value& applied = session_te_.at(a);
-    if (applied.is_null()) continue;
+    const TermId applied = session_te_[a];
+    if (applied == kNullTermId) continue;
+    // Id equality is value equality: Intern returns the applied id iff
+    // the revision carries an ==-equal value.
     if (a >= extra_te.size() || extra_te.at(a).is_null() ||
-        !(extra_te.at(a) == applied)) {
+        dict_->Intern(extra_te.at(a)) != applied) {
       return false;
     }
   }
@@ -475,7 +569,7 @@ bool ChaseEngine::ContinueWith(RunState* st, const Tuple& te) const {
   bool ok = true;
   for (AttrId a = 0; a < num_attrs_ && ok; ++a) {
     if (a >= te.size() || te.at(a).is_null()) continue;
-    ok = ApplySetTe(st, a, te.at(a), kByDesignated);
+    ok = ApplySetTe(st, a, dict_->Intern(te.at(a)), kByDesignated);
   }
   if (ok) ok = FlushLambda(st);
   if (ok) ok = DrainQueue(st);
@@ -498,7 +592,7 @@ void ChaseEngine::MarkState(const RunState& st, StateMark* mark) const {
 void ChaseEngine::RollbackTo(RunState* st, const StateMark& mark) const {
   RunState::Trail& trail = st->trail;
   while (trail.te_set.size() > mark.te_set) {
-    st->te[trail.te_set.back()] = Value::Null();
+    st->te[trail.te_set.back()] = kNullTermId;
     st->te_rule[trail.te_set.back()] = kByDesignated;
     trail.te_set.pop_back();
   }
@@ -571,7 +665,7 @@ ChaseOutcome ChaseEngine::ResumeWith(const Tuple& extra_te) const {
       return out;
     }
     out.church_rosser = true;
-    out.target = Tuple(std::move(st.te));
+    out.target = MaterializeTe(st.te);
     if (config_.keep_orders) out.orders = std::move(st.orders);
     return out;
   }
@@ -587,7 +681,7 @@ ChaseOutcome ChaseEngine::ResumeWith(const Tuple& extra_te) const {
   RunState* st = EnsureSessionState();
   if (!ExtendsSession(extra_te)) {
     RollbackTo(st, session_base_);
-    session_te_ = Tuple(std::vector<Value>(num_attrs_, Value::Null()));
+    session_te_.assign(num_attrs_, kNullTermId);
     MarkState(*st, &session_mark_);
   }
   const ChaseStats before = st->stats;
@@ -595,7 +689,7 @@ ChaseOutcome ChaseEngine::ResumeWith(const Tuple& extra_te) const {
   out.stats = ResumeDelta(st->stats, before);
   if (ok) {
     out.church_rosser = true;
-    out.target = Tuple(st->te);
+    out.target = MaterializeTe(st->te);
     // Materializing orders copies the bit-matrices — the one O(state)
     // cost left, paid only when the caller asked to keep them. The
     // copies skip the session's journal: callers get the same trail-free
@@ -607,10 +701,10 @@ ChaseOutcome ChaseEngine::ResumeWith(const Tuple& extra_te) const {
       }
     }
     // The successful continuation becomes the new session prefix.
-    Tuple applied(std::vector<Value>(num_attrs_, Value::Null()));
+    std::vector<TermId> applied(num_attrs_, kNullTermId);
     for (AttrId a = 0; a < num_attrs_; ++a) {
       if (a < extra_te.size() && !extra_te.at(a).is_null()) {
-        applied.set(a, extra_te.at(a));
+        applied[a] = dict_->Intern(extra_te.at(a));
       }
     }
     session_te_ = std::move(applied);
@@ -633,7 +727,7 @@ ChaseOutcome ChaseEngine::RunFromCheckpoint() const {
     return out;
   }
   out.church_rosser = true;
-  out.target = Tuple(checkpoint_->te);
+  out.target = MaterializeTe(checkpoint_->te);
   out.stats = checkpoint_->stats;
   if (config_.keep_orders) out.orders = checkpoint_->orders;
   return out;

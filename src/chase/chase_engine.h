@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "chase/specification.h"
+#include "core/columnar.h"
+#include "core/dictionary.h"
 #include "core/relation.h"
 #include "rules/grounding.h"
 
@@ -37,7 +40,25 @@ class ChaseEngine {
   /// the shared all-null checkpoint (the chase itself is inherently
   /// sequential), so large-|Ie| services pass their budget pool here;
   /// the pool is only used during the constructor and not retained.
+  ///
+  /// Internally the engine is dictionary-encoded end to end: the Ie
+  /// columns, the te slots of every run state, the ϕ8/ϕ9 value index and
+  /// the residual-constant watch entries are all TermIds interned into
+  /// `dict` (Value equality == id equality by the interning contract), so
+  /// the chase hot loop compares integers, not Values. Pass a shared
+  /// dictionary so sibling engines — checker worker pools, pipeline
+  /// windows, serve sessions — intern each distinct term once and can
+  /// share checkpoints (AdoptCheckpointFrom requires a common
+  /// dictionary); with dict == nullptr the engine owns a private one.
   ChaseEngine(const Relation& ie, const GroundProgram* program,
+              ChaseConfig config, ThreadPool* build_pool = nullptr,
+              Dictionary* dict = nullptr);
+
+  /// Columnar-native construction: chases `ie` without ever holding a
+  /// row copy (the dictionary is ie.mutable_dict()). ie() materializes a
+  /// row adapter lazily for the few consumers that still need tuples
+  /// (the top-k search-space builders); grounding and chasing never do.
+  ChaseEngine(const ColumnarRelation& ie, const GroundProgram* program,
               ChaseConfig config, ThreadPool* build_pool = nullptr);
 
   ChaseEngine(const ChaseEngine&) = delete;
@@ -112,9 +133,16 @@ class ChaseEngine {
   /// failing all-null chase's own stats are reported.
   ChaseOutcome ResumeWith(const Tuple& extra_te) const;
 
-  const Relation& ie() const { return ie_; }
+  /// Row view of Ie. For a row-constructed engine this is the caller's
+  /// relation; for a columnar engine a row adapter is materialized (and
+  /// cached) on first call — the chase itself never needs it.
+  const Relation& ie() const;
   const GroundProgram& program() const { return *program_; }
   const ChaseConfig& config() const { return config_; }
+
+  /// The term dictionary this engine encodes against (shared or owned).
+  const Dictionary& dict() const { return *dict_; }
+  Dictionary* mutable_dict() const { return dict_; }
 
  private:
   struct RunState;
@@ -185,14 +213,25 @@ class ChaseEngine {
   // provenance of the pair being inserted.
   bool ApplyAddPair(RunState* st, AttrId attr, int i, int j,
                     int32_t rule_id) const;
-  // Applies te[attr] := v. Returns false on a violation.
-  bool ApplySetTe(RunState* st, AttrId attr, const Value& v,
-                  int32_t rule_id) const;
+  // Applies te[attr] := v (an interned id). Returns false on a violation.
+  bool ApplySetTe(RunState* st, AttrId attr, TermId v, int32_t rule_id) const;
   // Re-evaluates λ for attributes whose order changed.
   bool FlushLambda(RunState* st) const;
 
   void EmitOrderEvent(RunState* st, AttrId attr, int i, int j) const;
-  void EmitTeEvent(RunState* st, AttrId attr, const Value& v) const;
+  void EmitTeEvent(RunState* st, AttrId attr, TermId v) const;
+
+  // Shared body of both constructors (columns/value groups are already
+  // encoded when it runs): watch lists, residual counters, step te ids.
+  void BuildIndex(ThreadPool* build_pool);
+
+  // Encodes te ids back into a boundary Tuple, coercing numeric
+  // representatives to the schema column type so outcomes are
+  // byte-identical to the row path on type-consistent data.
+  Tuple MaterializeTe(const std::vector<TermId>& te) const;
+
+  // dict_->value(id).ToString() with null id -> "" (violation messages).
+  std::string TermToString(TermId id) const;
 
   uint64_t OrderKey(AttrId attr, int i, int j) const {
     return (static_cast<uint64_t>(attr) * static_cast<uint64_t>(n_) +
@@ -201,7 +240,17 @@ class ChaseEngine {
            static_cast<uint64_t>(j);
   }
 
-  const Relation& ie_;
+  /// Exactly one of ie_/cie_ is set at construction; ie() materializes a
+  /// cached row adapter for columnar engines on demand.
+  const Relation* ie_ = nullptr;
+  const ColumnarRelation* cie_ = nullptr;
+  mutable std::unique_ptr<Relation> materialized_ie_;
+  mutable std::once_flag ie_once_;
+  const Schema* schema_;
+  /// Shared (caller-owned) or private term dictionary; columns_, watch
+  /// constants and every RunState te slot are ids into it.
+  Dictionary* dict_;
+  std::unique_ptr<Dictionary> owned_dict_;
   const GroundProgram* program_;
   ChaseConfig config_;
   int n_;
@@ -211,13 +260,28 @@ class ChaseEngine {
   std::unordered_map<uint64_t, std::vector<int32_t>> order_watch_;
   /// Per attribute: 1 iff some ground step watches an order pair of it.
   std::vector<char> attr_has_order_watch_;
-  /// Per attribute: (step, predicate index) pairs watching te[attr].
-  std::vector<std::vector<std::pair<int32_t, int32_t>>> te_watch_;
-  /// Column values per attribute (cache for orders & the ϕ8 anchor).
-  std::vector<std::vector<Value>> columns_;
-  /// Per attribute: value -> tuple indices carrying it (ϕ8 anchor).
-  std::vector<std::unordered_map<Value, std::vector<int>, ValueHash>>
-      value_index_;
+  /// One entry per residual te-compare: the watching step/predicate plus
+  /// the comparison pre-encoded (kEq/kNe run on ids alone; order ops
+  /// fall back to the dictionary values).
+  struct TeWatch {
+    int32_t step;
+    int32_t pred;
+    CompareOp op;
+    TermId constant;
+  };
+  /// Per attribute: watchers of te[attr].
+  std::vector<std::vector<TeWatch>> te_watch_;
+  /// kSetTe payloads pre-interned per ground step (kNullTermId for
+  /// kAddOrder steps), so DrainQueue never touches a Value.
+  std::vector<TermId> step_te_;
+  /// Dictionary-encoded column per attribute (orders & the ϕ8 anchor).
+  std::vector<std::vector<TermId>> columns_;
+  /// Per attribute: groups of tuple indices sharing a non-null value, in
+  /// first-seen row order — deterministic and representation-independent
+  /// (the row and columnar paths emit ϕ9 pairs in the same order) —
+  /// plus an id -> group index for the ϕ8 anchor lookup.
+  std::vector<std::vector<std::vector<int>>> value_groups_;
+  std::vector<std::unordered_map<TermId, int32_t>> value_slot_;
 
   /// Lazily-built checkpoint for CheckCandidate (terminal all-null state).
   /// Immutable once built and shared by pointer across the per-worker
@@ -232,10 +296,10 @@ class ChaseEngine {
   /// Scratch mark for the per-candidate probe bracket (reused).
   mutable StateMark probe_mark_;
   /// kTrail resume session (ResumeWith): state, applied designated
-  /// values, and the rollback points at the checkpoint and at the end of
-  /// the applied prefix.
+  /// values (interned; kNullTermId = unset), and the rollback points at
+  /// the checkpoint and at the end of the applied prefix.
   mutable std::unique_ptr<RunState> session_state_;
-  mutable Tuple session_te_;
+  mutable std::vector<TermId> session_te_;
   mutable StateMark session_base_;
   mutable StateMark session_mark_;
 };

@@ -284,6 +284,7 @@ Status CmdPipeline(const Args& args, std::ostream& out) {
   Result<int64_t> window = args.GetInt("window", 0);
   Result<int64_t> ground_shards = args.GetInt("ground-shards", 0);
   const std::string completion = args.GetString("completion", "best");
+  const std::string storage = args.GetString("storage", "row");
   const bool as_json = args.Has("json");
   Result<SpecDocument> doc = LoadSpec(args);
   if (!doc.ok()) return doc.status();
@@ -307,6 +308,9 @@ Status CmdPipeline(const Args& args, std::ostream& out) {
     return Status::InvalidArgument(
         "--completion must be best, heuristic or none");
   }
+  if (storage != "row" && storage != "columnar") {
+    return Status::InvalidArgument("--storage must be row or columnar");
+  }
   const Specification& spec = doc.value().spec;
   const Schema& schema = spec.ie.schema();
   ResolverConfig resolver;
@@ -325,6 +329,12 @@ Status CmdPipeline(const Args& args, std::ostream& out) {
   service_options.ground_shards = static_cast<int>(ground_shards.value());
   if (window.value() > 0) {
     service_options.window = window.value();
+  }
+  if (storage == "columnar") {
+    // Dictionary-encoded storage, seeded with the parse-time dictionary
+    // (SpecDocument::dict) so the service never re-interns the document.
+    service_options.columnar_storage = true;
+    service_options.dictionary = doc.value().dict;
   }
   Result<PipelineReport> finished = StreamResolvedEntities(
       spec, std::move(resolution.entities), std::move(service_options));
@@ -768,7 +778,7 @@ std::string CliUsage() {
       "  pipeline  flat relation -> entity resolution -> per-entity targets\n"
       "            --key <attr[,attr...]> [--threads N] [--window N]\n"
       "            [--ground-shards N] [--completion best|heuristic|none]\n"
-      "            [--json]\n"
+      "            [--storage row|columnar] [--json]\n"
       "  interactive  the Fig. 3 user loop on one entity instance\n"
       "            [--k N]\n"
       "  serve     long-lived daemon over one AccuracyService (frame\n"

@@ -1,0 +1,134 @@
+#include "core/columnar.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "util/csv.h"
+
+namespace relacc {
+
+std::size_t GrowableBitmap::Count() const {
+  std::size_t total = 0;
+  for (uint64_t w : words_) {
+    total += static_cast<std::size_t>(__builtin_popcountll(w));
+  }
+  return total;
+}
+
+ColumnarRelation::ColumnarRelation(Schema schema, Dictionary* dict)
+    : schema_(std::move(schema)), dict_(dict) {
+  columns_.resize(schema_.size());
+  nulls_.resize(schema_.size());
+}
+
+void ColumnarRelation::Add(const Tuple& t) {
+  if (t.size() != schema_.size()) {
+    std::fprintf(stderr, "ColumnarRelation::Add: arity %d != schema %d\n",
+                 t.size(), schema_.size());
+    std::abort();
+  }
+  for (AttrId a = 0; a < schema_.size(); ++a) {
+    const TermId id = dict_->Intern(t.at(a));
+    columns_[a].push_back(id);
+    nulls_[a].PushBack(id == kNullTermId);
+  }
+  row_ids_.push_back(t.id());
+  row_sources_.push_back(t.source());
+  row_snapshots_.push_back(t.snapshot());
+  ++num_rows_;
+}
+
+void ColumnarRelation::AddEncoded(std::vector<TermId> ids, int64_t id,
+                                  int source, int snapshot) {
+  if (static_cast<int>(ids.size()) != schema_.size()) {
+    std::fprintf(stderr, "ColumnarRelation::AddEncoded: arity %d != schema %d\n",
+                 static_cast<int>(ids.size()), schema_.size());
+    std::abort();
+  }
+  for (AttrId a = 0; a < schema_.size(); ++a) {
+    columns_[a].push_back(ids[a]);
+    nulls_[a].PushBack(ids[a] == kNullTermId);
+  }
+  row_ids_.push_back(id);
+  row_sources_.push_back(source);
+  row_snapshots_.push_back(snapshot);
+  ++num_rows_;
+}
+
+ColumnarRelation ColumnarRelation::FromRelation(const Relation& rel,
+                                                Dictionary* dict) {
+  ColumnarRelation out(rel.schema(), dict);
+  for (AttrId a = 0; a < out.schema_.size(); ++a) {
+    out.columns_[a].reserve(rel.size());
+  }
+  for (const Tuple& t : rel.tuples()) out.Add(t);
+  return out;
+}
+
+Tuple ColumnarRelation::MaterializeTuple(int row) const {
+  std::vector<Value> values;
+  values.reserve(schema_.size());
+  for (AttrId a = 0; a < schema_.size(); ++a) {
+    values.push_back(MaterializeAs(*dict_, columns_[a][row], schema_.type(a)));
+  }
+  Tuple t(std::move(values));
+  t.set_id(row_ids_[row]);
+  t.set_source(row_sources_[row]);
+  t.set_snapshot(row_snapshots_[row]);
+  return t;
+}
+
+Relation ColumnarRelation::ToRelation() const {
+  Relation rel(schema_);
+  for (int row = 0; row < num_rows_; ++row) {
+    rel.Add(MaterializeTuple(row));
+  }
+  return rel;
+}
+
+Result<ColumnarRelation> ColumnarRelation::FromCsv(const Schema& schema,
+                                                   const std::string& text,
+                                                   Dictionary* dict) {
+  CsvReader reader;
+  auto rows_res = reader.Parse(text);
+  if (!rows_res.ok()) return rows_res.status();
+  const auto& rows = rows_res.value();
+  if (rows.empty()) return Status::ParseError("empty CSV");
+  if (static_cast<int>(rows[0].size()) != schema.size()) {
+    return Status::ParseError("header arity mismatch");
+  }
+  for (int a = 0; a < schema.size(); ++a) {
+    if (rows[0][a] != schema.name(a)) {
+      return Status::ParseError("header name mismatch at column " +
+                                std::to_string(a) + ": " + rows[0][a]);
+    }
+  }
+  ColumnarRelation rel(schema, dict);
+  std::vector<TermId> ids(schema.size(), kNullTermId);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    if (static_cast<int>(rows[r].size()) != schema.size()) {
+      return Status::ParseError("row arity mismatch at line " +
+                                std::to_string(r + 1));
+    }
+    for (int a = 0; a < schema.size(); ++a) {
+      auto v = Value::Parse(schema.type(a), rows[r][a]);
+      if (!v.ok()) return v.status();
+      ids[a] = dict->Intern(v.value());
+    }
+    rel.AddEncoded(ids);
+  }
+  return rel;
+}
+
+std::size_t ColumnarRelation::ApproxBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& col : columns_) bytes += col.capacity() * sizeof(TermId);
+  for (const auto& bm : nulls_) bytes += bm.ApproxBytes();
+  bytes += row_ids_.capacity() * sizeof(int64_t);
+  bytes += row_sources_.capacity() * sizeof(int32_t);
+  bytes += row_snapshots_.capacity() * sizeof(int32_t);
+  return bytes;
+}
+
+}  // namespace relacc

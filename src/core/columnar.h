@@ -1,0 +1,172 @@
+#ifndef RELACC_CORE_COLUMNAR_H_
+#define RELACC_CORE_COLUMNAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dictionary.h"
+#include "core/relation.h"
+#include "core/schema.h"
+#include "core/tuple.h"
+#include "util/status.h"
+
+namespace relacc {
+
+/// An append-only bitmap that grows with the relation (DynamicBitset is
+/// fixed-size at construction). One per attribute tracks nulls so scans
+/// like the chase's ϕ7 axiom walk words, not ids.
+class GrowableBitmap {
+ public:
+  std::size_t size() const { return size_; }
+
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void PushBack(bool bit) {
+    if ((size_ & 63) == 0) words_.push_back(0);
+    if (bit) words_.back() |= uint64_t{1} << (size_ & 63);
+    ++size_;
+  }
+
+  std::size_t Count() const;
+
+  /// Invokes fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void ForEachSet(Fn fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits) {
+        const int b = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  std::size_t ApproxBytes() const { return words_.capacity() * 8; }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+class TupleRef;
+
+/// Dictionary-encoded columnar storage for one relation: per-attribute
+/// TermId columns plus null bitmaps, with the tuple bookkeeping (id,
+/// source, snapshot) in parallel side columns so FromRelation/ToRelation
+/// round-trips exactly. Values are interned once into the (shared,
+/// caller-owned) Dictionary; equality on a column is integer equality by
+/// construction. The row-oriented Relation stays the public-API boundary
+/// type — ToRelation()/TupleRef::Materialize() are the (copying)
+/// adapters back.
+class ColumnarRelation {
+ public:
+  /// `dict` is shared and must outlive the relation; many relations
+  /// (e.g. every entity of a pipeline) typically share one dictionary.
+  ColumnarRelation(Schema schema, Dictionary* dict);
+
+  const Schema& schema() const { return schema_; }
+  const Dictionary& dict() const { return *dict_; }
+  Dictionary* mutable_dict() const { return dict_; }
+
+  int size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  /// Appends `t`, interning each value — O(attrs) dictionary probes, no
+  /// per-row heap allocation beyond amortized column growth. Aborts on
+  /// arity mismatch like Relation::Add.
+  void Add(const Tuple& t);
+
+  /// Appends a pre-encoded row (ids must come from this->dict()).
+  void AddEncoded(std::vector<TermId> ids, int64_t id = -1, int source = -1,
+                  int snapshot = -1);
+
+  TermId id_at(int row, AttrId a) const { return columns_[a][row]; }
+  bool is_null(int row, AttrId a) const {
+    return columns_[a][row] == kNullTermId;
+  }
+  const std::vector<TermId>& column(AttrId a) const { return columns_[a]; }
+  const GrowableBitmap& nulls(AttrId a) const { return nulls_[a]; }
+
+  int64_t row_id(int row) const { return row_ids_[row]; }
+  int row_source(int row) const { return row_sources_[row]; }
+  int row_snapshot(int row) const { return row_snapshots_[row]; }
+
+  /// O(1) tuple view (no materialization); see TupleRef below.
+  TupleRef tuple(int row) const;
+
+  /// Encodes a row relation (interning every value into `dict`).
+  static ColumnarRelation FromRelation(const Relation& rel, Dictionary* dict);
+
+  /// Decodes back to rows. Values are materialized via MaterializeAs
+  /// with the schema column type, so a type-consistent relation
+  /// round-trips to the exact same Values (and any relation round-trips
+  /// to operator==-equal ones); id/source/snapshot are preserved.
+  Relation ToRelation() const;
+
+  /// Row `row` as a materialized Tuple (same coercion as ToRelation).
+  Tuple MaterializeTuple(int row) const;
+
+  /// Streaming CSV parse straight into columns: each cell is parsed with
+  /// the schema column type and interned immediately, so the peak cost
+  /// is the columns plus the dictionary — never a row-relation copy.
+  /// Accepts the same format as Relation::FromCsv/ToCsv.
+  static Result<ColumnarRelation> FromCsv(const Schema& schema,
+                                          const std::string& text,
+                                          Dictionary* dict);
+
+  /// Heap footprint of the columns/bitmaps/side columns (excluding the
+  /// shared dictionary), for bench reporting.
+  std::size_t ApproxBytes() const;
+
+ private:
+  Schema schema_;
+  Dictionary* dict_;
+  int num_rows_ = 0;
+  std::vector<std::vector<TermId>> columns_;  ///< [attr][row]
+  std::vector<GrowableBitmap> nulls_;         ///< [attr], bit = is-null
+  std::vector<int64_t> row_ids_;
+  std::vector<int32_t> row_sources_;
+  std::vector<int32_t> row_snapshots_;
+};
+
+/// A lightweight non-owning view of one columnar row; valid while the
+/// relation (and rows <= this one) are alive. Mirrors the read surface
+/// of Tuple so generic code can template over either.
+class TupleRef {
+ public:
+  TupleRef(const ColumnarRelation* rel, int row) : rel_(rel), row_(row) {}
+
+  int size() const { return rel_->schema().size(); }
+  int row() const { return row_; }
+
+  TermId id_at(AttrId a) const { return rel_->id_at(row_, a); }
+  bool is_null(AttrId a) const { return rel_->is_null(row_, a); }
+
+  /// The interned representative (not schema-coerced; use Materialize
+  /// for boundary-exact values).
+  const Value& at(AttrId a) const {
+    return rel_->dict().value(rel_->id_at(row_, a));
+  }
+
+  int64_t id() const { return rel_->row_id(row_); }
+  int source() const { return rel_->row_source(row_); }
+  int snapshot() const { return rel_->row_snapshot(row_); }
+
+  Tuple Materialize() const { return rel_->MaterializeTuple(row_); }
+
+ private:
+  const ColumnarRelation* rel_;
+  int row_;
+};
+
+inline TupleRef ColumnarRelation::tuple(int row) const {
+  return TupleRef(this, row);
+}
+
+}  // namespace relacc
+
+#endif  // RELACC_CORE_COLUMNAR_H_

@@ -1,0 +1,86 @@
+#include "core/dictionary.h"
+
+#include <cmath>
+#include <mutex>
+
+namespace relacc {
+
+Dictionary::Dictionary() {
+  for (auto& shelf : shelves_) shelf.store(nullptr, std::memory_order_relaxed);
+  // Reserve id 0 for null so columnar code can test ids directly. The
+  // slot holds a real Value::Null so value(kNullTermId) works too.
+  Value* shelf0 = new Value[ShelfCapacity(0)];
+  shelves_[0].store(shelf0, std::memory_order_release);
+  size_.store(1, std::memory_order_release);
+}
+
+Dictionary::~Dictionary() {
+  for (auto& shelf : shelves_) {
+    delete[] shelf.load(std::memory_order_acquire);
+  }
+}
+
+TermId Dictionary::Intern(const Value& v) {
+  if (v.is_null()) return kNullTermId;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(v);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = index_.try_emplace(v, kNullTermId);
+  if (!inserted) return it->second;  // raced: another writer got here first
+  const std::size_t id = size_.load(std::memory_order_relaxed);
+  const int s = ShelfOf(static_cast<TermId>(id));
+  Value* shelf = shelves_[s].load(std::memory_order_acquire);
+  if (shelf == nullptr) {
+    shelf = new Value[ShelfCapacity(s)];
+    shelves_[s].store(shelf, std::memory_order_release);
+  }
+  shelf[id - ShelfStart(s)] = v;
+  it->second = static_cast<TermId>(id);
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<TermId>(id);
+}
+
+std::optional<TermId> Dictionary::Lookup(const Value& v) const {
+  if (v.is_null()) return kNullTermId;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(v);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t Dictionary::ApproxBytes() const {
+  const std::size_t n = size();
+  std::size_t bytes = 0;
+  // Shelf storage is allocated in full shelves.
+  for (int s = 0; s < kMaxShelves; ++s) {
+    if (ShelfStart(s) >= n) break;
+    bytes += static_cast<std::size_t>(ShelfCapacity(s)) * sizeof(Value);
+  }
+  // String payloads plus a flat estimate of the index (key copy + node).
+  for (TermId id = 1; id < n; ++id) {
+    const Value& v = value(id);
+    const std::size_t payload =
+        v.type() == ValueType::kString ? v.as_string().capacity() : 0;
+    bytes += 2 * payload + sizeof(Value) + 4 * sizeof(void*);
+  }
+  return bytes;
+}
+
+Value MaterializeAs(const Dictionary& dict, TermId id, ValueType as) {
+  if (id == kNullTermId) return Value::Null();
+  const Value& v = dict.value(id);
+  if (as == ValueType::kInt && v.type() == ValueType::kDouble) {
+    const double d = v.as_double();
+    if (d == std::floor(d) && std::abs(d) < 9.0e15) {
+      return Value::Int(static_cast<int64_t>(d));
+    }
+  } else if (as == ValueType::kDouble && v.type() == ValueType::kInt) {
+    return Value::Real(static_cast<double>(v.as_int()));
+  }
+  return v;
+}
+
+}  // namespace relacc

@@ -289,6 +289,20 @@ Result<SpecDocument> SpecFromJsonImpl(const Json& doc,
       }
     }
   }
+
+  // Parse-time interning (see SpecDocument::dict): one pass over every
+  // loaded cell, entity and masters alike.
+  out.dict = std::make_shared<Dictionary>();
+  for (const Tuple& t : out.spec.ie.tuples()) {
+    for (AttrId a = 0; a < out.spec.ie.schema().size(); ++a) {
+      out.dict->Intern(t.at(a));
+    }
+  }
+  for (const Relation& m : out.spec.masters) {
+    for (const Tuple& t : m.tuples()) {
+      for (AttrId a = 0; a < m.schema().size(); ++a) out.dict->Intern(t.at(a));
+    }
+  }
   return out;
 }
 

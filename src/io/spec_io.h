@@ -1,10 +1,12 @@
 #ifndef RELACC_IO_SPEC_IO_H_
 #define RELACC_IO_SPEC_IO_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "chase/specification.h"
+#include "core/dictionary.h"
 #include "dsl/parser.h"
 #include "util/json.h"
 #include "util/status.h"
@@ -18,6 +20,13 @@ struct SpecDocument {
   Specification spec;
   std::string entity_name = "R";
   std::vector<std::string> master_names;  ///< parallel to spec.masters
+
+  /// Term dictionary built at parse time: every entity and master cell
+  /// is interned as the document loads, so a columnar service
+  /// (ServiceOptions::dictionary / columnar_storage) starts with a warm
+  /// dictionary instead of re-interning the whole instance. Shared so
+  /// copies of the document (and services outliving it) stay cheap.
+  std::shared_ptr<Dictionary> dict;
 
   /// NamedMaster views over spec.masters for the DSL. The document must
   /// outlive the returned vector (it borrows the schemas).

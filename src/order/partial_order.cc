@@ -1,8 +1,10 @@
 #include "order/partial_order.h"
 
+#include <unordered_map>
+
 namespace relacc {
 
-PartialOrder::PartialOrder(std::vector<Value> column)
+PartialOrder::PartialOrder(std::vector<TermId> column)
     : n_(static_cast<int>(column.size())),
       stride_((column.size() + 63) / 64),
       column_(std::move(column)) {
@@ -11,6 +13,33 @@ PartialOrder::PartialOrder(std::vector<Value> column)
   in_count_.assign(n_, 0);
   if (n_ == 1) greatest_ = 0;  // a singleton instance is trivially greatest
 }
+
+namespace {
+
+/// Local interning for the Value convenience ctor: ids carry exactly the
+/// equivalence classes of Value::operator== (ValueHash hashes
+/// numeric-equal values identically), nulls all map to kNullTermId.
+std::vector<TermId> InternColumn(const std::vector<Value>& column) {
+  std::vector<TermId> ids;
+  ids.reserve(column.size());
+  std::unordered_map<Value, TermId, ValueHash> index;
+  TermId next = kNullTermId + 1;
+  for (const Value& v : column) {
+    if (v.is_null()) {
+      ids.push_back(kNullTermId);
+      continue;
+    }
+    auto [it, inserted] = index.try_emplace(v, next);
+    if (inserted) ++next;
+    ids.push_back(it->second);
+  }
+  return ids;
+}
+
+}  // namespace
+
+PartialOrder::PartialOrder(const std::vector<Value>& column)
+    : PartialOrder(InternColumn(column)) {}
 
 bool PartialOrder::AddPair(int i, int j,
                            std::vector<std::pair<int, int>>* new_pairs,
@@ -49,7 +78,7 @@ bool PartialOrder::AddPair(int i, int j,
         greatest_ = b;
       }
       new_pairs->emplace_back(a, b);
-      if (TestBit(succ_, b, a) && !(column_[a] == column_[b])) {
+      if (TestBit(succ_, b, a) && column_[a] != column_[b]) {
         *conflict = true;
       }
     };

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/dictionary.h"
 #include "core/value.h"
 
 namespace relacc {
@@ -33,12 +34,18 @@ namespace relacc {
 /// back in O(pairs inserted since the mark) instead of O(n²/64) words.
 class PartialOrder {
  public:
-  /// `column` holds ti[A] for every tuple; defines strictness & conflicts.
-  explicit PartialOrder(std::vector<Value> column);
+  /// `column` holds the interned term id of ti[A] for every tuple (nulls
+  /// as kNullTermId); equal ids mean equal values, which defines
+  /// strictness & conflicts. This is the storage-native constructor —
+  /// the chase engine hands its dictionary-encoded columns in directly.
+  explicit PartialOrder(std::vector<TermId> column);
+
+  /// Convenience over raw Values: interns the column into local ids with
+  /// exactly Value::operator== equivalence (cross-type numeric equality
+  /// included) and delegates to the TermId constructor.
+  explicit PartialOrder(const std::vector<Value>& column);
 
   int n() const { return n_; }
-
-  const Value& value(int i) const { return column_[i]; }
 
   /// ti ⪯_A tj? (Irreflexive storage: Reaches(i,i) is false by convention;
   /// reflexivity is immaterial to the chase.)
@@ -46,9 +53,10 @@ class PartialOrder {
     return i != j && TestBit(succ_, i, j);
   }
 
-  /// ti ≺_A tj, derived per the class comment.
+  /// ti ≺_A tj, derived per the class comment (id equality == value
+  /// equality by the interning contract).
   bool Precedes(int i, int j) const {
-    return Reaches(i, j) && !(column_[i] == column_[j]);
+    return Reaches(i, j) && column_[i] != column_[j];
   }
 
   /// Inserts i ⪯ j and transitively closes. Every newly derived pair
@@ -109,7 +117,7 @@ class PartialOrder {
 
   int n_ = 0;
   std::size_t stride_ = 0;  ///< words per row
-  std::vector<Value> column_;
+  std::vector<TermId> column_;  ///< interned ti[A] per tuple
   std::vector<uint64_t> succ_;  ///< succ bit (i,j) <=> i ⪯ j
   std::vector<uint64_t> pred_;  ///< pred bit (j,i) <=> i ⪯ j
   std::vector<int> in_count_;   ///< predecessors per node

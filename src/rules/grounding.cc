@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/columnar.h"
 #include "util/thread_pool.h"
 
 namespace relacc {
@@ -131,14 +132,14 @@ void GroundMasterRule(const AccuracyRule& rule, const Tuple& tm, int rule_id,
 /// `starts[rules.size()]` the total row count. Rules referencing an
 /// absent master relation contribute zero rows, matching the serial
 /// loop's `continue`.
-std::vector<int64_t> RowStarts(const Relation& ie,
+std::vector<int64_t> RowStarts(int num_ie_rows,
                                const std::vector<Relation>& masters,
                                const std::vector<AccuracyRule>& rules) {
   std::vector<int64_t> starts(rules.size() + 1, 0);
   for (std::size_t r = 0; r < rules.size(); ++r) {
     int64_t rows = 0;
     if (rules[r].form == AccuracyRule::Form::kTuplePair) {
-      rows = ie.size();
+      rows = num_ie_rows;
     } else if (rules[r].master_index >= 0 &&
                rules[r].master_index < static_cast<int>(masters.size())) {
       rows = masters[rules[r].master_index].size();
@@ -169,6 +170,151 @@ void GroundRows(const Relation& ie, const std::vector<Relation>& masters,
         for (int j = 0; j < n; ++j) {
           if (i == j) continue;
           if (GroundPairRule(rule, ie, i, j, &scratch)) {
+            scratch.rule_id = r;
+            out->push_back(scratch);
+          }
+        }
+      }
+    } else {
+      const Relation& im = masters[rule.master_index];
+      for (int64_t row = lo; row < hi; ++row) {
+        GroundMasterRule(rule, im.tuple(static_cast<int>(row - starts[r])),
+                         r, out);
+      }
+    }
+  }
+}
+
+/// Pre-interns every kAttrConst constant of every rule so the columnar
+/// pair loop compares ids instead of Values. Must run serially, before
+/// any shard fan-out, and interning an absent constant is harmless — a
+/// fresh id simply matches no column id. Entry [r][k] is the constant of
+/// rule r's k-th lhs conjunct (kNullTermId where the conjunct has none).
+std::vector<std::vector<TermId>> InternRuleConstants(
+    const std::vector<AccuracyRule>& rules, Dictionary* dict) {
+  std::vector<std::vector<TermId>> ids(rules.size());
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    ids[r].assign(rules[r].lhs.size(), kNullTermId);
+    for (std::size_t k = 0; k < rules[r].lhs.size(); ++k) {
+      const TuplePairPredicate& p = rules[r].lhs[k];
+      if (p.kind == TuplePairPredicate::Kind::kAttrConst) {
+        ids[r][k] = dict->Intern(p.constant);
+      }
+    }
+  }
+  return ids;
+}
+
+/// Columnar twin of GroundPairRule. Equality operators are decided on
+/// TermIds (id equality == Value::operator== equality by the interning
+/// contract, nulls included: all nulls share kNullTermId); order
+/// operators fall back to the dictionary representatives, whose
+/// cross-type numeric Compare agrees with the schema-typed row values.
+/// `const_ids[k]` pre-resolves the k-th conjunct's kAttrConst constant.
+bool GroundPairRuleColumnar(const AccuracyRule& rule,
+                            const std::vector<TermId>& const_ids,
+                            const ColumnarRelation& ie, int i, int j,
+                            GroundStep* out) {
+  const Dictionary& dict = ie.dict();
+  out->kind = GroundStep::Kind::kAddOrder;
+  out->attr = rule.rhs_attr;
+  out->i = i;
+  out->j = j;
+  out->residual.clear();
+  for (std::size_t k = 0; k < rule.lhs.size(); ++k) {
+    const TuplePairPredicate& p = rule.lhs[k];
+    switch (p.kind) {
+      case TuplePairPredicate::Kind::kAttrAttr: {
+        const TermId a = ie.id_at(i, p.left_attr);
+        const TermId b = ie.id_at(j, p.right_attr);
+        if (p.op == CompareOp::kEq) {
+          if (a != b) return false;
+        } else if (p.op == CompareOp::kNe) {
+          if (a == b) return false;
+        } else if (!EvalCompare(p.op, dict.value(a), dict.value(b))) {
+          return false;
+        }
+        break;
+      }
+      case TuplePairPredicate::Kind::kAttrConst: {
+        const int row = p.which == 1 ? i : j;
+        const TermId v = ie.id_at(row, p.left_attr);
+        if (p.op == CompareOp::kEq) {
+          if (v != const_ids[k]) return false;
+        } else if (p.op == CompareOp::kNe) {
+          if (v == const_ids[k]) return false;
+        } else if (!EvalCompare(p.op, dict.value(v), p.constant)) {
+          return false;
+        }
+        break;
+      }
+      case TuplePairPredicate::Kind::kAttrTe: {
+        // ti[a] op te[b]  ==>  te[b] op' c with c = ti[a], materialized
+        // with the schema column type so the residual constant is
+        // byte-identical to the row path's.
+        const int row = p.which == 1 ? i : j;
+        const TermId vid = ie.id_at(row, p.left_attr);
+        const CompareOp flipped = FlipCompareOp(p.op);
+        if (vid == kNullTermId && flipped != CompareOp::kNe) return false;
+        GroundPredicate g;
+        g.kind = GroundPredicate::Kind::kTeCompare;
+        g.attr = p.right_attr;
+        g.op = flipped;
+        g.constant = MaterializeAs(dict, vid, ie.schema().type(p.left_attr));
+        out->residual.push_back(std::move(g));
+        break;
+      }
+      case TuplePairPredicate::Kind::kTeConst: {
+        if (p.constant.is_null() && p.op != CompareOp::kNe) return false;
+        GroundPredicate g;
+        g.kind = GroundPredicate::Kind::kTeCompare;
+        g.attr = p.left_attr;
+        g.op = p.op;
+        g.constant = p.constant;
+        out->residual.push_back(std::move(g));
+        break;
+      }
+      case TuplePairPredicate::Kind::kOrder: {
+        if (p.strict &&
+            ie.id_at(i, p.left_attr) == ie.id_at(j, p.left_attr)) {
+          return false;
+        }
+        GroundPredicate g;
+        g.kind = GroundPredicate::Kind::kOrderPair;
+        g.attr = p.left_attr;
+        g.i = i;
+        g.j = j;
+        out->residual.push_back(std::move(g));
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+/// Columnar twin of GroundRows — identical loop structure and emission
+/// order; masters stay row relations (they are small and master steps
+/// carry Values regardless).
+void GroundRowsColumnar(const ColumnarRelation& ie,
+                        const std::vector<Relation>& masters,
+                        const std::vector<AccuracyRule>& rules,
+                        const std::vector<std::vector<TermId>>& const_ids,
+                        const std::vector<int64_t>& starts, int64_t begin,
+                        int64_t end, std::vector<GroundStep>* out) {
+  const int n = ie.size();
+  GroundStep scratch;
+  for (int r = 0; r < static_cast<int>(rules.size()); ++r) {
+    const int64_t lo = std::max(begin, starts[r]);
+    const int64_t hi = std::min(end, starts[r + 1]);
+    if (lo >= hi) continue;
+    const AccuracyRule& rule = rules[r];
+    if (rule.form == AccuracyRule::Form::kTuplePair) {
+      for (int64_t row = lo; row < hi; ++row) {
+        const int i = static_cast<int>(row - starts[r]);
+        for (int j = 0; j < n; ++j) {
+          if (i == j) continue;
+          if (GroundPairRuleColumnar(rule, const_ids[r], ie, i, j,
+                                     &scratch)) {
             scratch.rule_id = r;
             out->push_back(scratch);
           }
@@ -220,23 +366,21 @@ GroundProgram Instantiate(const Relation& ie,
   prog.num_tuples = ie.size();
   prog.num_attrs = ie.schema().size();
   prog.rule_names = RuleNames(rules);
-  const std::vector<int64_t> starts = RowStarts(ie, masters, rules);
+  const std::vector<int64_t> starts = RowStarts(ie.size(), masters, rules);
   GroundRows(ie, masters, rules, starts, 0, starts.back(), &prog.steps);
   return prog;
 }
 
-GroundProgram Instantiate(const Relation& ie,
-                          const std::vector<Relation>& masters,
-                          const std::vector<AccuracyRule>& rules,
-                          int num_shards, ThreadPool* pool) {
-  const std::vector<int64_t> starts = RowStarts(ie, masters, rules);
-  const int64_t rows = starts.back();
-  // Below ~2 rows per shard the fan-out costs more than the grounding;
-  // the serial path is also the reference the sharded one must match.
-  const int64_t shards =
-      std::min<int64_t>(std::max(1, num_shards), std::max<int64_t>(1, rows));
-  if (shards <= 1) return Instantiate(ie, masters, rules);
+namespace {
 
+/// Shard/merge skeleton shared by the row and columnar sharded paths:
+/// `ground(begin, end, out)` grounds a contiguous global-row range into a
+/// private list; the merge concatenates in shard order, which is the
+/// serial emission order. Returns the merged steps.
+template <typename GroundRange>
+std::vector<GroundStep> GroundSharded(int64_t rows, int64_t shards,
+                                      ThreadPool* pool,
+                                      const GroundRange& ground) {
   std::vector<std::vector<GroundStep>> parts(
       static_cast<std::size_t>(shards));
   const int64_t chunk = (rows + shards - 1) / shards;
@@ -244,8 +388,7 @@ GroundProgram Instantiate(const Relation& ie,
     const int64_t begin = s * chunk;
     const int64_t end = std::min(begin + chunk, rows);
     if (begin < end) {
-      GroundRows(ie, masters, rules, starts, begin, end,
-                 &parts[static_cast<std::size_t>(s)]);
+      ground(begin, end, &parts[static_cast<std::size_t>(s)]);
     }
   };
   if (pool != nullptr) {
@@ -260,18 +403,83 @@ GroundProgram Instantiate(const Relation& ie,
     local.ParallelFor(shards, ground_shard);
   }
 
+  std::vector<GroundStep> steps;
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  steps.reserve(total);
+  // Deterministic merge: shard order == ascending row order == the
+  // serial emission order.
+  for (auto& part : parts) {
+    for (GroundStep& step : part) steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+}  // namespace
+
+GroundProgram Instantiate(const Relation& ie,
+                          const std::vector<Relation>& masters,
+                          const std::vector<AccuracyRule>& rules,
+                          int num_shards, ThreadPool* pool) {
+  const std::vector<int64_t> starts = RowStarts(ie.size(), masters, rules);
+  const int64_t rows = starts.back();
+  // Below ~2 rows per shard the fan-out costs more than the grounding;
+  // the serial path is also the reference the sharded one must match.
+  const int64_t shards =
+      std::min<int64_t>(std::max(1, num_shards), std::max<int64_t>(1, rows));
+  if (shards <= 1) return Instantiate(ie, masters, rules);
+
   GroundProgram prog;
   prog.num_tuples = ie.size();
   prog.num_attrs = ie.schema().size();
   prog.rule_names = RuleNames(rules);
-  std::size_t total = 0;
-  for (const auto& part : parts) total += part.size();
-  prog.steps.reserve(total);
-  // Deterministic merge: shard order == ascending row order == the
-  // serial emission order.
-  for (auto& part : parts) {
-    for (GroundStep& step : part) prog.steps.push_back(std::move(step));
-  }
+  prog.steps = GroundSharded(
+      rows, shards, pool,
+      [&](int64_t begin, int64_t end, std::vector<GroundStep>* out) {
+        GroundRows(ie, masters, rules, starts, begin, end, out);
+      });
+  return prog;
+}
+
+GroundProgram Instantiate(const ColumnarRelation& ie,
+                          const std::vector<Relation>& masters,
+                          const std::vector<AccuracyRule>& rules) {
+  GroundProgram prog;
+  prog.num_tuples = ie.size();
+  prog.num_attrs = ie.schema().size();
+  prog.rule_names = RuleNames(rules);
+  const std::vector<std::vector<TermId>> const_ids =
+      InternRuleConstants(rules, ie.mutable_dict());
+  const std::vector<int64_t> starts = RowStarts(ie.size(), masters, rules);
+  GroundRowsColumnar(ie, masters, rules, const_ids, starts, 0, starts.back(),
+                     &prog.steps);
+  return prog;
+}
+
+GroundProgram Instantiate(const ColumnarRelation& ie,
+                          const std::vector<Relation>& masters,
+                          const std::vector<AccuracyRule>& rules,
+                          int num_shards, ThreadPool* pool) {
+  const std::vector<int64_t> starts = RowStarts(ie.size(), masters, rules);
+  const int64_t rows = starts.back();
+  const int64_t shards =
+      std::min<int64_t>(std::max(1, num_shards), std::max<int64_t>(1, rows));
+  if (shards <= 1) return Instantiate(ie, masters, rules);
+
+  GroundProgram prog;
+  prog.num_tuples = ie.size();
+  prog.num_attrs = ie.schema().size();
+  prog.rule_names = RuleNames(rules);
+  // Constants are interned before the fan-out; shard workers only read
+  // the dictionary (lock-free shelf loads) on order comparisons.
+  const std::vector<std::vector<TermId>> const_ids =
+      InternRuleConstants(rules, ie.mutable_dict());
+  prog.steps = GroundSharded(
+      rows, shards, pool,
+      [&](int64_t begin, int64_t end, std::vector<GroundStep>* out) {
+        GroundRowsColumnar(ie, masters, rules, const_ids, starts, begin, end,
+                           out);
+      });
   return prog;
 }
 

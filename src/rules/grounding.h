@@ -9,7 +9,8 @@
 
 namespace relacc {
 
-class ThreadPool;  // util/thread_pool.h
+class ColumnarRelation;  // core/columnar.h
+class ThreadPool;        // util/thread_pool.h
 
 /// A residual conjunct of a ground step (procedure Instantiation, Sec. 5):
 /// every predicate that could be evaluated against constants has been
@@ -98,6 +99,29 @@ GroundProgram Instantiate(const Relation& ie,
 /// may be passed, e.g. the service's chase pool between phases — or on a
 /// transient pool of min(num_shards, rows) threads when null.
 GroundProgram Instantiate(const Relation& ie,
+                          const std::vector<Relation>& masters,
+                          const std::vector<AccuracyRule>& rules,
+                          int num_shards, ThreadPool* pool = nullptr);
+
+/// Columnar Instantiation: the same Γ, built from dictionary-encoded
+/// columns. Every constant conjunct whose operator is an equality is
+/// decided by TermId comparison (id equality == value equality by the
+/// interning contract, nulls included); order comparisons fall back to
+/// the dictionary values, whose cross-type numeric Compare agrees with
+/// the schema-typed row values. Residual constants lifted out of tuples
+/// (kAttrTe) are materialized with the schema column type, so the
+/// emitted program is step-for-step identical (operator== above) to
+/// Instantiate(ie.ToRelation(), masters, rules) — enforced by tests.
+/// Rule constants are pre-interned into ie's dictionary, serially,
+/// before any fan-out.
+GroundProgram Instantiate(const ColumnarRelation& ie,
+                          const std::vector<Relation>& masters,
+                          const std::vector<AccuracyRule>& rules);
+
+/// Sharded columnar Instantiation; shard/merge discipline (and the
+/// resulting step-order determinism across shard counts) is exactly the
+/// row overload's.
+GroundProgram Instantiate(const ColumnarRelation& ie,
                           const std::vector<Relation>& masters,
                           const std::vector<AccuracyRule>& rules,
                           int num_shards, ThreadPool* pool = nullptr);

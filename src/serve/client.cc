@@ -21,6 +21,7 @@ ServeClient::~ServeClient() {
 
 Result<Json> ServeClient::Call(const std::string& method, Json params) {
   const int64_t id = next_id_++;
+  last_retry_after_ms_ = -1;
   RELACC_RETURN_NOT_OK(
       WriteFrame(fd_, MakeRequest(id, method, std::move(params)).Dump()));
   std::string payload;
@@ -53,6 +54,8 @@ Result<Json> ServeClient::Call(const std::string& method, Json params) {
     if (!code.ok() || !message.ok()) {
       return Status::ParseError("error frame missing 'code'/'message'");
     }
+    Result<int64_t> retry_after = error.value()->GetInt("retry_after_ms");
+    if (retry_after.ok()) last_retry_after_ms_ = retry_after.value();
     switch (StatusCodeFromWire(code.value())) {
       case StatusCode::kInvalidArgument:
         return Status::InvalidArgument(message.value());

@@ -36,11 +36,18 @@ class ServeClient {
   /// provoke truncated-frame handling).
   int fd() const { return fd_; }
 
+  /// The backpressure hint of the most recent Call that failed with
+  /// kResourceExhausted (the server's error.retry_after_ms): how many
+  /// milliseconds to wait before retrying. -1 when the last Call
+  /// carried no hint (success, other error, or an old server).
+  int64_t last_retry_after_ms() const { return last_retry_after_ms_; }
+
  private:
   explicit ServeClient(int fd) : fd_(fd) {}
 
   int fd_;
   int64_t next_id_ = 1;
+  int64_t last_retry_after_ms_ = -1;
 };
 
 }  // namespace serve

@@ -1,9 +1,32 @@
 #include "serve/scheduler.h"
 
+#include <bit>
 #include <utility>
 
 namespace relacc {
 namespace serve {
+
+void Scheduler::LatencyHistogram::Record(int64_t ms) {
+  const unsigned width =
+      std::bit_width(static_cast<uint64_t>(ms < 0 ? 0 : ms));
+  buckets[width < 32 ? width : 31] += 1;
+  ++count;
+}
+
+double Scheduler::LatencyHistogram::PercentileMs(double p) const {
+  if (count == 0) return 0.0;
+  const int64_t rank =
+      static_cast<int64_t>(p * static_cast<double>(count) + 0.5);
+  int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Bucket i holds ms values of bit width i: upper bound 2^i - 1.
+      return static_cast<double>((int64_t{1} << i) - 1);
+    }
+  }
+  return static_cast<double>((int64_t{1} << 31) - 1);
+}
 
 Scheduler::Scheduler() : Scheduler(Options()) {}
 
@@ -21,7 +44,8 @@ Scheduler::~Scheduler() {
 }
 
 Status Scheduler::Enqueue(int64_t tenant, JobClass cls,
-                          std::function<void()> job) {
+                          std::function<void()> job,
+                          int64_t* retry_after_ms) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (draining_ || stop_) {
@@ -30,13 +54,25 @@ Status Scheduler::Enqueue(int64_t tenant, JobClass cls,
     TenantQueues& q = tenants_[tenant];
     if (q.size() >= options_.queue_depth) {
       ++stats_.rejected;
+      if (retry_after_ms != nullptr) {
+        // Backpressure hint: time for the tenant's backlog to drain at
+        // the observed mean job time. Before any job completed, a
+        // nominal 10 ms quantum stands in — the hint only needs the
+        // right order of magnitude to pace a client's retry loop.
+        const int64_t executed =
+            stats_.executed_interactive + stats_.executed_batch;
+        const int64_t mean_ms =
+            executed > 0 ? std::max<int64_t>(1, total_exec_ms_ / executed)
+                         : 10;
+        *retry_after_ms = q.size() * mean_ms;
+      }
       return Status::ResourceExhausted(
           "tenant " + std::to_string(tenant) + " has " +
           std::to_string(q.size()) + " jobs pending (limit " +
           std::to_string(options_.queue_depth) + ")");
     }
     (cls == JobClass::kInteractive ? q.interactive : q.batch)
-        .push_back(std::move(job));
+        .push_back(QueuedJob{std::move(job), Clock::now()});
     MarkReady(tenant, cls);
   }
   work_cv_.notify_one();
@@ -49,8 +85,10 @@ void Scheduler::RequeueFront(int64_t tenant, JobClass cls,
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) return;  // abrupt teardown: the continuation is dropped
     TenantQueues& q = tenants_[tenant];
+    // The continuation's latency clock restarts here: each quantum of a
+    // multi-window job is its own latency sample.
     (cls == JobClass::kInteractive ? q.interactive : q.batch)
-        .push_front(std::move(job));
+        .push_front(QueuedJob{std::move(job), Clock::now()});
     MarkReady(tenant, cls);
   }
   work_cv_.notify_one();
@@ -82,7 +120,12 @@ bool Scheduler::draining() const {
 
 Scheduler::Stats Scheduler::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out = stats_;
+  out.p50_interactive_ms = latency_interactive_.PercentileMs(0.50);
+  out.p99_interactive_ms = latency_interactive_.PercentileMs(0.99);
+  out.p50_batch_ms = latency_batch_.PercentileMs(0.50);
+  out.p99_batch_ms = latency_batch_.PercentileMs(0.99);
+  return out;
 }
 
 void Scheduler::MarkReady(int64_t tenant, JobClass cls) {
@@ -94,7 +137,7 @@ void Scheduler::MarkReady(int64_t tenant, JobClass cls) {
   rotation.push_back(tenant);
 }
 
-bool Scheduler::PopNext(std::function<void()>* job, JobClass* cls) {
+bool Scheduler::PopNext(QueuedJob* job, JobClass* cls) {
   // Interactive strictly first; round-robin across tenants within the
   // class (the tenant leaves the rotation while its job runs and
   // re-enters at the back, so no tenant runs twice before a ready peer
@@ -107,9 +150,9 @@ bool Scheduler::PopNext(std::function<void()>* job, JobClass* cls) {
       rotation.pop_front();
       auto it = tenants_.find(tenant);
       if (it == tenants_.end()) continue;  // removed while queued
-      std::deque<std::function<void()>>& q = c == JobClass::kInteractive
-                                                 ? it->second.interactive
-                                                 : it->second.batch;
+      std::deque<QueuedJob>& q = c == JobClass::kInteractive
+                                     ? it->second.interactive
+                                     : it->second.batch;
       if (q.empty()) continue;
       *job = std::move(q.front());
       q.pop_front();
@@ -123,7 +166,7 @@ bool Scheduler::PopNext(std::function<void()>* job, JobClass* cls) {
 
 void Scheduler::ExecutorLoop() {
   for (;;) {
-    std::function<void()> job;
+    QueuedJob job;
     JobClass cls = JobClass::kInteractive;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -137,14 +180,23 @@ void Scheduler::ExecutorLoop() {
         work_cv_.wait(lock);
       }
     }
-    job();
+    const Clock::time_point started = Clock::now();
+    job.fn();
+    const Clock::time_point done = Clock::now();
+    const auto ms_since = [&done](Clock::time_point t) {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(done - t)
+          .count();
+    };
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (cls == JobClass::kInteractive) {
         ++stats_.executed_interactive;
+        latency_interactive_.Record(ms_since(job.enqueued));
       } else {
         ++stats_.executed_batch;
+        latency_batch_.Record(ms_since(job.enqueued));
       }
+      total_exec_ms_ += ms_since(started);
     }
   }
 }

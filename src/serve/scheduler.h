@@ -1,6 +1,8 @@
 #ifndef RELACC_SERVE_SCHEDULER_H_
 #define RELACC_SERVE_SCHEDULER_H_
 
+#include <array>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -55,6 +57,15 @@ class Scheduler {
     int64_t executed_interactive = 0;
     int64_t executed_batch = 0;
     int64_t rejected = 0;  ///< admission-control rejections
+    /// Executor latency (enqueue → job completion, queue wait included)
+    /// percentiles per class, in milliseconds. Approximate: read off a
+    /// log2-bucket histogram, so a value is the upper bound of the
+    /// bucket its percentile falls in; 0 when the class has no samples
+    /// yet (or every sample finished within a millisecond).
+    double p50_interactive_ms = 0.0;
+    double p99_interactive_ms = 0.0;
+    double p50_batch_ms = 0.0;
+    double p99_batch_ms = 0.0;
   };
 
   Scheduler();  ///< default Options
@@ -66,8 +77,13 @@ class Scheduler {
   ~Scheduler();
 
   /// Queues `job` for `tenant`. kResourceExhausted when the tenant's
-  /// queues are full; kFailedPrecondition once draining/stopped.
-  Status Enqueue(int64_t tenant, JobClass cls, std::function<void()> job);
+  /// queues are full; kFailedPrecondition once draining/stopped. On a
+  /// resource-exhausted rejection, a non-null `retry_after_ms` receives
+  /// a backpressure hint: roughly how long the tenant's pending backlog
+  /// needs to drain (pending jobs × observed mean job time), i.e. when a
+  /// retry has a fair chance of being admitted. Untouched on success.
+  Status Enqueue(int64_t tenant, JobClass cls, std::function<void()> job,
+                 int64_t* retry_after_ms = nullptr);
 
   /// Re-queues a continuation at the FRONT of the tenant's queue for
   /// `cls`: exempt from admission control, and guaranteed to run before
@@ -96,20 +112,42 @@ class Scheduler {
   Stats stats() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// A queued job with its admission timestamp, so completion can
+  /// attribute the full enqueue-to-done latency (queue wait included).
+  struct QueuedJob {
+    std::function<void()> fn;
+    Clock::time_point enqueued;
+  };
+
   struct TenantQueues {
-    std::deque<std::function<void()>> interactive;
-    std::deque<std::function<void()>> batch;
+    std::deque<QueuedJob> interactive;
+    std::deque<QueuedJob> batch;
     bool empty() const { return interactive.empty() && batch.empty(); }
     int64_t size() const {
       return static_cast<int64_t>(interactive.size() + batch.size());
     }
   };
 
+  /// Log2-bucket latency histogram: bucket i counts samples whose
+  /// millisecond latency has bit width i (so bucket 0 is sub-ms, bucket
+  /// 1 is 1 ms, bucket 2 is 2–3 ms, ...). Constant space, O(1) record,
+  /// percentile read-off in one pass.
+  struct LatencyHistogram {
+    std::array<int64_t, 32> buckets{};
+    int64_t count = 0;
+    void Record(int64_t ms);
+    /// The upper bound (in ms) of the bucket holding percentile `p`
+    /// (0 < p <= 1); 0.0 with no samples.
+    double PercentileMs(double p) const;
+  };
+
   void ExecutorLoop();
 
   /// Pops the next job under `mu_` honoring class priority and
   /// round-robin; false when nothing is queued.
-  bool PopNext(std::function<void()>* job, JobClass* cls);
+  bool PopNext(QueuedJob* job, JobClass* cls);
 
   /// Appends `tenant` to the ready rotation of `cls` unless present.
   void MarkReady(int64_t tenant, JobClass cls);
@@ -126,6 +164,11 @@ class Scheduler {
   bool draining_ = false;
   bool stop_ = false;
   Stats stats_;
+  LatencyHistogram latency_interactive_;
+  LatencyHistogram latency_batch_;
+  /// Total executor-occupancy time, the basis of the retry-after hint's
+  /// mean job time (jobs of both classes share the one executor).
+  int64_t total_exec_ms_ = 0;
   std::thread executor_;
 };
 

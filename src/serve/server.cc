@@ -275,6 +275,10 @@ bool Server::Dispatch(const std::shared_ptr<Connection>& conn,
     result.Set("executed_interactive", Json::Int(stats.executed_interactive));
     result.Set("executed_batch", Json::Int(stats.executed_batch));
     result.Set("rejected", Json::Int(stats.rejected));
+    result.Set("p50_interactive_ms", Json::Real(stats.p50_interactive_ms));
+    result.Set("p99_interactive_ms", Json::Real(stats.p99_interactive_ms));
+    result.Set("p50_batch_ms", Json::Real(stats.p50_batch_ms));
+    result.Set("p99_batch_ms", Json::Real(stats.p99_batch_ms));
     SendResult(conn, id, std::move(result));
     return true;
   }
@@ -304,20 +308,23 @@ bool Server::Dispatch(const std::shared_ptr<Connection>& conn,
     auto state = std::make_shared<SubmitState>();
     state->session = session.value();
     state->entities = std::move(entities).value();
+    int64_t retry_after_ms = -1;
     Status admitted = scheduler_->Enqueue(
         conn->tenant, JobClass::kBatch,
-        [this, conn, id, state] { RunSubmitQuantum(conn, id, state); });
-    if (!admitted.ok()) SendError(conn, id, admitted);
+        [this, conn, id, state] { RunSubmitQuantum(conn, id, state); },
+        &retry_after_ms);
+    if (!admitted.ok()) SendError(conn, id, admitted, retry_after_ms);
     return true;
   }
 
   const JobClass cls =
       method == "pipeline.finish" ? JobClass::kBatch : JobClass::kInteractive;
+  int64_t retry_after_ms = -1;
   Status admitted = scheduler_->Enqueue(
-      conn->tenant, cls, [this, conn, id, method, params] {
-        RunJob(conn, id, method, params);
-      });
-  if (!admitted.ok()) SendError(conn, id, admitted);
+      conn->tenant, cls,
+      [this, conn, id, method, params] { RunJob(conn, id, method, params); },
+      &retry_after_ms);
+  if (!admitted.ok()) SendError(conn, id, admitted, retry_after_ms);
   return true;
 }
 
@@ -555,9 +562,10 @@ void Server::SendResult(const std::shared_ptr<Connection>& conn, int64_t id,
 }
 
 void Server::SendError(const std::shared_ptr<Connection>& conn, int64_t id,
-                       const Status& status) {
+                       const Status& status, int64_t retry_after_ms) {
   const std::string payload =
-      MakeErrorResponse(id, WireErrorCode(status.code()), status.message())
+      MakeErrorResponse(id, WireErrorCode(status.code()), status.message(),
+                        retry_after_ms)
           .Dump();
   std::lock_guard<std::mutex> lock(conn->write_mu);
   (void)WriteFrame(conn->fd, payload);

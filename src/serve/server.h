@@ -139,8 +139,10 @@ class Server {
 
   void SendResult(const std::shared_ptr<Connection>& conn, int64_t id,
                   Json result);
+  /// `retry_after_ms >= 0` rides along as error.retry_after_ms — the
+  /// scheduler's backpressure hint on resource-exhausted rejections.
   void SendError(const std::shared_ptr<Connection>& conn, int64_t id,
-                 const Status& status);
+                 const Status& status, int64_t retry_after_ms = -1);
 
   /// Performs the drain on the accept thread after the self-pipe fires.
   void DoDrain();

@@ -111,10 +111,13 @@ Json MakeResponse(int64_t id, Json result) {
 }
 
 Json MakeErrorResponse(int64_t id, const std::string& code,
-                       const std::string& message) {
+                       const std::string& message, int64_t retry_after_ms) {
   Json error = Json::Object();
   error.Set("code", Json::Str(code));
   error.Set("message", Json::Str(message));
+  if (retry_after_ms >= 0) {
+    error.Set("retry_after_ms", Json::Int(retry_after_ms));
+  }
   Json resp = Json::Object();
   resp.Set("id", Json::Int(id));
   resp.Set("ok", Json::Bool(false));

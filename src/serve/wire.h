@@ -56,8 +56,12 @@ Status WriteFrame(int fd, const std::string& payload);
 
 Json MakeRequest(int64_t id, const std::string& method, Json params);
 Json MakeResponse(int64_t id, Json result);
+/// `retry_after_ms >= 0` attaches a backpressure hint to the error
+/// object (`error.retry_after_ms`): how long the client should wait
+/// before retrying. Only resource-exhausted rejections carry one.
 Json MakeErrorResponse(int64_t id, const std::string& code,
-                       const std::string& message);
+                       const std::string& message,
+                       int64_t retry_after_ms = -1);
 
 /// The wire error code for a library Status ("invalid-argument",
 /// "not-found", "out-of-range", "failed-precondition", "internal",

@@ -58,8 +58,8 @@ TEST_P(ExtensionProperties, DeducedTargetValuesAreDominanceWitnessed) {
       // its value must agree with te[A] — otherwise the run would have
       // aborted as not Church-Rosser.
       const int g = order.GreatestElement();
-      if (g >= 0 && !order.value(g).is_null()) {
-        EXPECT_EQ(order.value(g), te_v)
+      if (g >= 0 && !spec.ie.tuple(g).at(a).is_null()) {
+        EXPECT_EQ(spec.ie.tuple(g).at(a), te_v)
             << "entity " << i << " attr " << spec.ie.schema().name(a);
       }
     }

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -295,6 +296,118 @@ TEST(ServeScheduler, RemoveTenantDiscardsPendingJobs) {
   EXPECT_EQ(ran.load(), 1);  // only tenant 2's job survived
 }
 
+TEST(ServeScheduler, RejectionCarriesRetryAfterHint) {
+  Scheduler::Options options;
+  options.queue_depth = 2;
+  Scheduler scheduler(options);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool blocked = false;
+  ASSERT_TRUE(scheduler
+                  .Enqueue(1, JobClass::kInteractive,
+                           [&] {
+                             std::unique_lock<std::mutex> lock(mu);
+                             blocked = true;
+                             cv.notify_all();
+                             cv.wait(lock, [&] { return release; });
+                           })
+                  .ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return blocked; });
+  }
+  ASSERT_TRUE(scheduler.Enqueue(1, JobClass::kBatch, [] {}).ok());
+  ASSERT_TRUE(scheduler.Enqueue(1, JobClass::kInteractive, [] {}).ok());
+  int64_t retry_after_ms = -1;
+  Status rejected =
+      scheduler.Enqueue(1, JobClass::kBatch, [] {}, &retry_after_ms);
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  // Two jobs pending at >= 1ms assumed mean each.
+  EXPECT_GE(retry_after_ms, 2);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+}
+
+TEST(ServeScheduler, PerClassLatencyPercentiles) {
+  Scheduler scheduler;
+  // No samples yet: all four percentiles are zero.
+  EXPECT_EQ(scheduler.stats().p50_interactive_ms, 0.0);
+  EXPECT_EQ(scheduler.stats().p99_interactive_ms, 0.0);
+  EXPECT_EQ(scheduler.stats().p50_batch_ms, 0.0);
+  EXPECT_EQ(scheduler.stats().p99_batch_ms, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(scheduler
+                    .Enqueue(1, JobClass::kInteractive,
+                             [] {
+                               std::this_thread::sleep_for(
+                                   std::chrono::milliseconds(3));
+                             })
+                    .ok());
+    ASSERT_TRUE(scheduler
+                    .Enqueue(1, JobClass::kBatch,
+                             [] {
+                               std::this_thread::sleep_for(
+                                   std::chrono::milliseconds(20));
+                             })
+                    .ok());
+  }
+  scheduler.Drain();
+  const Scheduler::Stats stats = scheduler.stats();
+  // Latency is enqueue -> completion, so every sample is at least the
+  // job's own sleep; the log2 buckets report the bucket upper bound.
+  EXPECT_GE(stats.p50_interactive_ms, 3.0);
+  EXPECT_GE(stats.p99_interactive_ms, stats.p50_interactive_ms);
+  EXPECT_GE(stats.p50_batch_ms, 20.0);
+  EXPECT_GE(stats.p99_batch_ms, stats.p50_batch_ms);
+  // Interactive overtakes the queued batch jobs, so its waits stay
+  // bounded by the short jobs while batch piles up behind the sleeps.
+  EXPECT_GT(stats.p50_batch_ms, stats.p50_interactive_ms);
+}
+
+// --- client backpressure hint ----------------------------------------------
+
+TEST(ServeClientTest, SurfacesRetryAfterHint) {
+  // A hand-rolled one-connection server: rejects the first request with
+  // a retry hint, the second without one.
+  Result<int> listener = serve::ListenOn("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const int port = serve::BoundPort(listener.value()).value();
+  std::thread fake([fd = listener.value()] {
+    Result<int> conn = serve::AcceptConn(fd);
+    if (!conn.ok()) return;
+    for (const int64_t hint : {int64_t{250}, int64_t{-1}}) {
+      std::string payload;
+      Result<bool> frame = ReadFrame(conn.value(), &payload);
+      if (!frame.ok() || !frame.value()) break;
+      Result<Json> request = Json::Parse(payload);
+      if (!request.ok()) break;
+      const int64_t id = request.value().GetInt("id").value();
+      (void)WriteFrame(conn.value(),
+                       serve::MakeErrorResponse(id, "resource-exhausted",
+                                                "queue full", hint)
+                           .Dump());
+    }
+    serve::CloseFd(conn.value());
+  });
+  Result<std::unique_ptr<ServeClient>> client =
+      ServeClient::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<Json> first = client.value()->Call("anything", Json::Object());
+  EXPECT_EQ(first.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(client.value()->last_retry_after_ms(), 250);
+  Result<Json> second = client.value()->Call("anything", Json::Object());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  // The hint does not linger across calls that carry none.
+  EXPECT_EQ(client.value()->last_retry_after_ms(), -1);
+  fake.join();
+  serve::CloseFd(listener.value());
+}
+
 // --- server end-to-end -----------------------------------------------------
 
 class ServeServerTest : public ::testing::Test {
@@ -380,6 +493,95 @@ TEST_F(ServeServerTest, PingVersionStats) {
   Result<Json> stats = client->Call("stats", Json::Object());
   ASSERT_TRUE(stats.ok());
   EXPECT_GE(stats.value().GetInt("connections").value(), 1);
+}
+
+TEST_F(ServeServerTest, StatsExposePerClassLatencyPercentiles) {
+  std::unique_ptr<ServeClient> client = Connect();
+  ASSERT_NE(client, nullptr);
+  // Run real work through both job classes so the histograms have
+  // samples, then check the four percentile fields are present and sane.
+  ASSERT_FALSE(RunPipelineOverWire(client.get(), 4, 2).empty());
+  Result<Json> stats = client->Call("stats", Json::Object());
+  ASSERT_TRUE(stats.ok());
+  for (const char* field :
+       {"p50_interactive_ms", "p99_interactive_ms", "p50_batch_ms",
+        "p99_batch_ms"}) {
+    Result<double> value = stats.value().GetDouble(field);
+    ASSERT_TRUE(value.ok()) << field;
+    EXPECT_GE(value.value(), 0.0) << field;
+  }
+  EXPECT_GE(stats.value().GetDouble("p99_batch_ms").value(),
+            stats.value().GetDouble("p50_batch_ms").value());
+  // pipeline.submit ran as a batch job, so that histogram is non-empty
+  // and its p99 reflects at least one real quantum chain.
+  EXPECT_GE(stats.value().GetInt("executed_batch").value(), 1);
+}
+
+TEST(ServeServerBackpressure, RejectionsCarryRetryAfterHint) {
+  // A depth-1 server: one multi-quantum batch submit occupies the
+  // executor while a burst of raw interactive frames (written without
+  // waiting for responses — ServeClient would serialize them) overflows
+  // the tenant queue. The resulting error frames must carry the
+  // scheduler's retry-after hint.
+  Result<std::unique_ptr<AccuracyService>> service =
+      AccuracyService::Create(MjSpecification(), ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  ServerOptions options;
+  options.queue_depth = 1;
+  Result<std::unique_ptr<Server>> server =
+      Server::Start(service.value().get(), options);
+  ASSERT_TRUE(server.ok());
+
+  Result<std::unique_ptr<ServeClient>> client =
+      ServeClient::Connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(client.ok());
+  Json start = Json::Object();
+  start.Set("window", Json::Int(2));
+  Result<Json> started =
+      client.value()->Call("pipeline.start", std::move(start));
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  const int64_t sid = started.value().GetInt("session").value();
+
+  const Schema& schema = service.value()->specification().ie.schema();
+  Json submit = Json::Object();
+  submit.Set("session", Json::Int(sid));
+  submit.Set("entities", serve::EntitiesToJson(MakeEntities(12), schema));
+  const int fd = client.value()->fd();
+  int64_t next_id = 100;
+  ASSERT_TRUE(
+      WriteFrame(fd, serve::MakeRequest(next_id++, "pipeline.submit",
+                                        std::move(submit))
+                         .Dump())
+          .ok());
+  constexpr int kBurst = 8;
+  for (int i = 0; i < kBurst; ++i) {
+    Json poll = Json::Object();
+    poll.Set("session", Json::Int(sid));
+    ASSERT_TRUE(WriteFrame(fd, serve::MakeRequest(next_id++, "pipeline.poll",
+                                                  std::move(poll))
+                               .Dump())
+                    .ok());
+  }
+  int rejected_with_hint = 0;
+  for (int i = 0; i < kBurst + 1; ++i) {
+    std::string payload;
+    Result<bool> frame = ReadFrame(fd, &payload);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_TRUE(frame.value());
+    Result<Json> response = Json::Parse(payload);
+    ASSERT_TRUE(response.ok());
+    if (response.value().GetBool("ok").value()) continue;
+    Result<const Json*> error = response.value().GetObject("error");
+    ASSERT_TRUE(error.ok());
+    if (error.value()->GetString("code").value() != "resource-exhausted") {
+      continue;
+    }
+    Result<int64_t> hint = error.value()->GetInt("retry_after_ms");
+    ASSERT_TRUE(hint.ok()) << "resource-exhausted frame without hint";
+    EXPECT_GE(hint.value(), 0);
+    ++rejected_with_hint;
+  }
+  EXPECT_GE(rejected_with_hint, 1);
 }
 
 TEST_F(ServeServerTest, PipelineMatchesDirectServiceByteForByte) {
