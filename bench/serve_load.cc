@@ -98,16 +98,40 @@ struct ClientOutcome {
   std::string report;  ///< batch clients: pipeline.finish Dump(2)
   std::string error;   ///< non-empty on failure
   int64_t entities = 0;
+  int64_t retries = 0;  ///< kResourceExhausted retries honored
 };
 
-/// One timed round trip; appends the latency and surfaces errors.
+/// Bounded backpressure retries per request: a loaded daemon sheds with
+/// kResourceExhausted + retry_after_ms, and a well-behaved client waits
+/// that hint out (escalating, capped) instead of failing or hammering.
+constexpr int kMaxRetries = 5;
+
+/// One timed round trip; appends the latency of every attempt, honors
+/// kResourceExhausted backpressure with a bounded backoff, and surfaces
+/// terminal errors.
 Result<Json> TimedCall(serve::ServeClient* client, ClientOutcome* out,
                        const std::string& method, Json params) {
-  const auto start = std::chrono::steady_clock::now();
-  Result<Json> response = client->Call(method, std::move(params));
-  const auto end = std::chrono::steady_clock::now();
-  out->latencies_ms.push_back(
-      std::chrono::duration<double, std::milli>(end - start).count());
+  Result<Json> response = Status::Internal("no attempt made");
+  for (int attempt = 0;; ++attempt) {
+    Json attempt_params = params;  // Call consumes its params
+    const auto start = std::chrono::steady_clock::now();
+    response = client->Call(method, std::move(attempt_params));
+    const auto end = std::chrono::steady_clock::now();
+    out->latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+    if (response.ok() ||
+        response.status().code() != StatusCode::kResourceExhausted ||
+        attempt >= kMaxRetries) {
+      break;
+    }
+    // The daemon's hint, escalated per attempt and capped so a bench
+    // run stays bounded; a floor of 1ms keeps a zero/absent hint from
+    // degenerating into a busy loop.
+    int64_t wait_ms = std::max<int64_t>(client->last_retry_after_ms(), 1);
+    wait_ms = std::min<int64_t>(wait_ms * (attempt + 1), 2000);
+    ++out->retries;
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+  }
   if (!response.ok()) {
     out->error = method + ": " + response.status().ToString();
   }
@@ -289,6 +313,7 @@ int RunLoad(const LoadOptions& opt, int64_t window) {
 
   std::vector<double> latencies;
   int64_t entities_done = 0;
+  int64_t retried_requests = 0;
   int failures = 0;
   for (const ClientOutcome& out : outcomes) {
     if (!out.error.empty()) {
@@ -298,6 +323,7 @@ int RunLoad(const LoadOptions& opt, int64_t window) {
     latencies.insert(latencies.end(), out.latencies_ms.begin(),
                      out.latencies_ms.end());
     entities_done += out.entities;
+    retried_requests += out.retries;
   }
   if (failures > 0) return 1;
 
@@ -326,10 +352,12 @@ int RunLoad(const LoadOptions& opt, int64_t window) {
                     : 0.0;
   std::printf(
       "serve_load: clients=%d (batch=%d interactive=%d) entities=%lld "
-      "requests=%zu p50=%.3fms p99=%.3fms wall=%.1fms entities/s=%.1f\n",
+      "requests=%zu retried=%lld p50=%.3fms p99=%.3fms wall=%.1fms "
+      "entities/s=%.1f\n",
       opt.clients, batch_clients, interactive_clients,
-      static_cast<long long>(entities_done), latencies.size(), p50, p99,
-      wall_ms, entities_per_s);
+      static_cast<long long>(entities_done), latencies.size(),
+      static_cast<long long>(retried_requests), p50, p99, wall_ms,
+      entities_per_s);
 
   JsonReport json("serve_load");
   JsonReport::Row row;
@@ -341,6 +369,7 @@ int RunLoad(const LoadOptions& opt, int64_t window) {
       .Set("interactive_clients", interactive_clients)
       .Set("entities", entities_done)
       .Set("requests", static_cast<int64_t>(latencies.size()))
+      .Set("retried_requests", retried_requests)
       .Set("p50_ms", p50)
       .Set("p99_ms", p99)
       .Set("wall_ms", wall_ms)

@@ -6,7 +6,10 @@
 #include <utility>
 
 #include "analysis/analyzer.h"
+#include "api/version.h"
 #include "rules/grounding.h"
+#include "snapshot/reader.h"
+#include "snapshot/writer.h"
 #include "topk/batch_check.h"
 #include "topk/rank_join_ct.h"
 #include "util/thread_pool.h"
@@ -142,6 +145,10 @@ AccuracyService::AccuracyService(Specification spec, ServiceOptions options,
     : spec_(std::move(spec)), options_(std::move(options)), budget_(budget) {
   dict_ = options_.dictionary != nullptr ? options_.dictionary
                                          : std::make_shared<Dictionary>();
+  if (options_.memo_cache_entries > 0) {
+    memo_ =
+        std::make_unique<snapshot::MemoCache>(options_.memo_cache_entries);
+  }
 }
 
 AccuracyService::~AccuracyService() = default;
@@ -174,10 +181,158 @@ Result<std::unique_ptr<AccuracyService>> AccuracyService::Create(
                                      errors);
     }
   }
+  if (!options.snapshot_path.empty()) {
+    // A snapshot restores dictionary, config and derived state wholesale;
+    // options that describe a from-scratch build contradict it.
+    if (options.chase.has_value()) {
+      return Status::InvalidArgument(
+          "ServiceOptions::snapshot_path and ::chase are mutually "
+          "exclusive: the chase config is part of the artifact");
+    }
+    if (options.dictionary != nullptr) {
+      return Status::InvalidArgument(
+          "ServiceOptions::snapshot_path and ::dictionary are mutually "
+          "exclusive: the artifact restores its own dictionary (id "
+          "stability requires a fresh one)");
+    }
+    if (options.validate_spec) {
+      return Status::InvalidArgument(
+          "ServiceOptions::snapshot_path and ::validate_spec are mutually "
+          "exclusive: the artifact was validated when it was built");
+    }
+    options.columnar_storage = true;  // the artifact is dictionary-encoded
+    const int budget = ResolveBudget(options.num_threads);
+    auto service = std::unique_ptr<AccuracyService>(
+        new AccuracyService(Specification(), std::move(options), budget));
+    RELACC_RETURN_NOT_OK(service->LoadFromSnapshot());
+    return service;
+  }
   if (options.chase.has_value()) spec.config = *options.chase;
   const int budget = ResolveBudget(options.num_threads);
   return std::unique_ptr<AccuracyService>(
       new AccuracyService(std::move(spec), std::move(options), budget));
+}
+
+Status AccuracyService::LoadFromSnapshot() {
+  auto reader_res = snapshot::SnapshotReader::Open(options_.snapshot_path);
+  if (!reader_res.ok()) return reader_res.status();
+  reader_ = std::move(reader_res).value();
+  const snapshot::SnapshotReader::Info& info = reader_->info();
+
+  RELACC_RETURN_NOT_OK(reader_->LoadDictionary(dict_.get()));
+
+  auto entity_res = reader_->LoadEntity(dict_.get());
+  if (!entity_res.ok()) return entity_res.status();
+  cie_ = std::make_unique<ColumnarRelation>(std::move(entity_res).value());
+
+  auto rules_res = reader_->LoadRules();
+  if (!rules_res.ok()) return rules_res.status();
+  spec_.rules = std::move(rules_res).value();
+  spec_.config = info.config;
+  // The public Specification keeps the row boundary: Ie rows are
+  // materialized here (the entity instance is modest next to the
+  // masters), the masters stay zero-copy until something needs rows.
+  spec_.ie = cie_->ToRelation();
+  cmasters_.reserve(static_cast<std::size_t>(info.num_masters));
+  for (int m = 0; m < info.num_masters; ++m) {
+    auto master_res = reader_->LoadMaster(m, dict_.get());
+    if (!master_res.ok()) return master_res.status();
+    cmasters_.push_back(std::move(master_res).value());
+  }
+
+  auto cp_res = reader_->LoadCheckpoint();
+  if (!cp_res.ok()) return cp_res.status();
+  checkpoint_image_ =
+      std::make_unique<ChaseCheckpoint>(std::move(cp_res).value());
+
+  // Pre-materialize the all-null outcome the warm DeduceEntity serves
+  // without ever building an engine — identical, field for field, to
+  // what RunFromCheckpoint returns after an ImportCheckpoint.
+  snapshot_outcome_ = std::make_unique<ChaseOutcome>();
+  ChaseOutcome& out = *snapshot_outcome_;
+  out.stats.ground_steps = info.program_steps;
+  out.stats.steps_applied = checkpoint_image_->steps_applied;
+  out.stats.pairs_derived = checkpoint_image_->pairs_derived;
+  if (checkpoint_image_->ok) {
+    out.church_rosser = true;
+    const Schema& schema = cie_->schema();
+    std::vector<Value> te;
+    te.reserve(static_cast<std::size_t>(schema.size()));
+    for (AttrId a = 0; a < schema.size(); ++a) {
+      te.push_back(MaterializeAs(
+          *dict_, checkpoint_image_->te[static_cast<std::size_t>(a)],
+          schema.type(a)));
+    }
+    out.target = Tuple(std::move(te));
+  } else {
+    out.church_rosser = false;
+    out.violation = checkpoint_image_->violation;
+  }
+  return Status::OK();
+}
+
+Status AccuracyService::EnsureMasters() {
+  if (reader_ == nullptr || masters_loaded_) return Status::OK();
+  spec_.masters.reserve(cmasters_.size());
+  for (const ColumnarRelation& master : cmasters_) {
+    spec_.masters.push_back(master.ToRelation());
+  }
+  masters_loaded_ = true;
+  return Status::OK();
+}
+
+Status AccuracyService::WriteSnapshot(const std::string& path) {
+  if (!options_.columnar_storage) {
+    return Status::FailedPrecondition(
+        "WriteSnapshot: the artifact stores dictionary-encoded columns; "
+        "create the service with ServiceOptions::columnar_storage = true");
+  }
+  // Interning order matters: the engine build (step payloads, residual
+  // constants) and the master encodings below all intern into dict_
+  // BEFORE the dictionary section is written, so the ids embedded in
+  // the checkpoint and the columns are ids of the serialized dict.
+  RELACC_RETURN_NOT_OK(EnsureDefaultEngine());
+  ChaseCheckpoint checkpoint;
+  engine_->ExportCheckpoint(&checkpoint);  // !ok is a serializable state
+
+  std::vector<ColumnarRelation> owned_masters;
+  snapshot::SnapshotContents contents;
+  if (reader_ != nullptr) {
+    for (const ColumnarRelation& master : cmasters_) {
+      contents.masters.push_back(&master);
+    }
+  } else {
+    owned_masters.reserve(spec_.masters.size());
+    for (const Relation& master : spec_.masters) {
+      owned_masters.push_back(
+          ColumnarRelation::FromRelation(master, dict_.get()));
+    }
+    for (const ColumnarRelation& master : owned_masters) {
+      contents.masters.push_back(&master);
+    }
+  }
+  contents.dict = dict_.get();
+  contents.entity = cie_.get();
+  contents.rules = &spec_.rules;
+  contents.config = &spec_.config;
+  contents.program = program_.get();
+  contents.checkpoint = &checkpoint;
+  contents.tool_version = kRelaccVersion;
+  return snapshot::WriteSnapshotFile(contents, path);
+}
+
+snapshot::MemoCache::Stats AccuracyService::memo_stats() const {
+  if (memo_ == nullptr) return snapshot::MemoCache::Stats();
+  return memo_->stats();
+}
+
+uint64_t AccuracyService::OwnEntityFingerprint() {
+  if (!own_entity_fp_set_) {
+    own_entity_fp_ =
+        snapshot::FingerprintRelation(snapshot::kFnvOffset, spec_.ie);
+    own_entity_fp_set_ = true;
+  }
+  return own_entity_fp_;
 }
 
 Status AccuracyService::EnsureDefaultEngine() {
@@ -187,6 +342,26 @@ Status AccuracyService::EnsureDefaultEngine() {
   // the checkpoint itself stays sequential (and lazy).
   const int shards = GroundShardCount();
   ThreadPool* pool = shards > 1 ? &ChasePool() : nullptr;
+  if (reader_ != nullptr) {
+    // Snapshot path: the program and the chased checkpoint come from the
+    // artifact — no grounding, no chase. The engine is still only built
+    // on demand (TopK, candidate checks, interactions); the default
+    // DeduceEntity never gets here.
+    auto program_res = reader_->LoadProgram();
+    if (!program_res.ok()) return program_res.status();
+    program_ =
+        std::make_unique<GroundProgram>(std::move(program_res).value());
+    engine_ = std::make_unique<ChaseEngine>(*cie_, program_.get(),
+                                            spec_.config, pool);
+    Status imported = engine_->ImportCheckpoint(*checkpoint_image_);
+    if (!imported.ok()) {
+      engine_.reset();
+      program_.reset();
+      return imported;
+    }
+    engine_token_ = NewBindingToken();
+    return Status::OK();
+  }
   if (options_.columnar_storage) {
     cie_ = std::make_unique<ColumnarRelation>(
         ColumnarRelation::FromRelation(spec_.ie, dict_.get()));
@@ -244,13 +419,32 @@ const CandidateChecker& AccuracyService::AcquireCompletionChecker(
 }
 
 Result<ChaseOutcome> AccuracyService::DeduceEntity() {
+  if (reader_ != nullptr && engine_ == nullptr && !spec_.config.keep_orders) {
+    // The artifact carries the chased all-null checkpoint, so the warm
+    // answer needs neither grounding nor an engine: O(1) in |Γ| and in
+    // the master sizes. keep_orders falls through — the caller asked
+    // for the closed orders, which only the engine materializes.
+    return *snapshot_outcome_;
+  }
   RELACC_RETURN_NOT_OK(EnsureDefaultEngine());
   return engine_->RunFromCheckpoint();
 }
 
 Result<ChaseOutcome> AccuracyService::DeduceEntity(const Relation& entity) {
+  RELACC_RETURN_NOT_OK(EnsureMasters());
+  const bool memoize =
+      memo_ != nullptr && memo_->enabled() && !spec_.config.keep_orders;
+  uint64_t key = 0;
+  if (memoize) {
+    key = snapshot::MemoKey(snapshot::MemoKind::kDeduce,
+                            snapshot::FingerprintRelation(
+                                snapshot::kFnvOffset, entity),
+                            0);
+    if (auto hit = memo_->Lookup(key)) return hit->outcome;
+  }
   const int shards = GroundShardCount();
   ThreadPool* pool = shards > 1 ? &ChasePool() : nullptr;
+  ChaseOutcome outcome;
   if (options_.columnar_storage) {
     // One-shot: a call-local dictionary, so no state (or memory) is
     // retained by the service for ad-hoc entities.
@@ -260,12 +454,19 @@ Result<ChaseOutcome> AccuracyService::DeduceEntity(const Relation& entity) {
     const GroundProgram program =
         Instantiate(cie, spec_.masters, spec_.rules, shards, pool);
     ChaseEngine engine(cie, &program, spec_.config, pool);
-    return engine.RunFromInitial();
+    outcome = engine.RunFromInitial();
+  } else {
+    const GroundProgram program =
+        Instantiate(entity, spec_.masters, spec_.rules, shards, pool);
+    ChaseEngine engine(entity, &program, spec_.config, pool);
+    outcome = engine.RunFromInitial();
   }
-  const GroundProgram program =
-      Instantiate(entity, spec_.masters, spec_.rules, shards, pool);
-  ChaseEngine engine(entity, &program, spec_.config, pool);
-  return engine.RunFromInitial();
+  if (memoize) {
+    auto entry = std::make_shared<snapshot::MemoEntry>();
+    entry->outcome = outcome;
+    memo_->Insert(key, std::move(entry));
+  }
+  return outcome;
 }
 
 Result<TopKResult> AccuracyService::TopK(int k, TopKAlgorithm algo,
@@ -276,6 +477,7 @@ Result<TopKResult> AccuracyService::TopK(int k, TopKAlgorithm algo,
                                    std::to_string(k));
   }
   RELACC_RETURN_NOT_OK(ValidateManagedTopK(topk, "AccuracyService::TopK"));
+  RELACC_RETURN_NOT_OK(EnsureMasters());
   RELACC_RETURN_NOT_OK(EnsureDefaultEngine());
   const ChaseOutcome outcome = engine_->RunFromCheckpoint();
   if (!outcome.church_rosser) {
@@ -310,14 +512,30 @@ Result<TopKResult> AccuracyService::TopK(int k, TopKAlgorithm algo,
 
 Result<std::vector<char>> AccuracyService::CheckCandidates(
     const std::vector<Tuple>& candidates) {
+  const bool memoize = memo_ != nullptr && memo_->enabled();
+  uint64_t key = 0;
+  if (memoize) {
+    key = snapshot::MemoKey(
+        snapshot::MemoKind::kVerdicts, OwnEntityFingerprint(),
+        snapshot::FingerprintTuples(snapshot::kFnvOffset, candidates));
+    if (auto hit = memo_->Lookup(key)) return hit->verdicts;
+  }
   RELACC_RETURN_NOT_OK(EnsureDefaultEngine());
-  return AcquireChecker(*engine_, engine_token_).CheckAll(candidates);
+  std::vector<char> verdicts =
+      AcquireChecker(*engine_, engine_token_).CheckAll(candidates);
+  if (memoize) {
+    auto entry = std::make_shared<snapshot::MemoEntry>();
+    entry->verdicts = verdicts;
+    memo_->Insert(key, std::move(entry));
+  }
+  return verdicts;
 }
 
 Result<std::unique_ptr<PipelineSession>> AccuracyService::StartPipeline(
     PipelineSessionOptions options) {
   RELACC_RETURN_NOT_OK(
       ValidateManagedTopK(options.topk, "AccuracyService::StartPipeline"));
+  RELACC_RETURN_NOT_OK(EnsureMasters());
   if (options.window < 0) {
     return Status::InvalidArgument(
         "PipelineSessionOptions::window must be >= 0 (0 = service default), "
@@ -348,6 +566,7 @@ AccuracyService::StartInteractionImpl(InteractionOptions options,
   }
   RELACC_RETURN_NOT_OK(
       ValidateManagedTopK(options.topk, "AccuracyService::StartInteraction"));
+  RELACC_RETURN_NOT_OK(EnsureMasters());
   auto session = std::unique_ptr<InteractionSession>(
       new InteractionSession(this, std::move(options)));
   const Relation* ie;

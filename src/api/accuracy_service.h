@@ -19,6 +19,7 @@
 #include "core/dictionary.h"
 #include "core/relation.h"
 #include "pipeline/pipeline.h"
+#include "snapshot/memo_cache.h"
 #include "topk/preference.h"
 #include "topk/topk_ct.h"
 #include "util/status.h"
@@ -27,6 +28,10 @@ namespace relacc {
 
 class CandidateChecker;  // topk/batch_check.h
 class ThreadPool;        // util/thread_pool.h
+
+namespace snapshot {
+class SnapshotReader;  // snapshot/reader.h
+}  // namespace snapshot
 
 class PipelineSession;
 class InteractionSession;
@@ -87,6 +92,24 @@ struct ServiceOptions {
   /// TermId-encoded checkpoints are shared across workers and sessions,
   /// which requires a common dictionary regardless of storage layout.
   std::shared_ptr<Dictionary> dictionary;
+
+  /// Path to a snapshot artifact (src/snapshot/) to load the service
+  /// from instead of grounding + chasing the Specification: Create
+  /// ignores the passed spec and restores dictionary, entity instance,
+  /// masters (zero-copy, mmap-backed), rules, config, grounded program
+  /// and the chased all-null checkpoint from the file. Incompatible
+  /// with `chase`, `dictionary`, `validate_spec` and `columnar_storage
+  /// == false` being meaningful — those describe a from-scratch build,
+  /// so Create rejects the combinations with kInvalidArgument.
+  /// Version or CRC problems surface as kInvalidArgument / kDataLoss;
+  /// a service is never half-built from a bad artifact.
+  std::string snapshot_path;
+
+  /// Capacity (entries) of the in-service verdict memo cache: repeated
+  /// CheckCandidates batches and repeated ad-hoc DeduceEntity calls —
+  /// the serve daemon's retried/replayed load — are answered from the
+  /// memo instead of re-chasing. 0 (the default) disables the cache.
+  std::size_t memo_cache_entries = 0;
 };
 
 /// Per-session options of AccuracyService::StartPipeline.
@@ -253,6 +276,31 @@ class AccuracyService {
   /// Whether entity instances are stored and chased dictionary-encoded.
   bool columnar_storage() const { return options_.columnar_storage; }
 
+  /// How this service stores its data: "row", "columnar", or
+  /// "snapshot" (mmap-backed artifact). Serve stats and bench rows
+  /// report this label.
+  const char* storage_mode() const {
+    if (reader_ != nullptr) return "snapshot";
+    return options_.columnar_storage ? "columnar" : "row";
+  }
+
+  /// Terms currently interned in the service dictionary (including the
+  /// reserved null slot).
+  std::size_t dictionary_terms() const { return dict_->size(); }
+
+  /// Counters of the verdict memo cache; all zero when the cache is
+  /// disabled (ServiceOptions::memo_cache_entries == 0).
+  snapshot::MemoCache::Stats memo_stats() const;
+
+  /// Serializes the service's full derived state — dictionary, encoded
+  /// entity instance, masters, rules, config, grounded program, chased
+  /// all-null checkpoint — into a snapshot artifact at `path`, building
+  /// the engine and checkpoint first if needed. Requires columnar
+  /// storage (the artifact ships dictionary-encoded columns);
+  /// kFailedPrecondition otherwise. A snapshot-loaded service can
+  /// re-export.
+  Status WriteSnapshot(const std::string& path);
+
   /// Opens a streaming pipeline session. Rejects managed TopKOptions
   /// knobs (num_threads/checker) and negative windows with
   /// kInvalidArgument.
@@ -313,7 +361,24 @@ class AccuracyService {
       InteractionOptions options, std::unique_ptr<Relation> own_ie);
 
   /// Grounds the spec's own entity instance and builds its engine, once.
+  /// On a snapshot-loaded service this deserializes the stored program
+  /// and installs the stored checkpoint instead of re-grounding and
+  /// re-chasing.
   Status EnsureDefaultEngine();
+
+  /// Restores the service's state from options_.snapshot_path; called
+  /// once by Create, before the service is handed out.
+  Status LoadFromSnapshot();
+
+  /// Materializes spec_.masters rows from the mmap-backed columnar
+  /// masters of a snapshot-loaded service, once, on the first call
+  /// that actually needs row masters (top-k search spaces, grounding
+  /// ad-hoc entities, pipelines). The warm deduce path never does.
+  Status EnsureMasters();
+
+  /// FNV fingerprint of the service's own entity instance, computed
+  /// once (memo-cache key half).
+  uint64_t OwnEntityFingerprint();
 
   /// The shared chase pool (width = budget), built on first use.
   ThreadPool& ChasePool();
@@ -366,6 +431,24 @@ class AccuracyService {
   std::unique_ptr<GroundProgram> program_;
   std::unique_ptr<ChaseEngine> engine_;
   uint64_t engine_token_ = 0;
+
+  // Snapshot mode (reader_ != nullptr): the open artifact — it owns
+  // the mapping the borrowed master columns alias, so it outlives
+  // them — plus the decoded checkpoint image (consumed lazily by
+  // EnsureDefaultEngine), the pre-materialized all-null outcome the
+  // O(1) warm DeduceEntity serves, and the zero-copy masters that
+  // EnsureMasters row-materializes on demand.
+  std::unique_ptr<snapshot::SnapshotReader> reader_;
+  std::unique_ptr<ChaseCheckpoint> checkpoint_image_;
+  std::unique_ptr<ChaseOutcome> snapshot_outcome_;
+  std::vector<ColumnarRelation> cmasters_;
+  bool masters_loaded_ = false;
+
+  // The verdict memo (ServiceOptions::memo_cache_entries); null when
+  // disabled.
+  std::unique_ptr<snapshot::MemoCache> memo_;
+  uint64_t own_entity_fp_ = 0;
+  bool own_entity_fp_set_ = false;
 
   std::unique_ptr<CandidateChecker> checker_;
   uint64_t bound_token_ = 0;   ///< token of the engine checker_ is bound to

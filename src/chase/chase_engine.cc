@@ -94,7 +94,8 @@ ChaseEngine::ChaseEngine(const ColumnarRelation& ie,
   value_groups_.resize(num_attrs_);
   value_slot_.resize(num_attrs_);
   for (AttrId a = 0; a < num_attrs_; ++a) {
-    columns_[a] = ie.column(a);  // already this dictionary's ids
+    const TermColumn& col = ie.column(a);  // already this dictionary's ids
+    columns_[a].assign(col.begin(), col.end());
     for (int i = 0; i < n_; ++i) {
       const TermId id = columns_[a][i];
       if (id == kNullTermId) continue;
@@ -528,6 +529,91 @@ bool ChaseEngine::EnsureCheckpoint() const {
     }
   }
   return !checkpoint_failed_;
+}
+
+bool ChaseEngine::ExportCheckpoint(ChaseCheckpoint* out) const {
+  *out = ChaseCheckpoint();
+  if (!EnsureCheckpoint()) {
+    out->ok = false;
+    out->violation = checkpoint_violation_;
+    out->steps_applied = checkpoint_failed_stats_.steps_applied;
+    out->pairs_derived = checkpoint_failed_stats_.pairs_derived;
+    return false;
+  }
+  const RunState& st = *checkpoint_;
+  out->ok = true;
+  out->te = st.te;
+  out->te_rule = st.te_rule;
+  out->remaining.assign(st.remaining.begin(), st.remaining.end());
+  out->dead.assign(st.dead.begin(), st.dead.end());
+  out->order_succ.reserve(st.orders.size());
+  for (const PartialOrder& order : st.orders) {
+    out->order_succ.push_back(order.successor_words());
+  }
+  out->steps_applied = st.stats.steps_applied;
+  out->pairs_derived = st.stats.pairs_derived;
+  out->actions = st.actions;
+  return true;
+}
+
+Status ChaseEngine::ImportCheckpoint(const ChaseCheckpoint& image) {
+  if (!image.ok) {
+    checkpoint_ = nullptr;
+    checkpoint_failed_ = true;
+    checkpoint_violation_ = image.violation;
+    checkpoint_failed_stats_ = ChaseStats{};
+    checkpoint_failed_stats_.ground_steps =
+        static_cast<int64_t>(program_->steps.size());
+    checkpoint_failed_stats_.steps_applied = image.steps_applied;
+    checkpoint_failed_stats_.pairs_derived = image.pairs_derived;
+    probe_state_.reset();
+    session_state_.reset();
+    return Status::OK();
+  }
+  const std::size_t steps = program_->steps.size();
+  const auto attrs = static_cast<std::size_t>(num_attrs_);
+  if (image.te.size() != attrs || image.te_rule.size() != attrs ||
+      image.order_succ.size() != attrs || image.remaining.size() != steps ||
+      image.dead.size() != steps) {
+    return Status::DataLoss(
+        "checkpoint image does not match the program/instance shape");
+  }
+  const std::size_t words =
+      static_cast<std::size_t>(n_) *
+      ((static_cast<std::size_t>(n_) + 63) / 64);
+  for (const std::vector<uint64_t>& succ : image.order_succ) {
+    if (succ.size() != words) {
+      return Status::DataLoss("checkpoint order matrix has the wrong size");
+    }
+  }
+  for (const TermId id : image.te) {
+    if (id >= dict_->size()) {
+      return Status::DataLoss("checkpoint te id outside the dictionary");
+    }
+  }
+  auto st = std::make_unique<RunState>();
+  st->te = image.te;
+  st->te_rule = image.te_rule;
+  st->remaining.assign(image.remaining.begin(), image.remaining.end());
+  st->dead.assign(image.dead.begin(), image.dead.end());
+  st->orders.reserve(attrs);
+  for (AttrId a = 0; a < num_attrs_; ++a) {
+    st->orders.push_back(PartialOrder::RestoreClosed(
+        columns_[a], image.order_succ[static_cast<std::size_t>(a)].data()));
+  }
+  // The image was taken at a drained state: queue empty, nothing λ-dirty,
+  // trail disabled — the invariants EnsureCheckpoint leaves behind.
+  st->attr_dirty.assign(attrs, 0);
+  st->stats.ground_steps = static_cast<int64_t>(steps);
+  st->stats.steps_applied = image.steps_applied;
+  st->stats.pairs_derived = image.pairs_derived;
+  st->actions = image.actions;
+  checkpoint_ = std::shared_ptr<const RunState>(std::move(st));
+  checkpoint_failed_ = false;
+  checkpoint_violation_.clear();
+  probe_state_.reset();
+  session_state_.reset();
+  return Status::OK();
 }
 
 ChaseEngine::RunState* ChaseEngine::EnsureProbeState() const {

@@ -14,8 +14,33 @@
 #include "core/dictionary.h"
 #include "core/relation.h"
 #include "rules/grounding.h"
+#include "util/status.h"
 
 namespace relacc {
+
+/// A serializable image of the shared all-null checkpoint — exactly the
+/// derived state a snapshot persists so a loaded engine resumes from
+/// the chased terminal instance instead of re-running the checkpoint
+/// chase. te ids are TermIds of the engine's dictionary (snapshot loads
+/// re-intern in id order, so ids are stable); `order_succ` holds each
+/// attribute's transitively-closed successor words
+/// (PartialOrder::successor_words()) — predecessors, in-degrees and the
+/// greatest element are derived on import. When the base specification
+/// is not Church-Rosser there is no checkpoint state: ok is false and
+/// the violation plus the failing chase's stats round-trip instead, so
+/// a loaded service reports the identical failure.
+struct ChaseCheckpoint {
+  bool ok = false;
+  std::vector<TermId> te;                         ///< [attr]
+  std::vector<int32_t> te_rule;                   ///< [attr] provenance
+  std::vector<int32_t> remaining;                 ///< [ground step]
+  std::vector<uint8_t> dead;                      ///< [ground step]
+  std::vector<std::vector<uint64_t>> order_succ;  ///< [attr] closed succ
+  int64_t steps_applied = 0;
+  int64_t pairs_derived = 0;
+  int64_t actions = 0;
+  std::string violation;  ///< when !ok
+};
 
 /// Executes chasing sequences over a pre-grounded program (Sec. 2.2 / 5).
 ///
@@ -132,6 +157,23 @@ class ChaseEngine {
   /// Exception: when the base spec itself is not Church-Rosser, the
   /// failing all-null chase's own stats are reported.
   ChaseOutcome ResumeWith(const Tuple& extra_te) const;
+
+  /// Fills `out` with an image of the all-null checkpoint, building it
+  /// first if needed (so this pays the checkpoint chase exactly when
+  /// nothing has). Returns out->ok — false means the base specification
+  /// is not Church-Rosser and `out` carries the violation instead.
+  bool ExportCheckpoint(ChaseCheckpoint* out) const;
+
+  /// Installs a previously exported image as this engine's checkpoint
+  /// without chasing: orders are rebuilt from the closed successor
+  /// words over this engine's own columns, the step bookkeeping is
+  /// adopted verbatim, and subsequent RunFromCheckpoint /
+  /// CheckCandidate / ResumeWith behave exactly as if the engine had
+  /// chased the checkpoint itself. The image must come from an engine
+  /// over the same (Ie, Γ, config) — shape mismatches (attr count, step
+  /// count, order matrix sizes, te ids outside the dictionary) are
+  /// rejected with kDataLoss and leave the engine unchanged.
+  Status ImportCheckpoint(const ChaseCheckpoint& image);
 
   /// Row view of Ie. For a row-constructed engine this is the caller's
   /// relation; for a columnar engine a row adapter is materialized (and

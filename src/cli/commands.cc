@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -23,6 +24,7 @@
 #include "pipeline/pipeline.h"
 #include "serve/server.h"
 #include "serve/wire.h"
+#include "snapshot/reader.h"
 #include "topk/rank_join_ct.h"
 #include "topk/topk_ct.h"
 #include "util/strings.h"
@@ -34,11 +36,7 @@ namespace {
 /// Loads the spec document named by the first positional argument.
 /// Relative "tuples_csv" references resolve against the document's
 /// directory.
-Result<SpecDocument> LoadSpec(const Args& args) {
-  if (args.positionals().empty()) {
-    return Status::InvalidArgument("expected a <spec.json> argument");
-  }
-  const std::string& path = args.positionals()[0];
+Result<SpecDocument> LoadSpecAt(const std::string& path) {
   Result<std::string> text = ReadFile(path);
   if (!text.ok()) return text.status();
   const auto slash = path.find_last_of('/');
@@ -54,6 +52,13 @@ Result<SpecDocument> LoadSpec(const Args& args) {
     return Status::ParseError(doc.status().message());
   }
   return doc;
+}
+
+Result<SpecDocument> LoadSpec(const Args& args) {
+  if (args.positionals().empty()) {
+    return Status::InvalidArgument("expected a <spec.json> argument");
+  }
+  return LoadSpecAt(args.positionals()[0]);
 }
 
 /// Rejects unrecognized flags after a command has consumed its own.
@@ -189,8 +194,7 @@ Status CmdTopK(const Args& args, std::ostream& out) {
   const bool strategy_given = args.Has("check-strategy");
   const std::string strategy = args.GetString("check-strategy", "trail");
   const bool as_json = args.Has("json");
-  Result<SpecDocument> doc = LoadSpec(args);
-  if (!doc.ok()) return doc.status();
+  const std::string snapshot = args.GetString("snapshot");
   if (!k.ok()) return k.status();
   if (!threads.ok()) return threads.status();
   // Bounded before the int cast: each worker is an OS thread plus its own
@@ -215,18 +219,42 @@ Status CmdTopK(const Args& args, std::ostream& out) {
   }
   RELACC_RETURN_NOT_OK(CheckUnread(args));
 
-  Specification& spec = doc.value().spec;
-  // The flag overrides the spec document's config only when given, so a
-  // spec pinned to one strategy keeps it by default.
-  if (strategy_given) spec.config.check_strategy = check_strategy;
-  const Schema schema = spec.ie.schema();
-
   ServiceOptions service_options;
   service_options.num_threads = static_cast<int>(threads.value());
-  Result<std::unique_ptr<AccuracyService>> service =
-      AccuracyService::Create(std::move(spec), std::move(service_options));
-  if (!service.ok()) return service.status();
-  Result<ChaseOutcome> outcome = service.value()->DeduceEntity();
+  std::unique_ptr<AccuracyService> service;
+  Schema schema;
+  if (!snapshot.empty()) {
+    // The artifact replaces the spec document (and carries its own
+    // chase config, so the strategy flag has nothing to override).
+    if (strategy_given) {
+      return Status::InvalidArgument(
+          "--check-strategy conflicts with --snapshot: the chase config "
+          "is part of the artifact");
+    }
+    if (!args.positionals().empty()) {
+      return Status::InvalidArgument(
+          "--snapshot replaces the <spec.json> argument");
+    }
+    service_options.snapshot_path = snapshot;
+    Result<std::unique_ptr<AccuracyService>> created =
+        AccuracyService::Create(Specification(), std::move(service_options));
+    if (!created.ok()) return created.status();
+    service = std::move(created).value();
+    schema = service->specification().ie.schema();
+  } else {
+    Result<SpecDocument> doc = LoadSpec(args);
+    if (!doc.ok()) return doc.status();
+    Specification& spec = doc.value().spec;
+    // The flag overrides the spec document's config only when given, so
+    // a spec pinned to one strategy keeps it by default.
+    if (strategy_given) spec.config.check_strategy = check_strategy;
+    schema = spec.ie.schema();
+    Result<std::unique_ptr<AccuracyService>> created =
+        AccuracyService::Create(std::move(spec), std::move(service_options));
+    if (!created.ok()) return created.status();
+    service = std::move(created).value();
+  }
+  Result<ChaseOutcome> outcome = service->DeduceEntity();
   if (!outcome.ok()) return outcome.status();
   if (!outcome.value().church_rosser) {
     return Status::FailedPrecondition("specification is not Church-Rosser: " +
@@ -237,7 +265,7 @@ Status CmdTopK(const Args& args, std::ostream& out) {
   // Run the ranking even when the deduced target is complete: the
   // algorithms then verify the target and return it as its own sole
   // candidate, which the JSON output has always reported.
-  Result<TopKResult> ranked = service.value()->TopK(kk, algorithm);
+  Result<TopKResult> ranked = service->TopK(kk, algorithm);
   if (!ranked.ok()) return ranked.status();
   const TopKResult& result = ranked.value();
 
@@ -285,6 +313,7 @@ Status CmdPipeline(const Args& args, std::ostream& out) {
   Result<int64_t> ground_shards = args.GetInt("ground-shards", 0);
   const std::string completion = args.GetString("completion", "best");
   const std::string storage = args.GetString("storage", "row");
+  const std::string snapshot = args.GetString("snapshot");
   const bool as_json = args.Has("json");
   Result<SpecDocument> doc = LoadSpec(args);
   if (!doc.ok()) return doc.status();
@@ -311,6 +340,11 @@ Status CmdPipeline(const Args& args, std::ostream& out) {
   if (storage != "row" && storage != "columnar") {
     return Status::InvalidArgument("--storage must be row or columnar");
   }
+  if (!snapshot.empty() && args.Has("storage") && storage != "columnar") {
+    return Status::InvalidArgument(
+        "--storage row conflicts with --snapshot: the artifact is "
+        "dictionary-encoded");
+  }
   const Specification& spec = doc.value().spec;
   const Schema& schema = spec.ie.schema();
   ResolverConfig resolver;
@@ -330,7 +364,14 @@ Status CmdPipeline(const Args& args, std::ostream& out) {
   if (window.value() > 0) {
     service_options.window = window.value();
   }
-  if (storage == "columnar") {
+  if (!snapshot.empty()) {
+    // The service (masters, rules, chase config, chased checkpoint)
+    // comes from the artifact; the spec document still provides the
+    // flat relation that entity resolution clusters. The document's
+    // dictionary must not seed the service — the artifact restores its
+    // own (id stability needs a fresh one).
+    service_options.snapshot_path = snapshot;
+  } else if (storage == "columnar") {
     // Dictionary-encoded storage, seeded with the parse-time dictionary
     // (SpecDocument::dict) so the service never re-interns the document.
     service_options.columnar_storage = true;
@@ -461,13 +502,23 @@ Status CmdServe(const Args& args, std::ostream& out) {
   Result<int64_t> threads = args.GetInt("threads", 0);
   Result<int64_t> window = args.GetInt("window", 0);
   Result<int64_t> queue_depth = args.GetInt("queue-depth", 32);
+  Result<int64_t> memo_cache = args.GetInt("memo-cache", 0);
   const std::string port_file = args.GetString("port-file");
-  Result<SpecDocument> doc = LoadSpec(args);
-  if (!doc.ok()) return doc.status();
+  const std::string snapshot = args.GetString("snapshot");
+  std::optional<SpecDocument> doc;
+  if (snapshot.empty()) {
+    Result<SpecDocument> loaded = LoadSpec(args);
+    if (!loaded.ok()) return loaded.status();
+    doc = std::move(loaded).value();
+  } else if (!args.positionals().empty()) {
+    return Status::InvalidArgument(
+        "--snapshot replaces the <spec.json> argument");
+  }
   if (!port.ok()) return port.status();
   if (!threads.ok()) return threads.status();
   if (!window.ok()) return window.status();
   if (!queue_depth.ok()) return queue_depth.status();
+  if (!memo_cache.ok()) return memo_cache.status();
   if (port.value() < 0 || port.value() > 65535) {
     return Status::InvalidArgument(
         "--port must be in [0, 65535] (0 = ephemeral)");
@@ -483,13 +534,21 @@ Status CmdServe(const Args& args, std::ostream& out) {
   if (queue_depth.value() < 1 || queue_depth.value() > 4096) {
     return Status::InvalidArgument("--queue-depth must be in [1, 4096]");
   }
+  if (memo_cache.value() < 0 || memo_cache.value() > (1 << 24)) {
+    return Status::InvalidArgument(
+        "--memo-cache must be in [0, 16777216] (0 = disabled)");
+  }
   RELACC_RETURN_NOT_OK(CheckUnread(args));
 
   ServiceOptions service_options;
   service_options.num_threads = static_cast<int>(threads.value());
   if (window.value() > 0) service_options.window = window.value();
+  service_options.memo_cache_entries =
+      static_cast<std::size_t>(memo_cache.value());
+  if (!snapshot.empty()) service_options.snapshot_path = snapshot;
   Result<std::unique_ptr<AccuracyService>> service = AccuracyService::Create(
-      std::move(doc.value().spec), std::move(service_options));
+      doc.has_value() ? std::move(doc->spec) : Specification(),
+      std::move(service_options));
   if (!service.ok()) return service.status();
 
   serve::ServerOptions server_options;
@@ -646,6 +705,145 @@ Status CmdGen(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+// --- relacc snapshot -------------------------------------------------------
+
+const char* SectionName(snapshot::SectionType type) {
+  switch (type) {
+    case snapshot::SectionType::kMeta:
+      return "meta";
+    case snapshot::SectionType::kDict:
+      return "dict";
+    case snapshot::SectionType::kEntity:
+      return "entity";
+    case snapshot::SectionType::kMasters:
+      return "masters";
+    case snapshot::SectionType::kRules:
+      return "rules";
+    case snapshot::SectionType::kProgram:
+      return "program";
+    case snapshot::SectionType::kCheckpoint:
+      return "checkpoint";
+  }
+  return "unknown";
+}
+
+/// `relacc snapshot build <spec.json> --out <file> [--threads N]`:
+/// builds the service exactly as `relacc serve <spec.json>` would
+/// (columnar storage, the document's chase config), chases the all-null
+/// checkpoint once, and serializes the whole thing into one artifact.
+Status CmdSnapshotBuild(const Args& args, std::ostream& out) {
+  Result<int64_t> threads = args.GetInt("threads", 0);
+  const std::string out_path = args.GetString("out");
+  if (!threads.ok()) return threads.status();
+  if (threads.value() < 0 || threads.value() > 256) {
+    return Status::InvalidArgument(
+        "--threads must be between 0 and 256 (0 = hardware concurrency)");
+  }
+  if (out_path.empty()) {
+    return Status::InvalidArgument("--out <file> is required");
+  }
+  if (args.positionals().size() < 2) {
+    return Status::InvalidArgument(
+        "usage: relacc snapshot build <spec.json> --out <file>");
+  }
+  Result<SpecDocument> doc = LoadSpecAt(args.positionals()[1]);
+  if (!doc.ok()) return doc.status();
+  RELACC_RETURN_NOT_OK(CheckUnread(args));
+
+  ServiceOptions service_options;
+  service_options.num_threads = static_cast<int>(threads.value());
+  service_options.columnar_storage = true;
+  service_options.dictionary = doc.value().dict;
+  Result<std::unique_ptr<AccuracyService>> service = AccuracyService::Create(
+      std::move(doc.value().spec), std::move(service_options));
+  if (!service.ok()) return service.status();
+  RELACC_RETURN_NOT_OK(service.value()->WriteSnapshot(out_path));
+
+  // Re-open what was just written: one cheap validation pass, and the
+  // summary line comes from the artifact itself, not from intent.
+  Result<std::unique_ptr<snapshot::SnapshotReader>> reader =
+      snapshot::SnapshotReader::Open(out_path);
+  if (!reader.ok()) return reader.status();
+  const snapshot::SnapshotReader::Info& info = reader.value()->info();
+  out << "wrote " << out_path << " (" << info.file_size << " bytes, "
+      << info.dict_terms << " terms, " << info.entity_rows
+      << " entity tuples, " << info.num_masters << " master(s), "
+      << info.program_steps << " ground steps, checkpoint "
+      << (info.checkpoint_ok ? "ok" : "failed") << ")\n";
+  return Status::OK();
+}
+
+/// `relacc snapshot info <file> [--json]`: header + section table of an
+/// artifact, without loading any of it into a service.
+Status CmdSnapshotInfo(const Args& args, std::ostream& out) {
+  const bool as_json = args.Has("json");
+  if (args.positionals().size() < 2) {
+    return Status::InvalidArgument(
+        "usage: relacc snapshot info <file> [--json]");
+  }
+  RELACC_RETURN_NOT_OK(CheckUnread(args));
+  Result<std::unique_ptr<snapshot::SnapshotReader>> reader =
+      snapshot::SnapshotReader::Open(args.positionals()[1]);
+  if (!reader.ok()) return reader.status();
+  const snapshot::SnapshotReader::Info& info = reader.value()->info();
+
+  if (as_json) {
+    Json j = Json::Object();
+    j.Set("path", Json::Str(args.positionals()[1]));
+    j.Set("format_version",
+          Json::Int(static_cast<int64_t>(snapshot::kFormatVersion)));
+    j.Set("tool_version", Json::Str(info.tool_version));
+    j.Set("file_size", Json::Int(static_cast<int64_t>(info.file_size)));
+    j.Set("num_attrs", Json::Int(info.num_attrs));
+    j.Set("entity_rows", Json::Int(info.entity_rows));
+    j.Set("num_masters", Json::Int(info.num_masters));
+    j.Set("dict_terms", Json::Int(info.dict_terms));
+    j.Set("program_steps", Json::Int(info.program_steps));
+    j.Set("checkpoint_ok", Json::Bool(info.checkpoint_ok));
+    Json sections = Json::Array();
+    for (const snapshot::SectionEntry& s : info.sections) {
+      Json row = Json::Object();
+      row.Set("section", Json::Str(SectionName(s.type)));
+      row.Set("offset", Json::Int(static_cast<int64_t>(s.offset)));
+      row.Set("size", Json::Int(static_cast<int64_t>(s.size)));
+      sections.Append(std::move(row));
+    }
+    j.Set("sections", std::move(sections));
+    out << j.Dump(2) << "\n";
+    return Status::OK();
+  }
+  out << args.positionals()[1] << ": relacc snapshot v"
+      << snapshot::kFormatVersion << " (written by relacc "
+      << info.tool_version << ")\n"
+      << "  file size:      " << info.file_size << " bytes\n"
+      << "  attributes:     " << info.num_attrs << "\n"
+      << "  entity tuples:  " << info.entity_rows << "\n"
+      << "  masters:        " << info.num_masters << "\n"
+      << "  dict terms:     " << info.dict_terms << "\n"
+      << "  ground steps:   " << info.program_steps << "\n"
+      << "  checkpoint:     " << (info.checkpoint_ok ? "ok" : "failed")
+      << "\n"
+      << "  sections:\n";
+  for (const snapshot::SectionEntry& s : info.sections) {
+    out << "    " << SectionName(s.type) << ": offset=" << s.offset
+        << " size=" << s.size << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdSnapshot(const Args& args, std::ostream& out) {
+  if (args.positionals().empty()) {
+    return Status::InvalidArgument(
+        "usage: relacc snapshot build <spec.json> --out <file> | "
+        "relacc snapshot info <file>");
+  }
+  const std::string& sub = args.positionals()[0];
+  if (sub == "build") return CmdSnapshotBuild(args, out);
+  if (sub == "info") return CmdSnapshotInfo(args, out);
+  return Status::InvalidArgument("unknown snapshot subcommand '" + sub +
+                                 "' (expected build or info)");
+}
+
 /// `relacc lint <spec.json> [--json] [--werror]`: loads the document
 /// leniently (parse failures become diagnostics instead of aborting the
 /// load), runs the static analyzer, and prints the findings. Its exit
@@ -770,6 +968,7 @@ std::string CliUsage() {
       "  topk      top-k candidate targets for an incomplete target\n"
       "            [--k N] [--algo topkct|heuristic|rankjoin|brute]\n"
       "            [--threads N] [--check-strategy trail|copy] [--json]\n"
+      "            [--snapshot FILE]\n"
       "  fmt       normalize a spec document / its rule program\n"
       "            [--rules-only]\n"
       "  lint      static analysis of the spec (schema, dead rules,\n"
@@ -778,13 +977,18 @@ std::string CliUsage() {
       "  pipeline  flat relation -> entity resolution -> per-entity targets\n"
       "            --key <attr[,attr...]> [--threads N] [--window N]\n"
       "            [--ground-shards N] [--completion best|heuristic|none]\n"
-      "            [--storage row|columnar] [--json]\n"
+      "            [--storage row|columnar] [--snapshot FILE] [--json]\n"
       "  interactive  the Fig. 3 user loop on one entity instance\n"
       "            [--k N]\n"
       "  serve     long-lived daemon over one AccuracyService (frame\n"
       "            protocol of serve/wire.h; drains cleanly on SIGTERM)\n"
       "            [--host H] [--port N] [--threads N] [--window N]\n"
       "            [--queue-depth N] [--port-file PATH]\n"
+      "            [--snapshot FILE] [--memo-cache N]\n"
+      "  snapshot  build / inspect mmap-able service artifacts for O(1)\n"
+      "            start (snapshot build <spec.json> --out FILE;\n"
+      "            snapshot info FILE [--json]); load one with\n"
+      "            --snapshot on topk, pipeline and serve\n"
       "  discover  mine candidate form-(1) rules from a flat relation\n"
       "            --key <attr[,attr...]> [--min-support N]\n"
       "            [--min-confidence X] [--max-rules N]\n"
@@ -820,6 +1024,7 @@ int RunCliCommand(const Args& args, std::ostream& out, std::ostream& err,
     return FinishCli(CmdInteractive(args, out, in), err);
   }
   if (cmd == "serve") return FinishCli(CmdServe(args, out), err);
+  if (cmd == "snapshot") return FinishCli(CmdSnapshot(args, out), err);
   if (cmd == "discover") return FinishCli(CmdDiscover(args, out), err);
   if (cmd == "gen") return FinishCli(CmdGen(args, out), err);
   if (cmd == "version" || cmd == "--version") {

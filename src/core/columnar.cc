@@ -8,10 +8,20 @@
 
 namespace relacc {
 
+void AbortBorrowedAppend(const char* what) {
+  std::fprintf(stderr,
+               "%s: append to borrowed (snapshot-backed, read-only) "
+               "columnar storage\n",
+               what);
+  std::abort();
+}
+
 std::size_t GrowableBitmap::Count() const {
   std::size_t total = 0;
-  for (uint64_t w : words_) {
-    total += static_cast<std::size_t>(__builtin_popcountll(w));
+  const uint64_t* w = words();
+  const std::size_t count = word_count();
+  for (std::size_t i = 0; i < count; ++i) {
+    total += static_cast<std::size_t>(__builtin_popcountll(w[i]));
   }
   return total;
 }
@@ -64,6 +74,26 @@ ColumnarRelation ColumnarRelation::FromRelation(const Relation& rel,
   }
   for (const Tuple& t : rel.tuples()) out.Add(t);
   return out;
+}
+
+ColumnarRelation ColumnarRelation::FromBorrowed(
+    Schema schema, Dictionary* dict, int num_rows,
+    std::vector<const TermId*> columns,
+    std::vector<const uint64_t*> null_words, const int64_t* row_ids,
+    const int32_t* row_sources, const int32_t* row_snapshots) {
+  ColumnarRelation rel(std::move(schema), dict);
+  const auto rows = static_cast<std::size_t>(num_rows);
+  for (AttrId a = 0; a < rel.schema_.size(); ++a) {
+    rel.columns_[a] =
+        TermColumn::Borrowed(columns[static_cast<std::size_t>(a)], rows);
+    rel.nulls_[a] = GrowableBitmap::Borrowed(
+        null_words[static_cast<std::size_t>(a)], rows);
+  }
+  rel.row_ids_ = BorrowableColumn<int64_t>::Borrowed(row_ids, rows);
+  rel.row_sources_ = BorrowableColumn<int32_t>::Borrowed(row_sources, rows);
+  rel.row_snapshots_ = BorrowableColumn<int32_t>::Borrowed(row_snapshots, rows);
+  rel.num_rows_ = num_rows;
+  return rel;
 }
 
 Tuple ColumnarRelation::MaterializeTuple(int row) const {
@@ -123,11 +153,11 @@ Result<ColumnarRelation> ColumnarRelation::FromCsv(const Schema& schema,
 
 std::size_t ColumnarRelation::ApproxBytes() const {
   std::size_t bytes = 0;
-  for (const auto& col : columns_) bytes += col.capacity() * sizeof(TermId);
+  for (const auto& col : columns_) bytes += col.ApproxBytes();
   for (const auto& bm : nulls_) bytes += bm.ApproxBytes();
-  bytes += row_ids_.capacity() * sizeof(int64_t);
-  bytes += row_sources_.capacity() * sizeof(int32_t);
-  bytes += row_snapshots_.capacity() * sizeof(int32_t);
+  bytes += row_ids_.ApproxBytes();
+  bytes += row_sources_.ApproxBytes();
+  bytes += row_snapshots_.ApproxBytes();
   return bytes;
 }
 

@@ -13,18 +13,36 @@
 
 namespace relacc {
 
+/// Aborts with a diagnostic; called when append is attempted on
+/// borrowed (read-only, externally owned) columnar storage.
+[[noreturn]] void AbortBorrowedAppend(const char* what);
+
 /// An append-only bitmap that grows with the relation (DynamicBitset is
 /// fixed-size at construction). One per attribute tracks nulls so scans
-/// like the chase's ϕ7 axiom walk words, not ids.
+/// like the chase's ϕ7 axiom walk words, not ids. Either owns its words
+/// or borrows them from an mmap-ed snapshot section (read-only).
 class GrowableBitmap {
  public:
+  GrowableBitmap() = default;
+
+  /// A read-only view over `nbits` bits in externally owned `words`
+  /// (ceil(nbits/64) of them, e.g. inside a mapped snapshot); the
+  /// storage must outlive the bitmap. PushBack aborts.
+  static GrowableBitmap Borrowed(const uint64_t* words, std::size_t nbits) {
+    GrowableBitmap bm;
+    bm.borrowed_ = words;
+    bm.size_ = nbits;
+    return bm;
+  }
+
   std::size_t size() const { return size_; }
 
   bool Test(std::size_t i) const {
-    return (words_[i >> 6] >> (i & 63)) & 1u;
+    return (word_ptr()[i >> 6] >> (i & 63)) & 1u;
   }
 
   void PushBack(bool bit) {
+    if (borrowed_ != nullptr) AbortBorrowedAppend("GrowableBitmap");
     if ((size_ & 63) == 0) words_.push_back(0);
     if (bit) words_.back() |= uint64_t{1} << (size_ & 63);
     ++size_;
@@ -35,8 +53,10 @@ class GrowableBitmap {
   /// Invokes fn(index) for every set bit, in increasing index order.
   template <typename Fn>
   void ForEachSet(Fn fn) const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      uint64_t bits = words_[w];
+    const uint64_t* words = word_ptr();
+    const std::size_t count = word_count();
+    for (std::size_t w = 0; w < count; ++w) {
+      uint64_t bits = words[w];
       while (bits) {
         const int b = __builtin_ctzll(bits);
         fn(w * 64 + static_cast<std::size_t>(b));
@@ -45,12 +65,73 @@ class GrowableBitmap {
     }
   }
 
+  /// Owned heap footprint (borrowed words belong to the snapshot).
   std::size_t ApproxBytes() const { return words_.capacity() * 8; }
 
+  const uint64_t* words() const { return word_ptr(); }
+  std::size_t word_count() const {
+    return borrowed_ != nullptr ? (size_ + 63) / 64 : words_.size();
+  }
+
  private:
+  const uint64_t* word_ptr() const {
+    return borrowed_ != nullptr ? borrowed_ : words_.data();
+  }
+
   std::size_t size_ = 0;
   std::vector<uint64_t> words_;
+  const uint64_t* borrowed_ = nullptr;
 };
+
+/// A fixed-width column that either owns its storage (the append path)
+/// or borrows it from an mmap-ed snapshot section — the zero-copy half
+/// of the snapshot story: a loaded master's TermId columns point
+/// straight into the mapped file, so they cost no heap, no copy, and
+/// are physically shared by every service replica mapping the same
+/// artifact. Borrowed columns are read-only; push_back aborts.
+template <typename T>
+class BorrowableColumn {
+ public:
+  BorrowableColumn() = default;
+
+  /// A read-only view over externally owned storage; `data` must
+  /// outlive the column (the service keeps the MmapFile alive).
+  static BorrowableColumn Borrowed(const T* data, std::size_t size) {
+    BorrowableColumn c;
+    c.borrowed_ = data;
+    c.borrowed_size_ = size;
+    return c;
+  }
+
+  T operator[](std::size_t i) const {
+    return borrowed_ != nullptr ? borrowed_[i] : owned_[i];
+  }
+  std::size_t size() const {
+    return borrowed_ != nullptr ? borrowed_size_ : owned_.size();
+  }
+  const T* data() const {
+    return borrowed_ != nullptr ? borrowed_ : owned_.data();
+  }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  bool borrowed() const { return borrowed_ != nullptr; }
+
+  void push_back(T v) {
+    if (borrowed_ != nullptr) AbortBorrowedAppend("BorrowableColumn");
+    owned_.push_back(v);
+  }
+  void reserve(std::size_t n) { owned_.reserve(n); }
+
+  /// Owned heap footprint (borrowed storage belongs to the snapshot).
+  std::size_t ApproxBytes() const { return owned_.capacity() * sizeof(T); }
+
+ private:
+  std::vector<T> owned_;
+  const T* borrowed_ = nullptr;
+  std::size_t borrowed_size_ = 0;
+};
+
+using TermColumn = BorrowableColumn<TermId>;
 
 class TupleRef;
 
@@ -61,7 +142,8 @@ class TupleRef;
 /// caller-owned) Dictionary; equality on a column is integer equality by
 /// construction. The row-oriented Relation stays the public-API boundary
 /// type — ToRelation()/TupleRef::Materialize() are the (copying)
-/// adapters back.
+/// adapters back. A relation either owns its columns (append path) or
+/// borrows them zero-copy from a mapped snapshot (see FromBorrowed).
 class ColumnarRelation {
  public:
   /// `dict` is shared and must outlive the relation; many relations
@@ -77,29 +159,58 @@ class ColumnarRelation {
 
   /// Appends `t`, interning each value — O(attrs) dictionary probes, no
   /// per-row heap allocation beyond amortized column growth. Aborts on
-  /// arity mismatch like Relation::Add.
+  /// arity mismatch like Relation::Add, and on borrowed storage.
   void Add(const Tuple& t);
 
   /// Appends a pre-encoded row (ids must come from this->dict()).
   void AddEncoded(std::vector<TermId> ids, int64_t id = -1, int source = -1,
                   int snapshot = -1);
 
-  TermId id_at(int row, AttrId a) const { return columns_[a][row]; }
-  bool is_null(int row, AttrId a) const {
-    return columns_[a][row] == kNullTermId;
+  TermId id_at(int row, AttrId a) const {
+    return columns_[a][static_cast<std::size_t>(row)];
   }
-  const std::vector<TermId>& column(AttrId a) const { return columns_[a]; }
+  bool is_null(int row, AttrId a) const {
+    return id_at(row, a) == kNullTermId;
+  }
+  const TermColumn& column(AttrId a) const { return columns_[a]; }
   const GrowableBitmap& nulls(AttrId a) const { return nulls_[a]; }
 
-  int64_t row_id(int row) const { return row_ids_[row]; }
-  int row_source(int row) const { return row_sources_[row]; }
-  int row_snapshot(int row) const { return row_snapshots_[row]; }
+  /// Contiguous side-column views (the snapshot writer copies them out
+  /// raw; everything else uses the per-row accessors below).
+  const BorrowableColumn<int64_t>& row_ids() const { return row_ids_; }
+  const BorrowableColumn<int32_t>& row_sources() const { return row_sources_; }
+  const BorrowableColumn<int32_t>& row_snapshots() const {
+    return row_snapshots_;
+  }
+
+  int64_t row_id(int row) const {
+    return row_ids_[static_cast<std::size_t>(row)];
+  }
+  int row_source(int row) const {
+    return row_sources_[static_cast<std::size_t>(row)];
+  }
+  int row_snapshot(int row) const {
+    return row_snapshots_[static_cast<std::size_t>(row)];
+  }
 
   /// O(1) tuple view (no materialization); see TupleRef below.
   TupleRef tuple(int row) const;
 
   /// Encodes a row relation (interning every value into `dict`).
   static ColumnarRelation FromRelation(const Relation& rel, Dictionary* dict);
+
+  /// Zero-copy view over snapshot-owned storage: the TermId columns,
+  /// null-bitmap words and side columns all alias memory the caller
+  /// guarantees to outlive the relation (in practice the service's
+  /// MmapFile). Ids must be valid in `dict`. The relation is read-only:
+  /// Add/AddEncoded abort. `columns`/`null_words` carry one pointer per
+  /// schema attribute; each column holds `num_rows` TermIds, each
+  /// bitmap ceil(num_rows/64) words.
+  static ColumnarRelation FromBorrowed(
+      Schema schema, Dictionary* dict, int num_rows,
+      std::vector<const TermId*> columns,
+      std::vector<const uint64_t*> null_words, const int64_t* row_ids,
+      const int32_t* row_sources, const int32_t* row_snapshots);
 
   /// Decodes back to rows. Values are materialized via MaterializeAs
   /// with the schema column type, so a type-consistent relation
@@ -119,18 +230,19 @@ class ColumnarRelation {
                                           Dictionary* dict);
 
   /// Heap footprint of the columns/bitmaps/side columns (excluding the
-  /// shared dictionary), for bench reporting.
+  /// shared dictionary and any borrowed snapshot storage), for bench
+  /// reporting.
   std::size_t ApproxBytes() const;
 
  private:
   Schema schema_;
   Dictionary* dict_;
   int num_rows_ = 0;
-  std::vector<std::vector<TermId>> columns_;  ///< [attr][row]
-  std::vector<GrowableBitmap> nulls_;         ///< [attr], bit = is-null
-  std::vector<int64_t> row_ids_;
-  std::vector<int32_t> row_sources_;
-  std::vector<int32_t> row_snapshots_;
+  std::vector<TermColumn> columns_;    ///< [attr][row]
+  std::vector<GrowableBitmap> nulls_;  ///< [attr], bit = is-null
+  BorrowableColumn<int64_t> row_ids_;
+  BorrowableColumn<int32_t> row_sources_;
+  BorrowableColumn<int32_t> row_snapshots_;
 };
 
 /// A lightweight non-owning view of one columnar row; valid while the

@@ -22,6 +22,7 @@ Dictionary::~Dictionary() {
 
 TermId Dictionary::Intern(const Value& v) {
   if (v.is_null()) return kNullTermId;
+  if (index_stale_.load(std::memory_order_acquire)) RebuildIndex();
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = index_.find(v);
@@ -45,10 +46,37 @@ TermId Dictionary::Intern(const Value& v) {
 
 std::optional<TermId> Dictionary::Lookup(const Value& v) const {
   if (v.is_null()) return kNullTermId;
+  if (index_stale_.load(std::memory_order_acquire)) RebuildIndex();
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = index_.find(v);
   if (it == index_.end()) return std::nullopt;
   return it->second;
+}
+
+TermId Dictionary::AppendForLoad(Value v) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const std::size_t id = size_.load(std::memory_order_relaxed);
+  const int s = ShelfOf(static_cast<TermId>(id));
+  Value* shelf = shelves_[s].load(std::memory_order_acquire);
+  if (shelf == nullptr) {
+    shelf = new Value[ShelfCapacity(s)];
+    shelves_[s].store(shelf, std::memory_order_release);
+  }
+  shelf[id - ShelfStart(s)] = std::move(v);
+  size_.store(id + 1, std::memory_order_release);
+  index_stale_.store(true, std::memory_order_release);
+  return static_cast<TermId>(id);
+}
+
+void Dictionary::RebuildIndex() const {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!index_stale_.load(std::memory_order_acquire)) return;  // raced
+  const std::size_t n = size_.load(std::memory_order_acquire);
+  index_.reserve(n);
+  for (TermId id = 1; id < n; ++id) {
+    index_.try_emplace(value(id), id);
+  }
+  index_stale_.store(false, std::memory_order_release);
 }
 
 std::size_t Dictionary::ApproxBytes() const {

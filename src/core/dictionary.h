@@ -56,6 +56,17 @@ class Dictionary {
   /// Thread-safe; never inserts.
   std::optional<TermId> Lookup(const Value& v) const;
 
+  /// Bulk-load fast path (the snapshot loader): appends `v` as the next
+  /// id WITHOUT touching the hash index — no hashing, one move into the
+  /// shelf — and marks the index stale. The next Intern/Lookup rebuilds
+  /// it in one pass, so a service that never interns again (the O(1)
+  /// warm-start read path) never pays for the index at all. The caller
+  /// vouches that `v` is non-null and not already present (the snapshot
+  /// stream is distinct by construction and CRC-guarded); a duplicate
+  /// would alias two ids and break id stability. Thread-safe, but a
+  /// load is normally single-threaded before the dictionary is shared.
+  TermId AppendForLoad(Value v);
+
   /// The interned Value behind `id`. Lock-free; `id` must come from a
   /// completed Intern/Lookup on this dictionary.
   const Value& value(TermId id) const {
@@ -85,11 +96,18 @@ class Dictionary {
   }
   static uint32_t ShelfCapacity(int s) { return kShelfBase << s; }
 
+  /// Rebuilds index_ from the shelves when AppendForLoad left it stale.
+  void RebuildIndex() const;
+
   std::array<std::atomic<Value*>, kMaxShelves> shelves_;
   std::atomic<std::size_t> size_{0};
 
+  /// Set by AppendForLoad; cleared by RebuildIndex. Checked before the
+  /// index is consulted, so bulk-loaded terms are never missed.
+  mutable std::atomic<bool> index_stale_{false};
+
   mutable std::shared_mutex mu_;
-  std::unordered_map<Value, TermId, ValueHash> index_;
+  mutable std::unordered_map<Value, TermId, ValueHash> index_;
 };
 
 /// Materializes `id` as a Value of the schema column type `as`: numeric

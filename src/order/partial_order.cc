@@ -127,6 +127,32 @@ PartialOrder PartialOrder::CopyWithoutTrail() const {
   return copy;
 }
 
+PartialOrder PartialOrder::RestoreClosed(std::vector<TermId> column,
+                                         const uint64_t* succ_words) {
+  PartialOrder order(std::move(column));
+  const std::size_t words = static_cast<std::size_t>(order.n_) * order.stride_;
+  order.succ_.assign(succ_words, succ_words + words);
+  for (int i = 0; i < order.n_; ++i) {
+    const std::size_t row = order.Row(i);
+    for (std::size_t w = 0; w < order.stride_; ++w) {
+      uint64_t bits = order.succ_[row + w];
+      while (bits) {
+        const int j = static_cast<int>(w * 64) + __builtin_ctzll(bits);
+        bits &= bits - 1;
+        order.SetBit(order.pred_, j, i);
+        ++order.in_count_[j];
+      }
+    }
+  }
+  for (int j = 0; j < order.n_; ++j) {
+    if (order.in_count_[j] == order.n_ - 1) {
+      order.greatest_ = j;
+      break;
+    }
+  }
+  return order;
+}
+
 std::size_t PartialOrder::PairCount() const {
   std::size_t total = 0;
   for (uint64_t w : succ_) {

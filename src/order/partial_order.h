@@ -92,6 +92,24 @@ class PartialOrder {
   /// undo.
   PartialOrder CopyWithoutTrail() const;
 
+  /// The transitively-closed successor bit-matrix (n·stride words,
+  /// row-major; stride = ⌈n/64⌉) — the only derived state a snapshot
+  /// persists: predecessors are its transpose, in-degrees its column
+  /// popcounts, and the greatest element the node of full in-degree,
+  /// all recomputed by RestoreClosed.
+  const std::vector<uint64_t>& successor_words() const { return succ_; }
+  std::size_t stride() const { return stride_; }
+
+  /// Rebuilds an order from its column and `n·stride` closed successor
+  /// words previously exported with successor_words(): pred_ is the
+  /// transpose, in-degrees and the greatest element are re-derived, the
+  /// trail starts empty — the construction a snapshot load uses instead
+  /// of replaying the chase that produced the pairs. Any full-in-degree
+  /// witness is a valid greatest element (several can only coexist with
+  /// equal values, hence equal TermIds, so λ is unaffected).
+  static PartialOrder RestoreClosed(std::vector<TermId> column,
+                                    const uint64_t* succ_words);
+
   /// Current trail position. Pairs inserted after a mark can be removed
   /// again with UndoTo(mark); marks are positions, so they nest naturally.
   Mark MarkTrail() const { return trail_.size(); }

@@ -71,6 +71,8 @@ Result<Json> ServeClient::Call(const std::string& method, Json params) {
         return Status::ParseError(message.value());
       case StatusCode::kResourceExhausted:
         return Status::ResourceExhausted(message.value());
+      case StatusCode::kDataLoss:
+        return Status::DataLoss(message.value());
       case StatusCode::kOk:
       case StatusCode::kInternal:
         return Status::Internal(message.value());

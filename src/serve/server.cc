@@ -279,6 +279,16 @@ bool Server::Dispatch(const std::shared_ptr<Connection>& conn,
     result.Set("p99_interactive_ms", Json::Real(stats.p99_interactive_ms));
     result.Set("p50_batch_ms", Json::Real(stats.p50_batch_ms));
     result.Set("p99_batch_ms", Json::Real(stats.p99_batch_ms));
+    // Storage + memo telemetry of the underlying service: how the
+    // service was built (row / columnar / snapshot), how large its
+    // dictionary grew, and whether the verdict memo is earning hits.
+    result.Set("storage_mode", Json::Str(service_->storage_mode()));
+    result.Set("dictionary_terms",
+               Json::Int(static_cast<int64_t>(service_->dictionary_terms())));
+    const snapshot::MemoCache::Stats memo = service_->memo_stats();
+    result.Set("memo_hits", Json::Int(memo.hits));
+    result.Set("memo_misses", Json::Int(memo.misses));
+    result.Set("memo_entries", Json::Int(memo.entries));
     SendResult(conn, id, std::move(result));
     return true;
   }

@@ -136,6 +136,7 @@ std::string WireErrorCode(StatusCode code) {
     case StatusCode::kIoError: return "io-error";
     case StatusCode::kParseError: return "parse-error";
     case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kDataLoss: return "data-loss";
   }
   return "internal";
 }
@@ -149,6 +150,7 @@ StatusCode StatusCodeFromWire(const std::string& code) {
   if (code == "io-error") return StatusCode::kIoError;
   if (code == "parse-error") return StatusCode::kParseError;
   if (code == "resource-exhausted") return StatusCode::kResourceExhausted;
+  if (code == "data-loss") return StatusCode::kDataLoss;
   return StatusCode::kInternal;
 }
 

@@ -1,0 +1,164 @@
+#include "snapshot/format.h"
+
+#include <array>
+
+namespace relacc {
+namespace snapshot {
+
+namespace {
+
+/// 8 slicing tables for the reflected IEEE polynomial, built once.
+struct Crc32Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Crc32Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (std::size_t s = 1; s < 8; ++s) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+const Crc32Tables& Tables() {
+  static const Crc32Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, std::size_t size, uint32_t seed) {
+  const auto& t = Tables().t;
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  // Word-at-a-time main loop (little-endian load; the artifact and the
+  // supported hosts are both LE by the format.h static_assert).
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;
+    crc = t[7][word & 0xFFu] ^ t[6][(word >> 8) & 0xFFu] ^
+          t[5][(word >> 16) & 0xFFu] ^ t[4][(word >> 24) & 0xFFu] ^
+          t[3][(word >> 32) & 0xFFu] ^ t[2][(word >> 40) & 0xFFu] ^
+          t[1][(word >> 48) & 0xFFu] ^ t[0][word >> 56];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+namespace {
+
+/// GF(2) 32x32 matrix times vector (matrices represent the effect of
+/// shifting a CRC register over zero bytes).
+uint32_t Gf2MatrixTimes(const uint32_t* mat, uint32_t vec) {
+  uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1u) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+void Gf2MatrixSquare(uint32_t* square, const uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = Gf2MatrixTimes(mat, mat[n]);
+}
+
+}  // namespace
+
+uint32_t Crc32Combine(uint32_t crc1, uint32_t crc2, uint64_t len2) {
+  if (len2 == 0) return crc1;  // Crc32 of an empty suffix changes nothing
+  uint32_t even[32];
+  uint32_t odd[32];
+
+  // Operator for one zero bit: the polynomial in row 0, shifts above.
+  odd[0] = 0xEDB88320u;
+  uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  Gf2MatrixSquare(even, odd);  // 2 zero bits
+  Gf2MatrixSquare(odd, even);  // 4 zero bits; first squaring below is 8 = 1 byte
+
+  // Advance crc1 over len2 zero bytes, squaring the operator per bit of
+  // len2 (so the loop is O(log len2) matrix squarings).
+  do {
+    Gf2MatrixSquare(even, odd);
+    if (len2 & 1u) crc1 = Gf2MatrixTimes(even, crc1);
+    len2 >>= 1;
+    if (len2 == 0) break;
+    Gf2MatrixSquare(odd, even);
+    if (len2 & 1u) crc1 = Gf2MatrixTimes(odd, crc1);
+    len2 >>= 1;
+  } while (len2 != 0);
+  return crc1 ^ crc2;
+}
+
+void ByteSink::Val(const Value& v) {
+  U8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      I64(v.as_int());
+      break;
+    case ValueType::kDouble:
+      F64(v.as_double());
+      break;
+    case ValueType::kString:
+      Str(v.as_string());
+      break;
+    case ValueType::kBool:
+      U8(v.as_bool() ? 1 : 0);
+      break;
+  }
+}
+
+void ByteSink::AlignTo(std::size_t alignment) {
+  while (bytes_.size() % alignment != 0) bytes_.push_back(0);
+}
+
+std::string ByteCursor::Str() {
+  const uint32_t len = U32();
+  const auto* p = reinterpret_cast<const char*>(data_ + pos_);
+  if (failed_ || size_ - pos_ < len) {
+    failed_ = true;
+    return std::string();
+  }
+  pos_ += len;
+  return std::string(p, len);
+}
+
+Value ByteCursor::Val() {
+  switch (static_cast<ValueType>(U8())) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt:
+      return Value::Int(I64());
+    case ValueType::kDouble:
+      return Value::Real(F64());
+    case ValueType::kString:
+      return Value::Str(Str());
+    case ValueType::kBool:
+      return Value::Bool(U8() != 0);
+  }
+  failed_ = true;
+  return Value::Null();
+}
+
+}  // namespace snapshot
+}  // namespace relacc

@@ -1,0 +1,129 @@
+#include "snapshot/memo_cache.h"
+
+#include <utility>
+
+namespace relacc {
+namespace snapshot {
+
+namespace {
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+}  // namespace
+
+uint64_t FingerprintBytes(uint64_t h, const void* data, std::size_t size) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FingerprintValue(uint64_t h, const Value& v) {
+  const auto tag = static_cast<uint8_t>(v.type());
+  h = FingerprintBytes(h, &tag, 1);
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt: {
+      const int64_t i = v.as_int();
+      h = FingerprintBytes(h, &i, sizeof(i));
+      break;
+    }
+    case ValueType::kDouble: {
+      const double d = v.as_double();
+      h = FingerprintBytes(h, &d, sizeof(d));
+      break;
+    }
+    case ValueType::kString: {
+      const std::string& s = v.as_string();
+      const uint64_t len = s.size();
+      h = FingerprintBytes(h, &len, sizeof(len));
+      h = FingerprintBytes(h, s.data(), s.size());
+      break;
+    }
+    case ValueType::kBool: {
+      const uint8_t b = v.as_bool() ? 1 : 0;
+      h = FingerprintBytes(h, &b, 1);
+      break;
+    }
+  }
+  return h;
+}
+
+uint64_t FingerprintTuple(uint64_t h, const Tuple& t) {
+  const int64_t id = t.id();
+  const int32_t source = t.source();
+  const int32_t snapshot = t.snapshot();
+  h = FingerprintBytes(h, &id, sizeof(id));
+  h = FingerprintBytes(h, &source, sizeof(source));
+  h = FingerprintBytes(h, &snapshot, sizeof(snapshot));
+  for (AttrId a = 0; a < t.size(); ++a) {
+    h = FingerprintValue(h, t.at(a));
+  }
+  return h;
+}
+
+uint64_t FingerprintTuples(uint64_t h, const std::vector<Tuple>& tuples) {
+  const uint64_t count = tuples.size();
+  h = FingerprintBytes(h, &count, sizeof(count));
+  for (const Tuple& t : tuples) h = FingerprintTuple(h, t);
+  return h;
+}
+
+uint64_t FingerprintRelation(uint64_t h, const Relation& rel) {
+  const uint64_t rows = static_cast<uint64_t>(rel.size());
+  h = FingerprintBytes(h, &rows, sizeof(rows));
+  for (const Tuple& t : rel.tuples()) h = FingerprintTuple(h, t);
+  return h;
+}
+
+uint64_t MemoKey(MemoKind kind, uint64_t entity_fp, uint64_t payload_fp) {
+  uint64_t h = kFnvOffset;
+  const uint64_t tag = static_cast<uint64_t>(kind);
+  h = FingerprintBytes(h, &tag, sizeof(tag));
+  h = FingerprintBytes(h, &entity_fp, sizeof(entity_fp));
+  h = FingerprintBytes(h, &payload_fp, sizeof(payload_fp));
+  return h;
+}
+
+std::shared_ptr<const MemoEntry> MemoCache::Lookup(uint64_t key) {
+  if (!enabled()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->entry;
+}
+
+void MemoCache::Insert(uint64_t key, std::shared_ptr<const MemoEntry> entry) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Node{key, std::move(entry)});
+  index_[key] = lru_.begin();
+  stats_.entries = static_cast<int64_t>(lru_.size());
+}
+
+MemoCache::Stats MemoCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = static_cast<int64_t>(lru_.size());
+  return s;
+}
+
+}  // namespace snapshot
+}  // namespace relacc

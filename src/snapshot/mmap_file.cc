@@ -1,0 +1,49 @@
+#include "snapshot/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace relacc {
+namespace snapshot {
+
+Result<std::shared_ptr<MmapFile>> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("snapshot: cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("snapshot: cannot stat " + path + ": " + err);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  const uint8_t* data = nullptr;
+  if (size > 0) {
+    void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (mapped == MAP_FAILED) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("snapshot: cannot mmap " + path + ": " + err);
+    }
+    data = static_cast<const uint8_t*>(mapped);
+  }
+  // The mapping pins the inode; the descriptor is no longer needed.
+  ::close(fd);
+  return std::shared_ptr<MmapFile>(new MmapFile(path, data, size));
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+}  // namespace snapshot
+}  // namespace relacc

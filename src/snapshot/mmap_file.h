@@ -1,0 +1,50 @@
+#ifndef RELACC_SNAPSHOT_MMAP_FILE_H_
+#define RELACC_SNAPSHOT_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace relacc {
+namespace snapshot {
+
+/// A read-only memory-mapped file (PROT_READ, MAP_SHARED): the byte
+/// substrate every snapshot section is viewed through. MAP_SHARED makes
+/// the kernel's page cache the single physical copy — N services in N
+/// processes mapping the same artifact share the master columns the way
+/// N threads sharing one heap allocation would, and an unmapped page
+/// costs nothing until first touch, which is what makes a million-tuple
+/// load O(1).
+///
+/// The mapping lives until destruction; consumers that view it
+/// zero-copy (ColumnarRelation borrowed columns, the program/checkpoint
+/// loaders) hold the owning shared_ptr so views can never dangle.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. kIoError when the file cannot be opened or
+  /// mapped; an empty file maps successfully with size() == 0.
+  static Result<std::shared_ptr<MmapFile>> Open(const std::string& path);
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  const uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MmapFile(std::string path, const uint8_t* data, std::size_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  std::string path_;
+  const uint8_t* data_;
+  std::size_t size_;
+};
+
+}  // namespace snapshot
+}  // namespace relacc
+
+#endif  // RELACC_SNAPSHOT_MMAP_FILE_H_

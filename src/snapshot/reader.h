@@ -1,0 +1,93 @@
+#ifndef RELACC_SNAPSHOT_READER_H_
+#define RELACC_SNAPSHOT_READER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chase/chase_engine.h"
+#include "chase/specification.h"
+#include "core/columnar.h"
+#include "core/dictionary.h"
+#include "rules/accuracy_rule.h"
+#include "rules/grounding.h"
+#include "snapshot/format.h"
+#include "snapshot/mmap_file.h"
+#include "util/status.h"
+
+namespace relacc {
+namespace snapshot {
+
+/// Read side of the artifact: Open maps the file, validates the header
+/// (magic / version -> kInvalidArgument; truncation, table bounds or
+/// any CRC mismatch -> kDataLoss — a service is never half-built from
+/// a bad artifact) and verifies every section CRC eagerly. The typed
+/// loaders then decode individual sections on demand; LoadMaster hands
+/// back a zero-copy ColumnarRelation whose columns alias the mapping,
+/// so the reader (which keeps the MmapFile alive) must outlive every
+/// borrowed relation it produced.
+class SnapshotReader {
+ public:
+  /// Summary facts decoded from the kMeta section at Open (also what
+  /// `relacc snapshot info` prints).
+  struct Info {
+    std::string tool_version;
+    ChaseConfig config;
+    int num_attrs = 0;
+    int64_t entity_rows = 0;
+    int num_masters = 0;
+    int64_t dict_terms = 0;
+    int64_t program_steps = 0;
+    bool checkpoint_ok = false;
+    uint64_t file_size = 0;
+    std::vector<SectionEntry> sections;  ///< table order as stored
+  };
+
+  static Result<std::unique_ptr<SnapshotReader>> Open(
+      const std::string& path);
+
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  const Info& info() const { return info_; }
+  const std::string& path() const { return file_->path(); }
+
+  /// Re-interns every stored term into `dict` in id order. On a fresh
+  /// dictionary this reproduces the writer's ids exactly (append-only
+  /// first-intern-order assignment), which is what makes every TermId
+  /// in the entity/master/checkpoint sections valid after load.
+  /// Rejects a non-fresh dictionary (size() != 1) with
+  /// kFailedPrecondition, since id stability cannot hold there.
+  Status LoadDictionary(Dictionary* dict) const;
+
+  /// The entity instance Ie as an *owned* columnar relation over
+  /// `dict` (the engine copies its columns anyway and the service
+  /// materializes Ie rows for the public Specification).
+  Result<ColumnarRelation> LoadEntity(Dictionary* dict) const;
+
+  /// Master relation `index` as a *borrowed* columnar relation: TermId
+  /// columns, null words and side columns all alias the mapping —
+  /// O(1) regardless of row count, physically shared (via the page
+  /// cache) with every other process mapping this artifact.
+  Result<ColumnarRelation> LoadMaster(int index, Dictionary* dict) const;
+
+  Result<std::vector<AccuracyRule>> LoadRules() const;
+  Result<GroundProgram> LoadProgram() const;
+  Result<ChaseCheckpoint> LoadCheckpoint() const;
+
+ private:
+  SnapshotReader() = default;
+
+  /// The payload bytes of the section of `type` (exactly one of each
+  /// exists after Open's validation).
+  ByteCursor SectionCursor(SectionType type) const;
+
+  std::shared_ptr<MmapFile> file_;
+  Info info_;
+  std::vector<SectionEntry> by_type_;  ///< indexed by SectionType value
+};
+
+}  // namespace snapshot
+}  // namespace relacc
+
+#endif  // RELACC_SNAPSHOT_READER_H_

@@ -1,0 +1,46 @@
+#ifndef RELACC_SNAPSHOT_WRITER_H_
+#define RELACC_SNAPSHOT_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "chase/chase_engine.h"
+#include "chase/specification.h"
+#include "core/columnar.h"
+#include "core/dictionary.h"
+#include "rules/accuracy_rule.h"
+#include "rules/grounding.h"
+#include "util/status.h"
+
+namespace relacc {
+namespace snapshot {
+
+/// Everything one artifact serializes — borrowed pointers, the caller
+/// owns the objects for the duration of the write. All TermIds in
+/// `entity`, `masters` and `checkpoint` must be ids of `dict` *at call
+/// time*: the dictionary is written as-is, so intern everything (rule
+/// constants, engine step payloads, master terms) before building the
+/// contents. AccuracyService::WriteSnapshot enforces that ordering.
+struct SnapshotContents {
+  const Dictionary* dict = nullptr;
+  const ColumnarRelation* entity = nullptr;
+  std::vector<const ColumnarRelation*> masters;
+  const std::vector<AccuracyRule>* rules = nullptr;
+  const ChaseConfig* config = nullptr;
+  const GroundProgram* program = nullptr;
+  const ChaseCheckpoint* checkpoint = nullptr;
+  std::string tool_version;  ///< recorded in kMeta, informational only
+};
+
+/// Serializes `contents` into one snapshot artifact at `path`
+/// (format.h layout: header, section table, 8-aligned CRC-guarded
+/// sections). The file is written to `path + ".tmp"` and renamed into
+/// place, so a crashed or failed build never leaves a torn artifact
+/// where a loader would find it. kIoError on filesystem failures.
+Status WriteSnapshotFile(const SnapshotContents& contents,
+                         const std::string& path);
+
+}  // namespace snapshot
+}  // namespace relacc
+
+#endif  // RELACC_SNAPSHOT_WRITER_H_

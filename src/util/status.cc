@@ -23,6 +23,8 @@ const char* CodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -19,6 +19,7 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kResourceExhausted,
+  kDataLoss,
 };
 
 /// A lightweight success/error carrier in the RocksDB/Arrow idiom.
@@ -51,6 +52,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
