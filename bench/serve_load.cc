@@ -25,6 +25,15 @@
 //   serve_load <spec.json> [--key attr[,attr...]] [--clients N]
 //              [--iters N] [--window N] [--host H]
 //              [--port N | --port-file PATH] [--report-out PATH]
+//              [--replicas N] [--deadline-ms N] [--fault-inject SPEC]
+//
+// Fault tolerance: --replicas sizes the embedded pool, --deadline-ms
+// stamps every request with a deadline, and --fault-inject arms the
+// embedded daemon's deterministic fault injector. Clients fail over —
+// they restart a cancelled pipeline or interaction round on a fresh
+// session — and the report row gains failovers / failover_p99_ms plus
+// the daemon's deadline_exceeded / shed / quarantines / readmissions
+// counters (fetched over the wire before the drain).
 //
 // Exit codes: 0 success, 1 runtime/verification failure, 2 usage.
 
@@ -59,16 +68,20 @@ struct LoadOptions {
   std::string host = "127.0.0.1";
   std::string port_file;
   std::string report_out;
+  std::string fault_inject;  // embedded mode: ServerOptions::fault_inject
   int clients = 4;
-  int iters = 0;  // interactive rounds per client; 0 = auto (small-aware)
-  int port = 0;   // 0 = embedded server on an ephemeral port
+  int iters = 0;     // interactive rounds per client; 0 = auto (small-aware)
+  int port = 0;      // 0 = embedded server on an ephemeral port
+  int replicas = 1;  // embedded mode: pool size
+  int64_t deadline_ms = 0;  // per-request deadline_ms wire param; 0 = none
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <spec.json> [--key attr[,attr...]] [--clients N]\n"
                "       [--iters N] [--window N] [--host H]\n"
-               "       [--port N | --port-file PATH] [--report-out PATH]\n",
+               "       [--port N | --port-file PATH] [--report-out PATH]\n"
+               "       [--replicas N] [--deadline-ms N] [--fault-inject SPEC]\n",
                argv0);
   return 2;
 }
@@ -95,16 +108,31 @@ Result<int> PortFromFile(const std::string& path) {
 
 struct ClientOutcome {
   std::vector<double> latencies_ms;
+  std::vector<double> failover_ms;  ///< end-to-end time of runs that failed over
   std::string report;  ///< batch clients: pipeline.finish Dump(2)
   std::string error;   ///< non-empty on failure
   int64_t entities = 0;
-  int64_t retries = 0;  ///< kResourceExhausted retries honored
+  int64_t retries = 0;    ///< kResourceExhausted retries honored
+  int64_t failovers = 0;  ///< runs restarted after deadline/injected faults
 };
 
 /// Bounded backpressure retries per request: a loaded daemon sheds with
 /// kResourceExhausted + retry_after_ms, and a well-behaved client waits
 /// that hint out (escalating, capped) instead of failing or hammering.
 constexpr int kMaxRetries = 5;
+
+/// Bounded failovers per logical run (a pipeline stream or an
+/// interaction round): a deadline-exceeded or injected-fault answer
+/// abandons the session and restarts the run from scratch — the daemon
+/// routes the fresh session to a healthy replica.
+constexpr int kMaxFailovers = 8;
+
+/// Errors a client recovers from by restarting on a fresh session:
+/// the daemon cancelled the work (deadline) or a fault was injected.
+bool IsFailoverable(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kInternal;
+}
 
 /// One timed round trip; appends the latency of every attempt, honors
 /// kResourceExhausted backpressure with a bounded backoff, and surfaces
@@ -138,8 +166,52 @@ Result<Json> TimedCall(serve::ServeClient* client, ClientOutcome* out,
   return response;
 }
 
+/// Stamps the per-request deadline wire param (works against embedded
+/// and external daemons alike; overrides any daemon default).
+Json WithDeadline(Json params, int64_t deadline_ms) {
+  if (deadline_ms > 0) params.Set("deadline_ms", Json::Int(deadline_ms));
+  return params;
+}
+
+/// One full pipeline run: start, stream, finish. Failure leaves the
+/// status in out->error and returns it for the failover decision.
+Status TryBatchPipeline(const LoadOptions& opt, serve::ServeClient* client,
+                        const std::vector<EntityInstance>& entities,
+                        const Schema& schema, int64_t window,
+                        ClientOutcome* out) {
+  Json start = Json::Object();
+  if (window > 0) start.Set("window", Json::Int(window));
+  Result<Json> started =
+      TimedCall(client, out, "pipeline.start",
+                WithDeadline(std::move(start), opt.deadline_ms));
+  if (!started.ok()) return started.status();
+  const int64_t sid = started.value().GetInt("session").value();
+
+  Json submit = Json::Object();
+  submit.Set("session", Json::Int(sid));
+  submit.Set("entities", serve::EntitiesToJson(entities, schema));
+  Result<Json> accepted =
+      TimedCall(client, out, "pipeline.submit",
+                WithDeadline(std::move(submit), opt.deadline_ms));
+  if (!accepted.ok()) return accepted.status();
+  out->entities = accepted.value().GetInt("accepted").value();
+
+  Json finish = Json::Object();
+  finish.Set("session", Json::Int(sid));
+  Result<Json> report =
+      TimedCall(client, out, "pipeline.finish",
+                WithDeadline(std::move(finish), opt.deadline_ms));
+  if (!report.ok()) return report.status();
+  out->report = report.value().Dump(2) + "\n";
+  return Status::OK();
+}
+
 /// Streams every entity through one pipeline session and keeps the
-/// finish report for the byte-identity check.
+/// finish report for the byte-identity check. A deadline-exceeded or
+/// injected-fault answer abandons the session (the daemon reaps it with
+/// the connection) and restarts the whole pipeline — the fresh
+/// pipeline.start routes to a healthy replica, so a wedged replica
+/// costs latency, not correctness.
 void RunBatchClient(const LoadOptions& opt, int port,
                     const std::vector<EntityInstance>& entities,
                     const Schema& schema, int64_t window, ClientOutcome* out) {
@@ -149,32 +221,58 @@ void RunBatchClient(const LoadOptions& opt, int port,
     out->error = "connect: " + client.status().ToString();
     return;
   }
+  const auto run_start = std::chrono::steady_clock::now();
+  bool failed_over = false;
+  for (int attempt = 0; attempt <= kMaxFailovers; ++attempt) {
+    Status run = TryBatchPipeline(opt, client.value().get(), entities, schema,
+                                  window, out);
+    if (run.ok()) {
+      out->error.clear();
+      break;
+    }
+    if (!IsFailoverable(run) || attempt == kMaxFailovers) return;
+    failed_over = true;
+    ++out->failovers;
+  }
+  if (failed_over) {
+    out->failover_ms.push_back(std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - run_start)
+                                   .count());
+  }
+}
+
+/// One interaction round: start a session on one entity, take the first
+/// suggestion, close.
+Status TryInteractionRound(const LoadOptions& opt, serve::ServeClient* client,
+                           const EntityInstance& entity, const Schema& schema,
+                           ClientOutcome* out) {
   Json start = Json::Object();
-  if (window > 0) start.Set("window", Json::Int(window));
+  const std::vector<EntityInstance> one(1, entity);
+  start.Set("entity", serve::EntitiesToJson(one, schema).at(0));
   Result<Json> started =
-      TimedCall(client.value().get(), out, "pipeline.start", std::move(start));
-  if (!started.ok()) return;
+      TimedCall(client, out, "interact.start",
+                WithDeadline(std::move(start), opt.deadline_ms));
+  if (!started.ok()) return started.status();
   const int64_t sid = started.value().GetInt("session").value();
-
-  Json submit = Json::Object();
-  submit.Set("session", Json::Int(sid));
-  submit.Set("entities", serve::EntitiesToJson(entities, schema));
-  Result<Json> accepted =
-      TimedCall(client.value().get(), out, "pipeline.submit", std::move(submit));
-  if (!accepted.ok()) return;
-  out->entities = accepted.value().GetInt("accepted").value();
-
-  Json finish = Json::Object();
-  finish.Set("session", Json::Int(sid));
-  Result<Json> report =
-      TimedCall(client.value().get(), out, "pipeline.finish", std::move(finish));
-  if (!report.ok()) return;
-  out->report = report.value().Dump(2) + "\n";
+  Json suggest = Json::Object();
+  suggest.Set("session", Json::Int(sid));
+  Result<Json> suggested =
+      TimedCall(client, out, "interact.suggest",
+                WithDeadline(std::move(suggest), opt.deadline_ms));
+  if (!suggested.ok()) return suggested.status();
+  Json close = Json::Object();
+  close.Set("session", Json::Int(sid));
+  Result<Json> closed =
+      TimedCall(client, out, "session.close",
+                WithDeadline(std::move(close), opt.deadline_ms));
+  if (!closed.ok()) return closed.status();
+  return Status::OK();
 }
 
 /// Interaction rounds over one resolved entity (rotating through the
-/// cluster set): start a session, take the first suggestion, close.
-/// Suggestion content is not asserted on — only that the calls succeed.
+/// cluster set). Suggestion content is not asserted on — only that the
+/// calls succeed; a failoverable error retries the round on a fresh
+/// session.
 void RunInteractiveClient(const LoadOptions& opt, int port, int iters,
                           const std::vector<EntityInstance>& entities,
                           const Schema& schema, ClientOutcome* out) {
@@ -184,27 +282,29 @@ void RunInteractiveClient(const LoadOptions& opt, int port, int iters,
     out->error = "connect: " + client.status().ToString();
     return;
   }
+  int64_t failovers_left = kMaxFailovers;
   for (int i = 0; i < iters; ++i) {
-    Json start = Json::Object();
-    const std::vector<EntityInstance> one(
-        1, entities[static_cast<size_t>(i) % entities.size()]);
-    start.Set("entity", serve::EntitiesToJson(one, schema).at(0));
-    Result<Json> started =
-        TimedCall(client.value().get(), out, "interact.start", std::move(start));
-    if (!started.ok()) return;
-    const int64_t sid = started.value().GetInt("session").value();
-    Json suggest = Json::Object();
-    suggest.Set("session", Json::Int(sid));
-    if (!TimedCall(client.value().get(), out, "interact.suggest",
-                   std::move(suggest))
-             .ok()) {
-      return;
+    const EntityInstance& entity =
+        entities[static_cast<size_t>(i) % entities.size()];
+    const auto round_start = std::chrono::steady_clock::now();
+    bool failed_over = false;
+    for (;;) {
+      Status round =
+          TryInteractionRound(opt, client.value().get(), entity, schema, out);
+      if (round.ok()) {
+        out->error.clear();
+        break;
+      }
+      if (!IsFailoverable(round) || failovers_left == 0) return;
+      failed_over = true;
+      --failovers_left;
+      ++out->failovers;
     }
-    Json close = Json::Object();
-    close.Set("session", Json::Int(sid));
-    if (!TimedCall(client.value().get(), out, "session.close", std::move(close))
-             .ok()) {
-      return;
+    if (failed_over) {
+      out->failover_ms.push_back(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - round_start)
+              .count());
     }
   }
 }
@@ -246,7 +346,7 @@ int RunLoad(const LoadOptions& opt, int64_t window) {
   }
 
   // Embedded daemon unless an external endpoint was named.
-  std::unique_ptr<AccuracyService> service;
+  std::vector<std::unique_ptr<AccuracyService>> services;
   std::unique_ptr<serve::Server> server;
   int port = opt.port;
   if (!opt.port_file.empty()) {
@@ -257,15 +357,24 @@ int RunLoad(const LoadOptions& opt, int64_t window) {
     }
     port = read.value();
   } else if (port == 0) {
-    Result<std::unique_ptr<AccuracyService>> created =
-        AccuracyService::Create(doc.value().spec, ServiceOptions{});
-    if (!created.ok()) {
-      std::fprintf(stderr, "error: %s\n", created.status().ToString().c_str());
-      return 1;
+    for (int i = 0; i < opt.replicas; ++i) {
+      Result<std::unique_ptr<AccuracyService>> created =
+          AccuracyService::Create(doc.value().spec, ServiceOptions{});
+      if (!created.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     created.status().ToString().c_str());
+        return 1;
+      }
+      services.push_back(std::move(created).value());
     }
-    service = std::move(created).value();
+    std::vector<AccuracyService*> raw;
+    raw.reserve(services.size());
+    for (const auto& s : services) raw.push_back(s.get());
+    serve::ServerOptions server_options;
+    server_options.fault_inject = opt.fault_inject;
+    server_options.default_deadline_ms = opt.deadline_ms;
     Result<std::unique_ptr<serve::Server>> started =
-        serve::Server::Start(service.get(), serve::ServerOptions{});
+        serve::Server::Start(std::move(raw), server_options);
     if (!started.ok()) {
       std::fprintf(stderr, "error: %s\n", started.status().ToString().c_str());
       return 1;
@@ -300,6 +409,38 @@ int RunLoad(const LoadOptions& opt, int64_t window) {
                              std::chrono::steady_clock::now() - wall_start)
                              .count();
 
+  // Daemon-side fault-tolerance counters, captured over the wire before
+  // the drain tears the listener down (works against external daemons
+  // too; absent fields stay zero against a pre-0.10 daemon).
+  int64_t daemon_deadline_exceeded = 0;
+  int64_t daemon_shed = 0;
+  int64_t daemon_quarantines = 0;
+  int64_t daemon_readmissions = 0;
+  {
+    Result<std::unique_ptr<serve::ServeClient>> probe =
+        serve::ServeClient::Connect(opt.host, port);
+    if (probe.ok()) {
+      Result<Json> stats = probe.value()->Call("stats", Json::Object());
+      if (stats.ok()) {
+        auto int_field = [](const Json& obj, const std::string& key) {
+          const Json* v = obj.Find(key);
+          return v != nullptr && v->is_int() ? v->as_int() : int64_t{0};
+        };
+        daemon_deadline_exceeded =
+            int_field(stats.value(), "deadline_exceeded");
+        daemon_shed = int_field(stats.value(), "shed");
+        const Json* replicas_json = stats.value().Find("replicas");
+        if (replicas_json != nullptr && replicas_json->is_array()) {
+          for (int i = 0; i < replicas_json->size(); ++i) {
+            daemon_quarantines += int_field(replicas_json->at(i), "quarantines");
+            daemon_readmissions +=
+                int_field(replicas_json->at(i), "readmissions");
+          }
+        }
+      }
+    }
+  }
+
   // An embedded daemon drains before we report, so its executor's work is
   // fully accounted and TSan sees the complete join graph.
   if (server != nullptr) {
@@ -312,8 +453,10 @@ int RunLoad(const LoadOptions& opt, int64_t window) {
   }
 
   std::vector<double> latencies;
+  std::vector<double> failover_latencies;
   int64_t entities_done = 0;
   int64_t retried_requests = 0;
+  int64_t failovers = 0;
   int failures = 0;
   for (const ClientOutcome& out : outcomes) {
     if (!out.error.empty()) {
@@ -322,8 +465,11 @@ int RunLoad(const LoadOptions& opt, int64_t window) {
     }
     latencies.insert(latencies.end(), out.latencies_ms.begin(),
                      out.latencies_ms.end());
+    failover_latencies.insert(failover_latencies.end(),
+                              out.failover_ms.begin(), out.failover_ms.end());
     entities_done += out.entities;
     retried_requests += out.retries;
+    failovers += out.failovers;
   }
   if (failures > 0) return 1;
 
@@ -347,17 +493,23 @@ int RunLoad(const LoadOptions& opt, int64_t window) {
 
   const double p50 = Percentile(latencies, 0.50);
   const double p99 = Percentile(latencies, 0.99);
+  const double failover_p99 = Percentile(failover_latencies, 0.99);
   const double entities_per_s =
       wall_ms > 0.0 ? static_cast<double>(entities_done) / (wall_ms / 1000.0)
                     : 0.0;
   std::printf(
       "serve_load: clients=%d (batch=%d interactive=%d) entities=%lld "
       "requests=%zu retried=%lld p50=%.3fms p99=%.3fms wall=%.1fms "
-      "entities/s=%.1f\n",
+      "entities/s=%.1f failovers=%lld failover_p99=%.3fms "
+      "deadline_exceeded=%lld shed=%lld quarantines=%lld readmissions=%lld\n",
       opt.clients, batch_clients, interactive_clients,
       static_cast<long long>(entities_done), latencies.size(),
       static_cast<long long>(retried_requests), p50, p99, wall_ms,
-      entities_per_s);
+      entities_per_s, static_cast<long long>(failovers), failover_p99,
+      static_cast<long long>(daemon_deadline_exceeded),
+      static_cast<long long>(daemon_shed),
+      static_cast<long long>(daemon_quarantines),
+      static_cast<long long>(daemon_readmissions));
 
   JsonReport json("serve_load");
   JsonReport::Row row;
@@ -367,9 +519,17 @@ int RunLoad(const LoadOptions& opt, int64_t window) {
       .Set("clients", opt.clients)
       .Set("batch_clients", batch_clients)
       .Set("interactive_clients", interactive_clients)
+      .Set("replicas", opt.replicas)
+      .Set("deadline_ms", opt.deadline_ms)
       .Set("entities", entities_done)
       .Set("requests", static_cast<int64_t>(latencies.size()))
       .Set("retried_requests", retried_requests)
+      .Set("failovers", failovers)
+      .Set("failover_p99_ms", failover_p99)
+      .Set("deadline_exceeded", daemon_deadline_exceeded)
+      .Set("shed", daemon_shed)
+      .Set("quarantines", daemon_quarantines)
+      .Set("readmissions", daemon_readmissions)
       .Set("p50_ms", p50)
       .Set("p99_ms", p99)
       .Set("wall_ms", wall_ms)
@@ -410,13 +570,20 @@ int main(int argc, char** argv) {
       opt.port_file = value;
     } else if (arg == "--report-out" && next(&value)) {
       opt.report_out = value;
+    } else if (arg == "--replicas" && next(&value)) {
+      opt.replicas = std::atoi(value.c_str());
+    } else if (arg == "--deadline-ms" && next(&value)) {
+      opt.deadline_ms = std::atoll(value.c_str());
+    } else if (arg == "--fault-inject" && next(&value)) {
+      opt.fault_inject = value;
     } else if (!arg.empty() && arg[0] != '-' && opt.spec_path.empty()) {
       opt.spec_path = arg;
     } else {
       return relacc::bench::Usage(argv[0]);
     }
   }
-  if (opt.spec_path.empty() || opt.clients < 1 ||
+  if (opt.spec_path.empty() || opt.clients < 1 || opt.replicas < 1 ||
+      opt.replicas > 64 || opt.deadline_ms < 0 ||
       (opt.port != 0 && (opt.port < 0 || opt.port > 65535))) {
     return relacc::bench::Usage(argv[0]);
   }

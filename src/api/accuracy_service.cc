@@ -202,10 +202,24 @@ Result<std::unique_ptr<AccuracyService>> AccuracyService::Create(
     }
     options.columnar_storage = true;  // the artifact is dictionary-encoded
     const int budget = ResolveBudget(options.num_threads);
+    ServiceOptions snap_options = options;  // the attempt; `options` is
+                                            // retained for the fallback
     auto service = std::unique_ptr<AccuracyService>(
-        new AccuracyService(Specification(), std::move(options), budget));
-    RELACC_RETURN_NOT_OK(service->LoadFromSnapshot());
-    return service;
+        new AccuracyService(Specification(), std::move(snap_options), budget));
+    const Status loaded = service->LoadFromSnapshot();
+    if (loaded.ok()) return service;
+    if (!options.snapshot_fallback) return loaded;
+    // Graceful degradation: a corrupt/mismatched artifact must not keep
+    // the daemon down when the spec can rebuild the same state cold.
+    // columnar_storage stays true, so results are bit-for-bit what the
+    // snapshot would have served — only the O(1) start is lost.
+    service.reset();  // drop the half-open reader before rebuilding
+    options.snapshot_path.clear();
+    auto cold = std::unique_ptr<AccuracyService>(
+        new AccuracyService(std::move(spec), std::move(options), budget));
+    cold->degraded_ = true;
+    cold->degraded_reason_ = loaded.ToString();
+    return cold;
   }
   if (options.chase.has_value()) spec.config = *options.chase;
   const int budget = ResolveBudget(options.num_threads);

@@ -105,6 +105,17 @@ struct ServiceOptions {
   /// a service is never half-built from a bad artifact.
   std::string snapshot_path;
 
+  /// Graceful degradation for serving: when loading `snapshot_path`
+  /// fails (corrupt file, version mismatch, missing file), fall back to
+  /// a cold columnar build from the passed Specification instead of
+  /// refusing to start. The fallback service reports degraded() ==
+  /// true with the load error as its reason; `relacc serve` logs the
+  /// warning and carries on (opt out with --snapshot-strict). Ignored
+  /// when snapshot_path is empty. With fallback enabled the spec AND
+  /// the snapshot options may both be supplied — the usual mutual
+  /// exclusions still apply to the snapshot attempt itself.
+  bool snapshot_fallback = false;
+
   /// Capacity (entries) of the in-service verdict memo cache: repeated
   /// CheckCandidates batches and repeated ad-hoc DeduceEntity calls —
   /// the serve daemon's retried/replayed load — are answered from the
@@ -288,6 +299,13 @@ class AccuracyService {
   /// reserved null slot).
   std::size_t dictionary_terms() const { return dict_->size(); }
 
+  /// True when this service is the cold-build fallback of a failed
+  /// snapshot load (ServiceOptions::snapshot_fallback): results are
+  /// identical, only the O(1) warm start was lost.
+  bool degraded() const { return degraded_; }
+  /// The snapshot-load error behind degraded(); empty otherwise.
+  const std::string& degraded_reason() const { return degraded_reason_; }
+
   /// Counters of the verdict memo cache; all zero when the cache is
   /// disabled (ServiceOptions::memo_cache_entries == 0).
   snapshot::MemoCache::Stats memo_stats() const;
@@ -417,6 +435,11 @@ class AccuracyService {
   Specification spec_;
   ServiceOptions options_;
   int budget_;
+
+  /// Set by Create on the snapshot-fallback path (see
+  /// ServiceOptions::snapshot_fallback).
+  bool degraded_ = false;
+  std::string degraded_reason_;
 
   /// The service-wide dictionary; never null after construction.
   std::shared_ptr<Dictionary> dict_;

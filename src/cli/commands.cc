@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -478,50 +479,79 @@ class ServeSignalScope {
     sigemptyset(&action.sa_mask);
     sigaction(SIGTERM, &action, &old_term_);
     sigaction(SIGINT, &action, &old_int_);
+    // A client that disconnects mid-response must not kill the daemon:
+    // writes to its dead socket should fail with EPIPE, not raise
+    // SIGPIPE. The wire layer already sends with MSG_NOSIGNAL; this
+    // covers every other fd (port file, stray stdio on a closed pipe).
+    struct sigaction ignore;
+    std::memset(&ignore, 0, sizeof(ignore));
+    ignore.sa_handler = SIG_IGN;
+    sigemptyset(&ignore.sa_mask);
+    sigaction(SIGPIPE, &ignore, &old_pipe_);
   }
   ~ServeSignalScope() {
     g_serve_server.store(nullptr);
     sigaction(SIGTERM, &old_term_, nullptr);
     sigaction(SIGINT, &old_int_, nullptr);
+    sigaction(SIGPIPE, &old_pipe_, nullptr);
   }
 
  private:
   struct sigaction old_term_;
   struct sigaction old_int_;
+  struct sigaction old_pipe_;
 };
 
-/// `relacc serve <spec.json> [--host H] [--port N] [--threads N]
-/// [--window N] [--queue-depth N] [--port-file PATH]`: the long-lived
-/// daemon of serve/server.h over one AccuracyService built from the spec
-/// document. Exit contract: 0 after a clean SIGTERM/SIGINT drain, 2 on
+/// `relacc serve <spec.json> [--host H] [--port N] [--replicas N]
+/// [--threads N] [--window N] [--queue-depth N] [--deadline-ms N]
+/// [--quarantine-after N] [--fault-inject SPEC] [--port-file PATH]
+/// [--snapshot FILE [--snapshot-strict]]`: the long-lived daemon of
+/// serve/server.h over a pool of AccuracyService replicas built from
+/// the spec document and/or a snapshot artifact. Spec + --snapshot
+/// together enable graceful degradation: a corrupt or mismatched
+/// artifact logs a warning and the daemon cold-builds from the spec
+/// instead of refusing to start (--snapshot-strict restores the hard
+/// failure). Exit contract: 0 after a clean SIGTERM/SIGINT drain, 2 on
 /// usage errors, 1 when the address cannot be bound or the spec cannot
 /// be read.
 Status CmdServe(const Args& args, std::ostream& out) {
   const std::string host = args.GetString("host", "127.0.0.1");
   Result<int64_t> port = args.GetInt("port", 0);
+  Result<int64_t> replicas = args.GetInt("replicas", 1);
   Result<int64_t> threads = args.GetInt("threads", 0);
   Result<int64_t> window = args.GetInt("window", 0);
   Result<int64_t> queue_depth = args.GetInt("queue-depth", 32);
   Result<int64_t> memo_cache = args.GetInt("memo-cache", 0);
+  Result<int64_t> deadline_ms = args.GetInt("deadline-ms", 0);
+  Result<int64_t> quarantine_after = args.GetInt("quarantine-after", 3);
+  std::string fault_spec = args.GetString("fault-inject");
+  const bool snapshot_strict = args.Has("snapshot-strict");
   const std::string port_file = args.GetString("port-file");
   const std::string snapshot = args.GetString("snapshot");
   std::optional<SpecDocument> doc;
-  if (snapshot.empty()) {
+  if (snapshot.empty() || !args.positionals().empty()) {
+    if (!snapshot.empty() && snapshot_strict) {
+      return Status::InvalidArgument(
+          "--snapshot replaces the <spec.json> argument");
+    }
     Result<SpecDocument> loaded = LoadSpec(args);
     if (!loaded.ok()) return loaded.status();
     doc = std::move(loaded).value();
-  } else if (!args.positionals().empty()) {
-    return Status::InvalidArgument(
-        "--snapshot replaces the <spec.json> argument");
   }
   if (!port.ok()) return port.status();
+  if (!replicas.ok()) return replicas.status();
   if (!threads.ok()) return threads.status();
   if (!window.ok()) return window.status();
   if (!queue_depth.ok()) return queue_depth.status();
   if (!memo_cache.ok()) return memo_cache.status();
+  if (!deadline_ms.ok()) return deadline_ms.status();
+  if (!quarantine_after.ok()) return quarantine_after.status();
   if (port.value() < 0 || port.value() > 65535) {
     return Status::InvalidArgument(
         "--port must be in [0, 65535] (0 = ephemeral)");
+  }
+  if (replicas.value() < 1 || replicas.value() > 64) {
+    return Status::InvalidArgument("--replicas must be in [1, 64]");
   }
   if (threads.value() < 0 || threads.value() > 256) {
     return Status::InvalidArgument(
@@ -538,26 +568,63 @@ Status CmdServe(const Args& args, std::ostream& out) {
     return Status::InvalidArgument(
         "--memo-cache must be in [0, 16777216] (0 = disabled)");
   }
+  if (deadline_ms.value() < 0) {
+    return Status::InvalidArgument(
+        "--deadline-ms must be >= 0 (0 = no deadline)");
+  }
+  if (quarantine_after.value() < 1 || quarantine_after.value() > 100) {
+    return Status::InvalidArgument("--quarantine-after must be in [1, 100]");
+  }
   RELACC_RETURN_NOT_OK(CheckUnread(args));
+  if (fault_spec.empty()) {
+    // Flag wins over environment; the env var exists so a supervisor
+    // (or the chaos CI lane) can inject faults without changing the
+    // daemon's command line.
+    if (const char* env = std::getenv("RELACC_FAULT_INJECT")) fault_spec = env;
+  }
 
   ServiceOptions service_options;
   service_options.num_threads = static_cast<int>(threads.value());
   if (window.value() > 0) service_options.window = window.value();
   service_options.memo_cache_entries =
       static_cast<std::size_t>(memo_cache.value());
-  if (!snapshot.empty()) service_options.snapshot_path = snapshot;
-  Result<std::unique_ptr<AccuracyService>> service = AccuracyService::Create(
-      doc.has_value() ? std::move(doc->spec) : Specification(),
-      std::move(service_options));
-  if (!service.ok()) return service.status();
+  if (!snapshot.empty()) {
+    service_options.snapshot_path = snapshot;
+    service_options.snapshot_fallback = doc.has_value() && !snapshot_strict;
+  }
+
+  // One service per replica, every one from the same spec/snapshot (a
+  // snapshot is mmap-shared, so N replicas cost one set of pages).
+  std::vector<std::unique_ptr<AccuracyService>> services;
+  std::vector<AccuracyService*> service_ptrs;
+  for (int64_t i = 0; i < replicas.value(); ++i) {
+    Specification spec;
+    if (doc.has_value()) {
+      spec = i + 1 < replicas.value() ? doc->spec : std::move(doc->spec);
+    }
+    Result<std::unique_ptr<AccuracyService>> service =
+        AccuracyService::Create(std::move(spec), service_options);
+    if (!service.ok()) return service.status();
+    if (i == 0 && service.value()->degraded()) {
+      out << "warning: snapshot '" << snapshot
+          << "' unusable, serving from a cold build instead: "
+          << service.value()->degraded_reason() << "\n"
+          << std::flush;
+    }
+    service_ptrs.push_back(service.value().get());
+    services.push_back(std::move(service).value());
+  }
 
   serve::ServerOptions server_options;
   server_options.host = host;
   server_options.port = static_cast<int>(port.value());
   server_options.queue_depth = static_cast<int>(queue_depth.value());
+  server_options.default_deadline_ms = deadline_ms.value();
+  server_options.quarantine_after = static_cast<int>(quarantine_after.value());
+  server_options.fault_inject = fault_spec;
   ServeSignalScope signals;
   Result<std::unique_ptr<serve::Server>> server =
-      serve::Server::Start(service.value().get(), server_options);
+      serve::Server::Start(service_ptrs, server_options);
   if (!server.ok()) return server.status();
   g_serve_server.store(server.value().get());
   if (g_serve_drain_pending.load()) server.value()->RequestDrain();
@@ -570,13 +637,18 @@ Status CmdServe(const Args& args, std::ostream& out) {
     if (!wrote.ok()) return wrote;
   }
   out << "relacc serve listening on " << host << ":"
-      << server.value()->port() << "\n"
+      << server.value()->port() << " (" << server.value()->replicas()
+      << " replica" << (server.value()->replicas() == 1 ? "" : "s") << ")\n"
       << std::flush;
 
   Status done = server.value()->Wait();
   const serve::Scheduler::Stats stats = server.value()->scheduler_stats();
   out << "relacc serve drained (interactive=" << stats.executed_interactive
       << " batch=" << stats.executed_batch << " rejected=" << stats.rejected
+      << " deadline_exceeded=" << server.value()->deadline_exceeded()
+      << " shed=" << server.value()->shed()
+      << " quarantines=" << server.value()->pool().total_quarantines()
+      << " readmissions=" << server.value()->pool().total_readmissions()
       << ")\n";
   return done;
 }
@@ -980,11 +1052,15 @@ std::string CliUsage() {
       "            [--storage row|columnar] [--snapshot FILE] [--json]\n"
       "  interactive  the Fig. 3 user loop on one entity instance\n"
       "            [--k N]\n"
-      "  serve     long-lived daemon over one AccuracyService (frame\n"
-      "            protocol of serve/wire.h; drains cleanly on SIGTERM)\n"
-      "            [--host H] [--port N] [--threads N] [--window N]\n"
-      "            [--queue-depth N] [--port-file PATH]\n"
-      "            [--snapshot FILE] [--memo-cache N]\n"
+      "  serve     long-lived daemon over a pool of AccuracyService\n"
+      "            replicas (frame protocol of serve/wire.h; per-request\n"
+      "            deadlines, quarantine + re-admission, drains cleanly\n"
+      "            on SIGTERM)\n"
+      "            [--host H] [--port N] [--replicas N] [--threads N]\n"
+      "            [--window N] [--queue-depth N] [--deadline-ms N]\n"
+      "            [--quarantine-after N] [--fault-inject SPEC]\n"
+      "            [--port-file PATH] [--memo-cache N]\n"
+      "            [--snapshot FILE [--snapshot-strict]]\n"
       "  snapshot  build / inspect mmap-able service artifacts for O(1)\n"
       "            start (snapshot build <spec.json> --out FILE;\n"
       "            snapshot info FILE [--json]); load one with\n"

@@ -10,9 +10,21 @@ namespace serve {
 
 Result<std::unique_ptr<ServeClient>> ServeClient::Connect(
     const std::string& host, int port) {
-  Result<int> fd = ConnectTo(host, port);
+  return Connect(host, port, ClientOptions{});
+}
+
+Result<std::unique_ptr<ServeClient>> ServeClient::Connect(
+    const std::string& host, int port, const ClientOptions& options) {
+  Result<int> fd = ConnectTo(host, port, options.connect_timeout_ms);
   if (!fd.ok()) return fd.status();
-  return std::unique_ptr<ServeClient>(new ServeClient(fd.value()));
+  auto client = std::unique_ptr<ServeClient>(new ServeClient(fd.value()));
+  if (options.recv_timeout_ms > 0) {
+    RELACC_RETURN_NOT_OK(SetRecvTimeout(client->fd_, options.recv_timeout_ms));
+  }
+  if (options.send_timeout_ms > 0) {
+    RELACC_RETURN_NOT_OK(SetSendTimeout(client->fd_, options.send_timeout_ms));
+  }
+  return client;
 }
 
 ServeClient::~ServeClient() {
@@ -73,6 +85,8 @@ Result<Json> ServeClient::Call(const std::string& method, Json params) {
         return Status::ResourceExhausted(message.value());
       case StatusCode::kDataLoss:
         return Status::DataLoss(message.value());
+      case StatusCode::kDeadlineExceeded:
+        return Status::DeadlineExceeded(message.value());
       case StatusCode::kOk:
       case StatusCode::kInternal:
         return Status::Internal(message.value());

@@ -18,8 +18,23 @@ namespace serve {
 /// connection — that is also what makes it a distinct scheduler tenant).
 class ServeClient {
  public:
+  /// Transport timeouts, all in milliseconds, 0 = unbounded (the
+  /// pre-PR-10 behavior). A tripped recv/send timeout surfaces from
+  /// Call as kDeadlineExceeded — same code the server uses for a
+  /// request it cancelled, so a caller's failover loop handles "server
+  /// too slow" and "network too slow" identically. After a recv
+  /// timeout the connection is desynchronized (the response may still
+  /// arrive later); reconnect rather than reuse it.
+  struct ClientOptions {
+    int connect_timeout_ms = 0;
+    int recv_timeout_ms = 0;
+    int send_timeout_ms = 0;
+  };
+
   static Result<std::unique_ptr<ServeClient>> Connect(const std::string& host,
                                                       int port);
+  static Result<std::unique_ptr<ServeClient>> Connect(
+      const std::string& host, int port, const ClientOptions& options);
 
   ServeClient(const ServeClient&) = delete;
   ServeClient& operator=(const ServeClient&) = delete;

@@ -1,0 +1,188 @@
+#include "serve/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace relacc {
+namespace serve {
+
+namespace {
+
+/// Splits `text` on `sep` (no escaping; fault specs are flag-sized).
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t from = 0;
+  while (from <= text.size()) {
+    std::size_t at = text.find(sep, from);
+    if (at == std::string::npos) at = text.size();
+    out.push_back(text.substr(from, at - from));
+    from = at + 1;
+  }
+  return out;
+}
+
+/// Strict non-negative integer parse; no sign, no trailing junk.
+Result<int64_t> ParseNumber(const std::string& text, const std::string& what) {
+  if (text.empty()) {
+    return Status::InvalidArgument("fault spec: " + what + " is empty");
+  }
+  int64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("fault spec: " + what +
+                                     " must be a non-negative integer, got '" +
+                                     text + "'");
+    }
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+/// `<replica|*>`: -1 for the wildcard.
+Result<int> ParseReplica(const std::string& text, bool allow_any) {
+  if (text == "*") {
+    if (!allow_any) {
+      return Status::InvalidArgument(
+          "fault spec: wedge/fail need a concrete replica, not '*'");
+    }
+    return -1;
+  }
+  Result<int64_t> n = ParseNumber(text, "replica");
+  if (!n.ok()) return n.status();
+  return static_cast<int>(n.value());
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FaultInjector>> FaultInjector::Parse(
+    const std::string& spec) {
+  if (spec.empty()) return std::unique_ptr<FaultInjector>();
+  auto injector = std::unique_ptr<FaultInjector>(new FaultInjector());
+  for (const std::string& item : Split(spec, ';')) {
+    if (item.empty()) continue;
+    const std::vector<std::string> parts = Split(item, ':');
+    Rule rule;
+    if (parts[0] == "delay" && parts.size() == 3) {
+      rule.kind = Rule::Kind::kDelay;
+      Result<int> replica = ParseReplica(parts[1], /*allow_any=*/true);
+      Result<int64_t> ms = ParseNumber(parts[2], "delay ms");
+      if (!replica.ok()) return replica.status();
+      if (!ms.ok()) return ms.status();
+      rule.replica = replica.value();
+      rule.arg = ms.value();
+    } else if (parts[0] == "jitter" && parts.size() == 4) {
+      rule.kind = Rule::Kind::kJitter;
+      Result<int> replica = ParseReplica(parts[1], /*allow_any=*/true);
+      Result<int64_t> ms = ParseNumber(parts[2], "jitter max_ms");
+      Result<int64_t> seed = ParseNumber(parts[3], "jitter seed");
+      if (!replica.ok()) return replica.status();
+      if (!ms.ok()) return ms.status();
+      if (!seed.ok()) return seed.status();
+      rule.replica = replica.value();
+      rule.arg = ms.value();
+      rule.seed = static_cast<uint64_t>(seed.value());
+    } else if (parts[0] == "wedge" && parts.size() == 3) {
+      rule.kind = Rule::Kind::kWedge;
+      Result<int> replica = ParseReplica(parts[1], /*allow_any=*/false);
+      Result<int64_t> after = ParseNumber(parts[2], "wedge after_n");
+      if (!replica.ok()) return replica.status();
+      if (!after.ok()) return after.status();
+      rule.replica = replica.value();
+      rule.arg = after.value();
+    } else if (parts[0] == "fail" && parts.size() == 3) {
+      rule.kind = Rule::Kind::kFail;
+      Result<int> replica = ParseReplica(parts[1], /*allow_any=*/false);
+      Result<int64_t> every = ParseNumber(parts[2], "fail every_n");
+      if (!replica.ok()) return replica.status();
+      if (!every.ok()) return every.status();
+      if (every.value() < 1) {
+        return Status::InvalidArgument("fault spec: fail every_n must be >= 1");
+      }
+      rule.replica = replica.value();
+      rule.arg = every.value();
+    } else {
+      return Status::InvalidArgument(
+          "fault spec: unrecognized item '" + item +
+          "' (expected delay:R:MS, jitter:R:MS:SEED, wedge:R:N or fail:R:N)");
+    }
+    injector->rules_.push_back(rule);
+    injector->jitter_rngs_.emplace_back(rule.seed);
+  }
+  if (injector->rules_.empty()) return std::unique_ptr<FaultInjector>();
+  return injector;
+}
+
+void FaultInjector::OnExecutorJob(int replica) {
+  int64_t pause_ms = 0;
+  bool wedge = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<std::size_t>(replica) >= jobs_started_.size()) {
+      jobs_started_.resize(static_cast<std::size_t>(replica) + 1, 0);
+    }
+    const int64_t nth = ++jobs_started_[static_cast<std::size_t>(replica)];
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      Rule& rule = rules_[i];
+      if (rule.replica != -1 && rule.replica != replica) continue;
+      switch (rule.kind) {
+        case Rule::Kind::kDelay:
+          pause_ms += rule.arg;
+          break;
+        case Rule::Kind::kJitter:
+          if (rule.arg > 0) {
+            pause_ms += std::uniform_int_distribution<int64_t>(
+                0, rule.arg)(jitter_rngs_[i]);
+          }
+          break;
+        case Rule::Kind::kWedge:
+          if (!released_ && nth > rule.arg) wedge = true;
+          break;
+        case Rule::Kind::kFail:
+          break;  // request-level, not an executor fault
+      }
+    }
+    if (pause_ms > 0) ++stats_.delays;
+    if (wedge) ++stats_.wedges;
+  }
+  if (pause_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(pause_ms));
+  }
+  if (wedge) {
+    std::unique_lock<std::mutex> lock(mu_);
+    release_cv_.wait(lock, [this] { return released_; });
+  }
+}
+
+bool FaultInjector::ShouldFailRequest(int replica) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<std::size_t>(replica) >= requests_routed_.size()) {
+    requests_routed_.resize(static_cast<std::size_t>(replica) + 1, 0);
+  }
+  const int64_t nth = ++requests_routed_[static_cast<std::size_t>(replica)];
+  for (const Rule& rule : rules_) {
+    if (rule.kind != Rule::Kind::kFail) continue;
+    if (rule.replica != replica) continue;
+    if (nth % rule.arg == 0) {
+      ++stats_.failures;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::ReleaseAll() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+  }
+  release_cv_.notify_all();
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace relacc

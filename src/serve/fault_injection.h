@@ -1,0 +1,104 @@
+#ifndef RELACC_SERVE_FAULT_INJECTION_H_
+#define RELACC_SERVE_FAULT_INJECTION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace relacc {
+namespace serve {
+
+/// Deterministic fault injection for the serve replica pool: every
+/// failover path — slow replicas, wedged executors, failing requests —
+/// must be exercisable in CI, not just in theory. An injector is built
+/// from a compact spec string (the `--fault-inject` flag or the
+/// RELACC_FAULT_INJECT environment variable) of ';'-separated items:
+///
+///   delay:<replica|*>:<ms>          fixed pause before every executor
+///                                   job on the replica
+///   jitter:<replica|*>:<max_ms>:<seed>
+///                                   seeded uniform pause in [0, max_ms]
+///                                   before every executor job
+///   wedge:<replica>:<after_n>       after `after_n` jobs have started on
+///                                   the replica, its executor blocks
+///                                   (simulating a hung replica) until
+///                                   ReleaseAll()
+///   fail:<replica>:<every_n>        every `every_n`-th request routed to
+///                                   the replica fails with an injected
+///                                   internal error before touching the
+///                                   service
+///
+/// e.g. "jitter:*:5:42;wedge:1:3" adds up to 5 ms of seeded jitter to
+/// every job and wedges replica 1 after its third job.
+///
+/// Delay/jitter/wedge hook into the scheduler executor (Scheduler::
+/// Options::pre_job), so they also affect health probes — a wedged
+/// replica genuinely cannot answer its probe. `fail` hooks into the
+/// server's request routing. ReleaseAll() unblocks every wedge and
+/// disarms future ones; the server calls it at the start of a drain so a
+/// wedged run still shuts down cleanly on SIGTERM (the chaos-serve CI
+/// lane asserts exit 0).
+///
+/// Instance-based (no globals): the pool owns one injector; tests build
+/// their own. All entry points are thread-safe.
+class FaultInjector {
+ public:
+  struct Stats {
+    int64_t delays = 0;    ///< delay/jitter pauses applied
+    int64_t wedges = 0;    ///< jobs that hit a wedge
+    int64_t failures = 0;  ///< requests failed by `fail` rules
+  };
+
+  /// Parses a spec string; an empty spec yields a null injector (no
+  /// faults, zero overhead). kInvalidArgument on a malformed item.
+  static Result<std::unique_ptr<FaultInjector>> Parse(const std::string& spec);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Executor hook, called before each scheduler job of `replica`:
+  /// applies delays and jitter, then blocks while a wedge rule holds the
+  /// replica. Called from the replica's executor thread.
+  void OnExecutorJob(int replica);
+
+  /// Request hook: true when a `fail` rule says this routed request
+  /// should fail (the server then answers with an injected internal
+  /// error instead of enqueueing).
+  bool ShouldFailRequest(int replica);
+
+  /// Unblocks every wedged executor and disarms wedge rules; idempotent.
+  void ReleaseAll();
+
+  Stats stats() const;
+
+ private:
+  struct Rule {
+    enum class Kind { kDelay, kJitter, kWedge, kFail };
+    Kind kind = Kind::kDelay;
+    int replica = -1;  ///< -1 matches every replica
+    int64_t arg = 0;   ///< ms / max_ms / after_n / every_n
+    uint64_t seed = 0;
+  };
+
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  std::condition_variable release_cv_;
+  bool released_ = false;
+  std::vector<Rule> rules_;
+  std::vector<std::mt19937_64> jitter_rngs_;  ///< one per rule (kJitter only)
+  std::vector<int64_t> jobs_started_;         ///< per replica, grown on demand
+  std::vector<int64_t> requests_routed_;
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace relacc
+
+#endif  // RELACC_SERVE_FAULT_INJECTION_H_

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <optional>
 #include <utility>
 
@@ -75,6 +76,32 @@ Result<std::optional<EntityInstance>> OptEntity(const Json& params,
       std::move(parsed.value().front()));
 }
 
+/// Methods that create a session or touch no session at all: routed to
+/// the least-loaded healthy replica.
+bool IsNewWorkMethod(const std::string& method) {
+  return method == "pipeline.start" || method == "interact.start" ||
+         method == "deduce" || method == "topk";
+}
+
+/// Methods that follow a session's replica pin via their `session`
+/// param.
+bool IsSessionBoundMethod(const std::string& method) {
+  return method == "pipeline.submit" || method == "pipeline.poll" ||
+         method == "pipeline.drain" || method == "pipeline.finish" ||
+         method == "session.close" || method == "interact.suggest" ||
+         method == "interact.revise" || method == "interact.accept";
+}
+
+/// The not-found wording each method family uses (kept stable across
+/// the 0.9 -> 0.10 routing change: the id is now rejected at dispatch,
+/// before a replica is involved).
+std::string NoSuchSession(const std::string& method, int64_t sid) {
+  const std::string num = std::to_string(sid);
+  if (method.rfind("pipeline.", 0) == 0) return "no pipeline session " + num;
+  if (method.rfind("interact.", 0) == 0) return "no interaction session " + num;
+  return "no session " + num;
+}
+
 }  // namespace
 
 Server::Connection::~Connection() {
@@ -83,8 +110,18 @@ Server::Connection::~Connection() {
 
 Result<std::unique_ptr<Server>> Server::Start(AccuracyService* service,
                                               ServerOptions options) {
-  if (service == nullptr) {
-    return Status::InvalidArgument("serve: null service");
+  return Start(std::vector<AccuracyService*>{service}, std::move(options));
+}
+
+Result<std::unique_ptr<Server>> Server::Start(
+    std::vector<AccuracyService*> services, ServerOptions options) {
+  if (services.empty()) {
+    return Status::InvalidArgument("serve: no services");
+  }
+  for (const AccuracyService* service : services) {
+    if (service == nullptr) {
+      return Status::InvalidArgument("serve: null service");
+    }
   }
   if (options.port < 0 || options.port > 65535) {
     return Status::InvalidArgument("serve: port must be in [0, 65535]");
@@ -92,7 +129,15 @@ Result<std::unique_ptr<Server>> Server::Start(AccuracyService* service,
   if (options.queue_depth < 1) {
     return Status::InvalidArgument("serve: queue_depth must be >= 1");
   }
-  std::unique_ptr<Server> server(new Server(service, std::move(options)));
+  if (options.default_deadline_ms < 0) {
+    return Status::InvalidArgument("serve: default_deadline_ms must be >= 0");
+  }
+  Result<std::unique_ptr<FaultInjector>> fault =
+      FaultInjector::Parse(options.fault_inject);
+  if (!fault.ok()) return fault.status();
+  std::unique_ptr<Server> server(
+      new Server(std::move(services), std::move(options)));
+  server->fault_ = std::move(fault).value();
   Result<int> listener = ListenOn(server->options_.host, server->options_.port);
   if (!listener.ok()) return listener.status();
   server->listen_fd_ = listener.value();
@@ -106,17 +151,27 @@ Result<std::unique_ptr<Server>> Server::Start(AccuracyService* service,
     CloseFd(server->listen_fd_);
     return Status::IoError("serve: pipe() failed");
   }
-  Scheduler::Options sched;
-  sched.queue_depth = server->options_.queue_depth;
-  server->scheduler_ = std::make_unique<Scheduler>(sched);
+  ReplicaPoolOptions pool_options;
+  pool_options.queue_depth = server->options_.queue_depth;
+  pool_options.quarantine_after = server->options_.quarantine_after;
+  pool_options.probe_interval_ms = server->options_.probe_interval_ms;
+  pool_options.probe_deadline_ms = server->options_.probe_deadline_ms;
+  pool_options.fault = server->fault_.get();
+  Result<std::unique_ptr<ReplicaPool>> pool =
+      ReplicaPool::Create(server->services_, pool_options);
+  if (!pool.ok()) {
+    CloseFd(server->listen_fd_);
+    return pool.status();
+  }
+  server->pool_ = std::move(pool).value();
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   return server;
 }
 
-Server::Server(AccuracyService* service, ServerOptions options)
-    : service_(service),
+Server::Server(std::vector<AccuracyService*> services, ServerOptions options)
+    : services_(std::move(services)),
       options_(std::move(options)),
-      schema_(service->specification().ie.schema()) {}
+      schema_(services_.front()->specification().ie.schema()) {}
 
 Server::~Server() {
   RequestDrain();
@@ -172,11 +227,13 @@ void Server::DoDrain() {
   // 1. Stop accepting: nothing new can join the queues.
   CloseFd(listen_fd_);
   listen_fd_ = -1;
-  // 2. Flush admitted work. Enqueue rejects from here on
-  //    ("failed-precondition"), but continuations of in-flight batch
+  // 2. Flush admitted work across the pool. The pool first stops its
+  //    health prober and releases injected wedges (a chaos run must
+  //    still drain), then Enqueue rejects from here on
+  //    ("failed-precondition") while continuations of in-flight batch
   //    submits keep running until their windows are flushed and their
   //    responses written — the graceful half of SIGTERM.
-  scheduler_->Drain();
+  pool_->Drain();
   // 3. Wake every reader blocked in recv and join them all.
   std::vector<std::shared_ptr<Connection>> conns;
   std::vector<std::thread> readers;
@@ -190,7 +247,7 @@ void Server::DoDrain() {
   for (std::thread& t : readers) t.join();
   conns.clear();
   // 4. Release the registry; the last reference destroys each
-  //    connection's sessions (the executor has stopped, so this thread
+  //    connection's sessions (the executors have stopped, so this thread
   //    holds the final references).
   std::lock_guard<std::mutex> lock(conns_mu_);
   conns_.clear();
@@ -217,9 +274,10 @@ void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
     if (!Dispatch(conn, doc.value())) break;
   }
   conn->closed.store(true);
-  // Discard whatever the connection still has queued (nobody can observe
-  // the responses) and stop its batch continuations at the next quantum.
-  scheduler_->RemoveTenant(conn->tenant);
+  // Discard whatever the connection still has queued on any replica
+  // (nobody can observe the responses) and stop its batch continuations
+  // at the next quantum.
+  pool_->RemoveTenant(conn->tenant);
   ShutdownFd(conn->fd);
   std::lock_guard<std::mutex> lock(conns_mu_);
   conns_.erase(conn->tenant);
@@ -265,13 +323,13 @@ bool Server::Dispatch(const std::shared_ptr<Connection>& conn,
     return true;
   }
   if (method == "stats") {
-    const Scheduler::Stats stats = scheduler_->stats();
+    const Scheduler::Stats stats = pool_->aggregate_stats();
     Json result = Json::Object();
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       result.Set("connections", Json::Int(static_cast<int64_t>(conns_.size())));
     }
-    result.Set("draining", Json::Bool(scheduler_->draining()));
+    result.Set("draining", Json::Bool(pool_->draining()));
     result.Set("executed_interactive", Json::Int(stats.executed_interactive));
     result.Set("executed_batch", Json::Int(stats.executed_batch));
     result.Set("rejected", Json::Int(stats.rejected));
@@ -279,18 +337,123 @@ bool Server::Dispatch(const std::shared_ptr<Connection>& conn,
     result.Set("p99_interactive_ms", Json::Real(stats.p99_interactive_ms));
     result.Set("p50_batch_ms", Json::Real(stats.p50_batch_ms));
     result.Set("p99_batch_ms", Json::Real(stats.p99_batch_ms));
-    // Storage + memo telemetry of the underlying service: how the
-    // service was built (row / columnar / snapshot), how large its
-    // dictionary grew, and whether the verdict memo is earning hits.
-    result.Set("storage_mode", Json::Str(service_->storage_mode()));
-    result.Set("dictionary_terms",
-               Json::Int(static_cast<int64_t>(service_->dictionary_terms())));
-    const snapshot::MemoCache::Stats memo = service_->memo_stats();
-    result.Set("memo_hits", Json::Int(memo.hits));
-    result.Set("memo_misses", Json::Int(memo.misses));
-    result.Set("memo_entries", Json::Int(memo.entries));
+    // Failure-handling telemetry: deadline cancellations, shed load and
+    // the per-replica health ledger.
+    result.Set("deadline_exceeded", Json::Int(deadline_exceeded_.load()));
+    result.Set("cancelled_queued", Json::Int(stats.cancelled_queued));
+    result.Set("expired_running", Json::Int(stats.expired_running));
+    result.Set("shed", Json::Int(shed_.load()));
+    result.Set("quarantined_replicas", Json::Int(pool_->quarantined_count()));
+    Json replicas = Json::Array();
+    const std::vector<ReplicaPool::ReplicaStats> per_replica =
+        pool_->replica_stats();
+    for (std::size_t i = 0; i < per_replica.size(); ++i) {
+      const ReplicaPool::ReplicaStats& r = per_replica[i];
+      Json entry = Json::Object();
+      entry.Set("replica", Json::Int(static_cast<int64_t>(i)));
+      entry.Set("healthy", Json::Bool(r.healthy));
+      entry.Set("load", Json::Int(r.load));
+      entry.Set("executed", Json::Int(r.scheduler.executed_interactive +
+                                      r.scheduler.executed_batch));
+      entry.Set("timeouts", Json::Int(r.timeouts));
+      entry.Set("quarantines", Json::Int(r.quarantines));
+      entry.Set("readmissions", Json::Int(r.readmissions));
+      replicas.Append(std::move(entry));
+    }
+    result.Set("replicas", std::move(replicas));
+    // Storage + memo telemetry of the underlying services: how they
+    // were built (row / columnar / snapshot — identical across the
+    // pool), how large the dictionary grew, and whether the verdict
+    // memos are earning hits (summed over replicas).
+    result.Set("storage_mode", Json::Str(services_.front()->storage_mode()));
+    result.Set(
+        "dictionary_terms",
+        Json::Int(static_cast<int64_t>(services_.front()->dictionary_terms())));
+    int64_t memo_hits = 0;
+    int64_t memo_misses = 0;
+    int64_t memo_entries = 0;
+    for (AccuracyService* service : services_) {
+      const snapshot::MemoCache::Stats memo = service->memo_stats();
+      memo_hits += memo.hits;
+      memo_misses += memo.misses;
+      memo_entries += memo.entries;
+    }
+    result.Set("memo_hits", Json::Int(memo_hits));
+    result.Set("memo_misses", Json::Int(memo_misses));
+    result.Set("memo_entries", Json::Int(memo_entries));
     SendResult(conn, id, std::move(result));
     return true;
+  }
+
+  if (!IsNewWorkMethod(method) && !IsSessionBoundMethod(method)) {
+    SendError(conn, id, Status::NotFound("unknown method '" + method + "'"));
+    return true;
+  }
+
+  // Per-request deadline: the wire param wins over the daemon default.
+  Result<int64_t> deadline_ms =
+      OptInt(params, "deadline_ms", options_.default_deadline_ms);
+  if (!deadline_ms.ok()) {
+    SendError(conn, id, deadline_ms.status());
+    return true;
+  }
+  if (deadline_ms.value() < 0) {
+    SendError(conn, id,
+              Status::InvalidArgument("param 'deadline_ms' must be >= 0"));
+    return true;
+  }
+
+  // Routing: new work to the least-loaded healthy replica; session-bound
+  // work follows the session's pin.
+  int replica = -1;
+  if (IsNewWorkMethod(method)) {
+    replica = pool_->RouteNew();
+    if (replica < 0) {
+      shed_.fetch_add(1);
+      SendError(conn, id,
+                Status::ResourceExhausted(
+                    "every replica is quarantined; retry shortly"),
+                pool_->shed_retry_after_ms());
+      return true;
+    }
+  } else {
+    Result<int64_t> sid = params.GetInt("session");
+    if (!sid.ok()) {
+      SendError(conn, id, sid.status());
+      return true;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->sessions_mu);
+      auto it = conn->session_replica.find(sid.value());
+      if (it != conn->session_replica.end()) replica = it->second;
+    }
+    if (replica < 0) {
+      SendError(conn, id,
+                Status::NotFound(NoSuchSession(method, sid.value())));
+      return true;
+    }
+  }
+
+  if (fault_ != nullptr && fault_->ShouldFailRequest(replica)) {
+    SendError(conn, id,
+              Status::Internal("injected fault (replica " +
+                               std::to_string(replica) + ")"));
+    return true;
+  }
+
+  auto responded = std::make_shared<std::atomic<bool>>(false);
+  Scheduler::JobControl control;
+  if (deadline_ms.value() > 0) {
+    control.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(deadline_ms.value());
+    control.on_deadline = [this, conn, id, responded,
+                           ms = deadline_ms.value()] {
+      if (responded->exchange(true)) return;  // the job already answered
+      deadline_exceeded_.fetch_add(1);
+      SendError(conn, id,
+                Status::DeadlineExceeded("deadline of " + std::to_string(ms) +
+                                         " ms exceeded"));
+    };
   }
 
   // pipeline.submit parses its entity payload here on the reader thread
@@ -319,10 +482,12 @@ bool Server::Dispatch(const std::shared_ptr<Connection>& conn,
     state->session = session.value();
     state->entities = std::move(entities).value();
     int64_t retry_after_ms = -1;
-    Status admitted = scheduler_->Enqueue(
+    Status admitted = pool_->scheduler(replica)->Enqueue(
         conn->tenant, JobClass::kBatch,
-        [this, conn, id, state] { RunSubmitQuantum(conn, id, state); },
-        &retry_after_ms);
+        [this, conn, id, state, replica, responded, control] {
+          RunSubmitQuantum(conn, id, state, replica, responded, control);
+        },
+        control, &retry_after_ms);
     if (!admitted.ok()) SendError(conn, id, admitted, retry_after_ms);
     return true;
   }
@@ -330,26 +495,40 @@ bool Server::Dispatch(const std::shared_ptr<Connection>& conn,
   const JobClass cls =
       method == "pipeline.finish" ? JobClass::kBatch : JobClass::kInteractive;
   int64_t retry_after_ms = -1;
-  Status admitted = scheduler_->Enqueue(
+  Status admitted = pool_->scheduler(replica)->Enqueue(
       conn->tenant, cls,
-      [this, conn, id, method, params] { RunJob(conn, id, method, params); },
-      &retry_after_ms);
+      [this, conn, id, method, params, replica, responded] {
+        RunJob(conn, id, method, params, replica, responded);
+      },
+      control, &retry_after_ms);
   if (!admitted.ok()) SendError(conn, id, admitted, retry_after_ms);
   return true;
 }
 
 void Server::RunSubmitQuantum(const std::shared_ptr<Connection>& conn,
                               int64_t id,
-                              const std::shared_ptr<SubmitState>& state) {
+                              const std::shared_ptr<SubmitState>& state,
+                              int replica, const ResponseGuard& responded,
+                              const Scheduler::JobControl& control) {
   if (conn->closed.load()) return;
-  auto it = conn->pipelines.find(state->session);
-  if (it == conn->pipelines.end()) {
+  // The watchdog already answered (deadline passed while this quantum
+  // was queued or while the executor sat in pre_job): abandon the
+  // submit; the session keeps what it has and the client restarts on a
+  // fresh session.
+  if (responded->load()) return;
+  PipelineSession* session = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(conn->sessions_mu);
+    auto it = conn->pipelines.find(state->session);
+    if (it != conn->pipelines.end()) session = it->second.get();
+  }
+  if (session == nullptr) {
     SendError(conn, id,
               Status::NotFound("no pipeline session " +
-                               std::to_string(state->session)));
+                               std::to_string(state->session)),
+              -1, responded);
     return;
   }
-  PipelineSession* session = it->second.get();
   // One window per quantum: the session has inline_windows set, so this
   // Submit chases and completes the window right here before returning —
   // and then yields the executor to whoever is next.
@@ -365,7 +544,7 @@ void Server::RunSubmitQuantum(const std::shared_ptr<Connection>& conn,
                                        static_cast<std::ptrdiff_t>(take)));
   Status submitted = session->Submit(std::move(chunk));
   if (!submitted.ok()) {
-    SendError(conn, id, submitted);
+    SendError(conn, id, submitted, -1, responded);
     return;
   }
   state->pos += take;
@@ -373,59 +552,78 @@ void Server::RunSubmitQuantum(const std::shared_ptr<Connection>& conn,
     Json result = Json::Object();
     result.Set("accepted",
                Json::Int(static_cast<int64_t>(state->entities.size())));
-    SendResult(conn, id, std::move(result));
+    SendResult(conn, id, std::move(result), responded);
     return;
   }
-  scheduler_->RequeueFront(
+  // The continuation carries the same deadline contract: the watchdog
+  // can cancel the remaining windows of an over-deadline submit.
+  pool_->scheduler(replica)->RequeueFront(
       conn->tenant, JobClass::kBatch,
-      [this, conn, id, state] { RunSubmitQuantum(conn, id, state); });
+      [this, conn, id, state, replica, responded, control] {
+        RunSubmitQuantum(conn, id, state, replica, responded, control);
+      },
+      control);
 }
 
 void Server::RunJob(const std::shared_ptr<Connection>& conn, int64_t id,
-                    const std::string& method, const Json& params) {
+                    const std::string& method, const Json& params, int replica,
+                    const ResponseGuard& responded) {
   if (conn->closed.load()) return;
+  if (responded->load()) return;  // cancelled while queued / in pre_job
+  AccuracyService* service = services_[static_cast<std::size_t>(replica)];
 
   if (method == "pipeline.start") {
     Result<int64_t> window = OptInt(params, "window", 0);
     Result<std::string> completion = OptString(params, "completion", "");
-    if (!window.ok()) return SendError(conn, id, window.status());
-    if (!completion.ok()) return SendError(conn, id, completion.status());
+    if (!window.ok()) return SendError(conn, id, window.status(), -1, responded);
+    if (!completion.ok()) {
+      return SendError(conn, id, completion.status(), -1, responded);
+    }
     PipelineSessionOptions options;
     options.inline_windows = true;
     options.window = window.value();
     if (!completion.value().empty()) {
       Result<CompletionPolicy> policy = ParseCompletion(completion.value());
-      if (!policy.ok()) return SendError(conn, id, policy.status());
+      if (!policy.ok()) return SendError(conn, id, policy.status(), -1, responded);
       options.completion = policy.value();
     }
     Result<std::unique_ptr<PipelineSession>> session =
-        service_->StartPipeline(std::move(options));
-    if (!session.ok()) return SendError(conn, id, session.status());
+        service->StartPipeline(std::move(options));
+    if (!session.ok()) return SendError(conn, id, session.status(), -1, responded);
     const int64_t sid = next_session_.fetch_add(1);
-    conn->pipelines[sid] = std::move(session).value();
+    {
+      std::lock_guard<std::mutex> lock(conn->sessions_mu);
+      conn->pipelines[sid] = std::move(session).value();
+      conn->session_replica[sid] = replica;
+    }
     Json result = Json::Object();
     result.Set("session", Json::Int(sid));
-    return SendResult(conn, id, std::move(result));
+    return SendResult(conn, id, std::move(result), responded);
   }
 
   if (method == "pipeline.poll" || method == "pipeline.drain" ||
       method == "pipeline.finish") {
     Result<int64_t> sid = params.GetInt("session");
-    if (!sid.ok()) return SendError(conn, id, sid.status());
-    auto it = conn->pipelines.find(sid.value());
-    if (it == conn->pipelines.end()) {
+    if (!sid.ok()) return SendError(conn, id, sid.status(), -1, responded);
+    PipelineSession* session = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(conn->sessions_mu);
+      auto it = conn->pipelines.find(sid.value());
+      if (it != conn->pipelines.end()) session = it->second.get();
+    }
+    if (session == nullptr) {
       return SendError(conn, id,
                        Status::NotFound("no pipeline session " +
-                                        std::to_string(sid.value())));
+                                        std::to_string(sid.value())),
+                       -1, responded);
     }
-    PipelineSession* session = it->second.get();
     if (method == "pipeline.poll") {
       Json result = Json::Object();
       std::optional<EntityReport> report = session->Poll();
       result.Set("report", report.has_value()
                                ? EntityReportToJson(*report, schema_)
                                : Json::Null());
-      return SendResult(conn, id, std::move(result));
+      return SendResult(conn, id, std::move(result), responded);
     }
     if (method == "pipeline.drain") {
       Json reports = Json::Array();
@@ -434,137 +632,177 @@ void Server::RunJob(const std::shared_ptr<Connection>& conn, int64_t id,
       }
       Json result = Json::Object();
       result.Set("reports", std::move(reports));
-      return SendResult(conn, id, std::move(result));
+      return SendResult(conn, id, std::move(result), responded);
     }
     Result<PipelineReport> report = session->Finish();
-    if (!report.ok()) return SendError(conn, id, report.status());
-    return SendResult(conn, id,
-                      PipelineReportToJson(report.value(), schema_));
+    if (!report.ok()) return SendError(conn, id, report.status(), -1, responded);
+    return SendResult(conn, id, PipelineReportToJson(report.value(), schema_),
+                      responded);
   }
 
   if (method == "session.close") {
     Result<int64_t> sid = params.GetInt("session");
-    if (!sid.ok()) return SendError(conn, id, sid.status());
-    const bool erased = conn->pipelines.erase(sid.value()) > 0 ||
-                        conn->interactions.erase(sid.value()) > 0;
+    if (!sid.ok()) return SendError(conn, id, sid.status(), -1, responded);
+    std::unique_ptr<PipelineSession> pipeline;
+    std::unique_ptr<InteractionSession> interaction;
+    bool erased = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->sessions_mu);
+      if (auto it = conn->pipelines.find(sid.value());
+          it != conn->pipelines.end()) {
+        pipeline = std::move(it->second);
+        conn->pipelines.erase(it);
+        erased = true;
+      } else if (auto jt = conn->interactions.find(sid.value());
+                 jt != conn->interactions.end()) {
+        interaction = std::move(jt->second);
+        conn->interactions.erase(jt);
+        erased = true;
+      }
+      conn->session_replica.erase(sid.value());
+    }
+    // `pipeline`/`interaction` destroy here, outside the map lock, on
+    // the session's own pinned executor.
     if (!erased) {
       return SendError(conn, id,
                        Status::NotFound("no session " +
-                                        std::to_string(sid.value())));
+                                        std::to_string(sid.value())),
+                       -1, responded);
     }
     Json result = Json::Object();
     result.Set("closed", Json::Bool(true));
-    return SendResult(conn, id, std::move(result));
+    return SendResult(conn, id, std::move(result), responded);
   }
 
   if (method == "deduce") {
     Result<std::optional<EntityInstance>> entity = OptEntity(params, schema_);
-    if (!entity.ok()) return SendError(conn, id, entity.status());
+    if (!entity.ok()) return SendError(conn, id, entity.status(), -1, responded);
     Result<ChaseOutcome> outcome =
-        entity.value().has_value() ? service_->DeduceEntity(*entity.value())
-                                   : service_->DeduceEntity();
-    if (!outcome.ok()) return SendError(conn, id, outcome.status());
-    return SendResult(conn, id, OutcomeToJson(outcome.value(), schema_));
+        entity.value().has_value() ? service->DeduceEntity(*entity.value())
+                                   : service->DeduceEntity();
+    if (!outcome.ok()) return SendError(conn, id, outcome.status(), -1, responded);
+    return SendResult(conn, id, OutcomeToJson(outcome.value(), schema_),
+                      responded);
   }
 
   if (method == "topk") {
     Result<int64_t> k = OptInt(params, "k", 5);
     Result<std::string> algo_name = OptString(params, "algo", "topkct");
-    if (!k.ok()) return SendError(conn, id, k.status());
-    if (!algo_name.ok()) return SendError(conn, id, algo_name.status());
+    if (!k.ok()) return SendError(conn, id, k.status(), -1, responded);
+    if (!algo_name.ok()) {
+      return SendError(conn, id, algo_name.status(), -1, responded);
+    }
     Result<TopKAlgorithm> algo = ParseAlgo(algo_name.value());
-    if (!algo.ok()) return SendError(conn, id, algo.status());
-    Result<ChaseOutcome> outcome = service_->DeduceEntity();
-    if (!outcome.ok()) return SendError(conn, id, outcome.status());
+    if (!algo.ok()) return SendError(conn, id, algo.status(), -1, responded);
+    Result<ChaseOutcome> outcome = service->DeduceEntity();
+    if (!outcome.ok()) return SendError(conn, id, outcome.status(), -1, responded);
     if (!outcome.value().church_rosser) {
       return SendError(
           conn, id,
           Status::FailedPrecondition("specification is not Church-Rosser: " +
-                                     outcome.value().violation));
+                                     outcome.value().violation),
+          -1, responded);
     }
     Result<TopKResult> ranked =
-        service_->TopK(static_cast<int>(k.value()), algo.value());
-    if (!ranked.ok()) return SendError(conn, id, ranked.status());
+        service->TopK(static_cast<int>(k.value()), algo.value());
+    if (!ranked.ok()) return SendError(conn, id, ranked.status(), -1, responded);
     return SendResult(conn, id,
                       TopKReportToJson(outcome.value().target, ranked.value(),
-                                       schema_));
+                                       schema_),
+                      responded);
   }
 
   if (method == "interact.start") {
     Result<int64_t> k = OptInt(params, "k", 15);
-    if (!k.ok()) return SendError(conn, id, k.status());
+    if (!k.ok()) return SendError(conn, id, k.status(), -1, responded);
     Result<std::optional<EntityInstance>> entity = OptEntity(params, schema_);
-    if (!entity.ok()) return SendError(conn, id, entity.status());
+    if (!entity.ok()) return SendError(conn, id, entity.status(), -1, responded);
     InteractionOptions options;
     options.k = static_cast<int>(k.value());
     Result<std::unique_ptr<InteractionSession>> session =
         entity.value().has_value()
-            ? service_->StartInteraction(std::move(*entity.value()),
-                                         std::move(options))
-            : service_->StartInteraction(std::move(options));
-    if (!session.ok()) return SendError(conn, id, session.status());
+            ? service->StartInteraction(std::move(*entity.value()),
+                                        std::move(options))
+            : service->StartInteraction(std::move(options));
+    if (!session.ok()) return SendError(conn, id, session.status(), -1, responded);
     const int64_t sid = next_session_.fetch_add(1);
-    conn->interactions[sid] = std::move(session).value();
+    {
+      std::lock_guard<std::mutex> lock(conn->sessions_mu);
+      conn->interactions[sid] = std::move(session).value();
+      conn->session_replica[sid] = replica;
+    }
     Json result = Json::Object();
     result.Set("session", Json::Int(sid));
-    return SendResult(conn, id, std::move(result));
+    return SendResult(conn, id, std::move(result), responded);
   }
 
   if (method == "interact.suggest" || method == "interact.revise" ||
       method == "interact.accept") {
     Result<int64_t> sid = params.GetInt("session");
-    if (!sid.ok()) return SendError(conn, id, sid.status());
-    auto it = conn->interactions.find(sid.value());
-    if (it == conn->interactions.end()) {
+    if (!sid.ok()) return SendError(conn, id, sid.status(), -1, responded);
+    InteractionSession* session = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(conn->sessions_mu);
+      auto it = conn->interactions.find(sid.value());
+      if (it != conn->interactions.end()) session = it->second.get();
+    }
+    if (session == nullptr) {
       return SendError(conn, id,
                        Status::NotFound("no interaction session " +
-                                        std::to_string(sid.value())));
+                                        std::to_string(sid.value())),
+                       -1, responded);
     }
-    InteractionSession* session = it->second.get();
     if (method == "interact.suggest") {
       Result<Suggestion> suggestion = session->Suggest();
-      if (!suggestion.ok()) return SendError(conn, id, suggestion.status());
+      if (!suggestion.ok()) {
+        return SendError(conn, id, suggestion.status(), -1, responded);
+      }
       return SendResult(conn, id,
                         SuggestionToJson(suggestion.value(),
-                                         session->finished(), schema_));
+                                         session->finished(), schema_),
+                        responded);
     }
     if (method == "interact.revise") {
       Result<std::string> attr = params.GetString("attr");
-      if (!attr.ok()) return SendError(conn, id, attr.status());
+      if (!attr.ok()) return SendError(conn, id, attr.status(), -1, responded);
       std::optional<AttrId> a = schema_.IndexOf(attr.value());
       if (!a) {
         return SendError(conn, id,
                          Status::InvalidArgument("unknown attribute '" +
-                                                 attr.value() + "'"));
+                                                 attr.value() + "'"),
+                         -1, responded);
       }
       const Json* cell = params.Find("value");
       if (cell == nullptr) {
         return SendError(conn, id,
-                         Status::InvalidArgument("param 'value' is required"));
+                         Status::InvalidArgument("param 'value' is required"),
+                         -1, responded);
       }
       Result<Value> value = ValueFromJson(*cell, schema_.type(*a), "value");
-      if (!value.ok()) return SendError(conn, id, value.status());
+      if (!value.ok()) return SendError(conn, id, value.status(), -1, responded);
       Status revised = session->Revise(*a, std::move(value).value());
-      if (!revised.ok()) return SendError(conn, id, revised);
+      if (!revised.ok()) return SendError(conn, id, revised, -1, responded);
       Json result = Json::Object();
       result.Set("revisions", Json::Int(session->revisions()));
-      return SendResult(conn, id, std::move(result));
+      return SendResult(conn, id, std::move(result), responded);
     }
     Result<int64_t> index = params.GetInt("index");
-    if (!index.ok()) return SendError(conn, id, index.status());
+    if (!index.ok()) return SendError(conn, id, index.status(), -1, responded);
     Result<Tuple> target = session->Accept(static_cast<int>(index.value()));
-    if (!target.ok()) return SendError(conn, id, target.status());
+    if (!target.ok()) return SendError(conn, id, target.status(), -1, responded);
     Json result = Json::Object();
     result.Set("target", TupleToJson(target.value(), schema_));
     result.Set("finished", Json::Bool(true));
-    return SendResult(conn, id, std::move(result));
+    return SendResult(conn, id, std::move(result), responded);
   }
 
-  SendError(conn, id, Status::NotFound("unknown method '" + method + "'"));
+  SendError(conn, id, Status::NotFound("unknown method '" + method + "'"), -1,
+            responded);
 }
 
 void Server::SendResult(const std::shared_ptr<Connection>& conn, int64_t id,
-                        Json result) {
+                        Json result, const ResponseGuard& responded) {
+  if (responded && responded->exchange(true)) return;
   const std::string payload = MakeResponse(id, std::move(result)).Dump();
   std::lock_guard<std::mutex> lock(conn->write_mu);
   // A failed write means the peer vanished; the reader notices on its own.
@@ -572,7 +810,9 @@ void Server::SendResult(const std::shared_ptr<Connection>& conn, int64_t id,
 }
 
 void Server::SendError(const std::shared_ptr<Connection>& conn, int64_t id,
-                       const Status& status, int64_t retry_after_ms) {
+                       const Status& status, int64_t retry_after_ms,
+                       const ResponseGuard& responded) {
+  if (responded && responded->exchange(true)) return;
   const std::string payload =
       MakeErrorResponse(id, WireErrorCode(status.code()), status.message(),
                         retry_after_ms)

@@ -1,9 +1,12 @@
 #include "serve/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -94,6 +97,86 @@ Result<int> ConnectTo(const std::string& host, int port) {
   const int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
+}
+
+Result<int> ConnectTo(const std::string& host, int port, int timeout_ms) {
+  if (timeout_ms <= 0) return ConnectTo(host, port);
+  Result<sockaddr_in> addr = MakeAddr(host, port);
+  if (!addr.ok()) return addr.status();
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    Status st = Errno("fcntl O_NONBLOCK");
+    close(fd);
+    return st;
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr.value()),
+              sizeof(sockaddr_in)) != 0) {
+    if (errno != EINPROGRESS) {
+      Status st = Errno("connect " + host + ":" + std::to_string(port));
+      close(fd);
+      return st;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int rc;
+    do {
+      rc = poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      close(fd);
+      return Status::DeadlineExceeded("connect " + host + ":" +
+                                      std::to_string(port) + ": timed out after " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    if (rc < 0) {
+      Status st = Errno("poll");
+      close(fd);
+      return st;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      Status st = Errno("connect " + host + ":" + std::to_string(port));
+      close(fd);
+      return st;
+    }
+  }
+  if (fcntl(fd, F_SETFL, flags) != 0) {  // back to blocking mode
+    Status st = Errno("fcntl restore flags");
+    close(fd);
+    return st;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+namespace {
+
+Status SetSockTimeout(int fd, int optname, int ms) {
+  timeval tv{};
+  if (ms > 0) {
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  }
+  if (setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt timeout");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SetRecvTimeout(int fd, int ms) {
+  return SetSockTimeout(fd, SO_RCVTIMEO, ms);
+}
+
+Status SetSendTimeout(int fd, int ms) {
+  return SetSockTimeout(fd, SO_SNDTIMEO, ms);
 }
 
 void ShutdownFd(int fd) { shutdown(fd, SHUT_RDWR); }

@@ -29,6 +29,21 @@ Result<int> AcceptConn(int listen_fd);
 /// Connects to host:port. kIoError on failure.
 Result<int> ConnectTo(const std::string& host, int port);
 
+/// Connects with a bound on the handshake: the connect is attempted
+/// non-blocking and polled for at most `timeout_ms`; on expiry the fd is
+/// closed and kDeadlineExceeded returned. `timeout_ms <= 0` degrades to
+/// the blocking ConnectTo. The returned fd is back in blocking mode.
+Result<int> ConnectTo(const std::string& host, int port, int timeout_ms);
+
+/// Bounds every subsequent recv on `fd` (SO_RCVTIMEO): a blocked read
+/// returns EAGAIN after `ms`, which the wire layer maps to
+/// kDeadlineExceeded. `ms <= 0` clears the bound.
+Status SetRecvTimeout(int fd, int ms);
+
+/// Bounds every subsequent send on `fd` (SO_SNDTIMEO); see
+/// SetRecvTimeout.
+Status SetSendTimeout(int fd, int ms);
+
 /// shutdown(2) both directions, waking any thread blocked in recv on the
 /// fd; safe on an already-shut-down socket.
 void ShutdownFd(int fd);

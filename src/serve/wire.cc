@@ -49,6 +49,9 @@ Result<bool> ReadFrame(int fd, std::string* payload, uint32_t max_bytes) {
   const ssize_t got =
       RecvAll(fd, reinterpret_cast<char*>(len_buf), sizeof(len_buf));
   if (got < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("recv: timed out waiting for a frame");
+    }
     return Status::IoError(std::string("recv: ") + std::strerror(errno));
   }
   if (got == 0) return false;  // clean EOF between frames
@@ -68,6 +71,9 @@ Result<bool> ReadFrame(int fd, std::string* payload, uint32_t max_bytes) {
   if (n > 0) {
     const ssize_t body = RecvAll(fd, payload->data(), n);
     if (body < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("recv: timed out inside a frame");
+      }
       return Status::IoError(std::string("recv: ") + std::strerror(errno));
     }
     if (body < static_cast<ssize_t>(n)) {
@@ -87,6 +93,9 @@ Status WriteFrame(int fd, const std::string& payload) {
         send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("send: timed out writing a frame");
+      }
       return Status::IoError(std::string("send: ") + std::strerror(errno));
     }
     sent += static_cast<size_t>(w);
@@ -137,6 +146,7 @@ std::string WireErrorCode(StatusCode code) {
     case StatusCode::kParseError: return "parse-error";
     case StatusCode::kResourceExhausted: return "resource-exhausted";
     case StatusCode::kDataLoss: return "data-loss";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "internal";
 }
@@ -151,6 +161,7 @@ StatusCode StatusCodeFromWire(const std::string& code) {
   if (code == "parse-error") return StatusCode::kParseError;
   if (code == "resource-exhausted") return StatusCode::kResourceExhausted;
   if (code == "data-loss") return StatusCode::kDataLoss;
+  if (code == "deadline-exceeded") return StatusCode::kDeadlineExceeded;
   return StatusCode::kInternal;
 }
 

@@ -25,6 +25,8 @@ const char* CodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

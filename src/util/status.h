@@ -20,6 +20,7 @@ enum class StatusCode {
   kParseError,
   kResourceExhausted,
   kDataLoss,
+  kDeadlineExceeded,
 };
 
 /// A lightweight success/error carrier in the RocksDB/Arrow idiom.
@@ -55,6 +56,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -329,6 +329,31 @@ TEST_F(CliTest, ServeValidatesThreadsWindowAndQueueDepth) {
   EXPECT_EQ(Run({"serve", path_, "--queue-depth", "0"}), 2);
 }
 
+TEST_F(CliTest, ServeValidatesReplicasDeadlineAndQuarantine) {
+  EXPECT_EQ(Run({"serve", path_, "--replicas", "0"}), 2);
+  EXPECT_NE(err_.str().find("--replicas"), std::string::npos);
+  EXPECT_EQ(Run({"serve", path_, "--replicas", "65"}), 2);
+  EXPECT_EQ(Run({"serve", path_, "--deadline-ms", "-1"}), 2);
+  EXPECT_NE(err_.str().find("--deadline-ms"), std::string::npos);
+  EXPECT_EQ(Run({"serve", path_, "--quarantine-after", "0"}), 2);
+  EXPECT_NE(err_.str().find("--quarantine-after"), std::string::npos);
+  EXPECT_EQ(Run({"serve", path_, "--quarantine-after", "101"}), 2);
+}
+
+TEST_F(CliTest, ServeRejectsMalformedFaultSpec) {
+  EXPECT_EQ(Run({"serve", path_, "--fault-inject", "nonsense:1:2"}), 2);
+  EXPECT_NE(err_.str().find("fault spec"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeSnapshotStrictRefusesSpecPlusSnapshot) {
+  // Without --snapshot-strict the pair is allowed (the spec is the
+  // fallback build recipe); with it, the 0.9 hard error returns.
+  EXPECT_EQ(Run({"serve", path_, "--snapshot", path_, "--snapshot-strict"}),
+            2);
+  EXPECT_NE(err_.str().find("--snapshot replaces the <spec.json> argument"),
+            std::string::npos);
+}
+
 TEST_F(CliTest, ServeRejectsUnknownFlags) {
   EXPECT_EQ(Run({"serve", path_, "--bogus", "1"}), 2);
   EXPECT_NE(err_.str().find("unknown flag"), std::string::npos);

@@ -20,6 +20,8 @@
 
 #include "api/accuracy_service.h"
 #include "serve/client.h"
+#include "serve/fault_injection.h"
+#include "serve/replica_pool.h"
 #include "serve/scheduler.h"
 #include "serve/server.h"
 #include "serve/socket.h"
@@ -861,6 +863,548 @@ TEST_F(ServeServerTest, SessionCloseReleasesTheSession) {
   Result<Json> gone = client->Call("pipeline.poll", params);
   ASSERT_FALSE(gone.ok());
   EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+}
+
+// --- fault injection -------------------------------------------------------
+
+TEST(ServeFaultInjection, EmptySpecYieldsNullInjector) {
+  Result<std::unique_ptr<serve::FaultInjector>> parsed =
+      serve::FaultInjector::Parse("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), nullptr);
+}
+
+TEST(ServeFaultInjection, ParsesEveryRuleKind) {
+  Result<std::unique_ptr<serve::FaultInjector>> parsed =
+      serve::FaultInjector::Parse("delay:*:5;jitter:1:10:42;wedge:0:2;fail:1:3");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(parsed.value(), nullptr);
+}
+
+TEST(ServeFaultInjection, MalformedSpecsAreRejected) {
+  for (const char* bad :
+       {"delay:*", "delay:0:abc", "jitter:*:5", "wedge:*:1", "fail:0:0",
+        "fail:1", "nonsense:1:2", "delay:-1:5"}) {
+    Result<std::unique_ptr<serve::FaultInjector>> parsed =
+        serve::FaultInjector::Parse(bad);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(ServeFaultInjection, FailRuleFiresDeterministically) {
+  Result<std::unique_ptr<serve::FaultInjector>> parsed =
+      serve::FaultInjector::Parse("fail:0:3");
+  ASSERT_TRUE(parsed.ok());
+  serve::FaultInjector* fault = parsed.value().get();
+  for (int i = 1; i <= 9; ++i) {
+    EXPECT_EQ(fault->ShouldFailRequest(0), i % 3 == 0) << i;
+  }
+  // Per-replica counters: replica 1 has no rule and never fails.
+  for (int i = 0; i < 9; ++i) EXPECT_FALSE(fault->ShouldFailRequest(1));
+  EXPECT_EQ(fault->stats().failures, 3);
+}
+
+TEST(ServeFaultInjection, WedgeBlocksUntilReleaseAll) {
+  Result<std::unique_ptr<serve::FaultInjector>> parsed =
+      serve::FaultInjector::Parse("wedge:0:1");
+  ASSERT_TRUE(parsed.ok());
+  serve::FaultInjector* fault = parsed.value().get();
+  fault->OnExecutorJob(0);  // first job passes (after_n = 1)
+  std::atomic<bool> unblocked{false};
+  std::thread wedged([&] {
+    fault->OnExecutorJob(0);  // second job wedges
+    unblocked.store(true);
+  });
+  for (int i = 0; i < 200 && fault->stats().wedges == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(fault->stats().wedges, 1);
+  EXPECT_FALSE(unblocked.load());
+  fault->ReleaseAll();
+  wedged.join();
+  EXPECT_TRUE(unblocked.load());
+  // Released wedges stay disarmed: further jobs never block.
+  fault->OnExecutorJob(0);
+}
+
+// --- scheduler deadlines ---------------------------------------------------
+
+TEST(ServeSchedulerDeadline, CancelsQueuedJobAndReapsTenant) {
+  Scheduler scheduler;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  // Occupy the executor so the deadlined job stays queued.
+  ASSERT_TRUE(scheduler
+                  .Enqueue(1, JobClass::kInteractive,
+                           [&] {
+                             std::unique_lock<std::mutex> lock(mu);
+                             cv.wait(lock, [&] { return release; });
+                           })
+                  .ok());
+  std::atomic<bool> ran{false};
+  std::atomic<bool> cancelled{false};
+  Scheduler::JobControl control;
+  control.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(30);
+  control.on_deadline = [&] { cancelled.store(true); };
+  ASSERT_TRUE(scheduler
+                  .Enqueue(2, JobClass::kInteractive,
+                           [&] { ran.store(true); }, std::move(control))
+                  .ok());
+  for (int i = 0; i < 400 && !cancelled.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(cancelled.load());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+  EXPECT_FALSE(ran.load());  // the cancelled job never executed
+  const Scheduler::Stats stats = scheduler.stats();
+  EXPECT_EQ(stats.cancelled_queued, 1);
+  EXPECT_EQ(stats.executed_interactive, 1);
+  // The cancellation emptied tenant 2's queue; nothing may linger.
+  EXPECT_EQ(scheduler.tenant_count(), 0);
+}
+
+TEST(ServeSchedulerDeadline, OverrunningJobFiresCallbackWhileRunning) {
+  std::atomic<bool> hook_was_running{false};
+  std::atomic<int> ok_calls{0};
+  Scheduler::Options options;
+  options.on_deadline = [&](bool was_running) {
+    if (was_running) hook_was_running.store(true);
+  };
+  options.on_job_ok = [&] { ok_calls.fetch_add(1); };
+  Scheduler scheduler(std::move(options));
+  std::atomic<bool> fired{false};
+  Scheduler::JobControl control;
+  control.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(20);
+  control.on_deadline = [&] { fired.store(true); };
+  ASSERT_TRUE(scheduler
+                  .Enqueue(1, JobClass::kInteractive,
+                           [&] {
+                             // Overrun the deadline: the watchdog must
+                             // fire while this job is still running.
+                             for (int i = 0; i < 400 && !fired.load(); ++i) {
+                               std::this_thread::sleep_for(
+                                   std::chrono::milliseconds(5));
+                             }
+                           },
+                           std::move(control))
+                  .ok());
+  scheduler.Drain();
+  EXPECT_TRUE(fired.load());
+  EXPECT_TRUE(hook_was_running.load());
+  EXPECT_EQ(scheduler.stats().expired_running, 1);
+  // An expired job is not a health proof.
+  EXPECT_EQ(ok_calls.load(), 0);
+}
+
+TEST(ServeScheduler, TenantStateIsReapedAsWorkDrains) {
+  Scheduler scheduler;
+  for (int64_t tenant = 1; tenant <= 3; ++tenant) {
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(
+          scheduler.Enqueue(tenant, JobClass::kBatch, [] {}).ok());
+    }
+  }
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.stats().executed_batch, 6);
+  EXPECT_EQ(scheduler.tenant_count(), 0);
+  EXPECT_EQ(scheduler.load(), 0);
+}
+
+TEST(ServeScheduler, RemoveTenantReapsQueueStateImmediately) {
+  Scheduler scheduler;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> started{false};
+  ASSERT_TRUE(scheduler
+                  .Enqueue(1, JobClass::kInteractive,
+                           [&] {
+                             started.store(true);
+                             std::unique_lock<std::mutex> lock(mu);
+                             cv.wait(lock, [&] { return release; });
+                           })
+                  .ok());
+  // Wait until tenant 1's job is running — the pop reaped its entry.
+  for (int i = 0; i < 400 && !started.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(started.load());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(scheduler.Enqueue(2, JobClass::kBatch, [] {}).ok());
+  }
+  EXPECT_EQ(scheduler.tenant_count(), 1);
+  scheduler.RemoveTenant(2);
+  // Tenant 1's entry was reaped by the pop that started its job; tenant
+  // 2's by RemoveTenant — nothing is left.
+  EXPECT_EQ(scheduler.tenant_count(), 0);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.stats().executed_batch, 0);
+}
+
+// --- client transport timeouts ---------------------------------------------
+
+TEST(ServeClientTimeout, RecvTimeoutSurfacesDeadlineExceeded) {
+  // A server that accepts and reads but never answers: the client's
+  // receive timeout must turn the stalled Call into kDeadlineExceeded.
+  Result<int> listener = serve::ListenOn("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const int port = serve::BoundPort(listener.value()).value();
+  std::thread mute([fd = listener.value()] {
+    Result<int> conn = serve::AcceptConn(fd);
+    if (!conn.ok()) return;
+    std::string payload;
+    (void)ReadFrame(conn.value(), &payload);  // swallow the request
+    (void)ReadFrame(conn.value(), &payload);  // block until client hangs up
+    serve::CloseFd(conn.value());
+  });
+  ServeClient::ClientOptions options;
+  options.connect_timeout_ms = 2000;
+  options.recv_timeout_ms = 100;
+  Result<std::unique_ptr<ServeClient>> client =
+      ServeClient::Connect("127.0.0.1", port, options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<Json> response = client.value()->Call("ping", Json::Object());
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  client.value().reset();  // EOF unblocks the mute server
+  mute.join();
+  serve::CloseFd(listener.value());
+}
+
+// --- multi-replica serving, deadlines, quarantine --------------------------
+
+/// Owns N identically-specified services plus the server over them.
+struct ReplicatedDaemon {
+  std::vector<std::unique_ptr<AccuracyService>> services;
+  std::unique_ptr<Server> server;
+
+  static ReplicatedDaemon Start(int replicas, ServerOptions options) {
+    ReplicatedDaemon d;
+    std::vector<AccuracyService*> raw;
+    for (int i = 0; i < replicas; ++i) {
+      Result<std::unique_ptr<AccuracyService>> service =
+          AccuracyService::Create(MjSpecification(), ServiceOptions{});
+      EXPECT_TRUE(service.ok()) << service.status().ToString();
+      d.services.push_back(std::move(service).value());
+      raw.push_back(d.services.back().get());
+    }
+    Result<std::unique_ptr<Server>> server =
+        Server::Start(std::move(raw), std::move(options));
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    if (server.ok()) d.server = std::move(server).value();
+    return d;
+  }
+
+  std::unique_ptr<ServeClient> Connect() {
+    Result<std::unique_ptr<ServeClient>> client =
+        ServeClient::Connect("127.0.0.1", server->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return client.ok() ? std::move(client).value() : nullptr;
+  }
+};
+
+/// One whole pipeline over the wire against `daemon`; empty on failure.
+std::string PipelineDump(ReplicatedDaemon* daemon, ServeClient* client,
+                         int entities, int64_t window) {
+  Json start = Json::Object();
+  start.Set("window", Json::Int(window));
+  Result<Json> started = client->Call("pipeline.start", std::move(start));
+  EXPECT_TRUE(started.ok()) << started.status().ToString();
+  if (!started.ok()) return "";
+  const int64_t sid = started.value().GetInt("session").value();
+  Json submit = Json::Object();
+  submit.Set("session", Json::Int(sid));
+  submit.Set("entities",
+             serve::EntitiesToJson(
+                 MakeEntities(entities),
+                 daemon->services.front()->specification().ie.schema()));
+  Result<Json> accepted = client->Call("pipeline.submit", std::move(submit));
+  EXPECT_TRUE(accepted.ok()) << accepted.status().ToString();
+  if (!accepted.ok()) return "";
+  Json finish = Json::Object();
+  finish.Set("session", Json::Int(sid));
+  Result<Json> report = client->Call("pipeline.finish", std::move(finish));
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? report.value().Dump() : "";
+}
+
+TEST(ServeMultiReplica, ByteIdenticalAcrossReplicaCounts) {
+  // The same pipeline against 1, 2 and 4 replicas with several
+  // concurrent clients: every report must equal the direct-service
+  // reference — replication must be invisible in the payloads.
+  Result<std::unique_ptr<AccuracyService>> direct =
+      AccuracyService::Create(MjSpecification(), ServiceOptions{});
+  ASSERT_TRUE(direct.ok());
+  PipelineSessionOptions options;
+  options.window = 2;
+  Result<std::unique_ptr<PipelineSession>> session =
+      direct.value()->StartPipeline(std::move(options));
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Submit(MakeEntities(9)).ok());
+  Result<PipelineReport> report = session.value()->Finish();
+  ASSERT_TRUE(report.ok());
+  const std::string reference =
+      serve::PipelineReportToJson(
+          report.value(), direct.value()->specification().ie.schema())
+          .Dump();
+
+  for (const int replicas : {1, 2, 4}) {
+    ReplicatedDaemon daemon = ReplicatedDaemon::Start(replicas, {});
+    ASSERT_NE(daemon.server, nullptr);
+    std::vector<std::string> dumps(4);
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < dumps.size(); ++i) {
+      threads.emplace_back([&daemon, &dumps, i] {
+        std::unique_ptr<ServeClient> client = daemon.Connect();
+        ASSERT_NE(client, nullptr);
+        dumps[i] = PipelineDump(&daemon, client.get(), 9, 2);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const std::string& dump : dumps) {
+      ASSERT_FALSE(dump.empty()) << replicas << " replicas";
+      EXPECT_EQ(dump, reference) << replicas << " replicas";
+    }
+    EXPECT_EQ(daemon.server->replicas(), replicas);
+  }
+}
+
+TEST(ServeMultiReplica, DisconnectMidRequestReapsTenantAndDaemonSurvives) {
+  ReplicatedDaemon daemon = ReplicatedDaemon::Start(1, {});
+  ASSERT_NE(daemon.server, nullptr);
+  {
+    // Queue a long batch, then hang up without reading a single
+    // response — the responses hit a dead socket (MSG_NOSIGNAL keeps
+    // that from killing the process) and the reader's exit must reap
+    // the tenant's scheduler state.
+    std::unique_ptr<ServeClient> client = daemon.Connect();
+    ASSERT_NE(client, nullptr);
+    Json start = Json::Object();
+    start.Set("window", Json::Int(2));
+    Result<Json> started = client->Call("pipeline.start", std::move(start));
+    ASSERT_TRUE(started.ok());
+    Json submit = Json::Object();
+    submit.Set("session", Json::Int(started.value().GetInt("session").value()));
+    submit.Set("entities",
+               serve::EntitiesToJson(
+                   MakeEntities(40),
+                   daemon.services.front()->specification().ie.schema()));
+    ASSERT_TRUE(WriteFrame(client->fd(),
+                           serve::MakeRequest(99, "pipeline.submit",
+                                              std::move(submit))
+                               .Dump())
+                    .ok());
+    // Client destructor closes the socket with the submit in flight.
+  }
+  // The scheduler must come back to zero tenants (probe tenants never
+  // exist while the replica is healthy).
+  const serve::ReplicaPool& pool = daemon.server->pool();
+  bool reaped = false;
+  for (int i = 0; i < 1000 && !reaped; ++i) {
+    reaped = pool.scheduler(0)->tenant_count() == 0 &&
+             pool.scheduler(0)->load() == 0;
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(reaped) << "tenant state leaked past the disconnect";
+  // The daemon is unharmed: a fresh client gets full service.
+  std::unique_ptr<ServeClient> after = daemon.Connect();
+  ASSERT_NE(after, nullptr);
+  EXPECT_TRUE(after->Call("ping", Json::Object()).ok());
+  EXPECT_FALSE(PipelineDump(&daemon, after.get(), 4, 2).empty());
+}
+
+TEST(ServeDeadline, OverDeadlineBatchWindowIsCancelled) {
+  // Every executor job is delayed past the submit's deadline: the
+  // watchdog must answer deadline-exceeded while the replica is stuck,
+  // and the daemon must stay fully serviceable afterwards.
+  ServerOptions options;
+  options.fault_inject = "delay:0:600";
+  ReplicatedDaemon daemon = ReplicatedDaemon::Start(1, options);
+  ASSERT_NE(daemon.server, nullptr);
+  std::unique_ptr<ServeClient> client = daemon.Connect();
+  ASSERT_NE(client, nullptr);
+  Result<Json> started = client->Call("pipeline.start", Json::Object());
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  Json submit = Json::Object();
+  submit.Set("session", Json::Int(started.value().GetInt("session").value()));
+  submit.Set("deadline_ms", Json::Int(50));
+  submit.Set("entities",
+             serve::EntitiesToJson(
+                 MakeEntities(4),
+                 daemon.services.front()->specification().ie.schema()));
+  const auto before = std::chrono::steady_clock::now();
+  Result<Json> response = client->Call("pipeline.submit", std::move(submit));
+  const double waited_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - before)
+                               .count();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(response.status().message().find("deadline of 50 ms"),
+            std::string::npos)
+      << response.status().ToString();
+  // The answer came from the watchdog, not from the delayed executor:
+  // well under the injected 600 ms delay.
+  EXPECT_LT(waited_ms, 550.0);
+  EXPECT_EQ(daemon.server->deadline_exceeded(), 1);
+  // Inline methods keep answering immediately.
+  EXPECT_TRUE(client->Call("ping", Json::Object()).ok());
+  Result<Json> stats = client->Call("stats", Json::Object());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().GetInt("deadline_exceeded").value(), 1);
+}
+
+TEST(ServeQuarantine, SickReplicaIsQuarantinedThenReadmittedByProbe) {
+  // delay 150 ms per job: a 40 ms request deadline expires (quarantine
+  // at the first expiry), but the 5 s probe deadline does not — the
+  // probe's deduce completes and re-admits the replica.
+  ServerOptions options;
+  options.fault_inject = "delay:0:150";
+  options.quarantine_after = 1;
+  options.probe_interval_ms = 25;
+  options.probe_deadline_ms = 5000;
+  ReplicatedDaemon daemon = ReplicatedDaemon::Start(1, options);
+  ASSERT_NE(daemon.server, nullptr);
+  std::unique_ptr<ServeClient> client = daemon.Connect();
+  ASSERT_NE(client, nullptr);
+  Json params = Json::Object();
+  params.Set("deadline_ms", Json::Int(40));
+  Result<Json> expired = client->Call("deduce", std::move(params));
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+  // The pool hook fires after the client's error frame; poll briefly.
+  const serve::ReplicaPool& pool = daemon.server->pool();
+  for (int i = 0; i < 400 && pool.total_quarantines() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(pool.total_quarantines(), 1);
+  bool readmitted = false;
+  for (int i = 0; i < 2000 && !readmitted; ++i) {
+    readmitted = pool.healthy(0) && pool.total_readmissions() >= 1;
+    if (!readmitted) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(readmitted);
+  // Healthy again: an undeadlined request completes (slowly but fine).
+  EXPECT_TRUE(client->Call("deduce", Json::Object()).ok());
+  Result<Json> stats = client->Call("stats", Json::Object());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().GetInt("quarantined_replicas").value(), 0);
+  const Json* replicas = stats.value().Find("replicas");
+  ASSERT_NE(replicas, nullptr);
+  ASSERT_EQ(replicas->size(), 1);
+  EXPECT_TRUE(replicas->at(0).GetBool("healthy").value());
+  EXPECT_GE(replicas->at(0).GetInt("quarantines").value(), 1);
+  EXPECT_GE(replicas->at(0).GetInt("readmissions").value(), 1);
+}
+
+TEST(ServeQuarantine, AllReplicasDownShedsWithRetryHint) {
+  // A wedged sole replica: the first deadlined request quarantines it,
+  // and from then on new work is shed with resource-exhausted plus a
+  // retry hint (one probe interval). Drain still exits cleanly because
+  // it releases the wedge first.
+  ServerOptions options;
+  options.fault_inject = "wedge:0:0";
+  options.quarantine_after = 1;
+  options.probe_interval_ms = 50;
+  options.probe_deadline_ms = 50;
+  ReplicatedDaemon daemon = ReplicatedDaemon::Start(1, options);
+  ASSERT_NE(daemon.server, nullptr);
+  std::unique_ptr<ServeClient> client = daemon.Connect();
+  ASSERT_NE(client, nullptr);
+  Json params = Json::Object();
+  params.Set("deadline_ms", Json::Int(40));
+  Result<Json> expired = client->Call("deduce", std::move(params));
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+  // The quarantine lands just after the error frame; wait for it, or
+  // the next (undeadlined) request would queue behind the wedge.
+  const serve::ReplicaPool& pool = daemon.server->pool();
+  for (int i = 0; i < 400 && pool.quarantined_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(pool.quarantined_count(), 1);
+  // New work is shed while every replica is down.
+  Result<Json> shed = client->Call("deduce", Json::Object());
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(client->last_retry_after_ms(), 50);
+  EXPECT_GE(daemon.server->shed(), 1);
+  Result<Json> stats = client->Call("stats", Json::Object());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().GetInt("quarantined_replicas").value(), 1);
+  // Graceful drain despite the wedge (ReleaseAll runs first).
+  daemon.server->RequestDrain();
+  EXPECT_TRUE(daemon.server->Wait().ok());
+}
+
+TEST(ServeFault, InjectedRequestFailureSurfacesAsInternal) {
+  ServerOptions options;
+  options.fault_inject = "fail:0:2";  // every 2nd routed request fails
+  ReplicatedDaemon daemon = ReplicatedDaemon::Start(1, options);
+  ASSERT_NE(daemon.server, nullptr);
+  std::unique_ptr<ServeClient> client = daemon.Connect();
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Call("deduce", Json::Object()).ok());
+  Result<Json> failed = client->Call("deduce", Json::Object());
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  EXPECT_NE(failed.status().message().find("injected fault"),
+            std::string::npos);
+  EXPECT_TRUE(client->Call("deduce", Json::Object()).ok());
+}
+
+// --- snapshot degradation at serve start -----------------------------------
+
+TEST(ServeDegraded, CorruptSnapshotFallsBackToColdService) {
+  const std::string bad =
+      std::string(RELACC_SOURCE_DIR) + "/tests/snapshots/bad/garbage.snap";
+  ServiceOptions strict;
+  strict.snapshot_path = bad;
+  Result<std::unique_ptr<AccuracyService>> refused =
+      AccuracyService::Create(MjSpecification(), strict);
+  ASSERT_FALSE(refused.ok());
+
+  ServiceOptions fallback;
+  fallback.snapshot_path = bad;
+  fallback.snapshot_fallback = true;
+  Result<std::unique_ptr<AccuracyService>> degraded =
+      AccuracyService::Create(MjSpecification(), fallback);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded.value()->degraded());
+  EXPECT_FALSE(degraded.value()->degraded_reason().empty());
+
+  // The fallback build serves bit-identical results to a cold build
+  // that never saw a snapshot path.
+  Result<std::unique_ptr<AccuracyService>> cold =
+      AccuracyService::Create(MjSpecification(), ServiceOptions{});
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.value()->degraded());
+  Result<ChaseOutcome> a = degraded.value()->DeduceEntity();
+  Result<ChaseOutcome> b = cold.value()->DeduceEntity();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().target.ToString(), b.value().target.ToString());
+
+  // And the degraded service is fully servable.
+  Result<std::unique_ptr<Server>> server =
+      Server::Start(degraded.value().get(), ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  Result<std::unique_ptr<ServeClient>> client =
+      ServeClient::Connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client.value()->Call("deduce", Json::Object()).ok());
 }
 
 TEST(ServeInlineWindows, ReportsMatchDriverPath) {
